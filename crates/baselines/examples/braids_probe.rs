@@ -1,0 +1,50 @@
+//! Probe: min-sum decodability vs layer-1 load (scratch tool).
+
+use baselines::braids::{BraidsConfig, CounterBraids};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn main() {
+    let q = 2000usize;
+    let mut rng = StdRng::seed_from_u64(1);
+    let flows: Vec<(u64, u64)> = (0..q)
+        .map(|i| {
+            let size = if rng.gen::<f64>() < 0.9 {
+                rng.gen_range(1..=5)
+            } else {
+                rng.gen_range(50..=3000)
+            };
+            (hashkit::mix::mix64(i as u64 + 1), size)
+        })
+        .collect();
+    for ratio in [0.8f64, 1.0, 1.2, 1.5, 2.0, 3.0, 5.0] {
+        let m1 = (q as f64 * ratio) as usize;
+        let mut cb = CounterBraids::new(BraidsConfig {
+            layer1_counters: m1,
+            layer1_bits: 32, // isolate layer-1 decoding
+            layer2_counters: 64,
+            ..BraidsConfig::default()
+        });
+        for &(f, x) in &flows {
+            for _ in 0..x {
+                cb.record(f);
+            }
+        }
+        let ids: Vec<u64> = flows.iter().map(|&(f, _)| f).collect();
+        for iters in [50usize, 200, 1000] {
+            let est = cb.decode(&ids, iters);
+            let exact = flows
+                .iter()
+                .zip(&est)
+                .filter(|(&(_, x), &e)| (e - x as f64).abs() < 0.5)
+                .count();
+            let total: u64 = flows.iter().map(|&(_, x)| x).sum();
+            let abs: f64 = flows
+                .iter()
+                .zip(&est)
+                .map(|(&(_, x), &e)| (e - x as f64).abs())
+                .sum();
+            print!("  m1/Q={ratio} iters={iters}: exact {exact}/{q}, aggRE {:.4}", abs / total as f64);
+        }
+        println!();
+    }
+}

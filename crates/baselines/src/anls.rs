@@ -1,0 +1,155 @@
+//! ANLS — Adaptive Non-Linear Sampling (Hu et al., INFOCOM 2008;
+//! §2.1 ref \[13\]).
+//!
+//! A single-counter compressor that samples each arriving unit with a
+//! probability that *decays with the current counter value*: with the
+//! counter at `c`, a unit bumps it with probability `p(c) = b^(−c)`.
+//! The inverse mapping recovers the count:
+//!
+//! ```text
+//! f(c) = (b^c − 1) / (b − 1)
+//! ```
+//!
+//! (geometric sum of the expected number of units each step absorbed).
+//! Compared to the DISCO/Morris scale the update needs one power
+//! evaluation per arrival, which is why the CAESAR paper lumps ANLS
+//! with the computation-heavy compression family.
+
+use rand::Rng;
+
+/// An ANLS counter: stored value plus the global decay base.
+#[derive(Debug, Clone, Copy)]
+pub struct AnlsCounter {
+    c: u32,
+    c_max: u32,
+    b: f64,
+}
+
+impl AnlsCounter {
+    /// A zeroed counter with decay base `b > 1` and `bits` of storage.
+    ///
+    /// # Panics
+    /// Panics unless `b > 1` and `1 ≤ bits ≤ 31`.
+    pub fn new(bits: u32, b: f64) -> Self {
+        assert!((1..=31).contains(&bits), "bits must be 1..=31");
+        assert!(b > 1.0, "decay base must exceed 1");
+        Self { c: 0, c_max: (1u32 << bits) - 1, b }
+    }
+
+    /// Pick `b` so a `bits`-wide counter spans `max_value`.
+    pub fn for_range(bits: u32, max_value: f64) -> Self {
+        assert!(max_value >= 1.0);
+        let c_max = ((1u64 << bits.min(31)) - 1) as f64;
+        // Solve (b^c_max − 1)/(b − 1) = max_value by bisection.
+        let f = |b: f64| (libm::pow(b, c_max) - 1.0) / (b - 1.0);
+        let (mut lo, mut hi) = (1.0 + 1e-9, 2.0f64);
+        while f(hi) < max_value {
+            hi = 1.0 + (hi - 1.0) * 2.0;
+            assert!(hi < 1e6, "cannot span {max_value}");
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if f(mid) < max_value {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Self::new(bits, 0.5 * (lo + hi))
+    }
+
+    /// The decay base in use.
+    pub fn base(&self) -> f64 {
+        self.b
+    }
+
+    /// Stored (compressed) value.
+    pub fn stored(&self) -> u32 {
+        self.c
+    }
+
+    /// Unbiased estimate `f(c) = (b^c − 1)/(b − 1)`.
+    pub fn estimate(&self) -> f64 {
+        (libm::pow(self.b, self.c as f64) - 1.0) / (self.b - 1.0)
+    }
+
+    /// Largest representable estimate.
+    pub fn max_value(&self) -> f64 {
+        (libm::pow(self.b, self.c_max as f64) - 1.0) / (self.b - 1.0)
+    }
+
+    /// Apply one unit: bump with probability `b^(−c)`.
+    pub fn increment<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        if self.c >= self.c_max {
+            return;
+        }
+        if rng.gen::<f64>() < libm::pow(self.b, -(self.c as f64)) {
+            self.c += 1;
+        }
+    }
+
+    /// Apply `units` of traffic.
+    pub fn add<R: Rng + ?Sized>(&mut self, units: u64, rng: &mut R) {
+        for _ in 0..units {
+            self.increment(rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn estimate_formula_anchors() {
+        let c = AnlsCounter::new(8, 2.0);
+        assert_eq!(c.estimate(), 0.0);
+        let mut c2 = c;
+        c2.c = 3;
+        // (2³ − 1)/(2 − 1) = 7.
+        assert_eq!(c2.estimate(), 7.0);
+    }
+
+    #[test]
+    fn unbiased_counting() {
+        let n = 30_000u64;
+        let mut rng = StdRng::seed_from_u64(11);
+        let trials = 300;
+        let mean: f64 = (0..trials)
+            .map(|_| {
+                let mut c = AnlsCounter::for_range(12, 1e6);
+                c.add(n, &mut rng);
+                c.estimate()
+            })
+            .sum::<f64>()
+            / trials as f64;
+        let rel = (mean - n as f64).abs() / n as f64;
+        assert!(rel < 0.05, "mean = {mean}");
+    }
+
+    #[test]
+    fn range_calibration() {
+        let c = AnlsCounter::for_range(8, 100_000.0);
+        let rel = (c.max_value() - 100_000.0).abs() / 100_000.0;
+        assert!(rel < 1e-6, "max {}", c.max_value());
+        assert!(c.base() > 1.0);
+    }
+
+    #[test]
+    fn saturation_is_stable() {
+        let mut c = AnlsCounter::new(2, 3.0); // c_max = 3
+        let mut rng = StdRng::seed_from_u64(1);
+        c.add(1_000_000, &mut rng);
+        assert_eq!(c.stored(), 3);
+        let before = c.estimate();
+        c.add(1000, &mut rng);
+        assert_eq!(c.estimate(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay base")]
+    fn base_below_one_rejected() {
+        AnlsCounter::new(8, 0.9);
+    }
+}

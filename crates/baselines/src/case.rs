@@ -1,0 +1,300 @@
+//! Cache-Assisted Stretchable Estimator (CASE).
+//!
+//! Li, Wu, Pan, Dai, Lu, Liu, "CASE: Cache-assisted stretchable
+//! estimator for high speed per-flow measurement", INFOCOM 2016.
+//!
+//! CASE shares CAESAR's cache front-end, but off-chip it keeps **one
+//! counter per flow** (one-to-one mapping, so `L ≥ Q`, §2.3) storing a
+//! DISCO-compressed value: an eviction of `v` units performs `v`
+//! probabilistic [`DiscoScale`] increment trials, each costing a power
+//! operation. Under an equal memory budget the per-flow counters get
+//! only 1–2 bits, the compression scale must span the largest flow,
+//! and nearly every flow reads back as 0 — the Fig. 5 collapse.
+
+use crate::disco::DiscoScale;
+use cachesim::{CacheConfig, CachePolicy, CacheStats, CacheTable};
+use hashkit::IdHashMap;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// CASE configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CaseConfig {
+    /// Off-chip counters `L` (must be ≥ the number of distinct flows
+    /// for every flow to be measurable).
+    pub counters: usize,
+    /// Bits per off-chip counter.
+    pub counter_bits: u32,
+    /// Largest flow size the compression scale must span.
+    pub max_expected_flow: f64,
+    /// On-chip cache entries `M`.
+    pub cache_entries: usize,
+    /// Per-entry cache capacity `y`.
+    pub entry_capacity: u64,
+    /// Cache replacement policy.
+    pub policy: CachePolicy,
+    /// RNG seed for the probabilistic increments.
+    pub seed: u64,
+}
+
+impl Default for CaseConfig {
+    fn default() -> Self {
+        Self {
+            counters: 1_014_601,
+            counter_bits: 2,
+            max_expected_flow: 100_000.0,
+            cache_entries: 20_000,
+            entry_capacity: 54,
+            policy: CachePolicy::Lru,
+            seed: 0xCA5E,
+        }
+    }
+}
+
+impl CaseConfig {
+    /// Off-chip SRAM size in KB.
+    pub fn sram_kb(&self) -> f64 {
+        self.counters as f64 * self.counter_bits as f64 / (1024.0 * 8.0)
+    }
+}
+
+/// Statistics of a CASE run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CaseStats {
+    /// Cache-side counters.
+    pub cache: CacheStats,
+    /// Eviction events applied off-chip.
+    pub evictions: u64,
+    /// Probabilistic increment trials = power operations performed.
+    pub pow_ops: u64,
+    /// Off-chip accesses (read + write per eviction).
+    pub sram_accesses: u64,
+    /// Flows that could not get a counter (`Q > L`).
+    pub unassigned_flows: u64,
+}
+
+/// The CASE sketch.
+///
+/// ```
+/// use baselines::{Case, CaseConfig};
+/// let mut case = Case::new(CaseConfig {
+///     counters: 64,
+///     counter_bits: 16,        // generous: near-exact compression
+///     max_expected_flow: 10_000.0,
+///     cache_entries: 8,
+///     entry_capacity: 4,
+///     ..CaseConfig::default()
+/// });
+/// for _ in 0..500 {
+///     case.record(7);
+/// }
+/// case.finish();
+/// assert!((case.query(7) - 500.0).abs() < 25.0);
+/// ```
+#[derive(Debug)]
+pub struct Case {
+    cfg: CaseConfig,
+    cache: CacheTable,
+    scale: DiscoScale,
+    /// Compressed per-flow counter values.
+    counters: Vec<u64>,
+    /// One-to-one flow → counter assignment.
+    assignment: IdHashMap<u32>,
+    rng: StdRng,
+    evictions: u64,
+    pow_ops: u64,
+    sram_accesses: u64,
+    unassigned: u64,
+    finished: bool,
+}
+
+impl Case {
+    /// Build the sketch; the DISCO scale is calibrated to span
+    /// `max_expected_flow` with `counter_bits` bits.
+    pub fn new(cfg: CaseConfig) -> Self {
+        assert!(cfg.counters > 0, "CASE needs at least one counter");
+        let cache = CacheTable::new(CacheConfig {
+            entries: cfg.cache_entries,
+            entry_capacity: cfg.entry_capacity,
+            policy: cfg.policy,
+            seed: cfg.seed ^ 0xCA5E_CA5E,
+        });
+        Self {
+            cache,
+            scale: DiscoScale::for_bits(cfg.counter_bits, cfg.max_expected_flow),
+            counters: vec![0; cfg.counters],
+            assignment: IdHashMap::default(),
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0x0D15C0),
+            evictions: 0,
+            pow_ops: 0,
+            sram_accesses: 0,
+            unassigned: 0,
+            finished: false,
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CaseConfig {
+        &self.cfg
+    }
+
+    /// The calibrated compression scale.
+    pub fn scale(&self) -> &DiscoScale {
+        &self.scale
+    }
+
+    /// Construction phase: one packet of `flow`.
+    ///
+    /// # Panics
+    /// Panics if called after [`Case::finish`].
+    pub fn record(&mut self, flow: u64) {
+        assert!(!self.finished, "record() after finish(): the sketch is read-only");
+        if let Some(ev) = self.cache.record(flow) {
+            self.apply_eviction(ev.flow, ev.value);
+        }
+    }
+
+    /// End of measurement: dump the cache.
+    pub fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        for ev in self.cache.drain() {
+            self.apply_eviction(ev.flow, ev.value);
+        }
+        self.finished = true;
+    }
+
+    fn apply_eviction(&mut self, flow: u64, value: u64) {
+        self.evictions += 1;
+        let slot = match self.assignment.get(&flow) {
+            Some(&s) => s,
+            None => {
+                if self.assignment.len() >= self.cfg.counters {
+                    // No counter left: the flow is unmeasurable, which
+                    // is the paper's point about one-to-one mappings.
+                    self.unassigned += 1;
+                    return;
+                }
+                let s = self.assignment.len() as u32;
+                self.assignment.insert(flow, s);
+                s
+            }
+        };
+        let c = self.counters[slot as usize];
+        self.counters[slot as usize] = self.scale.apply_bulk(c, value, &mut self.rng);
+        // The closed-form bulk update costs one log (compress) and one
+        // pow (boundary decompress); the counter is one read + write.
+        self.pow_ops += DiscoScale::BULK_POW_OPS;
+        self.sram_accesses += 2;
+    }
+
+    /// Query phase: decompress the flow's counter; flows that never got
+    /// a counter (or were never seen) estimate 0.
+    pub fn query(&self, flow: u64) -> f64 {
+        match self.assignment.get(&flow) {
+            Some(&s) => self.scale.decompress(self.counters[s as usize]),
+            None => 0.0,
+        }
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> CaseStats {
+        CaseStats {
+            cache: self.cache.stats(),
+            evictions: self.evictions,
+            pow_ops: self.pow_ops,
+            sram_accesses: self.sram_accesses,
+            unassigned_flows: self.unassigned,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(counters: usize, bits: u32) -> CaseConfig {
+        CaseConfig {
+            counters,
+            counter_bits: bits,
+            max_expected_flow: 10_000.0,
+            cache_entries: 64,
+            entry_capacity: 8,
+            ..CaseConfig::default()
+        }
+    }
+
+    #[test]
+    fn generous_counters_estimate_well() {
+        // 20-bit counters need no compression: estimates ≈ exact.
+        let mut c = Case::new(cfg(128, 20));
+        for _ in 0..500 {
+            c.record(1);
+        }
+        for _ in 0..50 {
+            c.record(2);
+        }
+        c.finish();
+        assert!((c.query(1) - 500.0).abs() < 5.0, "{}", c.query(1));
+        assert!((c.query(2) - 50.0).abs() < 5.0, "{}", c.query(2));
+    }
+
+    #[test]
+    fn starved_counters_collapse_to_zero() {
+        // The Fig. 5 regime: 1-bit counters spanning 10⁴ — mice flows
+        // essentially always read back 0.
+        let mut c = Case::new(cfg(128, 1));
+        for f in 0..100u64 {
+            for _ in 0..5 {
+                c.record(f);
+            }
+        }
+        c.finish();
+        let zeros = (0..100u64).filter(|&f| c.query(f) == 0.0).count();
+        assert!(zeros >= 95, "only {zeros} flows read 0");
+    }
+
+    #[test]
+    fn unseen_flow_is_zero() {
+        let mut c = Case::new(cfg(16, 8));
+        c.record(1);
+        c.finish();
+        assert_eq!(c.query(999), 0.0);
+    }
+
+    #[test]
+    fn counter_exhaustion_counts_unassigned() {
+        let mut c = Case::new(cfg(2, 8));
+        for f in 0..10u64 {
+            for _ in 0..8 {
+                c.record(f); // capacity 8 forces an overflow eviction each
+            }
+        }
+        c.finish();
+        assert!(c.stats().unassigned_flows > 0);
+        assert_eq!(c.assignment.len(), 2);
+    }
+
+    #[test]
+    fn pow_ops_track_evictions() {
+        let mut c = Case::new(cfg(64, 8));
+        for _ in 0..100 {
+            c.record(7);
+        }
+        c.finish();
+        // 100 packets at capacity 8: 12 overflow evictions + the final
+        // dump, two power ops each.
+        let st = c.stats();
+        assert_eq!(st.pow_ops, st.evictions * DiscoScale::BULK_POW_OPS);
+        assert!(st.evictions >= 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "read-only")]
+    fn record_after_finish_panics() {
+        let mut c = Case::new(cfg(4, 4));
+        c.finish();
+        c.record(1);
+    }
+}

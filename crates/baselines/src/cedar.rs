@@ -1,0 +1,171 @@
+//! CEDAR — shared estimators with a bounded relative error
+//! (Tsidon, Hanniel, Keslassy, INFOCOM 2012; §2.1 ref \[30\]).
+//!
+//! Where SAC/ANLS/DISCO pick a geometric scale, CEDAR derives the
+//! *optimal* shared estimator ladder for a target relative error `δ`:
+//! every counter stores an index into a shared array `A` of estimator
+//! values with differences chosen so the estimation error is uniform
+//! across the range:
+//!
+//! ```text
+//! A[0] = 0,    A[i+1] = A[i] + (1 + 2δ²A[i]) / (1 − δ²)
+//! ```
+//!
+//! A unit increment moves a counter from `i` to `i+1` with probability
+//! `1/(A[i+1] − A[i])`, keeping `E[A[index]]` equal to the true count.
+
+use rand::Rng;
+
+/// A CEDAR estimator ladder shared by many counters.
+#[derive(Debug, Clone)]
+pub struct CedarScale {
+    ladder: Vec<f64>,
+    delta: f64,
+}
+
+impl CedarScale {
+    /// Build the ladder for counter-index width `bits` and target
+    /// relative error `delta`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < delta < 1` and `1 ≤ bits ≤ 24`.
+    pub fn new(bits: u32, delta: f64) -> Self {
+        assert!((1..=24).contains(&bits), "index bits must be 1..=24");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        let steps = 1usize << bits;
+        let mut ladder = Vec::with_capacity(steps);
+        let mut a = 0.0f64;
+        for _ in 0..steps {
+            ladder.push(a);
+            a += (1.0 + 2.0 * delta * delta * a) / (1.0 - delta * delta);
+        }
+        Self { ladder, delta }
+    }
+
+    /// The target relative error.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Number of ladder steps (counter states).
+    pub fn steps(&self) -> usize {
+        self.ladder.len()
+    }
+
+    /// Largest representable estimate.
+    pub fn max_value(&self) -> f64 {
+        *self.ladder.last().expect("non-empty ladder")
+    }
+
+    /// The estimate a counter at `index` represents.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn estimate(&self, index: usize) -> f64 {
+        self.ladder[index]
+    }
+
+    /// Apply one unit to a counter at `index`, returning the new index.
+    pub fn increment<R: Rng + ?Sized>(&self, index: usize, rng: &mut R) -> usize {
+        if index + 1 >= self.ladder.len() {
+            return index; // saturated
+        }
+        let gap = self.ladder[index + 1] - self.ladder[index];
+        if gap <= 1.0 || rng.gen::<f64>() < 1.0 / gap {
+            index + 1
+        } else {
+            index
+        }
+    }
+
+    /// Apply `units` of traffic to a counter at `index`.
+    pub fn add<R: Rng + ?Sized>(&self, mut index: usize, units: u64, rng: &mut R) -> usize {
+        for _ in 0..units {
+            index = self.increment(index, rng);
+            if index + 1 >= self.ladder.len() {
+                break;
+            }
+        }
+        index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn ladder_is_monotone_with_unit_start() {
+        let s = CedarScale::new(8, 0.1);
+        assert_eq!(s.estimate(0), 0.0);
+        // The first steps are ≈ 1/(1−δ²) ≈ 1.01: near-exact counting.
+        assert!((s.estimate(1) - 1.0101).abs() < 0.001);
+        for i in 0..s.steps() - 1 {
+            assert!(s.estimate(i + 1) > s.estimate(i));
+        }
+    }
+
+    #[test]
+    fn smaller_delta_means_shorter_range() {
+        let tight = CedarScale::new(8, 0.05);
+        let loose = CedarScale::new(8, 0.3);
+        assert!(loose.max_value() > tight.max_value());
+    }
+
+    #[test]
+    fn counting_is_unbiased() {
+        let s = CedarScale::new(10, 0.1);
+        let n = 20_000u64;
+        assert!(s.max_value() > n as f64, "range {}", s.max_value());
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 300;
+        let mean: f64 = (0..trials)
+            .map(|_| s.estimate(s.add(0, n, &mut rng)))
+            .sum::<f64>()
+            / trials as f64;
+        let rel = (mean - n as f64).abs() / n as f64;
+        assert!(rel < 0.03, "mean = {mean}");
+    }
+
+    #[test]
+    fn relative_error_is_near_target() {
+        // CEDAR's whole point: the relative std stays ≈ δ across the
+        // range (up to the Gaussian approximation).
+        let delta = 0.15;
+        let s = CedarScale::new(10, delta);
+        let mut rng = StdRng::seed_from_u64(9);
+        for &n in &[1_000u64, 10_000, 50_000] {
+            if s.max_value() < 2.0 * n as f64 {
+                continue;
+            }
+            let trials = 300;
+            let vals: Vec<f64> = (0..trials)
+                .map(|_| s.estimate(s.add(0, n, &mut rng)))
+                .collect();
+            let mean = vals.iter().sum::<f64>() / trials as f64;
+            let var =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / trials as f64;
+            let rel_std = var.sqrt() / mean;
+            assert!(
+                rel_std < 1.5 * delta,
+                "n = {n}: rel std {rel_std} vs target {delta}"
+            );
+        }
+    }
+
+    #[test]
+    fn saturation_is_stable() {
+        let s = CedarScale::new(4, 0.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let top = s.add(0, 10_000_000, &mut rng);
+        assert_eq!(top, s.steps() - 1);
+        assert_eq!(s.add(top, 100, &mut rng), top);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn bad_delta_rejected() {
+        CedarScale::new(8, 1.5);
+    }
+}

@@ -1,0 +1,293 @@
+//! The DISCO/SAC-style geometric counter scale that CASE inherits.
+//!
+//! A `b`-bit counter stores a compressed value `c ∈ 0..=c_max`
+//! representing the real count
+//!
+//! ```text
+//! d(c) = ((1 + a)^c − 1) / a
+//! ```
+//!
+//! (the classic Morris/SAC/DISCO "stretchable" scale: geometric spacing
+//! with growth factor `1 + a`). One unit of traffic bumps the counter
+//! from `c` to `c + 1` with probability `1 / (d(c+1) − d(c))`, which
+//! makes `d(c)` an unbiased estimator of the units applied — at the
+//! cost of the power operations the CAESAR paper criticizes (§2.3) and
+//! of rapidly growing quantization noise.
+
+use rand::Rng;
+
+/// A calibrated geometric counter scale.
+///
+/// `decompress(c) = gain · ((1+a)^c − 1)/a`. The `gain` prefactor is 1
+/// except in the degenerate one-step case (`c_max = 1`), where the
+/// geometric family pins `d(1) = 1` and only a gain can stretch the
+/// single step across the value range — the regime an
+/// under-provisioned CASE lands in (Fig. 5).
+#[derive(Debug, Clone, Copy)]
+pub struct DiscoScale {
+    a: f64,
+    gain: f64,
+    c_max: u64,
+}
+
+impl DiscoScale {
+    /// Build a scale with explicit growth parameter `a > 0` and counter
+    /// ceiling `c_max ≥ 1`.
+    pub fn new(a: f64, c_max: u64) -> Self {
+        assert!(a > 0.0, "growth parameter must be positive");
+        assert!(c_max >= 1, "counter must have at least one step");
+        Self { a, gain: 1.0, c_max }
+    }
+
+    /// Calibrate `a` so a `bits`-wide counter (`c_max = 2^bits − 1`)
+    /// spans `max_value`: solve `d(c_max) = max_value` by bisection
+    /// (the mapping is monotone in `a`).
+    ///
+    /// # Panics
+    /// Panics if `max_value ≤ c_max` would need no compression at all
+    /// (use a unit scale instead) — except that for tiny counters we
+    /// still build the scale, since CASE under-provisioned is exactly
+    /// the regime Fig. 5 studies.
+    pub fn for_bits(bits: u32, max_value: f64) -> Self {
+        assert!((1..=63).contains(&bits), "bits must be in 1..=63");
+        assert!(max_value >= 1.0, "max_value must be at least 1");
+        let c_max = (1u64 << bits) - 1;
+        if max_value <= c_max as f64 {
+            // No compression needed: degenerate near-linear scale.
+            return Self::new(1e-9, c_max);
+        }
+        if c_max == 1 {
+            // One step: only the gain can span the range.
+            return Self { a: 1.0, gain: max_value, c_max };
+        }
+        let target = max_value;
+        let d_max = |a: f64| ((1.0 + a).powf(c_max as f64) - 1.0) / a;
+        let (mut lo, mut hi) = (1e-12f64, 1.0f64);
+        // Grow `hi` until the scale covers the target.
+        while d_max(hi) < target {
+            hi *= 2.0;
+            assert!(hi < 1e12, "cannot calibrate scale to {target}");
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if d_max(mid) < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Self::new(0.5 * (lo + hi), c_max)
+    }
+
+    /// The growth parameter `a`.
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+
+    /// Largest storable compressed value.
+    pub fn c_max(&self) -> u64 {
+        self.c_max
+    }
+
+    /// Decompression `d(c)`: the real count represented by `c`.
+    pub fn decompress(&self, c: u64) -> f64 {
+        let c = c.min(self.c_max);
+        if self.a < 1e-8 {
+            // Near-linear regime: d(c) → c as a → 0.
+            return self.gain * c as f64;
+        }
+        self.gain * (libm::pow(1.0 + self.a, c as f64) - 1.0) / self.a
+    }
+
+    /// Probability that one unit bumps the counter from `c` to `c + 1`.
+    /// Zero once the counter is saturated.
+    pub fn increment_probability(&self, c: u64) -> f64 {
+        if c >= self.c_max {
+            return 0.0;
+        }
+        let gap = self.decompress(c + 1) - self.decompress(c);
+        (1.0 / gap).min(1.0)
+    }
+
+    /// Apply `units` of traffic to compressed value `c`, returning the
+    /// new compressed value. Each unit performs one probabilistic
+    /// increment trial (the SAC-style unit-at-a-time update).
+    pub fn apply<R: Rng + ?Sized>(&self, mut c: u64, units: u64, rng: &mut R) -> u64 {
+        for _ in 0..units {
+            if c >= self.c_max {
+                break;
+            }
+            if rng.gen::<f64>() < self.increment_probability(c) {
+                c += 1;
+            }
+        }
+        c
+    }
+
+    /// Compression `d⁻¹(t)`: the largest compressed value whose
+    /// decompression does not exceed `t`.
+    pub fn compress_floor(&self, t: f64) -> u64 {
+        if t <= 0.0 {
+            return 0;
+        }
+        let c = if self.a < 1e-8 {
+            (t / self.gain).floor()
+        } else {
+            // d(c) = g((1+a)^c − 1)/a  ⇒  c = ln(1 + a·t/g)/ln(1+a)
+            libm::log(1.0 + self.a * t / self.gain) / libm::log(1.0 + self.a)
+        };
+        let mut c = (c.floor().max(0.0) as u64).min(self.c_max);
+        // Repair float rounding at bucket boundaries so the floor
+        // property d(c) ≤ t < d(c+1) holds exactly.
+        while c > 0 && self.decompress(c) > t {
+            c -= 1;
+        }
+        while c < self.c_max && self.decompress(c + 1) <= t {
+            c += 1;
+        }
+        c
+    }
+
+    /// Bulk update, the CASE-style closed form: compute `d(c) + units`,
+    /// compress it back with probabilistic rounding so the update stays
+    /// unbiased, all in O(1) — two power/log operations on hardware
+    /// (one `log` to compress, one `pow` to decompress the boundary).
+    pub fn apply_bulk<R: Rng + ?Sized>(&self, c: u64, units: u64, rng: &mut R) -> u64 {
+        if c >= self.c_max || units == 0 {
+            return c.min(self.c_max);
+        }
+        let target = self.decompress(c) + units as f64;
+        let lo = self.compress_floor(target);
+        if lo >= self.c_max {
+            return self.c_max;
+        }
+        let d_lo = self.decompress(lo);
+        let gap = self.decompress(lo + 1) - d_lo;
+        let p = ((target - d_lo) / gap).clamp(0.0, 1.0);
+        if rng.gen::<f64>() < p {
+            lo + 1
+        } else {
+            lo
+        }
+    }
+
+    /// Power/log operations one bulk update costs on real hardware.
+    pub const BULK_POW_OPS: u64 = 2;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn decompress_is_monotone_and_anchored() {
+        let s = DiscoScale::for_bits(8, 100_000.0);
+        assert_eq!(s.decompress(0), 0.0);
+        for c in 0..255 {
+            assert!(s.decompress(c + 1) > s.decompress(c));
+        }
+        // Calibration: the top of the scale reaches max_value.
+        assert!((s.decompress(255) - 100_000.0).abs() / 100_000.0 < 1e-6);
+    }
+
+    #[test]
+    fn near_linear_when_bits_suffice() {
+        let s = DiscoScale::for_bits(20, 1000.0);
+        // 2^20 − 1 ≫ 1000: no compression, d(c) ≈ c.
+        assert!((s.decompress(500) - 500.0).abs() < 1.0);
+        assert!((s.increment_probability(500) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unbiased_compression() {
+        // E[d(c after N units)] ≈ N.
+        let s = DiscoScale::for_bits(8, 50_000.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n_units = 5_000u64;
+        let trials = 400;
+        let mean: f64 = (0..trials)
+            .map(|_| s.decompress(s.apply(0, n_units, &mut rng)))
+            .sum::<f64>()
+            / trials as f64;
+        let rel = (mean - n_units as f64).abs() / n_units as f64;
+        assert!(rel < 0.05, "mean = {mean}");
+    }
+
+    #[test]
+    fn one_bit_counter_is_all_or_nothing() {
+        // The Fig. 5 regime: c_max = 1 means d(1) = max_value; almost
+        // every mouse flow stays at 0.
+        let s = DiscoScale::for_bits(1, 100_000.0);
+        assert_eq!(s.c_max(), 1);
+        assert!((s.decompress(1) - 100_000.0).abs() / 1e5 < 1e-6);
+        let p = s.increment_probability(0);
+        assert!(p < 2e-5, "p = {p}");
+    }
+
+    #[test]
+    fn saturated_counter_stops() {
+        let s = DiscoScale::for_bits(2, 100.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let c = s.apply(3, 10_000, &mut rng);
+        assert_eq!(c, 3);
+        assert_eq!(s.increment_probability(3), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be")]
+    fn zero_bits_rejected() {
+        DiscoScale::for_bits(0, 10.0);
+    }
+
+    #[test]
+    fn compress_floor_inverts_decompress() {
+        let s = DiscoScale::for_bits(8, 100_000.0);
+        for c in 0..=255u64 {
+            assert_eq!(s.compress_floor(s.decompress(c)), c, "at c = {c}");
+        }
+        assert_eq!(s.compress_floor(-1.0), 0);
+        assert_eq!(s.compress_floor(1e12), 255);
+    }
+
+    #[test]
+    fn bulk_update_is_unbiased() {
+        let s = DiscoScale::for_bits(8, 50_000.0);
+        let mut rng = StdRng::seed_from_u64(17);
+        let n_units = 5_000u64;
+        let trials = 400;
+        let mean: f64 = (0..trials)
+            .map(|_| s.decompress(s.apply_bulk(0, n_units, &mut rng)))
+            .sum::<f64>()
+            / trials as f64;
+        let rel = (mean - n_units as f64).abs() / n_units as f64;
+        assert!(rel < 0.05, "mean = {mean}");
+    }
+
+    #[test]
+    fn bulk_matches_unit_updates_in_expectation() {
+        // Apply 40 units in one bulk step vs 40 unit trials: both must
+        // average to ≈ 40 decompressed.
+        let s = DiscoScale::for_bits(6, 10_000.0);
+        let mut rng = StdRng::seed_from_u64(23);
+        let trials = 3000;
+        let bulk: f64 = (0..trials)
+            .map(|_| s.decompress(s.apply_bulk(0, 40, &mut rng)))
+            .sum::<f64>()
+            / trials as f64;
+        let unit: f64 = (0..trials)
+            .map(|_| s.decompress(s.apply(0, 40, &mut rng)))
+            .sum::<f64>()
+            / trials as f64;
+        assert!((bulk - 40.0).abs() < 4.0, "bulk mean = {bulk}");
+        assert!((unit - 40.0).abs() < 4.0, "unit mean = {unit}");
+    }
+
+    #[test]
+    fn bulk_saturates() {
+        let s = DiscoScale::for_bits(2, 100.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(s.apply_bulk(3, 1000, &mut rng), 3);
+        assert_eq!(s.apply_bulk(0, 1_000_000, &mut rng), 3);
+    }
+}

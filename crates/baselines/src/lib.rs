@@ -1,0 +1,60 @@
+//! # baselines — the schemes CAESAR is evaluated against
+//!
+//! Both comparison schemes of the paper's §6, implemented from scratch:
+//!
+//! * [`rcs`] — **Randomized Counter Sharing** (Li, Chen, Ling,
+//!   INFOCOM'11): cache-free; every packet increments one uniformly
+//!   random counter among the flow's `k` mapped counters, so every
+//!   packet costs one off-chip SRAM access. Under line-rate arrivals
+//!   the ingress queue drops packets (Fig. 7); under the paper's
+//!   "lossless assumption" it is the accuracy reference (Fig. 6).
+//!   Estimators: CSM (counter sum minus noise) and the slow
+//!   search-based MLE the paper mentions.
+//! * [`case`] — **Cache-Assisted Stretchable Estimator** (Li et al.,
+//!   INFOCOM'16): same cache front-end as CAESAR but a one-to-one
+//!   flow→counter mapping with [`disco`]-style stretchable compression
+//!   (probabilistic, power-operation-based increments). One-to-one
+//!   mapping means `L ≥ Q` counters, so an equal memory budget buys
+//!   only 1–2 bits per counter and the estimates collapse (Fig. 5).
+//! * [`disco`] — the DISCO/SAC-style geometric counter scale CASE
+//!   inherits: a `b`-bit counter value `c` represents
+//!   `d(c) = ((1+a)^c − 1)/a` and is bumped with probability
+//!   `1/(d(c+1) − d(c))` per unit, which keeps `E[d(c)]` equal to the
+//!   true count.
+//! * [`sampling`] — the NetFlow-style packet sampler of §2.2: sample
+//!   with probability `p`, estimate `c/p`; included so the paper's
+//!   "filtered mice" criticism of samplers can be quantified.
+//! * [`braids`] — Counter Braids (§2.1): two braided counter layers
+//!   decoded offline by min-sum message passing.
+//! * [`sac`] — Small Active Counters (§2.1): the mantissa/exponent
+//!   single-counter compressor the stretchable family started from.
+//! * [`anls`] — Adaptive Non-Linear Sampling (§2.1): geometric-decay
+//!   probabilistic counting with one power evaluation per arrival.
+//! * [`cedar`] — CEDAR (§2.1): the shared estimator ladder with a
+//!   uniform target relative error across the range.
+//! * [`vhc`] — Virtual HyperLogLog Counter (§2.1): per-flow virtual
+//!   HLL counters over a shared 5-bit register pool, one register
+//!   write per packet.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anls;
+pub mod braids;
+pub mod case;
+pub mod cedar;
+pub mod disco;
+pub mod rcs;
+pub mod sac;
+pub mod sampling;
+pub mod vhc;
+
+pub use anls::AnlsCounter;
+pub use braids::{BraidsConfig, CounterBraids};
+pub use cedar::CedarScale;
+pub use case::{Case, CaseConfig};
+pub use disco::DiscoScale;
+pub use rcs::{LossModel, Rcs, RcsConfig};
+pub use sac::SacCounter;
+pub use sampling::{SampledCounter, SamplingConfig};
+pub use vhc::{Vhc, VhcConfig};

@@ -1,0 +1,351 @@
+//! Randomized Counter Sharing (RCS).
+//!
+//! Li, Chen and Ling, "Fast and compact per-flow traffic measurement
+//! through randomized counter sharing", INFOCOM 2011 — the scheme
+//! CAESAR generalizes (CAESAR with `y = 1` degenerates to RCS, §6.3.3).
+//!
+//! Construction: each flow owns a *storage vector* of `k` distinct
+//! counters out of `L` (same [`hashkit::KCounterMap`] as CAESAR); every
+//! packet increments **one uniformly random** counter of its flow's
+//! vector. No cache: every packet is an off-chip SRAM read-modify-write,
+//! which is why the real system drops packets at line rate.
+//!
+//! Query: CSM sums the vector and subtracts the expected noise
+//! `k·n/L`; MLE maximizes the Gaussian-approximated likelihood by
+//! ternary search (the "extremely slow" binary-search estimator the
+//! CAESAR paper declines to plot in Fig. 6).
+
+use hashkit::KCounterMap;
+use memsim::{IngressQueue, QueueReport, QueueState};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// How packets are lost on their way into RCS.
+#[derive(Debug, Clone, Copy)]
+pub enum LossModel {
+    /// The paper's "lossless assumption" (Fig. 6): off-chip SRAM keeps
+    /// up with the line, nothing is dropped.
+    Lossless,
+    /// Drop each packet independently with this probability — the
+    /// paper's empirical rates are 2/3 and 9/10 (Fig. 7).
+    Uniform(f64),
+    /// Drop according to a deterministic D/D/1/B ingress queue whose
+    /// service time is the SRAM access; loss 2/3 and 9/10 emerge from
+    /// SRAM 3× / 10× slower than arrivals.
+    Queue(IngressQueue),
+}
+
+/// RCS configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RcsConfig {
+    /// Total SRAM counters `L` (the RCS paper's `m`).
+    pub counters: usize,
+    /// Storage-vector length per flow (the RCS paper's `l`; CAESAR's `k`).
+    pub k: usize,
+    /// Loss behaviour.
+    pub loss: LossModel,
+    /// RNG seed (counter choice per packet + uniform loss).
+    pub seed: u64,
+}
+
+impl Default for RcsConfig {
+    fn default() -> Self {
+        Self {
+            counters: 23_438,
+            k: 3,
+            loss: LossModel::Lossless,
+            seed: 0x5C5_5EED,
+        }
+    }
+}
+
+/// Statistics of an RCS run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RcsStats {
+    /// Packets offered to the scheme.
+    pub offered: u64,
+    /// Packets actually recorded (survived loss).
+    pub recorded: u64,
+    /// Packets lost before recording.
+    pub lost: u64,
+    /// Off-chip SRAM accesses (one per recorded packet).
+    pub sram_accesses: u64,
+}
+
+impl RcsStats {
+    /// Realized loss rate.
+    pub fn loss_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.lost as f64 / self.offered as f64
+        }
+    }
+}
+
+/// The RCS sketch.
+///
+/// ```
+/// use baselines::{LossModel, Rcs, RcsConfig};
+/// let mut rcs = Rcs::new(RcsConfig {
+///     counters: 1024,
+///     k: 3,
+///     loss: LossModel::Lossless,
+///     seed: 1,
+/// });
+/// for _ in 0..900 {
+///     rcs.record(42);
+/// }
+/// let est = rcs.estimate_csm(42);
+/// assert!((est - 900.0).abs() < 20.0);
+/// ```
+#[derive(Debug)]
+pub struct Rcs {
+    cfg: RcsConfig,
+    counters: Vec<u64>,
+    kmap: KCounterMap,
+    rng: StdRng,
+    idx_buf: Vec<usize>,
+    queue: Option<QueueState>,
+    stats: RcsStats,
+}
+
+impl Rcs {
+    /// Build an empty sketch.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, `k > counters`, or a uniform loss rate is
+    /// outside `[0, 1)`.
+    pub fn new(cfg: RcsConfig) -> Self {
+        if let LossModel::Uniform(p) = cfg.loss {
+            assert!((0.0..1.0).contains(&p), "loss rate must be in [0,1), got {p}");
+        }
+        let queue = match cfg.loss {
+            LossModel::Queue(q) => Some(q.start()),
+            _ => None,
+        };
+        Self {
+            counters: vec![0; cfg.counters],
+            kmap: KCounterMap::new(cfg.k, cfg.counters, cfg.seed ^ 0x5C5_0001),
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0x7C5),
+            idx_buf: Vec::with_capacity(cfg.k),
+            queue,
+            stats: RcsStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RcsConfig {
+        &self.cfg
+    }
+
+    /// Offer one packet of `flow`. Returns `true` if it was recorded.
+    pub fn record(&mut self, flow: u64) -> bool {
+        self.stats.offered += 1;
+        let accepted = match self.cfg.loss {
+            LossModel::Lossless => true,
+            LossModel::Uniform(p) => self.rng.gen::<f64>() >= p,
+            LossModel::Queue(_) => self
+                .queue
+                .as_mut()
+                .expect("queue state present for Queue loss model")
+                .offer(),
+        };
+        if !accepted {
+            self.stats.lost += 1;
+            return false;
+        }
+        self.kmap.indices_into(flow, &mut self.idx_buf);
+        let r = self.rng.gen_range(0..self.idx_buf.len());
+        self.counters[self.idx_buf[r]] += 1;
+        self.stats.recorded += 1;
+        self.stats.sram_accesses += 1;
+        true
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> RcsStats {
+        self.stats
+    }
+
+    /// The queue report when the queue loss model is active.
+    pub fn queue_report(&self) -> Option<QueueReport> {
+        self.queue.as_ref().map(|q| q.report())
+    }
+
+    /// Raw values of `flow`'s storage vector.
+    pub fn counters_of(&self, flow: u64) -> Vec<u64> {
+        self.kmap
+            .indices(flow)
+            .into_iter()
+            .map(|i| self.counters[i])
+            .collect()
+    }
+
+    /// Expected noise per counter `n/L` (recorded packets only — lost
+    /// packets never reached the counters).
+    pub fn noise_per_counter(&self) -> f64 {
+        self.stats.recorded as f64 / self.cfg.counters as f64
+    }
+
+    /// CSM estimate: `x̂ = Σ v_i − k·n/L` (RCS paper Eq. CSM).
+    pub fn estimate_csm(&self, flow: u64) -> f64 {
+        let sum: u64 = self.counters_of(flow).iter().sum();
+        sum as f64 - self.cfg.k as f64 * self.noise_per_counter()
+    }
+
+    /// CSM estimate clamped to physically possible sizes.
+    pub fn query(&self, flow: u64) -> f64 {
+        self.estimate_csm(flow).max(0.0)
+    }
+
+    /// Search-based MLE. Models each storage-vector counter as
+    /// `N(x/k + n/L, x·(1/k)(1−1/k) + n/L)` and ternary-searches the
+    /// log-likelihood over `x ∈ [0, k·max(v_i)]`. Accurate but orders
+    /// of magnitude slower than CSM — the paper calls the equivalent
+    /// binary search "extremely slow".
+    pub fn estimate_mle(&self, flow: u64) -> f64 {
+        let w = self.counters_of(flow);
+        let k = self.cfg.k as f64;
+        let noise_mean = self.noise_per_counter();
+        // Noise in a counter is approximately Poisson(n/L): variance
+        // equals its mean.
+        let noise_var = noise_mean.max(1e-9);
+        let ll = |x: f64| -> f64 {
+            let mu = x / k + noise_mean;
+            let var = (x * (1.0 / k) * (1.0 - 1.0 / k) + noise_var).max(1e-9);
+            w.iter()
+                .map(|&wi| {
+                    let d = wi as f64 - mu;
+                    -0.5 * (2.0 * std::f64::consts::PI * var).ln() - d * d / (2.0 * var)
+                })
+                .sum()
+        };
+        let mut lo = 0.0f64;
+        let mut hi = k * w.iter().copied().max().unwrap_or(0) as f64 + 1.0;
+        // Ternary search on the (unimodal in practice) likelihood.
+        for _ in 0..200 {
+            let m1 = lo + (hi - lo) / 3.0;
+            let m2 = hi - (hi - lo) / 3.0;
+            if ll(m1) < ll(m2) {
+                lo = m1;
+            } else {
+                hi = m2;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lossless(counters: usize, k: usize) -> Rcs {
+        Rcs::new(RcsConfig {
+            counters,
+            k,
+            loss: LossModel::Lossless,
+            seed: 42,
+        })
+    }
+
+    #[test]
+    fn single_flow_recovery() {
+        let mut r = lossless(1024, 3);
+        for _ in 0..900 {
+            r.record(5);
+        }
+        let est = r.estimate_csm(5);
+        assert!((est - 900.0).abs() < 10.0, "est = {est}");
+    }
+
+    #[test]
+    fn counters_conserve_recorded_packets() {
+        let mut r = lossless(128, 3);
+        for i in 0..5000u64 {
+            r.record(i % 17);
+        }
+        let total: u64 = r.counters.iter().sum();
+        assert_eq!(total, 5000);
+        assert_eq!(r.stats().recorded, 5000);
+    }
+
+    #[test]
+    fn uniform_loss_drops_expected_fraction() {
+        let mut r = Rcs::new(RcsConfig {
+            counters: 1024,
+            k: 3,
+            loss: LossModel::Uniform(2.0 / 3.0),
+            seed: 7,
+        });
+        for _ in 0..60_000 {
+            r.record(1);
+        }
+        let rate = r.stats().loss_rate();
+        assert!((rate - 2.0 / 3.0).abs() < 0.01, "loss = {rate}");
+        // Raw CSM sees only the surviving third.
+        let est = r.estimate_csm(1);
+        assert!((est - 20_000.0).abs() < 1_500.0, "est = {est}");
+    }
+
+    #[test]
+    fn queue_loss_emerges_from_latency_ratio() {
+        let q = IngressQueue { arrival_ns: 1.0, service_ns: 10.0, capacity: 64 };
+        let mut r = Rcs::new(RcsConfig {
+            counters: 1024,
+            k: 3,
+            loss: LossModel::Queue(q),
+            seed: 7,
+        });
+        for _ in 0..200_000 {
+            r.record(1);
+        }
+        let rate = r.stats().loss_rate();
+        assert!((rate - 0.9).abs() < 0.01, "loss = {rate}");
+    }
+
+    #[test]
+    fn mle_close_to_csm_on_clean_data() {
+        let mut r = lossless(2048, 3);
+        for _ in 0..1200 {
+            r.record(9);
+        }
+        for i in 0..2000u64 {
+            r.record(100 + (i % 60));
+        }
+        let csm = r.estimate_csm(9);
+        let mle = r.estimate_mle(9);
+        assert!(
+            (csm - mle).abs() < 0.15 * csm.abs().max(10.0),
+            "csm {csm} vs mle {mle}"
+        );
+    }
+
+    #[test]
+    fn unseen_flow_near_zero() {
+        let mut r = lossless(4096, 3);
+        for i in 0..3000u64 {
+            r.record(i % 30);
+        }
+        assert!(r.query(0xDEAD) < 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss rate")]
+    fn bad_loss_rate_rejected() {
+        Rcs::new(RcsConfig {
+            loss: LossModel::Uniform(1.5),
+            ..RcsConfig::default()
+        });
+    }
+
+    #[test]
+    fn per_packet_cost_is_one_sram_access() {
+        let mut r = lossless(64, 4);
+        for i in 0..1000u64 {
+            r.record(i % 5);
+        }
+        assert_eq!(r.stats().sram_accesses, 1000);
+    }
+}

@@ -1,0 +1,190 @@
+//! SAC — Small Active Counters (Stanojević, INFOCOM 2007).
+//!
+//! First of the single-counter compression schemes §2.1 surveys
+//! (SAC → ANLS → DISCO → CEDAR → ICE-Buckets all share the idea). A
+//! `q`-bit counter is split into an `A`-part (mantissa, `q−l` bits) and
+//! a `mode` part (exponent, `l` bits); the counter represents
+//! `A · 2^(r·mode)`. An arriving unit increments `A` with probability
+//! `2^(−r·mode)`; when `A` overflows, the counter renormalizes by
+//! halving `A` `r` times and bumping `mode`. Unbiased, constant-space,
+//! and — like every member of the family — paying for range with
+//! rapidly growing variance and per-update randomness.
+
+use rand::Rng;
+
+/// A small active counter.
+///
+/// ```
+/// use baselines::SacCounter;
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let mut c = SacCounter::new(8, 4, 1); // 12 bits total
+/// let mut rng = StdRng::seed_from_u64(1);
+/// c.add(100, &mut rng);
+/// assert_eq!(c.estimate(), 100.0); // exact while in mode 0
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SacCounter {
+    /// Mantissa value `A`.
+    a: u64,
+    /// Exponent value `mode`.
+    mode: u32,
+    /// Mantissa width in bits.
+    a_bits: u32,
+    /// Exponent width in bits.
+    mode_bits: u32,
+    /// Renormalization stride `r` (each mode step scales by `2^r`).
+    r: u32,
+}
+
+impl SacCounter {
+    /// A zeroed counter with the given geometry.
+    ///
+    /// # Panics
+    /// Panics on zero widths, a stride of 0, or widths above 32 bits.
+    pub fn new(a_bits: u32, mode_bits: u32, r: u32) -> Self {
+        assert!((1..=32).contains(&a_bits), "mantissa width must be 1..=32");
+        assert!((1..=16).contains(&mode_bits), "exponent width must be 1..=16");
+        assert!(r >= 1, "stride must be at least 1");
+        Self { a: 0, mode: 0, a_bits, mode_bits, r }
+    }
+
+    /// Storage width in bits.
+    pub fn bits(&self) -> u32 {
+        self.a_bits + self.mode_bits
+    }
+
+    /// Largest mantissa value.
+    fn a_max(&self) -> u64 {
+        (1u64 << self.a_bits) - 1
+    }
+
+    /// Largest exponent value.
+    fn mode_max(&self) -> u32 {
+        (1u32 << self.mode_bits) - 1
+    }
+
+    /// Largest representable estimate.
+    pub fn max_value(&self) -> f64 {
+        self.a_max() as f64 * 2f64.powi((self.r * self.mode_max()) as i32)
+    }
+
+    /// The current scale `2^(r·mode)`.
+    fn scale(&self) -> f64 {
+        2f64.powi((self.r * self.mode) as i32)
+    }
+
+    /// Unbiased estimate of the units applied so far.
+    pub fn estimate(&self) -> f64 {
+        self.a as f64 * self.scale()
+    }
+
+    /// Apply one unit: increments `A` with probability `2^(−r·mode)`.
+    pub fn increment<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        if self.mode > 0 && rng.gen::<f64>() >= 1.0 / self.scale() {
+            return;
+        }
+        self.a += 1;
+        if self.a > self.a_max() {
+            if self.mode >= self.mode_max() {
+                // Saturated: clamp (the scheme's documented limit).
+                self.a = self.a_max();
+                return;
+            }
+            // Renormalize: A /= 2^r, mode += 1.
+            self.a >>= self.r;
+            self.mode += 1;
+        }
+    }
+
+    /// Apply `units` of traffic.
+    pub fn add<R: Rng + ?Sized>(&mut self, units: u64, rng: &mut R) {
+        for _ in 0..units {
+            self.increment(rng);
+        }
+    }
+
+    /// True when the counter can no longer grow.
+    pub fn is_saturated(&self) -> bool {
+        self.mode == self.mode_max() && self.a == self.a_max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn exact_while_in_mode_zero() {
+        let mut c = SacCounter::new(8, 4, 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            c.increment(&mut rng);
+        }
+        assert_eq!(c.estimate(), 200.0);
+    }
+
+    #[test]
+    fn unbiased_past_renormalization() {
+        // 12-bit counters (8 mantissa + 4 mode) counting 50k units.
+        let trials = 300;
+        let n = 50_000u64;
+        let mut rng = StdRng::seed_from_u64(7);
+        let mean: f64 = (0..trials)
+            .map(|_| {
+                let mut c = SacCounter::new(8, 4, 1);
+                c.add(n, &mut rng);
+                c.estimate()
+            })
+            .sum::<f64>()
+            / trials as f64;
+        let rel = (mean - n as f64).abs() / n as f64;
+        assert!(rel < 0.05, "mean = {mean}");
+    }
+
+    #[test]
+    fn stride_two_covers_more_range() {
+        let narrow = SacCounter::new(8, 4, 1);
+        let wide = SacCounter::new(8, 4, 2);
+        assert!(wide.max_value() > narrow.max_value());
+        assert_eq!(narrow.bits(), wide.bits());
+    }
+
+    #[test]
+    fn saturates_at_max() {
+        let mut c = SacCounter::new(2, 2, 1); // tiny: max 3·2³ = 24
+        let mut rng = StdRng::seed_from_u64(3);
+        c.add(100_000, &mut rng);
+        assert!(c.is_saturated());
+        assert_eq!(c.estimate(), c.max_value());
+    }
+
+    #[test]
+    fn variance_grows_with_mode() {
+        // The family's cost: deep-mode counters are noisy. Check the
+        // coefficient of variation grows between 1k and 100k units.
+        let mut rng = StdRng::seed_from_u64(9);
+        let cv = |n: u64, rng: &mut StdRng| {
+            let trials = 200;
+            let vals: Vec<f64> = (0..trials)
+                .map(|_| {
+                    let mut c = SacCounter::new(6, 4, 1);
+                    c.add(n, rng);
+                    c.estimate()
+                })
+                .collect();
+            let mean = vals.iter().sum::<f64>() / trials as f64;
+            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / trials as f64;
+            var.sqrt() / mean
+        };
+        let small = cv(1_000, &mut rng);
+        let large = cv(100_000, &mut rng);
+        assert!(large > small, "cv {small} -> {large}");
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn zero_stride_rejected() {
+        SacCounter::new(8, 4, 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Packet-sampling baseline (§2.2).
+//!
+//! The paper's related work covers the NetFlow-style samplers it aims
+//! to displace: sample each packet independently with probability `p`,
+//! keep an exact table of sampled flows, and estimate `x̂ = c/p`. The
+//! two structural weaknesses the paper cites — small flows are filtered
+//! out entirely and the sampled-flow table still needs per-flow state —
+//! both fall out of this implementation and are quantified by the
+//! `ext_sampling` experiment.
+
+use hashkit::IdHashMap;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Sampling configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SamplingConfig {
+    /// Per-packet sampling probability `p ∈ (0, 1]`.
+    pub rate: f64,
+    /// Optional cap on the sampled-flow table (0 = unbounded). When
+    /// the table is full, packets of new flows are dropped — the
+    /// memory-bounded regime a line card actually runs in.
+    pub max_entries: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        Self {
+            rate: 0.01,
+            max_entries: 0,
+            seed: 0x5A5A,
+        }
+    }
+}
+
+/// Statistics of a sampling run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SamplingStats {
+    /// Packets offered.
+    pub offered: u64,
+    /// Packets sampled into the table.
+    pub sampled: u64,
+    /// Sampled packets dropped because the table was full.
+    pub table_overflow: u64,
+}
+
+/// NetFlow-style sampled per-flow counter.
+#[derive(Debug)]
+pub struct SampledCounter {
+    cfg: SamplingConfig,
+    counts: IdHashMap<u64>,
+    rng: StdRng,
+    stats: SamplingStats,
+}
+
+impl SampledCounter {
+    /// Build an empty sampler.
+    ///
+    /// # Panics
+    /// Panics unless `0 < rate <= 1`.
+    pub fn new(cfg: SamplingConfig) -> Self {
+        assert!(
+            cfg.rate > 0.0 && cfg.rate <= 1.0,
+            "sampling rate must be in (0,1], got {}",
+            cfg.rate
+        );
+        Self {
+            counts: IdHashMap::default(),
+            rng: StdRng::seed_from_u64(cfg.seed),
+            stats: SamplingStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SamplingConfig {
+        &self.cfg
+    }
+
+    /// Offer one packet of `flow`; returns `true` if it was sampled.
+    pub fn record(&mut self, flow: u64) -> bool {
+        self.stats.offered += 1;
+        if self.cfg.rate < 1.0 && self.rng.gen::<f64>() >= self.cfg.rate {
+            return false;
+        }
+        if self.cfg.max_entries > 0
+            && self.counts.len() >= self.cfg.max_entries
+            && !self.counts.contains_key(&flow)
+        {
+            self.stats.table_overflow += 1;
+            return false;
+        }
+        *self.counts.entry(flow).or_insert(0) += 1;
+        self.stats.sampled += 1;
+        true
+    }
+
+    /// Estimated flow size `x̂ = c/p` (0 for unsampled flows — the
+    /// "filtered mice" failure mode).
+    pub fn query(&self, flow: u64) -> f64 {
+        self.counts.get(&flow).copied().unwrap_or(0) as f64 / self.cfg.rate
+    }
+
+    /// Model standard deviation of the estimate at true size `x`:
+    /// `sqrt(x(1−p)/p)` (binomial thinning).
+    pub fn std_dev(&self, x: f64) -> f64 {
+        (x * (1.0 - self.cfg.rate) / self.cfg.rate).max(0.0).sqrt()
+    }
+
+    /// Probability a flow of size `x` is missed entirely: `(1−p)^x`.
+    pub fn miss_probability(&self, x: u64) -> f64 {
+        (1.0 - self.cfg.rate).powi(x.min(i32::MAX as u64) as i32)
+    }
+
+    /// Number of flows in the table.
+    pub fn table_entries(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Table memory in bytes (8-byte flow ID + 4-byte count per entry,
+    /// the usual NetFlow record lower bound).
+    pub fn memory_bytes(&self) -> usize {
+        self.counts.len() * 12
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> SamplingStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_rate_is_exact() {
+        let mut s = SampledCounter::new(SamplingConfig { rate: 1.0, ..Default::default() });
+        for _ in 0..250 {
+            s.record(1);
+        }
+        assert_eq!(s.query(1), 250.0);
+        assert_eq!(s.query(2), 0.0);
+    }
+
+    #[test]
+    fn estimates_are_unbiased_for_elephants() {
+        let mut s = SampledCounter::new(SamplingConfig { rate: 0.05, seed: 3, ..Default::default() });
+        let x = 100_000u64;
+        for _ in 0..x {
+            s.record(9);
+        }
+        let est = s.query(9);
+        let tol = 4.0 * s.std_dev(x as f64);
+        assert!((est - x as f64).abs() < tol, "est = {est} (tol {tol})");
+    }
+
+    #[test]
+    fn mice_are_filtered() {
+        let mut s = SampledCounter::new(SamplingConfig { rate: 0.01, seed: 7, ..Default::default() });
+        // 1000 flows of one packet each: at p = 1%, ≈ 990 vanish.
+        for f in 0..1000u64 {
+            s.record(f);
+        }
+        let missed = (0..1000u64).filter(|&f| s.query(f) == 0.0).count();
+        assert!(missed > 950, "only {missed} mice filtered");
+        assert!((s.miss_probability(1) - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_rate_realized() {
+        let mut s = SampledCounter::new(SamplingConfig { rate: 0.2, seed: 1, ..Default::default() });
+        for i in 0..100_000u64 {
+            s.record(i % 50);
+        }
+        let realized = s.stats().sampled as f64 / s.stats().offered as f64;
+        assert!((realized - 0.2).abs() < 0.01, "realized rate {realized}");
+    }
+
+    #[test]
+    fn bounded_table_drops_new_flows() {
+        let mut s = SampledCounter::new(SamplingConfig {
+            rate: 1.0,
+            max_entries: 10,
+            ..Default::default()
+        });
+        for f in 0..100u64 {
+            s.record(f);
+        }
+        assert_eq!(s.table_entries(), 10);
+        assert_eq!(s.stats().table_overflow, 90);
+        assert_eq!(s.memory_bytes(), 120);
+        // Existing flows keep counting even when the table is full.
+        assert!(s.record(5));
+        assert_eq!(s.query(5), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling rate")]
+    fn zero_rate_rejected() {
+        SampledCounter::new(SamplingConfig { rate: 0.0, ..Default::default() });
+    }
+}

@@ -1,0 +1,271 @@
+//! VHC — Virtual HyperLogLog Counter (Zhou et al., GLOBECOM 2017;
+//! §2.1 ref \[41\]).
+//!
+//! The most compact member of the counter-sharing family the paper
+//! surveys: a pool of `m` tiny (5-bit) HyperLogLog registers is shared
+//! by all flows; each flow owns a *virtual* counter of `s` registers
+//! drawn from the pool by hashing. A packet picks one of its flow's
+//! virtual registers uniformly, draws a random 64-bit value, and
+//! max-updates the register with the value's geometric rank — exactly
+//! one register write per packet ("slightly more than 1 memory access
+//! per packet", §2.1).
+//!
+//! Estimation mirrors CAESAR's de-noising at the cardinality level:
+//! the flow's raw HLL estimate counts its own packets plus the pool's
+//! background, so
+//!
+//! ```text
+//! n̂_f = m·s/(m−s) · ( Ê_s/s − Ê_m/m )
+//! ```
+//!
+//! where `Ê_s` is the HLL estimate over the virtual registers and
+//! `Ê_m` over the whole pool.
+
+use hashkit::mix::bucket;
+use hashkit::MixFamily;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// VHC configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct VhcConfig {
+    /// Physical registers in the shared pool (`m`).
+    pub registers: usize,
+    /// Virtual registers per flow (`s`), a power of two ≥ 16.
+    pub virtual_registers: usize,
+    /// Seed for register selection and packet randomness.
+    pub seed: u64,
+}
+
+impl Default for VhcConfig {
+    fn default() -> Self {
+        Self {
+            registers: 1 << 16,
+            virtual_registers: 256,
+            seed: 0x7AC,
+        }
+    }
+}
+
+impl VhcConfig {
+    /// Pool memory in bits (5-bit HLL registers).
+    pub fn memory_bits(&self) -> u64 {
+        self.registers as u64 * 5
+    }
+}
+
+/// The VHC sketch.
+///
+/// ```
+/// use baselines::{Vhc, VhcConfig};
+/// let mut vhc = Vhc::new(VhcConfig { registers: 4096, virtual_registers: 256, seed: 1 });
+/// for _ in 0..20_000 {
+///     vhc.record(9);
+/// }
+/// let est = vhc.query(9);
+/// assert!((est - 20_000.0).abs() / 20_000.0 < 0.25);
+/// ```
+#[derive(Debug)]
+pub struct Vhc {
+    cfg: VhcConfig,
+    registers: Vec<u8>,
+    family: MixFamily,
+    rng: StdRng,
+    packets: u64,
+}
+
+/// HyperLogLog bias-correction constant for `s` registers.
+fn alpha(s: usize) -> f64 {
+    match s {
+        16 => 0.673,
+        32 => 0.697,
+        64 => 0.709,
+        _ => 0.7213 / (1.0 + 1.079 / s as f64),
+    }
+}
+
+/// Raw HLL estimate with the standard small-range (linear counting)
+/// correction. The classic intermediate bias zone (2.5·s to ~5·s
+/// items) is left uncorrected, as in the original HLL — VHC inherits
+/// it; HLL++-style empirical correction is out of scope for a
+/// baseline.
+fn hll_estimate(regs: impl Iterator<Item = u8>, s: usize) -> f64 {
+    let mut inv_sum = 0.0f64;
+    let mut zeros = 0usize;
+    for r in regs {
+        inv_sum += 2f64.powi(-(r as i32));
+        if r == 0 {
+            zeros += 1;
+        }
+    }
+    let raw = alpha(s) * (s as f64) * (s as f64) / inv_sum;
+    if raw <= 2.5 * s as f64 && zeros > 0 {
+        s as f64 * (s as f64 / zeros as f64).ln()
+    } else {
+        raw
+    }
+}
+
+impl Vhc {
+    /// Build an empty sketch.
+    ///
+    /// # Panics
+    /// Panics if `s < 16`, `s` is not a power of two, or `s ≥ m`.
+    pub fn new(cfg: VhcConfig) -> Self {
+        let s = cfg.virtual_registers;
+        assert!(s >= 16, "need at least 16 virtual registers");
+        assert!(s.is_power_of_two(), "virtual registers must be a power of two");
+        assert!(s < cfg.registers, "virtual set must be smaller than the pool");
+        Self {
+            registers: vec![0; cfg.registers],
+            family: MixFamily::new(cfg.seed ^ 0x7AC1),
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0x7AC2),
+            packets: 0,
+            cfg,
+        }
+    }
+
+    /// The `j`-th virtual register of `flow` — direct hashing with
+    /// replacement, as in the original VHC (the odd same-register
+    /// repeat within a virtual counter is harmless under max-merge and
+    /// keeps the per-packet work O(1)).
+    #[inline]
+    fn register_of(&self, flow: u64, j: usize) -> usize {
+        bucket(self.family.hash_u64(j as u64, flow), self.cfg.registers)
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &VhcConfig {
+        &self.cfg
+    }
+
+    /// Packets recorded so far.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Record one packet of `flow`: one register max-update.
+    pub fn record(&mut self, flow: u64) {
+        self.packets += 1;
+        let s = self.cfg.virtual_registers;
+        let pick = self.rng.gen_range(0..s);
+        let reg = self.register_of(flow, pick);
+        // Geometric rank of a fresh random value: ρ = leading position
+        // of the first 1 bit, capped to the 5-bit register range.
+        let rank = (self.rng.gen::<u64>().trailing_zeros() + 1).min(31) as u8;
+        if rank > self.registers[reg] {
+            self.registers[reg] = rank;
+        }
+    }
+
+    /// Estimated size of `flow` (clamped non-negative). Recomputes the
+    /// pool-wide estimate on every call; when querying many flows,
+    /// compute [`Vhc::total_estimate`] once and use
+    /// [`Vhc::query_with_total`].
+    pub fn query(&self, flow: u64) -> f64 {
+        self.query_with_total(flow, self.total_estimate())
+    }
+
+    /// Estimated size of `flow` given a precomputed pool estimate
+    /// (from [`Vhc::total_estimate`]).
+    pub fn query_with_total(&self, flow: u64, total: f64) -> f64 {
+        let m = self.cfg.registers as f64;
+        let s = self.cfg.virtual_registers;
+        let own = hll_estimate(
+            (0..s).map(|j| self.registers[self.register_of(flow, j)]),
+            s,
+        );
+        let sf = s as f64;
+        let est = m * sf / (m - sf) * (own / sf - total / m);
+        est.max(0.0)
+    }
+
+    /// HLL estimate of the total packet population (diagnostic).
+    pub fn total_estimate(&self) -> f64 {
+        hll_estimate(self.registers.iter().copied(), self.cfg.registers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(v: &mut Vhc, flow: u64, packets: u64) {
+        for _ in 0..packets {
+            v.record(flow);
+        }
+    }
+
+    #[test]
+    fn single_flow_tracks_hll_accuracy() {
+        // One flow, idle pool: error is the HLL bound ~1.04/√s ≈ 6.5%.
+        let mut v = Vhc::new(VhcConfig::default());
+        fill(&mut v, 42, 100_000);
+        let est = v.query(42);
+        let rel = (est - 100_000.0).abs() / 100_000.0;
+        assert!(rel < 0.2, "est = {est}");
+    }
+
+    #[test]
+    fn denoises_background_traffic() {
+        let mut v = Vhc::new(VhcConfig::default());
+        // Background: 2000 flows of 100 packets each fill the pool.
+        for f in 0..2000u64 {
+            fill(&mut v, f, 100);
+        }
+        fill(&mut v, 0xE1E, 50_000);
+        let est = v.query(0xE1E);
+        let rel = (est - 50_000.0).abs() / 50_000.0;
+        assert!(rel < 0.3, "est = {est}");
+    }
+
+    #[test]
+    fn unseen_flow_reads_near_zero() {
+        let mut v = Vhc::new(VhcConfig::default());
+        for f in 0..500u64 {
+            fill(&mut v, f, 200);
+        }
+        let est = v.query(0xDEAD_BEEF);
+        // The de-noising subtracts the expected background; an unseen
+        // flow's estimate must be small relative to real flows.
+        assert!(est < 100.0, "est = {est}");
+    }
+
+    #[test]
+    fn total_estimate_tracks_population() {
+        // Needs (a) a population past the classic HLL bias zone
+        // (2.5m..5m items) and (b) enough flows that every register is
+        // in some flow's virtual set — uncovered registers read as
+        // zeros and depress the pool estimate (a real VHC artifact at
+        // tiny flow counts, irrelevant at trace scale).
+        let mut v = Vhc::new(VhcConfig::default());
+        for f in 0..5000u64 {
+            fill(&mut v, f, 140);
+        }
+        let total = v.total_estimate();
+        let rel = (total - 700_000.0).abs() / 700_000.0;
+        assert!(rel < 0.1, "total = {total}");
+    }
+
+    #[test]
+    fn one_register_write_per_packet() {
+        // The §2.1 claim: memory accesses per packet ≈ 1. Structural
+        // here — record touches exactly one register — so check the
+        // register growth is bounded by packets.
+        let mut v = Vhc::new(VhcConfig { registers: 4096, virtual_registers: 64, seed: 1 });
+        fill(&mut v, 7, 1000);
+        let touched = v.registers.iter().filter(|&&r| r > 0).count();
+        assert!(touched <= 64, "only the virtual set may be touched, got {touched}");
+    }
+
+    #[test]
+    fn memory_is_five_bits_per_register() {
+        let cfg = VhcConfig { registers: 1024, ..VhcConfig::default() };
+        assert_eq!(cfg.memory_bits(), 5 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        Vhc::new(VhcConfig { virtual_registers: 100, ..VhcConfig::default() });
+    }
+}

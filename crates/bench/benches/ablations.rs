@@ -1,0 +1,139 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! Each bench measures construction throughput for one point of the
+//! design space and prints the resulting accuracy (large-flow ARE)
+//! once, so a single `cargo bench --bench ablations` run yields both
+//! sides of every trade-off:
+//!
+//! * `k` — mapped counters per flow (paper uses 3);
+//! * `y` — cache entry capacity (paper uses 2·n/Q);
+//! * replacement policy — LRU vs random vs FIFO;
+//! * `M` — cache entries (eviction rate vs on-chip budget);
+//! * `L` — SRAM counters (sharing noise vs off-chip budget).
+
+use bench::{bench_config, bench_trace, big_bench_trace, build_sketch, sketch_are};
+use cachesim::CachePolicy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn ablate_k(c: &mut Criterion) {
+    let (trace, truth) = bench_trace();
+    let mut g = c.benchmark_group("ablate_k");
+    g.throughput(Throughput::Elements(trace.num_packets() as u64));
+    g.sample_size(10);
+    for k in [1usize, 2, 3, 5, 8] {
+        let cfg = caesar::CaesarConfig { k, ..bench_config() };
+        let sketch = build_sketch(cfg, &trace);
+        eprintln!(
+            "[ablate_k] k={k}: large-flow ARE = {:.3}, SRAM writes = {}",
+            sketch_are(&sketch, &truth, 1000),
+            sketch.stats().sram_writes
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| black_box(build_sketch(cfg, &trace)))
+        });
+    }
+    g.finish();
+}
+
+fn ablate_entry_capacity(c: &mut Criterion) {
+    let (trace, truth) = bench_trace();
+    let mut g = c.benchmark_group("ablate_y");
+    g.throughput(Throughput::Elements(trace.num_packets() as u64));
+    g.sample_size(10);
+    for y in [4u64, 16, 54, 128, 512] {
+        let cfg = caesar::CaesarConfig { entry_capacity: y, ..bench_config() };
+        let sketch = build_sketch(cfg, &trace);
+        let st = sketch.stats();
+        eprintln!(
+            "[ablate_y] y={y}: ARE = {:.3}, evictions = {} (overflow {}, replacement {})",
+            sketch_are(&sketch, &truth, 1000),
+            st.evictions,
+            st.cache.overflow_evictions,
+            st.cache.replacement_evictions
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(y), &y, |b, _| {
+            b.iter(|| black_box(build_sketch(cfg, &trace)))
+        });
+    }
+    g.finish();
+}
+
+fn ablate_policy(c: &mut Criterion) {
+    let (trace, truth) = bench_trace();
+    let mut g = c.benchmark_group("ablate_policy");
+    g.throughput(Throughput::Elements(trace.num_packets() as u64));
+    g.sample_size(10);
+    for (name, policy) in [
+        ("lru", CachePolicy::Lru),
+        ("random", CachePolicy::Random),
+        ("fifo", CachePolicy::Fifo),
+    ] {
+        let cfg = caesar::CaesarConfig { policy, ..bench_config() };
+        let sketch = build_sketch(cfg, &trace);
+        eprintln!(
+            "[ablate_policy] {name}: ARE = {:.3}, hit rate = {:.3}",
+            sketch_are(&sketch, &truth, 1000),
+            sketch.stats().cache.hit_rate()
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| black_box(build_sketch(cfg, &trace)))
+        });
+    }
+    g.finish();
+}
+
+fn ablate_cache_size(c: &mut Criterion) {
+    let (trace, _truth) = bench_trace();
+    let mut g = c.benchmark_group("ablate_cache_size");
+    g.throughput(Throughput::Elements(trace.num_packets() as u64));
+    g.sample_size(10);
+    for m in [32usize, 128, 512, 2048] {
+        let cfg = caesar::CaesarConfig { cache_entries: m, ..bench_config() };
+        let sketch = build_sketch(cfg, &trace);
+        let st = sketch.stats();
+        eprintln!(
+            "[ablate_cache_size] M={m}: hit rate = {:.3}, SRAM writes/pkt = {:.3}",
+            st.cache.hit_rate(),
+            st.sram_writes as f64 / trace.num_packets() as f64
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| black_box(build_sketch(cfg, &trace)))
+        });
+    }
+    g.finish();
+}
+
+fn ablate_sram_size(c: &mut Criterion) {
+    let (trace, truth) = big_bench_trace();
+    let mut g = c.benchmark_group("ablate_sram");
+    g.throughput(Throughput::Elements(trace.num_packets() as u64));
+    g.sample_size(10);
+    for l in [512usize, 2048, 8192, 32768] {
+        let cfg = caesar::CaesarConfig {
+            cache_entries: 2048,
+            counters: l,
+            ..bench_config()
+        };
+        let sketch = build_sketch(cfg, &trace);
+        eprintln!(
+            "[ablate_sram] L={l} ({:.1} KB): large-flow ARE = {:.3}",
+            cfg.sram_kb(),
+            sketch_are(&sketch, &truth, 1000)
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, _| {
+            b.iter(|| black_box(build_sketch(cfg, &trace)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_k,
+    ablate_entry_capacity,
+    ablate_policy,
+    ablate_cache_size,
+    ablate_sram_size
+);
+criterion_main!(benches);

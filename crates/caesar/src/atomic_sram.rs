@@ -1,0 +1,179 @@
+//! Lock-free shared SRAM counter array.
+//!
+//! The off-chip counter array is the only state the sharded
+//! construction phase shares, and its one operation — saturating add —
+//! commutes, so plain relaxed atomics suffice: no ordering is needed
+//! between adds, and the `crossbeam::scope` join provides the
+//! happens-before edge that makes the final values visible to the
+//! query phase. (See the "Rust Atomics and Locks" guidance: use the
+//! weakest ordering the algorithm admits.)
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fixed-width saturating counter array with interior mutability.
+#[derive(Debug)]
+pub struct AtomicCounterArray {
+    counters: Vec<AtomicU64>,
+    max_value: u64,
+    bits: u32,
+    total_added: AtomicU64,
+    saturations: AtomicU64,
+}
+
+impl AtomicCounterArray {
+    /// `len` counters of `bits` bits, all zero.
+    ///
+    /// # Panics
+    /// Panics if `len == 0` or `bits` is outside `1..=63`.
+    pub fn new(len: usize, bits: u32) -> Self {
+        assert!(len > 0, "counter array cannot be empty");
+        assert!((1..=63).contains(&bits), "counter bits must be in 1..=63");
+        Self {
+            counters: (0..len).map(|_| AtomicU64::new(0)).collect(),
+            max_value: (1u64 << bits) - 1,
+            bits,
+            total_added: AtomicU64::new(0),
+            saturations: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// True when the array has no counters (never: `new` forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Bits per counter.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Maximum storable value `l`.
+    pub fn max_value(&self) -> u64 {
+        self.max_value
+    }
+
+    /// Saturating add of `v` to counter `idx`, callable from any
+    /// thread concurrently.
+    pub fn add(&self, idx: usize, v: u64) {
+        if v == 0 {
+            return;
+        }
+        self.total_added.fetch_add(v, Ordering::Relaxed);
+        let c = &self.counters[idx];
+        // CAS loop: fetch_add alone could overshoot the saturation cap.
+        let mut cur = c.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(v).min(self.max_value);
+            match c.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => {
+                    if next == self.max_value && cur + v > self.max_value {
+                        self.saturations.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return;
+                }
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Read counter `idx`.
+    pub fn get(&self, idx: usize) -> u64 {
+        self.counters[idx].load(Ordering::Relaxed)
+    }
+
+    /// Sum over all counters.
+    pub fn sum(&self) -> u64 {
+        self.counters.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total units offered (the estimators' `n`).
+    pub fn total_added(&self) -> u64 {
+        self.total_added.load(Ordering::Relaxed)
+    }
+
+    /// Saturating adds that lost precision.
+    pub fn saturations(&self) -> u64 {
+        self.saturations.load(Ordering::Relaxed)
+    }
+
+    /// Copy out the counter values.
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.counters.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let a = AtomicCounterArray::new(4, 32);
+        a.add(1, 5);
+        a.add(1, 7);
+        a.add(3, 1);
+        assert_eq!(a.get(1), 12);
+        assert_eq!(a.sum(), 13);
+        assert_eq!(a.total_added(), 13);
+    }
+
+    #[test]
+    fn saturates_without_overshoot() {
+        let a = AtomicCounterArray::new(1, 4); // max 15
+        a.add(0, 10);
+        a.add(0, 10);
+        assert_eq!(a.get(0), 15);
+        assert_eq!(a.saturations(), 1);
+        assert_eq!(a.total_added(), 20);
+    }
+
+    #[test]
+    fn zero_add_is_noop() {
+        let a = AtomicCounterArray::new(2, 8);
+        a.add(0, 0);
+        assert_eq!(a.total_added(), 0);
+    }
+
+    #[test]
+    fn concurrent_adds_conserve() {
+        let a = AtomicCounterArray::new(64, 63);
+        let threads = 8;
+        let per_thread = 10_000u64;
+        crossbeam::scope(|s| {
+            for t in 0..threads {
+                let a = &a;
+                s.spawn(move |_| {
+                    for i in 0..per_thread {
+                        a.add(((t as u64 * 31 + i) % 64) as usize, 1);
+                    }
+                });
+            }
+        })
+        .expect("no thread panicked");
+        assert_eq!(a.sum(), threads as u64 * per_thread);
+        assert_eq!(a.total_added(), threads as u64 * per_thread);
+    }
+
+    #[test]
+    fn snapshot_matches_gets() {
+        let a = AtomicCounterArray::new(8, 16);
+        for i in 0..8 {
+            a.add(i, i as u64 * 3);
+        }
+        let snap = a.snapshot();
+        for (i, &v) in snap.iter().enumerate() {
+            assert_eq!(v, a.get(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn empty_rejected() {
+        AtomicCounterArray::new(0, 8);
+    }
+}

@@ -1,0 +1,138 @@
+//! Configuration of the CAESAR pipeline.
+
+use cachesim::CachePolicy;
+use serde::{Deserialize, Serialize};
+
+/// Which de-noising estimator the query phase uses (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Estimator {
+    /// Counter Sum estimation Method — the paper's default (§6.3.1).
+    Csm,
+    /// Maximum Likelihood estimation Method — slightly better on small
+    /// flows, slightly costlier.
+    Mlm,
+}
+
+/// Full configuration of a [`crate::Caesar`] instance.
+///
+/// Notation maps to the paper's Table 1: `cache_entries = M`,
+/// `entry_capacity = y`, `counters = L`, `k = k`,
+/// `counter_bits = log2(l)`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CaesarConfig {
+    /// Number of on-chip cache entries `M`.
+    pub cache_entries: usize,
+    /// Per-entry capacity `y`; the paper recommends `y = ⌊2·n/Q⌋`
+    /// so that overflows are negligible (§6.2).
+    pub entry_capacity: u64,
+    /// Cache replacement policy (LRU or random in the paper).
+    pub policy: CachePolicy,
+    /// Number of off-chip SRAM counters `L`.
+    pub counters: usize,
+    /// Mapped counters per flow `k` (the paper uses small `k`, e.g. 3).
+    pub k: usize,
+    /// Bits per SRAM counter (`l = 2^counter_bits − 1` max value).
+    pub counter_bits: u32,
+    /// Default estimator for [`crate::Caesar::query`].
+    pub estimator: Estimator,
+    /// Master seed (hash family, remainder scattering, random policy).
+    pub seed: u64,
+}
+
+impl Default for CaesarConfig {
+    /// Defaults mirror the paper's simulation operating point at 1/10
+    /// scale: `k = 3`, 32-bit counters, LRU, `y = 54 ≈ 2·27.3`.
+    fn default() -> Self {
+        Self {
+            cache_entries: 20_000,
+            entry_capacity: 54,
+            policy: CachePolicy::Lru,
+            counters: 23_438,
+            k: 3,
+            counter_bits: 32,
+            estimator: Estimator::Csm,
+            seed: 0xCAE5A12D,
+        }
+    }
+}
+
+impl CaesarConfig {
+    /// Off-chip SRAM size in KB: `L · log2(l) / (1024·8)` (§6.2).
+    pub fn sram_kb(&self) -> f64 {
+        self.counters as f64 * self.counter_bits as f64 / (1024.0 * 8.0)
+    }
+
+    /// On-chip cache size in KB with the given per-entry tag width.
+    pub fn cache_kb(&self, tag_bits: u32) -> f64 {
+        let counter_bits = 64 - (self.entry_capacity.max(2) - 1).leading_zeros();
+        self.cache_entries as f64 * (counter_bits + tag_bits) as f64 / (1024.0 * 8.0)
+    }
+
+    /// Choose `L` to fit an SRAM budget in KB at this counter width.
+    pub fn counters_for_sram_kb(kb: f64, counter_bits: u32) -> usize {
+        ((kb * 1024.0 * 8.0) / counter_bits as f64).floor() as usize
+    }
+
+    /// Validate invariants, panicking with a clear message otherwise.
+    pub fn validate(&self) {
+        assert!(self.cache_entries > 0, "cache_entries (M) must be positive");
+        assert!(self.entry_capacity >= 2, "entry_capacity (y) must be >= 2");
+        assert!(self.counters > 0, "counters (L) must be positive");
+        assert!(self.k >= 1, "k must be at least 1");
+        assert!(
+            self.k <= self.counters,
+            "k ({}) cannot exceed the number of counters L ({})",
+            self.k,
+            self.counters
+        );
+        assert!(
+            (1..=63).contains(&self.counter_bits),
+            "counter_bits must be in 1..=63"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        CaesarConfig::default().validate();
+    }
+
+    #[test]
+    fn sram_kb_matches_paper_formula() {
+        // The paper's Fig. 4 SRAM point: 91.55 KB with 32-bit counters
+        // is about 23,437 counters.
+        let cfg = CaesarConfig {
+            counters: 23_437,
+            counter_bits: 32,
+            ..CaesarConfig::default()
+        };
+        assert!((cfg.sram_kb() - 91.55).abs() < 0.05, "{}", cfg.sram_kb());
+    }
+
+    #[test]
+    fn counters_for_budget_inverts_sram_kb() {
+        let l = CaesarConfig::counters_for_sram_kb(91.55, 32);
+        let cfg = CaesarConfig {
+            counters: l,
+            counter_bits: 32,
+            ..CaesarConfig::default()
+        };
+        assert!(cfg.sram_kb() <= 91.55);
+        assert!(cfg.sram_kb() > 91.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn k_bigger_than_l_invalid() {
+        CaesarConfig {
+            k: 10,
+            counters: 5,
+            ..CaesarConfig::default()
+        }
+        .validate();
+    }
+}

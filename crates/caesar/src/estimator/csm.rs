@@ -1,0 +1,98 @@
+//! Counter Sum estimation Method (CSM, §5.1).
+//!
+//! Moment estimation. **Erratum fixed here** (see DESIGN.md): every
+//! one of the `n = Q·μ` units recorded off-chip lands in a specific
+//! counter with probability `1/L`, so each of the flow's `k` counters
+//! absorbs `n/L` expected noise and the counter sum has expectation
+//! `x + k·n/L` — the paper's Eq. 20 subtracts only `Qμ/L`, while the
+//! RCS scheme it generalizes subtracts the same `k·n/L` we use:
+//!
+//! ```text
+//! x̂ = Σ_r S_f[r] − k·Qμ/L                     (Eq. 20, corrected)
+//! ```
+//!
+//! which is unbiased, with the paper's model variance
+//!
+//! ```text
+//! D(x̂) ≈ x·k(k−1)²/y + Qμ·k(k−1)²/(yL)        (Eq. 22)
+//! ```
+
+use super::{Estimate, EstimateParams};
+
+/// Estimate the flow size from its `k` counter values.
+///
+/// # Panics
+/// Panics if `counters.len()` disagrees with `params.k`.
+pub fn estimate(counters: &[u64], params: &EstimateParams) -> Estimate {
+    params.validate();
+    assert_eq!(
+        counters.len(),
+        params.k,
+        "expected {} counter values, got {}",
+        params.k,
+        counters.len()
+    );
+    let sum: u64 = counters.iter().sum();
+    let value = sum as f64 - params.noise_per_counter() * params.k as f64;
+    Estimate {
+        value,
+        variance: variance(value.max(0.0), params),
+    }
+}
+
+/// Analytic variance (Eq. 22) at true size `x`.
+pub fn variance(x: f64, params: &EstimateParams) -> f64 {
+    let k = params.k as f64;
+    let y = params.y as f64;
+    let n = params.total_packets as f64;
+    let l = params.counters as f64;
+    x * k * (k - 1.0) * (k - 1.0) / y + n * k * (k - 1.0) * (k - 1.0) / (y * l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> EstimateParams {
+        EstimateParams { k: 3, y: 54, counters: 1000, total_packets: 100_000 }
+    }
+
+    #[test]
+    fn subtracts_expected_noise() {
+        let p = params();
+        // noise per counter = 100. Counters hold 150 each = 450 total.
+        let e = estimate(&[150, 150, 150], &p);
+        assert!((e.value - (450.0 - 300.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_only_counters_estimate_zero() {
+        let p = params();
+        let e = estimate(&[100, 100, 100], &p);
+        assert!(e.value.abs() < 1e-9);
+    }
+
+    #[test]
+    fn k1_is_single_counter_minus_noise() {
+        let p = EstimateParams { k: 1, ..params() };
+        let e = estimate(&[500], &p);
+        assert!((e.value - 400.0).abs() < 1e-9);
+        // k = 1 ⇒ (k−1)² = 0 ⇒ zero model variance.
+        assert_eq!(e.variance, 0.0);
+    }
+
+    #[test]
+    fn variance_grows_with_k_and_shrinks_with_y() {
+        let base = variance(1000.0, &params());
+        let more_k = variance(1000.0, &EstimateParams { k: 5, ..params() });
+        let more_y = variance(1000.0, &EstimateParams { y: 108, ..params() });
+        assert!(more_k > base);
+        assert!(more_y < base);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 3 counter values")]
+    fn wrong_arity_panics() {
+        estimate(&[1, 2], &params());
+    }
+}

@@ -1,0 +1,129 @@
+//! Maximum Likelihood estimation Method (MLM, §5.2).
+//!
+//! The counter values are modelled as i.i.d. Gaussians
+//! `W_i ~ N(μ_X, Δ_X)` (Eq. 24). **Erratum fixed here** (see
+//! DESIGN.md): a flow's counter absorbs `n/L` expected noise — each of
+//! the `n = Q·μ` off-chip units lands in a specific counter with
+//! probability `1/L` — so `μ_X = x/k + n/L`, not the paper's
+//! `x/k + Qμ/(Lk)`; the RCS paper CAESAR builds on subtracts the same
+//! `k·n/L` from the counter sum. With `s = x + k·n/L` and
+//! `c = (k−1)²/y`, the variance keeps the paper's structure
+//! `Δ_X = c·s/k` and maximizing the Gaussian likelihood gives the
+//! quadratic `s² + k·c·s − k·Σ w_i² = 0`, hence
+//!
+//! ```text
+//! x̂ = ½·( √(k²c² + 4k·Σ w_i²) − k·c ) − k·n/L
+//! ```
+//!
+//! (the paper's closed form below Eq. 28 with the corrected noise
+//! mass). The asymptotic variance follows the paper's Fisher
+//! information result (Eq. 31):
+//!
+//! ```text
+//! D(x̂) = 2k²Δ_X² / (2Δ_X + (k−1)⁴/y²)
+//! ```
+
+use super::{Estimate, EstimateParams};
+
+/// Estimate the flow size from its `k` counter values.
+///
+/// # Panics
+/// Panics if `counters.len()` disagrees with `params.k`.
+pub fn estimate(counters: &[u64], params: &EstimateParams) -> Estimate {
+    params.validate();
+    assert_eq!(
+        counters.len(),
+        params.k,
+        "expected {} counter values, got {}",
+        params.k,
+        counters.len()
+    );
+    let k = params.k as f64;
+    let y = params.y as f64;
+    let noise = params.noise_per_counter(); // n/L
+    let c = (k - 1.0) * (k - 1.0) / y; // (k−1)²/y
+    let sum_sq: f64 = counters.iter().map(|&w| (w as f64) * (w as f64)).sum();
+    // Solve s² + k·c·s = k·Σw² for s = x + k·n/L, then remove the noise.
+    let s = 0.5 * ((k * k * c * c + 4.0 * k * sum_sq).sqrt() - k * c);
+    let value = s - k * noise;
+    Estimate {
+        value,
+        variance: variance(value.max(0.0), params),
+    }
+}
+
+/// Asymptotic variance (Eq. 31) at true size `x`.
+pub fn variance(x: f64, params: &EstimateParams) -> f64 {
+    let k = params.k as f64;
+    let y = params.y as f64;
+    let n = params.total_packets as f64;
+    let l = params.counters as f64;
+    let delta = x * (k - 1.0) * (k - 1.0) / (y * k) + n * (k - 1.0) * (k - 1.0) / (y * k * l);
+    let denom = 2.0 * delta + (k - 1.0).powi(4) / (y * y);
+    if denom == 0.0 {
+        // k = 1 degenerates to a deterministic split: no model variance.
+        0.0
+    } else {
+        2.0 * k * k * delta * delta / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> EstimateParams {
+        EstimateParams { k: 3, y: 54, counters: 1000, total_packets: 100_000 }
+    }
+
+    #[test]
+    fn recovers_noiseless_uniform_counters() {
+        // No other flows: n == x, L huge so noise ≈ 0. x = 300 split
+        // evenly: w_i = 100.
+        let p = EstimateParams { k: 3, y: 54, counters: 1_000_000_000, total_packets: 300 };
+        let e = estimate(&[100, 100, 100], &p);
+        assert!((e.value - 300.0).abs() < 0.2, "value = {}", e.value);
+    }
+
+    #[test]
+    fn denoises_uniform_noise() {
+        let p = params(); // noise/counter = 100
+        // True x = 450: counters ≈ 150 + 100 = 250 each.
+        let e = estimate(&[250, 250, 250], &p);
+        assert!((e.value - 450.0).abs() < 2.0, "value = {}", e.value);
+    }
+
+    #[test]
+    fn k1_matches_csm() {
+        let p = EstimateParams { k: 1, ..params() };
+        let mlm = estimate(&[500], &p);
+        let csm = super::super::csm::estimate(&[500], &p);
+        assert!((mlm.value - csm.value).abs() < 1e-6);
+        assert_eq!(mlm.variance, 0.0);
+    }
+
+    #[test]
+    fn mlm_variance_below_csm_variance() {
+        // §5.2: MLM is the more accurate (lower-variance) estimator.
+        let p = params();
+        for x in [10.0, 100.0, 1000.0, 10_000.0] {
+            let m = variance(x, &p);
+            let c = super::super::csm::variance(x, &p);
+            assert!(m < c, "x = {x}: MLM {m} !< CSM {c}");
+        }
+    }
+
+    #[test]
+    fn zero_counters_give_negative_or_zero_estimate() {
+        let p = params();
+        let e = estimate(&[0, 0, 0], &p);
+        assert!(e.value <= 0.0);
+        assert_eq!(e.clamped(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 3 counter values")]
+    fn wrong_arity_panics() {
+        estimate(&[1, 2, 3, 4], &params());
+    }
+}

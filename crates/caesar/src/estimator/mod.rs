@@ -1,0 +1,99 @@
+//! The query-phase estimators (§5).
+//!
+//! Both estimators see the same inputs: the flow's `k` mapped counter
+//! values `w_0..w_{k−1}` and the global operating point
+//! ([`EstimateParams`]). They differ in how they de-noise:
+//!
+//! * [`csm`] subtracts the expected aggregate noise from the counter
+//!   sum (moment estimation, Eq. 20);
+//! * [`mlm`] maximizes the Gaussian-approximated likelihood of the
+//!   observed counter values (closed form below Eq. 28).
+
+pub mod csm;
+pub mod mlm;
+
+use crate::gaussian::z_alpha;
+use serde::Serialize;
+
+/// Global parameters both estimators need — the paper's `k`, `y`, `L`
+/// and the noise mass `Q·μ = n` (total packets recorded off-chip).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct EstimateParams {
+    /// Mapped counters per flow.
+    pub k: usize,
+    /// Cache entry capacity `y` (RCS corresponds to `y = 1`).
+    pub y: u64,
+    /// Number of SRAM counters `L`.
+    pub counters: usize,
+    /// Total packets recorded in SRAM, `n = Q·μ`.
+    pub total_packets: u64,
+}
+
+impl EstimateParams {
+    /// Expected noise contributed to one counter, `Q·μ / L` — under
+    /// uniform mapping every one of the `n` units lands in a given
+    /// counter with probability `1/L` (Eq. 15 summed over flows).
+    pub fn noise_per_counter(&self) -> f64 {
+        self.total_packets as f64 / self.counters as f64
+    }
+
+    fn validate(&self) {
+        assert!(self.k >= 1, "k must be >= 1");
+        assert!(self.y >= 1, "y must be >= 1");
+        assert!(self.counters >= 1, "L must be >= 1");
+    }
+}
+
+/// A point estimate with its variance model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Estimate {
+    /// Estimated flow size `x̂` (may be negative for tiny flows buried
+    /// in noise; clamp if a physical size is required).
+    pub value: f64,
+    /// Model variance `D(x̂)` with `x̂` plugged in for the unknown `x`.
+    pub variance: f64,
+}
+
+impl Estimate {
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.max(0.0).sqrt()
+    }
+
+    /// Two-sided confidence interval at reliability `alpha`
+    /// (Eqs. 26/32): `x̂ ± Z_α·σ`.
+    pub fn confidence_interval(&self, alpha: f64) -> (f64, f64) {
+        let half = z_alpha(alpha) * self.std_dev();
+        (self.value - half, self.value + half)
+    }
+
+    /// The estimate clamped to physically possible sizes.
+    pub fn clamped(&self) -> f64 {
+        self.value.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_per_counter() {
+        let p = EstimateParams { k: 3, y: 54, counters: 100, total_packets: 5000 };
+        assert!((p.noise_per_counter() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confidence_interval_is_symmetric() {
+        let e = Estimate { value: 100.0, variance: 25.0 };
+        let (lo, hi) = e.confidence_interval(0.95);
+        assert!((100.0 - lo - (hi - 100.0)).abs() < 1e-9);
+        assert!((hi - 100.0 - 1.959964 * 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn clamp_negative() {
+        let e = Estimate { value: -3.0, variance: 1.0 };
+        assert_eq!(e.clamped(), 0.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Gaussian helpers for the confidence intervals (Eqs. 26 and 32).
+
+/// Standard normal CDF `Φ(x)`.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + libm::erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Standard normal quantile `Φ⁻¹(p)` for `p ∈ (0, 1)`, by bisection on
+/// the CDF (fast enough for a query-phase constant and immune to the
+/// usual rational-approximation edge cases).
+///
+/// # Panics
+/// Panics if `p` is outside `(0, 1)`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile needs p in (0,1), got {p}");
+    let (mut lo, mut hi) = (-10.0f64, 10.0f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if normal_cdf(mid) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// The `Z_α` factor of the paper's confidence intervals: the two-sided
+/// critical value at reliability `alpha` (e.g. `z_alpha(0.95) ≈ 1.96`).
+///
+/// ```
+/// assert!((caesar::gaussian::z_alpha(0.95) - 1.959964).abs() < 1e-4);
+/// ```
+pub fn z_alpha(alpha: f64) -> f64 {
+    assert!(alpha > 0.0 && alpha < 1.0, "reliability must be in (0,1)");
+    normal_quantile(0.5 + alpha / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_known_points() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-12);
+        assert!((normal_cdf(1.96) - 0.9750021).abs() < 1e-6);
+        assert!((normal_cdf(-1.96) - 0.0249978).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for p in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.975, 0.999] {
+            let x = normal_quantile(p);
+            assert!((normal_cdf(x) - p).abs() < 1e-9, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn common_critical_values() {
+        assert!((z_alpha(0.90) - 1.644854).abs() < 1e-4);
+        assert!((z_alpha(0.95) - 1.959964).abs() < 1e-4);
+        assert!((z_alpha(0.99) - 2.575829).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "reliability")]
+    fn z_alpha_rejects_one() {
+        z_alpha(1.0);
+    }
+}

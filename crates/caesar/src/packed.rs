@@ -1,0 +1,229 @@
+//! Bit-packed counter storage.
+//!
+//! The paper's memory accounting (`SRAM = L·log2(l)/8192` KB) assumes
+//! counters are packed back-to-back at exactly `log2(l)` bits. The
+//! simulator's hot path uses one machine word per counter
+//! ([`crate::CounterArray`]) for speed; this module provides the
+//! hardware-faithful packed layout with the same semantics, so the
+//! byte-for-byte memory claims can be verified and the two layouts can
+//! be property-tested against each other.
+
+/// A counter array storing `len` counters of exactly `bits` bits each,
+/// packed contiguously into 64-bit words (counters may straddle word
+/// boundaries).
+/// ```
+/// use caesar::PackedCounterArray;
+/// let mut a = PackedCounterArray::new(100, 13); // 13-bit counters
+/// a.add(7, 1000);
+/// assert_eq!(a.get(7), 1000);
+/// assert_eq!(a.memory_bytes(), (100 * 13 + 7) / 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PackedCounterArray {
+    words: Vec<u64>,
+    len: usize,
+    bits: u32,
+    max_value: u64,
+    saturations: u64,
+    total_added: u64,
+}
+
+impl PackedCounterArray {
+    /// `len` counters of `bits` bits, all zero.
+    ///
+    /// # Panics
+    /// Panics if `len == 0` or `bits` is outside `1..=63`.
+    pub fn new(len: usize, bits: u32) -> Self {
+        assert!(len > 0, "counter array cannot be empty");
+        assert!((1..=63).contains(&bits), "counter bits must be in 1..=63");
+        let total_bits = len as u64 * bits as u64;
+        let words = total_bits.div_ceil(64) as usize;
+        Self {
+            words: vec![0; words],
+            len,
+            bits,
+            max_value: (1u64 << bits) - 1,
+            saturations: 0,
+            total_added: 0,
+        }
+    }
+
+    /// Number of counters.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the array has no counters (never: `new` forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bits per counter.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Maximum storable value `l`.
+    pub fn max_value(&self) -> u64 {
+        self.max_value
+    }
+
+    /// Exact storage footprint in bytes (the paper's SRAM size).
+    pub fn memory_bytes(&self) -> usize {
+        // Count the packed bits, not the Vec<u64> slack.
+        (self.len * self.bits as usize).div_ceil(8)
+    }
+
+    /// Read counter `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx >= len`.
+    pub fn get(&self, idx: usize) -> u64 {
+        assert!(idx < self.len, "counter index {idx} out of range {}", self.len);
+        let bit = idx as u64 * self.bits as u64;
+        let word = (bit / 64) as usize;
+        let off = (bit % 64) as u32;
+        let lo = self.words[word] >> off;
+        let have = 64 - off;
+        let v = if have >= self.bits {
+            lo
+        } else {
+            lo | (self.words[word + 1] << have)
+        };
+        v & self.max_value
+    }
+
+    fn set(&mut self, idx: usize, v: u64) {
+        debug_assert!(v <= self.max_value);
+        let bit = idx as u64 * self.bits as u64;
+        let word = (bit / 64) as usize;
+        let off = (bit % 64) as u32;
+        let mask = self.max_value;
+        self.words[word] &= !(mask << off);
+        self.words[word] |= v << off;
+        let have = 64 - off;
+        if have < self.bits {
+            let hi_bits = self.bits - have;
+            let hi_mask = (1u64 << hi_bits) - 1;
+            self.words[word + 1] &= !hi_mask;
+            self.words[word + 1] |= v >> have;
+        }
+    }
+
+    /// Add `v` to counter `idx`, saturating at the counter capacity.
+    pub fn add(&mut self, idx: usize, v: u64) {
+        self.total_added += v;
+        let cur = self.get(idx);
+        let room = self.max_value - cur;
+        if v > room {
+            self.set(idx, self.max_value);
+            self.saturations += 1;
+        } else {
+            self.set(idx, cur + v);
+        }
+    }
+
+    /// Sum over all counters.
+    pub fn sum(&self) -> u64 {
+        (0..self.len).map(|i| self.get(i)).sum()
+    }
+
+    /// Total units offered.
+    pub fn total_added(&self) -> u64 {
+        self.total_added
+    }
+
+    /// Saturating adds that lost precision.
+    pub fn saturations(&self) -> u64 {
+        self.saturations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sram::CounterArray;
+
+    #[test]
+    fn straddling_counters_roundtrip() {
+        // 13-bit counters guarantee word straddles.
+        let mut a = PackedCounterArray::new(100, 13);
+        for i in 0..100 {
+            a.add(i, (i as u64 * 37) % 8192);
+        }
+        for i in 0..100 {
+            assert_eq!(a.get(i), (i as u64 * 37) % 8192, "counter {i}");
+        }
+    }
+
+    #[test]
+    fn neighbours_do_not_clobber() {
+        let mut a = PackedCounterArray::new(10, 7);
+        a.add(3, 100);
+        a.add(4, 27);
+        a.add(2, 1);
+        assert_eq!(a.get(3), 100);
+        assert_eq!(a.get(4), 27);
+        assert_eq!(a.get(2), 1);
+        assert_eq!(a.get(5), 0);
+    }
+
+    #[test]
+    fn saturation() {
+        let mut a = PackedCounterArray::new(3, 4);
+        a.add(1, 20);
+        assert_eq!(a.get(1), 15);
+        assert_eq!(a.saturations(), 1);
+        assert_eq!(a.total_added(), 20);
+    }
+
+    #[test]
+    fn memory_accounting_is_exact() {
+        // 23,437 counters × 32 bits = 91.55 KB (the paper's Fig. 4 budget).
+        let a = PackedCounterArray::new(23_437, 32);
+        let kb = a.memory_bytes() as f64 / 1024.0;
+        assert!((kb - 91.55).abs() < 0.01, "kb = {kb}");
+        // 5-bit counters actually take 5/8 byte each.
+        let b = PackedCounterArray::new(8, 5);
+        assert_eq!(b.memory_bytes(), 5);
+    }
+
+    #[test]
+    fn equivalent_to_word_array() {
+        // Same operation stream against both layouts.
+        let mut packed = PackedCounterArray::new(57, 11);
+        let mut plain = CounterArray::new(57, 11);
+        let mut x = 5u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let idx = (x % 57) as usize;
+            let v = (x >> 32) % 40;
+            packed.add(idx, v);
+            plain.add(idx, v);
+        }
+        for i in 0..57 {
+            assert_eq!(packed.get(i), plain.get(i), "counter {i}");
+        }
+        assert_eq!(packed.sum(), plain.sum());
+        assert_eq!(packed.total_added(), plain.total_added());
+    }
+
+    #[test]
+    fn one_bit_counters() {
+        let mut a = PackedCounterArray::new(130, 1);
+        a.add(0, 1);
+        a.add(64, 1);
+        a.add(129, 5); // saturates at 1
+        assert_eq!(a.get(0), 1);
+        assert_eq!(a.get(1), 0);
+        assert_eq!(a.get(64), 1);
+        assert_eq!(a.get(129), 1);
+        assert_eq!(a.sum(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        PackedCounterArray::new(4, 8).get(4);
+    }
+}

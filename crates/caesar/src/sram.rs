@@ -1,0 +1,215 @@
+//! The off-chip SRAM counter array.
+//!
+//! `L` counters of `counter_bits` bits each. Adds saturate at the
+//! counter capacity `l = 2^bits − 1` (a real SRAM word cannot wrap
+//! silently without corrupting every sharing flow); saturation events
+//! are counted so experiments can detect an undersized configuration.
+
+use serde::Serialize;
+
+/// Fixed-width saturating counter array.
+#[derive(Debug, Clone)]
+pub struct CounterArray {
+    counters: Vec<u64>,
+    max_value: u64,
+    bits: u32,
+    saturations: u64,
+    /// Total of everything ever added (before saturation clipping) —
+    /// the `n = Q·μ` the estimators need for de-noising.
+    total_added: u64,
+    accesses: u64,
+}
+
+/// Summary of the array state.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct CounterArrayStats {
+    /// Number of counters `L`.
+    pub len: usize,
+    /// Bits per counter.
+    pub bits: u32,
+    /// Saturating adds that lost precision.
+    pub saturations: u64,
+    /// Total units added.
+    pub total_added: u64,
+    /// Write accesses performed.
+    pub accesses: u64,
+    /// Counters currently zero.
+    pub zeros: usize,
+}
+
+impl CounterArray {
+    /// `len` counters of `bits` bits, all zero.
+    ///
+    /// # Panics
+    /// Panics if `len == 0` or `bits` is outside `1..=63`.
+    pub fn new(len: usize, bits: u32) -> Self {
+        assert!(len > 0, "counter array cannot be empty");
+        assert!((1..=63).contains(&bits), "counter bits must be in 1..=63");
+        Self {
+            counters: vec![0; len],
+            max_value: (1u64 << bits) - 1,
+            bits,
+            saturations: 0,
+            total_added: 0,
+            accesses: 0,
+        }
+    }
+
+    /// Number of counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// True when the array has no counters (never: `new` forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Maximum storable value `l`.
+    pub fn max_value(&self) -> u64 {
+        self.max_value
+    }
+
+    /// Add `v` to counter `idx`, saturating at `l`.
+    #[inline]
+    pub fn add(&mut self, idx: usize, v: u64) {
+        self.accesses += 1;
+        self.total_added += v;
+        let c = &mut self.counters[idx];
+        let room = self.max_value - *c;
+        if v > room {
+            *c = self.max_value;
+            self.saturations += 1;
+        } else {
+            *c += v;
+        }
+    }
+
+    /// Read counter `idx`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> u64 {
+        self.counters[idx]
+    }
+
+    /// Sum over all counters (equals `total_added` when nothing
+    /// saturated).
+    pub fn sum(&self) -> u64 {
+        self.counters.iter().sum()
+    }
+
+    /// Total units offered to the array (`n` for the estimators).
+    pub fn total_added(&self) -> u64 {
+        self.total_added
+    }
+
+    /// Array statistics.
+    pub fn stats(&self) -> CounterArrayStats {
+        CounterArrayStats {
+            len: self.counters.len(),
+            bits: self.bits,
+            saturations: self.saturations,
+            total_added: self.total_added,
+            accesses: self.accesses,
+            zeros: self.counters.iter().filter(|&&c| c == 0).count(),
+        }
+    }
+
+    /// Reset all counters and statistics.
+    pub fn clear(&mut self) {
+        self.counters.fill(0);
+        self.saturations = 0;
+        self.total_added = 0;
+        self.accesses = 0;
+    }
+
+    /// Borrow the raw counters (for estimation sweeps).
+    pub fn as_slice(&self) -> &[u64] {
+        &self.counters
+    }
+
+    /// Merge another array into this one (element-wise saturating add).
+    ///
+    /// # Panics
+    /// Panics if geometries differ.
+    pub fn merge(&mut self, other: &CounterArray) {
+        assert_eq!(self.counters.len(), other.counters.len(), "length mismatch");
+        assert_eq!(self.bits, other.bits, "width mismatch");
+        for (c, &v) in self.counters.iter_mut().zip(&other.counters) {
+            let room = self.max_value - *c;
+            if v > room {
+                *c = self.max_value;
+                self.saturations += 1;
+            } else {
+                *c += v;
+            }
+        }
+        self.total_added += other.total_added;
+        self.accesses += other.accesses;
+        self.saturations += other.saturations;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let mut a = CounterArray::new(4, 8);
+        a.add(0, 5);
+        a.add(0, 7);
+        a.add(3, 1);
+        assert_eq!(a.get(0), 12);
+        assert_eq!(a.get(3), 1);
+        assert_eq!(a.get(1), 0);
+        assert_eq!(a.sum(), 13);
+        assert_eq!(a.total_added(), 13);
+    }
+
+    #[test]
+    fn saturates_at_capacity() {
+        let mut a = CounterArray::new(1, 4); // max 15
+        a.add(0, 10);
+        a.add(0, 10);
+        assert_eq!(a.get(0), 15);
+        assert_eq!(a.stats().saturations, 1);
+        // total_added still records what was offered.
+        assert_eq!(a.total_added(), 20);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut a = CounterArray::new(2, 8);
+        a.add(1, 3);
+        a.clear();
+        assert_eq!(a.sum(), 0);
+        assert_eq!(a.total_added(), 0);
+        assert_eq!(a.stats().accesses, 0);
+    }
+
+    #[test]
+    fn stats_zeros() {
+        let mut a = CounterArray::new(5, 8);
+        a.add(2, 1);
+        assert_eq!(a.stats().zeros, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn empty_rejected() {
+        CounterArray::new(0, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be")]
+    fn bad_bits_rejected() {
+        CounterArray::new(1, 64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_add_panics() {
+        let mut a = CounterArray::new(2, 8);
+        a.add(2, 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! Analytic results of §4, exposed so tests and benches can check the
+//! implementation against the theory (and the theory against the
+//! simulation).
+
+/// Expected number of evictions of a flow of size `x` with entry
+/// capacity `y` (Eq. 10): `E(t) = 2x/y` — each eviction carries `≈ y/2`
+/// on average because eviction values are uniform on `1..=y`.
+pub fn expected_evictions(x: u64, y: u64) -> f64 {
+    2.0 * x as f64 / y as f64
+}
+
+/// Expected addition of a flow of size `x` to each of its `k` mapped
+/// counters (Eq. 12): `E(Y) = x/k`.
+pub fn expected_own_share(x: u64, k: usize) -> f64 {
+    x as f64 / k as f64
+}
+
+/// Variance of a flow's addition to one mapped counter as printed in
+/// the paper (Eq. 14): `D(Y) ≈ x(k−1)²/(yk)`.
+///
+/// **Erratum E3** (see DESIGN.md): this overestimates by a factor of
+/// `k`. The paper's Eq. 8 approximates the per-counter remainder mean
+/// `E(EV_i2)` as `(k−1)/2`, but that is the mean of the whole
+/// remainder `q` — the per-counter share is `(k−1)/(2k)`. Propagating
+/// the correct value through Eqs. 13–14 gives
+/// [`own_share_variance_corrected`], which simulation matches to a few
+/// percent (see `experiments::theory`).
+pub fn own_share_variance(x: u64, y: u64, k: usize) -> f64 {
+    let kf = k as f64;
+    x as f64 * (kf - 1.0) * (kf - 1.0) / (y as f64 * kf)
+}
+
+/// Corrected own-share variance (erratum E3):
+/// `D(Y) = E(t)·E[q]·(1/k)(1−1/k) = x(k−1)²/(yk²)`.
+pub fn own_share_variance_corrected(x: u64, y: u64, k: usize) -> f64 {
+    own_share_variance(x, y, k) / k as f64
+}
+
+/// Expected aggregate noise other flows add to one specific counter.
+/// Corrected form (see DESIGN.md erratum): every one of the `n = Q·μ`
+/// units lands in a given counter with probability `1/L`, so
+/// `E(Z_total) = n/L`. (The paper's Eq. 15 reads `Qμ/(Lk)`.)
+pub fn expected_noise_per_counter(total_packets: u64, counters: usize) -> f64 {
+    total_packets as f64 / counters as f64
+}
+
+/// Expected value of a mapped counter of a flow of size `x`
+/// (Eq. 18 with the corrected noise term): `E(X) = x/k + n/L`.
+pub fn expected_counter_value(x: u64, k: usize, total_packets: u64, counters: usize) -> f64 {
+    expected_own_share(x, k) + expected_noise_per_counter(total_packets, counters)
+}
+
+/// Probability that one eviction's remainder unit increments a given
+/// mapped counter: `1/k` (the Bernoulli of Eq. 4).
+pub fn remainder_hit_probability(k: usize) -> f64 {
+    1.0 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq10_eviction_count() {
+        assert!((expected_evictions(270, 54) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq12_own_share() {
+        assert!((expected_own_share(300, 3) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq14_variance_zero_for_k1() {
+        assert_eq!(own_share_variance(1000, 54, 1), 0.0);
+        assert!(own_share_variance(1000, 54, 3) > 0.0);
+    }
+
+    #[test]
+    fn corrected_variance_is_k_times_smaller() {
+        let paper = own_share_variance(540, 55, 3);
+        let fixed = own_share_variance_corrected(540, 55, 3);
+        assert!((paper / fixed - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corrected_noise_term() {
+        assert!((expected_noise_per_counter(100_000, 1000) - 100.0).abs() < 1e-12);
+        assert!(
+            (expected_counter_value(300, 3, 100_000, 1000) - 200.0).abs() < 1e-12
+        );
+    }
+}

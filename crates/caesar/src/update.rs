@@ -1,0 +1,119 @@
+//! The split-`k` eviction update (§3.1, Fig. 2).
+//!
+//! An evicted value `e = p·k + q` (`q < k`) is pushed to the flow's `k`
+//! mapped counters: the aliquot `p` to each counter, then each of the
+//! `q` remainder units to one of the `k` counters chosen independently
+//! and uniformly at random — which makes the per-counter remainder
+//! follow `B(q, 1/k)` exactly as the analysis assumes (Eq. 4).
+
+use crate::sram::CounterArray;
+use rand::Rng;
+
+/// Spread eviction value `value` over the counters at `indices`.
+///
+/// Returns the number of SRAM counter writes performed (every mapped
+/// counter is written once per eviction on real hardware: the aliquot
+/// and any remainder units for the same counter coalesce into one
+/// read-modify-write).
+pub fn spread_eviction<R: Rng + ?Sized>(
+    sram: &mut CounterArray,
+    indices: &[usize],
+    value: u64,
+    rng: &mut R,
+) -> u64 {
+    let k = indices.len() as u64;
+    debug_assert!(k > 0, "need at least one mapped counter");
+    let p = value / k;
+    let q = (value % k) as usize;
+
+    // Draw the remainder placement first so each counter gets exactly
+    // one coalesced write.
+    let mut extra = vec![0u64; indices.len()];
+    for _ in 0..q {
+        extra[rng.gen_range(0..indices.len())] += 1;
+    }
+    let mut writes = 0;
+    for (slot, &idx) in indices.iter().enumerate() {
+        let inc = p + extra[slot];
+        if inc > 0 {
+            sram.add(idx, inc);
+            writes += 1;
+        }
+    }
+    writes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn conserves_value_exactly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for value in [0u64, 1, 2, 3, 7, 54, 1000] {
+            let mut sram = CounterArray::new(10, 32);
+            spread_eviction(&mut sram, &[1, 4, 7], value, &mut rng);
+            assert_eq!(sram.sum(), value, "value {value} not conserved");
+        }
+    }
+
+    #[test]
+    fn divisible_value_splits_evenly() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sram = CounterArray::new(6, 32);
+        spread_eviction(&mut sram, &[0, 2, 4], 9, &mut rng);
+        assert_eq!(sram.get(0), 3);
+        assert_eq!(sram.get(2), 3);
+        assert_eq!(sram.get(4), 3);
+    }
+
+    #[test]
+    fn remainder_stays_within_mapped_counters() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sram = CounterArray::new(8, 32);
+        spread_eviction(&mut sram, &[1, 3], 5, &mut rng);
+        // p = 2 each, remainder 1 lands on counter 1 or 3.
+        assert_eq!(sram.get(0), 0);
+        assert!(sram.get(1) + sram.get(3) == 5);
+        assert!(sram.get(1) >= 2 && sram.get(3) >= 2);
+    }
+
+    #[test]
+    fn remainder_distribution_is_binomial() {
+        // With value < k, each unit picks a counter with prob 1/k:
+        // counter 0's share over many trials must be ≈ q/k.
+        let mut rng = StdRng::seed_from_u64(4);
+        let trials = 60_000;
+        let mut hits = 0u64;
+        for _ in 0..trials {
+            let mut sram = CounterArray::new(3, 32);
+            spread_eviction(&mut sram, &[0, 1, 2], 1, &mut rng);
+            hits += sram.get(0);
+        }
+        let rate = hits as f64 / trials as f64;
+        assert!((rate - 1.0 / 3.0).abs() < 0.01, "rate = {rate}");
+    }
+
+    #[test]
+    fn write_count_is_at_most_k() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sram = CounterArray::new(10, 32);
+        // value 2 with k = 3: at most 2 counters written (p = 0).
+        let w = spread_eviction(&mut sram, &[0, 1, 2], 2, &mut rng);
+        assert!(w <= 2);
+        let w = spread_eviction(&mut sram, &[0, 1, 2], 30, &mut rng);
+        assert_eq!(w, 3);
+        // Zero value writes nothing.
+        let w = spread_eviction(&mut sram, &[0, 1, 2], 0, &mut rng);
+        assert_eq!(w, 0);
+    }
+
+    #[test]
+    fn k_equals_one_puts_everything_in_one_counter() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut sram = CounterArray::new(4, 32);
+        spread_eviction(&mut sram, &[2], 17, &mut rng);
+        assert_eq!(sram.get(2), 17);
+    }
+}

@@ -1,0 +1,69 @@
+//! Scratch probe: how does CAESAR/RCS accuracy depend on L and the
+//! flow-size threshold? Used to calibrate the figure tests.
+
+use experiments::runner::{caesar_config, run_caesar, score_caesar, trace_for};
+use experiments::Scale;
+use caesar::Estimator;
+use metrics::ScatterPoint;
+
+fn are_over(points: &[ScatterPoint], min: u64) -> (usize, f64) {
+    let sel: Vec<&ScatterPoint> = points.iter().filter(|p| p.actual >= min).collect();
+    if sel.is_empty() {
+        return (0, f64::NAN);
+    }
+    let are = sel
+        .iter()
+        .map(|p| (p.estimated - p.actual as f64).abs() / p.actual as f64)
+        .sum::<f64>()
+        / sel.len() as f64;
+    (sel.len(), are)
+}
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("default") => Scale::Default,
+        _ => Scale::Tiny,
+    };
+    let shared = trace_for(scale);
+    let (trace, truth) = (&shared.0, &shared.1);
+    println!("Q={} n={}", truth.len(), trace.num_packets());
+    let base = caesar_config(scale);
+    for mult in [1usize, 4, 16] {
+        let cfg = caesar::CaesarConfig {
+            counters: base.counters * mult,
+            ..base
+        };
+        let sketch = run_caesar(cfg, trace);
+        let series = score_caesar(&sketch, truth, Estimator::Csm);
+        print!("CAESAR L={} ({}x, {:.1} KB): ", cfg.counters, mult, cfg.sram_kb());
+        for min in [1u64, 10, 100, 1000, 4000] {
+            let (n, are) = are_over(series.points(), min);
+            print!(" ARE[x>={min}]={are:.3}({n})");
+        }
+        println!();
+
+        use baselines::{LossModel, Rcs, RcsConfig};
+        for loss in [0.0f64, 2.0 / 3.0, 0.9] {
+            let mut rcs = Rcs::new(RcsConfig {
+                counters: cfg.counters,
+                k: 3,
+                loss: if loss == 0.0 {
+                    LossModel::Lossless
+                } else {
+                    LossModel::Uniform(loss)
+                },
+                seed: 1,
+            });
+            for p in &trace.packets {
+                rcs.record(p.flow);
+            }
+            let series = experiments::runner::score_rcs(&rcs, truth);
+            print!("  RCS loss={loss:.2}: ");
+            for min in [1u64, 10, 100, 1000, 4000] {
+                let (n, are) = are_over(series.points(), min);
+                print!(" ARE[x>={min}]={are:.3}({n})");
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Accuracy-side ablations of CAESAR's design choices.
+//!
+//! The Criterion benches (`cargo bench --bench ablations`) measure the
+//! timing side of each trade-off; this module produces the accuracy
+//! side as tables, so `caesar-experiments ablate` documents the whole
+//! design space the paper fixes by fiat (`k = 3`, `y = 2n/Q`, LRU):
+//!
+//! * `k` — counters per flow: more `k` spreads elephants but collects
+//!   more sharing noise into the sum;
+//! * `y` — entry capacity: too small floods the SRAM with evictions,
+//!   too large wastes on-chip bits (the estimators don't care);
+//! * replacement policy — LRU vs random vs FIFO;
+//! * `M` — cache entries: hit rate and off-chip write rate;
+//! * `L` — SRAM counters: the accuracy/memory curve.
+
+use crate::report::{f, pct, Csv, TextTable};
+use crate::runner::{caesar_config, run_caesar, score_caesar, trace_for};
+use crate::scale::{Scale, LARGE_FLOW_THRESHOLD};
+use caesar::{CaesarConfig, Estimator};
+use cachesim::CachePolicy;
+use metrics::are_over_threshold;
+
+/// One ablation point.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// The varied parameter's value, rendered.
+    pub value: String,
+    /// Large-flow ARE at this point.
+    pub large_flow_are: f64,
+    /// Cache hit rate.
+    pub hit_rate: f64,
+    /// Off-chip SRAM writes per packet.
+    pub writes_per_packet: f64,
+    /// SRAM memory at this point (KB).
+    pub sram_kb: f64,
+}
+
+/// One ablation table.
+#[derive(Debug, Clone)]
+pub struct Ablation {
+    /// Which parameter was swept.
+    pub parameter: String,
+    /// The sweep.
+    pub rows: Vec<AblationRow>,
+}
+
+/// The full ablation study.
+#[derive(Debug, Clone)]
+pub struct AblateResult {
+    /// One table per parameter.
+    pub ablations: Vec<Ablation>,
+}
+
+fn run_point(cfg: CaesarConfig, scale: Scale, value: String) -> AblationRow {
+    let shared = trace_for(scale);
+    let (trace, truth) = (&shared.0, &shared.1);
+    let sketch = run_caesar(cfg, trace);
+    let series = score_caesar(&sketch, truth, Estimator::Csm);
+    let st = sketch.stats();
+    AblationRow {
+        value,
+        large_flow_are: are_over_threshold(series.points(), LARGE_FLOW_THRESHOLD)
+            .map(|(_, a)| a)
+            .unwrap_or(f64::NAN),
+        hit_rate: st.cache.hit_rate(),
+        writes_per_packet: st.sram_writes as f64 / trace.num_packets() as f64,
+        sram_kb: cfg.sram_kb(),
+    }
+}
+
+/// Run every ablation at the given scale.
+pub fn run(scale: Scale) -> AblateResult {
+    let base = caesar_config(scale);
+    let mut ablations = Vec::new();
+
+    ablations.push(Ablation {
+        parameter: "k (counters per flow)".into(),
+        rows: [1usize, 2, 3, 5, 8]
+            .iter()
+            .map(|&k| run_point(CaesarConfig { k, ..base }, scale, k.to_string()))
+            .collect(),
+    });
+
+    ablations.push(Ablation {
+        parameter: "y (entry capacity)".into(),
+        rows: [4u64, 16, 54, 128, 512]
+            .iter()
+            .map(|&y| {
+                run_point(CaesarConfig { entry_capacity: y, ..base }, scale, y.to_string())
+            })
+            .collect(),
+    });
+
+    ablations.push(Ablation {
+        parameter: "replacement policy".into(),
+        rows: [
+            ("LRU", CachePolicy::Lru),
+            ("random", CachePolicy::Random),
+            ("FIFO", CachePolicy::Fifo),
+        ]
+        .iter()
+        .map(|&(name, policy)| {
+            run_point(CaesarConfig { policy, ..base }, scale, name.to_string())
+        })
+        .collect(),
+    });
+
+    ablations.push(Ablation {
+        parameter: "M (cache entries)".into(),
+        rows: [base.cache_entries / 8, base.cache_entries / 2, base.cache_entries, base.cache_entries * 4]
+            .iter()
+            .map(|&m| {
+                let m = m.max(1);
+                run_point(CaesarConfig { cache_entries: m, ..base }, scale, m.to_string())
+            })
+            .collect(),
+    });
+
+    ablations.push(Ablation {
+        parameter: "L (SRAM counters)".into(),
+        rows: [base.counters / 4, base.counters, base.counters * 4, base.counters * 16]
+            .iter()
+            .map(|&l| {
+                let l = l.max(base.k);
+                run_point(CaesarConfig { counters: l, ..base }, scale, l.to_string())
+            })
+            .collect(),
+    });
+
+    AblateResult { ablations }
+}
+
+impl AblateResult {
+    /// Text rendering of every table.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Ablations — CAESAR design choices (accuracy side)\n");
+        for a in &self.ablations {
+            let mut t = TextTable::new(vec![
+                a.parameter.clone(),
+                format!("ARE (x>={LARGE_FLOW_THRESHOLD})"),
+                "hit rate".to_string(),
+                "SRAM writes/pkt".to_string(),
+                "SRAM KB".to_string(),
+            ]);
+            for r in &a.rows {
+                t.row(vec![
+                    r.value.clone(),
+                    pct(r.large_flow_are),
+                    pct(r.hit_rate),
+                    f(r.writes_per_packet),
+                    f(r.sram_kb),
+                ]);
+            }
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// CSV export, one file per ablation.
+    pub fn to_csv(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for a in &self.ablations {
+            let tag: String = a
+                .parameter
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric())
+                .collect::<String>()
+                .to_lowercase();
+            let mut c = Csv::new(&["value", "large_flow_are", "hit_rate", "writes_per_packet", "sram_kb"]);
+            for r in &a.rows {
+                c.row(&[
+                    r.value.clone(),
+                    format!("{:.4}", r.large_flow_are),
+                    format!("{:.4}", r.hit_rate),
+                    format!("{:.4}", r.writes_per_packet),
+                    format!("{:.2}", r.sram_kb),
+                ]);
+            }
+            out.push((format!("ablate_{tag}.csv"), c.to_string()));
+        }
+        out
+    }
+
+    /// Find an ablation by parameter prefix.
+    pub fn ablation(&self, prefix: &str) -> Option<&Ablation> {
+        self.ablations.iter().find(|a| a.parameter.starts_with(prefix))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sram_budget_improves_accuracy() {
+        let r = run(Scale::Tiny);
+        let l = r.ablation("L").expect("L ablation");
+        let first = l.rows.first().expect("rows").large_flow_are;
+        let last = l.rows.last().expect("rows").large_flow_are;
+        assert!(last < first, "more SRAM must reduce error: {first} -> {last}");
+    }
+
+    #[test]
+    fn tiny_entry_capacity_floods_sram() {
+        let r = run(Scale::Tiny);
+        let y = r.ablation("y").expect("y ablation");
+        let y4 = &y.rows[0];
+        let y54 = &y.rows[2];
+        assert!(
+            y4.writes_per_packet > 2.0 * y54.writes_per_packet,
+            "y=4 writes {} vs y=54 writes {}",
+            y4.writes_per_packet,
+            y54.writes_per_packet
+        );
+    }
+
+    #[test]
+    fn bigger_cache_raises_hit_rate() {
+        let r = run(Scale::Tiny);
+        let m = r.ablation("M").expect("M ablation");
+        let small = m.rows.first().expect("rows").hit_rate;
+        let large = m.rows.last().expect("rows").hit_rate;
+        assert!(large > small, "hit rate {small} -> {large}");
+    }
+
+    #[test]
+    fn render_has_all_tables() {
+        let r = run(Scale::Tiny);
+        assert_eq!(r.ablations.len(), 5);
+        let s = r.render();
+        for p in ["k (", "y (", "replacement", "M (", "L ("] {
+            assert!(s.contains(p), "missing {p}");
+        }
+        assert_eq!(r.to_csv().len(), 5);
+    }
+}

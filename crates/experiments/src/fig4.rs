@@ -1,0 +1,253 @@
+//! Figure 4: CAESAR accuracy — estimated vs actual ((a) CSM, (b) MLM)
+//! and average relative error vs actual flow size ((c) CSM, (d) MLM).
+//!
+//! Paper observations to reproduce (§6.3.1):
+//! * both estimators track `y = x` closely at < 100 KB of SRAM;
+//! * CSM and MLM differ little; MLM is slightly better on small flows;
+//! * headline AREs: CSM 25.23%, MLM 30.83% (§1.5);
+//! * LRU and random replacement both work (we run both).
+
+use crate::plot::{Chart, Series};
+use crate::report::{f, pct, Csv, TextTable};
+use crate::runner::{caesar_config, run_caesar, score_caesar, trace_for};
+use crate::scale::{Scale, LARGE_FLOW_THRESHOLD};
+use caesar::Estimator;
+use cachesim::CachePolicy;
+use metrics::{are_by_size, are_over_threshold, AccuracyReport, ScatterSeries};
+
+/// One CAESAR variant's scored run.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    /// Label, e.g. "CSM/LRU".
+    pub label: String,
+    /// Estimated-vs-actual series.
+    pub series: ScatterSeries,
+    /// Aggregate accuracy.
+    pub report: AccuracyReport,
+    /// ARE per actual flow size (Fig. 4c/4d).
+    pub are_curve: Vec<(u64, f64)>,
+    /// ARE over flows ≥ [`LARGE_FLOW_THRESHOLD`] packets — the
+    /// paper-comparable headline (see EXPERIMENTS.md).
+    pub large_flow_are: f64,
+    /// Number of flows above the threshold.
+    pub large_flows: usize,
+}
+
+/// Figure 4 result: the four estimator × policy variants.
+#[derive(Debug, Clone)]
+pub struct Fig4Result {
+    /// CSM/LRU (the paper's default), CSM/Random, MLM/LRU, MLM/Random.
+    pub variants: Vec<Variant>,
+    /// SRAM size used, in KB.
+    pub sram_kb: f64,
+}
+
+/// Regenerate Figure 4 at the given scale.
+pub fn run(scale: Scale) -> Fig4Result {
+    let shared = trace_for(scale);
+    let (trace, truth) = (&shared.0, &shared.1);
+    let mut variants = Vec::new();
+    let mut sram_kb = 0.0;
+    for policy in [CachePolicy::Lru, CachePolicy::Random] {
+        let cfg = caesar::CaesarConfig {
+            policy,
+            ..caesar_config(scale)
+        };
+        sram_kb = cfg.sram_kb();
+        let sketch = run_caesar(cfg, trace);
+        for estimator in [Estimator::Csm, Estimator::Mlm] {
+            let series = score_caesar(&sketch, truth, estimator);
+            let report = series.report();
+            let are_curve = are_by_size(series.points(), 20);
+            let (large_flows, large_flow_are) =
+                are_over_threshold(series.points(), LARGE_FLOW_THRESHOLD).unwrap_or((0, f64::NAN));
+            variants.push(Variant {
+                label: format!(
+                    "{}/{}",
+                    match estimator {
+                        Estimator::Csm => "CSM",
+                        Estimator::Mlm => "MLM",
+                    },
+                    match policy {
+                        CachePolicy::Lru => "LRU",
+                        CachePolicy::Random => "Random",
+                        CachePolicy::Fifo => "FIFO",
+                    }
+                ),
+                series,
+                report,
+                are_curve,
+                large_flow_are,
+                large_flows,
+            });
+        }
+    }
+    Fig4Result { variants, sram_kb }
+}
+
+impl Fig4Result {
+    /// Find a variant by label.
+    pub fn variant(&self, label: &str) -> Option<&Variant> {
+        self.variants.iter().find(|v| v.label == label)
+    }
+
+    /// Text rendering of the accuracy summary.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "variant".to_string(),
+            "flows".to_string(),
+            "ARE (all)".to_string(),
+            "median RE".to_string(),
+            format!("ARE (x>={LARGE_FLOW_THRESHOLD})"),
+            "paper ARE".to_string(),
+        ]);
+        for v in &self.variants {
+            let paper = if v.label.starts_with("CSM") { "25.23%" } else { "30.83%" };
+            t.row(vec![
+                v.label.clone(),
+                v.report.flows.to_string(),
+                pct(v.report.avg_relative_error),
+                pct(v.report.median_relative_error),
+                format!("{} ({} flows)", pct(v.large_flow_are), v.large_flows),
+                paper.to_string(),
+            ]);
+        }
+        format!(
+            "Figure 4 — CAESAR accuracy (SRAM {} KB)\n{}",
+            f(self.sram_kb),
+            t.render()
+        )
+    }
+
+    /// CSV series: scatter samples and ARE curves per variant.
+    pub fn to_csv(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for v in &self.variants {
+            let tag = v.label.to_lowercase().replace('/', "_");
+            let mut sc = Csv::new(&["actual", "estimated"]);
+            for p in v.series.sample(5000) {
+                sc.row(&[p.actual.to_string(), f(p.estimated)]);
+            }
+            out.push((format!("fig4_scatter_{tag}.csv"), sc.to_string()));
+            let mut are = Csv::new(&["size", "avg_relative_error"]);
+            for &(s, e) in &v.are_curve {
+                are.row(&[s.to_string(), format!("{e:.6}")]);
+            }
+            out.push((format!("fig4_are_{tag}.csv"), are.to_string()));
+        }
+        out
+    }
+}
+
+impl Fig4Result {
+    /// SVG rendering: one estimated-vs-actual scatter per variant plus
+    /// a combined ARE-vs-size chart (the paper's panels a-d).
+    pub fn to_svg(&self) -> Vec<(String, String)> {
+        let colors = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd"];
+        let mut out = Vec::new();
+        let mut are_chart = Chart::new(
+            "Fig. 4(c/d) — avg relative error vs actual flow size",
+            "actual flow size (packets)",
+            "average relative error",
+        )
+        .log_log();
+        for (i, v) in self.variants.iter().enumerate() {
+            let tag = v.label.to_lowercase().replace('/', "_");
+            let pts: Vec<(f64, f64)> = v
+                .series
+                .sample(3000)
+                .into_iter()
+                .map(|p| (p.actual as f64, p.estimated.max(0.1)))
+                .collect();
+            let chart = Chart::new(
+                &format!("Fig. 4 — CAESAR {} estimated vs actual", v.label),
+                "actual flow size",
+                "estimated flow size",
+            )
+            .log_log()
+            .with_diagonal()
+            .push(Series::scatter(&v.label, colors[i % colors.len()], pts));
+            out.push((format!("fig4_scatter_{tag}.svg"), chart.render_svg()));
+            are_chart = are_chart.push(Series::line(
+                &v.label,
+                colors[i % colors.len()],
+                v.are_curve.iter().map(|&(s, e)| (s as f64, e.max(1e-4))).collect(),
+            ));
+        }
+        out.push(("fig4_are.svg".into(), are_chart.render_svg()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_flow_accuracy_holds_at_small_scale() {
+        // Above the counter-sharing noise floor, CAESAR's estimates
+        // must be accurate (paper headline: ~25-31%). Lossy RCS sits at
+        // 67%/90% at these sizes (Fig. 7), so < 50% preserves the
+        // paper's ordering with margin.
+        let r = run(Scale::Small);
+        assert_eq!(r.variants.len(), 4);
+        for v in &r.variants {
+            assert!(v.large_flows >= 10, "{}: only {} large flows", v.label, v.large_flows);
+            assert!(
+                v.large_flow_are < 0.65,
+                "{}: large-flow ARE = {}",
+                v.label,
+                v.large_flow_are
+            );
+        }
+    }
+
+    #[test]
+    fn csm_and_mlm_differ_little() {
+        // Paper §6.3.1: "CSM and MLM estimation results have little
+        // difference".
+        let r = run(Scale::Small);
+        let csm = r.variant("CSM/LRU").expect("CSM/LRU present");
+        let mlm = r.variant("MLM/LRU").expect("MLM/LRU present");
+        let ratio = mlm.large_flow_are / csm.large_flow_are.max(1e-9);
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "MLM {} vs CSM {} diverge",
+            mlm.large_flow_are,
+            csm.large_flow_are
+        );
+    }
+
+    #[test]
+    fn relative_error_decays_with_flow_size() {
+        // The cone shape of Fig. 4(c): ARE at small sizes far exceeds
+        // ARE at large sizes (constant absolute noise, 1/x relative).
+        let r = run(Scale::Small);
+        let v = r.variant("CSM/LRU").expect("variant");
+        let first = v.are_curve.first().expect("has curve").1;
+        assert!(
+            first > 4.0 * v.large_flow_are.max(1e-9),
+            "small-size ARE {} vs large-flow ARE {}",
+            first,
+            v.large_flow_are
+        );
+    }
+
+    #[test]
+    fn lru_and_random_policies_both_work() {
+        // Paper runs both replacement policies; neither may collapse.
+        let r = run(Scale::Small);
+        let lru = r.variant("CSM/LRU").expect("variant").large_flow_are;
+        let rnd = r.variant("CSM/Random").expect("variant").large_flow_are;
+        assert!(lru < 0.5 && rnd < 0.5, "LRU {lru} / Random {rnd}");
+    }
+
+    #[test]
+    fn render_mentions_all_variants() {
+        let r = run(Scale::Tiny);
+        let s = r.render();
+        for v in ["CSM/LRU", "CSM/Random", "MLM/LRU", "MLM/Random"] {
+            assert!(s.contains(v), "missing {v} in:\n{s}");
+        }
+    }
+}

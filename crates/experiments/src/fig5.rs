@@ -1,0 +1,224 @@
+//! Figure 5: CASE accuracy — (a)/(c) at the equal 183.11 KB SRAM
+//! budget, (b)/(d) at the expanded 1.21 MB budget.
+//!
+//! Paper observations to reproduce (§6.3.2):
+//! * at equal memory, CASE's one-to-one mapping leaves 1–2 bits per
+//!   counter: almost every flow estimates ≈ 0, relative error ≈ 100%;
+//! * at ≈ 6.6× memory (~10 bits/counter), "a small portion of flows
+//!   can be estimated accurately while the others are still bad".
+
+use crate::plot::{Chart, Series};
+use crate::report::{f, pct, Csv, TextTable};
+use crate::runner::{score_case, trace_for};
+use crate::scale::{Scale, LARGE_FLOW_THRESHOLD, PAPER_MEAN_FLOW};
+use baselines::{Case, CaseConfig};
+use metrics::{are_by_size, are_over_threshold, AccuracyReport, ScatterSeries};
+
+/// One CASE budget's scored run.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    /// Label, e.g. "183.11 KB-equiv".
+    pub label: String,
+    /// Bits per counter the budget bought.
+    pub counter_bits: u32,
+    /// SRAM actually used, KB.
+    pub sram_kb: f64,
+    /// Estimated-vs-actual series.
+    pub series: ScatterSeries,
+    /// Aggregate accuracy.
+    pub report: AccuracyReport,
+    /// ARE per actual flow size.
+    pub are_curve: Vec<(u64, f64)>,
+    /// ARE over flows ≥ [`LARGE_FLOW_THRESHOLD`] packets.
+    pub large_flow_are: f64,
+}
+
+/// Figure 5 result: the two budgets.
+#[derive(Debug, Clone)]
+pub struct Fig5Result {
+    /// Equal-budget run, then expanded-budget run.
+    pub budgets: Vec<Budget>,
+}
+
+/// Regenerate Figure 5 at the given scale.
+pub fn run(scale: Scale) -> Fig5Result {
+    let shared = trace_for(scale);
+    let (trace, truth) = (&shared.0, &shared.1);
+    let q = truth.len() as u64;
+    // Deployment-honest compression span: CASE cannot know the largest
+    // flow in advance, so the DISCO scale must be provisioned for the
+    // worst case — a single flow carrying all n packets.
+    let provisioned_max = trace.num_packets() as f64;
+
+    let mut budgets = Vec::new();
+    for (label, bits_budget) in [
+        ("equal-budget (183.11 KB @ paper)", scale.case_sram_bits()),
+        ("expanded (1.21 MB @ paper)", scale.case_big_sram_bits()),
+    ] {
+        // One-to-one mapping: L = Q counters; the budget fixes bits per
+        // counter (at least 1).
+        let counter_bits = ((bits_budget / q).max(1) as u32).min(32);
+        let cfg = CaseConfig {
+            counters: q as usize,
+            counter_bits,
+            max_expected_flow: provisioned_max,
+            cache_entries: scale.cache_entries(),
+            entry_capacity: (2.0 * PAPER_MEAN_FLOW).floor() as u64,
+            ..CaseConfig::default()
+        };
+        let sram_kb = cfg.sram_kb();
+        let mut sketch = Case::new(cfg);
+        for p in &trace.packets {
+            sketch.record(p.flow);
+        }
+        sketch.finish();
+        let series = score_case(&sketch, truth);
+        let report = series.report();
+        let are_curve = are_by_size(series.points(), 20);
+        let large_flow_are = are_over_threshold(series.points(), LARGE_FLOW_THRESHOLD)
+            .map(|(_, a)| a)
+            .unwrap_or(f64::NAN);
+        budgets.push(Budget {
+            label: label.to_string(),
+            counter_bits,
+            sram_kb,
+            series,
+            report,
+            are_curve,
+            large_flow_are,
+        });
+    }
+    Fig5Result { budgets }
+}
+
+impl Fig5Result {
+    /// Text rendering.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "budget", "bits/ctr", "SRAM KB", "ARE", "est==0", "paper",
+        ]);
+        for b in &self.budgets {
+            let paper = if b.label.starts_with("equal") {
+                "ARE ≈ 100%, estimates ≈ 0"
+            } else {
+                "slightly improved"
+            };
+            t.row(vec![
+                b.label.clone(),
+                b.counter_bits.to_string(),
+                f(b.sram_kb),
+                pct(b.report.avg_relative_error),
+                pct(b.report.frac_estimated_zero),
+                paper.to_string(),
+            ]);
+        }
+        format!("Figure 5 — CASE accuracy\n{}", t.render())
+    }
+
+    /// CSV series per budget.
+    pub fn to_csv(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for (i, b) in self.budgets.iter().enumerate() {
+            let tag = if i == 0 { "equal" } else { "expanded" };
+            let mut sc = Csv::new(&["actual", "estimated"]);
+            for p in b.series.sample(5000) {
+                sc.row(&[p.actual.to_string(), f(p.estimated)]);
+            }
+            out.push((format!("fig5_scatter_{tag}.csv"), sc.to_string()));
+            let mut are = Csv::new(&["size", "avg_relative_error"]);
+            for &(s, e) in &b.are_curve {
+                are.row(&[s.to_string(), format!("{e:.6}")]);
+            }
+            out.push((format!("fig5_are_{tag}.csv"), are.to_string()));
+        }
+        out
+    }
+}
+
+impl Fig5Result {
+    /// SVG rendering: one scatter per budget plus the ARE curves.
+    pub fn to_svg(&self) -> Vec<(String, String)> {
+        let colors = ["#1f77b4", "#d62728"];
+        let mut out = Vec::new();
+        let mut are_chart = Chart::new(
+            "Fig. 5(c/d) — CASE avg relative error vs actual flow size",
+            "actual flow size (packets)",
+            "average relative error",
+        )
+        .log_log();
+        for (i, b) in self.budgets.iter().enumerate() {
+            let tag = if i == 0 { "equal" } else { "expanded" };
+            let pts: Vec<(f64, f64)> = b
+                .series
+                .sample(3000)
+                .into_iter()
+                .map(|p| (p.actual as f64, p.estimated.max(0.1)))
+                .collect();
+            let chart = Chart::new(
+                &format!("Fig. 5 — CASE ({}) estimated vs actual", b.label),
+                "actual flow size",
+                "estimated flow size",
+            )
+            .log_log()
+            .with_diagonal()
+            .push(Series::scatter(&b.label, colors[i % 2], pts));
+            out.push((format!("fig5_scatter_{tag}.svg"), chart.render_svg()));
+            are_chart = are_chart.push(Series::line(
+                &b.label,
+                colors[i % 2],
+                b.are_curve.iter().map(|&(s, e)| (s as f64, e.max(1e-4))).collect(),
+            ));
+        }
+        out.push(("fig5_are.svg".into(), are_chart.render_svg()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_budget_collapses() {
+        let r = run(Scale::Tiny);
+        let equal = &r.budgets[0];
+        // The Fig. 5(a)/(c) signature: most flows read back 0 and the
+        // average relative error is near 100%.
+        assert!(
+            equal.report.frac_estimated_zero > 0.5,
+            "only {} estimated zero",
+            equal.report.frac_estimated_zero
+        );
+        assert!(
+            equal.report.avg_relative_error > 0.8,
+            "ARE = {}",
+            equal.report.avg_relative_error
+        );
+    }
+
+    #[test]
+    fn expanded_budget_improves_but_stays_bad() {
+        let r = run(Scale::Small);
+        let (equal, expanded) = (&r.budgets[0], &r.budgets[1]);
+        assert!(expanded.counter_bits > equal.counter_bits);
+        assert!(
+            expanded.report.avg_relative_error < equal.report.avg_relative_error,
+            "expanded {} !< equal {}",
+            expanded.report.avg_relative_error,
+            equal.report.avg_relative_error
+        );
+        // Note: the paper reports the expanded budget as "slightly
+        // improved ... the others are still bad"; our CASE recovers
+        // more than theirs because a correctly calibrated geometric
+        // counter at ~10 bits is genuinely usable (EXPERIMENTS.md
+        // discusses the deviation). The *equal-budget collapse* —
+        // the comparison that matters — reproduces exactly.
+    }
+
+    #[test]
+    fn render_nonempty() {
+        let r = run(Scale::Tiny);
+        assert!(r.render().contains("Figure 5"));
+        assert_eq!(r.to_csv().len(), 4);
+    }
+}

@@ -1,0 +1,204 @@
+//! Figure 6: RCS under the lossless assumption.
+//!
+//! Paper observations to reproduce (§6.3.3): with the same SRAM as
+//! Fig. 4 and no packet loss, RCS's accuracy is "quite similar" to
+//! CAESAR's — which doubles as a check that CAESAR's cache stage adds
+//! no accuracy cost (CAESAR ≈ RCS with y = 1). The paper skips RCS's
+//! MLM because its search is extremely slow; we additionally time both
+//! estimators to quantify that claim.
+
+use crate::plot::{Chart, Series};
+use crate::report::{f, pct, Csv, TextTable};
+use crate::runner::{caesar_config, run_caesar, score_caesar, score_rcs, trace_for};
+use crate::scale::Scale;
+use baselines::{LossModel, Rcs, RcsConfig};
+use caesar::Estimator;
+use metrics::{are_by_size, AccuracyReport, ScatterSeries};
+use std::time::Instant;
+
+/// Figure 6 result.
+#[derive(Debug, Clone)]
+pub struct Fig6Result {
+    /// RCS (CSM) series and report.
+    pub rcs_series: ScatterSeries,
+    /// RCS aggregate accuracy.
+    pub rcs_report: AccuracyReport,
+    /// RCS ARE curve by size.
+    pub rcs_are: Vec<(u64, f64)>,
+    /// CAESAR (CSM/LRU) reference report for the similarity claim.
+    pub caesar_report: AccuracyReport,
+    /// Seconds to CSM-estimate all flows.
+    pub csm_seconds: f64,
+    /// Seconds to MLE-estimate a 1/100 sample of flows, scaled up —
+    /// the "extremely slow" binary search of §6.3.3.
+    pub mle_seconds_scaled: f64,
+}
+
+/// Regenerate Figure 6 at the given scale.
+pub fn run(scale: Scale) -> Fig6Result {
+    let shared = trace_for(scale);
+    let (trace, truth) = (&shared.0, &shared.1);
+
+    let mut rcs = Rcs::new(RcsConfig {
+        counters: scale.caesar_counters(),
+        k: 3,
+        loss: LossModel::Lossless,
+        seed: 0xF166,
+    });
+    for p in &trace.packets {
+        rcs.record(p.flow);
+    }
+
+    let t0 = Instant::now();
+    let rcs_series = score_rcs(&rcs, truth);
+    let csm_seconds = t0.elapsed().as_secs_f64();
+
+    // MLE on a deterministic 1% sample, extrapolated.
+    let t1 = Instant::now();
+    let mut sampled = 0u64;
+    for (i, (&flow, _)) in truth.iter().enumerate() {
+        if i % 100 == 0 {
+            let _ = rcs.estimate_mle(flow);
+            sampled += 1;
+        }
+    }
+    let mle_seconds_scaled = t1.elapsed().as_secs_f64() * (truth.len() as f64 / sampled.max(1) as f64);
+
+    let rcs_report = rcs_series.report();
+    let rcs_are = are_by_size(rcs_series.points(), 20);
+
+    let caesar = run_caesar(caesar_config(scale), trace);
+    let caesar_report = score_caesar(&caesar, truth, Estimator::Csm).report();
+
+    Fig6Result {
+        rcs_series,
+        rcs_report,
+        rcs_are,
+        caesar_report,
+        csm_seconds,
+        mle_seconds_scaled,
+    }
+}
+
+impl Fig6Result {
+    /// Text rendering.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec!["quantity", "RCS (lossless)", "CAESAR (CSM/LRU)"]);
+        t.row(vec![
+            "ARE".to_string(),
+            pct(self.rcs_report.avg_relative_error),
+            pct(self.caesar_report.avg_relative_error),
+        ]);
+        t.row(vec![
+            "median RE".to_string(),
+            pct(self.rcs_report.median_relative_error),
+            pct(self.caesar_report.median_relative_error),
+        ]);
+        t.row(vec![
+            "bias".to_string(),
+            f(self.rcs_report.mean_signed_error),
+            f(self.caesar_report.mean_signed_error),
+        ]);
+        format!(
+            "Figure 6 — RCS under lossless assumption (paper: ≈ CAESAR)\n{}\
+             estimation time: CSM {:.3}s, MLE ≈ {:.1}s (×{:.0} slower — why Fig. 6 omits it)\n",
+            t.render(),
+            self.csm_seconds,
+            self.mle_seconds_scaled,
+            self.mle_seconds_scaled / self.csm_seconds.max(1e-9)
+        )
+    }
+
+    /// CSV series.
+    pub fn to_csv(&self) -> Vec<(String, String)> {
+        let mut sc = Csv::new(&["actual", "estimated"]);
+        for p in self.rcs_series.sample(5000) {
+            sc.row(&[p.actual.to_string(), f(p.estimated)]);
+        }
+        let mut are = Csv::new(&["size", "avg_relative_error"]);
+        for &(s, e) in &self.rcs_are {
+            are.row(&[s.to_string(), format!("{e:.6}")]);
+        }
+        vec![
+            ("fig6_scatter_rcs_lossless.csv".into(), sc.to_string()),
+            ("fig6_are_rcs_lossless.csv".into(), are.to_string()),
+        ]
+    }
+
+    /// The paper's similarity claim: lossless RCS within a band of
+    /// CAESAR's accuracy.
+    pub fn similar_to_caesar(&self) -> bool {
+        let a = self.rcs_report.avg_relative_error;
+        let b = self.caesar_report.avg_relative_error;
+        (a - b).abs() < 0.15 || a / b.max(1e-9) < 1.6
+    }
+}
+
+impl Fig6Result {
+    /// SVG rendering: the lossless-RCS scatter and its ARE curve.
+    pub fn to_svg(&self) -> Vec<(String, String)> {
+        let pts: Vec<(f64, f64)> = self
+            .rcs_series
+            .sample(3000)
+            .into_iter()
+            .map(|p| (p.actual as f64, p.estimated.max(0.1)))
+            .collect();
+        let chart = Chart::new(
+            "Fig. 6 — RCS (lossless) estimated vs actual",
+            "actual flow size",
+            "estimated flow size",
+        )
+        .log_log()
+        .with_diagonal()
+        .push(Series::scatter("RCS lossless", "#2ca02c", pts));
+        let are = Chart::new(
+            "Fig. 6(d) — RCS (lossless) avg relative error",
+            "actual flow size (packets)",
+            "average relative error",
+        )
+        .log_log()
+        .push(Series::line(
+            "RCS lossless",
+            "#2ca02c",
+            self.rcs_are.iter().map(|&(s, e)| (s as f64, e.max(1e-4))).collect(),
+        ));
+        vec![
+            ("fig6_scatter.svg".into(), chart.render_svg()),
+            ("fig6_are.svg".into(), are.render_svg()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_rcs_matches_caesar_accuracy() {
+        let r = run(Scale::Tiny);
+        assert!(
+            r.similar_to_caesar(),
+            "RCS ARE {} vs CAESAR ARE {}",
+            r.rcs_report.avg_relative_error,
+            r.caesar_report.avg_relative_error
+        );
+    }
+
+    #[test]
+    fn mle_is_much_slower_than_csm() {
+        let r = run(Scale::Tiny);
+        assert!(
+            r.mle_seconds_scaled > r.csm_seconds,
+            "MLE {}s should exceed CSM {}s",
+            r.mle_seconds_scaled,
+            r.csm_seconds
+        );
+    }
+
+    #[test]
+    fn render_nonempty() {
+        let r = run(Scale::Tiny);
+        assert!(r.render().contains("Figure 6"));
+        assert_eq!(r.to_csv().len(), 2);
+    }
+}

@@ -1,0 +1,220 @@
+//! Figure 7: RCS under realistic loss.
+//!
+//! Paper observations to reproduce (§6.3.3): with the "empirical speed
+//! difference between the on-chip cache and off-chip SRAM" — SRAM 3×
+//! slower ⇒ loss 2/3, 10× slower ⇒ loss 9/10 — RCS's average relative
+//! errors are 67.68% and 90.06%, "much worse" than CAESAR's 25.23% /
+//! 30.83%. Note the errors land almost exactly at the loss rates: the
+//! surviving fraction `1 − loss` of each flow is what the counters see.
+//!
+//! The loss here is not injected as a parameter: it *emerges* from the
+//! D/D/1/B ingress queue whose service time is the SRAM access.
+
+use crate::plot::{Chart, Series};
+use crate::report::{f, pct, Csv, TextTable};
+use crate::runner::{score_rcs, trace_for};
+use crate::scale::{Scale, LARGE_FLOW_THRESHOLD};
+use baselines::{LossModel, Rcs, RcsConfig};
+use memsim::{IngressQueue, MemoryModel};
+use metrics::{are_by_size, are_over_threshold, AccuracyReport, ScatterSeries};
+
+/// One loss operating point.
+#[derive(Debug, Clone)]
+pub struct LossPoint {
+    /// Label, e.g. "SRAM 3 ns (loss 2/3)".
+    pub label: String,
+    /// Loss rate the queue actually produced.
+    pub realized_loss: f64,
+    /// Loss rate the latency ratio predicts.
+    pub predicted_loss: f64,
+    /// Estimated-vs-actual series.
+    pub series: ScatterSeries,
+    /// Aggregate accuracy.
+    pub report: AccuracyReport,
+    /// ARE per actual flow size.
+    pub are_curve: Vec<(u64, f64)>,
+    /// ARE over flows ≥ [`LARGE_FLOW_THRESHOLD`] packets, where the
+    /// loss-induced bias dominates the sharing noise; this is the
+    /// paper-comparable number (≈ the loss rate).
+    pub large_flow_are: f64,
+    /// The paper's measured ARE at this point.
+    pub paper_are: f64,
+}
+
+/// Figure 7 result: the 2/3 and 9/10 loss points.
+#[derive(Debug, Clone)]
+pub struct Fig7Result {
+    /// Loss points in paper order.
+    pub points: Vec<LossPoint>,
+}
+
+/// Regenerate Figure 7 at the given scale.
+pub fn run(scale: Scale) -> Fig7Result {
+    let shared = trace_for(scale);
+    let (trace, truth) = (&shared.0, &shared.1);
+
+    let mut points = Vec::new();
+    for (mem, paper_are) in [(MemoryModel::fast_sram(), 0.6768), (MemoryModel::default(), 0.9006)] {
+        let queue = IngressQueue {
+            arrival_ns: mem.on_chip_ns,
+            service_ns: mem.sram_ns,
+            capacity: 64,
+        };
+        let mut rcs = Rcs::new(RcsConfig {
+            counters: scale.caesar_counters(),
+            k: 3,
+            loss: LossModel::Queue(queue),
+            seed: 0xF177,
+        });
+        for p in &trace.packets {
+            rcs.record(p.flow);
+        }
+        let series = score_rcs(&rcs, truth);
+        let report = series.report();
+        let are_curve = are_by_size(series.points(), 20);
+        let large_flow_are = are_over_threshold(series.points(), LARGE_FLOW_THRESHOLD)
+            .map(|(_, a)| a)
+            .unwrap_or(f64::NAN);
+        points.push(LossPoint {
+            label: format!(
+                "SRAM {} ns (predicted loss {})",
+                mem.sram_ns,
+                pct(mem.cache_free_loss_rate())
+            ),
+            realized_loss: rcs.stats().loss_rate(),
+            predicted_loss: mem.cache_free_loss_rate(),
+            series,
+            report,
+            are_curve,
+            large_flow_are,
+            paper_are,
+        });
+    }
+    Fig7Result { points }
+}
+
+impl Fig7Result {
+    /// Text rendering.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "operating point".to_string(),
+            "realized loss".to_string(),
+            "ARE (all)".to_string(),
+            format!("ARE (x>={LARGE_FLOW_THRESHOLD})"),
+            "paper ARE".to_string(),
+        ]);
+        for p in &self.points {
+            t.row(vec![
+                p.label.clone(),
+                pct(p.realized_loss),
+                pct(p.report.avg_relative_error),
+                pct(p.large_flow_are),
+                pct(p.paper_are),
+            ]);
+        }
+        format!("Figure 7 — RCS under realistic loss\n{}", t.render())
+    }
+
+    /// CSV series.
+    pub fn to_csv(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for (i, p) in self.points.iter().enumerate() {
+            let tag = if i == 0 { "loss23" } else { "loss910" };
+            let mut sc = Csv::new(&["actual", "estimated"]);
+            for pt in p.series.sample(5000) {
+                sc.row(&[pt.actual.to_string(), f(pt.estimated)]);
+            }
+            out.push((format!("fig7_scatter_{tag}.csv"), sc.to_string()));
+            let mut are = Csv::new(&["size", "avg_relative_error"]);
+            for &(s, e) in &p.are_curve {
+                are.row(&[s.to_string(), format!("{e:.6}")]);
+            }
+            out.push((format!("fig7_are_{tag}.csv"), are.to_string()));
+        }
+        out
+    }
+}
+
+impl Fig7Result {
+    /// SVG rendering: one scatter per loss point plus the ARE curves.
+    pub fn to_svg(&self) -> Vec<(String, String)> {
+        let colors = ["#ff7f0e", "#8c564b"];
+        let mut out = Vec::new();
+        let mut are_chart = Chart::new(
+            "Fig. 7(c/d) — lossy RCS avg relative error vs actual flow size",
+            "actual flow size (packets)",
+            "average relative error",
+        )
+        .log_log();
+        for (i, p) in self.points.iter().enumerate() {
+            let tag = if i == 0 { "loss23" } else { "loss910" };
+            let pts: Vec<(f64, f64)> = p
+                .series
+                .sample(3000)
+                .into_iter()
+                .map(|q| (q.actual as f64, q.estimated.max(0.1)))
+                .collect();
+            let chart = Chart::new(
+                &format!("Fig. 7 — RCS at {} estimated vs actual", p.label),
+                "actual flow size",
+                "estimated flow size",
+            )
+            .log_log()
+            .with_diagonal()
+            .push(Series::scatter(&p.label, colors[i % 2], pts));
+            out.push((format!("fig7_scatter_{tag}.svg"), chart.render_svg()));
+            are_chart = are_chart.push(Series::line(
+                &p.label,
+                colors[i % 2],
+                p.are_curve.iter().map(|&(s, e)| (s as f64, e.max(1e-4))).collect(),
+            ));
+        }
+        out.push(("fig7_are.svg".into(), are_chart.render_svg()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_realizes_predicted_losses() {
+        let r = run(Scale::Tiny);
+        for p in &r.points {
+            assert!(
+                (p.realized_loss - p.predicted_loss).abs() < 0.02,
+                "{}: realized {} vs predicted {}",
+                p.label,
+                p.realized_loss,
+                p.predicted_loss
+            );
+        }
+    }
+
+    #[test]
+    fn are_lands_near_loss_rate_as_in_paper() {
+        // Paper: ARE 67.68% at loss 2/3, 90.06% at loss 9/10 — the ARE
+        // tracks the loss rate where the loss-induced bias dominates
+        // (large flows; small flows drown in sharing noise for every
+        // scheme alike — see EXPERIMENTS.md).
+        let r = run(Scale::Small);
+        assert!((r.points[0].large_flow_are - 2.0 / 3.0).abs() < 0.12,
+            "ARE = {}", r.points[0].large_flow_are);
+        assert!((r.points[1].large_flow_are - 0.9).abs() < 0.12,
+            "ARE = {}", r.points[1].large_flow_are);
+    }
+
+    #[test]
+    fn higher_loss_means_higher_error() {
+        let r = run(Scale::Small);
+        assert!(r.points[1].large_flow_are > r.points[0].large_flow_are);
+    }
+
+    #[test]
+    fn render_nonempty() {
+        let r = run(Scale::Tiny);
+        assert!(r.render().contains("Figure 7"));
+        assert_eq!(r.to_csv().len(), 4);
+    }
+}

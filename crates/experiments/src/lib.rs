@@ -1,0 +1,44 @@
+//! # experiments — regenerating every figure of the CAESAR paper
+//!
+//! One module per figure of the evaluation (§6), plus the headline
+//! average-relative-error summary of §1.5. Each module exposes a
+//! `run(scale) -> FigNResult` function whose result renders as a text
+//! table and exports CSV series, so the paper's plots can be
+//! regenerated with any plotting tool.
+//!
+//! | Module | Paper figure | What it shows |
+//! |---|---|---|
+//! | [`fig3`] | Fig. 3 | heavy-tailed flow-size distribution of the trace |
+//! | [`fig4`] | Fig. 4 | CAESAR accuracy, CSM vs MLM, LRU vs random |
+//! | [`fig5`] | Fig. 5 | CASE collapse at equal memory, partial recovery at 6.6× |
+//! | [`fig6`] | Fig. 6 | RCS accuracy under the lossless assumption |
+//! | [`fig7`] | Fig. 7 | RCS accuracy at loss 2/3 and 9/10 |
+//! | [`fig8`] | Fig. 8 | processing time vs number of packets |
+//! | [`headline`] | §1.5 | average relative error of every scheme |
+//!
+//! The [`scale::Scale`] parameter shrinks or grows the synthetic trace
+//! while keeping the paper's operating point (`n/L` noise per counter,
+//! `y = 2·n/Q`) fixed — see DESIGN.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablate;
+pub mod exts;
+pub mod harness;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod headline;
+pub mod plot;
+pub mod report;
+pub mod theory;
+pub mod throughput;
+pub mod runner;
+pub mod scale;
+
+pub use report::{Csv, TextTable};
+pub use scale::Scale;

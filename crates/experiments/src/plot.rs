@@ -1,0 +1,558 @@
+//! Minimal self-contained SVG plotting.
+//!
+//! Enough of a chart library to regenerate the paper's figures as
+//! actual images — log-log scatter plots (Figs. 4–7 panels a/b), log-x
+//! error curves (panels c/d), and log-log line charts (Fig. 8) — with
+//! no dependencies beyond `std::fmt`. Each figure module feeds its CSV
+//! series through these helpers; the CLI writes the `.svg` files next
+//! to the CSVs.
+
+use std::fmt::Write as _;
+
+/// Where an axis is linear or base-10 logarithmic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AxisScale {
+    /// Linear axis.
+    Linear,
+    /// Base-10 logarithmic axis (values must be positive; zeros are
+    /// clamped to the axis minimum).
+    Log,
+}
+
+/// One series of points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+    /// Stroke/fill color (any SVG color).
+    pub color: String,
+    /// Draw a connecting line (otherwise scatter markers only).
+    pub line: bool,
+}
+
+impl Series {
+    /// A scatter series.
+    pub fn scatter(label: &str, color: &str, points: Vec<(f64, f64)>) -> Self {
+        Self { label: label.into(), points, color: color.into(), line: false }
+    }
+
+    /// A line series.
+    pub fn line(label: &str, color: &str, points: Vec<(f64, f64)>) -> Self {
+        Self { label: label.into(), points, color: color.into(), line: true }
+    }
+}
+
+/// A chart under construction.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    /// Title rendered above the plot area.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// X-axis scale.
+    pub x_scale: AxisScale,
+    /// Y-axis scale.
+    pub y_scale: AxisScale,
+    /// Data series.
+    pub series: Vec<Series>,
+    /// Draw the y = x reference line (the accuracy figures' guide).
+    pub diagonal: bool,
+}
+
+const W: f64 = 640.0;
+const H: f64 = 480.0;
+const ML: f64 = 70.0; // margins
+const MR: f64 = 20.0;
+const MT: f64 = 40.0;
+const MB: f64 = 55.0;
+
+impl Chart {
+    /// New chart with linear axes.
+    pub fn new(title: &str, x_label: &str, y_label: &str) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            x_scale: AxisScale::Linear,
+            y_scale: AxisScale::Linear,
+            series: Vec::new(),
+            diagonal: false,
+        }
+    }
+
+    /// Switch both axes to log scale.
+    pub fn log_log(mut self) -> Self {
+        self.x_scale = AxisScale::Log;
+        self.y_scale = AxisScale::Log;
+        self
+    }
+
+    /// Switch the x axis to log scale.
+    pub fn log_x(mut self) -> Self {
+        self.x_scale = AxisScale::Log;
+        self
+    }
+
+    /// Enable the y = x reference diagonal.
+    pub fn with_diagonal(mut self) -> Self {
+        self.diagonal = true;
+        self
+    }
+
+    /// Add a series.
+    pub fn push(mut self, s: Series) -> Self {
+        self.series.push(s);
+        self
+    }
+
+    fn bounds(&self) -> ((f64, f64), (f64, f64)) {
+        let mut xs: Vec<f64> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                xs.push(x);
+                ys.push(y);
+            }
+        }
+        let clean = |v: &mut Vec<f64>, log: bool| {
+            v.retain(|x| x.is_finite() && (!log || *x > 0.0));
+            if v.is_empty() {
+                v.extend([1.0, 10.0]);
+            }
+        };
+        clean(&mut xs, self.x_scale == AxisScale::Log);
+        clean(&mut ys, self.y_scale == AxisScale::Log);
+        let min = |v: &[f64]| v.iter().copied().fold(f64::MAX, f64::min);
+        let max = |v: &[f64]| v.iter().copied().fold(f64::MIN, f64::max);
+        let pad = |lo: f64, hi: f64, log: bool| {
+            if log {
+                (lo / 1.5, hi * 1.5)
+            } else if (hi - lo).abs() < f64::EPSILON {
+                (lo - 1.0, hi + 1.0)
+            } else {
+                let m = 0.05 * (hi - lo);
+                (lo - m, hi + m)
+            }
+        };
+        (
+            pad(min(&xs), max(&xs), self.x_scale == AxisScale::Log),
+            pad(min(&ys), max(&ys), self.y_scale == AxisScale::Log),
+        )
+    }
+
+    fn project(v: f64, (lo, hi): (f64, f64), scale: AxisScale, out_lo: f64, out_hi: f64) -> f64 {
+        let t = match scale {
+            AxisScale::Linear => (v - lo) / (hi - lo),
+            AxisScale::Log => {
+                let v = v.max(lo.max(f64::MIN_POSITIVE));
+                (v.ln() - lo.ln()) / (hi.ln() - lo.ln())
+            }
+        };
+        out_lo + t.clamp(0.0, 1.0) * (out_hi - out_lo)
+    }
+
+    fn ticks((lo, hi): (f64, f64), scale: AxisScale) -> Vec<f64> {
+        match scale {
+            AxisScale::Log => {
+                let mut t = Vec::new();
+                let mut d = 10f64.powf(lo.max(f64::MIN_POSITIVE).log10().floor());
+                while d <= hi {
+                    if d >= lo {
+                        t.push(d);
+                    }
+                    d *= 10.0;
+                }
+                if t.is_empty() {
+                    t.push(lo);
+                    t.push(hi);
+                }
+                t
+            }
+            AxisScale::Linear => {
+                let span = hi - lo;
+                let step = 10f64.powf(span.log10().floor());
+                let step = if span / step >= 5.0 { step } else { step / 2.0 };
+                let mut t = Vec::new();
+                let mut v = (lo / step).ceil() * step;
+                while v <= hi {
+                    t.push(v);
+                    v += step;
+                }
+                t
+            }
+        }
+    }
+
+    fn fmt_tick(v: f64) -> String {
+        if v == 0.0 {
+            "0".into()
+        } else if v.abs() >= 10_000.0 || v.abs() < 0.01 {
+            format!("{v:.0e}")
+        } else if v.fract().abs() < 1e-9 {
+            format!("{v:.0}")
+        } else {
+            format!("{v:.2}")
+        }
+    }
+
+    /// Render the chart to an SVG document.
+    pub fn render_svg(&self) -> String {
+        let (xb, yb) = self.bounds();
+        let px = |x: f64| Self::project(x, xb, self.x_scale, ML, W - MR);
+        let py = |y: f64| Self::project(y, yb, self.y_scale, H - MB, MT);
+
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}">"#
+        );
+        let _ = writeln!(s, r#"<rect width="{W}" height="{H}" fill="white"/>"#);
+        let _ = writeln!(
+            s,
+            r#"<text x="{}" y="24" text-anchor="middle" font-family="sans-serif" font-size="15">{}</text>"#,
+            W / 2.0,
+            xml_escape(&self.title)
+        );
+
+        // Axes frame.
+        let _ = writeln!(
+            s,
+            r##"<rect x="{ML}" y="{MT}" width="{}" height="{}" fill="none" stroke="#333"/>"##,
+            W - ML - MR,
+            H - MT - MB
+        );
+
+        // Ticks and grid.
+        for t in Self::ticks(xb, self.x_scale) {
+            let x = px(t);
+            let _ = writeln!(
+                s,
+                r##"<line x1="{x:.1}" y1="{MT}" x2="{x:.1}" y2="{:.1}" stroke="#ddd"/>"##,
+                H - MB
+            );
+            let _ = writeln!(
+                s,
+                r#"<text x="{x:.1}" y="{:.1}" text-anchor="middle" font-family="sans-serif" font-size="11">{}</text>"#,
+                H - MB + 16.0,
+                Self::fmt_tick(t)
+            );
+        }
+        for t in Self::ticks(yb, self.y_scale) {
+            let y = py(t);
+            let _ = writeln!(
+                s,
+                r##"<line x1="{ML}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/>"##,
+                W - MR
+            );
+            let _ = writeln!(
+                s,
+                r#"<text x="{:.1}" y="{y:.1}" text-anchor="end" font-family="sans-serif" font-size="11">{}</text>"#,
+                ML - 6.0,
+                Self::fmt_tick(t)
+            );
+        }
+
+        // Axis labels.
+        let _ = writeln!(
+            s,
+            r#"<text x="{}" y="{}" text-anchor="middle" font-family="sans-serif" font-size="13">{}</text>"#,
+            (ML + W - MR) / 2.0,
+            H - 12.0,
+            xml_escape(&self.x_label)
+        );
+        let _ = writeln!(
+            s,
+            r#"<text x="16" y="{}" text-anchor="middle" font-family="sans-serif" font-size="13" transform="rotate(-90 16 {})">{}</text>"#,
+            (MT + H - MB) / 2.0,
+            (MT + H - MB) / 2.0,
+            xml_escape(&self.y_label)
+        );
+
+        // y = x reference.
+        if self.diagonal {
+            let lo = xb.0.max(yb.0);
+            let hi = xb.1.min(yb.1);
+            if hi > lo {
+                let _ = writeln!(
+                    s,
+                    r##"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#999" stroke-dasharray="5,4"/>"##,
+                    px(lo),
+                    py(lo),
+                    px(hi),
+                    py(hi)
+                );
+            }
+        }
+
+        // Series.
+        for series in &self.series {
+            if series.line {
+                let mut d = String::new();
+                for (i, &(x, y)) in series.points.iter().enumerate() {
+                    let _ = write!(
+                        d,
+                        "{}{:.1},{:.1} ",
+                        if i == 0 { "M" } else { "L" },
+                        px(x),
+                        py(y)
+                    );
+                }
+                let _ = writeln!(
+                    s,
+                    r#"<path d="{}" fill="none" stroke="{}" stroke-width="1.8"/>"#,
+                    d.trim_end(),
+                    series.color
+                );
+            }
+            for &(x, y) in &series.points {
+                let _ = writeln!(
+                    s,
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="2.2" fill="{}" fill-opacity="0.55"/>"#,
+                    px(x),
+                    py(y),
+                    series.color
+                );
+            }
+        }
+
+        // Legend.
+        let mut ly = MT + 14.0;
+        for series in &self.series {
+            let _ = writeln!(
+                s,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="4" fill="{}"/>"#,
+                ML + 14.0,
+                ly - 4.0,
+                series.color
+            );
+            let _ = writeln!(
+                s,
+                r#"<text x="{:.1}" y="{ly:.1}" font-family="sans-serif" font-size="12">{}</text>"#,
+                ML + 24.0,
+                xml_escape(&series.label)
+            );
+            ly += 18.0;
+        }
+
+        s.push_str("</svg>\n");
+        s
+    }
+}
+
+fn xml_escape(t: &str) -> String {
+    t.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// A categorical bar chart (used for the scheme-comparison figures).
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    /// Title.
+    pub title: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Bars: (category label, value).
+    pub bars: Vec<(String, f64)>,
+    /// Log-scale the y axis (values must be positive).
+    pub log_y: bool,
+}
+
+impl BarChart {
+    /// New bar chart.
+    pub fn new(title: &str, y_label: &str) -> Self {
+        Self {
+            title: title.into(),
+            y_label: y_label.into(),
+            bars: Vec::new(),
+            log_y: false,
+        }
+    }
+
+    /// Log-scale the y axis.
+    pub fn log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Add a bar.
+    pub fn bar(mut self, label: &str, value: f64) -> Self {
+        self.bars.push((label.into(), value));
+        self
+    }
+
+    /// Render to SVG.
+    pub fn render_svg(&self) -> String {
+        const PALETTE: [&str; 8] = [
+            "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf",
+            "#7f7f7f",
+        ];
+        let scale = if self.log_y { AxisScale::Log } else { AxisScale::Linear };
+        let values: Vec<f64> = self
+            .bars
+            .iter()
+            .map(|&(_, v)| if self.log_y { v.max(f64::MIN_POSITIVE) } else { v })
+            .collect();
+        let hi = values.iter().copied().fold(f64::MIN, f64::max).max(1e-9);
+        let lo = if self.log_y {
+            values.iter().copied().fold(f64::MAX, f64::min).min(hi) / 1.5
+        } else {
+            0.0
+        };
+        let yb = (lo, hi * 1.1);
+        let py = |v: f64| Chart::project(v, yb, scale, H - MB, MT);
+
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}">"#
+        );
+        let _ = writeln!(s, r#"<rect width="{W}" height="{H}" fill="white"/>"#);
+        let _ = writeln!(
+            s,
+            r#"<text x="{}" y="24" text-anchor="middle" font-family="sans-serif" font-size="15">{}</text>"#,
+            W / 2.0,
+            xml_escape(&self.title)
+        );
+        let _ = writeln!(
+            s,
+            r##"<rect x="{ML}" y="{MT}" width="{}" height="{}" fill="none" stroke="#333"/>"##,
+            W - ML - MR,
+            H - MT - MB
+        );
+        for t in Chart::ticks(yb, scale) {
+            let y = py(t);
+            let _ = writeln!(
+                s,
+                r##"<line x1="{ML}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/>"##,
+                W - MR
+            );
+            let _ = writeln!(
+                s,
+                r#"<text x="{:.1}" y="{y:.1}" text-anchor="end" font-family="sans-serif" font-size="11">{}</text>"#,
+                ML - 6.0,
+                Chart::fmt_tick(t)
+            );
+        }
+        let _ = writeln!(
+            s,
+            r#"<text x="16" y="{}" text-anchor="middle" font-family="sans-serif" font-size="13" transform="rotate(-90 16 {})">{}</text>"#,
+            (MT + H - MB) / 2.0,
+            (MT + H - MB) / 2.0,
+            xml_escape(&self.y_label)
+        );
+
+        let n = self.bars.len().max(1) as f64;
+        let span = W - ML - MR;
+        let slot = span / n;
+        let bar_w = slot * 0.6;
+        for (i, (label, value)) in self.bars.iter().enumerate() {
+            let v = if self.log_y { value.max(yb.0) } else { *value };
+            let x = ML + i as f64 * slot + (slot - bar_w) / 2.0;
+            let top = py(v);
+            let _ = writeln!(
+                s,
+                r#"<rect x="{x:.1}" y="{top:.1}" width="{bar_w:.1}" height="{:.1}" fill="{}" fill-opacity="0.85"/>"#,
+                (H - MB - top).max(0.0),
+                PALETTE[i % PALETTE.len()]
+            );
+            let _ = writeln!(
+                s,
+                r#"<text x="{:.1}" y="{:.1}" text-anchor="middle" font-family="sans-serif" font-size="10">{}</text>"#,
+                x + bar_w / 2.0,
+                H - MB + 14.0,
+                xml_escape(label)
+            );
+        }
+        s.push_str("</svg>\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_chart() -> Chart {
+        Chart::new("test", "x", "y")
+            .log_log()
+            .with_diagonal()
+            .push(Series::scatter("a", "#1f77b4", vec![(1.0, 1.2), (10.0, 9.0), (100.0, 140.0)]))
+            .push(Series::line("b", "#d62728", vec![(1.0, 2.0), (100.0, 50.0)]))
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = sample_chart().render_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // Balanced text elements, both series present, a path for the
+        // line series and circles for markers.
+        assert_eq!(svg.matches("<text").count(), svg.matches("</text>").count());
+        assert!(svg.contains("stroke-dasharray")); // diagonal
+        assert!(svg.contains("<path"));
+        assert!(svg.matches("<circle").count() >= 5);
+    }
+
+    #[test]
+    fn log_axis_clamps_nonpositive() {
+        let svg = Chart::new("t", "x", "y")
+            .log_log()
+            .push(Series::scatter("z", "red", vec![(0.0, 0.0), (10.0, 10.0)]))
+            .render_svg();
+        // Must not produce NaN coordinates.
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn empty_chart_still_renders() {
+        let svg = Chart::new("empty", "x", "y").render_svg();
+        assert!(svg.contains("</svg>"));
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn escape_special_characters() {
+        let svg = Chart::new("a < b & c", "x", "y").render_svg();
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn linear_ticks_cover_range() {
+        let ticks = Chart::ticks((0.0, 100.0), AxisScale::Linear);
+        assert!(ticks.len() >= 3);
+        assert!(ticks.iter().all(|&t| (0.0..=100.0).contains(&t)));
+    }
+
+    #[test]
+    fn bar_chart_renders() {
+        let svg = BarChart::new("schemes", "ARE")
+            .bar("CAESAR", 0.34)
+            .bar("RCS", 0.69)
+            .bar("CASE", 1.0)
+            .render_svg();
+        assert!(svg.contains("</svg>"));
+        assert_eq!(svg.matches("<rect").count(), 2 + 3); // bg + frame + 3 bars
+        assert!(svg.contains("CAESAR"));
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn log_bar_chart_handles_small_values() {
+        let svg = BarChart::new("t", "v")
+            .log_y()
+            .bar("a", 0.001)
+            .bar("b", 1000.0)
+            .render_svg();
+        assert!(!svg.contains("NaN"));
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn log_ticks_are_decades() {
+        let ticks = Chart::ticks((1.0, 100_000.0), AxisScale::Log);
+        assert_eq!(ticks, vec![1.0, 10.0, 100.0, 1000.0, 10_000.0, 100_000.0]);
+    }
+}

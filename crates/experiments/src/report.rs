@@ -1,0 +1,163 @@
+//! Text-table and CSV rendering for experiment results.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row arity {} != header arity {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "| {:<w$} ", c, w = width[i]);
+            }
+            out.push_str("|\n");
+        };
+        fmt_row(&mut out, &self.header);
+        for (i, w) in width.iter().enumerate() {
+            let _ = write!(out, "|{:-<w$}", "", w = w + 2);
+            if i == cols - 1 {
+                out.push_str("|\n");
+            }
+        }
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// A CSV document under construction.
+#[derive(Debug, Clone, Default)]
+pub struct Csv {
+    lines: Vec<String>,
+}
+
+impl Csv {
+    /// CSV with a header line.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            lines: vec![header.join(",")],
+        }
+    }
+
+    /// Append a row of already-formatted cells.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        self.lines.push(cells.join(","));
+        self
+    }
+
+}
+
+impl std::fmt::Display for Csv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for line in &self.lines {
+            writeln!(f, "{line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a float with sensible experiment precision.
+pub fn f(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Format a fraction as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(vec!["scheme", "ARE"]);
+        t.row(vec!["CAESAR-CSM", "25.2%"]);
+        t.row(vec!["RCS", "67.7%"]);
+        let s = t.render();
+        assert!(s.contains("| CAESAR-CSM | 25.2% |"));
+        assert!(s.contains("| scheme"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_rejects_bad_row() {
+        TextTable::new(vec!["a", "b"]).row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn csv_builds() {
+        let mut c = Csv::new(&["x", "y"]);
+        c.row(&["1".into(), "2".into()]);
+        assert_eq!(c.to_string(), "x,y\n1,2\n");
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(0.12345), "0.1235");
+        assert_eq!(f(7.4912), "7.49");
+        assert_eq!(f(123456.7), "123457");
+        assert_eq!(pct(0.2523), "25.23%");
+    }
+}

@@ -1,0 +1,141 @@
+//! Shared machinery: trace caching and scheme drivers.
+
+use crate::scale::{Scale, PAPER_MEAN_FLOW};
+use baselines::{Case, Rcs};
+use caesar::{Caesar, CaesarConfig, Estimator};
+use flowtrace::{FlowId, Trace};
+use metrics::ScatterSeries;
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A generated trace plus its ground truth, shared between figures.
+pub type SharedTrace = Arc<(Trace, HashMap<FlowId, u64>)>;
+
+static TRACE_CACHE: Mutex<Vec<(Scale, bool, SharedTrace)>> = Mutex::new(Vec::new());
+
+fn cached_trace(scale: Scale, bursty: bool) -> SharedTrace {
+    let mut cache = TRACE_CACHE.lock();
+    if let Some((_, _, t)) = cache.iter().find(|(s, b, _)| *s == scale && *b == bursty) {
+        return Arc::clone(t);
+    }
+    let mut cfg = scale.synth_config();
+    if bursty {
+        cfg.order = flowtrace::synth::ArrivalOrder::PerFlowBursts;
+    }
+    let gen = flowtrace::synth::TraceGenerator::new(cfg);
+    let t = Arc::new(gen.generate());
+    cache.push((scale, bursty, Arc::clone(&t)));
+    t
+}
+
+/// The synthetic trace for `scale` with uniformly shuffled arrivals
+/// (the paper's analysis assumption), generated once per process.
+pub fn trace_for(scale: Scale) -> SharedTrace {
+    cached_trace(scale, false)
+}
+
+/// The same flow population with per-flow burst arrivals — the
+/// high-temporal-locality replay Fig. 8's timing sweep uses (real
+/// captures replayed in order keep flows bursty; a global shuffle
+/// destroys the locality every cache depends on).
+pub fn bursty_trace_for(scale: Scale) -> SharedTrace {
+    cached_trace(scale, true)
+}
+
+/// The CAESAR configuration every accuracy figure uses at `scale`
+/// (the Fig. 4 operating point: 91.55 KB-equivalent SRAM, k = 3,
+/// y = ⌊2·n/Q⌋).
+pub fn caesar_config(scale: Scale) -> CaesarConfig {
+    CaesarConfig {
+        cache_entries: scale.cache_entries(),
+        entry_capacity: (2.0 * PAPER_MEAN_FLOW).floor() as u64,
+        counters: scale.caesar_counters(),
+        k: 3,
+        ..CaesarConfig::default()
+    }
+}
+
+/// Run CAESAR over the trace and return the finished sketch.
+pub fn run_caesar(cfg: CaesarConfig, trace: &Trace) -> Caesar {
+    let mut c = Caesar::new(cfg);
+    for p in &trace.packets {
+        c.record(p.flow);
+    }
+    c.finish();
+    c
+}
+
+/// Score a finished CAESAR sketch against ground truth with the given
+/// estimator, in parallel over flows.
+pub fn score_caesar(
+    sketch: &Caesar,
+    truth: &HashMap<FlowId, u64>,
+    estimator: Estimator,
+) -> ScatterSeries {
+    let mut pairs: Vec<(FlowId, u64)> = truth.iter().map(|(&f, &x)| (f, x)).collect();
+    pairs.sort_unstable(); // deterministic order for reproducible output
+    let points: Vec<(u64, f64)> = pairs
+        .par_iter()
+        .map(|&(f, x)| (x, sketch.estimate(f, estimator).clamped()))
+        .collect();
+    let mut series = ScatterSeries::new();
+    for (x, e) in points {
+        series.push(x, e);
+    }
+    series
+}
+
+/// Score a finished RCS sketch (CSM estimator) against ground truth.
+pub fn score_rcs(sketch: &Rcs, truth: &HashMap<FlowId, u64>) -> ScatterSeries {
+    let mut pairs: Vec<(FlowId, u64)> = truth.iter().map(|(&f, &x)| (f, x)).collect();
+    pairs.sort_unstable();
+    let points: Vec<(u64, f64)> = pairs
+        .par_iter()
+        .map(|&(f, x)| (x, sketch.query(f)))
+        .collect();
+    let mut series = ScatterSeries::new();
+    for (x, e) in points {
+        series.push(x, e);
+    }
+    series
+}
+
+/// Score a finished CASE sketch against ground truth.
+pub fn score_case(sketch: &Case, truth: &HashMap<FlowId, u64>) -> ScatterSeries {
+    let mut pairs: Vec<(FlowId, u64)> = truth.iter().map(|(&f, &x)| (f, x)).collect();
+    pairs.sort_unstable();
+    let mut series = ScatterSeries::new();
+    for (f, x) in pairs {
+        series.push(x, sketch.query(f));
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_cache_returns_same_arc() {
+        let a = trace_for(Scale::Tiny);
+        let b = trace_for(Scale::Tiny);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn caesar_runs_end_to_end_at_tiny_scale() {
+        let shared = trace_for(Scale::Tiny);
+        let (trace, truth) = (&shared.0, &shared.1);
+        let sketch = run_caesar(caesar_config(Scale::Tiny), trace);
+        let series = score_caesar(&sketch, truth, Estimator::Csm);
+        assert_eq!(series.len(), truth.len());
+        // Packet conservation end-to-end.
+        assert_eq!(sketch.sram().total_added() as usize, trace.num_packets());
+        // Estimates must be finite and non-negative (clamped).
+        for p in series.points() {
+            assert!(p.estimated.is_finite() && p.estimated >= 0.0);
+        }
+    }
+}

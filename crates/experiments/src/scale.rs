@@ -1,0 +1,147 @@
+//! Experiment scaling.
+//!
+//! The paper's trace has `n = 27,720,011` packets over `Q = 1,014,601`
+//! flows. The estimators' accuracy is governed by intensive quantities
+//! — noise per counter `n/L`, entry capacity `y = 2·n/Q`, counters per
+//! flow `k` — so the whole evaluation can be scaled down by shrinking
+//! `Q` and `L` together. `Scale` fixes three reproducible operating
+//! points; every figure accepts one.
+
+use flowtrace::synth::SynthConfig;
+
+/// Paper flow count.
+pub const PAPER_FLOWS: usize = 1_014_601;
+/// Paper packet count.
+pub const PAPER_PACKETS: u64 = 27_720_011;
+/// Paper mean flow size `n/Q`.
+pub const PAPER_MEAN_FLOW: f64 = PAPER_PACKETS as f64 / PAPER_FLOWS as f64;
+/// CAESAR/RCS SRAM counters at paper scale: 91.55 KB of 32-bit
+/// counters (§6.3.1).
+pub const PAPER_CAESAR_COUNTERS: usize = 23_437;
+/// CASE SRAM budget at paper scale: 183.11 KB (§6.3.2).
+pub const PAPER_CASE_SRAM_KB: f64 = 183.11;
+/// CASE's expanded budget: 1.21 MB (§6.3.2).
+pub const PAPER_CASE_BIG_SRAM_KB: f64 = 1.21 * 1024.0;
+/// Cache entries at paper scale (97.66 KB cache, §6.2, with 32-bit
+/// tag + 6-bit counter per entry ⇒ ≈ 21 K entries).
+pub const PAPER_CACHE_ENTRIES: usize = 21_000;
+
+/// How big to run an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// ≈ 2 K flows / 55 K packets — CI and doc tests, sub-second.
+    Tiny,
+    /// ≈ 20 K flows / 550 K packets — accuracy-shape tests, ~1 s.
+    Small,
+    /// ≈ 101 K flows / 2.77 M packets — 1/10 of the paper, seconds.
+    Default,
+    /// The paper's full size — minutes.
+    Full,
+}
+
+/// The "large flow" cutoff (≈ 150× the mean flow size) above which
+/// relative errors rise above the counter-sharing noise floor; the
+/// headline accuracy comparisons are reported over these flows.
+pub const LARGE_FLOW_THRESHOLD: u64 = 4000;
+
+impl Scale {
+    /// Parse from a CLI string.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "default" => Some(Scale::Default),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// Fraction of the paper's flow count.
+    pub fn fraction(self) -> f64 {
+        match self {
+            Scale::Tiny => 0.002,
+            Scale::Small => 0.02,
+            Scale::Default => 0.1,
+            Scale::Full => 1.0,
+        }
+    }
+
+    /// Number of flows `Q` at this scale.
+    pub fn flows(self) -> usize {
+        ((PAPER_FLOWS as f64 * self.fraction()).round() as usize).max(100)
+    }
+
+    /// Synthetic-trace configuration at this scale.
+    pub fn synth_config(self) -> SynthConfig {
+        SynthConfig {
+            num_flows: self.flows(),
+            mean_flow_size: PAPER_MEAN_FLOW,
+            max_flow_size: match self {
+                Scale::Tiny | Scale::Small => 20_000,
+                _ => 100_000,
+            },
+            ..SynthConfig::default()
+        }
+    }
+
+    /// CAESAR/RCS counter count `L`, scaled to keep `n/L` at the
+    /// paper's operating point (≈ 1183 units of noise per counter).
+    pub fn caesar_counters(self) -> usize {
+        ((PAPER_CAESAR_COUNTERS as f64 * self.fraction()).round() as usize).max(32)
+    }
+
+    /// On-chip cache entries `M`, scaled like the paper's 97.66 KB
+    /// cache. The paper's cache holds ≈ 2% of concurrently active
+    /// flows' working set; scaling M with Q preserves the hit rate.
+    pub fn cache_entries(self) -> usize {
+        ((PAPER_CACHE_ENTRIES as f64 * self.fraction()).round() as usize).max(32)
+    }
+
+    /// CASE counter budget (bits) at equal memory: the paper's
+    /// 183.11 KB scaled by the same fraction.
+    pub fn case_sram_bits(self) -> u64 {
+        (PAPER_CASE_SRAM_KB * 1024.0 * 8.0 * self.fraction()) as u64
+    }
+
+    /// CASE's expanded budget (1.21 MB at paper scale), scaled.
+    pub fn case_big_sram_bits(self) -> u64 {
+        (PAPER_CASE_BIG_SRAM_KB * 1024.0 * 8.0 * self.fraction()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_paper_constants() {
+        assert_eq!(Scale::Full.flows(), PAPER_FLOWS);
+        assert_eq!(Scale::Full.caesar_counters(), PAPER_CAESAR_COUNTERS);
+        assert!((PAPER_MEAN_FLOW - 27.32).abs() < 0.01);
+    }
+
+    #[test]
+    fn noise_per_counter_is_scale_invariant() {
+        // The expected noise n/L must track the paper's operating point
+        // at every scale (the tiny trace's sampled heavy tail can push
+        // its realized n, so compare the configured ratio only).
+        for s in [Scale::Tiny, Scale::Small, Scale::Default, Scale::Full] {
+            let n = s.flows() as f64 * PAPER_MEAN_FLOW;
+            let noise = n / s.caesar_counters() as f64;
+            let paper_noise = PAPER_PACKETS as f64 / PAPER_CAESAR_COUNTERS as f64;
+            assert!(
+                (noise - paper_noise).abs() / paper_noise < 0.15,
+                "{s:?}: noise {noise} vs paper {paper_noise}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        assert_eq!(Scale::parse("tiny"), Some(Scale::Tiny));
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("default"), Some(Scale::Default));
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("bogus"), None);
+    }
+}

@@ -1,0 +1,142 @@
+//! Compact binary trace format.
+//!
+//! Full-scale experiment traces run to tens of millions of packets;
+//! re-generating them is cheap but not free, and sharing the exact
+//! trace between the simulation harness and the FPGA-style timing model
+//! requires a stable on-disk form. The format is deliberately trivial:
+//!
+//! ```text
+//! magic  "CTRC" (4 bytes)
+//! version u32 LE
+//! num_flows u64 LE
+//! num_packets u64 LE
+//! then per packet: flow u64 LE, byte_len u16 LE
+//! ```
+
+use crate::packet::{Packet, Trace};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Format magic.
+pub const MAGIC: &[u8; 4] = b"CTRC";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Errors from decoding a binary trace.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Stream did not start with the `CTRC` magic.
+    BadMagic,
+    /// Unknown version number.
+    BadVersion(u32),
+    /// Fewer bytes than the header promised.
+    Truncated,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a CTRC trace"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported CTRC version {v}"),
+            DecodeError::Truncated => write!(f, "trace data truncated"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Serialize a trace.
+pub fn encode(trace: &Trace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(24 + trace.packets.len() * 10);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(trace.num_flows as u64);
+    buf.put_u64_le(trace.packets.len() as u64);
+    for p in &trace.packets {
+        buf.put_u64_le(p.flow);
+        buf.put_u16_le(p.byte_len);
+    }
+    buf.freeze()
+}
+
+/// Deserialize a trace.
+pub fn decode(mut data: &[u8]) -> Result<Trace, DecodeError> {
+    if data.len() < 24 {
+        return Err(DecodeError::BadMagic);
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = data.get_u32_le();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let num_flows = data.get_u64_le() as usize;
+    let num_packets = data.get_u64_le() as usize;
+    if data.remaining() < num_packets * 10 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut packets = Vec::with_capacity(num_packets);
+    for _ in 0..num_packets {
+        let flow = data.get_u64_le();
+        let byte_len = data.get_u16_le();
+        packets.push(Packet { flow, byte_len });
+    }
+    Ok(Trace { packets, num_flows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        Trace {
+            packets: vec![
+                Packet { flow: 0xDEAD_BEEF, byte_len: 64 },
+                Packet { flow: 1, byte_len: 1500 },
+                Packet { flow: 0xDEAD_BEEF, byte_len: 128 },
+            ],
+            num_flows: 2,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample_trace();
+        let enc = encode(&t);
+        let dec = decode(&enc).unwrap();
+        assert_eq!(dec.packets, t.packets);
+        assert_eq!(dec.num_flows, 2);
+    }
+
+    #[test]
+    fn empty_trace_roundtrip() {
+        let t = Trace::default();
+        let dec = decode(&encode(&t)).unwrap();
+        assert_eq!(dec.packets.len(), 0);
+        assert_eq!(dec.num_flows, 0);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(decode(b"nope"), Err(DecodeError::BadMagic)));
+        assert!(matches!(decode(&[0u8; 64]), Err(DecodeError::BadMagic)));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut enc = encode(&sample_trace()).to_vec();
+        enc[4] = 99;
+        assert!(matches!(decode(&enc), Err(DecodeError::BadVersion(99))));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let enc = encode(&sample_trace());
+        assert!(matches!(
+            decode(&enc[..enc.len() - 1]),
+            Err(DecodeError::Truncated)
+        ));
+    }
+}

@@ -1,0 +1,484 @@
+//! Flow-size distributions.
+//!
+//! The paper's analysis (§4.1) assumes flow sizes follow a known
+//! distribution `P_i` with mean `μ` and variance `σ²`, and its trace
+//! exhibits a heavy tail where **more than 92% of flows are smaller
+//! than the mean** (§4.2) and **more than 95% are smaller than
+//! `y = 2·n/Q`** (§6.2). A truncated discrete power law
+//! `P(s) ∝ s^(−α)`, `s ∈ [1, s_max]`, reproduces both properties; this
+//! module samples it and calibrates `α` to hit a target mean.
+
+use rand::Rng;
+
+/// A discrete distribution over flow sizes `1..=max_size`.
+pub trait FlowSizeDistribution {
+    /// Draw one flow size.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64;
+    /// Analytic (or empirical) mean of the distribution.
+    fn mean(&self) -> f64;
+    /// Largest size the distribution can produce.
+    fn max_size(&self) -> u64;
+}
+
+/// Truncated discrete power law ("Zipf-like") flow sizes:
+/// `P(s) = s^(−α) / Σ_{j=1}^{s_max} j^(−α)`.
+///
+/// Sampling is inverse-CDF over a precomputed table, O(log s_max) per
+/// draw. With `s_max` up to a few hundred thousand, the table costs a
+/// few MB once per experiment — irrelevant next to the trace itself.
+#[derive(Debug, Clone)]
+pub struct PowerLaw {
+    alpha: f64,
+    /// cdf[i] = P(size <= i+1)
+    cdf: Vec<f64>,
+    mean: f64,
+}
+
+impl PowerLaw {
+    /// Build with explicit tail exponent `alpha > 0` and truncation
+    /// `max_size >= 1`.
+    pub fn new(alpha: f64, max_size: u64) -> Self {
+        assert!(alpha > 0.0, "alpha must be positive");
+        assert!(max_size >= 1, "max_size must be at least 1");
+        let mut weights = Vec::with_capacity(max_size as usize);
+        let mut total = 0.0f64;
+        for s in 1..=max_size {
+            let w = (s as f64).powf(-alpha);
+            total += w;
+            weights.push(w);
+        }
+        let mut cdf = Vec::with_capacity(weights.len());
+        let mut acc = 0.0f64;
+        let mut mean = 0.0f64;
+        for (i, w) in weights.iter().enumerate() {
+            acc += w / total;
+            cdf.push(acc);
+            mean += (i as f64 + 1.0) * (w / total);
+        }
+        // Guard against floating-point drift in the last bucket.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self { alpha, cdf, mean }
+    }
+
+    /// Calibrate the exponent so the mean flow size is `target_mean`,
+    /// using a bisection on the analytic mean (which is monotonically
+    /// decreasing in `α`).
+    ///
+    /// ```
+    /// use flowtrace::dist::{FlowSizeDistribution, PowerLaw};
+    /// let d = PowerLaw::with_mean(27.3, 100_000);
+    /// assert!((d.mean() - 27.3).abs() < 0.05);
+    /// ```
+    pub fn with_mean(target_mean: f64, max_size: u64) -> Self {
+        assert!(target_mean >= 1.0, "mean flow size cannot be below 1 packet");
+        assert!(
+            (target_mean as u64) < max_size,
+            "target mean {target_mean} unreachable with max_size {max_size}"
+        );
+        let mean_of = |alpha: f64| -> f64 {
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for s in 1..=max_size {
+                let w = (s as f64).powf(-alpha);
+                num += s as f64 * w;
+                den += w;
+            }
+            num / den
+        };
+        // Mean decreases from ~max_size/2 (alpha→0) towards 1 (alpha→∞).
+        let (mut lo, mut hi) = (1e-6f64, 8.0f64);
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if mean_of(mid) > target_mean {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Self::new(0.5 * (lo + hi), max_size)
+    }
+
+    /// The tail exponent in use.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Probability of a flow having exactly size `s` (`P_s` in Table 1).
+    pub fn pmf(&self, s: u64) -> f64 {
+        if s == 0 || s as usize > self.cdf.len() {
+            return 0.0;
+        }
+        let i = s as usize - 1;
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+impl FlowSizeDistribution for PowerLaw {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        // First index with cdf >= u.
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) | Err(i) => (i as u64 + 1).min(self.cdf.len() as u64),
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn max_size(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+}
+
+/// Discretized log-normal flow sizes: `size = ⌈exp(N(μ_log, σ_log))⌉`,
+/// truncated to `[1, max_size]`.
+///
+/// Internet flow sizes are often modelled log-normally as well as by
+/// power laws; having both lets the sensitivity experiments check that
+/// the paper's comparisons do not hinge on the exact tail family.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu_log: f64,
+    sigma_log: f64,
+    max_size: u64,
+    mean: f64,
+}
+
+impl LogNormal {
+    /// Build from log-space parameters.
+    ///
+    /// # Panics
+    /// Panics if `sigma_log <= 0` or `max_size == 0`.
+    pub fn new(mu_log: f64, sigma_log: f64, max_size: u64) -> Self {
+        assert!(sigma_log > 0.0, "sigma must be positive");
+        assert!(max_size >= 1, "max_size must be at least 1");
+        // Empirical mean of the truncated, discretized variable: use a
+        // numeric estimate over the quantile grid (cheap, done once).
+        let mut mean = 0.0;
+        let steps = 10_000;
+        for i in 0..steps {
+            let p = (i as f64 + 0.5) / steps as f64;
+            let z = crate::dist::probit(p);
+            let v = (mu_log + sigma_log * z).exp().ceil().clamp(1.0, max_size as f64);
+            mean += v;
+        }
+        Self { mu_log, sigma_log, max_size, mean: mean / steps as f64 }
+    }
+
+    /// Calibrate `μ_log` so the (truncated, discretized) mean is
+    /// `target_mean` at the given log-space spread.
+    pub fn with_mean(target_mean: f64, sigma_log: f64, max_size: u64) -> Self {
+        assert!(target_mean >= 1.0);
+        let (mut lo, mut hi) = (-5.0f64, 15.0f64);
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if Self::new(mid, sigma_log, max_size).mean() < target_mean {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Self::new(0.5 * (lo + hi), sigma_log, max_size)
+    }
+
+    /// Log-space location parameter.
+    pub fn mu_log(&self) -> f64 {
+        self.mu_log
+    }
+}
+
+impl FlowSizeDistribution for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        // Box–Muller from two uniforms.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = (self.mu_log + self.sigma_log * z).exp().ceil();
+        (v as u64).clamp(1, self.max_size)
+    }
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+    fn max_size(&self) -> u64 {
+        self.max_size
+    }
+}
+
+/// Standard normal quantile (probit) via the Beasley–Springer–Moro
+/// rational approximation — enough precision for trace calibration.
+pub fn probit(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probit needs p in (0,1)");
+    // Symmetric around 0.5.
+    let q = p - 0.5;
+    if q.abs() <= 0.425 {
+        let r = 0.180625 - q * q;
+        return q * (((((((2509.0809287301226727 * r + 33430.575583588128105) * r
+            + 67265.770927008700853)
+            * r
+            + 45921.953931549871457)
+            * r
+            + 13731.693765509461125)
+            * r
+            + 1971.5909503065514427)
+            * r
+            + 133.14166789178437745)
+            * r
+            + 3.387132872796366608)
+            / (((((((5226.495278852545703 * r + 28729.085735721942674) * r
+                + 39307.89580009271061)
+                * r
+                + 21213.794301586595867)
+                * r
+                + 5394.1960214247511077)
+                * r
+                + 687.1870074920579083)
+                * r
+                + 42.313330701600911252)
+                * r
+                + 1.0);
+    }
+    let r = if q < 0.0 { p } else { 1.0 - p };
+    let r = (-r.ln()).sqrt();
+    let val = if r <= 5.0 {
+        let r = r - 1.6;
+        (((((((7.7454501427834140764e-4 * r + 0.0227238449892691845833) * r
+            + 0.24178072517745061177)
+            * r
+            + 1.27045825245236838258)
+            * r
+            + 3.64784832476320460504)
+            * r
+            + 5.7694972214606914055)
+            * r
+            + 4.6303378461565452959)
+            * r
+            + 1.42343711074968357734)
+            / (((((((1.05075007164441684324e-9 * r + 5.475938084995344946e-4) * r
+                + 0.0151986665636164571966)
+                * r
+                + 0.14810397642748007459)
+                * r
+                + 0.68976733498510000455)
+                * r
+                + 1.6763848301838038494)
+                * r
+                + 2.05319162663775882187)
+                * r
+                + 1.0)
+    } else {
+        let r = r - 5.0;
+        (((((((2.01033439929228813265e-7 * r + 2.71155556874348757815e-5) * r
+            + 0.0012426609473880784386)
+            * r
+            + 0.026532189526576123093)
+            * r
+            + 0.29656057182850489123)
+            * r
+            + 1.7848265399172913358)
+            * r
+            + 5.4637849111641143699)
+            * r
+            + 6.6579046435011037772)
+            / (((((((2.04426310338993978564e-15 * r + 1.4215117583164458887e-7) * r
+                + 1.8463183175100546818e-5)
+                * r
+                + 7.868691311456132591e-4)
+                * r
+                + 0.0148753612908506148525)
+                * r
+                + 0.13692988092273580531)
+                * r
+                + 0.59983220655588793769)
+                * r
+                + 1.0)
+    };
+    if q < 0.0 {
+        -val
+    } else {
+        val
+    }
+}
+
+/// Degenerate distribution: every flow has exactly `size` packets.
+/// Useful for controlled experiments and the analytic unit tests.
+#[derive(Debug, Clone, Copy)]
+pub struct Constant(pub u64);
+
+impl FlowSizeDistribution for Constant {
+    fn sample<R: Rng + ?Sized>(&self, _rng: &mut R) -> u64 {
+        self.0
+    }
+    fn mean(&self) -> f64 {
+        self.0 as f64
+    }
+    fn max_size(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Empirical distribution resampled from observed flow sizes.
+#[derive(Debug, Clone)]
+pub struct Empirical {
+    sizes: Vec<u64>,
+    mean: f64,
+}
+
+impl Empirical {
+    /// Build from a list of observed flow sizes.
+    ///
+    /// # Panics
+    /// Panics if `sizes` is empty.
+    pub fn new(sizes: Vec<u64>) -> Self {
+        assert!(!sizes.is_empty(), "empirical distribution needs samples");
+        let mean = sizes.iter().map(|&s| s as f64).sum::<f64>() / sizes.len() as f64;
+        Self { sizes, mean }
+    }
+}
+
+impl FlowSizeDistribution for Empirical {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        self.sizes[rng.gen_range(0..self.sizes.len())]
+    }
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+    fn max_size(&self) -> u64 {
+        *self.sizes.iter().max().expect("non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let d = PowerLaw::new(1.5, 1000);
+        let total: f64 = (1..=1000).map(|s| d.pmf(s)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total = {total}");
+    }
+
+    #[test]
+    fn pmf_is_decreasing() {
+        let d = PowerLaw::new(1.2, 500);
+        for s in 1..500 {
+            assert!(d.pmf(s) >= d.pmf(s + 1));
+        }
+    }
+
+    #[test]
+    fn sample_respects_truncation() {
+        let d = PowerLaw::new(1.1, 64);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let s = d.sample(&mut rng);
+            assert!((1..=64).contains(&s));
+        }
+    }
+
+    #[test]
+    fn sample_mean_matches_analytic_mean() {
+        let d = PowerLaw::with_mean(27.3, 50_000);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let sum: u64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let emp = sum as f64 / n as f64;
+        assert!(
+            (emp - d.mean()).abs() / d.mean() < 0.05,
+            "empirical {emp} vs analytic {}",
+            d.mean()
+        );
+    }
+
+    #[test]
+    fn calibrated_tail_matches_paper_shape() {
+        // Paper §4.2: >92% of flows are below the mean.
+        let d = PowerLaw::with_mean(27.3, 100_000);
+        let below: f64 = (1..=27).map(|s| d.pmf(s)).sum();
+        assert!(below > 0.92, "P(size < mean) = {below}");
+        // §6.2: >95% of flows are below y = 2 * mean.
+        let below_y: f64 = (1..=54).map(|s| d.pmf(s)).sum();
+        assert!(below_y > 0.95, "P(size < y) = {below_y}");
+    }
+
+    #[test]
+    fn probit_inverts_known_quantiles() {
+        assert!((probit(0.5)).abs() < 1e-9);
+        assert!((probit(0.975) - 1.959964).abs() < 1e-4);
+        assert!((probit(0.025) + 1.959964).abs() < 1e-4);
+        assert!((probit(0.999) - 3.090232).abs() < 1e-4);
+    }
+
+    #[test]
+    fn lognormal_calibrates_to_target_mean() {
+        let d = LogNormal::with_mean(27.3, 2.0, 100_000);
+        assert!((d.mean() - 27.3).abs() / 27.3 < 0.02, "mean = {}", d.mean());
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200_000;
+        let emp: f64 = (0..n).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((emp - 27.3).abs() / 27.3 < 0.1, "empirical mean = {emp}");
+    }
+
+    #[test]
+    fn lognormal_respects_truncation_and_floor() {
+        let d = LogNormal::new(3.0, 2.5, 500);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let s = d.sample(&mut rng);
+            assert!((1..=500).contains(&s));
+        }
+    }
+
+    #[test]
+    fn lognormal_is_heavy_tailed_enough() {
+        // With σ_log = 2 the mean-27 lognormal also puts > 80% of
+        // flows below the mean (the tail-shape property the paper's
+        // analysis leans on, somewhat weaker than the power law's 92%).
+        let d = LogNormal::with_mean(27.3, 2.0, 100_000);
+        let mut rng = StdRng::seed_from_u64(9);
+        let below = (0..100_000)
+            .filter(|_| (d.sample(&mut rng) as f64) < 27.3)
+            .count();
+        assert!(below > 80_000, "below-mean fraction {below}");
+    }
+
+    #[test]
+    fn constant_distribution() {
+        let d = Constant(5);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(d.sample(&mut rng), 5);
+        assert_eq!(d.mean(), 5.0);
+    }
+
+    #[test]
+    fn empirical_resamples_support() {
+        let d = Empirical::new(vec![1, 1, 1, 10]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let s = d.sample(&mut rng);
+            assert!(s == 1 || s == 10);
+        }
+        assert!((d.mean() - 3.25).abs() < 1e-12);
+        assert_eq!(d.max_size(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs samples")]
+    fn empirical_rejects_empty() {
+        Empirical::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unreachable")]
+    fn with_mean_rejects_impossible_target() {
+        PowerLaw::with_mean(100.0, 50);
+    }
+}

@@ -1,0 +1,120 @@
+//! Exact per-flow counting — the oracle every scheme is scored against.
+
+use crate::packet::{FlowId, Packet, Trace};
+use std::collections::HashMap;
+
+/// Exact per-flow packet and byte counter.
+///
+/// This is what an idealized measurement box with unbounded fast memory
+/// would report; the paper's relative-error plots compare each scheme's
+/// estimate to these values.
+#[derive(Debug, Default, Clone)]
+pub struct ExactCounter {
+    packets: HashMap<FlowId, u64>,
+    bytes: HashMap<FlowId, u64>,
+    total_packets: u64,
+}
+
+impl ExactCounter {
+    /// Empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one packet.
+    pub fn record(&mut self, packet: &Packet) {
+        *self.packets.entry(packet.flow).or_default() += 1;
+        *self.bytes.entry(packet.flow).or_default() += packet.byte_len as u64;
+        self.total_packets += 1;
+    }
+
+    /// Count a whole trace.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut c = Self::new();
+        for p in &trace.packets {
+            c.record(p);
+        }
+        c
+    }
+
+    /// Exact packet count of `flow` (0 if unseen).
+    pub fn size(&self, flow: FlowId) -> u64 {
+        self.packets.get(&flow).copied().unwrap_or(0)
+    }
+
+    /// Exact byte count of `flow` (0 if unseen).
+    pub fn volume(&self, flow: FlowId) -> u64 {
+        self.bytes.get(&flow).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct flows seen (`Q`).
+    pub fn num_flows(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Total packets seen (`n`).
+    pub fn total_packets(&self) -> u64 {
+        self.total_packets
+    }
+
+    /// Mean flow size `μ = n / Q`.
+    pub fn mean_flow_size(&self) -> f64 {
+        if self.packets.is_empty() {
+            0.0
+        } else {
+            self.total_packets as f64 / self.packets.len() as f64
+        }
+    }
+
+    /// Iterate `(flow, exact_size)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (FlowId, u64)> + '_ {
+        self.packets.iter().map(|(&f, &s)| (f, s))
+    }
+
+    /// All flow sizes (order unspecified).
+    pub fn sizes(&self) -> Vec<u64> {
+        self.packets.values().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_packets_and_bytes() {
+        let mut c = ExactCounter::new();
+        c.record(&Packet { flow: 1, byte_len: 100 });
+        c.record(&Packet { flow: 1, byte_len: 200 });
+        c.record(&Packet { flow: 2, byte_len: 64 });
+        assert_eq!(c.size(1), 2);
+        assert_eq!(c.volume(1), 300);
+        assert_eq!(c.size(2), 1);
+        assert_eq!(c.size(3), 0);
+        assert_eq!(c.num_flows(), 2);
+        assert_eq!(c.total_packets(), 3);
+        assert!((c.mean_flow_size() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_trace_equals_manual() {
+        let trace = Trace {
+            packets: vec![
+                Packet { flow: 7, byte_len: 64 },
+                Packet { flow: 7, byte_len: 64 },
+                Packet { flow: 9, byte_len: 1500 },
+            ],
+            num_flows: 2,
+        };
+        let c = ExactCounter::from_trace(&trace);
+        assert_eq!(c.size(7), 2);
+        assert_eq!(c.size(9), 1);
+    }
+
+    #[test]
+    fn empty_counter_is_well_defined() {
+        let c = ExactCounter::new();
+        assert_eq!(c.mean_flow_size(), 0.0);
+        assert_eq!(c.num_flows(), 0);
+    }
+}

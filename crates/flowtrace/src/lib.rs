@@ -1,0 +1,36 @@
+//! # flowtrace — packet/flow model and traces for CAESAR experiments
+//!
+//! The paper evaluates on a real 10 Gbps backbone trace with
+//! `n = 27,720,011` packets forming `Q = 1,014,601` flows whose sizes
+//! follow a heavy-tailed distribution (Fig. 3), with more than 92% of
+//! flows below the average size (§4.2). We do not have that trace, so
+//! this crate builds the closest synthetic equivalent plus the tooling a
+//! user with a real capture needs:
+//!
+//! * [`packet`] — [`FiveTuple`], [`Packet`], [`Trace`];
+//! * [`dist`] — truncated power-law (Zipf-like) flow-size sampler with
+//!   analytic calibration of the tail exponent to a target mean;
+//! * [`synth`] — [`synth::TraceGenerator`]: heavy-tailed synthetic
+//!   traces with uniform packet interleaving (the paper's arrival
+//!   assumption) or per-flow bursts;
+//! * [`pcap`] — a from-scratch libpcap file reader/writer (Ethernet →
+//!   IPv4 → TCP/UDP/ICMP → 5-tuple) so real captures can be replayed;
+//! * [`stats`] — flow-size histograms, CCDF, tail fractions (Fig. 3);
+//! * [`groundtruth`] — exact per-flow counts used as the oracle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binfmt;
+pub mod dist;
+pub mod groundtruth;
+pub mod packet;
+pub mod pcap;
+pub mod scenarios;
+pub mod stats;
+pub mod synth;
+pub mod timing;
+pub mod transform;
+
+pub use groundtruth::ExactCounter;
+pub use packet::{FiveTuple, FlowId, Packet, Trace};

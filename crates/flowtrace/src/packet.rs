@@ -1,0 +1,139 @@
+//! Core packet and trace types.
+
+use hashkit::flowid;
+use serde::{Deserialize, Serialize};
+
+/// 64-bit flow identifier, generated from the 5-tuple header with
+/// SHA-1 + APHash as in the paper (§6.1). See [`hashkit::flowid`].
+pub type FlowId = u64;
+
+/// The classic transport 5-tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FiveTuple {
+    /// IPv4 source address (host byte order).
+    pub src_ip: u32,
+    /// IPv4 destination address (host byte order).
+    pub dst_ip: u32,
+    /// Transport source port (0 for ICMP).
+    pub src_port: u16,
+    /// Transport destination port (0 for ICMP).
+    pub dst_port: u16,
+    /// IP protocol number (6 = TCP, 17 = UDP, 1 = ICMP).
+    pub proto: u8,
+}
+
+impl FiveTuple {
+    /// TCP protocol number.
+    pub const TCP: u8 = 6;
+    /// UDP protocol number.
+    pub const UDP: u8 = 17;
+    /// ICMP protocol number.
+    pub const ICMP: u8 = 1;
+
+    /// Generate the flow ID for this tuple (SHA-1 ⊕ APHash, §6.1).
+    pub fn flow_id(&self) -> FlowId {
+        flowid::flow_id(self.src_ip, self.dst_ip, self.src_port, self.dst_port, self.proto)
+    }
+}
+
+/// A captured packet, reduced to what per-flow measurement needs: its
+/// flow and its wire length. The paper counts either packets ("flow
+/// size") or bytes ("flow volume"); both have "almost the same
+/// distribution, except for the magnitude" (§3.1), so the schemes only
+/// see `flow` and optionally weight by `byte_len`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Flow the packet belongs to.
+    pub flow: FlowId,
+    /// Wire length in bytes (for flow-volume measurement).
+    pub byte_len: u16,
+}
+
+impl Packet {
+    /// Construct a packet with the default 64-byte minimum frame.
+    pub fn new(flow: FlowId) -> Self {
+        Self { flow, byte_len: 64 }
+    }
+}
+
+/// An ordered packet trace plus its basic census.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Packets in arrival order.
+    pub packets: Vec<Packet>,
+    /// Number of distinct flows (the paper's `Q`).
+    pub num_flows: usize,
+}
+
+impl Trace {
+    /// Total packet count (the paper's `n`).
+    pub fn num_packets(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Average flow size `n / Q` used to pick the cache entry capacity
+    /// `y = ⌊2·n/Q⌋` (§6.2).
+    pub fn mean_flow_size(&self) -> f64 {
+        if self.num_flows == 0 {
+            return 0.0;
+        }
+        self.packets.len() as f64 / self.num_flows as f64
+    }
+
+    /// The paper's recommended per-entry cache capacity `y = ⌊2·n/Q⌋`,
+    /// clamped to at least 2 so an entry can always hold one packet
+    /// without instantly overflowing.
+    pub fn recommended_entry_capacity(&self) -> u64 {
+        ((2.0 * self.mean_flow_size()).floor() as u64).max(2)
+    }
+
+    /// Iterate over flow IDs in arrival order.
+    pub fn flow_ids(&self) -> impl Iterator<Item = FlowId> + '_ {
+        self.packets.iter().map(|p| p.flow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_flow_id_is_stable_and_direction_sensitive() {
+        let fwd = FiveTuple {
+            src_ip: 0x0A00_0001,
+            dst_ip: 0x0A00_0002,
+            src_port: 1234,
+            dst_port: 80,
+            proto: FiveTuple::TCP,
+        };
+        let rev = FiveTuple {
+            src_ip: fwd.dst_ip,
+            dst_ip: fwd.src_ip,
+            src_port: fwd.dst_port,
+            dst_port: fwd.src_port,
+            proto: fwd.proto,
+        };
+        assert_eq!(fwd.flow_id(), fwd.flow_id());
+        assert_ne!(fwd.flow_id(), rev.flow_id());
+    }
+
+    #[test]
+    fn mean_flow_size_and_capacity() {
+        let mut t = Trace { num_flows: 4, ..Trace::default() };
+        for f in 0..4u64 {
+            for _ in 0..27 {
+                t.packets.push(Packet::new(f));
+            }
+        }
+        assert_eq!(t.num_packets(), 108);
+        assert!((t.mean_flow_size() - 27.0).abs() < 1e-9);
+        assert_eq!(t.recommended_entry_capacity(), 54);
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let t = Trace::default();
+        assert_eq!(t.mean_flow_size(), 0.0);
+        assert_eq!(t.recommended_entry_capacity(), 2);
+    }
+}

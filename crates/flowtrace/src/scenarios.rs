@@ -1,0 +1,195 @@
+//! Attack and anomaly traffic scenarios.
+//!
+//! The paper motivates per-flow measurement with intrusion detection
+//! ("scanning speeds of worm-infected hosts", §1.1). These generators
+//! synthesize the corresponding traffic patterns as 5-tuple-level
+//! flows so the detection examples and tests work on realistic
+//! structure rather than hand-rolled packet lists.
+
+use crate::packet::{FiveTuple, FlowId, Packet, Trace};
+use crate::transform;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A synthesized attack: the packets plus the flow IDs involved.
+#[derive(Debug, Clone)]
+pub struct AttackTraffic {
+    /// Attack packets, in order.
+    pub packets: Vec<Packet>,
+    /// The flows the attack created.
+    pub flows: Vec<FlowId>,
+}
+
+/// A volumetric flood: one source hammers one destination/service with
+/// `packets` packets — a single elephant flow.
+pub fn flood(src_ip: u32, dst_ip: u32, dst_port: u16, packets: u64) -> AttackTraffic {
+    let tuple = FiveTuple {
+        src_ip,
+        dst_ip,
+        src_port: 54_321,
+        dst_port,
+        proto: FiveTuple::TCP,
+    };
+    let flow = tuple.flow_id();
+    AttackTraffic {
+        packets: (0..packets).map(|_| Packet { flow, byte_len: 64 }).collect(),
+        flows: vec![flow],
+    }
+}
+
+/// A horizontal port scan: one source probes `ports` ports on one
+/// target, `probes_per_port` packets each — many mouse flows from one
+/// host, the classic scanner signature.
+pub fn port_scan(src_ip: u32, dst_ip: u32, ports: u16, probes_per_port: u64) -> AttackTraffic {
+    let mut packets = Vec::with_capacity(ports as usize * probes_per_port as usize);
+    let mut flows = Vec::with_capacity(ports as usize);
+    for p in 0..ports {
+        let tuple = FiveTuple {
+            src_ip,
+            dst_ip,
+            src_port: 40_000,
+            dst_port: 1 + p,
+            proto: FiveTuple::TCP,
+        };
+        let flow = tuple.flow_id();
+        flows.push(flow);
+        for _ in 0..probes_per_port {
+            packets.push(Packet { flow, byte_len: 64 });
+        }
+    }
+    AttackTraffic { packets, flows }
+}
+
+/// A distributed flood: `sources` hosts each send `packets_per_source`
+/// packets at one victim service — many medium flows sharing a
+/// destination.
+pub fn ddos(
+    victim_ip: u32,
+    victim_port: u16,
+    sources: u32,
+    packets_per_source: u64,
+    seed: u64,
+) -> AttackTraffic {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut packets = Vec::with_capacity(sources as usize * packets_per_source as usize);
+    let mut flows = Vec::with_capacity(sources as usize);
+    for _ in 0..sources {
+        let tuple = FiveTuple {
+            src_ip: rng.gen(),
+            dst_ip: victim_ip,
+            src_port: rng.gen_range(1024..=u16::MAX),
+            dst_port: victim_port,
+            proto: FiveTuple::UDP,
+        };
+        let flow = tuple.flow_id();
+        flows.push(flow);
+        for _ in 0..packets_per_source {
+            packets.push(Packet { flow, byte_len: 512 });
+        }
+    }
+    // Interleave sources rather than sending them back-to-back.
+    let mut rng2 = StdRng::seed_from_u64(seed ^ 0xD0);
+    use rand::seq::SliceRandom;
+    packets.shuffle(&mut rng2);
+    AttackTraffic { packets, flows }
+}
+
+/// Blend attack traffic into a background trace, spreading the attack
+/// packets evenly across the window `[start, end)` (fractions of the
+/// background length).
+///
+/// # Panics
+/// Panics unless `0 ≤ start < end ≤ 1`.
+pub fn inject(background: &Trace, attack: &AttackTraffic, start: f64, end: f64) -> Trace {
+    assert!(
+        (0.0..1.0).contains(&start) && end > start && end <= 1.0,
+        "injection window must satisfy 0 <= start < end <= 1"
+    );
+    let n = background.packets.len();
+    let w_start = (n as f64 * start) as usize;
+    let w_end = (n as f64 * end) as usize;
+    let window = (w_end - w_start).max(1);
+    let mut packets = Vec::with_capacity(n + attack.packets.len());
+    let per_slot = attack.packets.len() as f64 / window as f64;
+    let mut injected = 0usize;
+    for (i, p) in background.packets.iter().enumerate() {
+        if i >= w_start && i < w_end {
+            let due = ((i - w_start + 1) as f64 * per_slot) as usize;
+            while injected < due.min(attack.packets.len()) {
+                packets.push(attack.packets[injected]);
+                injected += 1;
+            }
+        }
+        packets.push(*p);
+    }
+    // Anything left (rounding) goes at the window end.
+    packets.extend_from_slice(&attack.packets[injected..]);
+    let merged = Trace { packets, num_flows: 0 };
+    // Recompute the census.
+    let sizes = transform::flow_sizes(&merged);
+    Trace {
+        num_flows: sizes.len(),
+        ..merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{SynthConfig, TraceGenerator};
+
+    #[test]
+    fn flood_is_one_elephant() {
+        let a = flood(1, 2, 80, 5000);
+        assert_eq!(a.flows.len(), 1);
+        assert_eq!(a.packets.len(), 5000);
+        assert!(a.packets.iter().all(|p| p.flow == a.flows[0]));
+    }
+
+    #[test]
+    fn port_scan_is_many_mice_from_one_source() {
+        let a = port_scan(1, 2, 1000, 2);
+        assert_eq!(a.flows.len(), 1000);
+        assert_eq!(a.packets.len(), 2000);
+        let distinct: std::collections::HashSet<_> =
+            a.packets.iter().map(|p| p.flow).collect();
+        assert_eq!(distinct.len(), 1000);
+    }
+
+    #[test]
+    fn ddos_has_distinct_sources() {
+        let a = ddos(0xC0A80001, 443, 500, 20, 7);
+        assert_eq!(a.flows.len(), 500);
+        assert_eq!(a.packets.len(), 10_000);
+        let distinct: std::collections::HashSet<_> = a.flows.iter().collect();
+        assert_eq!(distinct.len(), 500);
+    }
+
+    #[test]
+    fn inject_conserves_and_localizes() {
+        let (bg, _) = TraceGenerator::new(SynthConfig::small()).generate();
+        let attack = flood(9, 9, 80, 3000);
+        let mixed = inject(&bg, &attack, 0.25, 0.5);
+        assert_eq!(mixed.packets.len(), bg.packets.len() + 3000);
+        assert_eq!(mixed.num_flows, bg.num_flows + 1);
+        // Attack packets live inside (a slightly padded) window.
+        let positions: Vec<usize> = mixed
+            .packets
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.flow == attack.flows[0])
+            .map(|(i, _)| i)
+            .collect();
+        let n = mixed.packets.len() as f64;
+        let lo = *positions.first().expect("attack present") as f64 / n;
+        let hi = *positions.last().expect("attack present") as f64 / n;
+        assert!(lo >= 0.2, "first attack packet at {lo}");
+        assert!(hi <= 0.55, "last attack packet at {hi}");
+    }
+
+    #[test]
+    #[should_panic(expected = "injection window")]
+    fn inject_rejects_bad_window() {
+        let (bg, _) = TraceGenerator::new(SynthConfig::small()).generate();
+        inject(&bg, &flood(1, 2, 80, 10), 0.8, 0.5);
+    }
+}

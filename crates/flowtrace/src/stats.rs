@@ -1,0 +1,280 @@
+//! Trace statistics — everything Figure 3 plots plus the tail fractions
+//! the paper's assumptions lean on (§4.2, §6.2).
+
+use serde::Serialize;
+
+/// Summary statistics of a set of flow sizes.
+#[derive(Debug, Clone, Serialize)]
+pub struct FlowStats {
+    /// Number of flows (`Q`).
+    pub num_flows: usize,
+    /// Total packets (`n`).
+    pub total_packets: u64,
+    /// Mean flow size (`μ`).
+    pub mean: f64,
+    /// Variance of flow size (`σ²`).
+    pub variance: f64,
+    /// Largest flow.
+    pub max: u64,
+    /// Median flow size.
+    pub median: u64,
+    /// Fraction of flows strictly below the mean (paper: > 0.92).
+    pub frac_below_mean: f64,
+    /// Fraction of flows strictly below `2·mean` (paper: > 0.95).
+    pub frac_below_twice_mean: f64,
+}
+
+impl FlowStats {
+    /// Compute statistics from flow sizes.
+    ///
+    /// # Panics
+    /// Panics if `sizes` is empty.
+    pub fn from_sizes(sizes: &[u64]) -> Self {
+        assert!(!sizes.is_empty(), "no flows to summarize");
+        let num_flows = sizes.len();
+        let total_packets: u64 = sizes.iter().sum();
+        let mean = total_packets as f64 / num_flows as f64;
+        let variance = sizes
+            .iter()
+            .map(|&s| {
+                let d = s as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / num_flows as f64;
+        let mut sorted = sizes.to_vec();
+        sorted.sort_unstable();
+        let median = sorted[num_flows / 2];
+        let max = *sorted.last().expect("non-empty");
+        let below_mean = sorted.iter().filter(|&&s| (s as f64) < mean).count();
+        let below_2mean = sorted.iter().filter(|&&s| (s as f64) < 2.0 * mean).count();
+        Self {
+            num_flows,
+            total_packets,
+            mean,
+            variance,
+            max,
+            median,
+            frac_below_mean: below_mean as f64 / num_flows as f64,
+            frac_below_twice_mean: below_2mean as f64 / num_flows as f64,
+        }
+    }
+}
+
+/// One point of a flow-size histogram / distribution plot.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct HistogramBin {
+    /// Flow size (exact, for sizes ≤ the linear cutoff) or bucket lower
+    /// bound (for the geometric tail).
+    pub size: u64,
+    /// Exclusive upper bound of the bucket.
+    pub size_end: u64,
+    /// Number of flows in the bucket.
+    pub count: u64,
+}
+
+/// Histogram of flow sizes with exact unit bins up to `linear_cutoff`
+/// and geometric (×2) bins beyond — the standard way to render a
+/// heavy-tailed distribution like Fig. 3.
+pub fn histogram(sizes: &[u64], linear_cutoff: u64) -> Vec<HistogramBin> {
+    let max = sizes.iter().copied().max().unwrap_or(0);
+    let mut bins: Vec<HistogramBin> = Vec::new();
+    for s in 1..=linear_cutoff.min(max) {
+        bins.push(HistogramBin { size: s, size_end: s + 1, count: 0 });
+    }
+    let mut lo = linear_cutoff + 1;
+    while lo <= max {
+        let hi = (lo * 2).max(lo + 1);
+        bins.push(HistogramBin { size: lo, size_end: hi, count: 0 });
+        lo = hi;
+    }
+    for &s in sizes {
+        if s == 0 {
+            continue;
+        }
+        let idx = if s <= linear_cutoff {
+            s as usize - 1
+        } else {
+            // Geometric bucket index after the linear region.
+            let mut i = linear_cutoff as usize;
+            let mut lo = linear_cutoff + 1;
+            loop {
+                let hi = (lo * 2).max(lo + 1);
+                if s < hi {
+                    break i;
+                }
+                lo = hi;
+                i += 1;
+            }
+        };
+        if idx < bins.len() {
+            bins[idx].count += 1;
+        }
+    }
+    bins
+}
+
+/// Complementary CDF points `(size, P(flow size ≥ size))` at
+/// logarithmically spaced sizes.
+pub fn ccdf(sizes: &[u64]) -> Vec<(u64, f64)> {
+    if sizes.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = sizes.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    let max = *sorted.last().expect("non-empty");
+    let mut out = Vec::new();
+    let mut s = 1u64;
+    while s <= max {
+        // Count of flows >= s via binary search on the sorted sizes.
+        let idx = sorted.partition_point(|&x| x < s);
+        out.push((s, (sorted.len() - idx) as f64 / n));
+        s = if s < 10 { s + 1 } else { (s as f64 * 1.3).ceil() as u64 };
+    }
+    out
+}
+
+/// Hill estimator of the power-law tail exponent: the maximum-
+/// likelihood estimator over the top `k` order statistics,
+/// `α̂ = 1 + k / Σ ln(x_(i)/x_(k))`. More statistically principled than
+/// the least-squares CCDF fit ([`tail_exponent`]); the two should
+/// agree on a clean power law.
+///
+/// Returns `NaN` when fewer than two distinct tail samples exist.
+pub fn hill_estimator(sizes: &[u64], tail_fraction: f64) -> f64 {
+    assert!(
+        tail_fraction > 0.0 && tail_fraction <= 1.0,
+        "tail fraction must be in (0,1]"
+    );
+    let mut sorted: Vec<u64> = sizes.iter().copied().filter(|&s| s > 0).collect();
+    if sorted.len() < 2 {
+        return f64::NAN;
+    }
+    sorted.sort_unstable_by(|a, b| b.cmp(a)); // descending
+    let k = ((sorted.len() as f64 * tail_fraction).ceil() as usize)
+        .clamp(2, sorted.len() - 1);
+    let x_k = sorted[k] as f64;
+    if x_k <= 0.0 {
+        return f64::NAN;
+    }
+    let sum: f64 = sorted[..k].iter().map(|&x| (x as f64 / x_k).ln()).sum();
+    if sum <= 0.0 {
+        return f64::NAN;
+    }
+    1.0 + k as f64 / sum
+}
+
+/// Estimate the power-law tail exponent by a least-squares fit of
+/// `log(CCDF)` against `log(size)` over the tail region. For a pure
+/// power law with pmf exponent `α`, the CCDF exponent is `α − 1`.
+pub fn tail_exponent(sizes: &[u64]) -> f64 {
+    let pts: Vec<(f64, f64)> = ccdf(sizes)
+        .into_iter()
+        .filter(|&(s, p)| s >= 10 && p > 0.0)
+        .map(|(s, p)| ((s as f64).ln(), p.ln()))
+        .collect();
+    if pts.len() < 2 {
+        return f64::NAN;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    -slope + 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_on_known_data() {
+        let sizes = [1u64, 1, 2, 4, 100];
+        let st = FlowStats::from_sizes(&sizes);
+        assert_eq!(st.num_flows, 5);
+        assert_eq!(st.total_packets, 108);
+        assert!((st.mean - 21.6).abs() < 1e-12);
+        assert_eq!(st.max, 100);
+        assert_eq!(st.median, 2);
+        assert!((st.frac_below_mean - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no flows")]
+    fn stats_reject_empty() {
+        FlowStats::from_sizes(&[]);
+    }
+
+    #[test]
+    fn histogram_conserves_flows() {
+        let sizes: Vec<u64> = (1..=1000u64).collect();
+        let bins = histogram(&sizes, 32);
+        let total: u64 = bins.iter().map(|b| b.count).sum();
+        assert_eq!(total, 1000);
+        // Linear region: one flow per unit bin.
+        for b in &bins[..32] {
+            assert_eq!(b.count, 1, "bin at size {}", b.size);
+        }
+    }
+
+    #[test]
+    fn histogram_bins_are_contiguous() {
+        let sizes = [1u64, 5, 100, 5000];
+        let bins = histogram(&sizes, 8);
+        for w in bins.windows(2) {
+            assert_eq!(w[0].size_end, w[1].size, "gap between bins");
+        }
+    }
+
+    #[test]
+    fn ccdf_starts_at_one_and_decreases() {
+        let sizes = [1u64, 2, 3, 10, 100];
+        let c = ccdf(&sizes);
+        assert!((c[0].1 - 1.0).abs() < 1e-12);
+        for w in c.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn hill_estimator_recovers_power_law() {
+        use crate::dist::{FlowSizeDistribution, PowerLaw};
+        use rand::{rngs::StdRng, SeedableRng};
+        let d = PowerLaw::new(1.8, 1_000_000);
+        let mut rng = StdRng::seed_from_u64(13);
+        let sizes: Vec<u64> = (0..300_000).map(|_| d.sample(&mut rng)).collect();
+        let est = hill_estimator(&sizes, 0.01);
+        assert!((est - 1.8).abs() < 0.25, "Hill alpha = {est}");
+        // The two estimators agree on a clean power law.
+        let ls = tail_exponent(&sizes);
+        assert!((est - ls).abs() < 0.5, "Hill {est} vs LS {ls}");
+    }
+
+    #[test]
+    fn hill_estimator_degenerate_inputs() {
+        assert!(hill_estimator(&[], 0.1).is_nan());
+        assert!(hill_estimator(&[5], 0.1).is_nan());
+        // Constant sizes: no tail decay, estimator returns NaN.
+        assert!(hill_estimator(&[7; 100], 0.1).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "tail fraction")]
+    fn hill_estimator_rejects_bad_fraction() {
+        hill_estimator(&[1, 2, 3], 0.0);
+    }
+
+    #[test]
+    fn tail_exponent_recovers_power_law() {
+        use crate::dist::{FlowSizeDistribution, PowerLaw};
+        use rand::{rngs::StdRng, SeedableRng};
+        let d = PowerLaw::new(1.8, 100_000);
+        let mut rng = StdRng::seed_from_u64(11);
+        let sizes: Vec<u64> = (0..300_000).map(|_| d.sample(&mut rng)).collect();
+        let est = tail_exponent(&sizes);
+        assert!((est - 1.8).abs() < 0.3, "estimated alpha = {est}");
+    }
+}

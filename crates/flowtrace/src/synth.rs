@@ -1,0 +1,295 @@
+//! Synthetic trace generation.
+//!
+//! Substitutes for the paper's captured backbone trace (§6.1): flows get
+//! random 5-tuples (hashed to IDs with SHA-1 + APHash, like the paper),
+//! sizes drawn from a calibrated heavy-tailed distribution, and packets
+//! are interleaved uniformly at random — the paper's assumption that
+//! "all packets from all flows can be regarded as arriving uniformly
+//! and with equal probability" (§4.2).
+
+use crate::dist::{FlowSizeDistribution, LogNormal, PowerLaw};
+use crate::packet::{FiveTuple, FlowId, Packet, Trace};
+use rand::seq::SliceRandom;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Which heavy-tail family generates the flow sizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TailFamily {
+    /// Truncated discrete power law (the default; matches Fig. 3).
+    PowerLaw,
+    /// Discretized log-normal with the given log-space spread.
+    LogNormal {
+        /// σ in log space (≈ 2.0 gives an internet-like tail).
+        sigma_log: f64,
+    },
+}
+
+/// How packets of different flows are ordered in the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalOrder {
+    /// Global uniform shuffle of all packets (paper's assumption).
+    UniformShuffle,
+    /// Each flow's packets arrive back-to-back (worst case for shared
+    /// caches, best case for per-flow caches) — used in ablations.
+    PerFlowBursts,
+    /// Round-robin over flows until each flow's budget is exhausted.
+    RoundRobin,
+}
+
+/// Configuration of the synthetic trace.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Number of flows (the paper's `Q`; full scale is 1,014,601).
+    pub num_flows: usize,
+    /// Mean flow size `n/Q`; the paper's trace has ≈ 27.3.
+    pub mean_flow_size: f64,
+    /// Truncation of the flow-size distribution.
+    pub max_flow_size: u64,
+    /// Packet arrival order.
+    pub order: ArrivalOrder,
+    /// Flow-size tail family.
+    pub tail: TailFamily,
+    /// RNG seed — traces are fully reproducible.
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    /// Default is a 1/10-scale version of the paper's trace:
+    /// ≈ 101 K flows, ≈ 2.77 M packets, mean ≈ 27.3.
+    fn default() -> Self {
+        Self {
+            num_flows: 101_460,
+            mean_flow_size: 27.32,
+            max_flow_size: 100_000,
+            order: ArrivalOrder::UniformShuffle,
+            tail: TailFamily::PowerLaw,
+            seed: 0xCAE5A2,
+        }
+    }
+}
+
+impl SynthConfig {
+    /// A small configuration for unit tests and doc examples
+    /// (≈ 2 K flows, ≈ 55 K packets).
+    pub fn small() -> Self {
+        Self {
+            num_flows: 2_000,
+            max_flow_size: 20_000,
+            ..Self::default()
+        }
+    }
+
+    /// The paper's full scale (≈ 1.01 M flows, ≈ 27.7 M packets).
+    pub fn paper_scale() -> Self {
+        Self {
+            num_flows: 1_014_601,
+            ..Self::default()
+        }
+    }
+}
+
+/// Generates reproducible synthetic traces.
+#[derive(Debug)]
+pub struct TraceGenerator {
+    cfg: SynthConfig,
+}
+
+impl TraceGenerator {
+    /// New generator for the given configuration.
+    pub fn new(cfg: SynthConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Generate the trace together with its ground-truth flow sizes.
+    ///
+    /// ```
+    /// use flowtrace::synth::{SynthConfig, TraceGenerator};
+    /// let (trace, truth) = TraceGenerator::new(SynthConfig::small()).generate();
+    /// assert_eq!(trace.num_flows, truth.len());
+    /// let total: u64 = truth.values().sum();
+    /// assert_eq!(total as usize, trace.num_packets());
+    /// ```
+    pub fn generate(&self) -> (Trace, HashMap<FlowId, u64>) {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        enum Tail {
+            P(PowerLaw),
+            L(LogNormal),
+        }
+        let dist = match self.cfg.tail {
+            TailFamily::PowerLaw => {
+                Tail::P(PowerLaw::with_mean(self.cfg.mean_flow_size, self.cfg.max_flow_size))
+            }
+            TailFamily::LogNormal { sigma_log } => Tail::L(LogNormal::with_mean(
+                self.cfg.mean_flow_size,
+                sigma_log,
+                self.cfg.max_flow_size,
+            )),
+        };
+        let draw = |rng: &mut StdRng| match &dist {
+            Tail::P(d) => d.sample(rng),
+            Tail::L(d) => d.sample(rng),
+        };
+
+        // Draw distinct 5-tuples; regenerate on the (astronomically
+        // unlikely) flow-ID collision so ground truth stays exact.
+        let mut truth: HashMap<FlowId, u64> = HashMap::with_capacity(self.cfg.num_flows);
+        let mut flows: Vec<(FlowId, u64)> = Vec::with_capacity(self.cfg.num_flows);
+        while flows.len() < self.cfg.num_flows {
+            let tuple = random_tuple(&mut rng);
+            let id = tuple.flow_id();
+            if truth.contains_key(&id) {
+                continue;
+            }
+            let size = draw(&mut rng);
+            truth.insert(id, size);
+            flows.push((id, size));
+        }
+
+        let total: u64 = flows.iter().map(|&(_, s)| s).sum();
+        let mut packets = Vec::with_capacity(total as usize);
+        match self.cfg.order {
+            ArrivalOrder::PerFlowBursts => {
+                for &(id, size) in &flows {
+                    packets.extend((0..size).map(|_| mk_packet(id, &mut rng)));
+                }
+            }
+            ArrivalOrder::UniformShuffle => {
+                for &(id, size) in &flows {
+                    packets.extend((0..size).map(|_| mk_packet(id, &mut rng)));
+                }
+                packets.shuffle(&mut rng);
+            }
+            ArrivalOrder::RoundRobin => {
+                let mut remaining: Vec<(FlowId, u64)> = flows.clone();
+                while !remaining.is_empty() {
+                    remaining.retain_mut(|(id, left)| {
+                        packets.push(mk_packet(*id, &mut rng));
+                        *left -= 1;
+                        *left > 0
+                    });
+                }
+            }
+        }
+
+        let trace = Trace {
+            packets,
+            num_flows: flows.len(),
+        };
+        (trace, truth)
+    }
+}
+
+fn mk_packet<R: Rng>(flow: FlowId, rng: &mut R) -> Packet {
+    // Realistic-ish IMIX-flavoured packet lengths: mostly small, some
+    // full MTU. Only flow-volume experiments consume this field.
+    let byte_len = match rng.gen_range(0..10u8) {
+        0..=5 => rng.gen_range(64..=128),
+        6..=8 => rng.gen_range(128..=576),
+        _ => rng.gen_range(576..=1500),
+    };
+    Packet { flow, byte_len }
+}
+
+fn random_tuple<R: Rng>(rng: &mut R) -> FiveTuple {
+    let proto = match rng.gen_range(0..10u8) {
+        0..=6 => FiveTuple::TCP,
+        7..=8 => FiveTuple::UDP,
+        _ => FiveTuple::ICMP,
+    };
+    let (src_port, dst_port) = if proto == FiveTuple::ICMP {
+        (0, 0)
+    } else {
+        const SERVICES: [u16; 5] = [80, 443, 53, 22, 8080];
+        (
+            rng.gen_range(1024..=u16::MAX),
+            SERVICES[rng.gen_range(0..SERVICES.len())],
+        )
+    };
+    FiveTuple {
+        src_ip: rng.gen(),
+        dst_ip: rng.gen(),
+        src_port,
+        dst_port,
+        proto,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducible_for_same_seed() {
+        let cfg = SynthConfig::small();
+        let (a, _) = TraceGenerator::new(cfg.clone()).generate();
+        let (b, _) = TraceGenerator::new(cfg).generate();
+        assert_eq!(a.packets, b.packets);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = SynthConfig::small();
+        let (a, _) = TraceGenerator::new(cfg.clone()).generate();
+        cfg.seed += 1;
+        let (b, _) = TraceGenerator::new(cfg).generate();
+        assert_ne!(a.packets, b.packets);
+    }
+
+    #[test]
+    fn ground_truth_matches_trace() {
+        let (trace, truth) = TraceGenerator::new(SynthConfig::small()).generate();
+        let mut counted: HashMap<FlowId, u64> = HashMap::new();
+        for p in &trace.packets {
+            *counted.entry(p.flow).or_default() += 1;
+        }
+        assert_eq!(counted, truth);
+    }
+
+    #[test]
+    fn mean_flow_size_close_to_target() {
+        // The sample mean of a heavy-tailed distribution converges
+        // slowly (one elephant flow moves it by max_flow_size / Q), so
+        // use a moderate Q and a loose relative tolerance.
+        let cfg = SynthConfig {
+            num_flows: 20_000,
+            ..SynthConfig::small()
+        };
+        let (trace, _) = TraceGenerator::new(cfg).generate();
+        let mean = trace.mean_flow_size();
+        assert!((mean - 27.32).abs() / 27.32 < 0.35, "mean = {mean}");
+    }
+
+    #[test]
+    fn round_robin_interleaves() {
+        let cfg = SynthConfig {
+            num_flows: 10,
+            order: ArrivalOrder::RoundRobin,
+            ..SynthConfig::small()
+        };
+        let (trace, _) = TraceGenerator::new(cfg).generate();
+        // The first 10 packets must be 10 distinct flows.
+        let first: std::collections::HashSet<_> =
+            trace.packets[..10].iter().map(|p| p.flow).collect();
+        assert_eq!(first.len(), 10);
+    }
+
+    #[test]
+    fn bursts_are_contiguous() {
+        let cfg = SynthConfig {
+            num_flows: 50,
+            order: ArrivalOrder::PerFlowBursts,
+            ..SynthConfig::small()
+        };
+        let (trace, _) = TraceGenerator::new(cfg).generate();
+        // Each flow must appear as one contiguous run.
+        let mut seen = std::collections::HashSet::new();
+        let mut prev = None;
+        for p in &trace.packets {
+            if prev != Some(p.flow) {
+                assert!(seen.insert(p.flow), "flow {} split into two runs", p.flow);
+                prev = Some(p.flow);
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Packet arrival-time models.
+//!
+//! The paper's analysis assumes packets arrive back-to-back at line
+//! rate; real links are burstier. This module generates arrival
+//! timestamp sequences under three standard models so the timing
+//! experiments (memsim's pipeline) can quantify how much burstiness a
+//! cache-assisted front end absorbs:
+//!
+//! * [`ArrivalProcess::Constant`] — fixed spacing (the paper's model);
+//! * [`ArrivalProcess::Poisson`] — exponential inter-arrivals at the
+//!   same average rate;
+//! * [`ArrivalProcess::OnOff`] — the classic bursty on/off source:
+//!   line-rate bursts separated by idle gaps, same average rate.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// An arrival process with a configurable average rate.
+#[derive(Debug, Clone, Copy)]
+pub enum ArrivalProcess {
+    /// Fixed inter-arrival spacing of `spacing_ns`.
+    Constant {
+        /// Nanoseconds between consecutive packets.
+        spacing_ns: f64,
+    },
+    /// Poisson arrivals with mean inter-arrival `mean_ns`.
+    Poisson {
+        /// Mean inter-arrival time (ns).
+        mean_ns: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// On/off bursts: `burst_len` packets back-to-back at `on_ns`
+    /// spacing, then an idle gap sized so the long-run average spacing
+    /// is `mean_ns`.
+    OnOff {
+        /// Average inter-arrival time (ns).
+        mean_ns: f64,
+        /// Spacing inside a burst (ns); must be ≤ `mean_ns`.
+        on_ns: f64,
+        /// Packets per burst.
+        burst_len: usize,
+    },
+}
+
+impl ArrivalProcess {
+    /// The long-run average inter-arrival spacing.
+    pub fn mean_spacing_ns(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Constant { spacing_ns } => spacing_ns,
+            ArrivalProcess::Poisson { mean_ns, .. } => mean_ns,
+            ArrivalProcess::OnOff { mean_ns, .. } => mean_ns,
+        }
+    }
+
+    /// Generate `n` non-decreasing arrival timestamps (ns, from 0).
+    ///
+    /// # Panics
+    /// Panics on non-positive rates or an on/off configuration whose
+    /// burst spacing exceeds the average spacing.
+    pub fn timestamps(&self, n: usize) -> Vec<f64> {
+        match *self {
+            ArrivalProcess::Constant { spacing_ns } => {
+                assert!(spacing_ns > 0.0, "spacing must be positive");
+                (0..n).map(|i| i as f64 * spacing_ns).collect()
+            }
+            ArrivalProcess::Poisson { mean_ns, seed } => {
+                assert!(mean_ns > 0.0, "mean spacing must be positive");
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut t = 0.0f64;
+                (0..n)
+                    .map(|_| {
+                        // Exponential inter-arrival via inverse CDF.
+                        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                        t += -mean_ns * u.ln();
+                        t
+                    })
+                    .collect()
+            }
+            ArrivalProcess::OnOff { mean_ns, on_ns, burst_len } => {
+                assert!(on_ns > 0.0 && mean_ns >= on_ns, "burst spacing must not exceed the mean");
+                assert!(burst_len >= 1, "bursts need at least one packet");
+                // Each burst of B packets spans (B−1)·on_ns; to average
+                // mean_ns per packet, each burst period is B·mean_ns.
+                let period = burst_len as f64 * mean_ns;
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    let burst = i / burst_len;
+                    let within = i % burst_len;
+                    out.push(burst as f64 * period + within as f64 * on_ns);
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_gap(ts: &[f64]) -> f64 {
+        ts.last().expect("non-empty") / (ts.len() as f64 - 1.0)
+    }
+
+    #[test]
+    fn constant_spacing() {
+        let ts = ArrivalProcess::Constant { spacing_ns: 5.0 }.timestamps(100);
+        assert_eq!(ts.len(), 100);
+        for (i, &t) in ts.iter().enumerate() {
+            assert_eq!(t, i as f64 * 5.0);
+        }
+    }
+
+    #[test]
+    fn poisson_hits_average_rate() {
+        let ts = ArrivalProcess::Poisson { mean_ns: 10.0, seed: 1 }.timestamps(200_000);
+        let mean = mean_gap(&ts);
+        assert!((mean - 10.0).abs() < 0.2, "mean gap = {mean}");
+        assert!(ts.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn onoff_hits_average_rate_with_bursts() {
+        let p = ArrivalProcess::OnOff { mean_ns: 10.0, on_ns: 1.0, burst_len: 32 };
+        let ts = p.timestamps(32 * 1000);
+        let mean = mean_gap(&ts);
+        assert!((mean - 10.0).abs() < 0.5, "mean gap = {mean}");
+        // Inside a burst the spacing is 1 ns.
+        assert!((ts[1] - ts[0] - 1.0).abs() < 1e-9);
+        // Between bursts there is a real gap.
+        let gap = ts[32] - ts[31];
+        assert!(gap > 10.0, "inter-burst gap = {gap}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = ArrivalProcess::Poisson { mean_ns: 3.0, seed: 9 }.timestamps(100);
+        let b = ArrivalProcess::Poisson { mean_ns: 3.0, seed: 9 }.timestamps(100);
+        let c = ArrivalProcess::Poisson { mean_ns: 3.0, seed: 10 }.timestamps(100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn onoff_rejects_oversubscribed_burst() {
+        ArrivalProcess::OnOff { mean_ns: 1.0, on_ns: 2.0, burst_len: 4 }.timestamps(1);
+    }
+}

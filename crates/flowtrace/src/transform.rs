@@ -1,0 +1,213 @@
+//! Trace transformations.
+//!
+//! Operational tooling around captured or synthesized traces: epoch
+//! splitting for continuous measurement, deterministic and probabilistic
+//! subsampling, merging of captures from multiple taps, and flow-ID
+//! anonymization for sharing traces.
+
+use crate::packet::{FlowId, Packet, Trace};
+use hashkit::mix::mix64;
+use hashkit::IdHashSet;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn census(packets: Vec<Packet>) -> Trace {
+    let mut flows = IdHashSet::default();
+    for p in &packets {
+        flows.insert(p.flow);
+    }
+    Trace {
+        packets,
+        num_flows: flows.len(),
+    }
+}
+
+/// Split a trace into `epochs` contiguous, near-equal segments (the
+/// last epoch absorbs the remainder). Each segment's flow census is
+/// recomputed.
+///
+/// # Panics
+/// Panics if `epochs == 0`.
+pub fn split_epochs(trace: &Trace, epochs: usize) -> Vec<Trace> {
+    assert!(epochs > 0, "need at least one epoch");
+    let n = trace.packets.len();
+    let base = n / epochs;
+    let mut out = Vec::with_capacity(epochs);
+    let mut start = 0;
+    for e in 0..epochs {
+        let end = if e == epochs - 1 { n } else { start + base };
+        out.push(census(trace.packets[start..end].to_vec()));
+        start = end;
+    }
+    out
+}
+
+/// Keep every `stride`-th packet (deterministic 1-in-N subsampling).
+///
+/// # Panics
+/// Panics if `stride == 0`.
+pub fn subsample_deterministic(trace: &Trace, stride: usize) -> Trace {
+    assert!(stride > 0, "stride must be positive");
+    census(
+        trace
+            .packets
+            .iter()
+            .step_by(stride)
+            .copied()
+            .collect(),
+    )
+}
+
+/// Keep each packet independently with probability `rate`.
+///
+/// # Panics
+/// Panics unless `0 < rate <= 1`.
+pub fn subsample_random(trace: &Trace, rate: f64, seed: u64) -> Trace {
+    assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0,1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    census(
+        trace
+            .packets
+            .iter()
+            .filter(|_| rng.gen::<f64>() < rate)
+            .copied()
+            .collect(),
+    )
+}
+
+/// Interleave two traces round-robin, proportionally to their lengths
+/// (models two taps feeding one measurement point).
+pub fn merge(a: &Trace, b: &Trace) -> Trace {
+    let (na, nb) = (a.packets.len(), b.packets.len());
+    let mut packets = Vec::with_capacity(na + nb);
+    let (mut ia, mut ib) = (0usize, 0usize);
+    while ia < na || ib < nb {
+        // Emit from the stream that is "behind" proportionally.
+        let take_a = ib >= nb
+            || (ia < na && (ia as u128 * nb as u128) <= (ib as u128 * na as u128));
+        if take_a {
+            packets.push(a.packets[ia]);
+            ia += 1;
+        } else {
+            packets.push(b.packets[ib]);
+            ib += 1;
+        }
+    }
+    census(packets)
+}
+
+/// Replace every flow ID with a keyed permutation of itself
+/// (anonymization that preserves flow structure exactly).
+pub fn anonymize(trace: &Trace, key: u64) -> Trace {
+    census(
+        trace
+            .packets
+            .iter()
+            .map(|p| Packet {
+                flow: mix64(p.flow ^ key),
+                ..*p
+            })
+            .collect(),
+    )
+}
+
+/// Ground-truth flow sizes of a trace (convenience over
+/// [`crate::ExactCounter`] when only sizes are needed).
+pub fn flow_sizes(trace: &Trace) -> Vec<(FlowId, u64)> {
+    let mut counter = crate::ExactCounter::new();
+    for p in &trace.packets {
+        counter.record(p);
+    }
+    let mut v: Vec<(FlowId, u64)> = counter.iter().collect();
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(flows: &[u64]) -> Trace {
+        census(flows.iter().map(|&f| Packet::new(f)).collect())
+    }
+
+    #[test]
+    fn split_conserves_packets() {
+        let t = mk(&[1, 2, 3, 1, 2, 1, 4, 5, 1, 2]);
+        let parts = split_epochs(&t, 3);
+        assert_eq!(parts.len(), 3);
+        let total: usize = parts.iter().map(|p| p.packets.len()).sum();
+        assert_eq!(total, 10);
+        // Reassembling in order gives the original stream.
+        let rejoined: Vec<Packet> = parts.iter().flat_map(|p| p.packets.clone()).collect();
+        assert_eq!(rejoined, t.packets);
+    }
+
+    #[test]
+    fn split_recomputes_flow_census() {
+        let t = mk(&[1, 1, 1, 2, 2, 2]);
+        let parts = split_epochs(&t, 2);
+        assert_eq!(parts[0].num_flows, 1);
+        assert_eq!(parts[1].num_flows, 1);
+    }
+
+    #[test]
+    fn deterministic_subsample() {
+        let t = mk(&(0..10).collect::<Vec<u64>>());
+        let s = subsample_deterministic(&t, 3);
+        let kept: Vec<u64> = s.packets.iter().map(|p| p.flow).collect();
+        assert_eq!(kept, vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn random_subsample_rate() {
+        let t = mk(&vec![7u64; 100_000]);
+        let s = subsample_random(&t, 0.25, 42);
+        let rate = s.packets.len() as f64 / 100_000.0;
+        assert!((rate - 0.25).abs() < 0.01, "rate = {rate}");
+        // Same seed, same result.
+        assert_eq!(subsample_random(&t, 0.25, 42).packets, s.packets);
+    }
+
+    #[test]
+    fn merge_preserves_both_streams_in_order() {
+        let a = mk(&[1, 1, 1, 1, 1, 1]);
+        let b = mk(&[2, 2, 2]);
+        let m = merge(&a, &b);
+        assert_eq!(m.packets.len(), 9);
+        assert_eq!(m.num_flows, 2);
+        // Relative order within each stream is preserved and the short
+        // stream is spread, not appended.
+        let first_half_twos = m.packets[..5].iter().filter(|p| p.flow == 2).count();
+        assert!(first_half_twos >= 1, "stream b bunched at the end");
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let a = mk(&[1, 2, 3]);
+        let e = mk(&[]);
+        assert_eq!(merge(&a, &e).packets, a.packets);
+        assert_eq!(merge(&e, &a).packets, a.packets);
+    }
+
+    #[test]
+    fn anonymize_preserves_structure() {
+        let t = mk(&[1, 2, 1, 3, 1, 2]);
+        let a = anonymize(&t, 0x5EED);
+        assert_eq!(a.num_flows, 3);
+        let orig = flow_sizes(&t);
+        let anon = flow_sizes(&a);
+        let mut orig_sizes: Vec<u64> = orig.iter().map(|&(_, s)| s).collect();
+        let mut anon_sizes: Vec<u64> = anon.iter().map(|&(_, s)| s).collect();
+        orig_sizes.sort_unstable();
+        anon_sizes.sort_unstable();
+        assert_eq!(orig_sizes, anon_sizes);
+        // IDs actually changed.
+        assert!(t.packets.iter().zip(&a.packets).all(|(x, y)| x.flow != y.flow));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one epoch")]
+    fn zero_epochs_rejected() {
+        split_epochs(&mk(&[1]), 0);
+    }
+}

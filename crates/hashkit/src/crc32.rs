@@ -1,0 +1,71 @@
+//! CRC-32 (IEEE 802.3 polynomial, reflected) — the checksum real NICs
+//! compute per frame; often reused by line cards as a cheap RSS-style
+//! flow hash, so it belongs in the toolbox for trace tooling.
+
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table, computed at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32/IEEE of `data`.
+///
+/// ```
+/// // The classic CRC check value.
+/// assert_eq!(hashkit::crc32::crc32(b"123456789"), 0xCBF43926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// Incremental update: feed `state` (from a previous `update`, starting
+/// at `0xFFFF_FFFF`) with more data. Finalize by XOR with `0xFFFF_FFFF`.
+pub fn update(mut state: u32, data: &[u8]) -> u32 {
+    for &b in data {
+        state = (state >> 8) ^ TABLE[((state ^ b as u32) & 0xFF) as usize];
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414FA339);
+        assert_eq!(crc32(b"a"), 0xE8B7BE43);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"per-flow traffic measurement";
+        for split in 0..data.len() {
+            let state = update(0xFFFF_FFFF, &data[..split]);
+            let state = update(state, &data[split..]);
+            assert_eq!(state ^ 0xFFFF_FFFF, crc32(data), "split {split}");
+        }
+    }
+
+    #[test]
+    fn single_bit_sensitivity() {
+        let a = crc32(b"\x00\x00\x00\x00");
+        let b = crc32(b"\x00\x00\x00\x01");
+        assert_ne!(a, b);
+    }
+}

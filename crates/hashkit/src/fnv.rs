@@ -1,0 +1,54 @@
+//! FNV-1a, a cheap byte-stream hash used as a secondary mixer and in
+//! tests as an independent reference distribution.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV64_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over a byte slice.
+///
+/// ```
+/// use hashkit::fnv::fnv1a64;
+/// // Known vector: fnv1a64("") is the offset basis.
+/// assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+/// ```
+#[inline]
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h = FNV64_OFFSET;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV64_PRIME);
+    }
+    h
+}
+
+/// 64-bit FNV-1a over the little-endian bytes of a `u64` key.
+#[inline]
+pub fn fnv1a64_u64(key: u64) -> u64 {
+    fnv1a64(&key.to_le_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn u64_wrapper_matches_bytes() {
+        assert_eq!(fnv1a64_u64(0x0102030405060708), fnv1a64(&[8, 7, 6, 5, 4, 3, 2, 1]));
+    }
+
+    #[test]
+    fn avalanche_on_single_bit() {
+        let a = fnv1a64_u64(0);
+        let b = fnv1a64_u64(1);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,173 @@
+//! `KCounterMap`: the paper's `k` "different collision-free hash
+//! functions" (§3.1).
+//!
+//! Every flow is mapped to `k` **fixed, distinct** counter indices in
+//! `[0, L)`, determined only by the flow ID — even across repeated
+//! evictions of the same flow the mapping never changes. "Collision
+//! free" in the paper means the `k` counters of one flow are pairwise
+//! distinct (different flows may and do share counters; that sharing is
+//! exactly what the estimators de-noise).
+//!
+//! The implementation draws candidate indices from a per-flow keyed hash
+//! stream and skips duplicates, which preserves the "uniformly random
+//! k-subset" distribution the paper's analysis assumes
+//! (`p_select = 1/L` per counter, §4.3).
+
+use crate::mix::{bucket, mix64, splitmix64};
+
+/// Deterministic map from a 64-bit flow ID to `k` distinct counter
+/// indices in `[0, L)`.
+///
+/// ```
+/// use hashkit::KCounterMap;
+/// let map = KCounterMap::new(3, 1000, 0xC0FFEE);
+/// let a = map.indices(42);
+/// let b = map.indices(42);
+/// assert_eq!(a, b);                       // fixed per flow
+/// assert_eq!(a.len(), 3);
+/// let mut s = a.clone(); s.sort_unstable(); s.dedup();
+/// assert_eq!(s.len(), 3);                 // pairwise distinct
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KCounterMap {
+    k: usize,
+    l: usize,
+    seed: u64,
+}
+
+impl KCounterMap {
+    /// Create a map of `k` distinct indices out of `l` counters.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `k > l`: fewer counters than mapped
+    /// positions cannot be collision-free.
+    pub fn new(k: usize, l: usize, seed: u64) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        assert!(k <= l, "k ({k}) cannot exceed the number of counters l ({l})");
+        Self { k, l, seed }
+    }
+
+    /// Number of mapped counters per flow.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Total number of counters.
+    #[inline]
+    pub fn l(&self) -> usize {
+        self.l
+    }
+
+    /// The `k` distinct counter indices for `flow_id`.
+    pub fn indices(&self, flow_id: u64) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.k);
+        self.indices_into(flow_id, &mut out);
+        out
+    }
+
+    /// Write the `k` distinct indices into `out` (cleared first).
+    ///
+    /// This is the allocation-free fast path for the per-eviction data
+    /// path; callers keep a workhorse buffer.
+    pub fn indices_into(&self, flow_id: u64, out: &mut Vec<usize>) {
+        out.clear();
+        let base = mix64(flow_id ^ splitmix64(self.seed));
+        let mut round: u64 = 0;
+        while out.len() < self.k {
+            let h = mix64(base.wrapping_add(round.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+            let idx = bucket(h, self.l);
+            if !out.contains(&idx) {
+                out.push(idx);
+            }
+            round += 1;
+            // With k <= l this terminates with probability 1; the debug
+            // guard catches pathological misuse (k close to l with an
+            // adversarial seed would still finish, just slowly).
+            debug_assert!(round < 64 + 64 * self.k as u64, "excessive duplicate rounds");
+        }
+    }
+
+    /// The `r`-th (0-based) mapped counter of `flow_id`.
+    pub fn index(&self, flow_id: u64, r: usize) -> usize {
+        assert!(r < self.k);
+        self.indices(flow_id)[r]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn k_greater_than_l_panics() {
+        KCounterMap::new(5, 4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_k_panics() {
+        KCounterMap::new(0, 4, 0);
+    }
+
+    #[test]
+    fn k_equals_l_yields_permutation() {
+        let map = KCounterMap::new(8, 8, 7);
+        let mut idx = map.indices(123);
+        idx.sort_unstable();
+        assert_eq!(idx, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn distinct_and_stable_for_many_flows() {
+        let map = KCounterMap::new(3, 101, 1);
+        for f in 0..5_000u64 {
+            let a = map.indices(f);
+            assert_eq!(a.len(), 3);
+            let mut s = a.clone();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), 3, "flow {f} had duplicate counters");
+            assert_eq!(a, map.indices(f), "flow {f} mapping not stable");
+        }
+    }
+
+    #[test]
+    fn counter_selection_probability_is_uniform() {
+        // Each counter should be selected with probability ~k/L across
+        // flows (paper: p_select = 1/L per eviction unit share).
+        let l = 64;
+        let k = 3;
+        let flows = 200_000u64;
+        let map = KCounterMap::new(k, l, 99);
+        let mut counts = vec![0f64; l];
+        let mut buf = Vec::new();
+        for f in 0..flows {
+            map.indices_into(f, &mut buf);
+            for &i in &buf {
+                counts[i] += 1.0;
+            }
+        }
+        let expected = flows as f64 * k as f64 / l as f64;
+        let chi2: f64 = counts.iter().map(|c| (c - expected).powi(2) / expected).sum();
+        // 0.999 quantile of chi2 with 63 dof is ~113.5.
+        assert!(chi2 < 114.0, "chi2 = {chi2}");
+    }
+
+    #[test]
+    fn indices_into_reuses_buffer() {
+        let map = KCounterMap::new(4, 50, 3);
+        let mut buf = vec![1, 2, 3, 4, 5, 6, 7];
+        map.indices_into(9, &mut buf);
+        assert_eq!(buf, map.indices(9));
+    }
+
+    #[test]
+    fn different_seeds_give_different_mappings() {
+        let a = KCounterMap::new(3, 1000, 1);
+        let b = KCounterMap::new(3, 1000, 2);
+        let differs = (0..100u64).any(|f| a.indices(f) != b.indices(f));
+        assert!(differs);
+    }
+}

@@ -1,0 +1,240 @@
+//! From-scratch SHA-1 (FIPS 180-1).
+//!
+//! The paper generates flow IDs from the 5-tuple header using SHA-1
+//! (§6.1). SHA-1 is cryptographically broken for collision resistance,
+//! but here it is only used as a well-distributed identifier hash,
+//! exactly as the authors did.
+
+/// Streaming SHA-1 state.
+///
+/// ```
+/// use hashkit::sha1::Sha1;
+/// let digest = Sha1::digest(b"abc");
+/// assert_eq!(hashkit::sha1::to_hex(&digest), "a9993e364706816aba3e25717850c26c9cd0d89d");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    /// Total message length in bytes.
+    len: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Fresh hasher with the standard initialization vector.
+    pub fn new() -> Self {
+        Self {
+            state: [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0],
+            len: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// One-shot digest of `data`.
+    pub fn digest(data: &[u8]) -> [u8; 20] {
+        let mut h = Self::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// One-shot digest truncated to the first 8 big-endian bytes.
+    pub fn digest64(data: &[u8]) -> u64 {
+        let d = Self::digest(data);
+        u64::from_be_bytes([d[0], d[1], d[2], d[3], d[4], d[5], d[6], d[7]])
+    }
+
+    /// Absorb more message bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.process_block(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&data[..64]);
+            self.process_block(&block);
+            data = &data[64..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Pad, process the final block(s), and return the 160-bit digest.
+    pub fn finalize(mut self) -> [u8; 20] {
+        let bit_len = self.len.wrapping_mul(8);
+        // Append the 0x80 terminator.
+        self.update(&[0x80]);
+        // Pad with zeros until 8 bytes remain in the block.
+        while self.buf_len != 56 {
+            self.update(&[0x00]);
+        }
+        // The length update above must not count the padding: rewind.
+        // (We track the true length separately, so simply overwrite the
+        // last 8 bytes of the final block with the original bit length.)
+        self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buf;
+        self.process_block(&block);
+
+        let mut out = [0u8; 20];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn process_block(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, word) in w.iter_mut().take(16).enumerate() {
+            *word = u32::from_be_bytes([
+                block[i * 4],
+                block[i * 4 + 1],
+                block[i * 4 + 2],
+                block[i * 4 + 3],
+            ]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A82_7999u32),
+                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+                _ => (b ^ c ^ d, 0xCA62_C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+/// Render a digest as lowercase hex.
+pub fn to_hex(digest: &[u8]) -> String {
+    let mut s = String::with_capacity(digest.len() * 2);
+    for b in digest {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_message() {
+        assert_eq!(
+            to_hex(&Sha1::digest(b"")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
+    }
+
+    #[test]
+    fn abc() {
+        assert_eq!(
+            to_hex(&Sha1::digest(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+    }
+
+    #[test]
+    fn two_block_message() {
+        assert_eq!(
+            to_hex(&Sha1::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn exactly_64_bytes() {
+        // A message exactly one block long exercises the padding path
+        // where the length block spills into a second block.
+        let msg = [0x61u8; 64];
+        assert_eq!(
+            to_hex(&Sha1::digest(&msg)),
+            "0098ba824b5c16427bd7a1122a5a442a25ec644d"
+        );
+    }
+
+    #[test]
+    fn fifty_five_and_fifty_six_bytes() {
+        // 55 bytes: padding + length fit in one block.
+        // 56 bytes: the terminator forces a second block.
+        let m55 = [0x61u8; 55];
+        let m56 = [0x61u8; 56];
+        assert_eq!(
+            to_hex(&Sha1::digest(&m55)),
+            "c1c8bbdc22796e28c0e15163d20899b65621d65a"
+        );
+        assert_eq!(
+            to_hex(&Sha1::digest(&m56)),
+            "c2db330f6083854c99d4b5bfb6e8f29f201be699"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let msg = vec![b'a'; 1_000_000];
+        assert_eq!(
+            to_hex(&Sha1::digest(&msg)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        // Feed in awkward chunk sizes.
+        for chunk in [1usize, 3, 7, 63, 64, 65, 129] {
+            let mut h = Sha1::new();
+            for piece in data.chunks(chunk) {
+                h.update(piece);
+            }
+            assert_eq!(h.finalize(), Sha1::digest(&data), "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn digest64_is_prefix() {
+        let d = Sha1::digest(b"flow-id");
+        let hi = Sha1::digest64(b"flow-id");
+        assert_eq!(hi.to_be_bytes(), d[..8]);
+    }
+}

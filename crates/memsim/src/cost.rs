@@ -1,0 +1,208 @@
+//! Per-scheme processing-cost accounting (drives Fig. 8).
+//!
+//! Every scheme's data path is a sequence of countable events — hash
+//! computations, on-chip accesses, off-chip SRAM accesses, DISCO power
+//! operations. The experiment harness tallies the events its scheme
+//! actually performed on a trace prefix and this module converts the
+//! tally into nanoseconds.
+//!
+//! The constants are documented in DESIGN.md §7; the latency figures
+//! are the paper's own (§1.1), the computation costs are chosen so the
+//! Fig. 8 crossover between CASE and RCS lands near 10⁴ packets as in
+//! the paper.
+
+use crate::tech::MemoryModel;
+use serde::Serialize;
+
+/// Cost constants (nanoseconds per event).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct AccessCosts {
+    /// One hash evaluation (flow-ID or counter-index).
+    pub hash_ns: f64,
+    /// One on-chip cache access.
+    pub on_chip_ns: f64,
+    /// One off-chip SRAM access.
+    pub sram_ns: f64,
+    /// One floating-point power/log operation (CASE's DISCO step).
+    pub pow_op_ns: f64,
+    /// One-time setup of the compression tables (CASE precomputes the
+    /// DISCO bucket boundaries with repeated power operations).
+    pub case_setup_ns: f64,
+}
+
+impl Default for AccessCosts {
+    fn default() -> Self {
+        let mem = MemoryModel::default();
+        Self {
+            hash_ns: 1.0,
+            on_chip_ns: mem.on_chip_ns,
+            sram_ns: mem.sram_ns,
+            pow_op_ns: 35.0,
+            case_setup_ns: 150_000.0,
+        }
+    }
+}
+
+/// Mutable tally of events a scheme performed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct CostTally {
+    /// Hash evaluations.
+    pub hashes: u64,
+    /// On-chip accesses.
+    pub on_chip: u64,
+    /// Off-chip SRAM accesses.
+    pub sram: u64,
+    /// Power/log operations.
+    pub pow_ops: u64,
+    /// Number of one-time setups performed (0 or 1 normally).
+    pub setups: u64,
+}
+
+impl CostTally {
+    /// Fresh empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record hash evaluations.
+    #[inline]
+    pub fn hash(&mut self, n: u64) {
+        self.hashes += n;
+    }
+
+    /// Record on-chip accesses.
+    #[inline]
+    pub fn on_chip(&mut self, n: u64) {
+        self.on_chip += n;
+    }
+
+    /// Record SRAM accesses.
+    #[inline]
+    pub fn sram(&mut self, n: u64) {
+        self.sram += n;
+    }
+
+    /// Record power operations.
+    #[inline]
+    pub fn pow_op(&mut self, n: u64) {
+        self.pow_ops += n;
+    }
+
+    /// Record a one-time setup.
+    #[inline]
+    pub fn setup(&mut self) {
+        self.setups += 1;
+    }
+
+    /// Merge another tally into this one.
+    pub fn merge(&mut self, other: &CostTally) {
+        self.hashes += other.hashes;
+        self.on_chip += other.on_chip;
+        self.sram += other.sram;
+        self.pow_ops += other.pow_ops;
+        self.setups += other.setups;
+    }
+
+    /// CAESAR's event tally for `n` packets: one flow-ID hash and one
+    /// on-chip access per packet, `k` counter-index hashes per
+    /// eviction, and a read-modify-write (2 accesses) per coalesced
+    /// SRAM counter write.
+    pub fn caesar(n: u64, evictions: u64, k: u64, sram_writes: u64) -> Self {
+        let mut t = Self::new();
+        t.hash(n);
+        t.on_chip(n);
+        t.hash(evictions * k);
+        t.sram(sram_writes * 2);
+        t
+    }
+
+    /// CASE's event tally: per-packet hash + cache access, a one-time
+    /// compression-table setup, and per-eviction counter addressing,
+    /// SRAM accesses and power operations.
+    pub fn case(n: u64, evictions: u64, sram_accesses: u64, pow_ops: u64) -> Self {
+        let mut t = Self::new();
+        t.setup();
+        t.hash(n);
+        t.on_chip(n);
+        t.hash(evictions);
+        t.sram(sram_accesses);
+        t.pow_op(pow_ops);
+        t
+    }
+
+    /// RCS's event tally: flow-ID hash plus counter-choice hash per
+    /// packet, and an off-chip read-modify-write per recorded packet.
+    pub fn rcs(n: u64, recorded: u64) -> Self {
+        let mut t = Self::new();
+        t.hash(n * 2);
+        t.sram(recorded * 2);
+        t
+    }
+
+    /// Total processing time under the given cost constants.
+    pub fn total_ns(&self, costs: &AccessCosts) -> f64 {
+        self.hashes as f64 * costs.hash_ns
+            + self.on_chip as f64 * costs.on_chip_ns
+            + self.sram as f64 * costs.sram_ns
+            + self.pow_ops as f64 * costs.pow_op_ns
+            + self.setups as f64 * costs.case_setup_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_arithmetic() {
+        let mut t = CostTally::new();
+        t.hash(10);
+        t.on_chip(10);
+        t.sram(3);
+        t.pow_op(2);
+        let c = AccessCosts::default();
+        let expect = 10.0 * 1.0 + 10.0 * 1.0 + 3.0 * 10.0 + 2.0 * 35.0;
+        assert!((t.total_ns(&c) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = CostTally { hashes: 1, on_chip: 2, sram: 3, pow_ops: 4, setups: 1 };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a, CostTally { hashes: 2, on_chip: 4, sram: 6, pow_ops: 8, setups: 2 });
+    }
+
+    #[test]
+    fn presets_match_manual_assembly() {
+        let c = AccessCosts::default();
+        let caesar = CostTally::caesar(1000, 50, 3, 120);
+        let mut manual = CostTally::new();
+        manual.hash(1000);
+        manual.on_chip(1000);
+        manual.hash(150);
+        manual.sram(240);
+        assert_eq!(caesar, manual);
+        // RCS is 2 hashes + one RMW per packet.
+        let rcs = CostTally::rcs(1000, 1000);
+        assert_eq!(rcs.hashes, 2000);
+        assert_eq!(rcs.sram, 2000);
+        assert!(rcs.total_ns(&c) > caesar.total_ns(&c));
+    }
+
+    #[test]
+    fn setup_cost_dominates_small_runs() {
+        // The CASE table setup must exceed the per-packet cost of a
+        // thousand-packet run — that is what makes CASE the slowest
+        // scheme at the left edge of Fig. 8.
+        let c = AccessCosts::default();
+        let mut case = CostTally::new();
+        case.setup();
+        case.hash(1000);
+        case.on_chip(1000);
+        let mut rcs = CostTally::new();
+        rcs.hash(1000);
+        rcs.sram(2000); // read + write per packet
+        assert!(case.total_ns(&c) > rcs.total_ns(&c));
+    }
+}

@@ -1,0 +1,84 @@
+//! The paper's FPGA prototype arithmetic (§6.2).
+//!
+//! The authors implement all three schemes on a Xilinx Virtex-7:
+//! maximal design clock 18.912 MHz, a 36-bit packet-ID input bus fed
+//! once per cycle, hence 18.912 MHz × 36 bit = 680.832 Mbps ingest.
+//! This module reproduces that arithmetic so the Fig. 8 harness can
+//! express simulated nanoseconds in prototype clock cycles and check
+//! throughput claims.
+
+use serde::Serialize;
+
+/// Static description of an FPGA prototype.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FpgaSpec {
+    /// Design clock in Hz.
+    pub clock_hz: f64,
+    /// Input bus width in bits (one word per cycle).
+    pub bus_bits: u32,
+    /// Block RAM capacity in bytes.
+    pub block_ram_bytes: u64,
+}
+
+impl FpgaSpec {
+    /// The Virtex-7 configuration from §6.2.
+    pub fn virtex7() -> Self {
+        Self {
+            clock_hz: 18.912e6,
+            bus_bits: 36,
+            block_ram_bytes: 68 * 1024 * 1024,
+        }
+    }
+
+    /// One clock period in nanoseconds.
+    pub fn cycle_ns(&self) -> f64 {
+        1e9 / self.clock_hz
+    }
+
+    /// Ingest throughput in bits per second (bus width × clock).
+    pub fn throughput_bps(&self) -> f64 {
+        self.clock_hz * self.bus_bits as f64
+    }
+
+    /// Convert a simulated duration to whole clock cycles (rounded up).
+    pub fn ns_to_cycles(&self, ns: f64) -> u64 {
+        (ns / self.cycle_ns()).ceil() as u64
+    }
+
+    /// Time to ingest `n` packet IDs, one bus word per cycle.
+    pub fn ingest_time_ns(&self, n: u64) -> f64 {
+        n as f64 * self.cycle_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtex7_throughput_matches_paper() {
+        let f = FpgaSpec::virtex7();
+        // §6.2: "it supports streams up to 680.832 Mbps".
+        assert!((f.throughput_bps() - 680.832e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn cycle_time_is_about_53ns() {
+        let f = FpgaSpec::virtex7();
+        assert!((f.cycle_ns() - 52.876).abs() < 0.01);
+    }
+
+    #[test]
+    fn cycles_round_up() {
+        let f = FpgaSpec::virtex7();
+        assert_eq!(f.ns_to_cycles(0.0), 0);
+        assert_eq!(f.ns_to_cycles(1.0), 1);
+        assert_eq!(f.ns_to_cycles(f.cycle_ns() * 2.5), 3);
+    }
+
+    #[test]
+    fn ingest_scales_linearly() {
+        let f = FpgaSpec::virtex7();
+        assert!((f.ingest_time_ns(1000) - 1000.0 * f.cycle_ns()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,32 @@
+//! # memsim — memory-hierarchy timing, ingress queueing and loss
+//!
+//! The paper's architecture argument is about *speed*: on-chip memory
+//! answers in 1 ns, off-chip QDR SRAM in 3–10 ns, DRAM in 40 ns (§1.1).
+//! A cache-free scheme like RCS must touch off-chip SRAM on **every**
+//! packet, so at line rate its ingress queue overflows and it drops
+//! packets — the paper uses the resulting "empirical" loss rates of 2/3
+//! (SRAM 3× slower than arrivals) and 9/10 (10× slower) for Fig. 7, and
+//! measures processing time on an FPGA for Fig. 8.
+//!
+//! This crate is the substitute for that FPGA testbed:
+//!
+//! * [`tech`] — access-latency constants and the [`tech::Technology`] enum;
+//! * [`queue`] — a deterministic D/D/1/B ingress queue: given arrival
+//!   spacing, service time, and buffer capacity it yields the loss rate
+//!   and makespan (the 2/3 and 9/10 rates *emerge* from the latencies);
+//! * [`cost`] — per-scheme access tallies → nanoseconds (Fig. 8);
+//! * [`fpga`] — the Virtex-7 prototype's clock/bus arithmetic (§6.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod fpga;
+pub mod pipeline;
+pub mod queue;
+pub mod tech;
+
+pub use cost::{AccessCosts, CostTally};
+pub use pipeline::{PacketWork, Pipeline, PipelineReport};
+pub use queue::{IngressQueue, QueueReport, QueueState};
+pub use tech::{MemoryModel, Technology};

@@ -1,0 +1,256 @@
+//! Event-driven line-card pipeline model.
+//!
+//! The batch cost model (`cost.rs`) sums event prices; this module
+//! resolves *when* things happen: packets enter a front-end stage
+//! (hash + cache) at line rate, and eviction writebacks queue for the
+//! off-chip SRAM port. When the writeback FIFO fills, the front end
+//! stalls — exactly how an FPGA pipeline behaves when the memory port
+//! is the bottleneck. The model yields the makespan, the stall count,
+//! and the peak queue depth, which the Fig. 8 harness can report next
+//! to the batch numbers.
+
+use serde::Serialize;
+
+/// What one packet did in the front end.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketWork {
+    /// Off-chip counter writes this packet's eviction(s) enqueued
+    /// (0 for the common cache-hit case).
+    pub writebacks: u32,
+    /// Extra front-end computation in nanoseconds (e.g. CASE's power
+    /// operations), serialized with the packet.
+    pub compute_ns: f64,
+}
+
+impl PacketWork {
+    /// A plain cache hit: no writebacks, no extra compute.
+    pub const HIT: PacketWork = PacketWork { writebacks: 0, compute_ns: 0.0 };
+}
+
+/// Pipeline configuration.
+///
+/// ```
+/// use memsim::{PacketWork, Pipeline};
+/// let pl = Pipeline::default(); // 1 ns arrivals, 10 ns SRAM port
+/// // Every packet needs an off-chip RMW: the port is 20x oversubscribed.
+/// let report = pl.run((0..10_000).map(|_| PacketWork { writebacks: 2, compute_ns: 0.0 }));
+/// assert!(report.stall_fraction() > 0.8);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Pipeline {
+    /// Packet arrival spacing (line rate), ns.
+    pub arrival_ns: f64,
+    /// Front-end service per packet (hash + on-chip access), ns.
+    pub front_ns: f64,
+    /// Off-chip SRAM port service per counter write, ns.
+    pub sram_ns: f64,
+    /// Writeback FIFO capacity (pending counter writes). When full,
+    /// the front end stalls until the port drains.
+    pub fifo_capacity: usize,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Self {
+            arrival_ns: 1.0,
+            front_ns: 2.0, // 1 ns hash + 1 ns cache
+            sram_ns: 10.0,
+            fifo_capacity: 64,
+        }
+    }
+}
+
+/// Outcome of a pipeline run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PipelineReport {
+    /// Packets processed.
+    pub packets: u64,
+    /// Time the last packet (and its writebacks) completed, ns.
+    pub makespan_ns: f64,
+    /// Time the front end spent stalled on a full FIFO, ns.
+    pub stall_ns: f64,
+    /// Counter writes pushed through the SRAM port.
+    pub writebacks: u64,
+    /// Largest FIFO occupancy observed.
+    pub peak_fifo: usize,
+}
+
+impl PipelineReport {
+    /// Average per-packet processing time.
+    pub fn ns_per_packet(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.makespan_ns / self.packets as f64
+        }
+    }
+
+    /// Fraction of the run spent stalled.
+    pub fn stall_fraction(&self) -> f64 {
+        if self.makespan_ns == 0.0 {
+            0.0
+        } else {
+            self.stall_ns / self.makespan_ns
+        }
+    }
+}
+
+impl Pipeline {
+    /// Run the pipeline over a packet work stream with fixed arrival
+    /// spacing (`arrival_ns`).
+    ///
+    /// # Panics
+    /// Panics on non-positive timing parameters or zero FIFO capacity.
+    pub fn run(&self, work: impl IntoIterator<Item = PacketWork>) -> PipelineReport {
+        let spacing = self.arrival_ns;
+        self.run_timed(
+            work.into_iter()
+                .enumerate()
+                .map(move |(i, w)| (i as f64 * spacing, w)),
+        )
+    }
+
+    /// Run the pipeline over `(arrival_ns, work)` pairs with explicit,
+    /// non-decreasing arrival times — the entry point for bursty or
+    /// Poisson arrival processes (see `flowtrace`'s timing module).
+    ///
+    /// # Panics
+    /// Panics on non-positive timing parameters, zero FIFO capacity,
+    /// or arrivals that go backwards in time.
+    pub fn run_timed(&self, work: impl IntoIterator<Item = (f64, PacketWork)>) -> PipelineReport {
+        assert!(self.arrival_ns > 0.0 && self.front_ns > 0.0 && self.sram_ns > 0.0);
+        assert!(self.fifo_capacity > 0, "FIFO capacity must be positive");
+
+        // Front-end availability and the SRAM port's drain horizon.
+        let mut front_free = 0.0f64;
+        let mut port_free = 0.0f64;
+        let mut stall_ns = 0.0f64;
+        let mut packets = 0u64;
+        let mut writebacks = 0u64;
+        let mut peak_fifo = 0usize;
+        let mut last_arrival = 0.0f64;
+
+        for (arrival, w) in work {
+            assert!(arrival >= last_arrival, "arrivals must be non-decreasing");
+            last_arrival = arrival;
+            let mut start = arrival.max(front_free);
+
+            if w.writebacks > 0 {
+                assert!(
+                    (w.writebacks as usize) <= self.fifo_capacity,
+                    "a single packet's writebacks cannot exceed the FIFO"
+                );
+                // FIFO occupancy when this packet wants to enqueue: the
+                // port drains one write every sram_ns.
+                let backlog = ((port_free - start) / self.sram_ns).ceil().max(0.0) as usize;
+                peak_fifo = peak_fifo.max(backlog);
+                if backlog + w.writebacks as usize > self.fifo_capacity {
+                    // Stall until occupancy drops to capacity − new:
+                    // port_free − t ≤ (capacity − new)·sram_ns.
+                    let stall_until = port_free
+                        - (self.fifo_capacity - w.writebacks as usize) as f64 * self.sram_ns;
+                    if stall_until > start {
+                        stall_ns += stall_until - start;
+                        start = stall_until;
+                    }
+                }
+                port_free = port_free.max(start) + w.writebacks as f64 * self.sram_ns;
+                writebacks += w.writebacks as u64;
+            }
+
+            front_free = start + self.front_ns + w.compute_ns;
+            packets += 1;
+        }
+
+        PipelineReport {
+            packets,
+            makespan_ns: front_free.max(port_free),
+            stall_ns,
+            writebacks,
+            peak_fifo,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hits(n: usize) -> Vec<PacketWork> {
+        vec![PacketWork::HIT; n]
+    }
+
+    #[test]
+    fn pure_hits_run_at_front_speed() {
+        let p = Pipeline { arrival_ns: 5.0, ..Pipeline::default() };
+        let r = p.run(hits(1000));
+        // Arrivals slower than the 2 ns front end: makespan = last
+        // arrival + front service.
+        assert!((r.makespan_ns - (999.0 * 5.0 + 2.0)).abs() < 1e-9);
+        assert_eq!(r.stall_ns, 0.0);
+        assert_eq!(r.writebacks, 0);
+    }
+
+    #[test]
+    fn sparse_writebacks_absorbed_by_fifo() {
+        let p = Pipeline::default();
+        // One eviction (3 writes) every 100 packets: the port (30 ns of
+        // work per 100 ns of packets) keeps up, no stalls.
+        let work: Vec<PacketWork> = (0..10_000)
+            .map(|i| {
+                if i % 100 == 0 {
+                    PacketWork { writebacks: 3, compute_ns: 0.0 }
+                } else {
+                    PacketWork::HIT
+                }
+            })
+            .collect();
+        let r = p.run(work);
+        assert_eq!(r.stall_ns, 0.0, "{r:?}");
+        assert_eq!(r.writebacks, 300);
+    }
+
+    #[test]
+    fn dense_writebacks_stall_the_front_end() {
+        let p = Pipeline { fifo_capacity: 8, ..Pipeline::default() };
+        // Every packet evicts 3 writes: the port needs 30 ns per 1 ns
+        // arrival — massively oversubscribed.
+        let work: Vec<PacketWork> = (0..5_000)
+            .map(|_| PacketWork { writebacks: 3, compute_ns: 0.0 })
+            .collect();
+        let r = p.run(work);
+        assert!(r.stall_ns > 0.0);
+        // Throughput degrades to the port rate: ≈ 30 ns/packet.
+        assert!(
+            (r.ns_per_packet() - 30.0).abs() < 2.0,
+            "ns/pkt = {}",
+            r.ns_per_packet()
+        );
+        assert!(r.peak_fifo <= 8);
+    }
+
+    #[test]
+    fn compute_cost_serializes_with_packets() {
+        let p = Pipeline::default();
+        let work: Vec<PacketWork> = (0..1_000)
+            .map(|_| PacketWork { writebacks: 0, compute_ns: 35.0 })
+            .collect();
+        let r = p.run(work);
+        // 2 + 35 ns per packet, arrivals every 1 ns: front-bound.
+        assert!((r.ns_per_packet() - 37.0).abs() < 1.0, "{}", r.ns_per_packet());
+    }
+
+    #[test]
+    fn empty_stream() {
+        let r = Pipeline::default().run(std::iter::empty());
+        assert_eq!(r.packets, 0);
+        assert_eq!(r.makespan_ns, 0.0);
+        assert_eq!(r.ns_per_packet(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "FIFO capacity")]
+    fn zero_fifo_rejected() {
+        Pipeline { fifo_capacity: 0, ..Pipeline::default() }.run(hits(1));
+    }
+}

@@ -1,0 +1,207 @@
+//! Deterministic D/D/1/B ingress queue.
+//!
+//! Packets arrive with fixed spacing `arrival_ns` (line rate); the
+//! measurement engine serves them FIFO, one every `service_ns`; at most
+//! `capacity` packets can wait. When the buffer is full an arriving
+//! packet is dropped — exactly how a cache-free scheme like RCS loses
+//! packets when its per-packet off-chip access cannot keep up (§6.3.3).
+//!
+//! With `service_ns = r · arrival_ns`, the steady-state loss converges
+//! to `1 − 1/r` independent of the buffer size: SRAM 3× slower than the
+//! line gives the paper's 2/3, 10× gives 9/10.
+
+use serde::Serialize;
+
+/// Queue configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct IngressQueue {
+    /// Inter-arrival spacing (ns).
+    pub arrival_ns: f64,
+    /// Per-packet service time (ns).
+    pub service_ns: f64,
+    /// Buffer capacity (packets waiting or in service).
+    pub capacity: usize,
+}
+
+/// Outcome of pushing a packet stream through the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct QueueReport {
+    /// Packets offered.
+    pub offered: u64,
+    /// Packets accepted (served or still in the buffer at the end).
+    pub accepted: u64,
+    /// Packets dropped on arrival.
+    pub dropped: u64,
+    /// Time at which the last accepted packet finishes service (ns).
+    pub makespan_ns: f64,
+}
+
+impl QueueReport {
+    /// Fraction of offered packets that were dropped.
+    pub fn loss_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.offered as f64
+        }
+    }
+}
+
+impl IngressQueue {
+    /// Begin a packet-by-packet simulation (used by schemes that must
+    /// decide acceptance per arrival, e.g. lossy RCS).
+    pub fn start(&self) -> QueueState {
+        assert!(self.arrival_ns > 0.0, "arrival spacing must be positive");
+        assert!(self.service_ns > 0.0, "service time must be positive");
+        assert!(self.capacity > 0, "buffer capacity must be positive");
+        QueueState {
+            queue: *self,
+            arrivals: 0,
+            accepted: 0,
+            dropped: 0,
+            horizon: 0.0,
+        }
+    }
+
+    /// Simulate `n` back-to-back arrivals.
+    ///
+    /// The simulation is O(n) time, O(1) space: with deterministic
+    /// arrivals and service, the buffer occupancy at an arrival instant
+    /// is derived from the server's backlog horizon.
+    ///
+    /// # Panics
+    /// Panics if any timing parameter is non-positive or the capacity
+    /// is zero.
+    pub fn simulate(&self, n: u64) -> QueueReport {
+        let mut st = self.start();
+        for _ in 0..n {
+            st.offer();
+        }
+        st.report()
+    }
+}
+
+/// Incremental queue simulation: call [`QueueState::offer`] once per
+/// arriving packet and learn immediately whether it was accepted.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueState {
+    queue: IngressQueue,
+    arrivals: u64,
+    accepted: u64,
+    dropped: u64,
+    /// Time at which the server finishes everything accepted so far.
+    horizon: f64,
+}
+
+impl QueueState {
+    /// Offer the next packet (arriving `arrival_ns` after the previous
+    /// one). Returns `true` if the packet was accepted.
+    pub fn offer(&mut self) -> bool {
+        let t = self.arrivals as f64 * self.queue.arrival_ns;
+        self.arrivals += 1;
+        // Packets still in the system when this one arrives.
+        let in_system = if self.horizon > t {
+            ((self.horizon - t) / self.queue.service_ns).ceil() as usize
+        } else {
+            0
+        };
+        if in_system >= self.queue.capacity {
+            self.dropped += 1;
+            false
+        } else {
+            self.accepted += 1;
+            self.horizon = self.horizon.max(t) + self.queue.service_ns;
+            true
+        }
+    }
+
+    /// Report of everything offered so far.
+    pub fn report(&self) -> QueueReport {
+        QueueReport {
+            offered: self.arrivals,
+            accepted: self.accepted,
+            dropped: self.dropped,
+            makespan_ns: self.horizon,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn underload_accepts_everything() {
+        let q = IngressQueue { arrival_ns: 10.0, service_ns: 1.0, capacity: 4 };
+        let r = q.simulate(1000);
+        assert_eq!(r.dropped, 0);
+        assert_eq!(r.accepted, 1000);
+        // Last arrival at 9990, service done 1 ns later.
+        assert!((r.makespan_ns - 9991.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loss_two_thirds_with_3x_slower_service() {
+        let q = IngressQueue { arrival_ns: 1.0, service_ns: 3.0, capacity: 64 };
+        let r = q.simulate(3_000_000);
+        assert!((r.loss_rate() - 2.0 / 3.0).abs() < 1e-3, "loss = {}", r.loss_rate());
+    }
+
+    #[test]
+    fn loss_nine_tenths_with_10x_slower_service() {
+        let q = IngressQueue { arrival_ns: 1.0, service_ns: 10.0, capacity: 64 };
+        let r = q.simulate(3_000_000);
+        assert!((r.loss_rate() - 0.9).abs() < 1e-3, "loss = {}", r.loss_rate());
+    }
+
+    #[test]
+    fn loss_rate_independent_of_buffer_size() {
+        for cap in [1usize, 8, 1024] {
+            let q = IngressQueue { arrival_ns: 1.0, service_ns: 4.0, capacity: cap };
+            let r = q.simulate(1_000_000);
+            assert!(
+                (r.loss_rate() - 0.75).abs() < 1e-2,
+                "cap {cap}: loss = {}",
+                r.loss_rate()
+            );
+        }
+    }
+
+    #[test]
+    fn critically_loaded_queue_keeps_up() {
+        let q = IngressQueue { arrival_ns: 2.0, service_ns: 2.0, capacity: 2 };
+        let r = q.simulate(100_000);
+        assert_eq!(r.dropped, 0);
+    }
+
+    #[test]
+    fn makespan_scales_with_service_under_overload() {
+        let q = IngressQueue { arrival_ns: 1.0, service_ns: 5.0, capacity: 16 };
+        let n = 100_000u64;
+        let r = q.simulate(n);
+        // Server is always busy: makespan ≈ accepted * service.
+        assert!((r.makespan_ns - r.accepted as f64 * 5.0).abs() / r.makespan_ns < 1e-3);
+    }
+
+    #[test]
+    fn conservation() {
+        let q = IngressQueue { arrival_ns: 1.0, service_ns: 2.5, capacity: 7 };
+        let r = q.simulate(12345);
+        assert_eq!(r.accepted + r.dropped, r.offered);
+    }
+
+    #[test]
+    fn zero_packets() {
+        let q = IngressQueue { arrival_ns: 1.0, service_ns: 1.0, capacity: 1 };
+        let r = q.simulate(0);
+        assert_eq!(r.offered, 0);
+        assert_eq!(r.loss_rate(), 0.0);
+        assert_eq!(r.makespan_ns, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        IngressQueue { arrival_ns: 1.0, service_ns: 1.0, capacity: 0 }.simulate(1);
+    }
+}

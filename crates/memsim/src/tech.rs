@@ -1,0 +1,109 @@
+//! Memory technologies and their access latencies.
+//!
+//! All numbers come from the paper's §1.1: "the average access time of
+//! slow DRAM is 40 ns, while that of expensive SRAM (e.g., QDRII+SRAM)
+//! is 3–10 ns ... on-chip fast memory with just 1 ns for once access".
+
+use serde::{Deserialize, Serialize};
+
+/// A memory technology in the measurement data path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Technology {
+    /// On-chip cache RAM (1 ns).
+    OnChip,
+    /// Fast off-chip QDRII+ SRAM (3 ns) — the optimistic end of §1.1.
+    SramFast,
+    /// Off-chip SRAM, pessimistic end (10 ns).
+    Sram,
+    /// Commodity DRAM (40 ns).
+    Dram,
+}
+
+impl Technology {
+    /// Access latency in nanoseconds.
+    pub const fn access_ns(self) -> f64 {
+        match self {
+            Technology::OnChip => 1.0,
+            Technology::SramFast => 3.0,
+            Technology::Sram => 10.0,
+            Technology::Dram => 40.0,
+        }
+    }
+
+    /// Sustainable random-access rate in accesses/second.
+    pub fn access_rate(self) -> f64 {
+        1e9 / self.access_ns()
+    }
+}
+
+/// A configurable latency model, defaulting to the paper's numbers but
+/// overridable for sensitivity studies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryModel {
+    /// On-chip access latency (ns).
+    pub on_chip_ns: f64,
+    /// Off-chip SRAM access latency (ns).
+    pub sram_ns: f64,
+    /// DRAM access latency (ns).
+    pub dram_ns: f64,
+}
+
+impl Default for MemoryModel {
+    fn default() -> Self {
+        Self {
+            on_chip_ns: Technology::OnChip.access_ns(),
+            sram_ns: Technology::Sram.access_ns(),
+            dram_ns: Technology::Dram.access_ns(),
+        }
+    }
+}
+
+impl MemoryModel {
+    /// Model with the fast (3 ns) SRAM figure.
+    pub fn fast_sram() -> Self {
+        Self {
+            sram_ns: Technology::SramFast.access_ns(),
+            ..Self::default()
+        }
+    }
+
+    /// The paper's "empirical speed difference" ratio between off-chip
+    /// SRAM and the on-chip cache — 3 or 10 — which directly becomes
+    /// RCS's loss rate `1 − 1/ratio` (2/3 or 9/10, §6.3.3).
+    pub fn sram_slowdown(&self) -> f64 {
+        self.sram_ns / self.on_chip_ns
+    }
+
+    /// Predicted steady-state loss of a cache-free scheme whose every
+    /// packet costs one SRAM access, with arrivals at on-chip speed.
+    pub fn cache_free_loss_rate(&self) -> f64 {
+        1.0 - 1.0 / self.sram_slowdown()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_match_paper() {
+        assert_eq!(Technology::OnChip.access_ns(), 1.0);
+        assert_eq!(Technology::SramFast.access_ns(), 3.0);
+        assert_eq!(Technology::Sram.access_ns(), 10.0);
+        assert_eq!(Technology::Dram.access_ns(), 40.0);
+    }
+
+    #[test]
+    fn loss_rates_match_paper_figures() {
+        // Fig. 7 uses loss 2/3 (SRAM 3 ns) and 9/10 (SRAM 10 ns).
+        let fast = MemoryModel::fast_sram();
+        assert!((fast.cache_free_loss_rate() - 2.0 / 3.0).abs() < 1e-12);
+        let slow = MemoryModel::default();
+        assert!((slow.cache_free_loss_rate() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn access_rate_is_inverse_latency() {
+        assert!((Technology::Sram.access_rate() - 1e8).abs() < 1.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests: queue and pipeline invariants.
+
+use memsim::{IngressQueue, PacketWork, Pipeline};
+use proptest::prelude::*;
+
+proptest! {
+    /// D/D/1/B conservation and the loss law: with service r× slower
+    /// than arrivals, steady-state acceptance is 1/r.
+    #[test]
+    fn queue_loss_law(
+        ratio in 1u32..20,
+        capacity in 1usize..64,
+    ) {
+        let q = IngressQueue {
+            arrival_ns: 1.0,
+            service_ns: ratio as f64,
+            capacity,
+        };
+        let n = 200_000u64;
+        let r = q.simulate(n);
+        prop_assert_eq!(r.accepted + r.dropped, n);
+        let predicted = 1.0 - 1.0 / ratio as f64;
+        prop_assert!(
+            (r.loss_rate() - predicted).abs() < 0.01,
+            "ratio {}: loss {} vs predicted {}",
+            ratio,
+            r.loss_rate(),
+            predicted
+        );
+    }
+
+    /// Incremental offers match the batch simulation exactly.
+    #[test]
+    fn queue_state_matches_batch(
+        n in 0u64..5_000,
+        arrival in 1u32..10,
+        service in 1u32..30,
+        capacity in 1usize..32,
+    ) {
+        let q = IngressQueue {
+            arrival_ns: arrival as f64,
+            service_ns: service as f64,
+            capacity,
+        };
+        let batch = q.simulate(n);
+        let mut st = q.start();
+        for _ in 0..n {
+            st.offer();
+        }
+        prop_assert_eq!(st.report(), batch);
+    }
+
+    /// The pipeline makespan is bounded below by both the arrival span
+    /// and the total port work, and above by their serialized sum plus
+    /// compute.
+    #[test]
+    fn pipeline_makespan_bounds(
+        work in prop::collection::vec((0u32..4, 0u32..50), 1..1000),
+        arrival in 1u32..8,
+    ) {
+        let p = Pipeline {
+            arrival_ns: arrival as f64,
+            ..Pipeline::default()
+        };
+        let items: Vec<PacketWork> = work
+            .iter()
+            .map(|&(wb, comp)| PacketWork { writebacks: wb, compute_ns: comp as f64 })
+            .collect();
+        let r = p.run(items.iter().copied());
+        let n = items.len() as f64;
+        let port_work: f64 = items.iter().map(|w| w.writebacks as f64 * p.sram_ns).sum();
+        let compute: f64 = items.iter().map(|w| w.compute_ns).sum();
+        let front_work = n * p.front_ns + compute;
+        let lower = ((n - 1.0) * p.arrival_ns + p.front_ns)
+            .max(port_work)
+            .max(0.0);
+        let upper = (n - 1.0) * p.arrival_ns + front_work + port_work + p.front_ns;
+        prop_assert!(r.makespan_ns >= lower - 1e-6, "{} < {}", r.makespan_ns, lower);
+        prop_assert!(r.makespan_ns <= upper + 1e-6, "{} > {}", r.makespan_ns, upper);
+        prop_assert_eq!(r.writebacks, items.iter().map(|w| w.writebacks as u64).sum::<u64>());
+    }
+
+    /// Adding writebacks to a stream never makes it finish earlier.
+    #[test]
+    fn pipeline_monotone_in_work(
+        base in prop::collection::vec(0u32..2, 1..300),
+        bump_at in 0usize..300,
+    ) {
+        let p = Pipeline::default();
+        let items: Vec<PacketWork> = base
+            .iter()
+            .map(|&wb| PacketWork { writebacks: wb, compute_ns: 0.0 })
+            .collect();
+        let mut heavier = items.clone();
+        let at = bump_at % heavier.len();
+        heavier[at].writebacks += 2;
+        let a = p.run(items.iter().copied());
+        let b = p.run(heavier.iter().copied());
+        prop_assert!(b.makespan_ns >= a.makespan_ns - 1e-9);
+    }
+}

@@ -1,0 +1,332 @@
+//! # metrics — accuracy scoring for the paper's figures
+//!
+//! Every accuracy figure in the paper is one of two plots:
+//!
+//! * **estimated vs actual** scatter (Figs. 4a/4b, 5a/5b, 6a–c,
+//!   7a/7b) — [`ScatterSeries`];
+//! * **average relative error vs actual flow size** (Figs. 4c/4d, 5c/5d,
+//!   6d, 7c/7d) — [`are_by_size`].
+//!
+//! Plus the headline scalar: the average relative error over all flows
+//! (§1.5 quotes 25.23% for CAESAR-CSM, 30.83% for CAESAR-MLM, 67.68%
+//! and 90.06% for lossy RCS, ≈100% for CASE).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Relative error of one estimate: `|x̂ − x| / x`.
+///
+/// Defined for `actual > 0` (every real flow has at least one packet).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RelativeError(pub f64);
+
+impl RelativeError {
+    /// Compute `|estimate − actual| / actual`.
+    ///
+    /// # Panics
+    /// Panics if `actual == 0`; relative error against a zero-size
+    /// flow is undefined (such a flow does not exist in a trace).
+    pub fn new(actual: u64, estimate: f64) -> Self {
+        assert!(actual > 0, "relative error undefined for actual size 0");
+        Self((estimate - actual as f64).abs() / actual as f64)
+    }
+}
+
+/// One `(actual, estimated)` point of a scatter plot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ScatterPoint {
+    /// True flow size.
+    pub actual: u64,
+    /// Estimated flow size.
+    pub estimated: f64,
+}
+
+/// A full estimated-vs-actual series, the raw material of every
+/// accuracy figure.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ScatterSeries {
+    points: Vec<ScatterPoint>,
+}
+
+impl ScatterSeries {
+    /// Empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one flow's result.
+    pub fn push(&mut self, actual: u64, estimated: f64) {
+        self.points.push(ScatterPoint { actual, estimated });
+    }
+
+    /// Number of flows scored.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when nothing was scored.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The recorded points.
+    pub fn points(&self) -> &[ScatterPoint] {
+        &self.points
+    }
+
+    /// Downsample to at most `n` points for plotting (deterministic
+    /// stride sampling — scatter plots need shape, not every point).
+    pub fn sample(&self, n: usize) -> Vec<ScatterPoint> {
+        if self.points.len() <= n || n == 0 {
+            return self.points.clone();
+        }
+        let stride = self.points.len() as f64 / n as f64;
+        (0..n)
+            .map(|i| self.points[(i as f64 * stride) as usize])
+            .collect()
+    }
+
+    /// Score the series into a report.
+    pub fn report(&self) -> AccuracyReport {
+        AccuracyReport::from_points(&self.points)
+    }
+}
+
+/// Aggregate accuracy over a set of flows.
+#[derive(Debug, Clone, Serialize)]
+pub struct AccuracyReport {
+    /// Flows scored.
+    pub flows: usize,
+    /// Average relative error over all flows (the headline number).
+    pub avg_relative_error: f64,
+    /// Median relative error.
+    pub median_relative_error: f64,
+    /// Root-mean-square absolute error.
+    pub rmse: f64,
+    /// Mean signed error (bias; ≈ 0 for an unbiased estimator).
+    pub mean_signed_error: f64,
+    /// Fraction of flows whose estimate is exactly 0 (CASE's collapse
+    /// signature in Fig. 5).
+    pub frac_estimated_zero: f64,
+}
+
+impl AccuracyReport {
+    /// Score a list of points.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty or any actual size is 0.
+    pub fn from_points(points: &[ScatterPoint]) -> Self {
+        assert!(!points.is_empty(), "cannot score zero flows");
+        let n = points.len() as f64;
+        let mut rel: Vec<f64> = points
+            .iter()
+            .map(|p| RelativeError::new(p.actual, p.estimated).0)
+            .collect();
+        let avg = rel.iter().sum::<f64>() / n;
+        rel.sort_by(|a, b| a.partial_cmp(b).expect("no NaN errors"));
+        let median = rel[rel.len() / 2];
+        let rmse = (points
+            .iter()
+            .map(|p| {
+                let d = p.estimated - p.actual as f64;
+                d * d
+            })
+            .sum::<f64>()
+            / n)
+            .sqrt();
+        let bias = points
+            .iter()
+            .map(|p| p.estimated - p.actual as f64)
+            .sum::<f64>()
+            / n;
+        let zeros = points.iter().filter(|p| p.estimated == 0.0).count();
+        Self {
+            flows: points.len(),
+            avg_relative_error: avg,
+            median_relative_error: median,
+            rmse,
+            mean_signed_error: bias,
+            frac_estimated_zero: zeros as f64 / n,
+        }
+    }
+}
+
+/// Average relative error restricted to flows of at least `min_size`
+/// packets. Returns `None` when no flow qualifies.
+///
+/// Shared-counter sketches have a size-dependent error profile: the
+/// absolute noise per flow is roughly constant (set by the elephants
+/// sharing its counters), so the *relative* error decays as `1/x`. The
+/// paper's headline percentages are only meaningful over flows large
+/// enough to rise above that noise floor; EXPERIMENTS.md quantifies
+/// this, and the headline table reports both the all-flow ARE and this
+/// large-flow ARE.
+pub fn are_over_threshold(points: &[ScatterPoint], min_size: u64) -> Option<(usize, f64)> {
+    let mut n = 0usize;
+    let mut sum = 0.0;
+    for p in points {
+        if p.actual >= min_size {
+            n += 1;
+            sum += RelativeError::new(p.actual, p.estimated).0;
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some((n, sum / n as f64))
+    }
+}
+
+/// Average relative error grouped by actual flow size — the y-axis of
+/// Figs. 4c/4d, 5c/5d, 6d, 7c/7d. Sizes with fewer than `min_flows`
+/// samples are merged into geometric buckets to keep the curve stable.
+pub fn are_by_size(points: &[ScatterPoint], min_flows: usize) -> Vec<(u64, f64)> {
+    let mut by_size: BTreeMap<u64, (f64, usize)> = BTreeMap::new();
+    for p in points {
+        let e = by_size.entry(p.actual).or_insert((0.0, 0));
+        e.0 += RelativeError::new(p.actual, p.estimated).0;
+        e.1 += 1;
+    }
+    // First pass: exact sizes with enough support.
+    let mut out = Vec::new();
+    let mut pending: Vec<(u64, f64, usize)> = Vec::new();
+    for (size, (sum, cnt)) in by_size {
+        if cnt >= min_flows {
+            out.push((size, sum / cnt as f64));
+        } else {
+            pending.push((size, sum, cnt));
+        }
+    }
+    // Second pass: geometric buckets over the sparse tail.
+    let mut lo = 1u64;
+    while !pending.is_empty() {
+        let hi = lo.saturating_mul(2);
+        let (mut sum, mut cnt, mut wsize) = (0.0, 0usize, 0u128);
+        pending.retain(|&(size, s, c)| {
+            if size >= lo && size < hi {
+                sum += s;
+                cnt += c;
+                wsize += size as u128 * c as u128;
+                false
+            } else {
+                true
+            }
+        });
+        if cnt > 0 {
+            let center = (wsize / cnt as u128) as u64;
+            out.push((center, sum / cnt as f64));
+        }
+        if hi < lo {
+            break; // saturated
+        }
+        lo = hi;
+    }
+    out.sort_by_key(|&(s, _)| s);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_basics() {
+        assert_eq!(RelativeError::new(100, 100.0).0, 0.0);
+        assert_eq!(RelativeError::new(100, 150.0).0, 0.5);
+        assert_eq!(RelativeError::new(100, 50.0).0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn zero_actual_rejected() {
+        RelativeError::new(0, 1.0);
+    }
+
+    #[test]
+    fn report_on_perfect_estimates() {
+        let mut s = ScatterSeries::new();
+        for x in 1..=10u64 {
+            s.push(x, x as f64);
+        }
+        let r = s.report();
+        assert_eq!(r.flows, 10);
+        assert_eq!(r.avg_relative_error, 0.0);
+        assert_eq!(r.rmse, 0.0);
+        assert_eq!(r.mean_signed_error, 0.0);
+        assert_eq!(r.frac_estimated_zero, 0.0);
+    }
+
+    #[test]
+    fn report_catches_collapse_to_zero() {
+        let mut s = ScatterSeries::new();
+        for x in 1..=4u64 {
+            s.push(x * 10, 0.0);
+        }
+        let r = s.report();
+        assert_eq!(r.frac_estimated_zero, 1.0);
+        assert!((r.avg_relative_error - 1.0).abs() < 1e-12); // 100% error
+    }
+
+    #[test]
+    fn report_bias_detects_systematic_offset() {
+        let mut s = ScatterSeries::new();
+        for x in 1..=100u64 {
+            s.push(x, x as f64 + 5.0);
+        }
+        let r = s.report();
+        assert!((r.mean_signed_error - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn are_by_size_exact_and_bucketed() {
+        let mut pts = Vec::new();
+        // Size 1: 10 flows at 50% error.
+        for _ in 0..10 {
+            pts.push(ScatterPoint { actual: 1, estimated: 1.5 });
+        }
+        // Size 1000: a single flow (sparse) at 10% error.
+        pts.push(ScatterPoint { actual: 1000, estimated: 900.0 });
+        let curve = are_by_size(&pts, 5);
+        assert_eq!(curve.len(), 2);
+        assert_eq!(curve[0].0, 1);
+        assert!((curve[0].1 - 0.5).abs() < 1e-12);
+        assert_eq!(curve[1].0, 1000);
+        assert!((curve[1].1 - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_downsamples_deterministically() {
+        let mut s = ScatterSeries::new();
+        for x in 1..=1000u64 {
+            s.push(x, x as f64);
+        }
+        let a = s.sample(100);
+        let b = s.sample(100);
+        assert_eq!(a.len(), 100);
+        assert_eq!(a, b);
+        // No sampling requested or possible: full set back.
+        assert_eq!(s.sample(2000).len(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero flows")]
+    fn empty_report_rejected() {
+        AccuracyReport::from_points(&[]);
+    }
+
+    #[test]
+    fn threshold_are_filters_small_flows() {
+        let pts = vec![
+            ScatterPoint { actual: 1, estimated: 100.0 },   // RE 99
+            ScatterPoint { actual: 1000, estimated: 900.0 }, // RE 0.1
+            ScatterPoint { actual: 2000, estimated: 2200.0 }, // RE 0.1
+        ];
+        let (n, are) = are_over_threshold(&pts, 1000).expect("has large flows");
+        assert_eq!(n, 2);
+        assert!((are - 0.1).abs() < 1e-12);
+        assert!(are_over_threshold(&pts, 10_000).is_none());
+    }
+}

@@ -1,0 +1,76 @@
+//! Accuracy vs memory and vs `k`: the design-space sweep behind the
+//! paper's parameter choices.
+//!
+//! ```text
+//! cargo run --release --example accuracy_sweep
+//! ```
+//!
+//! Sweeps the off-chip counter budget `L` and the counters-per-flow
+//! `k`, printing the average relative error over all flows and over
+//! large flows (≥ 1000 packets) for each point. Shows the two core
+//! trade-offs: more SRAM buys less sharing noise; `k` barely matters
+//! for the sum estimator but spreads elephants thinner.
+
+use caesar_repro::prelude::*;
+use rayon::prelude::*;
+
+fn main() {
+    let (trace, truth) = TraceGenerator::new(SynthConfig {
+        num_flows: 20_000,
+        ..SynthConfig::default()
+    })
+    .generate();
+    println!(
+        "trace: {} packets, {} flows\n",
+        trace.num_packets(),
+        trace.num_flows
+    );
+    let y = trace.recommended_entry_capacity();
+
+    println!("{:<10} {:>4} {:>12} {:>14} {:>16}", "L", "k", "SRAM KB", "ARE (all)", "ARE (x>=1000)");
+    for l in [512usize, 2048, 8192, 32768] {
+        for k in [1usize, 3, 5] {
+            let cfg = CaesarConfig {
+                cache_entries: 2048,
+                entry_capacity: y,
+                counters: l,
+                k,
+                ..CaesarConfig::default()
+            };
+            let sram_kb = cfg.sram_kb();
+            let mut sketch = Caesar::new(cfg);
+            for p in &trace.packets {
+                sketch.record(p.flow);
+            }
+            sketch.finish();
+
+            let errors: Vec<(u64, f64)> = truth
+                .par_iter()
+                .map(|(&f, &x)| (x, sketch.query(f)))
+                .collect();
+            let are = errors
+                .iter()
+                .map(|&(x, e)| (e - x as f64).abs() / x as f64)
+                .sum::<f64>()
+                / errors.len() as f64;
+            let large: Vec<f64> = errors
+                .iter()
+                .filter(|&&(x, _)| x >= 1000)
+                .map(|&(x, e)| (e - x as f64).abs() / x as f64)
+                .collect();
+            let large_are = large.iter().sum::<f64>() / large.len().max(1) as f64;
+            println!(
+                "{l:<10} {k:>4} {sram_kb:>12.1} {:>13.1}% {:>15.1}%",
+                100.0 * are,
+                100.0 * large_are
+            );
+        }
+    }
+    println!(
+        "\nReading: the all-flow ARE is dominated by counter-sharing noise on\n\
+         mice; quadrupling L roughly quarters it (noise mean k·n/L). Note\n\
+         that for the pure sum estimator, small k collects less aggregate\n\
+         noise — the paper's k = 3 buys per-eviction update parallelism and\n\
+         RCS compatibility, not accuracy. The ablation benches quantify this."
+    );
+}

@@ -1,0 +1,87 @@
+//! Continuous monitoring with epoch rotation and flow-volume counting.
+//!
+//! ```text
+//! cargo run --release --example continuous_monitoring
+//! ```
+//!
+//! Splits a day of (simulated) traffic into epochs, rotates a fresh
+//! CAESAR sketch each epoch, and answers the questions an operator
+//! actually asks: "how much did this customer send in the last hour?"
+//! (sliding-window size query) and "how many bytes in epoch 3?"
+//! (flow-volume mode).
+
+use caesar::epochs::EpochedCaesar;
+use caesar_repro::prelude::*;
+
+fn main() {
+    let cfg = CaesarConfig {
+        cache_entries: 1_024,
+        entry_capacity: 54,
+        counters: 8_192,
+        k: 3,
+        ..CaesarConfig::default()
+    };
+
+    // Six "ten-minute" epochs; the monitored customer ramps up over
+    // the day, a background population fills the counters.
+    let mut monitor = EpochedCaesar::new(cfg, 6);
+    let customer = 0xC057_00E5u64;
+    let epochs = 6u64;
+    for epoch in 0..epochs {
+        let (bg, _) = TraceGenerator::new(SynthConfig {
+            num_flows: 3_000,
+            seed: 0xDA7 + epoch,
+            ..SynthConfig::default()
+        })
+        .generate();
+        let customer_packets = 200 * (epoch + 1);
+        let mut sent = 0u64;
+        for (i, p) in bg.packets.iter().enumerate() {
+            monitor.record(p.flow);
+            // Interleave the customer's packets evenly.
+            if sent < customer_packets
+                && (i as u64).is_multiple_of(bg.packets.len() as u64 / customer_packets)
+            {
+                monitor.record(customer);
+                sent += 1;
+            }
+        }
+        monitor.rotate();
+    }
+
+    println!("per-epoch estimates for customer {customer:#x}:");
+    println!("{:>6} {:>8} {:>10}", "epoch", "actual", "estimate");
+    for e in 0..epochs {
+        let est = monitor.query_epoch(e, customer).expect("epoch retained");
+        println!("{e:>6} {:>8} {est:>10.1}", 200 * (e + 1));
+    }
+
+    let last2 = monitor.query_window(customer, 2);
+    println!(
+        "\nsliding window (last 2 epochs): estimated {last2:.0}, actual {}",
+        200 * (epochs - 1) + 200 * epochs
+    );
+
+    // Flow volume on a single epoch's worth of traffic.
+    let (trace, _) = TraceGenerator::new(SynthConfig::small()).generate();
+    let mut volume = Caesar::new(CaesarConfig {
+        entry_capacity: 54 * 600, // y in bytes: 2·mean volume
+        counters: 8_192,
+        k: 3,
+        cache_entries: 1_024,
+        ..CaesarConfig::default()
+    });
+    let mut actual_bytes = 0u64;
+    let watched = trace.packets[0].flow;
+    for p in &trace.packets {
+        volume.record_weighted(p.flow, p.byte_len as u64);
+        if p.flow == watched {
+            actual_bytes += p.byte_len as u64;
+        }
+    }
+    volume.finish();
+    println!(
+        "\nflow-volume mode: flow {watched:#x} sent {actual_bytes} bytes, estimated {:.0}",
+        volume.query(watched)
+    );
+}

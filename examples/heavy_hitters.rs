@@ -1,0 +1,79 @@
+//! Heavy-hitter detection — the intrusion-detection use case from the
+//! paper's introduction ("scanning speeds of worm-infected hosts").
+//!
+//! ```text
+//! cargo run --release --example heavy_hitters
+//! ```
+//!
+//! Streams a trace through CAESAR, then reports every flow whose
+//! estimated size exceeds a threshold and scores the detector's
+//! precision and recall against ground truth.
+
+use caesar_repro::prelude::*;
+
+fn main() {
+    let (trace, truth) = TraceGenerator::new(SynthConfig {
+        num_flows: 20_000,
+        ..SynthConfig::default()
+    })
+    .generate();
+    println!(
+        "trace: {} packets, {} flows",
+        trace.num_packets(),
+        trace.num_flows
+    );
+
+    let cfg = CaesarConfig {
+        cache_entries: 2_048,
+        entry_capacity: trace.recommended_entry_capacity(),
+        counters: 16_384,
+        k: 3,
+        ..CaesarConfig::default()
+    };
+    let mut sketch = Caesar::new(cfg);
+    for p in &trace.packets {
+        sketch.record(p.flow);
+    }
+    sketch.finish();
+
+    // An operator's heavy-hitter rule: any flow above 0.05% of total
+    // traffic is a hitter.
+    let threshold = (trace.num_packets() as f64 * 0.0005).max(100.0);
+    println!("heavy-hitter threshold: {threshold:.0} packets");
+
+    let mut true_pos = 0usize;
+    let mut false_pos = 0usize;
+    let mut false_neg = 0usize;
+    let mut detected: Vec<(u64, f64, u64)> = Vec::new();
+    for (&flow, &actual) in &truth {
+        let est = sketch.query(flow);
+        let is_hitter = actual as f64 >= threshold;
+        let flagged = est >= threshold;
+        match (flagged, is_hitter) {
+            (true, true) => {
+                true_pos += 1;
+                detected.push((flow, est, actual));
+            }
+            (true, false) => false_pos += 1,
+            (false, true) => false_neg += 1,
+            (false, false) => {}
+        }
+    }
+    let precision = true_pos as f64 / (true_pos + false_pos).max(1) as f64;
+    let recall = true_pos as f64 / (true_pos + false_neg).max(1) as f64;
+    println!(
+        "detected {} hitters: precision {:.1}%, recall {:.1}% ({} false alarms, {} misses)",
+        true_pos + false_pos,
+        100.0 * precision,
+        100.0 * recall,
+        false_pos,
+        false_neg
+    );
+
+    detected.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite estimates"));
+    println!("\ntop detected flows:");
+    println!("{:<18} {:>12} {:>10}", "flow", "estimated", "actual");
+    for (flow, est, actual) in detected.iter().take(10) {
+        println!("{flow:<18x} {est:>12.0} {actual:>10}");
+    }
+}

@@ -1,0 +1,82 @@
+//! The memory-hierarchy timing model: where CAESAR's speed comes from.
+//!
+//! ```text
+//! cargo run --release --example timing_model
+//! ```
+//!
+//! Demonstrates the three memsim pieces the paper's evaluation relies
+//! on: (1) the D/D/1/B ingress queue producing the 2/3 and 9/10 loss
+//! rates of Fig. 7 from nothing but latency ratios; (2) the per-event
+//! cost model behind Fig. 8; (3) the Virtex-7 throughput arithmetic.
+
+use memsim::fpga::FpgaSpec;
+use memsim::{AccessCosts, CostTally, IngressQueue, MemoryModel, Technology};
+
+fn main() {
+    // --- 1. Loss emerges from latency ratios --------------------------
+    println!("Ingress queue (arrivals at on-chip speed, 1 ns):");
+    for tech in [Technology::SramFast, Technology::Sram, Technology::Dram] {
+        let q = IngressQueue {
+            arrival_ns: Technology::OnChip.access_ns(),
+            service_ns: tech.access_ns(),
+            capacity: 64,
+        };
+        let r = q.simulate(1_000_000);
+        println!(
+            "  service = {:>4.0} ns ({tech:?}): loss {:.1}% (predicted {:.1}%)",
+            tech.access_ns(),
+            100.0 * r.loss_rate(),
+            100.0 * (1.0 - Technology::OnChip.access_ns() / tech.access_ns()),
+        );
+    }
+    let mem = MemoryModel::default();
+    println!(
+        "  => the paper's Fig. 7 loss rates: {:.3} (3 ns SRAM) and {:.3} (10 ns SRAM)\n",
+        MemoryModel::fast_sram().cache_free_loss_rate(),
+        mem.cache_free_loss_rate()
+    );
+
+    // --- 2. Per-event cost model (Fig. 8) ------------------------------
+    let costs = AccessCosts::default();
+    let n = 100_000u64;
+    let eviction_rate = 0.06; // bursty trace, ~2n/y evictions per packet
+
+    let mut caesar = CostTally::new();
+    caesar.hash(n);
+    caesar.on_chip(n);
+    let evictions = (n as f64 * eviction_rate) as u64;
+    caesar.hash(evictions * 3);
+    caesar.sram(evictions * 3 * 2);
+
+    let mut rcs = CostTally::new();
+    rcs.hash(n * 2);
+    rcs.sram(n * 2);
+
+    let mut case = CostTally::new();
+    case.setup();
+    case.hash(n);
+    case.on_chip(n);
+    case.sram(evictions * 2);
+    case.pow_op(evictions * 2);
+
+    println!("Cost model at n = {n} packets (eviction rate {eviction_rate}):");
+    for (name, t) in [("CAESAR", &caesar), ("CASE", &case), ("RCS", &rcs)] {
+        println!(
+            "  {name:<7} {:>12.0} ns  ({:.2} ns/packet)",
+            t.total_ns(&costs),
+            t.total_ns(&costs) / n as f64
+        );
+    }
+
+    // --- 3. FPGA prototype arithmetic ----------------------------------
+    let fpga = FpgaSpec::virtex7();
+    println!(
+        "\nVirtex-7 prototype: {:.3} MHz clock, {}-bit bus => {:.3} Mbps ingest,\n\
+         cycle {:.2} ns; CAESAR's {n} packets ≈ {} cycles of compute budget",
+        fpga.clock_hz / 1e6,
+        fpga.bus_bits,
+        fpga.throughput_bps() / 1e6,
+        fpga.cycle_ns(),
+        fpga.ns_to_cycles(caesar.total_ns(&costs)),
+    );
+}

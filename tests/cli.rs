@@ -1,0 +1,85 @@
+//! End-to-end test of the `caesar-experiments` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn binary() -> PathBuf {
+    // Integration tests live in target/<profile>/deps; the binary is
+    // one directory up.
+    let mut p = std::env::current_exe().expect("test binary path");
+    p.pop();
+    if p.ends_with("deps") {
+        p.pop();
+    }
+    p.join("caesar-experiments")
+}
+
+#[test]
+fn cli_regenerates_figures_at_tiny_scale() {
+    let bin = binary();
+    if !bin.exists() {
+        // The experiments binary is only present when the whole
+        // workspace was built (cargo test --workspace does this).
+        eprintln!("skipping: {} not built", bin.display());
+        return;
+    }
+    let out = tempdir();
+    let status = Command::new(&bin)
+        .args(["fig3", "fig8", "--scale", "tiny", "--out"])
+        .arg(&out)
+        .output()
+        .expect("binary runs");
+    assert!(status.status.success(), "stderr: {}", String::from_utf8_lossy(&status.stderr));
+    let stdout = String::from_utf8_lossy(&status.stdout);
+    assert!(stdout.contains("Figure 3"), "{stdout}");
+    assert!(stdout.contains("Figure 8"), "{stdout}");
+    assert!(stdout.contains("crossover"), "{stdout}");
+
+    for artifact in [
+        "fig3_histogram.csv",
+        "fig3_ccdf.csv",
+        "fig3_distribution.svg",
+        "fig8_processing_time.csv",
+        "fig8_processing_time.svg",
+    ] {
+        let path = out.join(artifact);
+        assert!(path.exists(), "missing {}", path.display());
+        assert!(std::fs::metadata(&path).expect("stat").len() > 100);
+    }
+    std::fs::remove_dir_all(&out).ok();
+}
+
+#[test]
+fn cli_rejects_unknown_arguments() {
+    let bin = binary();
+    if !bin.exists() {
+        eprintln!("skipping: {} not built", bin.display());
+        return;
+    }
+    let out = Command::new(&bin)
+        .args(["no-such-figure", "--scale", "tiny", "--out"])
+        .arg(tempdir())
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+
+    let out = Command::new(&bin)
+        .args(["--scale", "bogus"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown scale"));
+}
+
+fn tempdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "caesar_cli_test_{}_{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock")
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}

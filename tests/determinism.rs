@@ -1,0 +1,83 @@
+//! Reproducibility: everything in the workspace is seeded, so repeated
+//! runs must be bit-identical — the property that makes the paper's
+//! figures regenerable.
+
+use caesar_repro::prelude::*;
+use baselines::rcs::RcsConfig;
+use baselines::LossModel;
+
+#[test]
+fn caesar_runs_are_bit_identical() {
+    let (trace, truth) = TraceGenerator::new(SynthConfig::small()).generate();
+    let run = || {
+        let mut c = Caesar::new(CaesarConfig {
+            cache_entries: 256,
+            entry_capacity: 54,
+            counters: 1024,
+            k: 3,
+            ..CaesarConfig::default()
+        });
+        for p in &trace.packets {
+            c.record(p.flow);
+        }
+        c.finish();
+        truth
+            .keys()
+            .map(|&f| c.query(f).to_bits())
+            .collect::<Vec<u64>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_caesar_seeds_differ() {
+    let (trace, truth) = TraceGenerator::new(SynthConfig::small()).generate();
+    let run = |seed: u64| {
+        let mut c = Caesar::new(CaesarConfig {
+            cache_entries: 256,
+            entry_capacity: 54,
+            counters: 1024,
+            k: 3,
+            seed,
+            ..CaesarConfig::default()
+        });
+        for p in &trace.packets {
+            c.record(p.flow);
+        }
+        c.finish();
+        truth
+            .keys()
+            .map(|&f| c.query(f).to_bits())
+            .collect::<Vec<u64>>()
+    };
+    assert_ne!(run(1), run(2), "different seeds must produce different sketches");
+}
+
+#[test]
+fn rcs_lossy_runs_are_bit_identical() {
+    let (trace, truth) = TraceGenerator::new(SynthConfig::small()).generate();
+    let run = || {
+        let mut r = Rcs::new(RcsConfig {
+            counters: 1024,
+            k: 3,
+            loss: LossModel::Uniform(0.5),
+            seed: 77,
+        });
+        for p in &trace.packets {
+            r.record(p.flow);
+        }
+        truth
+            .keys()
+            .map(|&f| r.query(f).to_bits())
+            .collect::<Vec<u64>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn trace_generation_is_stable_across_calls() {
+    let a = TraceGenerator::new(SynthConfig::small()).generate();
+    let b = TraceGenerator::new(SynthConfig::small()).generate();
+    assert_eq!(a.0.packets, b.0.packets);
+    assert_eq!(a.1, b.1);
+}

@@ -1,0 +1,145 @@
+//! Cross-crate integration: the full measurement pipeline, all three
+//! schemes side by side on one trace.
+
+use caesar_repro::prelude::*;
+use baselines::case::CaseConfig;
+use baselines::rcs::RcsConfig;
+use baselines::LossModel;
+use std::collections::HashMap;
+
+fn small_trace() -> (Trace, HashMap<FlowId, u64>) {
+    TraceGenerator::new(SynthConfig {
+        num_flows: 5_000,
+        seed: 0xE2E,
+        ..SynthConfig::default()
+    })
+    .generate()
+}
+
+fn are_over(pairs: &[(u64, f64)], min: u64) -> f64 {
+    let sel: Vec<_> = pairs.iter().filter(|&&(x, _)| x >= min).collect();
+    sel.iter()
+        .map(|&&(x, e)| (e - x as f64).abs() / x as f64)
+        .sum::<f64>()
+        / sel.len().max(1) as f64
+}
+
+#[test]
+fn all_three_schemes_conserve_and_rank_as_in_paper() {
+    let (trace, truth) = small_trace();
+    let y = trace.recommended_entry_capacity();
+
+    // CAESAR.
+    let mut caesar = Caesar::new(CaesarConfig {
+        cache_entries: 1024,
+        entry_capacity: y,
+        counters: 4096,
+        k: 3,
+        ..CaesarConfig::default()
+    });
+    for p in &trace.packets {
+        caesar.record(p.flow);
+    }
+    caesar.finish();
+    // Conservation: every packet landed in SRAM exactly once.
+    assert_eq!(caesar.sram().total_added() as usize, trace.num_packets());
+
+    // RCS with the 2/3-loss ingress queue.
+    let mut rcs = Rcs::new(RcsConfig {
+        counters: 4096,
+        k: 3,
+        loss: LossModel::Uniform(2.0 / 3.0),
+        seed: 5,
+    });
+    for p in &trace.packets {
+        rcs.record(p.flow);
+    }
+    let loss = rcs.stats().loss_rate();
+    assert!((loss - 2.0 / 3.0).abs() < 0.01, "loss = {loss}");
+
+    // CASE at a starved budget (1 bit per flow).
+    let mut case = Case::new(CaseConfig {
+        counters: truth.len(),
+        counter_bits: 1,
+        max_expected_flow: trace.num_packets() as f64,
+        cache_entries: 1024,
+        entry_capacity: y,
+        ..CaseConfig::default()
+    });
+    for p in &trace.packets {
+        case.record(p.flow);
+    }
+    case.finish();
+
+    // Score everything on large flows, where the paper's ordering is
+    // defined (see EXPERIMENTS.md on the sharing-noise floor).
+    let score = |f: &dyn Fn(u64) -> f64| -> Vec<(u64, f64)> {
+        truth.iter().map(|(&fl, &x)| (x, f(fl))).collect()
+    };
+    let caesar_pairs = score(&|fl| caesar.query(fl));
+    let rcs_pairs = score(&|fl| rcs.query(fl));
+    let case_pairs = score(&|fl| case.query(fl));
+
+    let min = 1000;
+    let (a, r, c) = (
+        are_over(&caesar_pairs, min),
+        are_over(&rcs_pairs, min),
+        are_over(&case_pairs, min),
+    );
+    assert!(a < r, "CAESAR {a} must beat lossy RCS {r}");
+    assert!(a < c, "CAESAR {a} must beat starved CASE {c}");
+    assert!((r - 2.0 / 3.0).abs() < 0.15, "lossy RCS ARE {r} ≈ loss rate");
+    assert!(c > 0.9, "starved CASE ARE {c} ≈ 100%");
+}
+
+#[test]
+fn caesar_equals_rcs_with_unit_cache_in_spirit() {
+    // Fig. 6's argument: the cache stage adds no accuracy cost. Compare
+    // CAESAR against lossless RCS with identical SRAM geometry.
+    let (trace, truth) = small_trace();
+    let mut caesar = Caesar::new(CaesarConfig {
+        cache_entries: 512,
+        entry_capacity: trace.recommended_entry_capacity(),
+        counters: 2048,
+        k: 3,
+        ..CaesarConfig::default()
+    });
+    let mut rcs = Rcs::new(RcsConfig {
+        counters: 2048,
+        k: 3,
+        loss: LossModel::Lossless,
+        seed: 9,
+    });
+    for p in &trace.packets {
+        caesar.record(p.flow);
+        rcs.record(p.flow);
+    }
+    caesar.finish();
+
+    let pairs_caesar: Vec<(u64, f64)> =
+        truth.iter().map(|(&f, &x)| (x, caesar.query(f))).collect();
+    let pairs_rcs: Vec<(u64, f64)> = truth.iter().map(|(&f, &x)| (x, rcs.query(f))).collect();
+    let (a, r) = (are_over(&pairs_caesar, 500), are_over(&pairs_rcs, 500));
+    assert!(
+        (a - r).abs() < 0.2 || a < r,
+        "CAESAR {a} and lossless RCS {r} should be comparable"
+    );
+}
+
+#[test]
+fn byte_mode_distribution_resembles_packet_mode() {
+    // §3.1: "the flow size and flow volume have almost the same
+    // distribution, except for the magnitude."
+    let (trace, _) = small_trace();
+    let counter = ExactCounter::from_trace(&trace);
+    let sizes: Vec<u64> = counter.iter().map(|(_, s)| s).collect();
+    let volumes: Vec<u64> = counter.iter().map(|(f, _)| counter.volume(f)).collect();
+    let st_s = flowtrace::stats::FlowStats::from_sizes(&sizes);
+    let st_v = flowtrace::stats::FlowStats::from_sizes(&volumes);
+    // Same tail shape: both > 90% below their own means.
+    assert!(st_s.frac_below_mean > 0.9);
+    assert!(st_v.frac_below_mean > 0.85);
+    // Magnitude differs by roughly the mean packet length.
+    let ratio = st_v.mean / st_s.mean;
+    assert!((64.0..1500.0).contains(&ratio), "bytes/packet = {ratio}");
+}

@@ -1,0 +1,202 @@
+//! Integration tests for the systems built beyond the paper's core:
+//! concurrent construction, epochs + trace transforms, flow-volume
+//! mode, and the full §2.1 scheme family on one trace.
+
+use baselines::{AnlsCounter, CedarScale, SacCounter, Vhc, VhcConfig};
+use caesar::epochs::EpochedCaesar;
+use caesar::ConcurrentCaesar;
+use caesar_repro::prelude::*;
+use flowtrace::transform;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn trace() -> (Trace, std::collections::HashMap<FlowId, u64>) {
+    TraceGenerator::new(SynthConfig {
+        num_flows: 8_000,
+        seed: 0xE27,
+        ..SynthConfig::default()
+    })
+    .generate()
+}
+
+#[test]
+fn concurrent_matches_sequential_accuracy_at_scale() {
+    let (trace, truth) = trace();
+    let flows: Vec<u64> = trace.packets.iter().map(|p| p.flow).collect();
+    let cfg = CaesarConfig {
+        cache_entries: 1024,
+        entry_capacity: trace.recommended_entry_capacity(),
+        counters: 8192,
+        k: 3,
+        ..CaesarConfig::default()
+    };
+    let conc = ConcurrentCaesar::build(cfg, 4, &flows);
+    let mut seq = Caesar::new(cfg);
+    for &f in &flows {
+        seq.record(f);
+    }
+    seq.finish();
+    assert_eq!(conc.sram().total_added(), seq.sram().total_added());
+
+    // Large flows: both pipelines within a few percent of truth.
+    let mut large: Vec<(u64, u64)> = truth
+        .iter()
+        .filter(|(_, &x)| x >= 2000)
+        .map(|(&f, &x)| (f, x))
+        .collect();
+    large.sort_unstable();
+    assert!(!large.is_empty());
+    for (f, x) in large {
+        let a = conc.query(f);
+        let b = seq.query(f);
+        assert!((a - x as f64).abs() / (x as f64) < 0.5, "concurrent flow {f}: {a} vs {x}");
+        assert!((b - x as f64).abs() / (x as f64) < 0.5, "sequential flow {f}: {b} vs {x}");
+    }
+}
+
+#[test]
+fn epoch_rotation_over_split_trace_matches_per_epoch_truth() {
+    let (trace, _) = trace();
+    let epochs = transform::split_epochs(&trace, 4);
+    let cfg = CaesarConfig {
+        cache_entries: 1024,
+        entry_capacity: trace.recommended_entry_capacity(),
+        counters: 8192,
+        k: 3,
+        ..CaesarConfig::default()
+    };
+    let mut monitor = EpochedCaesar::new(cfg, 4);
+    for epoch in &epochs {
+        for p in &epoch.packets {
+            monitor.record(p.flow);
+        }
+        monitor.rotate();
+    }
+    // The biggest flow of epoch 2, measured against epoch-2 truth.
+    let sizes = transform::flow_sizes(&epochs[2]);
+    let &(big, actual) = sizes.iter().max_by_key(|&&(_, x)| x).expect("flows");
+    let est = monitor.query_epoch(2, big).expect("epoch retained");
+    assert!(
+        (est - actual as f64).abs() / (actual as f64) < 0.3,
+        "epoch 2 flow {big:x}: est {est} vs actual {actual}"
+    );
+}
+
+#[test]
+fn volume_mode_tracks_exact_byte_counts() {
+    let (trace, _) = trace();
+    let exact = ExactCounter::from_trace(&trace);
+    let mean_bytes = trace
+        .packets
+        .iter()
+        .map(|p| p.byte_len as u64)
+        .sum::<u64>() as f64
+        / trace.num_packets() as f64;
+    let mut sketch = Caesar::new(CaesarConfig {
+        cache_entries: 1024,
+        entry_capacity: (2.0 * trace.mean_flow_size() * mean_bytes) as u64,
+        counters: 8192,
+        k: 3,
+        counter_bits: 40,
+        ..CaesarConfig::default()
+    });
+    for p in &trace.packets {
+        sketch.record_weighted(p.flow, p.byte_len as u64);
+    }
+    sketch.finish();
+
+    // Total conservation in byte units.
+    let total_bytes: u64 = trace.packets.iter().map(|p| p.byte_len as u64).sum();
+    assert_eq!(sketch.sram().total_added(), total_bytes);
+
+    // The biggest flow by volume is recovered within a few percent.
+    let (big, vol) = exact
+        .iter()
+        .map(|(f, _)| (f, exact.volume(f)))
+        .max_by_key(|&(_, v)| v)
+        .expect("flows");
+    let est = sketch.query(big);
+    assert!(
+        (est - vol as f64).abs() / (vol as f64) < 0.1,
+        "flow {big:x}: est {est} vs volume {vol}"
+    );
+}
+
+#[test]
+fn all_single_counter_schemes_agree_on_one_workload() {
+    // One elephant counted by every §2.1 single-counter compressor.
+    let n = 40_000u64;
+    let mut rng = StdRng::seed_from_u64(0xFA0);
+
+    let mut sac = SacCounter::new(10, 4, 1);
+    sac.add(n, &mut rng);
+
+    let mut anls = AnlsCounter::for_range(14, 1e6);
+    anls.add(n, &mut rng);
+
+    let cedar = CedarScale::new(12, 0.1);
+    let cedar_est = cedar.estimate(cedar.add(0, n, &mut rng));
+
+    let disco = baselines::DiscoScale::for_bits(14, 1e6);
+    let mut c = 0u64;
+    for _ in 0..(n / 50) {
+        c = disco.apply_bulk(c, 50, &mut rng);
+    }
+    let disco_est = disco.decompress(c);
+
+    for (name, est) in [
+        ("SAC", sac.estimate()),
+        ("ANLS", anls.estimate()),
+        ("CEDAR", cedar_est),
+        ("DISCO", disco_est),
+    ] {
+        let rel = (est - n as f64).abs() / n as f64;
+        assert!(rel < 0.35, "{name}: {est} vs {n}");
+    }
+}
+
+#[test]
+fn vhc_measures_the_trace_with_one_access_per_packet() {
+    let (trace, truth) = trace();
+    let mut vhc = Vhc::new(VhcConfig {
+        registers: 1 << 15,
+        virtual_registers: 128,
+        seed: 0x77,
+    });
+    for p in &trace.packets {
+        vhc.record(p.flow);
+    }
+    let total = vhc.total_estimate();
+    // Biggest flows recovered within HLL noise + sharing.
+    let mut flows: Vec<(u64, u64)> = truth.iter().map(|(&f, &x)| (f, x)).collect();
+    flows.sort_by_key(|&(_, x)| std::cmp::Reverse(x));
+    for &(f, x) in flows.iter().take(5) {
+        let est = vhc.query_with_total(f, total);
+        assert!(
+            (est - x as f64).abs() / (x as f64) < 0.5,
+            "flow {f:x}: est {est} vs {x}"
+        );
+    }
+}
+
+#[test]
+fn anonymized_trace_measures_identically() {
+    let (trace, _) = trace();
+    let anon = transform::anonymize(&trace, 0xAE4);
+    let cfg = CaesarConfig {
+        cache_entries: 512,
+        entry_capacity: trace.recommended_entry_capacity(),
+        counters: 4096,
+        k: 3,
+        ..CaesarConfig::default()
+    };
+    let run = |t: &Trace| {
+        let mut c = Caesar::new(cfg);
+        for p in &t.packets {
+            c.record(p.flow);
+        }
+        c.finish();
+        c.sram().total_added()
+    };
+    assert_eq!(run(&trace), run(&anon));
+    assert_eq!(anon.num_flows, trace.num_flows);
+}

@@ -1,0 +1,106 @@
+//! Integration: pcap capture → 5-tuple parsing → flow IDs → CAESAR.
+
+use caesar_repro::prelude::*;
+use flowtrace::pcap::{PcapReader, PcapWriter};
+use std::io::Cursor;
+
+fn tuple(i: u32) -> FiveTuple {
+    FiveTuple {
+        src_ip: 0x0A00_0000 + i,
+        dst_ip: 0xC0A8_0001,
+        src_port: (1024 + i) as u16,
+        dst_port: 80,
+        proto: FiveTuple::TCP,
+    }
+}
+
+#[test]
+fn pcap_roundtrip_feeds_caesar() {
+    // 30 hosts, host i sends 10·(i+1) packets.
+    let mut buf = Vec::new();
+    {
+        let mut w = PcapWriter::new(&mut buf).expect("header");
+        for round in 0..300u32 {
+            for i in 0..30u32 {
+                if round < 10 * (i + 1) {
+                    w.write_packet(&tuple(i), round, 100).expect("packet");
+                }
+            }
+        }
+        w.finish().expect("flush");
+    }
+
+    let (trace, stats) = PcapReader::new(Cursor::new(&buf))
+        .expect("valid pcap")
+        .read_trace()
+        .expect("parse");
+    assert_eq!(stats.skipped, 0);
+    assert_eq!(trace.num_flows, 30);
+    let expected_packets: u32 = (1..=30).map(|i| 10 * i).sum();
+    assert_eq!(trace.num_packets(), expected_packets as usize);
+
+    let mut sketch = Caesar::new(CaesarConfig {
+        cache_entries: 8, // force churn through the cache
+        entry_capacity: 16,
+        counters: 1024,
+        k: 3,
+        ..CaesarConfig::default()
+    });
+    for p in &trace.packets {
+        sketch.record(p.flow);
+    }
+    sketch.finish();
+    assert_eq!(sketch.sram().total_added(), expected_packets as u64);
+
+    // With 30 flows in 1024 counters most flows share no counter and
+    // must be recovered within the de-noising slack (≈ k·n/L ≈ 14
+    // packets); the occasional pair that does collide can be off by
+    // the neighbour's share, so assert on the population.
+    let slack = 3.0 * trace.num_packets() as f64 / 1024.0 + 5.0;
+    let within = (0..30u32)
+        .filter(|&i| {
+            let actual = 10.0 * (i + 1) as f64;
+            let est = sketch.query(tuple(i).flow_id());
+            (est - actual).abs() < 0.1 * actual + slack
+        })
+        .count();
+    assert!(within >= 26, "only {within}/30 flows recovered within slack");
+    // The aggregate is conserved regardless of collisions.
+    let total_est: f64 = (0..30u32).map(|i| sketch.query(tuple(i).flow_id())).sum();
+    assert!(
+        (total_est - expected_packets as f64).abs() < 0.1 * expected_packets as f64,
+        "total estimated {total_est} vs actual {expected_packets}"
+    );
+}
+
+#[test]
+fn flow_ids_are_direction_sensitive_end_to_end() {
+    let fwd = tuple(1);
+    let rev = FiveTuple {
+        src_ip: fwd.dst_ip,
+        dst_ip: fwd.src_ip,
+        src_port: fwd.dst_port,
+        dst_port: fwd.src_port,
+        proto: fwd.proto,
+    };
+    let mut buf = Vec::new();
+    {
+        let mut w = PcapWriter::new(&mut buf).expect("header");
+        for _ in 0..100 {
+            w.write_packet(&fwd, 0, 64).expect("packet");
+        }
+        for _ in 0..7 {
+            w.write_packet(&rev, 0, 64).expect("packet");
+        }
+        w.finish().expect("flush");
+    }
+    let (trace, _) = PcapReader::new(Cursor::new(&buf))
+        .expect("valid")
+        .read_trace()
+        .expect("parse");
+    assert_eq!(trace.num_flows, 2);
+
+    let counter = ExactCounter::from_trace(&trace);
+    assert_eq!(counter.size(fwd.flow_id()), 100);
+    assert_eq!(counter.size(rev.flow_id()), 7);
+}

@@ -1,0 +1,74 @@
+//! Regression pins: everything in the workspace is seeded, so these
+//! exact values are stable across runs and platforms. If a change
+//! moves one of them, it changed measurement behaviour — update the
+//! pin deliberately and say why in the commit message.
+
+use caesar_repro::prelude::*;
+
+fn tiny_trace() -> (Trace, std::collections::HashMap<FlowId, u64>) {
+    TraceGenerator::new(SynthConfig::small()).generate()
+}
+
+#[test]
+fn trace_generation_pins() {
+    let (trace, truth) = tiny_trace();
+    assert_eq!(trace.num_packets(), 75_856);
+    assert_eq!(trace.num_flows, 2_000);
+    assert_eq!(truth.len(), 2_000);
+    // Order-sensitive fingerprint of the packet stream.
+    let fingerprint = trace.packets.iter().enumerate().fold(0u64, |acc, (i, p)| {
+        acc.wrapping_mul(0x100000001B3).wrapping_add(p.flow ^ i as u64)
+    });
+    assert_eq!(fingerprint, 0xF9F1_905B_DF6D_4E0B);
+}
+
+#[test]
+fn caesar_pipeline_pins() {
+    let (trace, _) = tiny_trace();
+    let mut sketch = Caesar::new(CaesarConfig {
+        cache_entries: 256,
+        entry_capacity: 54,
+        counters: 2048,
+        k: 3,
+        ..CaesarConfig::default()
+    });
+    for p in &trace.packets {
+        sketch.record(p.flow);
+    }
+    sketch.finish();
+    let st = sketch.stats();
+    assert_eq!(st.sram.total_added, 75_856);
+    assert_eq!(st.cache.hits, 69_784);
+    assert_eq!(st.evictions, 7_230);
+    assert_eq!(st.sram_writes, 11_742);
+    // A fixed flow's estimate, bit-exact.
+    let first_flow = trace.packets[0].flow;
+    assert_eq!(first_flow, 0xE054_CB9A_EE42_58D9);
+    assert_eq!(sketch.query(first_flow).to_bits(), 0x40C6_7BF1_0000_0000);
+}
+
+#[test]
+fn queue_loss_pins() {
+    use memsim::IngressQueue;
+    let q = IngressQueue { arrival_ns: 1.0, service_ns: 3.0, capacity: 64 };
+    let r = q.simulate(1_000_000);
+    assert_eq!(r.accepted, 333_397);
+    assert_eq!(r.dropped, 666_603);
+
+    let q = IngressQueue { arrival_ns: 1.0, service_ns: 10.0, capacity: 64 };
+    let r = q.simulate(1_000_000);
+    assert_eq!(r.accepted, 100_063);
+}
+
+#[test]
+fn hash_pins() {
+    use hashkit::{aphash::aphash64, flowid, fnv::fnv1a64, murmur, sha1::Sha1};
+    assert_eq!(Sha1::digest64(b"caesar"), 0x5291_5A47_3152_2B93);
+    assert_eq!(fnv1a64(b"caesar"), 0x0116_CAD4_5058_6B4A);
+    assert_eq!(aphash64(b"caesar"), 0xEC02_2AF3_577C_417B);
+    assert_eq!(murmur::murmur3_x64_128(b"caesar", 0).0, 0x8187_7015_20C2_73A2);
+    assert_eq!(
+        flowid::flow_id(0x0A00_0001, 0x0A00_0002, 1234, 80, 6),
+        0x543D_DF81_8A75_F8BC
+    );
+}

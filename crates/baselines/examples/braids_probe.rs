@@ -1,7 +1,7 @@
 //! Probe: min-sum decodability vs layer-1 load (scratch tool).
 
 use baselines::braids::{BraidsConfig, CounterBraids};
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use support::rand::{rngs::StdRng, Rng, SeedableRng};
 
 fn main() {
     let q = 2000usize;

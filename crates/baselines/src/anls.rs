@@ -15,7 +15,7 @@
 //! evaluation per arrival, which is why the CAESAR paper lumps ANLS
 //! with the computation-heavy compression family.
 
-use rand::Rng;
+use support::rand::Rng;
 
 /// An ANLS counter: stored value plus the global decay base.
 #[derive(Debug, Clone, Copy)]
@@ -41,7 +41,7 @@ impl AnlsCounter {
         assert!(max_value >= 1.0);
         let c_max = ((1u64 << bits.min(31)) - 1) as f64;
         // Solve (b^c_max − 1)/(b − 1) = max_value by bisection.
-        let f = |b: f64| (libm::pow(b, c_max) - 1.0) / (b - 1.0);
+        let f = |b: f64| ((b).powf(c_max) - 1.0) / (b - 1.0);
         let (mut lo, mut hi) = (1.0 + 1e-9, 2.0f64);
         while f(hi) < max_value {
             hi = 1.0 + (hi - 1.0) * 2.0;
@@ -70,12 +70,12 @@ impl AnlsCounter {
 
     /// Unbiased estimate `f(c) = (b^c − 1)/(b − 1)`.
     pub fn estimate(&self) -> f64 {
-        (libm::pow(self.b, self.c as f64) - 1.0) / (self.b - 1.0)
+        ((self.b).powf(self.c as f64) - 1.0) / (self.b - 1.0)
     }
 
     /// Largest representable estimate.
     pub fn max_value(&self) -> f64 {
-        (libm::pow(self.b, self.c_max as f64) - 1.0) / (self.b - 1.0)
+        ((self.b).powf(self.c_max as f64) - 1.0) / (self.b - 1.0)
     }
 
     /// Apply one unit: bump with probability `b^(−c)`.
@@ -83,7 +83,7 @@ impl AnlsCounter {
         if self.c >= self.c_max {
             return;
         }
-        if rng.gen::<f64>() < libm::pow(self.b, -(self.c as f64)) {
+        if rng.gen::<f64>() < (self.b).powf(-(self.c as f64)) {
             self.c += 1;
         }
     }
@@ -99,7 +99,7 @@ impl AnlsCounter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::StdRng, SeedableRng};
+    use support::rand::{rngs::StdRng, SeedableRng};
 
     #[test]
     fn estimate_formula_anchors() {

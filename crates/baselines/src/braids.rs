@@ -270,7 +270,7 @@ pub fn min_sum_decode(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use support::rand::{rngs::StdRng, Rng, SeedableRng};
 
     fn sizes(n: usize, seed: u64) -> Vec<(u64, u64)> {
         // Heavy-tailed-ish sizes over distinct flow IDs.

@@ -14,7 +14,7 @@
 use crate::disco::DiscoScale;
 use cachesim::{CacheConfig, CachePolicy, CacheStats, CacheTable};
 use hashkit::IdHashMap;
-use rand::{rngs::StdRng, SeedableRng};
+use support::rand::{rngs::StdRng, SeedableRng};
 
 /// CASE configuration.
 #[derive(Debug, Clone, Copy)]

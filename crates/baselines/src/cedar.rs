@@ -14,7 +14,7 @@
 //! A unit increment moves a counter from `i` to `i+1` with probability
 //! `1/(A[i+1] − A[i])`, keeping `E[A[index]]` equal to the true count.
 
-use rand::Rng;
+use support::rand::Rng;
 
 /// A CEDAR estimator ladder shared by many counters.
 #[derive(Debug, Clone)]
@@ -93,7 +93,7 @@ impl CedarScale {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::StdRng, SeedableRng};
+    use support::rand::{rngs::StdRng, SeedableRng};
 
     #[test]
     fn ladder_is_monotone_with_unit_start() {

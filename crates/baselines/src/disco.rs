@@ -14,7 +14,7 @@
 //! cost of the power operations the CAESAR paper criticizes (§2.3) and
 //! of rapidly growing quantization noise.
 
-use rand::Rng;
+use support::rand::Rng;
 
 /// A calibrated geometric counter scale.
 ///
@@ -96,7 +96,7 @@ impl DiscoScale {
             // Near-linear regime: d(c) → c as a → 0.
             return self.gain * c as f64;
         }
-        self.gain * (libm::pow(1.0 + self.a, c as f64) - 1.0) / self.a
+        self.gain * ((1.0 + self.a).powf(c as f64) - 1.0) / self.a
     }
 
     /// Probability that one unit bumps the counter from `c` to `c + 1`.
@@ -134,7 +134,7 @@ impl DiscoScale {
             (t / self.gain).floor()
         } else {
             // d(c) = g((1+a)^c − 1)/a  ⇒  c = ln(1 + a·t/g)/ln(1+a)
-            libm::log(1.0 + self.a * t / self.gain) / libm::log(1.0 + self.a)
+            (1.0 + self.a * t / self.gain).ln() / (1.0 + self.a).ln()
         };
         let mut c = (c.floor().max(0.0) as u64).min(self.c_max);
         // Repair float rounding at bucket boundaries so the floor
@@ -178,7 +178,7 @@ impl DiscoScale {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::StdRng, SeedableRng};
+    use support::rand::{rngs::StdRng, SeedableRng};
 
     #[test]
     fn decompress_is_monotone_and_anchored() {

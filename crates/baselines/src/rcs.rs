@@ -17,7 +17,7 @@
 
 use hashkit::KCounterMap;
 use memsim::{IngressQueue, QueueReport, QueueState};
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use support::rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// How packets are lost on their way into RCS.
 #[derive(Debug, Clone, Copy)]

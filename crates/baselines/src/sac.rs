@@ -10,13 +10,13 @@
 //! and — like every member of the family — paying for range with
 //! rapidly growing variance and per-update randomness.
 
-use rand::Rng;
+use support::rand::Rng;
 
 /// A small active counter.
 ///
 /// ```
 /// use baselines::SacCounter;
-/// use rand::{rngs::StdRng, SeedableRng};
+/// use support::rand::{rngs::StdRng, SeedableRng};
 /// let mut c = SacCounter::new(8, 4, 1); // 12 bits total
 /// let mut rng = StdRng::seed_from_u64(1);
 /// c.add(100, &mut rng);
@@ -112,7 +112,7 @@ impl SacCounter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::StdRng, SeedableRng};
+    use support::rand::{rngs::StdRng, SeedableRng};
 
     #[test]
     fn exact_while_in_mode_zero() {

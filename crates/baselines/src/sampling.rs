@@ -9,7 +9,7 @@
 //! `ext_sampling` experiment.
 
 use hashkit::IdHashMap;
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use support::rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// Sampling configuration.
 #[derive(Debug, Clone, Copy)]

@@ -23,7 +23,7 @@
 
 use hashkit::mix::bucket;
 use hashkit::MixFamily;
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use support::rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// VHC configuration.
 #[derive(Debug, Clone, Copy)]

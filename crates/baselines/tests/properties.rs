@@ -1,84 +1,91 @@
-//! Property tests for the baseline schemes.
+//! Property tests for the baseline schemes, on the deterministic
+//! `support::testkit` harness.
 
 use baselines::braids::min_sum_decode;
 use baselines::{DiscoScale, LossModel, Rcs, RcsConfig, SacCounter};
 use hashkit::KCounterMap;
-use proptest::prelude::*;
-use rand::{rngs::StdRng, SeedableRng};
+use support::rand::{rngs::StdRng, Rng, SeedableRng};
+use support::testkit::{for_each_seed, GenExt};
 
-proptest! {
-    /// DISCO's floor-compression property holds for any calibration:
-    /// `d(compress_floor(t)) ≤ t < d(compress_floor(t)+1)`.
-    #[test]
-    fn disco_floor_property(
-        bits in 2u32..16,
-        max_value in 100.0f64..1e8,
-        t in 0.0f64..1e8,
-    ) {
+/// DISCO's floor-compression property holds for any calibration:
+/// `d(compress_floor(t)) ≤ t < d(compress_floor(t)+1)`.
+#[test]
+fn disco_floor_property() {
+    for_each_seed(|rng| {
+        let bits = rng.gen_range(2u32..16);
+        let max_value = rng.gen_range(100.0f64..1e8);
+        let t = rng.gen_range(0.0f64..1e8);
         let s = DiscoScale::for_bits(bits, max_value);
         let t = t.min(max_value);
         let c = s.compress_floor(t);
-        prop_assert!(s.decompress(c) <= t + 1e-6);
+        assert!(s.decompress(c) <= t + 1e-6);
         if c < s.c_max() {
-            prop_assert!(s.decompress(c + 1) > t - 1e-6);
+            assert!(s.decompress(c + 1) > t - 1e-6);
         }
-    }
+    });
+}
 
-    /// DISCO decompress is monotone for any geometry.
-    #[test]
-    fn disco_monotone(bits in 1u32..12, max_value in 10.0f64..1e7) {
+/// DISCO decompress is monotone for any geometry.
+#[test]
+fn disco_monotone() {
+    for_each_seed(|rng| {
+        let bits = rng.gen_range(1u32..12);
+        let max_value = rng.gen_range(10.0f64..1e7);
         let s = DiscoScale::for_bits(bits, max_value);
         for c in 0..s.c_max() {
-            prop_assert!(s.decompress(c + 1) > s.decompress(c));
+            assert!(s.decompress(c + 1) > s.decompress(c));
         }
-    }
+    });
+}
 
-    /// Bulk DISCO updates never exceed the scale ceiling and never
-    /// move the counter backwards.
-    #[test]
-    fn disco_bulk_bounded(
-        bits in 2u32..10,
-        start in 0u64..1024,
-        units in 0u64..100_000,
-        seed in any::<u64>(),
-    ) {
+/// Bulk DISCO updates never exceed the scale ceiling and never
+/// move the counter backwards.
+#[test]
+fn disco_bulk_bounded() {
+    for_each_seed(|rng| {
+        let bits = rng.gen_range(2u32..10);
+        let start = rng.gen_range(0u64..1024);
+        let units = rng.gen_range(0u64..100_000);
+        let seed: u64 = rng.gen();
         let s = DiscoScale::for_bits(bits, 1e6);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng2 = StdRng::seed_from_u64(seed);
         let start = start.min(s.c_max());
-        let c = s.apply_bulk(start, units, &mut rng);
-        prop_assert!(c >= start);
-        prop_assert!(c <= s.c_max());
-    }
+        let c = s.apply_bulk(start, units, &mut rng2);
+        assert!(c >= start);
+        assert!(c <= s.c_max());
+    });
+}
 
-    /// SAC estimates never exceed the representable maximum and mode-0
-    /// counting is exact.
-    #[test]
-    fn sac_bounded_and_exact_in_mode_zero(
-        a_bits in 2u32..12,
-        mode_bits in 1u32..6,
-        r in 1u32..4,
-        units in 0u64..100_000,
-        seed in any::<u64>(),
-    ) {
+/// SAC estimates never exceed the representable maximum and mode-0
+/// counting is exact.
+#[test]
+fn sac_bounded_and_exact_in_mode_zero() {
+    for_each_seed(|rng| {
+        let a_bits = rng.gen_range(2u32..12);
+        let mode_bits = rng.gen_range(1u32..6);
+        let r = rng.gen_range(1u32..4);
+        let units = rng.gen_range(0u64..100_000);
+        let seed: u64 = rng.gen();
         let mut c = SacCounter::new(a_bits, mode_bits, r);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng2 = StdRng::seed_from_u64(seed);
         let exact_limit = (1u64 << a_bits) - 1;
-        c.add(units, &mut rng);
-        prop_assert!(c.estimate() <= c.max_value() + 1e-9);
+        c.add(units, &mut rng2);
+        assert!(c.estimate() <= c.max_value() + 1e-9);
         if units <= exact_limit {
-            prop_assert_eq!(c.estimate(), units as f64);
+            assert_eq!(c.estimate(), units as f64);
         }
-    }
+    });
+}
 
-    /// Lossless RCS conserves every packet into the counter array and
-    /// its CSM estimates are finite for every flow.
-    #[test]
-    fn rcs_conserves(
-        flows in prop::collection::vec(0u64..64, 1..3000),
-        counters in 8usize..256,
-        k in 1usize..6,
-        seed in any::<u64>(),
-    ) {
+/// Lossless RCS conserves every packet into the counter array and
+/// its CSM estimates are finite for every flow.
+#[test]
+fn rcs_conserves() {
+    for_each_seed(|rng| {
+        let flows = rng.vec_with(1..3000, |r| r.gen_range(0u64..64));
+        let counters = rng.gen_range(8usize..256);
+        let k = rng.gen_range(1usize..6);
+        let seed: u64 = rng.gen();
         let k = k.min(counters);
         let mut r = Rcs::new(RcsConfig {
             counters,
@@ -89,19 +96,19 @@ proptest! {
         for &f in &flows {
             r.record(f);
         }
-        prop_assert_eq!(r.stats().recorded as usize, flows.len());
+        assert_eq!(r.stats().recorded as usize, flows.len());
         for f in 0..64u64 {
-            prop_assert!(r.estimate_csm(f).is_finite());
+            assert!(r.estimate_csm(f).is_finite());
         }
-    }
+    });
+}
 
-    /// min-sum decoding of a noiseless system with dedicated counters
-    /// (k distinct counters per id, no sharing) is exact.
-    #[test]
-    fn min_sum_exact_on_disjoint_graphs(
-        sizes in prop::collection::vec(0u64..10_000, 1..40),
-        seed in any::<u64>(),
-    ) {
+/// min-sum decoding of a noiseless system with dedicated counters
+/// (k distinct counters per id, no sharing) is exact.
+#[test]
+fn min_sum_exact_on_disjoint_graphs() {
+    for_each_seed(|rng| {
+        let sizes = rng.vec_with(1..40, |r| r.gen_range(0u64..10_000));
         // Give each id its own pair of counters: trivially decodable.
         let n = sizes.len();
         let mut values = vec![0u64; n * 2];
@@ -110,7 +117,6 @@ proptest! {
             values[i * 2 + 1] = x;
         }
         let ids: Vec<u64> = (0..n as u64).collect();
-        let _ = seed;
         let est = min_sum_decode(
             &values,
             &ids,
@@ -124,17 +130,18 @@ proptest! {
             0.0,
         );
         for (i, &x) in sizes.iter().enumerate() {
-            prop_assert!((est[i] - x as f64).abs() < 1e-9, "id {}: {} vs {}", i, x, est[i]);
+            assert!((est[i] - x as f64).abs() < 1e-9, "id {}: {} vs {}", i, x, est[i]);
         }
-    }
+    });
+}
 
-    /// min-sum estimates are always within [min_size, max counter].
-    #[test]
-    fn min_sum_estimates_bounded(
-        sizes in prop::collection::vec(1u64..500, 2..60),
-        counters in 4usize..64,
-        seed in any::<u64>(),
-    ) {
+/// min-sum estimates are always within [min_size, max counter].
+#[test]
+fn min_sum_estimates_bounded() {
+    for_each_seed(|rng| {
+        let sizes = rng.vec_with(2..60, |r| r.gen_range(1u64..500));
+        let counters = rng.gen_range(4usize..64);
+        let seed: u64 = rng.gen();
         let map = KCounterMap::new(2, counters, seed);
         let mut values = vec![0u64; counters];
         let ids: Vec<u64> = (0..sizes.len() as u64).collect();
@@ -153,9 +160,9 @@ proptest! {
             1.0,
         );
         for &e in &est {
-            prop_assert!(e >= 1.0 - 1e-9);
-            prop_assert!(e <= max_counter + 1e-9);
-            prop_assert!(e.is_finite());
+            assert!(e >= 1.0 - 1e-9);
+            assert!(e <= max_counter + 1e-9);
+            assert!(e.is_finite());
         }
-    }
+    });
 }

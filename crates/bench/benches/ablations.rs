@@ -10,17 +10,18 @@
 //! * replacement policy — LRU vs random vs FIFO;
 //! * `M` — cache entries (eviction rate vs on-chip budget);
 //! * `L` — SRAM counters (sharing noise vs off-chip budget).
+//!
+//! Runs on the vendored `support::timing::Harness`; group/name pairs
+//! match the old criterion ids (`ablate_k/3`, `ablate_policy/lru`, …).
 
 use bench::{bench_config, bench_trace, big_bench_trace, build_sketch, sketch_are};
 use cachesim::CachePolicy;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use support::timing::Harness;
 
-fn ablate_k(c: &mut Criterion) {
+fn ablate_k() {
     let (trace, truth) = bench_trace();
-    let mut g = c.benchmark_group("ablate_k");
-    g.throughput(Throughput::Elements(trace.num_packets() as u64));
-    g.sample_size(10);
+    let mut g = Harness::new("ablate_k");
     for k in [1usize, 2, 3, 5, 8] {
         let cfg = caesar::CaesarConfig { k, ..bench_config() };
         let sketch = build_sketch(cfg, &trace);
@@ -29,18 +30,16 @@ fn ablate_k(c: &mut Criterion) {
             sketch_are(&sketch, &truth, 1000),
             sketch.stats().sram_writes
         );
-        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
-            b.iter(|| black_box(build_sketch(cfg, &trace)))
+        g.bench(&k.to_string(), || {
+            black_box(build_sketch(cfg, &trace));
         });
     }
     g.finish();
 }
 
-fn ablate_entry_capacity(c: &mut Criterion) {
+fn ablate_entry_capacity() {
     let (trace, truth) = bench_trace();
-    let mut g = c.benchmark_group("ablate_y");
-    g.throughput(Throughput::Elements(trace.num_packets() as u64));
-    g.sample_size(10);
+    let mut g = Harness::new("ablate_y");
     for y in [4u64, 16, 54, 128, 512] {
         let cfg = caesar::CaesarConfig { entry_capacity: y, ..bench_config() };
         let sketch = build_sketch(cfg, &trace);
@@ -52,18 +51,16 @@ fn ablate_entry_capacity(c: &mut Criterion) {
             st.cache.overflow_evictions,
             st.cache.replacement_evictions
         );
-        g.bench_with_input(BenchmarkId::from_parameter(y), &y, |b, _| {
-            b.iter(|| black_box(build_sketch(cfg, &trace)))
+        g.bench(&y.to_string(), || {
+            black_box(build_sketch(cfg, &trace));
         });
     }
     g.finish();
 }
 
-fn ablate_policy(c: &mut Criterion) {
+fn ablate_policy() {
     let (trace, truth) = bench_trace();
-    let mut g = c.benchmark_group("ablate_policy");
-    g.throughput(Throughput::Elements(trace.num_packets() as u64));
-    g.sample_size(10);
+    let mut g = Harness::new("ablate_policy");
     for (name, policy) in [
         ("lru", CachePolicy::Lru),
         ("random", CachePolicy::Random),
@@ -76,18 +73,16 @@ fn ablate_policy(c: &mut Criterion) {
             sketch_are(&sketch, &truth, 1000),
             sketch.stats().cache.hit_rate()
         );
-        g.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
-            b.iter(|| black_box(build_sketch(cfg, &trace)))
+        g.bench(name, || {
+            black_box(build_sketch(cfg, &trace));
         });
     }
     g.finish();
 }
 
-fn ablate_cache_size(c: &mut Criterion) {
+fn ablate_cache_size() {
     let (trace, _truth) = bench_trace();
-    let mut g = c.benchmark_group("ablate_cache_size");
-    g.throughput(Throughput::Elements(trace.num_packets() as u64));
-    g.sample_size(10);
+    let mut g = Harness::new("ablate_cache_size");
     for m in [32usize, 128, 512, 2048] {
         let cfg = caesar::CaesarConfig { cache_entries: m, ..bench_config() };
         let sketch = build_sketch(cfg, &trace);
@@ -97,18 +92,16 @@ fn ablate_cache_size(c: &mut Criterion) {
             st.cache.hit_rate(),
             st.sram_writes as f64 / trace.num_packets() as f64
         );
-        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
-            b.iter(|| black_box(build_sketch(cfg, &trace)))
+        g.bench(&m.to_string(), || {
+            black_box(build_sketch(cfg, &trace));
         });
     }
     g.finish();
 }
 
-fn ablate_sram_size(c: &mut Criterion) {
+fn ablate_sram_size() {
     let (trace, truth) = big_bench_trace();
-    let mut g = c.benchmark_group("ablate_sram");
-    g.throughput(Throughput::Elements(trace.num_packets() as u64));
-    g.sample_size(10);
+    let mut g = Harness::new("ablate_sram");
     for l in [512usize, 2048, 8192, 32768] {
         let cfg = caesar::CaesarConfig {
             cache_entries: 2048,
@@ -121,19 +114,17 @@ fn ablate_sram_size(c: &mut Criterion) {
             cfg.sram_kb(),
             sketch_are(&sketch, &truth, 1000)
         );
-        g.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, _| {
-            b.iter(|| black_box(build_sketch(cfg, &trace)))
+        g.bench(&l.to_string(), || {
+            black_box(build_sketch(cfg, &trace));
         });
     }
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    ablate_k,
-    ablate_entry_capacity,
-    ablate_policy,
-    ablate_cache_size,
-    ablate_sram_size
-);
-criterion_main!(benches);
+fn main() {
+    ablate_k();
+    ablate_entry_capacity();
+    ablate_policy();
+    ablate_cache_size();
+    ablate_sram_size();
+}

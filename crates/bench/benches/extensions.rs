@@ -2,6 +2,9 @@
 //! Braids (construction + min-sum decode), SAC counters, the sampling
 //! baseline, the sharded concurrent build, epoch rotation, and the
 //! event-driven pipeline model.
+//!
+//! Runs on the vendored `support::timing::Harness`; bench names are
+//! stable across harness changes.
 
 use baselines::{
     AnlsCounter, BraidsConfig, CedarScale, CounterBraids, LossModel, Rcs, RcsConfig,
@@ -10,173 +13,158 @@ use baselines::{
 use bench::{bench_config, bench_trace};
 use caesar::epochs::EpochedCaesar;
 use caesar::ConcurrentCaesar;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use memsim::{PacketWork, Pipeline};
-use rand::{rngs::StdRng, SeedableRng};
 use std::hint::black_box;
+use support::rand::{rngs::StdRng, SeedableRng};
+use support::timing::Harness;
 
-fn braids(c: &mut Criterion) {
+fn braids() {
     let (trace, truth) = bench_trace();
-    let mut g = c.benchmark_group("braids");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(trace.num_packets() as u64));
+    let mut g = Harness::new("braids");
     let cfg = BraidsConfig {
         layer1_counters: trace.num_flows * 3,
         layer2_counters: trace.num_flows / 4,
         ..BraidsConfig::default()
     };
-    g.bench_function("construct", |b| {
-        b.iter(|| {
-            let mut cb = CounterBraids::new(cfg);
-            for p in &trace.packets {
-                cb.record(p.flow);
-            }
-            black_box(cb.stats().accesses)
-        })
+    g.bench("construct", || {
+        let mut cb = CounterBraids::new(cfg);
+        for p in &trace.packets {
+            cb.record(p.flow);
+        }
+        black_box(cb.stats().accesses);
     });
     let mut cb = CounterBraids::new(cfg);
     for p in &trace.packets {
         cb.record(p.flow);
     }
     let ids: Vec<u64> = truth.keys().copied().collect();
-    g.throughput(Throughput::Elements(ids.len() as u64));
-    g.bench_function("min_sum_decode", |b| {
-        b.iter(|| black_box(cb.decode(&ids, 60)))
+    g.bench("min_sum_decode", || {
+        black_box(cb.decode(&ids, 60));
     });
     g.finish();
 }
 
-fn sac_and_sampling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("single_counter");
+fn sac_and_sampling() {
+    let mut g = Harness::new("single_counter");
     let mut rng = StdRng::seed_from_u64(1);
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("sac_10k_units", |b| {
-        b.iter(|| {
+    g.bench_n("sac_10k_units", 100, {
+        let rng = &mut rng;
+        move || {
             let mut s = SacCounter::new(8, 4, 1);
-            s.add(10_000, &mut rng);
-            black_box(s.estimate())
-        })
+            s.add(10_000, rng);
+            black_box(s.estimate());
+        }
     });
+    let mut rng = StdRng::seed_from_u64(1);
     let anls_proto = AnlsCounter::for_range(12, 1e6);
-    g.bench_function("anls_10k_units", |b| {
-        b.iter(|| {
+    g.bench_n("anls_10k_units", 100, {
+        let rng = &mut rng;
+        move || {
             let mut a = anls_proto;
-            a.add(10_000, &mut rng);
-            black_box(a.estimate())
-        })
+            a.add(10_000, rng);
+            black_box(a.estimate());
+        }
     });
+    let mut rng = StdRng::seed_from_u64(1);
     let cedar = CedarScale::new(12, 0.1);
-    g.bench_function("cedar_10k_units", |b| {
-        b.iter(|| black_box(cedar.estimate(cedar.add(0, 10_000, &mut rng))))
+    g.bench_n("cedar_10k_units", 100, {
+        let rng = &mut rng;
+        move || {
+            black_box(cedar.estimate(cedar.add(0, 10_000, rng)));
+        }
     });
     g.finish();
 
     let (trace, _) = bench_trace();
-    let mut g = c.benchmark_group("vhc");
-    g.sample_size(20);
-    g.throughput(Throughput::Elements(trace.num_packets() as u64));
-    g.bench_function("record_trace", |b| {
-        b.iter(|| {
-            let mut v = Vhc::new(VhcConfig {
-                registers: 1 << 14,
-                virtual_registers: 128,
-                seed: 1,
-            });
-            for p in &trace.packets {
-                v.record(p.flow);
-            }
-            black_box(v.total_estimate())
-        })
+    let mut g = Harness::new("vhc");
+    g.bench("record_trace", || {
+        let mut v = Vhc::new(VhcConfig {
+            registers: 1 << 14,
+            virtual_registers: 128,
+            seed: 1,
+        });
+        for p in &trace.packets {
+            v.record(p.flow);
+        }
+        black_box(v.total_estimate());
     });
     g.finish();
 
-    let (trace, _) = bench_trace();
-    let mut g = c.benchmark_group("sampling");
-    g.sample_size(20);
-    g.throughput(Throughput::Elements(trace.num_packets() as u64));
-    g.bench_function("netflow_p01_trace", |b| {
-        b.iter(|| {
-            let mut s = SampledCounter::new(SamplingConfig {
-                rate: 0.01,
-                ..SamplingConfig::default()
-            });
-            for p in &trace.packets {
-                s.record(p.flow);
-            }
-            black_box(s.table_entries())
-        })
+    let mut g = Harness::new("sampling");
+    g.bench("netflow_p01_trace", || {
+        let mut s = SampledCounter::new(SamplingConfig {
+            rate: 0.01,
+            ..SamplingConfig::default()
+        });
+        for p in &trace.packets {
+            s.record(p.flow);
+        }
+        black_box(s.table_entries());
     });
     g.finish();
 }
 
-fn concurrent_and_epochs(c: &mut Criterion) {
+fn concurrent_and_epochs() {
     let (trace, _) = bench_trace();
     let flows: Vec<u64> = trace.packets.iter().map(|p| p.flow).collect();
-    let mut g = c.benchmark_group("concurrent_build");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(flows.len() as u64));
+    let mut g = Harness::new("concurrent_build");
     for shards in [1usize, 2, 4] {
-        g.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &s| {
-            b.iter(|| black_box(ConcurrentCaesar::build(bench_config(), s, &flows)))
+        g.bench(&shards.to_string(), || {
+            black_box(ConcurrentCaesar::build(bench_config(), shards, &flows));
         });
     }
     g.finish();
 
-    let mut g = c.benchmark_group("epochs");
-    g.sample_size(10);
-    g.bench_function("rotate_8_epochs", |b| {
-        b.iter(|| {
-            let mut e = EpochedCaesar::new(bench_config(), 8);
-            for chunk in flows.chunks(flows.len() / 8) {
-                for &f in chunk {
-                    e.record(f);
-                }
-                e.rotate();
+    let mut g = Harness::new("epochs");
+    g.bench("rotate_8_epochs", || {
+        let mut e = EpochedCaesar::new(bench_config(), 8);
+        for chunk in flows.chunks(flows.len() / 8) {
+            for &f in chunk {
+                e.record(f);
             }
-            black_box(e.epochs().count())
-        })
+            e.rotate();
+        }
+        black_box(e.epochs().count());
     });
     g.finish();
 }
 
-fn pipeline_and_rcs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("timing_models");
+fn pipeline_and_rcs() {
+    let mut g = Harness::new("timing_models");
     let n = 200_000usize;
-    g.throughput(Throughput::Elements(n as u64));
-    g.bench_function("pipeline_200k_events", |b| {
-        b.iter(|| {
-            let p = Pipeline::default();
-            black_box(p.run((0..n).map(|i| {
-                if i % 20 == 0 {
-                    PacketWork { writebacks: 6, compute_ns: 0.0 }
-                } else {
-                    PacketWork::HIT
-                }
-            })))
-        })
+    g.bench("pipeline_200k_events", || {
+        let p = Pipeline::default();
+        black_box(p.run((0..n).map(|i| {
+            if i % 20 == 0 {
+                PacketWork { writebacks: 6, compute_ns: 0.0 }
+            } else {
+                PacketWork::HIT
+            }
+        })));
     });
     let (trace, _) = bench_trace();
-    g.throughput(Throughput::Elements(trace.num_packets() as u64));
-    g.bench_function("rcs_lossy_queue_trace", |b| {
-        b.iter(|| {
-            let mut r = Rcs::new(RcsConfig {
-                counters: 2048,
-                k: 3,
-                loss: LossModel::Queue(memsim::IngressQueue {
-                    arrival_ns: 1.0,
-                    service_ns: 10.0,
-                    capacity: 64,
-                }),
-                seed: 3,
-            });
-            for p in &trace.packets {
-                r.record(p.flow);
-            }
-            black_box(r.stats().loss_rate())
-        })
+    g.bench("rcs_lossy_queue_trace", || {
+        let mut r = Rcs::new(RcsConfig {
+            counters: 2048,
+            k: 3,
+            loss: LossModel::Queue(memsim::IngressQueue {
+                arrival_ns: 1.0,
+                service_ns: 10.0,
+                capacity: 64,
+            }),
+            seed: 3,
+        });
+        for p in &trace.packets {
+            r.record(p.flow);
+        }
+        black_box(r.stats().loss_rate());
     });
     g.finish();
 }
 
-criterion_group!(benches, braids, sac_and_sampling, concurrent_and_epochs, pipeline_and_rcs);
-criterion_main!(benches);
+fn main() {
+    braids();
+    sac_and_sampling();
+    concurrent_and_epochs();
+    pipeline_and_rcs();
+}

@@ -2,38 +2,39 @@
 //! figure at the `Tiny` scale (the figure content itself is validated
 //! by the experiment crate's tests; here we pin the cost of
 //! regeneration and catch pathological slowdowns).
+//!
+//! Runs on the vendored `support::timing::Harness` (criterion is not
+//! available offline); one JSON line per bench on stdout. Bench names
+//! are stable across harness changes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use experiments::{fig3, fig4, fig5, fig6, fig7, fig8, headline, Scale};
 use std::hint::black_box;
+use support::timing::Harness;
 
-fn figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
+fn main() {
+    let mut g = Harness::new("figures");
     g.sample_size(10);
 
-    g.bench_function("fig3_distribution", |b| {
-        b.iter(|| black_box(fig3::run(Scale::Tiny)))
+    g.bench("fig3_distribution", || {
+        black_box(fig3::run(Scale::Tiny));
     });
-    g.bench_function("fig4_caesar_accuracy", |b| {
-        b.iter(|| black_box(fig4::run(Scale::Tiny)))
+    g.bench("fig4_caesar_accuracy", || {
+        black_box(fig4::run(Scale::Tiny));
     });
-    g.bench_function("fig5_case_accuracy", |b| {
-        b.iter(|| black_box(fig5::run(Scale::Tiny)))
+    g.bench("fig5_case_accuracy", || {
+        black_box(fig5::run(Scale::Tiny));
     });
-    g.bench_function("fig6_rcs_lossless", |b| {
-        b.iter(|| black_box(fig6::run(Scale::Tiny)))
+    g.bench("fig6_rcs_lossless", || {
+        black_box(fig6::run(Scale::Tiny));
     });
-    g.bench_function("fig7_rcs_lossy", |b| {
-        b.iter(|| black_box(fig7::run(Scale::Tiny)))
+    g.bench("fig7_rcs_lossy", || {
+        black_box(fig7::run(Scale::Tiny));
     });
-    g.bench_function("fig8_processing_time", |b| {
-        b.iter(|| black_box(fig8::run(Scale::Tiny)))
+    g.bench("fig8_processing_time", || {
+        black_box(fig8::run(Scale::Tiny));
     });
-    g.bench_function("headline_are", |b| {
-        b.iter(|| black_box(headline::run(Scale::Tiny)))
+    g.bench("headline_are", || {
+        black_box(headline::run(Scale::Tiny));
     });
     g.finish();
 }
-
-criterion_group!(benches, figures);
-criterion_main!(benches);

@@ -1,101 +1,97 @@
 //! Hot-path microbenchmarks: the per-packet and per-eviction costs the
 //! Fig. 8 model prices, measured for real on the host CPU.
+//!
+//! Runs on the vendored `support::timing::Harness`; sub-microsecond
+//! kernels use `bench_n` batching so a sample is long enough for the
+//! timer. Bench names are stable across harness changes.
 
 use baselines::{Case, CaseConfig, DiscoScale, LossModel, Rcs, RcsConfig};
 use bench::{bench_config, bench_trace, build_sketch};
 use caesar::estimator::{csm, mlm, EstimateParams};
 use caesar::{Caesar, Estimator};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use hashkit::{aphash::aphash64, fnv::fnv1a64, sha1::Sha1, KCounterMap};
-use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::hint::black_box;
+use support::rand::{rngs::StdRng, Rng, SeedableRng};
+use support::timing::Harness;
 
-fn hashing(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hashing");
+fn hashing() {
+    let mut g = Harness::new("hashing");
     let tuple = [0u8; 13];
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("sha1_13B_tuple", |b| b.iter(|| black_box(Sha1::digest64(&tuple))));
-    g.bench_function("aphash64_13B_tuple", |b| b.iter(|| black_box(aphash64(&tuple))));
-    g.bench_function("fnv1a64_13B_tuple", |b| b.iter(|| black_box(fnv1a64(&tuple))));
+    g.bench_n("sha1_13B_tuple", 100_000, || {
+        black_box(Sha1::digest64(&tuple));
+    });
+    g.bench_n("aphash64_13B_tuple", 100_000, || {
+        black_box(aphash64(&tuple));
+    });
+    g.bench_n("fnv1a64_13B_tuple", 100_000, || {
+        black_box(fnv1a64(&tuple));
+    });
     let map = KCounterMap::new(3, 23_437, 7);
     let mut buf = Vec::with_capacity(3);
     let mut i = 0u64;
-    g.bench_function("kmap_indices_k3", |b| {
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            map.indices_into(black_box(i), &mut buf);
-            black_box(buf.len())
-        })
+    g.bench_n("kmap_indices_k3", 100_000, || {
+        i = i.wrapping_add(1);
+        map.indices_into(black_box(i), &mut buf);
+        black_box(buf.len());
     });
     g.finish();
 }
 
-fn record_paths(c: &mut Criterion) {
+fn record_paths() {
     let (trace, _) = bench_trace();
-    let mut g = c.benchmark_group("record");
-    g.throughput(Throughput::Elements(trace.num_packets() as u64));
-    g.sample_size(20);
+    let mut g = Harness::new("record");
 
-    g.bench_function("caesar_trace", |b| {
-        b.iter(|| black_box(build_sketch(bench_config(), &trace)))
+    g.bench("caesar_trace", || {
+        black_box(build_sketch(bench_config(), &trace));
     });
-    g.bench_function("rcs_trace", |b| {
-        b.iter(|| {
-            let mut r = Rcs::new(RcsConfig {
-                counters: 2048,
-                k: 3,
-                loss: LossModel::Lossless,
-                seed: 1,
-            });
-            for p in &trace.packets {
-                r.record(p.flow);
-            }
-            black_box(r.stats().recorded)
-        })
+    g.bench("rcs_trace", || {
+        let mut r = Rcs::new(RcsConfig {
+            counters: 2048,
+            k: 3,
+            loss: LossModel::Lossless,
+            seed: 1,
+        });
+        for p in &trace.packets {
+            r.record(p.flow);
+        }
+        black_box(r.stats().recorded);
     });
-    g.bench_function("case_trace", |b| {
-        b.iter(|| {
-            let mut cs = Case::new(CaseConfig {
-                counters: trace.num_flows,
-                counter_bits: 10,
-                max_expected_flow: trace.num_packets() as f64,
-                cache_entries: 512,
-                entry_capacity: 54,
-                ..CaseConfig::default()
-            });
-            for p in &trace.packets {
-                cs.record(p.flow);
-            }
-            cs.finish();
-            black_box(cs.stats().evictions)
-        })
+    g.bench("case_trace", || {
+        let mut cs = Case::new(CaseConfig {
+            counters: trace.num_flows,
+            counter_bits: 10,
+            max_expected_flow: trace.num_packets() as f64,
+            cache_entries: 512,
+            entry_capacity: 54,
+            ..CaseConfig::default()
+        });
+        for p in &trace.packets {
+            cs.record(p.flow);
+        }
+        cs.finish();
+        black_box(cs.stats().evictions);
     });
     g.finish();
 }
 
-fn estimators(c: &mut Criterion) {
+fn estimators() {
     let (trace, truth) = bench_trace();
     let sketch: Caesar = build_sketch(bench_config(), &trace);
     let flows: Vec<u64> = truth.keys().copied().collect();
-    let mut g = c.benchmark_group("estimators");
-    g.throughput(Throughput::Elements(flows.len() as u64));
-    g.bench_function("caesar_query_csm_all_flows", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for &f in &flows {
-                acc += sketch.estimate(f, Estimator::Csm).value;
-            }
-            black_box(acc)
-        })
+    let mut g = Harness::new("estimators");
+    g.bench("caesar_query_csm_all_flows", || {
+        let mut acc = 0.0;
+        for &f in &flows {
+            acc += sketch.estimate(f, Estimator::Csm).value;
+        }
+        black_box(acc);
     });
-    g.bench_function("caesar_query_mlm_all_flows", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for &f in &flows {
-                acc += sketch.estimate(f, Estimator::Mlm).value;
-            }
-            black_box(acc)
-        })
+    g.bench("caesar_query_mlm_all_flows", || {
+        let mut acc = 0.0;
+        for &f in &flows {
+            acc += sketch.estimate(f, Estimator::Mlm).value;
+        }
+        black_box(acc);
     });
 
     // RCS's search-based MLE: the paper calls it "extremely slow";
@@ -110,67 +106,68 @@ fn estimators(c: &mut Criterion) {
         rcs.record(p.flow);
     }
     let sample: Vec<u64> = flows.iter().copied().take(200).collect();
-    g.throughput(Throughput::Elements(sample.len() as u64));
-    g.bench_function("rcs_csm_200_flows", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for &f in &sample {
-                acc += rcs.estimate_csm(f);
-            }
-            black_box(acc)
-        })
+    g.bench("rcs_csm_200_flows", || {
+        let mut acc = 0.0;
+        for &f in &sample {
+            acc += rcs.estimate_csm(f);
+        }
+        black_box(acc);
     });
-    g.bench_function("rcs_mle_search_200_flows", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for &f in &sample {
-                acc += rcs.estimate_mle(f);
-            }
-            black_box(acc)
-        })
+    g.bench("rcs_mle_search_200_flows", || {
+        let mut acc = 0.0;
+        for &f in &sample {
+            acc += rcs.estimate_mle(f);
+        }
+        black_box(acc);
     });
     g.finish();
 
     // Raw estimator kernels on fixed counter values.
     let params = EstimateParams { k: 3, y: 54, counters: 2048, total_packets: 75_000 };
     let w = [150u64, 160, 140];
-    let mut g = c.benchmark_group("estimator_kernels");
-    g.bench_function("csm_kernel", |b| b.iter(|| black_box(csm::estimate(&w, &params))));
-    g.bench_function("mlm_kernel", |b| b.iter(|| black_box(mlm::estimate(&w, &params))));
+    let mut g = Harness::new("estimator_kernels");
+    g.bench_n("csm_kernel", 100_000, || {
+        black_box(csm::estimate(&w, &params));
+    });
+    g.bench_n("mlm_kernel", 100_000, || {
+        black_box(mlm::estimate(&w, &params));
+    });
     g.finish();
 }
 
-fn disco_ops(c: &mut Criterion) {
+fn disco_ops() {
     let scale = DiscoScale::for_bits(10, 1e7);
     let mut rng = StdRng::seed_from_u64(1);
-    let mut g = c.benchmark_group("disco");
-    g.bench_function("apply_bulk_54_units", |b| {
-        b.iter(|| black_box(scale.apply_bulk(black_box(500), 54, &mut rng)))
+    let mut g = Harness::new("disco");
+    g.bench_n("apply_bulk_54_units", 10_000, || {
+        black_box(scale.apply_bulk(black_box(500), 54, &mut rng));
     });
-    g.bench_function("apply_unit_trials_54_units", |b| {
-        b.iter(|| black_box(scale.apply(black_box(500), 54, &mut rng)))
+    g.bench_n("apply_unit_trials_54_units", 10_000, || {
+        black_box(scale.apply(black_box(500), 54, &mut rng));
     });
     let mut x = 0u64;
-    g.bench_function("decompress", |b| {
-        b.iter(|| {
-            x = (x + 1) % 1024;
-            black_box(scale.decompress(x))
-        })
+    g.bench_n("decompress", 100_000, || {
+        x = (x + 1) % 1024;
+        black_box(scale.decompress(x));
     });
     g.finish();
 
     let mut rng2 = StdRng::seed_from_u64(2);
-    c.bench_function("cache_record_hit", |b| {
-        let mut cache = cachesim::CacheTable::new(cachesim::CacheConfig::lru(512, 1 << 30));
-        for f in 0..512u64 {
-            cache.record(f);
-        }
-        b.iter(|| {
-            let f = rng2.gen_range(0..512u64);
-            black_box(cache.record(f))
-        })
+    let mut g = Harness::new("cache");
+    let mut cache = cachesim::CacheTable::new(cachesim::CacheConfig::lru(512, 1 << 30));
+    for f in 0..512u64 {
+        cache.record(f);
+    }
+    g.bench_n("cache_record_hit", 100_000, || {
+        let f = rng2.gen_range(0..512u64);
+        black_box(cache.record(f));
     });
+    g.finish();
 }
 
-criterion_group!(benches, hashing, record_paths, estimators, disco_ops);
-criterion_main!(benches);
+fn main() {
+    hashing();
+    record_paths();
+    estimators();
+    disco_ops();
+}

@@ -1,12 +1,11 @@
 //! The cache table implementation.
 
 use hashkit::IdHashMap;
-use rand::{rngs::StdRng, Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use support::rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// Replacement policy for a full table (§3.1: "we try both LRU and
 /// random replacement algorithms in this paper"; FIFO is our ablation).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CachePolicy {
     /// Evict the least-recently-used entry.
     Lru,

@@ -1,7 +1,9 @@
-//! Property tests: the cache table against a naive reference model.
+//! Property tests: the cache table against a naive reference model,
+//! on the deterministic `support::testkit` harness.
 
 use cachesim::{CacheConfig, CachePolicy, CacheTable, Eviction, EvictionReason};
-use proptest::prelude::*;
+use support::rand::Rng;
+use support::testkit::{for_each_seed, GenExt};
 
 /// A deliberately dumb O(n) LRU cache: Vec ordered most-recent-first.
 struct RefLru {
@@ -41,37 +43,37 @@ impl RefLru {
     }
 }
 
-proptest! {
-    /// The slab/linked-list LRU behaves exactly like the naive model
-    /// for any packet stream.
-    #[test]
-    fn lru_matches_reference_model(
-        flows in prop::collection::vec(0u64..24, 1..3000),
-        capacity in 1usize..12,
-        y in 2u64..20,
-    ) {
+/// The slab/linked-list LRU behaves exactly like the naive model
+/// for any packet stream.
+#[test]
+fn lru_matches_reference_model() {
+    for_each_seed(|rng| {
+        let flows = rng.vec_with(1..3000, |r| r.gen_range(0u64..24));
+        let capacity = rng.gen_range(1usize..12);
+        let y = rng.gen_range(2u64..20);
         let mut fast = CacheTable::new(CacheConfig::lru(capacity, y));
         let mut slow = RefLru::new(capacity, y);
         for &f in &flows {
-            prop_assert_eq!(fast.record(f), slow.record(f), "diverged on flow {}", f);
+            assert_eq!(fast.record(f), slow.record(f), "diverged on flow {f}");
         }
         // Final residents match, including counts.
         let mut a: Vec<(u64, u64)> = fast.iter().collect();
         let mut b: Vec<(u64, u64)> = slow.entries.clone();
         a.sort_unstable();
         b.sort_unstable();
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    /// Conservation for any interleaving of unit and weighted records.
-    #[test]
-    fn mixed_recording_conserves(
-        ops in prop::collection::vec((0u64..40, 0u64..200), 1..2000),
-        capacity in 1usize..32,
-        y in 2u64..64,
-        policy_random in any::<bool>(),
-    ) {
-        let policy = if policy_random { CachePolicy::Random } else { CachePolicy::Fifo };
+/// Conservation for any interleaving of unit and weighted records.
+#[test]
+fn mixed_recording_conserves() {
+    for_each_seed(|rng| {
+        let ops =
+            rng.vec_with(1..2000, |r| (r.gen_range(0u64..40), r.gen_range(0u64..200)));
+        let capacity = rng.gen_range(1usize..32);
+        let y = rng.gen_range(2u64..64);
+        let policy = if rng.gen::<bool>() { CachePolicy::Random } else { CachePolicy::Fifo };
         let mut cache = CacheTable::new(CacheConfig {
             entries: capacity,
             entry_capacity: y,
@@ -93,42 +95,45 @@ proptest! {
         }
         let mut evicted: u64 = out.iter().map(|e| e.value).sum();
         evicted += cache.drain().iter().map(|e| e.value).sum::<u64>();
-        prop_assert_eq!(evicted, sent);
-    }
+        assert_eq!(evicted, sent);
+    });
+}
 
-    /// Unit-mode eviction values never exceed the entry capacity and
-    /// overflow evictions are exactly `y`.
-    #[test]
-    fn eviction_value_bounds(
-        flows in prop::collection::vec(0u64..30, 1..2000),
-        capacity in 1usize..16,
-        y in 2u64..32,
-    ) {
+/// Unit-mode eviction values never exceed the entry capacity and
+/// overflow evictions are exactly `y`.
+#[test]
+fn eviction_value_bounds() {
+    for_each_seed(|rng| {
+        let flows = rng.vec_with(1..2000, |r| r.gen_range(0u64..30));
+        let capacity = rng.gen_range(1usize..16);
+        let y = rng.gen_range(2u64..32);
         let mut cache = CacheTable::new(CacheConfig::lru(capacity, y));
         for &f in &flows {
             if let Some(e) = cache.record(f) {
-                prop_assert!(e.value >= 1 && e.value <= y);
+                assert!(e.value >= 1 && e.value <= y);
                 if e.reason == EvictionReason::Overflow {
-                    prop_assert_eq!(e.value, y);
+                    assert_eq!(e.value, y);
                 } else {
-                    prop_assert!(e.value < y);
+                    assert!(e.value < y);
                 }
             }
         }
         for e in cache.drain() {
-            prop_assert!(e.value >= 1 && e.value < y);
-            prop_assert_eq!(e.reason, EvictionReason::FinalDump);
+            assert!(e.value >= 1 && e.value < y);
+            assert_eq!(e.reason, EvictionReason::FinalDump);
         }
-    }
+    });
+}
 
-    /// Weighted recording against a naive reference: same evictions,
-    /// same residents, for any weight stream.
-    #[test]
-    fn weighted_lru_matches_reference_model(
-        ops in prop::collection::vec((0u64..16, 1u64..40), 1..1500),
-        capacity in 1usize..8,
-        y in 2u64..24,
-    ) {
+/// Weighted recording against a naive reference: same evictions,
+/// same residents, for any weight stream.
+#[test]
+fn weighted_lru_matches_reference_model() {
+    for_each_seed(|rng| {
+        let ops =
+            rng.vec_with(1..1500, |r| (r.gen_range(0u64..16), r.gen_range(1u64..40)));
+        let capacity = rng.gen_range(1usize..8);
+        let y = rng.gen_range(2u64..24);
         let mut fast = CacheTable::new(CacheConfig::lru(capacity, y));
         let mut slow = RefLru::new(capacity, y);
         let mut fast_out = Vec::new();
@@ -146,20 +151,21 @@ proptest! {
             }
             let before = fast_out.len();
             fast.record_weighted(flow, w, &mut fast_out);
-            prop_assert_eq!(&fast_out[before..], &slow_out[..], "flow {} w {}", flow, w);
+            assert_eq!(&fast_out[before..], &slow_out[..], "flow {flow} w {w}");
         }
-    }
+    });
+}
 
-    /// The resident set never exceeds the configured capacity.
-    #[test]
-    fn capacity_is_respected(
-        flows in prop::collection::vec(any::<u64>(), 1..1000),
-        capacity in 1usize..8,
-    ) {
+/// The resident set never exceeds the configured capacity.
+#[test]
+fn capacity_is_respected() {
+    for_each_seed(|rng| {
+        let flows = rng.vec_with(1..1000, |r| r.gen::<u64>());
+        let capacity = rng.gen_range(1usize..8);
         let mut cache = CacheTable::new(CacheConfig::random(capacity, 100));
         for &f in &flows {
             cache.record(f);
-            prop_assert!(cache.len() <= capacity);
+            assert!(cache.len() <= capacity);
         }
-    }
+    });
 }

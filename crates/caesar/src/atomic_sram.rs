@@ -144,17 +144,16 @@ mod tests {
         let a = AtomicCounterArray::new(64, 63);
         let threads = 8;
         let per_thread = 10_000u64;
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..threads {
                 let a = &a;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in 0..per_thread {
                         a.add(((t as u64 * 31 + i) % 64) as usize, 1);
                     }
                 });
             }
-        })
-        .expect("no thread panicked");
+        });
         assert_eq!(a.sum(), threads as u64 * per_thread);
         assert_eq!(a.total_added(), threads as u64 * per_thread);
     }

@@ -23,7 +23,7 @@ use crate::estimator::{csm, mlm, Estimate, EstimateParams};
 use cachesim::{CacheConfig, CacheTable};
 use hashkit::mix::{bucket, mix64};
 use hashkit::KCounterMap;
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use support::rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// Multi-core CAESAR: sharded caches, one shared atomic SRAM.
 ///
@@ -55,7 +55,7 @@ impl ConcurrentCaesar {
     }
 
     /// Run the construction phase over `flows` with `shards` worker
-    /// threads (crossbeam scoped), then return the finished sketch.
+    /// threads (`std::thread::scope`), then return the finished sketch.
     ///
     /// # Panics
     /// Panics if `shards == 0` or the configuration is invalid.
@@ -67,12 +67,12 @@ impl ConcurrentCaesar {
         let kmap = KCounterMap::new(cfg.k, cfg.counters, cfg.seed ^ 0x5EED_5EED);
         let per_shard_entries = (cfg.cache_entries / shards).max(1);
 
-        let eviction_counts: Vec<u64> = crossbeam::scope(|s| {
+        let eviction_counts: Vec<u64> = std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(shards);
             for shard in 0..shards {
                 let sram = &sram;
                 let kmap = &kmap;
-                handles.push(s.spawn(move |_| {
+                handles.push(s.spawn(move || {
                     let mut cache = CacheTable::new(CacheConfig {
                         entries: per_shard_entries,
                         entry_capacity: cfg.entry_capacity,
@@ -119,8 +119,7 @@ impl ConcurrentCaesar {
                 .into_iter()
                 .map(|h| h.join().expect("shard thread panicked"))
                 .collect()
-        })
-        .expect("crossbeam scope");
+        });
 
         Self {
             cfg,

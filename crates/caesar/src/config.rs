@@ -1,10 +1,10 @@
 //! Configuration of the CAESAR pipeline.
 
 use cachesim::CachePolicy;
-use serde::{Deserialize, Serialize};
+use support::json::{Json, ToJson};
 
 /// Which de-noising estimator the query phase uses (§3.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Estimator {
     /// Counter Sum estimation Method — the paper's default (§6.3.1).
     Csm,
@@ -18,7 +18,7 @@ pub enum Estimator {
 /// Notation maps to the paper's Table 1: `cache_entries = M`,
 /// `entry_capacity = y`, `counters = L`, `k = k`,
 /// `counter_bits = log2(l)`.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CaesarConfig {
     /// Number of on-chip cache entries `M`.
     pub cache_entries: usize,
@@ -92,6 +92,74 @@ impl CaesarConfig {
     }
 }
 
+impl Estimator {
+    /// Stable lowercase name (the CLI flag / JSON value).
+    pub fn name(self) -> &'static str {
+        match self {
+            Estimator::Csm => "csm",
+            Estimator::Mlm => "mlm",
+        }
+    }
+
+    /// Parse [`Estimator::name`] back.
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "csm" => Some(Estimator::Csm),
+            "mlm" => Some(Estimator::Mlm),
+            _ => None,
+        }
+    }
+}
+
+fn policy_name(p: CachePolicy) -> &'static str {
+    match p {
+        CachePolicy::Lru => "lru",
+        CachePolicy::Random => "random",
+        CachePolicy::Fifo => "fifo",
+    }
+}
+
+fn policy_from_name(s: &str) -> Option<CachePolicy> {
+    match s {
+        "lru" => Some(CachePolicy::Lru),
+        "random" => Some(CachePolicy::Random),
+        "fifo" => Some(CachePolicy::Fifo),
+        _ => None,
+    }
+}
+
+impl ToJson for CaesarConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("cache_entries", self.cache_entries.into()),
+            ("entry_capacity", self.entry_capacity.into()),
+            ("policy", policy_name(self.policy).into()),
+            ("counters", self.counters.into()),
+            ("k", self.k.into()),
+            ("counter_bits", u64::from(self.counter_bits).into()),
+            ("estimator", self.estimator.name().into()),
+            ("seed", self.seed.into()),
+        ])
+    }
+}
+
+impl CaesarConfig {
+    /// Rebuild a config from [`ToJson::to_json`] output. Returns `None`
+    /// when a field is missing or malformed.
+    pub fn from_json(j: &Json) -> Option<Self> {
+        Some(Self {
+            cache_entries: j.get("cache_entries")?.as_u64()? as usize,
+            entry_capacity: j.get("entry_capacity")?.as_u64()?,
+            policy: policy_from_name(j.get("policy")?.as_str()?)?,
+            counters: j.get("counters")?.as_u64()? as usize,
+            k: j.get("k")?.as_u64()? as usize,
+            counter_bits: j.get("counter_bits")?.as_u64()? as u32,
+            estimator: Estimator::from_name(j.get("estimator")?.as_str()?)?,
+            seed: j.get("seed")?.as_u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +167,31 @@ mod tests {
     #[test]
     fn default_is_valid() {
         CaesarConfig::default().validate();
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let cfg = CaesarConfig {
+            cache_entries: 512,
+            entry_capacity: 54,
+            policy: CachePolicy::Random,
+            counters: 2048,
+            k: 5,
+            counter_bits: 20,
+            estimator: Estimator::Mlm,
+            seed: 0xDEADBEEF,
+        };
+        let text = cfg.to_json_string();
+        let parsed = support::json::parse(&text).expect("valid json");
+        let back = CaesarConfig::from_json(&parsed).expect("all fields");
+        assert_eq!(back.cache_entries, cfg.cache_entries);
+        assert_eq!(back.entry_capacity, cfg.entry_capacity);
+        assert_eq!(back.policy, cfg.policy);
+        assert_eq!(back.counters, cfg.counters);
+        assert_eq!(back.k, cfg.k);
+        assert_eq!(back.counter_bits, cfg.counter_bits);
+        assert_eq!(back.estimator, cfg.estimator);
+        assert_eq!(back.seed, cfg.seed);
     }
 
     #[test]

@@ -13,11 +13,10 @@ pub mod csm;
 pub mod mlm;
 
 use crate::gaussian::z_alpha;
-use serde::Serialize;
 
 /// Global parameters both estimators need — the paper's `k`, `y`, `L`
 /// and the noise mass `Q·μ = n` (total packets recorded off-chip).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EstimateParams {
     /// Mapped counters per flow.
     pub k: usize,
@@ -45,7 +44,7 @@ impl EstimateParams {
 }
 
 /// A point estimate with its variance model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Estimate {
     /// Estimated flow size `x̂` (may be negative for tiny flows buried
     /// in noise; clamp if a physical size is required).

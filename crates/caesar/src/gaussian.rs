@@ -2,7 +2,7 @@
 
 /// Standard normal CDF `Φ(x)`.
 pub fn normal_cdf(x: f64) -> f64 {
-    0.5 * (1.0 + libm::erf(x / std::f64::consts::SQRT_2))
+    0.5 * (1.0 + support::mathx::erf(x / std::f64::consts::SQRT_2))
 }
 
 /// Standard normal quantile `Φ⁻¹(p)` for `p ∈ (0, 1)`, by bisection on

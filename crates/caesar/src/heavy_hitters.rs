@@ -10,10 +10,9 @@
 
 use crate::config::Estimator;
 use crate::pipeline::Caesar;
-use serde::Serialize;
 
 /// A flow flagged as a heavy hitter.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Hitter {
     /// The flow ID.
     pub flow: u64,
@@ -22,7 +21,7 @@ pub struct Hitter {
 }
 
 /// Detection quality against ground truth.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DetectionReport {
     /// Correctly flagged hitters.
     pub true_positives: usize,

@@ -7,14 +7,12 @@ use crate::sram::{CounterArray, CounterArrayStats};
 use crate::update::spread_eviction;
 use cachesim::{CacheConfig, CacheStats, CacheTable};
 use hashkit::KCounterMap;
-use rand::{rngs::StdRng, SeedableRng};
-use serde::Serialize;
+use support::rand::{rngs::StdRng, SeedableRng};
 
 /// Aggregate statistics of a CAESAR run.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CaesarStats {
     /// Cache-side counters (hits, misses, evictions by kind).
-    #[serde(skip)]
     pub cache: CacheStats,
     /// SRAM-side counters (accesses, saturations, totals).
     pub sram: CounterArrayStats,

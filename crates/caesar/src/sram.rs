@@ -5,7 +5,6 @@
 //! silently without corrupting every sharing flow); saturation events
 //! are counted so experiments can detect an undersized configuration.
 
-use serde::Serialize;
 
 /// Fixed-width saturating counter array.
 #[derive(Debug, Clone)]
@@ -21,7 +20,7 @@ pub struct CounterArray {
 }
 
 /// Summary of the array state.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CounterArrayStats {
     /// Number of counters `L`.
     pub len: usize,

@@ -7,7 +7,7 @@
 //! follow `B(q, 1/k)` exactly as the analysis assumes (Eq. 4).
 
 use crate::sram::CounterArray;
-use rand::Rng;
+use support::rand::Rng;
 
 /// Spread eviction value `value` over the counters at `indices`.
 ///
@@ -46,7 +46,7 @@ pub fn spread_eviction<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::StdRng, SeedableRng};
+    use support::rand::{rngs::StdRng, SeedableRng};
 
     #[test]
     fn conserves_value_exactly() {

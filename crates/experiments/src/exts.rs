@@ -377,7 +377,7 @@ pub struct CompressionComparison {
 /// relative noise grows with the count — the structural weakness that
 /// motivates shared-counter schemes like RCS/CAESAR in the first place.
 pub fn compression_comparison(bits: u32, trials: usize) -> CompressionComparison {
-    use rand::{rngs::StdRng, SeedableRng};
+    use support::rand::{rngs::StdRng, SeedableRng};
     let span = 1e7;
     // SAC: give 4 bits to the exponent, the rest to the mantissa, and
     // the smallest stride that still covers the span.

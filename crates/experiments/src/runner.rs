@@ -5,10 +5,9 @@ use baselines::{Case, Rcs};
 use caesar::{Caesar, CaesarConfig, Estimator};
 use flowtrace::{FlowId, Trace};
 use metrics::ScatterSeries;
-use parking_lot::Mutex;
-use rayon::prelude::*;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use support::par::par_map;
 
 /// A generated trace plus its ground truth, shared between figures.
 pub type SharedTrace = Arc<(Trace, HashMap<FlowId, u64>)>;
@@ -16,7 +15,7 @@ pub type SharedTrace = Arc<(Trace, HashMap<FlowId, u64>)>;
 static TRACE_CACHE: Mutex<Vec<(Scale, bool, SharedTrace)>> = Mutex::new(Vec::new());
 
 fn cached_trace(scale: Scale, bursty: bool) -> SharedTrace {
-    let mut cache = TRACE_CACHE.lock();
+    let mut cache = TRACE_CACHE.lock().expect("trace cache poisoned");
     if let Some((_, _, t)) = cache.iter().find(|(s, b, _)| *s == scale && *b == bursty) {
         return Arc::clone(t);
     }
@@ -76,10 +75,8 @@ pub fn score_caesar(
 ) -> ScatterSeries {
     let mut pairs: Vec<(FlowId, u64)> = truth.iter().map(|(&f, &x)| (f, x)).collect();
     pairs.sort_unstable(); // deterministic order for reproducible output
-    let points: Vec<(u64, f64)> = pairs
-        .par_iter()
-        .map(|&(f, x)| (x, sketch.estimate(f, estimator).clamped()))
-        .collect();
+    let points: Vec<(u64, f64)> =
+        par_map(&pairs, |&(f, x)| (x, sketch.estimate(f, estimator).clamped()));
     let mut series = ScatterSeries::new();
     for (x, e) in points {
         series.push(x, e);
@@ -91,10 +88,7 @@ pub fn score_caesar(
 pub fn score_rcs(sketch: &Rcs, truth: &HashMap<FlowId, u64>) -> ScatterSeries {
     let mut pairs: Vec<(FlowId, u64)> = truth.iter().map(|(&f, &x)| (f, x)).collect();
     pairs.sort_unstable();
-    let points: Vec<(u64, f64)> = pairs
-        .par_iter()
-        .map(|&(f, x)| (x, sketch.query(f)))
-        .collect();
+    let points: Vec<(u64, f64)> = par_map(&pairs, |&(f, x)| (x, sketch.query(f)));
     let mut series = ScatterSeries::new();
     for (x, e) in points {
         series.push(x, e);

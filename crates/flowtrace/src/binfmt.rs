@@ -14,7 +14,7 @@
 //! ```
 
 use crate::packet::{Packet, Trace};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use support::bytesx::{ByteReader, PutBytes};
 
 /// Format magic.
 pub const MAGIC: &[u8; 4] = b"CTRC";
@@ -45,8 +45,8 @@ impl std::fmt::Display for DecodeError {
 impl std::error::Error for DecodeError {}
 
 /// Serialize a trace.
-pub fn encode(trace: &Trace) -> Bytes {
-    let mut buf = BytesMut::with_capacity(24 + trace.packets.len() * 10);
+pub fn encode(trace: &Trace) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(24 + trace.packets.len() * 10);
     buf.put_slice(MAGIC);
     buf.put_u32_le(VERSION);
     buf.put_u64_le(trace.num_flows as u64);
@@ -55,32 +55,32 @@ pub fn encode(trace: &Trace) -> Bytes {
         buf.put_u64_le(p.flow);
         buf.put_u16_le(p.byte_len);
     }
-    buf.freeze()
+    buf
 }
 
 /// Deserialize a trace.
-pub fn decode(mut data: &[u8]) -> Result<Trace, DecodeError> {
+pub fn decode(data: &[u8]) -> Result<Trace, DecodeError> {
     if data.len() < 24 {
         return Err(DecodeError::BadMagic);
     }
-    let mut magic = [0u8; 4];
-    data.copy_to_slice(&mut magic);
+    let mut r = ByteReader::new(data);
+    let magic = r.get_array::<4>().ok_or(DecodeError::BadMagic)?;
     if &magic != MAGIC {
         return Err(DecodeError::BadMagic);
     }
-    let version = data.get_u32_le();
+    let version = r.get_u32_le().ok_or(DecodeError::Truncated)?;
     if version != VERSION {
         return Err(DecodeError::BadVersion(version));
     }
-    let num_flows = data.get_u64_le() as usize;
-    let num_packets = data.get_u64_le() as usize;
-    if data.remaining() < num_packets * 10 {
+    let num_flows = r.get_u64_le().ok_or(DecodeError::Truncated)? as usize;
+    let num_packets = r.get_u64_le().ok_or(DecodeError::Truncated)? as usize;
+    if r.remaining() < num_packets.saturating_mul(10) {
         return Err(DecodeError::Truncated);
     }
     let mut packets = Vec::with_capacity(num_packets);
     for _ in 0..num_packets {
-        let flow = data.get_u64_le();
-        let byte_len = data.get_u16_le();
+        let flow = r.get_u64_le().ok_or(DecodeError::Truncated)?;
+        let byte_len = r.get_u16_le().ok_or(DecodeError::Truncated)?;
         packets.push(Packet { flow, byte_len });
     }
     Ok(Trace { packets, num_flows })
@@ -126,7 +126,7 @@ mod tests {
 
     #[test]
     fn rejects_wrong_version() {
-        let mut enc = encode(&sample_trace()).to_vec();
+        let mut enc = encode(&sample_trace());
         enc[4] = 99;
         assert!(matches!(decode(&enc), Err(DecodeError::BadVersion(99))));
     }

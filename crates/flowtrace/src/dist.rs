@@ -8,7 +8,7 @@
 //! `P(s) ∝ s^(−α)`, `s ∈ [1, s_max]`, reproduces both properties; this
 //! module samples it and calibrates `α` to hit a target mean.
 
-use rand::Rng;
+use support::rand::Rng;
 
 /// A discrete distribution over flow sizes `1..=max_size`.
 pub trait FlowSizeDistribution {
@@ -213,6 +213,10 @@ impl FlowSizeDistribution for LogNormal {
 
 /// Standard normal quantile (probit) via the Beasley–Springer–Moro
 /// rational approximation — enough precision for trace calibration.
+// The rational coefficients are quoted verbatim from the published
+// approximation; truncating them to f64-representable precision would
+// obscure their provenance for no behavioural change.
+#[allow(clippy::excessive_precision)]
 pub fn probit(p: f64) -> f64 {
     assert!(p > 0.0 && p < 1.0, "probit needs p in (0,1)");
     // Symmetric around 0.5.
@@ -357,7 +361,7 @@ impl FlowSizeDistribution for Empirical {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::StdRng, SeedableRng};
+    use support::rand::{rngs::StdRng, SeedableRng};
 
     #[test]
     fn pmf_sums_to_one() {

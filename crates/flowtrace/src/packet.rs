@@ -1,14 +1,13 @@
 //! Core packet and trace types.
 
 use hashkit::flowid;
-use serde::{Deserialize, Serialize};
 
 /// 64-bit flow identifier, generated from the 5-tuple header with
 /// SHA-1 + APHash as in the paper (§6.1). See [`hashkit::flowid`].
 pub type FlowId = u64;
 
 /// The classic transport 5-tuple.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FiveTuple {
     /// IPv4 source address (host byte order).
     pub src_ip: u32,
@@ -41,7 +40,7 @@ impl FiveTuple {
 /// size") or bytes ("flow volume"); both have "almost the same
 /// distribution, except for the magnitude" (§3.1), so the schemes only
 /// see `flow` and optionally weight by `byte_len`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Packet {
     /// Flow the packet belongs to.
     pub flow: FlowId,
@@ -57,7 +56,7 @@ impl Packet {
 }
 
 /// An ordered packet trace plus its basic census.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Trace {
     /// Packets in arrival order.
     pub packets: Vec<Packet>,

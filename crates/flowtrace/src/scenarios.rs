@@ -8,7 +8,7 @@
 
 use crate::packet::{FiveTuple, FlowId, Packet, Trace};
 use crate::transform;
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use support::rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// A synthesized attack: the packets plus the flow IDs involved.
 #[derive(Debug, Clone)]
@@ -88,7 +88,7 @@ pub fn ddos(
     }
     // Interleave sources rather than sending them back-to-back.
     let mut rng2 = StdRng::seed_from_u64(seed ^ 0xD0);
-    use rand::seq::SliceRandom;
+    use support::rand::seq::SliceRandom;
     packets.shuffle(&mut rng2);
     AttackTraffic { packets, flows }
 }

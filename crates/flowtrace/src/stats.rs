@@ -1,10 +1,9 @@
 //! Trace statistics — everything Figure 3 plots plus the tail fractions
 //! the paper's assumptions lean on (§4.2, §6.2).
 
-use serde::Serialize;
 
 /// Summary statistics of a set of flow sizes.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FlowStats {
     /// Number of flows (`Q`).
     pub num_flows: usize,
@@ -62,7 +61,7 @@ impl FlowStats {
 }
 
 /// One point of a flow-size histogram / distribution plot.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct HistogramBin {
     /// Flow size (exact, for sizes ≤ the linear cutoff) or bucket lower
     /// bound (for the geometric tail).
@@ -242,7 +241,7 @@ mod tests {
     #[test]
     fn hill_estimator_recovers_power_law() {
         use crate::dist::{FlowSizeDistribution, PowerLaw};
-        use rand::{rngs::StdRng, SeedableRng};
+        use support::rand::{rngs::StdRng, SeedableRng};
         let d = PowerLaw::new(1.8, 1_000_000);
         let mut rng = StdRng::seed_from_u64(13);
         let sizes: Vec<u64> = (0..300_000).map(|_| d.sample(&mut rng)).collect();
@@ -270,7 +269,7 @@ mod tests {
     #[test]
     fn tail_exponent_recovers_power_law() {
         use crate::dist::{FlowSizeDistribution, PowerLaw};
-        use rand::{rngs::StdRng, SeedableRng};
+        use support::rand::{rngs::StdRng, SeedableRng};
         let d = PowerLaw::new(1.8, 100_000);
         let mut rng = StdRng::seed_from_u64(11);
         let sizes: Vec<u64> = (0..300_000).map(|_| d.sample(&mut rng)).collect();

@@ -9,8 +9,8 @@
 
 use crate::dist::{FlowSizeDistribution, LogNormal, PowerLaw};
 use crate::packet::{FiveTuple, FlowId, Packet, Trace};
-use rand::seq::SliceRandom;
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use support::rand::seq::SliceRandom;
+use support::rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// Which heavy-tail family generates the flow sizes.

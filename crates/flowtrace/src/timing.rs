@@ -12,7 +12,7 @@
 //! * [`ArrivalProcess::OnOff`] — the classic bursty on/off source:
 //!   line-rate bursts separated by idle gaps, same average rate.
 
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use support::rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// An arrival process with a configurable average rate.
 #[derive(Debug, Clone, Copy)]

@@ -8,7 +8,7 @@
 use crate::packet::{FlowId, Packet, Trace};
 use hashkit::mix::mix64;
 use hashkit::IdHashSet;
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use support::rand::{rngs::StdRng, Rng, SeedableRng};
 
 fn census(packets: Vec<Packet>) -> Trace {
     let mut flows = IdHashSet::default();

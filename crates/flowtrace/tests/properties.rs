@@ -1,35 +1,43 @@
-//! Property tests: trace substrate robustness and invariants.
+//! Property tests: trace substrate robustness and invariants, on the
+//! deterministic `support::testkit` harness.
 
 use flowtrace::dist::{FlowSizeDistribution, PowerLaw};
 use flowtrace::pcap::{decode_ethernet_ipv4, encode_ethernet_ipv4, PcapReader};
 use flowtrace::stats::{ccdf, histogram};
 use flowtrace::FiveTuple;
-use proptest::prelude::*;
+use support::rand::{Rng, StdRng};
+use support::testkit::{for_each_seed, GenExt};
 use std::io::Cursor;
 
-fn arb_tuple() -> impl Strategy<Value = FiveTuple> {
-    (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>(), prop_oneof![Just(6u8), Just(17u8), Just(1u8)])
-        .prop_map(|(src_ip, dst_ip, src_port, dst_port, proto)| FiveTuple {
-            src_ip,
-            dst_ip,
-            src_port: if proto == 1 { 0 } else { src_port },
-            dst_port: if proto == 1 { 0 } else { dst_port },
-            proto,
-        })
+fn arb_tuple(rng: &mut StdRng) -> FiveTuple {
+    let proto = rng.pick(&[6u8, 17, 1]);
+    let src_port: u16 = rng.gen();
+    let dst_port: u16 = rng.gen();
+    FiveTuple {
+        src_ip: rng.gen(),
+        dst_ip: rng.gen(),
+        src_port: if proto == 1 { 0 } else { src_port },
+        dst_port: if proto == 1 { 0 } else { dst_port },
+        proto,
+    }
 }
 
-proptest! {
-    /// Ethernet/IPv4 frame encode→decode round-trips any 5-tuple.
-    #[test]
-    fn frame_roundtrip(tuple in arb_tuple()) {
+/// Ethernet/IPv4 frame encode→decode round-trips any 5-tuple.
+#[test]
+fn frame_roundtrip() {
+    for_each_seed(|rng| {
+        let tuple = arb_tuple(rng);
         let frame = encode_ethernet_ipv4(&tuple);
-        prop_assert_eq!(decode_ethernet_ipv4(&frame), Some(tuple));
-    }
+        assert_eq!(decode_ethernet_ipv4(&frame), Some(tuple));
+    });
+}
 
-    /// The pcap reader never panics on arbitrary bytes — it either
-    /// errors out or yields packets until a clean EOF.
-    #[test]
-    fn pcap_reader_is_total(bytes in prop::collection::vec(any::<u8>(), 0..2000)) {
+/// The pcap reader never panics on arbitrary bytes — it either
+/// errors out or yields packets until a clean EOF.
+#[test]
+fn pcap_reader_is_total() {
+    for_each_seed(|rng| {
+        let bytes = rng.bytes(0..2000);
         if let Ok(mut r) = PcapReader::new(Cursor::new(&bytes)) {
             // Bounded loop: each next_packet consumes input or ends.
             for _ in 0..200 {
@@ -40,15 +48,16 @@ proptest! {
                 }
             }
         }
-    }
+    });
+}
 
-    /// Truncating a valid capture anywhere still parses cleanly.
-    #[test]
-    fn pcap_truncation_is_graceful(
-        tuples in prop::collection::vec(arb_tuple(), 1..20),
-        cut_fraction in 0.0f64..1.0,
-    ) {
+/// Truncating a valid capture anywhere still parses cleanly.
+#[test]
+fn pcap_truncation_is_graceful() {
+    for_each_seed(|rng| {
         use flowtrace::pcap::PcapWriter;
+        let tuples = rng.vec_with(1..20, arb_tuple);
+        let cut_fraction = rng.gen_range(0.0f64..1.0);
         let mut buf = Vec::new();
         {
             let mut w = PcapWriter::new(&mut buf).expect("header");
@@ -63,53 +72,61 @@ proptest! {
         while let Ok(Some(_)) = r.next_packet() {
             parsed += 1;
         }
-        prop_assert!(parsed <= tuples.len());
-    }
+        assert!(parsed <= tuples.len());
+    });
+}
 
-    /// Histograms conserve the population for arbitrary sizes.
-    #[test]
-    fn histogram_conserves(
-        sizes in prop::collection::vec(1u64..1_000_000, 1..500),
-        cutoff in 1u64..100,
-    ) {
+/// Histograms conserve the population for arbitrary sizes.
+#[test]
+fn histogram_conserves() {
+    for_each_seed(|rng| {
+        let sizes = rng.vec_with(1..500, |r| r.gen_range(1u64..1_000_000));
+        let cutoff = rng.gen_range(1u64..100);
         let bins = histogram(&sizes, cutoff);
         let total: u64 = bins.iter().map(|b| b.count).sum();
-        prop_assert_eq!(total as usize, sizes.len());
+        assert_eq!(total as usize, sizes.len());
         // Bins tile the value range without overlap.
         for w in bins.windows(2) {
-            prop_assert_eq!(w[0].size_end, w[1].size);
+            assert_eq!(w[0].size_end, w[1].size);
         }
-    }
+    });
+}
 
-    /// CCDF is monotone non-increasing and starts at 1.
-    #[test]
-    fn ccdf_monotone(sizes in prop::collection::vec(1u64..10_000, 1..300)) {
+/// CCDF is monotone non-increasing and starts at 1.
+#[test]
+fn ccdf_monotone() {
+    for_each_seed(|rng| {
+        let sizes = rng.vec_with(1..300, |r| r.gen_range(1u64..10_000));
         let c = ccdf(&sizes);
-        prop_assert!((c[0].1 - 1.0).abs() < 1e-12);
+        assert!((c[0].1 - 1.0).abs() < 1e-12);
         for w in c.windows(2) {
-            prop_assert!(w[0].1 >= w[1].1);
+            assert!(w[0].1 >= w[1].1);
         }
-    }
+    });
+}
 
-    /// The truncated power law is a distribution for any parameters.
-    #[test]
-    fn power_law_is_normalized(alpha in 0.2f64..4.0, max in 2u64..5000) {
+/// The truncated power law is a distribution for any parameters.
+#[test]
+fn power_law_is_normalized() {
+    for_each_seed(|rng| {
+        let alpha = rng.gen_range(0.2f64..4.0);
+        let max = rng.gen_range(2u64..5000);
         let d = PowerLaw::new(alpha, max);
         let total: f64 = (1..=max).map(|s| d.pmf(s)).sum();
-        prop_assert!((total - 1.0).abs() < 1e-6);
-        prop_assert!(d.mean() >= 1.0 && d.mean() <= max as f64);
-    }
+        assert!((total - 1.0).abs() < 1e-6);
+        assert!(d.mean() >= 1.0 && d.mean() <= max as f64);
+    });
+}
 
-    /// Arrival-time models produce sorted timestamps at the requested
-    /// average rate.
-    #[test]
-    fn arrival_processes_sorted_and_calibrated(
-        mean in 1u32..50,
-        burst in 2usize..64,
-        seed in any::<u64>(),
-    ) {
+/// Arrival-time models produce sorted timestamps at the requested
+/// average rate.
+#[test]
+fn arrival_processes_sorted_and_calibrated() {
+    for_each_seed(|rng| {
         use flowtrace::timing::ArrivalProcess;
-        let mean = mean as f64;
+        let mean = rng.gen_range(1u32..50) as f64;
+        let burst = rng.gen_range(2usize..64);
+        let seed: u64 = rng.gen();
         let n = 20_000;
         for p in [
             ArrivalProcess::Constant { spacing_ns: mean },
@@ -117,23 +134,24 @@ proptest! {
             ArrivalProcess::OnOff { mean_ns: mean, on_ns: 1.0, burst_len: burst },
         ] {
             let ts = p.timestamps(n);
-            prop_assert_eq!(ts.len(), n);
-            prop_assert!(ts.windows(2).all(|w| w[1] >= w[0]));
+            assert_eq!(ts.len(), n);
+            assert!(ts.windows(2).all(|w| w[1] >= w[0]));
             let avg = ts.last().expect("non-empty") / (n as f64 - 1.0);
-            prop_assert!((avg - mean).abs() / mean < 0.1, "avg gap {} vs {}", avg, mean);
+            assert!((avg - mean).abs() / mean < 0.1, "avg gap {avg} vs {mean}");
         }
-    }
+    });
+}
 
-    /// Scenario injection conserves every packet and the attack flows.
-    #[test]
-    fn injection_conserves(
-        sources in 1u32..50,
-        per_source in 1u64..50,
-        start in 0.0f64..0.5,
-        width in 0.1f64..0.5,
-    ) {
+/// Scenario injection conserves every packet and the attack flows.
+#[test]
+fn injection_conserves() {
+    for_each_seed(|rng| {
         use flowtrace::scenarios;
         use flowtrace::synth::{SynthConfig, TraceGenerator};
+        let sources = rng.gen_range(1u32..50);
+        let per_source = rng.gen_range(1u64..50);
+        let start = rng.gen_range(0.0f64..0.5);
+        let width = rng.gen_range(0.1f64..0.5);
         let (bg, _) = TraceGenerator::new(SynthConfig {
             num_flows: 200,
             ..SynthConfig::small()
@@ -141,19 +159,24 @@ proptest! {
         .generate();
         let attack = scenarios::ddos(1, 80, sources, per_source, 3);
         let mixed = scenarios::inject(&bg, &attack, start, (start + width).min(1.0));
-        prop_assert_eq!(mixed.packets.len(), bg.packets.len() + attack.packets.len());
-        prop_assert!(mixed.num_flows <= bg.num_flows + attack.flows.len());
-    }
+        assert_eq!(mixed.packets.len(), bg.packets.len() + attack.packets.len());
+        assert!(mixed.num_flows <= bg.num_flows + attack.flows.len());
+    });
+}
 
-    /// Sampling stays within the truncation for any seed.
-    #[test]
-    fn power_law_sampling_in_range(alpha in 0.5f64..3.0, max in 2u64..300, seed in any::<u64>()) {
-        use rand::{rngs::StdRng, SeedableRng};
+/// Sampling stays within the truncation for any seed.
+#[test]
+fn power_law_sampling_in_range() {
+    for_each_seed(|rng| {
+        use support::rand::SeedableRng;
+        let alpha = rng.gen_range(0.5f64..3.0);
+        let max = rng.gen_range(2u64..300);
+        let seed: u64 = rng.gen();
         let d = PowerLaw::new(alpha, max);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sample_rng = StdRng::seed_from_u64(seed);
         for _ in 0..200 {
-            let s = d.sample(&mut rng);
-            prop_assert!((1..=max).contains(&s));
+            let s = d.sample(&mut sample_rng);
+            assert!((1..=max).contains(&s));
         }
-    }
+    });
 }

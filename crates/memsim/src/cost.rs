@@ -12,10 +12,9 @@
 //! the paper.
 
 use crate::tech::MemoryModel;
-use serde::Serialize;
 
 /// Cost constants (nanoseconds per event).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AccessCosts {
     /// One hash evaluation (flow-ID or counter-index).
     pub hash_ns: f64,
@@ -44,7 +43,7 @@ impl Default for AccessCosts {
 }
 
 /// Mutable tally of events a scheme performed.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CostTally {
     /// Hash evaluations.
     pub hashes: u64,
@@ -56,6 +55,18 @@ pub struct CostTally {
     pub pow_ops: u64,
     /// Number of one-time setups performed (0 or 1 normally).
     pub setups: u64,
+}
+
+impl support::json::ToJson for CostTally {
+    fn to_json(&self) -> support::json::Json {
+        support::json::Json::obj([
+            ("hashes", self.hashes.into()),
+            ("on_chip", self.on_chip.into()),
+            ("sram", self.sram.into()),
+            ("pow_ops", self.pow_ops.into()),
+            ("setups", self.setups.into()),
+        ])
+    }
 }
 
 impl CostTally {

@@ -7,10 +7,9 @@
 //! express simulated nanoseconds in prototype clock cycles and check
 //! throughput claims.
 
-use serde::Serialize;
 
 /// Static description of an FPGA prototype.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FpgaSpec {
     /// Design clock in Hz.
     pub clock_hz: f64,

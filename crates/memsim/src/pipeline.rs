@@ -9,7 +9,6 @@
 //! and the peak queue depth, which the Fig. 8 harness can report next
 //! to the batch numbers.
 
-use serde::Serialize;
 
 /// What one packet did in the front end.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,7 +60,7 @@ impl Default for Pipeline {
 }
 
 /// Outcome of a pipeline run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PipelineReport {
     /// Packets processed.
     pub packets: u64,
@@ -92,6 +91,19 @@ impl PipelineReport {
         } else {
             self.stall_ns / self.makespan_ns
         }
+    }
+}
+
+impl support::json::ToJson for PipelineReport {
+    fn to_json(&self) -> support::json::Json {
+        support::json::Json::obj([
+            ("packets", self.packets.into()),
+            ("makespan_ns", self.makespan_ns.into()),
+            ("stall_ns", self.stall_ns.into()),
+            ("writebacks", self.writebacks.into()),
+            ("peak_fifo", self.peak_fifo.into()),
+            ("ns_per_packet", self.ns_per_packet().into()),
+        ])
     }
 }
 

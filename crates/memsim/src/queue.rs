@@ -10,7 +10,6 @@
 //! to `1 − 1/r` independent of the buffer size: SRAM 3× slower than the
 //! line gives the paper's 2/3, 10× gives 9/10.
 
-use serde::Serialize;
 
 /// Queue configuration.
 #[derive(Debug, Clone, Copy)]
@@ -24,7 +23,7 @@ pub struct IngressQueue {
 }
 
 /// Outcome of pushing a packet stream through the queue.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueueReport {
     /// Packets offered.
     pub offered: u64,
@@ -44,6 +43,18 @@ impl QueueReport {
         } else {
             self.dropped as f64 / self.offered as f64
         }
+    }
+}
+
+impl support::json::ToJson for QueueReport {
+    fn to_json(&self) -> support::json::Json {
+        support::json::Json::obj([
+            ("offered", self.offered.into()),
+            ("accepted", self.accepted.into()),
+            ("dropped", self.dropped.into()),
+            ("makespan_ns", self.makespan_ns.into()),
+            ("loss_rate", self.loss_rate().into()),
+        ])
     }
 }
 

@@ -4,10 +4,9 @@
 //! slow DRAM is 40 ns, while that of expensive SRAM (e.g., QDRII+SRAM)
 //! is 3–10 ns ... on-chip fast memory with just 1 ns for once access".
 
-use serde::{Deserialize, Serialize};
 
 /// A memory technology in the measurement data path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Technology {
     /// On-chip cache RAM (1 ns).
     OnChip,
@@ -38,7 +37,7 @@ impl Technology {
 
 /// A configurable latency model, defaulting to the paper's numbers but
 /// overridable for sensitivity studies.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemoryModel {
     /// On-chip access latency (ns).
     pub on_chip_ns: f64,

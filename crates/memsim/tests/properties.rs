@@ -1,16 +1,19 @@
-//! Property tests: queue and pipeline invariants.
+//! Property tests: queue and pipeline invariants, on the deterministic
+//! `support::testkit` harness.
 
 use memsim::{IngressQueue, PacketWork, Pipeline};
-use proptest::prelude::*;
+use support::rand::Rng;
+use support::testkit::{for_each_seed, for_each_seed_n, GenExt};
 
-proptest! {
-    /// D/D/1/B conservation and the loss law: with service r× slower
-    /// than arrivals, steady-state acceptance is 1/r.
-    #[test]
-    fn queue_loss_law(
-        ratio in 1u32..20,
-        capacity in 1usize..64,
-    ) {
+/// D/D/1/B conservation and the loss law: with service r× slower
+/// than arrivals, steady-state acceptance is 1/r.
+#[test]
+fn queue_loss_law() {
+    // Heavier per-case work (200k offered packets); fewer cases keep
+    // the suite quick while still sweeping the (ratio, capacity) grid.
+    for_each_seed_n(32, |rng| {
+        let ratio = rng.gen_range(1u32..20);
+        let capacity = rng.gen_range(1usize..64);
         let q = IngressQueue {
             arrival_ns: 1.0,
             service_ns: ratio as f64,
@@ -18,25 +21,26 @@ proptest! {
         };
         let n = 200_000u64;
         let r = q.simulate(n);
-        prop_assert_eq!(r.accepted + r.dropped, n);
+        assert_eq!(r.accepted + r.dropped, n);
         let predicted = 1.0 - 1.0 / ratio as f64;
-        prop_assert!(
+        assert!(
             (r.loss_rate() - predicted).abs() < 0.01,
             "ratio {}: loss {} vs predicted {}",
             ratio,
             r.loss_rate(),
             predicted
         );
-    }
+    });
+}
 
-    /// Incremental offers match the batch simulation exactly.
-    #[test]
-    fn queue_state_matches_batch(
-        n in 0u64..5_000,
-        arrival in 1u32..10,
-        service in 1u32..30,
-        capacity in 1usize..32,
-    ) {
+/// Incremental offers match the batch simulation exactly.
+#[test]
+fn queue_state_matches_batch() {
+    for_each_seed(|rng| {
+        let n = rng.gen_range(0u64..5_000);
+        let arrival = rng.gen_range(1u32..10);
+        let service = rng.gen_range(1u32..30);
+        let capacity = rng.gen_range(1usize..32);
         let q = IngressQueue {
             arrival_ns: arrival as f64,
             service_ns: service as f64,
@@ -47,17 +51,19 @@ proptest! {
         for _ in 0..n {
             st.offer();
         }
-        prop_assert_eq!(st.report(), batch);
-    }
+        assert_eq!(st.report(), batch);
+    });
+}
 
-    /// The pipeline makespan is bounded below by both the arrival span
-    /// and the total port work, and above by their serialized sum plus
-    /// compute.
-    #[test]
-    fn pipeline_makespan_bounds(
-        work in prop::collection::vec((0u32..4, 0u32..50), 1..1000),
-        arrival in 1u32..8,
-    ) {
+/// The pipeline makespan is bounded below by both the arrival span
+/// and the total port work, and above by their serialized sum plus
+/// compute.
+#[test]
+fn pipeline_makespan_bounds() {
+    for_each_seed(|rng| {
+        let work =
+            rng.vec_with(1..1000, |r| (r.gen_range(0u32..4), r.gen_range(0u32..50)));
+        let arrival = rng.gen_range(1u32..8);
         let p = Pipeline {
             arrival_ns: arrival as f64,
             ..Pipeline::default()
@@ -75,17 +81,18 @@ proptest! {
             .max(port_work)
             .max(0.0);
         let upper = (n - 1.0) * p.arrival_ns + front_work + port_work + p.front_ns;
-        prop_assert!(r.makespan_ns >= lower - 1e-6, "{} < {}", r.makespan_ns, lower);
-        prop_assert!(r.makespan_ns <= upper + 1e-6, "{} > {}", r.makespan_ns, upper);
-        prop_assert_eq!(r.writebacks, items.iter().map(|w| w.writebacks as u64).sum::<u64>());
-    }
+        assert!(r.makespan_ns >= lower - 1e-6, "{} < {}", r.makespan_ns, lower);
+        assert!(r.makespan_ns <= upper + 1e-6, "{} > {}", r.makespan_ns, upper);
+        assert_eq!(r.writebacks, items.iter().map(|w| w.writebacks as u64).sum::<u64>());
+    });
+}
 
-    /// Adding writebacks to a stream never makes it finish earlier.
-    #[test]
-    fn pipeline_monotone_in_work(
-        base in prop::collection::vec(0u32..2, 1..300),
-        bump_at in 0usize..300,
-    ) {
+/// Adding writebacks to a stream never makes it finish earlier.
+#[test]
+fn pipeline_monotone_in_work() {
+    for_each_seed(|rng| {
+        let base = rng.vec_with(1..300, |r| r.gen_range(0u32..2));
+        let bump_at = rng.gen_range(0usize..300);
         let p = Pipeline::default();
         let items: Vec<PacketWork> = base
             .iter()
@@ -96,6 +103,6 @@ proptest! {
         heavier[at].writebacks += 2;
         let a = p.run(items.iter().copied());
         let b = p.run(heavier.iter().copied());
-        prop_assert!(b.makespan_ns >= a.makespan_ns - 1e-9);
-    }
+        assert!(b.makespan_ns >= a.makespan_ns - 1e-9);
+    });
 }

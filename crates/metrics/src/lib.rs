@@ -14,13 +14,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::Serialize;
 use std::collections::BTreeMap;
+use support::json::{Json, ToJson};
 
 /// Relative error of one estimate: `|x̂ − x| / x`.
 ///
 /// Defined for `actual > 0` (every real flow has at least one packet).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RelativeError(pub f64);
 
 impl RelativeError {
@@ -36,7 +36,7 @@ impl RelativeError {
 }
 
 /// One `(actual, estimated)` point of a scatter plot.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScatterPoint {
     /// True flow size.
     pub actual: u64,
@@ -46,7 +46,7 @@ pub struct ScatterPoint {
 
 /// A full estimated-vs-actual series, the raw material of every
 /// accuracy figure.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ScatterSeries {
     points: Vec<ScatterPoint>,
 }
@@ -96,7 +96,7 @@ impl ScatterSeries {
 }
 
 /// Aggregate accuracy over a set of flows.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AccuracyReport {
     /// Flows scored.
     pub flows: usize,
@@ -151,6 +151,28 @@ impl AccuracyReport {
             mean_signed_error: bias,
             frac_estimated_zero: zeros as f64 / n,
         }
+    }
+}
+
+impl ToJson for ScatterPoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("actual", self.actual.into()),
+            ("estimated", self.estimated.into()),
+        ])
+    }
+}
+
+impl ToJson for AccuracyReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("flows", self.flows.into()),
+            ("avg_relative_error", self.avg_relative_error.into()),
+            ("median_relative_error", self.median_relative_error.into()),
+            ("rmse", self.rmse.into()),
+            ("mean_signed_error", self.mean_signed_error.into()),
+            ("frac_estimated_zero", self.frac_estimated_zero.into()),
+        ])
     }
 }
 
@@ -315,6 +337,18 @@ mod tests {
     #[should_panic(expected = "zero flows")]
     fn empty_report_rejected() {
         AccuracyReport::from_points(&[]);
+    }
+
+    #[test]
+    fn report_json_shape_is_stable() {
+        let mut s = ScatterSeries::new();
+        s.push(10, 12.0);
+        s.push(20, 20.0);
+        let j = s.report().to_json_string();
+        let parsed = support::json::parse(&j).expect("valid json");
+        assert_eq!(parsed.get("flows").and_then(|v| v.as_u64()), Some(2));
+        assert!(parsed.get("avg_relative_error").and_then(|v| v.as_f64()).is_some());
+        assert!(parsed.get("rmse").is_some());
     }
 
     #[test]

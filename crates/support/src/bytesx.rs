@@ -1,0 +1,113 @@
+//! Little-endian byte codec helpers — the workspace's replacement for
+//! the `bytes` crate in `flowtrace::binfmt`.
+//!
+//! Writers push onto a plain `Vec<u8>` through [`PutBytes`]; readers
+//! walk a borrowed slice with [`ByteReader`], which length-checks every
+//! read so decoders can surface truncation as an error instead of a
+//! panic.
+
+/// Appending little-endian primitives to a byte buffer.
+pub trait PutBytes {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Append a `u16`, little-endian.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a `u32`, little-endian.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a `u64`, little-endian.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl PutBytes for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// A checked cursor over a byte slice. Every `get_*` returns `None`
+/// once the input runs dry, so decoders never panic on truncated data.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wrap a slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Read exactly `N` bytes.
+    pub fn get_array<const N: usize>(&mut self) -> Option<[u8; N]> {
+        if self.buf.len() < N {
+            return None;
+        }
+        let (head, tail) = self.buf.split_at(N);
+        self.buf = tail;
+        let mut out = [0u8; N];
+        out.copy_from_slice(head);
+        Some(out)
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn get_u16_le(&mut self) -> Option<u16> {
+        self.get_array::<2>().map(u16::from_le_bytes)
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32_le(&mut self) -> Option<u32> {
+        self.get_array::<4>().map(u32::from_le_bytes)
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64_le(&mut self) -> Option<u64> {
+        self.get_array::<8>().map(u64::from_le_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = Vec::new();
+        buf.put_u16_le(0xBEEF);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(0x0123_4567_89AB_CDEF);
+        buf.put_slice(b"tail");
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.get_u16_le(), Some(0xBEEF));
+        assert_eq!(r.get_u32_le(), Some(0xDEAD_BEEF));
+        assert_eq!(r.get_u64_le(), Some(0x0123_4567_89AB_CDEF));
+        assert_eq!(r.get_array::<4>(), Some(*b"tail"));
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_returns_none_not_panic() {
+        let mut r = ByteReader::new(&[1, 2, 3]);
+        assert_eq!(r.get_u16_le(), Some(0x0201));
+        assert_eq!(r.get_u32_le(), None, "only 1 byte left");
+        assert_eq!(r.remaining(), 1, "failed read consumes nothing");
+        assert_eq!(r.get_array::<1>(), Some([3]));
+    }
+
+    #[test]
+    fn little_endian_layout_is_pinned() {
+        let mut buf = Vec::new();
+        buf.put_u32_le(1);
+        assert_eq!(buf, [1, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Order-preserving parallel map over `std::thread::scope` — the
+//! workspace's replacement for `rayon`'s `par_iter().map().collect()`.
+//!
+//! Items are split into one contiguous chunk per worker, each worker
+//! maps its chunk in order, and results are reassembled positionally,
+//! so the output is **identical to the sequential map** regardless of
+//! scheduling — determinism the figure pipeline depends on.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to use by default: the machine's available
+/// parallelism, capped to the item count.
+fn default_threads(items: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items)
+        .max(1)
+}
+
+/// Map `f` over `items` in parallel, preserving input order.
+///
+/// Equivalent to `items.iter().map(f).collect()` but spread over
+/// threads. `f` runs exactly once per item; panics in workers propagate
+/// to the caller.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_threads(items, default_threads(items.len()), f)
+}
+
+/// [`par_map`] with an explicit worker count (used by tests; `1` gives
+/// the plain sequential map).
+pub fn par_map_threads<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, items.len());
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Option<U>> = Vec::new();
+    out.resize_with(items.len(), || None);
+    let f = &f;
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(threads);
+        // Pair each input chunk with the matching slice of the output
+        // so workers write results straight into place.
+        for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            handles.push(s.spawn(move || {
+                for (slot, item) in out_chunk.iter_mut().zip(in_chunk) {
+                    *slot = Some(f(item));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("par_map worker panicked");
+        }
+    });
+    out.into_iter().map(|v| v.expect("all slots filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_map() {
+        let items: Vec<u64> = (0..1000).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 7, 64] {
+            assert_eq!(par_map_threads(&items, threads, |x| x * x), seq);
+        }
+        assert_eq!(par_map(&items, |x| x * x), seq);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let none: Vec<u32> = vec![];
+        assert_eq!(par_map(&none, |x| x + 1), Vec::<u32>::new());
+        assert_eq!(par_map(&[41u32], |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        assert_eq!(par_map_threads(&[1, 2, 3], 100, |x| x * 10), vec![10, 20, 30]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..16).collect();
+        let _ = par_map_threads(&items, 4, |&x| {
+            assert!(x != 7, "boom");
+            x
+        });
+    }
+}

@@ -1,0 +1,427 @@
+//! Drop-in replacement for the narrow slice of the `rand` crate the
+//! workspace uses: a seedable [`StdRng`] (xoshiro256\*\* seeded through
+//! the SplitMix64 stream, the construction recommended by the xoshiro
+//! authors), the [`Rng`]/[`SeedableRng`] traits, and
+//! [`seq::SliceRandom`] for Fisher–Yates shuffles.
+//!
+//! Unlike `rand`'s `StdRng` (which documents *no* cross-version stream
+//! stability), this generator's stream is **frozen**: the regression
+//! pins in `tests/regression.rs` depend on it, so any change here is a
+//! measurement-behaviour change and must update those pins explicitly.
+
+use hashkit::mix::splitmix64;
+
+/// Golden-ratio increment of the SplitMix64 stream.
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Types seedable from a single `u64` (the only constructor the
+/// workspace uses — everything is explicitly seeded, never from OS
+/// entropy, so runs are reproducible by construction).
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A minimal random-number interface: one required method
+/// ([`Rng::next_u64`]), everything else derived from it.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform `f64` in `[0, 1)` with 53 random mantissa bits.
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        // 2^-53: the standard "take the top 53 bits" construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Sample a value of a primitive type uniformly over its full range
+    /// (`f64`/`f32` sample `[0, 1)`).
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from a `Range` or `RangeInclusive`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+        self.next_f64() < p
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        R::next_u64(self)
+    }
+}
+
+/// Uniform sampling over a type's "natural" domain (full integer range,
+/// `[0, 1)` for floats) — the shim's analogue of `rand`'s `Standard`
+/// distribution.
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                // Take high bits: xoshiro's upper bits are the strongest.
+                (rng.next_u64() >> (64 - <$t>::BITS.min(64))) as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_f64()
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types with uniform sampling over an interval.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_exclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_exclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range {lo}..{hi}");
+                let span = (hi as i128 - lo as i128) as u128;
+                // Lemire widening reduction: unbiased enough for
+                // simulation (bias < 2^-64 relative) and deterministic.
+                let off = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (lo as i128 + off) as $t
+            }
+            #[inline]
+            fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty range {lo}..={hi}");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Full 64-bit domain: raw bits are already uniform.
+                    return rng.next_u64() as $t;
+                }
+                let off = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_exclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let v = lo + rng.next_f64() * (hi - lo);
+        // Guard against rounding up to the open bound.
+        if v < hi {
+            v
+        } else {
+            lo
+        }
+    }
+    #[inline]
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    #[inline]
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_exclusive(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// The workspace's standard generator: xoshiro256\*\* (Blackman &
+/// Vigna), 256-bit state, period 2²⁵⁶−1, passes BigCrush.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Four successive outputs of the SplitMix64 stream, as the
+        // xoshiro reference code recommends for seeding.
+        let mut s = [0u64; 4];
+        for (i, slot) in s.iter_mut().enumerate() {
+            *slot = splitmix64(seed.wrapping_add((i as u64).wrapping_mul(GOLDEN)));
+        }
+        if s == [0; 4] {
+            s[0] = GOLDEN; // all-zero state is the one forbidden point
+        }
+        Self { s }
+    }
+}
+
+impl Rng for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Generator types re-exported under the `rand`-style path.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+/// Slice helpers, `rand::seq`-style.
+pub mod seq {
+    use super::Rng;
+
+    /// Shuffling and random selection on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+        /// In-place Fisher–Yates shuffle.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = super::SampleUniform::sample_inclusive(rng, 0usize, i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let i = super::SampleUniform::sample_exclusive(rng, 0usize, self.len());
+                Some(&self[i])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let av: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let bv: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(av, bv);
+    }
+
+    #[test]
+    fn stream_is_frozen() {
+        // Pin the first outputs for seed 0: any change to seeding or
+        // the generator core is a workspace-wide behaviour change.
+        let mut r = StdRng::seed_from_u64(0);
+        let first: Vec<u64> = (0..3).map(|_| r.next_u64()).collect();
+        let mut again = StdRng::seed_from_u64(0);
+        let repeat: Vec<u64> = (0..3).map(|_| again.next_u64()).collect();
+        assert_eq!(first, repeat);
+        // Seed words are the published SplitMix64 stream for seed 0.
+        let s = StdRng::seed_from_u64(0).s;
+        assert_eq!(s[0], 0xE220_A839_7B1D_CDAF);
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: f64 = r.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let a = r.gen_range(10usize..20);
+            assert!((10..20).contains(&a));
+            let b = r.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&b));
+            let c = r.gen_range(1u64..=1);
+            assert_eq!(c, 1);
+            let d = r.gen_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(3);
+        let n = 10usize;
+        let samples = 100_000;
+        let mut counts = vec![0u32; n];
+        for _ in 0..samples {
+            counts[r.gen_range(0..n)] += 1;
+        }
+        let expected = samples as f64 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected).abs() < 0.05 * expected,
+                "bucket {i}: {c} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut r = StdRng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((hits as f64 / 100_000.0 - 0.25).abs() < 0.01, "{hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = StdRng::seed_from_u64(0);
+        let _ = r.gen_range(5usize..5);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_deterministic() {
+        let mut v: Vec<u32> = (0..100).collect();
+        let mut r = StdRng::seed_from_u64(11);
+        v.shuffle(&mut r);
+        let mut w: Vec<u32> = (0..100).collect();
+        let mut r2 = StdRng::seed_from_u64(11);
+        w.shuffle(&mut r2);
+        assert_eq!(v, w, "same seed, same permutation");
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "100 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let v = [1u8, 2, 3, 4];
+        let mut r = StdRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let &x = v.choose(&mut r).expect("non-empty");
+            seen[(x - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut r).is_none());
+    }
+
+    #[test]
+    fn fill_bytes_fills_every_length() {
+        let mut r = StdRng::seed_from_u64(2);
+        for len in 0..33 {
+            let mut buf = vec![0u8; len];
+            r.fill_bytes(&mut buf);
+            if len >= 16 {
+                assert!(buf.iter().any(|&b| b != 0), "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn works_through_mut_references() {
+        fn takes_generic<R: Rng>(rng: &mut R) -> u64 {
+            rng.gen_range(0..100u64)
+        }
+        fn takes_unsized<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+            rng.gen_range(0..100u64)
+        }
+        let mut r = StdRng::seed_from_u64(4);
+        let _ = takes_generic(&mut r);
+        let _ = takes_generic(&mut &mut r);
+        let _ = takes_unsized(&mut r);
+    }
+}

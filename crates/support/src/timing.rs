@@ -1,0 +1,197 @@
+//! Tiny self-contained benchmark harness — the workspace's replacement
+//! for `criterion`, so `cargo bench` compiles and runs offline.
+//!
+//! Protocol per benchmark: one warmup invocation to touch caches, then
+//! `samples` timed invocations; report the **median** (robust to a
+//! stray scheduler hiccup) plus min/max. Output is one JSON line per
+//! benchmark on stdout:
+//!
+//! ```text
+//! {"group":"figures","name":"fig3_distribution","median_ns":…,"min_ns":…,"max_ns":…,"samples":5}
+//! ```
+//!
+//! Environment knobs:
+//! * `CAESAR_BENCH_SAMPLES` — samples per benchmark (default 5);
+//! * `CAESAR_BENCH_WARMUP`  — warmup invocations (default 1).
+//!
+//! Bench names are part of the repo's public trajectory (future
+//! `BENCH_*.json` comparisons) — keep them stable.
+
+use crate::json::Json;
+use std::time::Instant;
+
+/// One benchmark group (mirrors a criterion group; the group name
+/// prefixes every emitted line).
+pub struct Harness {
+    group: String,
+    samples: u32,
+    warmup: u32,
+    results: Vec<BenchResult>,
+}
+
+/// The measured summary for one benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Group this benchmark belongs to.
+    pub group: String,
+    /// Stable benchmark name.
+    pub name: String,
+    /// Median wall time per invocation, nanoseconds.
+    pub median_ns: u128,
+    /// Fastest sample.
+    pub min_ns: u128,
+    /// Slowest sample.
+    pub max_ns: u128,
+    /// Number of timed samples.
+    pub samples: u32,
+}
+
+impl BenchResult {
+    /// The JSON line emitted for this result.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("group", self.group.as_str().into()),
+            ("name", self.name.as_str().into()),
+            ("median_ns", (self.median_ns as f64).into()),
+            ("min_ns", (self.min_ns as f64).into()),
+            ("max_ns", (self.max_ns as f64).into()),
+            ("samples", u64::from(self.samples).into()),
+        ])
+    }
+}
+
+fn env_u32(name: &str, default: u32) -> u32 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+impl Harness {
+    /// Start a group. Sample/warmup counts come from the environment.
+    pub fn new(group: &str) -> Self {
+        Self {
+            group: group.to_string(),
+            samples: env_u32("CAESAR_BENCH_SAMPLES", 5),
+            warmup: env_u32("CAESAR_BENCH_WARMUP", 1),
+            results: Vec::new(),
+        }
+    }
+
+    /// Override the sample count (criterion's `sample_size` analogue).
+    pub fn sample_size(&mut self, samples: u32) -> &mut Self {
+        self.samples = env_u32("CAESAR_BENCH_SAMPLES", samples.max(1));
+        self
+    }
+
+    /// Time `f`, print its JSON line immediately, and remember the
+    /// result for [`Harness::finish`].
+    pub fn bench<F: FnMut()>(&mut self, name: &str, mut f: F) -> &mut Self {
+        for _ in 0..self.warmup {
+            f();
+        }
+        let mut times: Vec<u128> = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                f();
+                t0.elapsed().as_nanos()
+            })
+            .collect();
+        times.sort_unstable();
+        let result = BenchResult {
+            group: self.group.clone(),
+            name: name.to_string(),
+            median_ns: times[times.len() / 2],
+            min_ns: times[0],
+            max_ns: times[times.len() - 1],
+            samples: self.samples,
+        };
+        println!("{}", result.to_json());
+        self.results.push(result);
+        self
+    }
+
+    /// Like [`Harness::bench`], but each timed sample invokes `f`
+    /// `iters` times and reports the **per-invocation** time — for
+    /// operations too fast for a single timer read (hashing, counter
+    /// reads). Criterion's internal batching analogue.
+    pub fn bench_n<F: FnMut()>(&mut self, name: &str, iters: u32, mut f: F) -> &mut Self {
+        let iters = iters.max(1);
+        for _ in 0..self.warmup.saturating_mul(iters).min(1_000_000) {
+            f();
+        }
+        let mut times: Vec<u128> = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    f();
+                }
+                t0.elapsed().as_nanos() / u128::from(iters)
+            })
+            .collect();
+        times.sort_unstable();
+        let result = BenchResult {
+            group: self.group.clone(),
+            name: name.to_string(),
+            median_ns: times[times.len() / 2],
+            min_ns: times[0],
+            max_ns: times[times.len() - 1],
+            samples: self.samples,
+        };
+        println!("{}", result.to_json());
+        self.results.push(result);
+        self
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// End the group (prints a human-readable summary to stderr).
+    pub fn finish(&self) {
+        eprintln!("# group {} — {} benchmarks", self.group, self.results.len());
+        for r in &self.results {
+            eprintln!(
+                "#   {:<40} median {:>12} ns (min {}, max {}, n={})",
+                r.name, r.median_ns, r.min_ns, r.max_ns, r.samples
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut h = Harness::new("unit");
+        h.sample_size(3);
+        let mut calls = 0u32;
+        h.bench("noop", || calls += 1);
+        // warmup (>=1) + 3 samples
+        assert!(calls >= 4, "calls = {calls}");
+        let r = &h.results()[0];
+        assert_eq!(r.name, "noop");
+        assert_eq!(r.group, "unit");
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+    }
+
+    #[test]
+    fn json_line_shape_is_stable() {
+        let r = BenchResult {
+            group: "g".into(),
+            name: "n".into(),
+            median_ns: 10,
+            min_ns: 5,
+            max_ns: 20,
+            samples: 3,
+        };
+        assert_eq!(
+            r.to_json().to_string(),
+            "{\"group\":\"g\",\"max_ns\":20,\"median_ns\":10,\"min_ns\":5,\"name\":\"n\",\"samples\":3}"
+        );
+    }
+}

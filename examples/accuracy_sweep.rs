@@ -12,7 +12,7 @@
 //! for the sum estimator but spreads elephants thinner.
 
 use caesar_repro::prelude::*;
-use rayon::prelude::*;
+use support::par::par_map;
 
 fn main() {
     let (trace, truth) = TraceGenerator::new(SynthConfig {
@@ -44,10 +44,9 @@ fn main() {
             }
             sketch.finish();
 
-            let errors: Vec<(u64, f64)> = truth
-                .par_iter()
-                .map(|(&f, &x)| (x, sketch.query(f)))
-                .collect();
+            let mut pairs: Vec<(u64, u64)> = truth.iter().map(|(&f, &x)| (f, x)).collect();
+            pairs.sort_unstable(); // deterministic order for reproducible output
+            let errors: Vec<(u64, f64)> = par_map(&pairs, |&(f, x)| (x, sketch.query(f)));
             let are = errors
                 .iter()
                 .map(|&(x, e)| (e - x as f64).abs() / x as f64)

@@ -74,6 +74,93 @@ fn rcs_lossy_runs_are_bit_identical() {
     assert_eq!(run(), run());
 }
 
+/// Two runs of the full cache → evict → SRAM → estimate pipeline with
+/// the same seed must be **byte-identical**: the whole state is
+/// serialized (SRAM snapshot, statistics, per-flow estimate bits) and
+/// compared as raw bytes. This locks the deterministic parts of the
+/// design the estimators depend on — the fixed-`k` collision-free
+/// counter mapping and the `e = p·k + q` eviction split — against
+/// accidental nondeterminism (hash-map iteration, thread scheduling,
+/// uncontrolled RNG draws).
+#[test]
+fn full_pipeline_runs_are_byte_identical() {
+    use support::bytesx::PutBytes;
+
+    let (trace, truth) = TraceGenerator::new(SynthConfig::small()).generate();
+    let mut flows: Vec<u64> = truth.keys().copied().collect();
+    flows.sort_unstable();
+
+    let run = || {
+        let mut c = Caesar::new(CaesarConfig {
+            cache_entries: 256,
+            entry_capacity: 54,
+            counters: 2048,
+            k: 3,
+            seed: 42,
+            ..CaesarConfig::default()
+        });
+        for p in &trace.packets {
+            c.record(p.flow);
+        }
+        c.finish();
+
+        // Serialize everything observable into one byte string.
+        let mut bytes = Vec::new();
+        for &v in c.sram().as_slice() {
+            bytes.put_u64_le(v);
+        }
+        let st = c.stats();
+        bytes.put_u64_le(st.sram.total_added);
+        bytes.put_u64_le(st.cache.hits);
+        bytes.put_u64_le(st.evictions);
+        bytes.put_u64_le(st.sram_writes);
+        for &f in &flows {
+            bytes.put_u64_le(c.query(f).to_bits());
+        }
+        bytes
+    };
+
+    let a = run();
+    let b = run();
+    assert_eq!(a.len(), b.len());
+    assert!(a == b, "pipeline state diverged between identical runs");
+}
+
+/// The eviction split `e = p·k + q` is deterministic in everything but
+/// the placement of the `q` remainder units, and conservation holds
+/// exactly: re-running with the same RNG seed reproduces the identical
+/// counter layout.
+#[test]
+fn eviction_split_is_seed_deterministic() {
+    use caesar::update::spread_eviction;
+    use caesar::CounterArray;
+    use support::rand::{rngs::StdRng, SeedableRng};
+
+    let indices = [3usize, 11, 29];
+    let k = indices.len() as u64;
+    for &e in &[0u64, 1, 3, 7, 54, 1000, 99_991] {
+        let run = || {
+            let mut sram = CounterArray::new(64, 40);
+            let mut rng = StdRng::seed_from_u64(9);
+            spread_eviction(&mut sram, &indices, e, &mut rng);
+            sram.as_slice().to_vec()
+        };
+        let a = run();
+        assert_eq!(a, run(), "e = {e}");
+        // e = p·k + q: every mapped counter holds the aliquot p plus
+        // its share of the q independently-placed remainder units
+        // (B(q, 1/k) per counter), and the total is conserved.
+        let (p, q) = (e / k, e % k);
+        assert_eq!(a.iter().sum::<u64>(), e);
+        let mut extras = 0;
+        for &i in &indices {
+            assert!(a[i] >= p && a[i] <= p + q, "counter {i} holds {}", a[i]);
+            extras += a[i] - p;
+        }
+        assert_eq!(extras, q, "the q remainder units all land on mapped counters");
+    }
+}
+
 #[test]
 fn trace_generation_is_stable_across_calls() {
     let a = TraceGenerator::new(SynthConfig::small()).generate();

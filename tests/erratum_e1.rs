@@ -1,0 +1,170 @@
+//! Golden regression tests for erratum **E1** (DESIGN.md): the noise
+//! mass subtracted by both estimators is `k·n/L`, **not** the paper's
+//! literal `n/L`.
+//!
+//! The paper's Eq. 15 multiplies a spurious `1/k` into the selection
+//! probability, so its Eq. 20 / Eq. 28 subtract the per-counter noise
+//! `n/L` only once from the *sum of k counters*. Each of the flow's
+//! `k` counters absorbs `n/L` expected noise independently, so the sum
+//! absorbs `k·n/L` — the same mass the RCS scheme CAESAR generalizes
+//! subtracts. These tests pin the corrected behaviour numerically: if
+//! anyone "fixes" the estimators back to the paper's printed formula,
+//! every test in this file fails with an error of exactly
+//! `(k−1)·n/L`.
+
+use caesar::estimator::{csm, mlm};
+use caesar::EstimateParams;
+
+/// Operating point used by the exact fixtures: noise per counter
+/// `n/L = 120`, so the corrected and paper formulas differ by
+/// `(k−1)·n/L = 240` — far above every tolerance below.
+fn fixture_params() -> EstimateParams {
+    EstimateParams { k: 3, y: 54, counters: 1000, total_packets: 120_000 }
+}
+
+#[test]
+fn csm_subtracts_k_times_the_per_counter_noise() {
+    let p = fixture_params();
+    let noise = p.noise_per_counter(); // 120
+    assert!((noise - 120.0).abs() < 1e-12);
+
+    // True size x = 3000 split evenly, each counter carrying exactly
+    // its expected n/L = 120 units of sharing noise.
+    let counters = [1120u64, 1120, 1120];
+    let e = csm::estimate(&counters, &p);
+
+    // Corrected Eq. 20: Σw − k·n/L = 3360 − 360 = 3000, exact.
+    assert!(
+        (e.value - 3000.0).abs() < 1e-9,
+        "CSM must subtract k·n/L (expected 3000, got {})",
+        e.value
+    );
+
+    // The paper's literal Eq. 20 (subtract n/L once) would return
+    // x + (k−1)·n/L = 3240. Guard the gap explicitly so the failure
+    // mode is self-describing.
+    let paper_literal = 3360.0 - noise;
+    assert!(
+        (paper_literal - 3240.0).abs() < 1e-9
+            && (e.value - paper_literal).abs() > 200.0,
+        "estimate {} is too close to the paper's uncorrected {} — \
+         erratum E1 regressed",
+        e.value,
+        paper_literal
+    );
+}
+
+#[test]
+fn mlm_subtracts_k_times_the_per_counter_noise() {
+    let p = fixture_params();
+    let noise = p.noise_per_counter(); // 120
+
+    // Same fixture: uniform counters w_i = x/k + n/L with x = 3000.
+    // MLM's quadratic root differs from the counter sum only by
+    // O(k·c) ≈ 0.2, so the corrected estimate sits within 1 of x.
+    let e = mlm::estimate(&[1120, 1120, 1120], &p);
+    assert!(
+        (e.value - 3000.0).abs() < 1.0,
+        "MLM must subtract k·n/L (expected ≈3000, got {})",
+        e.value
+    );
+
+    // Under the paper's printed μ_X = x/k + n/(Lk) the same closed
+    // form subtracts only n/L total, landing at ≈ x + (k−1)·n/L.
+    let paper_literal = e.value + (p.k as f64 - 1.0) * noise;
+    assert!(
+        (paper_literal - 3240.0).abs() < 2.0,
+        "sanity: uncorrected MLM would give ≈3240, derived {paper_literal}"
+    );
+}
+
+/// Exact f64 pins of both estimators on the fixture. Pure arithmetic
+/// on fixed inputs — any change to the noise term, the variance
+/// expressions, or the MLM closed form moves these bits.
+#[test]
+fn estimator_outputs_are_bit_pinned() {
+    let p = fixture_params();
+    let counters = [1120u64, 1120, 1120];
+
+    let c = csm::estimate(&counters, &p);
+    let m = mlm::estimate(&counters, &p);
+
+    assert_eq!(c.value.to_bits(), 0x40A7_7000_0000_0000, "CSM value drifted: {}", c.value);
+    assert_eq!(m.value.to_bits(), MLM_VALUE_BITS, "MLM value drifted: {}", m.value);
+    assert_eq!(
+        c.variance.to_bits(),
+        CSM_VARIANCE_BITS,
+        "CSM variance (Eq. 22) drifted: {}",
+        c.variance
+    );
+    assert_eq!(
+        m.variance.to_bits(),
+        MLM_VARIANCE_BITS,
+        "MLM variance (Eq. 31) drifted: {}",
+        m.variance
+    );
+}
+
+/// MLM on the fixture: 2999.8888907260434 (the quadratic root sits
+/// `≈ k·c/2` below the counter sum).
+const MLM_VALUE_BITS: u64 = 0x40A7_6FC7_1CAF_6C26;
+/// CSM model variance (Eq. 22) at x̂ = 3000: 693.3̅.
+const CSM_VARIANCE_BITS: u64 = 0x4085_AAAA_AAAA_AAAA;
+/// MLM asymptotic variance (Eq. 31) at its x̂: 693.2839519048624.
+const MLM_VARIANCE_BITS: u64 = 0x4085_AA45_8893_882B;
+
+/// Monte-Carlo witness that the corrected CSM is unbiased under the
+/// actual forward model: every off-chip unit lands in a specific
+/// counter with probability `1/L`, so a flow's k counters each absorb
+/// `n/L` expected noise. The trial mean lands on x; the paper's
+/// literal formula would land `(k−1)·n/L = 600` higher.
+#[test]
+fn empirical_mean_matches_corrected_noise_mass() {
+    use support::rand::{rngs::StdRng, Rng, SeedableRng};
+
+    const L: usize = 200;
+    const K: usize = 3;
+    const X: u64 = 9000; // 3000 per counter
+    const N_OTHER: u64 = 60_000; // n/L = 300 noise per counter
+    const TRIALS: usize = 100;
+
+    let p = EstimateParams {
+        k: K,
+        y: 54,
+        counters: L,
+        total_packets: N_OTHER + X,
+    };
+    let mut rng = StdRng::seed_from_u64(0xE1);
+    let mut mean = 0.0f64;
+    for _ in 0..TRIALS {
+        // The flow's own units, split exactly (x divisible by k).
+        let mut w = [X / K as u64; K];
+        // Every sharing unit picks one of the L counters uniformly;
+        // we only track the flow's three. The flow's own x units also
+        // land "somewhere", contributing x/L per counter on average —
+        // approximate that mass as other-flow noise too, matching the
+        // estimator's n = total_packets bookkeeping.
+        for _ in 0..(N_OTHER + X) {
+            let c = rng.gen_range(0..L);
+            if c < K {
+                w[c] += 1;
+            }
+        }
+        mean += csm::estimate(&w, &p).value;
+    }
+    mean /= TRIALS as f64;
+
+    // Per-trial σ ≈ 30, so the trial mean is within ±10 of its target
+    // with overwhelming probability at a fixed seed.
+    let bias_if_uncorrected = (K as f64 - 1.0) * p.noise_per_counter(); // 600
+    assert!(
+        (mean - X as f64).abs() < 60.0,
+        "corrected CSM should be unbiased: mean {mean} vs x {X}"
+    );
+    assert!(
+        (mean - (X as f64 + bias_if_uncorrected)).abs() > 400.0,
+        "mean {mean} sits near the uncorrected expectation {} — \
+         erratum E1 regressed",
+        X as f64 + bias_if_uncorrected
+    );
+}

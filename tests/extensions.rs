@@ -7,7 +7,7 @@ use caesar::epochs::EpochedCaesar;
 use caesar::ConcurrentCaesar;
 use caesar_repro::prelude::*;
 use flowtrace::transform;
-use rand::{rngs::StdRng, SeedableRng};
+use support::rand::{rngs::StdRng, SeedableRng};
 
 fn trace() -> (Trace, std::collections::HashMap<FlowId, u64>) {
     TraceGenerator::new(SynthConfig {

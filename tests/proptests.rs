@@ -1,27 +1,27 @@
-//! Property-based tests over the core invariants, spanning crates.
+//! Property-based tests over the core invariants, spanning crates,
+//! on the deterministic `support::testkit` harness.
 
-use caesar_repro::prelude::*;
 use caesar::update::spread_eviction;
 use caesar::CounterArray;
+use caesar_repro::prelude::*;
 use flowtrace::binfmt;
 use hashkit::sha1::Sha1;
 use hashkit::KCounterMap;
 use memsim::IngressQueue;
-use proptest::prelude::*;
-use rand::{rngs::StdRng, SeedableRng};
+use support::rand::{rngs::StdRng, Rng, SeedableRng};
+use support::testkit::{for_each_seed, GenExt};
 
-proptest! {
-    /// CAESAR never loses or invents a packet: for any packet stream
-    /// and any (valid) geometry, the SRAM total equals the stream
-    /// length after finish().
-    #[test]
-    fn caesar_conserves_packets(
-        flows in prop::collection::vec(0u64..200, 1..2000),
-        entries in 1usize..64,
-        capacity in 2u64..40,
-        counters in 3usize..512,
-        seed in any::<u64>(),
-    ) {
+/// CAESAR never loses or invents a packet: for any packet stream
+/// and any (valid) geometry, the SRAM total equals the stream
+/// length after finish().
+#[test]
+fn caesar_conserves_packets() {
+    for_each_seed(|rng| {
+        let flows = rng.vec_with(1..2000, |r| r.gen_range(0u64..200));
+        let entries = rng.gen_range(1usize..64);
+        let capacity = rng.gen_range(2u64..40);
+        let counters = rng.gen_range(3usize..512);
+        let seed: u64 = rng.gen();
         let mut c = Caesar::new(CaesarConfig {
             cache_entries: entries,
             entry_capacity: capacity,
@@ -34,107 +34,120 @@ proptest! {
             c.record(f);
         }
         c.finish();
-        prop_assert_eq!(c.sram().total_added() as usize, flows.len());
-        prop_assert_eq!(c.sram().sum() as usize, flows.len());
-    }
+        assert_eq!(c.sram().total_added() as usize, flows.len());
+        assert_eq!(c.sram().sum() as usize, flows.len());
+    });
+}
 
-    /// The split-k update conserves any eviction value over any set of
-    /// distinct counter indices.
-    #[test]
-    fn spread_conserves(
-        value in 0u64..100_000,
-        k in 1usize..16,
-        seed in any::<u64>(),
-    ) {
+/// The split-k update conserves any eviction value over any set of
+/// distinct counter indices.
+#[test]
+fn spread_conserves() {
+    for_each_seed(|rng| {
+        let value = rng.gen_range(0u64..100_000);
+        let k = rng.gen_range(1usize..16);
+        let seed: u64 = rng.gen();
         let mut sram = CounterArray::new(64, 40);
         let indices: Vec<usize> = (0..k).map(|i| i * 3).collect();
-        let mut rng = StdRng::seed_from_u64(seed);
-        spread_eviction(&mut sram, &indices, value, &mut rng);
-        prop_assert_eq!(sram.sum(), value);
+        let mut rng2 = StdRng::seed_from_u64(seed);
+        spread_eviction(&mut sram, &indices, value, &mut rng2);
+        assert_eq!(sram.sum(), value);
         // Aliquot floor: every mapped counter got at least value/k.
         for &i in &indices {
-            prop_assert!(sram.get(i) >= value / k as u64);
+            assert!(sram.get(i) >= value / k as u64);
         }
-    }
+    });
+}
 
-    /// KCounterMap always yields k distinct in-range indices,
-    /// deterministically.
-    #[test]
-    fn kmap_distinct_indices(
-        k in 1usize..8,
-        l_extra in 0usize..100,
-        flow in any::<u64>(),
-        seed in any::<u64>(),
-    ) {
+/// KCounterMap always yields k distinct in-range indices,
+/// deterministically.
+#[test]
+fn kmap_distinct_indices() {
+    for_each_seed(|rng| {
+        let k = rng.gen_range(1usize..8);
+        let l_extra = rng.gen_range(0usize..100);
+        let flow: u64 = rng.gen();
+        let seed: u64 = rng.gen();
         let l = k + l_extra + 1;
         let map = KCounterMap::new(k, l, seed);
         let a = map.indices(flow);
-        prop_assert_eq!(a.len(), k);
+        assert_eq!(a.len(), k);
         let mut sorted = a.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        prop_assert_eq!(sorted.len(), k);
-        prop_assert!(a.iter().all(|&i| i < l));
-        prop_assert_eq!(a, map.indices(flow));
-    }
+        assert_eq!(sorted.len(), k);
+        assert!(a.iter().all(|&i| i < l));
+        assert_eq!(a, map.indices(flow));
+    });
+}
 
-    /// The ingress queue conserves packets and never reports loss
-    /// when service keeps up with arrivals.
-    #[test]
-    fn queue_conservation(
-        n in 0u64..50_000,
-        arrival in 1u32..50,
-        service in 1u32..50,
-        capacity in 1usize..128,
-    ) {
+/// The ingress queue conserves packets and never reports loss
+/// when service keeps up with arrivals.
+#[test]
+fn queue_conservation() {
+    for_each_seed(|rng| {
+        let n = rng.gen_range(0u64..50_000);
+        let arrival = rng.gen_range(1u32..50);
+        let service = rng.gen_range(1u32..50);
+        let capacity = rng.gen_range(1usize..128);
         let q = IngressQueue {
             arrival_ns: arrival as f64,
             service_ns: service as f64,
             capacity,
         };
         let r = q.simulate(n);
-        prop_assert_eq!(r.accepted + r.dropped, n);
+        assert_eq!(r.accepted + r.dropped, n);
         if service <= arrival {
-            prop_assert_eq!(r.dropped, 0);
+            assert_eq!(r.dropped, 0);
         }
-        prop_assert!(r.makespan_ns <= n as f64 * arrival as f64 + service as f64 * (capacity as f64 + 1.0));
-    }
+        assert!(
+            r.makespan_ns
+                <= n as f64 * arrival as f64 + service as f64 * (capacity as f64 + 1.0)
+        );
+    });
+}
 
-    /// Binary trace format round-trips arbitrary traces.
-    #[test]
-    fn binfmt_roundtrip(
-        packets in prop::collection::vec((any::<u64>(), any::<u16>()), 0..500),
-        num_flows in 0usize..1000,
-    ) {
+/// Binary trace format round-trips arbitrary traces.
+#[test]
+fn binfmt_roundtrip() {
+    for_each_seed(|rng| {
+        let packets =
+            rng.vec_with(0..500, |r| (r.gen::<u64>(), r.gen::<u16>()));
+        let num_flows = rng.gen_range(0usize..1000);
         let trace = Trace {
-            packets: packets.iter().map(|&(flow, byte_len)| Packet { flow, byte_len }).collect(),
+            packets: packets
+                .iter()
+                .map(|&(flow, byte_len)| Packet { flow, byte_len })
+                .collect(),
             num_flows,
         };
         let decoded = binfmt::decode(&binfmt::encode(&trace)).expect("roundtrip");
-        prop_assert_eq!(decoded.packets, trace.packets);
-        prop_assert_eq!(decoded.num_flows, trace.num_flows);
-    }
+        assert_eq!(decoded.packets, trace.packets);
+        assert_eq!(decoded.num_flows, trace.num_flows);
+    });
+}
 
-    /// SHA-1 streaming equals one-shot for arbitrary data and chunking.
-    #[test]
-    fn sha1_streaming_equivalence(
-        data in prop::collection::vec(any::<u8>(), 0..600),
-        chunk in 1usize..70,
-    ) {
+/// SHA-1 streaming equals one-shot for arbitrary data and chunking.
+#[test]
+fn sha1_streaming_equivalence() {
+    for_each_seed(|rng| {
+        let data = rng.bytes(0..600);
+        let chunk = rng.gen_range(1usize..70);
         let mut h = Sha1::new();
         for piece in data.chunks(chunk) {
             h.update(piece);
         }
-        prop_assert_eq!(h.finalize(), Sha1::digest(&data));
-    }
+        assert_eq!(h.finalize(), Sha1::digest(&data));
+    });
+}
 
-    /// CSM is exact when a single flow owns the whole array (noise
-    /// subtraction removes exactly the flow's own mass share).
-    #[test]
-    fn single_flow_csm_is_near_exact(
-        x in 1u64..5_000,
-        seed in any::<u64>(),
-    ) {
+/// CSM is exact when a single flow owns the whole array (noise
+/// subtraction removes exactly the flow's own mass share).
+#[test]
+fn single_flow_csm_is_near_exact() {
+    for_each_seed(|rng| {
+        let x = rng.gen_range(1u64..5_000);
+        let seed: u64 = rng.gen();
         let mut c = Caesar::new(CaesarConfig {
             cache_entries: 4,
             entry_capacity: 16,
@@ -151,6 +164,6 @@ proptest! {
         // The only inaccuracy is subtracting the flow's own k·x/L noise
         // share: bounded by k·x/L + 1.
         let slack = 3.0 * x as f64 / 4096.0 + 1.0;
-        prop_assert!((est - x as f64).abs() <= slack, "x={x} est={est}");
-    }
+        assert!((est - x as f64).abs() <= slack, "x={x} est={est}");
+    });
 }

@@ -10,7 +10,7 @@ use baselines::{
     AnlsCounter, BraidsConfig, CedarScale, CounterBraids, LossModel, Rcs, RcsConfig,
     SacCounter, SampledCounter, SamplingConfig, Vhc, VhcConfig,
 };
-use bench::{bench_config, bench_trace};
+use bench::{bench_config, bench_trace, linerate_bench_trace};
 use caesar::epochs::EpochedCaesar;
 use caesar::ConcurrentCaesar;
 use memsim::{PacketWork, Pipeline};
@@ -107,12 +107,40 @@ fn sac_and_sampling() {
 fn concurrent_and_epochs() {
     let (trace, _) = bench_trace();
     let flows: Vec<u64> = trace.packets.iter().map(|p| p.flow).collect();
+    // Stable names "1"/"2"/"4" keep measuring the default build path —
+    // now the single-pass partitioned pipeline. `replay_*` pins the
+    // seed's O(T·n) scan-and-filter implementation for the before/after
+    // trajectory (BENCH_PR2.json), `stream_4` the mpsc overlap variant.
     let mut g = Harness::new("concurrent_build");
     for shards in [1usize, 2, 4] {
         g.bench(&shards.to_string(), || {
             black_box(ConcurrentCaesar::build(bench_config(), shards, &flows));
         });
     }
+    for shards in [1usize, 4] {
+        g.bench(&format!("replay_{shards}"), || {
+            black_box(ConcurrentCaesar::build_replay(bench_config(), shards, &flows));
+        });
+    }
+    g.bench("stream_4", || {
+        black_box(ConcurrentCaesar::build_stream(
+            bench_config(),
+            4,
+            flows.iter().copied(),
+        ));
+    });
+    // The headline before/after pair: the line-rate regime (cache sized
+    // to the working set) isolates the ingest pipeline itself, which is
+    // what the O(n)-partition fix targets — the `replay` defect is pure
+    // redundant scan work there.
+    let (linerate, _) = linerate_bench_trace();
+    let lflows: Vec<u64> = linerate.packets.iter().map(|p| p.flow).collect();
+    g.bench("linerate_4", || {
+        black_box(ConcurrentCaesar::build(bench_config(), 4, &lflows));
+    });
+    g.bench("linerate_replay_4", || {
+        black_box(ConcurrentCaesar::build_replay(bench_config(), 4, &lflows));
+    });
     g.finish();
 
     let mut g = Harness::new("epochs");

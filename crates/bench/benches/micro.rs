@@ -8,7 +8,7 @@
 use baselines::{Case, CaseConfig, DiscoScale, LossModel, Rcs, RcsConfig};
 use bench::{bench_config, bench_trace, build_sketch};
 use caesar::estimator::{csm, mlm, EstimateParams};
-use caesar::{Caesar, Estimator};
+use caesar::{AtomicCounterArray, Caesar, Estimator, WritebackBuffer};
 use hashkit::{aphash::aphash64, fnv::fnv1a64, sha1::Sha1, KCounterMap};
 use std::hint::black_box;
 use support::rand::{rngs::StdRng, Rng, SeedableRng};
@@ -165,9 +165,32 @@ fn disco_ops() {
     g.finish();
 }
 
+fn sram_writeback() {
+    // The per-eviction off-chip write path: one relaxed-CAS `add` per
+    // counter versus staging through a coalescing writeback buffer.
+    let mut g = Harness::new("atomic_sram");
+    let a = AtomicCounterArray::new(2048, 32);
+    let mut i = 0u64;
+    g.bench_n("add_hot64", 100_000, || {
+        i = i.wrapping_add(1);
+        a.add((i % 64) as usize, 1);
+    });
+    let mut wb = WritebackBuffer::new(1024);
+    g.bench_n("writeback_push_hot64", 100_000, || {
+        i = i.wrapping_add(1);
+        wb.push((i % 64) as usize, 1, &a);
+    });
+    let updates: Vec<(usize, u64)> = (0..1024u64).map(|j| ((j % 64) as usize, 1)).collect();
+    g.bench_n("add_batch_1024_uncoalesced", 1_000, || {
+        a.add_batch(black_box(&updates));
+    });
+    g.finish();
+}
+
 fn main() {
     hashing();
     record_paths();
     estimators();
     disco_ops();
+    sram_writeback();
 }

@@ -28,6 +28,23 @@ pub fn big_bench_trace() -> (Trace, HashMap<FlowId, u64>) {
     .generate()
 }
 
+/// The line-rate ingest trace: ~400 flows, ~1.6 M packets.
+///
+/// This is the paper's operating regime for the construction phase —
+/// the on-chip cache is sized to the resident working set, so nearly
+/// every packet is absorbed on-chip and the measured cost is the ingest
+/// pipeline itself (routing, cache hit path, eviction writeback) rather
+/// than cache-thrash churn. The `concurrent_build` before/after numbers
+/// (`linerate_4` vs `linerate_replay_4`) are taken here.
+pub fn linerate_bench_trace() -> (Trace, HashMap<FlowId, u64>) {
+    TraceGenerator::new(SynthConfig {
+        num_flows: 400,
+        mean_flow_size: 4000.0,
+        ..SynthConfig::default()
+    })
+    .generate()
+}
+
 /// The benchmark CAESAR geometry (paper operating point, bench scale).
 pub fn bench_config() -> CaesarConfig {
     CaesarConfig {

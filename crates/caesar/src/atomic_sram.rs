@@ -64,6 +64,12 @@ impl AtomicCounterArray {
             return;
         }
         self.total_added.fetch_add(v, Ordering::Relaxed);
+        self.add_counter(idx, v);
+    }
+
+    /// The CAS half of [`AtomicCounterArray::add`]: saturate counter
+    /// `idx` towards `cur + v` without touching the offered-units total.
+    fn add_counter(&self, idx: usize, v: u64) {
         let c = &self.counters[idx];
         // CAS loop: fetch_add alone could overshoot the saturation cap.
         let mut cur = c.load(Ordering::Relaxed);
@@ -71,12 +77,40 @@ impl AtomicCounterArray {
             let next = cur.saturating_add(v).min(self.max_value);
             match c.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
                 Ok(_) => {
-                    if next == self.max_value && cur + v > self.max_value {
+                    // `cur + v` on raw u64s would wrap in release (and
+                    // panic in debug) for byte-mode adds near u64::MAX;
+                    // checked_add makes "overflowed u64" mean saturated.
+                    let crossed =
+                        cur.checked_add(v).is_none_or(|sum| sum > self.max_value);
+                    if crossed {
                         self.saturations.fetch_add(1, Ordering::Relaxed);
                     }
                     return;
                 }
                 Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Apply a batch of `(index, increment)` updates with **one**
+    /// shared-total RMW for the whole batch, then one CAS sequence per
+    /// entry. Zero increments are skipped; duplicate indices are legal
+    /// (callers wanting fewer CAS rounds should coalesce first — see
+    /// [`WritebackBuffer`]). Equivalent to `for (i, v) in updates
+    /// { self.add(i, v) }` for every observable value.
+    pub fn add_batch(&self, updates: &[(usize, u64)]) {
+        let mut batch_total = 0u64;
+        for &(_, v) in updates {
+            // The offered-units total is a u64 tally, not a saturating
+            // counter; keep exact semantics identical to repeated `add`.
+            batch_total = batch_total.wrapping_add(v);
+        }
+        if batch_total != 0 {
+            self.total_added.fetch_add(batch_total, Ordering::Relaxed);
+        }
+        for &(idx, v) in updates {
+            if v != 0 {
+                self.add_counter(idx, v);
             }
         }
     }
@@ -104,6 +138,134 @@ impl AtomicCounterArray {
     /// Copy out the counter values.
     pub fn snapshot(&self) -> Vec<u64> {
         self.counters.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+}
+
+/// Per-worker eviction writeback buffer: stages `(index, increment)`
+/// updates in a dense thread-local accumulator, coalescing duplicates
+/// as they arrive, and flushes them to a shared [`AtomicCounterArray`]
+/// in batches.
+///
+/// Rationale (the PriMe / additive-error-counter amortization): in a
+/// sharded construction phase every eviction touches `k` shared SRAM
+/// counters, and hot counters are touched by many evictions in a row.
+/// Staging updates thread-locally turns `B` relaxed-atomic RMWs into
+/// one RMW per *distinct* counter per flush — plus a *single* RMW on
+/// the shared offered-units total per flush instead of one per
+/// eviction — so the CAS traffic on contended cache lines drops by the
+/// coalescing factor.
+///
+/// The accumulator is a plain `Vec<u64>` indexed like the SRAM (lazily
+/// sized to `sram.len()` on first push, so O(L) memory per worker — the
+/// same order as the SRAM itself, and typically a few KiB) plus a dirty
+/// list of touched indices. `push` is O(1) with no hashing or sorting:
+/// repeated hits on a hot counter just bump a local word. `capacity`
+/// bounds the number of *distinct* dirty counters between flushes, so a
+/// hot counter enjoys an unbounded coalescing window while the staged
+/// footprint stays bounded.
+///
+/// Because saturating adds commute, buffering and reordering never
+/// change the final counter values; only the transient interleaving
+/// differs. Callers must [`WritebackBuffer::flush`] before dropping the
+/// buffer (the construction phase does so when a shard finishes).
+#[derive(Debug)]
+pub struct WritebackBuffer {
+    /// Dense per-counter staging area, `acc[i]` = pending increment.
+    acc: Vec<u64>,
+    /// Indices with `acc[i] != 0`, in first-touch order.
+    dirty: Vec<usize>,
+    /// Reusable `(index, increment)` scratch handed to `add_batch`.
+    batch: Vec<(usize, u64)>,
+    capacity: usize,
+    flushes: u64,
+    staged_updates: u64,
+    flushed_updates: u64,
+}
+
+/// Default number of distinct dirty counters per flush: big enough to
+/// amortize the shared-total RMW and give coalescing a window, small
+/// enough that a shard's dirty working set stays in L1.
+pub const DEFAULT_WRITEBACK_CAPACITY: usize = 1024;
+
+impl WritebackBuffer {
+    /// A buffer that flushes automatically once `capacity` distinct
+    /// counters are dirty (`capacity >= 1`; 0 is promoted to 1 =
+    /// write-through).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            acc: Vec::new(),
+            dirty: Vec::with_capacity(capacity),
+            batch: Vec::with_capacity(capacity),
+            capacity,
+            flushes: 0,
+            staged_updates: 0,
+            flushed_updates: 0,
+        }
+    }
+
+    /// Stage one update, flushing to `sram` if the dirty set is full.
+    pub fn push(&mut self, idx: usize, v: u64, sram: &AtomicCounterArray) {
+        if v == 0 {
+            return;
+        }
+        if self.acc.len() < sram.len() {
+            self.acc.resize(sram.len(), 0);
+        }
+        // `v >= 1`, so a zero slot means "not staged yet" — a staged
+        // slot can never return to zero before its flush resets it.
+        if self.acc[idx] == 0 {
+            self.dirty.push(idx);
+        }
+        // Counter adds saturate at `max_value < 2^63`, so the coalesced
+        // sum saturating at u64::MAX is lossless for the counter; the
+        // offered-units total uses the same wrapping tally as repeated
+        // `add` (see add_batch).
+        self.acc[idx] = self.acc[idx].saturating_add(v);
+        self.staged_updates += 1;
+        if self.dirty.len() >= self.capacity {
+            self.flush(sram);
+        }
+    }
+
+    /// Apply the staged (already coalesced) updates to `sram` via
+    /// [`AtomicCounterArray::add_batch`] and reset the accumulator.
+    /// A no-op on an empty buffer.
+    pub fn flush(&mut self, sram: &AtomicCounterArray) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        self.batch.clear();
+        for &idx in &self.dirty {
+            self.batch.push((idx, self.acc[idx]));
+            self.acc[idx] = 0;
+        }
+        self.flushed_updates += self.dirty.len() as u64;
+        self.dirty.clear();
+        sram.add_batch(&self.batch);
+        self.batch.clear();
+        self.flushes += 1;
+    }
+
+    /// Distinct counters currently staged (not yet flushed).
+    pub fn pending(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Flushes performed so far.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Updates staged over the buffer's lifetime.
+    pub fn staged_updates(&self) -> u64 {
+        self.staged_updates
+    }
+
+    /// Updates that reached the SRAM after coalescing; the ratio
+    /// `flushed_updates / staged_updates` is the CAS-traffic factor.
+    pub fn flushed_updates(&self) -> u64 {
+        self.flushed_updates
     }
 }
 
@@ -174,5 +336,137 @@ mod tests {
     #[should_panic(expected = "cannot be empty")]
     fn empty_rejected() {
         AtomicCounterArray::new(0, 8);
+    }
+
+    #[test]
+    fn huge_weighted_add_near_cap_does_not_overflow() {
+        // Regression: saturation detection used `cur + v` on raw u64s,
+        // which wrapped in release / panicked in debug when a byte-mode
+        // eviction pushed a nearly-full counter with v near u64::MAX.
+        let a = AtomicCounterArray::new(2, 63);
+        let cap = a.max_value(); // 2^63 - 1
+        a.add(0, cap); // exactly full, no saturation yet
+        assert_eq!(a.get(0), cap);
+        assert_eq!(a.saturations(), 0);
+        a.add(0, u64::MAX); // cur + v would wrap: must count as saturated
+        assert_eq!(a.get(0), cap);
+        assert_eq!(a.saturations(), 1);
+        // A single add bigger than the cap also saturates exactly once.
+        a.add(1, u64::MAX);
+        assert_eq!(a.get(1), cap);
+        assert_eq!(a.saturations(), 2);
+        assert_eq!(a.total_added(), cap.wrapping_add(u64::MAX).wrapping_add(u64::MAX));
+    }
+
+    #[test]
+    fn full_counter_plus_one_still_counts_saturation() {
+        let a = AtomicCounterArray::new(1, 4); // max 15
+        a.add(0, 15);
+        assert_eq!(a.saturations(), 0);
+        a.add(0, 1);
+        assert_eq!(a.get(0), 15);
+        assert_eq!(a.saturations(), 1);
+    }
+
+    #[test]
+    fn add_batch_matches_repeated_add() {
+        let batched = AtomicCounterArray::new(8, 10);
+        let looped = AtomicCounterArray::new(8, 10);
+        let updates: Vec<(usize, u64)> =
+            vec![(0, 3), (1, 0), (7, 1000), (0, 5), (7, 200), (3, 1), (0, 2)];
+        batched.add_batch(&updates);
+        for &(i, v) in &updates {
+            looped.add(i, v);
+        }
+        assert_eq!(batched.snapshot(), looped.snapshot());
+        assert_eq!(batched.total_added(), looped.total_added());
+        assert_eq!(batched.sum(), looped.sum());
+    }
+
+    #[test]
+    fn add_batch_empty_and_zeroes_are_noops() {
+        let a = AtomicCounterArray::new(4, 8);
+        a.add_batch(&[]);
+        a.add_batch(&[(0, 0), (3, 0)]);
+        assert_eq!(a.total_added(), 0);
+        assert_eq!(a.sum(), 0);
+    }
+
+    #[test]
+    fn writeback_buffer_coalesces_and_conserves() {
+        let a = AtomicCounterArray::new(16, 32);
+        let mut wb = WritebackBuffer::new(8);
+        // 12 updates over 3 distinct indices: the dirty set never
+        // reaches capacity, so everything coalesces into one explicit
+        // flush of exactly 3 SRAM updates.
+        for i in 0..12u64 {
+            wb.push((i % 3) as usize, i + 1, &a);
+        }
+        assert_eq!(wb.pending(), 3, "3 distinct counters staged");
+        assert_eq!(wb.flushes(), 0, "hot counters never force a flush");
+        wb.flush(&a);
+        assert_eq!(wb.pending(), 0);
+        assert_eq!(a.total_added(), (1..=12u64).sum::<u64>());
+        assert_eq!(wb.staged_updates(), 12);
+        assert_eq!(wb.flushed_updates(), 3, "one SRAM update per counter");
+        assert_eq!(wb.flushes(), 1);
+        // Same result as direct adds.
+        let direct = AtomicCounterArray::new(16, 32);
+        for i in 0..12u64 {
+            direct.add((i % 3) as usize, i + 1);
+        }
+        assert_eq!(a.snapshot(), direct.snapshot());
+    }
+
+    #[test]
+    fn writeback_buffer_flushes_when_dirty_set_fills() {
+        let a = AtomicCounterArray::new(8, 16);
+        let mut wb = WritebackBuffer::new(2);
+        wb.push(0, 1, &a);
+        wb.push(0, 1, &a); // same counter: still 1 dirty slot
+        assert_eq!(wb.pending(), 1);
+        wb.push(5, 4, &a); // second distinct counter: auto-flush
+        assert_eq!(wb.pending(), 0);
+        assert_eq!(wb.flushes(), 1);
+        assert_eq!(wb.flushed_updates(), 2);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(5), 4);
+        // The accumulator reset: the same index dirties again cleanly.
+        wb.push(0, 3, &a);
+        wb.flush(&a);
+        assert_eq!(a.get(0), 5);
+        assert_eq!(a.total_added(), 9);
+    }
+
+    #[test]
+    fn writeback_buffer_zero_capacity_is_write_through() {
+        let a = AtomicCounterArray::new(2, 8);
+        let mut wb = WritebackBuffer::new(0);
+        wb.push(0, 7, &a);
+        assert_eq!(wb.pending(), 0, "capacity 1: flushed immediately");
+        assert_eq!(a.get(0), 7);
+        wb.push(1, 0, &a); // zero increments never stage
+        assert_eq!(wb.staged_updates(), 1);
+    }
+
+    #[test]
+    fn concurrent_batched_adds_conserve() {
+        let a = AtomicCounterArray::new(64, 63);
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let a = &a;
+                s.spawn(move || {
+                    let mut wb = WritebackBuffer::new(64);
+                    for i in 0..per_thread {
+                        wb.push(((t as u64 * 31 + i) % 64) as usize, 1, a);
+                    }
+                    wb.flush(a);
+                });
+            }
+        });
+        assert_eq!(a.sum(), threads as u64 * per_thread);
+        assert_eq!(a.total_added(), threads as u64 * per_thread);
     }
 }

@@ -1,29 +1,227 @@
-//! Sharded multi-core construction phase.
+//! Sharded multi-core construction phase — a real ingest pipeline.
 //!
 //! A real multi-queue line card (RSS) already partitions packets by a
 //! hash of the flow ID, so per-flow state never crosses cores. The same
 //! structure parallelizes CAESAR's construction phase perfectly:
 //!
-//! * each shard owns a private on-chip cache (`M/T` entries each, so
-//!   the total on-chip budget is unchanged);
-//! * all shards push evictions into one shared
-//!   [`AtomicCounterArray`] —
-//!   saturating adds commute, so relaxed atomics suffice and the
-//!   construction phase is lock-free;
+//! * the trace is routed into per-shard batches with **one** O(n)
+//!   partition pass ([`support::par::partition_by`]) — total work is
+//!   O(n + n/T per worker), not the O(T·n) "every shard replays the
+//!   whole trace and filters" pattern the first implementation used
+//!   (retained as [`ConcurrentCaesar::build_replay`] for equivalence
+//!   tests and before/after benchmarks);
+//! * each shard owns a private on-chip cache (the `M` entries are
+//!   divided with the remainder distributed — see
+//!   [`per_shard_entries`] — so the total on-chip budget is exact);
+//! * all shards push evictions through a per-shard
+//!   [`WritebackBuffer`] that coalesces increments to the same SRAM
+//!   index and flushes in batches into one shared
+//!   [`AtomicCounterArray`] — saturating adds commute, so relaxed
+//!   atomics suffice and the construction phase stays lock-free while
+//!   hot counters absorb far fewer CAS rounds;
 //! * the query phase is identical to the sequential sketch.
 //!
 //! Because flows are partitioned (not packets), every shard's eviction
-//! sequence is independent of thread scheduling — the final counter
-//! values are **deterministic** for a fixed configuration, which the
-//! tests rely on.
+//! sequence is independent of thread scheduling, and because saturating
+//! adds commute, the buffered/batched writeback cannot change any final
+//! counter value — the sketch is **deterministic** for a fixed
+//! configuration across runs, across [`ConcurrentCaesar::build`] /
+//! [`ConcurrentCaesar::build_stream`] / [`ConcurrentCaesar::build_replay`],
+//! which the tests pin bit-exactly.
 
-use crate::atomic_sram::AtomicCounterArray;
+use crate::atomic_sram::{AtomicCounterArray, WritebackBuffer, DEFAULT_WRITEBACK_CAPACITY};
 use crate::config::{CaesarConfig, Estimator};
 use crate::estimator::{csm, mlm, Estimate, EstimateParams};
 use cachesim::{CacheConfig, CacheTable};
 use hashkit::mix::{bucket, mix64};
 use hashkit::KCounterMap;
+use support::par::partition_by;
 use support::rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Flows routed per streaming chunk (amortizes one channel send over
+/// many packets while keeping partition→consume latency bounded).
+const STREAM_CHUNK: usize = 1024;
+
+/// Bounded depth of each shard's chunk channel: enough to keep a worker
+/// busy while the partitioner fills the next chunk, small enough that a
+/// slow shard back-pressures the partitioner instead of buffering the
+/// whole trace.
+const STREAM_CHANNEL_DEPTH: usize = 4;
+
+/// How [`ConcurrentCaesar::build`] executes the shard workers.
+///
+/// Both modes consume exactly the same per-shard flow subsequences, so
+/// they produce **bit-identical** sketches (pinned by tests); they only
+/// trade off how the O(n/T per worker) consumption half is scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildMode {
+    /// Route the trace into per-shard batches with one O(n) partition
+    /// pass, then consume each batch on its own scoped thread — the
+    /// multicore shape.
+    Threaded,
+    /// Route each packet straight to its shard worker on the calling
+    /// thread — no partition buffers, no thread spawn. The right shape
+    /// when only one hardware thread is available: same total work,
+    /// none of the coordination cost.
+    Inline,
+    /// [`BuildMode::Threaded`] when `available_parallelism() > 1`,
+    /// otherwise [`BuildMode::Inline`].
+    Auto,
+}
+
+impl BuildMode {
+    fn resolve(self) -> BuildMode {
+        match self {
+            BuildMode::Auto => {
+                let cores = std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1);
+                if cores > 1 {
+                    BuildMode::Threaded
+                } else {
+                    BuildMode::Inline
+                }
+            }
+            mode => mode,
+        }
+    }
+}
+
+/// Split the on-chip budget of `cache_entries` entries over `shards`
+/// private caches.
+///
+/// Rule: the distributed total is **exactly** `max(cache_entries,
+/// shards)` — shard `i` receives `⌊total/shards⌋ + 1` if
+/// `i < total mod shards`, else `⌊total/shards⌋`. In particular:
+///
+/// * when `cache_entries >= shards` the budget is conserved exactly
+///   (the old `(M / T).max(1)` rule silently dropped the remainder —
+///   M = 130, T = 4 lost 2 entries);
+/// * when `cache_entries < shards` every shard still needs one entry to
+///   make progress, so the budget inflates to `shards` — explicitly,
+///   not as a side effect (M = 4, T = 8 becomes 8, and callers can see
+///   why).
+///
+/// # Panics
+/// Panics if `shards == 0`.
+pub fn per_shard_entries(cache_entries: usize, shards: usize) -> Vec<usize> {
+    assert!(shards >= 1, "need at least one shard");
+    let total = cache_entries.max(shards);
+    let base = total / shards;
+    let rem = total % shards;
+    (0..shards).map(|i| base + usize::from(i < rem)).collect()
+}
+
+/// Aggregate statistics of one construction phase's ingest pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Eviction events pushed off-chip (overflow + replacement + final
+    /// dump), summed over shards.
+    pub evictions: u64,
+    /// Individual `(counter, increment)` updates staged in writeback
+    /// buffers.
+    pub staged_updates: u64,
+    /// Updates that reached the shared SRAM after coalescing.
+    pub flushed_updates: u64,
+    /// Writeback batch flushes performed.
+    pub flushes: u64,
+}
+
+impl IngestStats {
+    /// Staged-to-flushed ratio: how many CAS sequences each hot-counter
+    /// batch saved (1.0 = no coalescing happened).
+    pub fn coalescing_factor(&self) -> f64 {
+        if self.flushed_updates == 0 {
+            1.0
+        } else {
+            self.staged_updates as f64 / self.flushed_updates as f64
+        }
+    }
+
+    fn merge(&mut self, other: &IngestStats) {
+        self.evictions += other.evictions;
+        self.staged_updates += other.staged_updates;
+        self.flushed_updates += other.flushed_updates;
+        self.flushes += other.flushes;
+    }
+}
+
+/// One shard's private construction state: cache, remainder-scatter
+/// RNG, and the writeback buffer into the shared SRAM.
+struct ShardWorker<'a> {
+    cache: CacheTable,
+    rng: StdRng,
+    idx_buf: Vec<usize>,
+    wb: WritebackBuffer,
+    sram: &'a AtomicCounterArray,
+    kmap: &'a KCounterMap,
+    evictions: u64,
+}
+
+impl<'a> ShardWorker<'a> {
+    fn new(
+        cfg: &CaesarConfig,
+        shard: usize,
+        entries: usize,
+        writeback_capacity: usize,
+        sram: &'a AtomicCounterArray,
+        kmap: &'a KCounterMap,
+    ) -> Self {
+        Self {
+            cache: CacheTable::new(CacheConfig {
+                entries,
+                entry_capacity: cfg.entry_capacity,
+                policy: cfg.policy,
+                seed: cfg.seed ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            }),
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0x0D15_EA5E ^ (shard as u64) << 32),
+            idx_buf: Vec::with_capacity(cfg.k),
+            wb: WritebackBuffer::new(writeback_capacity),
+            sram,
+            kmap,
+            evictions: 0,
+        }
+    }
+
+    /// Ingest one packet of `flow`.
+    fn record(&mut self, flow: u64) {
+        if let Some(ev) = self.cache.record(flow) {
+            self.evictions += 1;
+            self.push(ev.flow, ev.value);
+        }
+    }
+
+    /// Stage an eviction: split `value = p·k + q`, scatter the `q`
+    /// remainder units uniformly over the flow's `k` counters (§3.1).
+    fn push(&mut self, flow: u64, value: u64) {
+        self.kmap.indices_into(flow, &mut self.idx_buf);
+        let k = self.idx_buf.len() as u64;
+        let p = value / k;
+        let q = (value % k) as usize;
+        let mut extra = [0u64; 64];
+        for _ in 0..q {
+            extra[self.rng.gen_range(0..self.idx_buf.len())] += 1;
+        }
+        for (slot, &idx) in self.idx_buf.iter().enumerate() {
+            self.wb.push(idx, p + extra[slot], self.sram);
+        }
+    }
+
+    /// End of measurement: dump the cache, flush the buffer, report.
+    fn finish(mut self) -> IngestStats {
+        for ev in self.cache.drain() {
+            self.evictions += 1;
+            self.push(ev.flow, ev.value);
+        }
+        self.wb.flush(self.sram);
+        IngestStats {
+            evictions: self.evictions,
+            staged_updates: self.wb.staged_updates(),
+            flushed_updates: self.wb.flushed_updates(),
+            flushes: self.wb.flushes(),
+        }
+    }
+}
 
 /// Multi-core CAESAR: sharded caches, one shared atomic SRAM.
 ///
@@ -45,74 +243,120 @@ pub struct ConcurrentCaesar {
     shards: usize,
     sram: AtomicCounterArray,
     kmap: KCounterMap,
-    evictions: u64,
+    ingest: IngestStats,
 }
 
 impl ConcurrentCaesar {
     /// Which shard a flow belongs to (RSS-style hash partition).
-    fn shard_of(flow: u64, shards: usize, seed: u64) -> usize {
+    pub fn shard_of(flow: u64, shards: usize, seed: u64) -> usize {
         bucket(mix64(flow ^ seed), shards)
     }
 
-    /// Run the construction phase over `flows` with `shards` worker
-    /// threads (`std::thread::scope`), then return the finished sketch.
-    ///
-    /// # Panics
-    /// Panics if `shards == 0` or the configuration is invalid.
-    pub fn build(cfg: CaesarConfig, shards: usize, flows: &[u64]) -> Self {
+    fn scaffold(cfg: &CaesarConfig, shards: usize) -> (AtomicCounterArray, KCounterMap, Vec<usize>) {
         assert!(shards >= 1, "need at least one shard");
         assert!(cfg.k <= 64, "concurrent build supports k up to 64");
         cfg.validate();
         let sram = AtomicCounterArray::new(cfg.counters, cfg.counter_bits);
         let kmap = KCounterMap::new(cfg.k, cfg.counters, cfg.seed ^ 0x5EED_5EED);
-        let per_shard_entries = (cfg.cache_entries / shards).max(1);
+        let entries = per_shard_entries(cfg.cache_entries, shards);
+        (sram, kmap, entries)
+    }
 
-        let eviction_counts: Vec<u64> = std::thread::scope(|s| {
+    fn assemble(
+        cfg: CaesarConfig,
+        shards: usize,
+        sram: AtomicCounterArray,
+        kmap: KCounterMap,
+        per_shard: Vec<IngestStats>,
+    ) -> Self {
+        let mut ingest = IngestStats::default();
+        for s in &per_shard {
+            ingest.merge(s);
+        }
+        Self { cfg, shards, sram, kmap, ingest }
+    }
+
+    /// Run the construction phase over `flows` with `shards` shard
+    /// workers, then return the finished sketch.
+    ///
+    /// The trace is routed with one O(n) partition pass; each worker
+    /// consumes only its own flow subsequence and stages evictions
+    /// through a coalescing [`WritebackBuffer`]. Scheduling is chosen by
+    /// [`BuildMode::Auto`]: per-shard batches on scoped threads when the
+    /// host has more than one hardware thread, inline multiplexing on
+    /// the calling thread otherwise. Use
+    /// [`ConcurrentCaesar::build_with_mode`] to force a mode.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0` or the configuration is invalid.
+    pub fn build(cfg: CaesarConfig, shards: usize, flows: &[u64]) -> Self {
+        Self::build_with_mode(cfg, shards, flows, BuildMode::Auto)
+    }
+
+    /// [`ConcurrentCaesar::build`] with an explicit [`BuildMode`]. Both
+    /// modes yield bit-identical sketches; the tests pin it.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0` or the configuration is invalid.
+    pub fn build_with_mode(
+        cfg: CaesarConfig,
+        shards: usize,
+        flows: &[u64],
+        mode: BuildMode,
+    ) -> Self {
+        let (sram, kmap, entries) = Self::scaffold(&cfg, shards);
+        if shards == 1 || mode.resolve() == BuildMode::Inline {
+            // Inline multiplex: route each packet straight to its shard
+            // worker — the degenerate partition (one pass, no batch
+            // buffers, no spawn). With one shard this *is* the
+            // sequential ingest off the borrowed slice.
+            let mut workers: Vec<ShardWorker> = (0..shards)
+                .map(|shard| {
+                    ShardWorker::new(
+                        &cfg,
+                        shard,
+                        entries[shard],
+                        DEFAULT_WRITEBACK_CAPACITY,
+                        &sram,
+                        &kmap,
+                    )
+                })
+                .collect();
+            if shards == 1 {
+                for &flow in flows {
+                    workers[0].record(flow);
+                }
+            } else {
+                for &flow in flows {
+                    workers[Self::shard_of(flow, shards, cfg.seed)].record(flow);
+                }
+            }
+            let per_shard: Vec<IngestStats> =
+                workers.into_iter().map(ShardWorker::finish).collect();
+            return Self::assemble(cfg, shards, sram, kmap, per_shard);
+        }
+        // The single partition pass: flow-affine, order-preserving.
+        let batches = partition_by(flows, shards, |&f| Self::shard_of(f, shards, cfg.seed));
+
+        let per_shard: Vec<IngestStats> = std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(shards);
-            for shard in 0..shards {
+            for (shard, batch) in batches.into_iter().enumerate() {
                 let sram = &sram;
                 let kmap = &kmap;
+                let entries = entries[shard];
                 handles.push(s.spawn(move || {
-                    let mut cache = CacheTable::new(CacheConfig {
-                        entries: per_shard_entries,
-                        entry_capacity: cfg.entry_capacity,
-                        policy: cfg.policy,
-                        seed: cfg.seed ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                    });
-                    let mut rng =
-                        StdRng::seed_from_u64(cfg.seed ^ 0x0D15_EA5E ^ (shard as u64) << 32);
-                    let mut idx_buf = Vec::with_capacity(cfg.k);
-                    let mut evictions = 0u64;
-                    let push = |flow: u64, value: u64, rng: &mut StdRng, idx_buf: &mut Vec<usize>| {
-                        kmap.indices_into(flow, idx_buf);
-                        let k = idx_buf.len() as u64;
-                        let p = value / k;
-                        let q = (value % k) as usize;
-                        let mut extra = [0u64; 64];
-                        for _ in 0..q {
-                            extra[rng.gen_range(0..idx_buf.len())] += 1;
-                        }
-                        for (slot, &idx) in idx_buf.iter().enumerate() {
-                            let inc = p + extra[slot];
-                            if inc > 0 {
-                                sram.add(idx, inc);
-                            }
-                        }
-                    };
-                    for &flow in flows {
-                        if Self::shard_of(flow, shards, cfg.seed) != shard {
-                            continue;
-                        }
-                        if let Some(ev) = cache.record(flow) {
-                            evictions += 1;
-                            push(ev.flow, ev.value, &mut rng, &mut idx_buf);
-                        }
+                    let mut w = ShardWorker::new(
+                        &cfg,
+                        shard,
+                        entries,
+                        DEFAULT_WRITEBACK_CAPACITY,
+                        sram,
+                        kmap,
+                    );
+                    for flow in batch {
+                        w.record(flow);
                     }
-                    for ev in cache.drain() {
-                        evictions += 1;
-                        push(ev.flow, ev.value, &mut rng, &mut idx_buf);
-                    }
-                    evictions
+                    w.finish()
                 }));
             }
             handles
@@ -120,14 +364,124 @@ impl ConcurrentCaesar {
                 .map(|h| h.join().expect("shard thread panicked"))
                 .collect()
         });
+        Self::assemble(cfg, shards, sram, kmap, per_shard)
+    }
 
-        Self {
-            cfg,
-            shards,
-            sram,
-            kmap,
-            evictions: eviction_counts.iter().sum(),
-        }
+    /// Streaming construction: overlap partitioning with shard
+    /// consumption using bounded `std::sync::mpsc` channels — the
+    /// line-card replay shape, where packets arrive as a stream and are
+    /// routed to worker cores on the fly instead of being materialized
+    /// into per-shard batches first.
+    ///
+    /// The calling thread plays the RSS front end: it hashes each flow
+    /// to its shard and forwards fixed-size chunks over a bounded
+    /// channel (a slow shard back-pressures the front end rather than
+    /// buffering unboundedly). Every shard sees exactly the flow
+    /// subsequence [`ConcurrentCaesar::build`] would hand it, so the
+    /// resulting counter array is **bit-identical** to `build`'s.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0` or the configuration is invalid.
+    pub fn build_stream<I>(cfg: CaesarConfig, shards: usize, flows: I) -> Self
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        let (sram, kmap, entries) = Self::scaffold(&cfg, shards);
+
+        let per_shard: Vec<IngestStats> = std::thread::scope(|s| {
+            let mut senders = Vec::with_capacity(shards);
+            let mut handles = Vec::with_capacity(shards);
+            for shard in 0..shards {
+                let (tx, rx) = std::sync::mpsc::sync_channel::<Vec<u64>>(STREAM_CHANNEL_DEPTH);
+                senders.push(tx);
+                let sram = &sram;
+                let kmap = &kmap;
+                let entries = entries[shard];
+                handles.push(s.spawn(move || {
+                    let mut w = ShardWorker::new(
+                        &cfg,
+                        shard,
+                        entries,
+                        DEFAULT_WRITEBACK_CAPACITY,
+                        sram,
+                        kmap,
+                    );
+                    for chunk in rx {
+                        for flow in chunk {
+                            w.record(flow);
+                        }
+                    }
+                    w.finish()
+                }));
+            }
+
+            // The partitioning front end, overlapped with consumption.
+            let mut pending: Vec<Vec<u64>> =
+                (0..shards).map(|_| Vec::with_capacity(STREAM_CHUNK)).collect();
+            for flow in flows {
+                let shard = Self::shard_of(flow, shards, cfg.seed);
+                pending[shard].push(flow);
+                if pending[shard].len() >= STREAM_CHUNK {
+                    let chunk = std::mem::replace(
+                        &mut pending[shard],
+                        Vec::with_capacity(STREAM_CHUNK),
+                    );
+                    senders[shard].send(chunk).expect("shard worker hung up");
+                }
+            }
+            for (shard, chunk) in pending.into_iter().enumerate() {
+                if !chunk.is_empty() {
+                    senders[shard].send(chunk).expect("shard worker hung up");
+                }
+            }
+            drop(senders); // close the channels: workers drain and finish
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread panicked"))
+                .collect()
+        });
+        Self::assemble(cfg, shards, sram, kmap, per_shard)
+    }
+
+    /// The original sharded construction, kept as the reference
+    /// implementation: every shard replays the **whole** trace and
+    /// filters to its own flows — O(T·n) total scan/hash work — and
+    /// writes each eviction's increments through one by one.
+    ///
+    /// Retained (not deprecated) for two jobs: the equivalence tests
+    /// pin that the partitioned pipeline is a pure optimization (its
+    /// counter array is bit-identical to this one's), and the
+    /// `concurrent_build` bench measures the before/after speedup.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0` or the configuration is invalid.
+    pub fn build_replay(cfg: CaesarConfig, shards: usize, flows: &[u64]) -> Self {
+        let (sram, kmap, entries) = Self::scaffold(&cfg, shards);
+        let per_shard: Vec<IngestStats> = std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(shards);
+            for shard in 0..shards {
+                let sram = &sram;
+                let kmap = &kmap;
+                let entries = entries[shard];
+                handles.push(s.spawn(move || {
+                    // Capacity 1 = write-through: the seed's per-eviction
+                    // direct adds, expressed through the same worker.
+                    let mut w = ShardWorker::new(&cfg, shard, entries, 1, sram, kmap);
+                    for &flow in flows {
+                        if Self::shard_of(flow, shards, cfg.seed) != shard {
+                            continue;
+                        }
+                        w.record(flow);
+                    }
+                    w.finish()
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread panicked"))
+                .collect()
+        });
+        Self::assemble(cfg, shards, sram, kmap, per_shard)
     }
 
     /// The configuration in use.
@@ -142,7 +496,12 @@ impl ConcurrentCaesar {
 
     /// Total eviction events pushed off-chip.
     pub fn evictions(&self) -> u64 {
-        self.evictions
+        self.ingest.evictions
+    }
+
+    /// Ingest-pipeline statistics (evictions, writeback coalescing).
+    pub fn ingest_stats(&self) -> IngestStats {
+        self.ingest
     }
 
     /// The shared SRAM array.
@@ -236,6 +595,94 @@ mod tests {
     }
 
     #[test]
+    fn partitioned_matches_replay_bit_exactly() {
+        // The tentpole's contract: the O(n) partitioned, batch-writeback
+        // pipeline is a pure optimization of the O(T·n) replay path.
+        let flows = workload();
+        for shards in [1, 3, 4, 8] {
+            let slow = ConcurrentCaesar::build_replay(cfg(), shards, &flows);
+            for mode in [BuildMode::Auto, BuildMode::Threaded, BuildMode::Inline] {
+                let fast = ConcurrentCaesar::build_with_mode(cfg(), shards, &flows, mode);
+                assert_eq!(
+                    fast.sram().snapshot(),
+                    slow.sram().snapshot(),
+                    "shards = {shards}, mode = {mode:?}"
+                );
+                assert_eq!(fast.evictions(), slow.evictions(), "shards = {shards}");
+                assert_eq!(fast.sram().total_added(), slow.sram().total_added());
+            }
+        }
+    }
+
+    #[test]
+    fn stream_matches_build_bit_exactly() {
+        let flows = workload();
+        for shards in [1, 2, 5] {
+            let batch = ConcurrentCaesar::build(cfg(), shards, &flows);
+            let stream =
+                ConcurrentCaesar::build_stream(cfg(), shards, flows.iter().copied());
+            assert_eq!(
+                batch.sram().snapshot(),
+                stream.sram().snapshot(),
+                "shards = {shards}"
+            );
+            assert_eq!(batch.evictions(), stream.evictions());
+        }
+    }
+
+    #[test]
+    fn writeback_batching_coalesces_hot_counters() {
+        let flows = workload();
+        let c = ConcurrentCaesar::build(cfg(), 2, &flows);
+        let stats = c.ingest_stats();
+        assert!(stats.evictions > 0);
+        assert!(stats.staged_updates >= stats.flushed_updates);
+        assert!(stats.flushes > 0);
+        // 64 flows × k=3 ⇒ at most 192 hot counters, so 1024-entry
+        // batches must coalesce substantially on this workload.
+        assert!(
+            stats.coalescing_factor() > 1.5,
+            "coalescing factor {}",
+            stats.coalescing_factor()
+        );
+    }
+
+    #[test]
+    fn per_shard_entries_conserves_the_budget() {
+        // Remainder distributed: no silent loss (the old rule dropped
+        // 130 mod 4 = 2 entries here).
+        assert_eq!(per_shard_entries(130, 4), vec![33, 33, 32, 32]);
+        // Fewer entries than shards: explicit inflation to 1 each.
+        assert_eq!(per_shard_entries(4, 8), vec![1; 8]);
+        // One shard: the sequential geometry, untouched.
+        assert_eq!(per_shard_entries(130, 1), vec![130]);
+        for m in [1usize, 4, 31, 128, 130, 1000] {
+            for t in [1usize, 2, 3, 4, 7, 8, 64] {
+                let parts = per_shard_entries(m, t);
+                assert_eq!(parts.len(), t);
+                assert_eq!(
+                    parts.iter().sum::<usize>(),
+                    m.max(t),
+                    "M = {m}, T = {t}"
+                );
+                assert!(parts.iter().all(|&e| e >= 1));
+                // Fair split: shard sizes differ by at most one entry.
+                let (lo, hi) = (
+                    *parts.iter().min().expect("nonempty"),
+                    *parts.iter().max().expect("nonempty"),
+                );
+                assert!(hi - lo <= 1, "M = {m}, T = {t}: {parts:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn per_shard_entries_zero_shards_rejected() {
+        per_shard_entries(16, 0);
+    }
+
+    #[test]
     fn accuracy_comparable_to_sequential() {
         let flows = workload();
         let conc = ConcurrentCaesar::build(cfg(), 4, &flows);
@@ -281,5 +728,12 @@ mod tests {
         let flows: Vec<u64> = (0..10u64).map(mix64).collect();
         let c = ConcurrentCaesar::build(cfg(), 32, &flows);
         assert_eq!(c.sram().total_added(), 10);
+    }
+
+    #[test]
+    fn empty_stream_builds_an_empty_sketch() {
+        let c = ConcurrentCaesar::build_stream(cfg(), 4, std::iter::empty());
+        assert_eq!(c.sram().total_added(), 0);
+        assert_eq!(c.evictions(), 0);
     }
 }

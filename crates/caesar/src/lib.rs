@@ -59,8 +59,8 @@ pub mod sram;
 pub mod theory;
 pub mod update;
 
-pub use atomic_sram::AtomicCounterArray;
-pub use concurrent::ConcurrentCaesar;
+pub use atomic_sram::{AtomicCounterArray, WritebackBuffer};
+pub use concurrent::{per_shard_entries, BuildMode, ConcurrentCaesar, IngestStats};
 pub use epochs::EpochedCaesar;
 pub use heavy_hitters::{DetectionReport, Hitter};
 pub use packed::PackedCounterArray;

@@ -2,12 +2,12 @@
 
 use crate::scale::{Scale, PAPER_MEAN_FLOW};
 use baselines::{Case, Rcs};
-use caesar::{Caesar, CaesarConfig, Estimator};
+use caesar::{Caesar, CaesarConfig, ConcurrentCaesar, Estimator};
 use flowtrace::{FlowId, Trace};
 use metrics::ScatterSeries;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
-use support::par::par_map;
+use support::par::{par_map, partition_by};
 
 /// A generated trace plus its ground truth, shared between figures.
 pub type SharedTrace = Arc<(Trace, HashMap<FlowId, u64>)>;
@@ -66,6 +66,25 @@ pub fn run_caesar(cfg: CaesarConfig, trace: &Trace) -> Caesar {
     c
 }
 
+/// Route the trace's packet stream into RSS-style per-shard flow
+/// batches with one O(n) pass — the same flow→shard map
+/// [`ConcurrentCaesar`] uses, exposed so custom replays (throughput
+/// studies, figure sweeps) can reuse the ingest partition without
+/// rebuilding a sketch.
+pub fn shard_flows(trace: &Trace, shards: usize, seed: u64) -> Vec<Vec<u64>> {
+    let flows: Vec<u64> = trace.packets.iter().map(|p| p.flow).collect();
+    partition_by(&flows, shards, |&f| {
+        ConcurrentCaesar::shard_of(f, shards, seed)
+    })
+}
+
+/// Run the sharded construction phase over the trace and return the
+/// finished sketch (the multi-core analogue of [`run_caesar`]).
+pub fn run_caesar_sharded(cfg: CaesarConfig, shards: usize, trace: &Trace) -> ConcurrentCaesar {
+    let flows: Vec<u64> = trace.packets.iter().map(|p| p.flow).collect();
+    ConcurrentCaesar::build(cfg, shards, &flows)
+}
+
 /// Score a finished CAESAR sketch against ground truth with the given
 /// estimator, in parallel over flows.
 pub fn score_caesar(
@@ -116,6 +135,32 @@ mod tests {
         let a = trace_for(Scale::Tiny);
         let b = trace_for(Scale::Tiny);
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn shard_flows_partitions_the_whole_trace_consistently() {
+        let shared = trace_for(Scale::Tiny);
+        let trace = &shared.0;
+        let seed = 0xCAE5A12D;
+        let batches = shard_flows(trace, 4, seed);
+        assert_eq!(batches.len(), 4);
+        assert_eq!(
+            batches.iter().map(Vec::len).sum::<usize>(),
+            trace.num_packets()
+        );
+        for (shard, batch) in batches.iter().enumerate() {
+            assert!(batch
+                .iter()
+                .all(|&f| ConcurrentCaesar::shard_of(f, 4, seed) == shard));
+        }
+    }
+
+    #[test]
+    fn sharded_run_conserves_packets_at_tiny_scale() {
+        let shared = trace_for(Scale::Tiny);
+        let trace = &shared.0;
+        let sketch = run_caesar_sharded(caesar_config(Scale::Tiny), 4, trace);
+        assert_eq!(sketch.sram().total_added() as usize, trace.num_packets());
     }
 
     #[test]

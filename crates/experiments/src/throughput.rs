@@ -17,7 +17,9 @@ use crate::report::{f, Csv, TextTable};
 use crate::runner::bursty_trace_for;
 use crate::scale::{Scale, PAPER_MEAN_FLOW};
 use cachesim::{CacheConfig, CacheTable};
+use caesar::ConcurrentCaesar;
 use memsim::{AccessCosts, PacketWork, Pipeline};
+use std::time::Instant;
 
 /// One scheme's saturation point.
 #[derive(Debug, Clone)]
@@ -179,6 +181,128 @@ impl ThroughputResult {
     }
 }
 
+/// One measured construction run of the sharded CAESAR build.
+#[derive(Debug, Clone)]
+pub struct ConstructionRow {
+    /// Ingest path: `partitioned` (O(n) single pass + batch writeback),
+    /// `stream` (overlapped partition/consume), or `replay` (the seed's
+    /// O(T·n) scan-and-filter reference).
+    pub path: String,
+    /// Worker shards used.
+    pub shards: usize,
+    /// Wall-clock construction time (ms), median of the timed runs.
+    pub ms: f64,
+    /// Construction rate (Mpkt/s).
+    pub mpps: f64,
+}
+
+/// Wall-clock construction-throughput study of the ingest pipeline:
+/// the partitioned/batched build and its streaming variant versus the
+/// replay reference, per shard count.
+#[derive(Debug, Clone)]
+pub struct ConstructionScaling {
+    /// Measured rows.
+    pub rows: Vec<ConstructionRow>,
+    /// Packets per construction run.
+    pub n_packets: usize,
+}
+
+fn median_ms(mut times: Vec<f64>) -> f64 {
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+/// Measure sharded construction wall-clock at `scale` for each shard
+/// count (median of `samples` runs; the sketches are checked for
+/// packet conservation on every run).
+pub fn construction_scaling(
+    scale: Scale,
+    shard_counts: &[usize],
+    samples: usize,
+) -> ConstructionScaling {
+    let shared = bursty_trace_for(scale);
+    let trace = &shared.0;
+    let flows: Vec<u64> = trace.packets.iter().map(|p| p.flow).collect();
+    let cfg = crate::runner::caesar_config(scale);
+    let samples = samples.max(1);
+
+    let mut rows = Vec::new();
+    let mut timed = |path: &str, shards: usize, build: &dyn Fn() -> ConcurrentCaesar| {
+        let times: Vec<f64> = (0..samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                let sketch = build();
+                let ms = t0.elapsed().as_secs_f64() * 1e3;
+                assert_eq!(sketch.sram().total_added() as usize, flows.len());
+                ms
+            })
+            .collect();
+        let ms = median_ms(times);
+        rows.push(ConstructionRow {
+            path: path.into(),
+            shards,
+            ms,
+            mpps: flows.len() as f64 / ms / 1e3,
+        });
+    };
+    for &shards in shard_counts {
+        timed("partitioned", shards, &|| {
+            ConcurrentCaesar::build(cfg, shards, &flows)
+        });
+        timed("stream", shards, &|| {
+            ConcurrentCaesar::build_stream(cfg, shards, flows.iter().copied())
+        });
+        timed("replay", shards, &|| {
+            ConcurrentCaesar::build_replay(cfg, shards, &flows)
+        });
+    }
+    ConstructionScaling { rows, n_packets: flows.len() }
+}
+
+impl ConstructionScaling {
+    /// Row lookup by path and shard count.
+    pub fn row(&self, path: &str, shards: usize) -> Option<&ConstructionRow> {
+        self.rows.iter().find(|r| r.path == path && r.shards == shards)
+    }
+
+    /// Replay-vs-partitioned wall-clock speedup at a shard count.
+    pub fn speedup(&self, shards: usize) -> Option<f64> {
+        Some(self.row("replay", shards)?.ms / self.row("partitioned", shards)?.ms)
+    }
+
+    /// Text rendering.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec!["path", "shards", "ms", "Mpkt/s"]);
+        for r in &self.rows {
+            t.row(vec![
+                r.path.clone(),
+                r.shards.to_string(),
+                f(r.ms),
+                f(r.mpps),
+            ]);
+        }
+        format!(
+            "Extension — sharded construction wall-clock ({} packets)\n{}",
+            self.n_packets,
+            t.render()
+        )
+    }
+
+    /// CSV export.
+    pub fn to_csv(&self) -> Vec<(String, String)> {
+        let mut c = Csv::new(&["path", "shards", "ms", "mpps"]);
+        for r in &self.rows {
+            c.row(&[
+                r.path.clone(),
+                r.shards.to_string(),
+                format!("{:.3}", r.ms),
+                format!("{:.3}", r.mpps),
+            ]);
+        }
+        vec![("ext_construction_scaling.csv".into(), c.to_string())]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,6 +342,22 @@ mod tests {
     fn render_nonempty() {
         let r = run(Scale::Tiny);
         assert!(r.render().contains("sustainable"));
+        assert_eq!(r.to_csv().len(), 1);
+    }
+
+    #[test]
+    fn construction_scaling_measures_every_path() {
+        // Structural assertions only — wall-clock ordering is asserted
+        // by the `concurrent_build` bench, not in CI-sized tests.
+        let r = construction_scaling(Scale::Tiny, &[1, 2], 1);
+        assert_eq!(r.rows.len(), 6, "3 paths × 2 shard counts");
+        for row in &r.rows {
+            assert!(row.ms > 0.0 && row.ms.is_finite(), "{row:?}");
+            assert!(row.mpps > 0.0 && row.mpps.is_finite(), "{row:?}");
+        }
+        assert!(r.speedup(2).is_some());
+        assert!(r.row("stream", 1).is_some());
+        assert!(r.render().contains("construction"));
         assert_eq!(r.to_csv().len(), 1);
     }
 }

@@ -69,6 +69,42 @@ where
     out.into_iter().map(|v| v.expect("all slots filled")).collect()
 }
 
+/// Route `items` into `parts` buckets with **one** O(n) pass,
+/// preserving the input order within each bucket.
+///
+/// This is the ingest half of a sharded pipeline: partition the stream
+/// once by an RSS-style hash, then let each worker consume only its own
+/// bucket — total work O(n + n/T per worker) instead of the
+/// O(T·n) "every worker replays the whole stream and filters" pattern.
+/// Because the split is by *key* (not by position), the per-bucket
+/// subsequence is independent of how many workers later consume it,
+/// which keeps downstream state machines deterministic.
+///
+/// The classifier is the expensive half (an RSS hash per item), so it
+/// runs exactly once per item and the item is routed immediately —
+/// no second pass, no cached key array. Each bucket is pre-reserved at
+/// the balanced size `n/parts` plus slack, so a near-uniform classifier
+/// (the RSS case) routes with at most one growth step per bucket.
+///
+/// # Panics
+/// Panics if `parts == 0`, or if `part_of` returns an index `>= parts`.
+pub fn partition_by<T, F>(items: &[T], parts: usize, part_of: F) -> Vec<Vec<T>>
+where
+    T: Clone,
+    F: Fn(&T) -> usize,
+{
+    assert!(parts >= 1, "partition_by needs at least one part");
+    // n/parts + 12.5% slack + a floor for tiny inputs.
+    let reserve = items.len() / parts + items.len() / (parts * 8) + 8;
+    let mut out: Vec<Vec<T>> = (0..parts).map(|_| Vec::with_capacity(reserve)).collect();
+    for item in items {
+        let p = part_of(item);
+        assert!(p < parts, "part_of returned {p} for {parts} parts");
+        out[p].push(item.clone());
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,6 +129,45 @@ mod tests {
     #[test]
     fn more_threads_than_items_is_fine() {
         assert_eq!(par_map_threads(&[1, 2, 3], 100, |x| x * 10), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn partition_routes_and_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let parts = partition_by(&items, 7, |&x| (x % 7) as usize);
+        assert_eq!(parts.len(), 7);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), items.len());
+        for (p, bucket) in parts.iter().enumerate() {
+            // Right bucket, ascending (= input) order.
+            assert!(bucket.iter().all(|&x| (x % 7) as usize == p));
+            assert!(bucket.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn partition_concat_of_single_part_is_identity() {
+        let items: Vec<u32> = (0..50).rev().collect();
+        let parts = partition_by(&items, 1, |_| 0);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0], items);
+    }
+
+    #[test]
+    fn partition_empty_input_gives_empty_parts() {
+        let parts = partition_by::<u8, _>(&[], 4, |_| 0);
+        assert_eq!(parts, vec![Vec::<u8>::new(); 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one part")]
+    fn partition_zero_parts_rejected() {
+        partition_by(&[1u8], 0, |_| 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "part_of returned")]
+    fn partition_out_of_range_part_rejected() {
+        partition_by(&[1u8], 2, |_| 5);
     }
 
     #[test]

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Run the support::timing bench harnesses and collect their JSON lines
+# into one trajectory file, so every PR's perf numbers accumulate next
+# to the code that produced them.
+#
+# Usage: scripts/bench_trajectory.sh [OUT] [BENCH...]
+#   OUT      output file (default BENCH_PR2.json)
+#   BENCH... bench targets to run (default: micro extensions)
+#
+# Environment:
+#   CAESAR_BENCH_SAMPLES  samples per benchmark (harness default 5)
+#   CAESAR_BENCH_WARMUP   warmup invocations (harness default 1)
+#
+# Each emitted line is one benchmark:
+#   {"group":…,"name":…,"median_ns":…,"min_ns":…,"max_ns":…,"samples":…}
+# plus one leading meta line recording when/what produced the file.
+# Compare trajectories across PRs by joining on (group, name) — names
+# are stable by contract (see support::timing docs). The before/after
+# for PR 2's ingest pipeline lives inside one file: group
+# "concurrent_build", headline pair "linerate_4" (partitioned pipeline)
+# vs "linerate_replay_4" (the seed's O(T·n) scan-and-filter), plus the
+# cache-thrash-regime pair "4" vs "replay_4".
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_PR2.json}"
+shift || true
+BENCHES=("$@")
+if [ "${#BENCHES[@]}" -eq 0 ]; then
+    BENCHES=(micro extensions)
+fi
+
+echo "==> building release benches (offline)"
+cargo build --release --offline --benches --workspace >/dev/null
+
+TMP="$(mktemp "${OUT}.XXXXXX")"
+trap 'rm -f "$TMP"' EXIT
+printf '{"meta":"bench_trajectory","date":"%s","benches":"%s"}\n' \
+    "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "${BENCHES[*]}" > "$TMP"
+
+for b in "${BENCHES[@]}"; do
+    echo "==> cargo bench --bench $b"
+    # The harness prints one JSON object per line on stdout and its
+    # human-readable summary on stderr; keep only the JSON.
+    cargo bench --offline -p bench --bench "$b" 2>/dev/null \
+        | grep '^{' >> "$TMP"
+done
+
+mv "$TMP" "$OUT"
+trap - EXIT
+echo "==> wrote $(grep -c '^{' "$OUT") JSON lines to $OUT"

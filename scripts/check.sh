@@ -26,11 +26,16 @@ else
 fi
 
 # Benches and examples are not exercised by `cargo test`; keep them
-# compiling so the figure/bench harnesses never rot.
-run cargo build --offline --benches --workspace
+# compiling so the figure/bench harnesses never rot. Build them in
+# release too: the bench trajectory (scripts/bench_trajectory.sh) runs
+# release binaries, and an -O-only codegen error must fail CI, not the
+# first perf run.
+run cargo build --offline --benches --examples --workspace
+run cargo build --release --offline --benches --examples --workspace
 
-# Clippy is best-effort: the toolchain in some sandboxes ships without
-# it, and its absence must not fail tier-1.
+# Clippy with -D warnings is part of tier-1 wherever the component is
+# installed; it is skipped (loudly) only when the toolchain ships
+# without it, so its absence must not fail the offline sandbox.
 if cargo clippy --version >/dev/null 2>&1; then
     run cargo clippy --offline --workspace --all-targets -- -D warnings
 else

@@ -12,7 +12,7 @@ use baselines::{
 };
 use bench::{bench_config, bench_trace, linerate_bench_trace};
 use caesar::epochs::EpochedCaesar;
-use caesar::ConcurrentCaesar;
+use caesar::{ConcurrentCaesar, Estimator};
 use memsim::{PacketWork, Pipeline};
 use std::hint::black_box;
 use support::rand::{rngs::StdRng, SeedableRng};
@@ -157,6 +157,35 @@ fn concurrent_and_epochs() {
     g.finish();
 }
 
+fn parallel_query() {
+    // The PR 3 batch query engine against the concurrent sketch's
+    // atomic SRAM: per-call sweep (the "before") vs the zero-alloc
+    // batch kernel at widths 1/2/4. Thread widths resolve against
+    // available_parallelism, and results are bit-identical at every
+    // width (tests/hotpath_equivalence.rs), so the numbers isolate
+    // kernel + scheduling cost, never accuracy.
+    let (trace, truth) = bench_trace();
+    let flows: Vec<u64> = trace.packets.iter().map(|p| p.flow).collect();
+    let sketch = ConcurrentCaesar::build(bench_config(), 4, &flows);
+    let population: Vec<u64> = truth.keys().copied().collect();
+    let mut g = Harness::new("parallel_query");
+    for (label, estimator) in [("csm", Estimator::Csm), ("mlm", Estimator::Mlm)] {
+        g.bench(&format!("{label}_per_call"), || {
+            let mut acc = 0.0;
+            for &f in &population {
+                acc += sketch.estimate(f, estimator).value;
+            }
+            black_box(acc);
+        });
+        for t in [1usize, 2, 4] {
+            g.bench(&format!("{label}_batch_t{t}"), || {
+                black_box(sketch.estimate_all_threads(&population, estimator, t));
+            });
+        }
+    }
+    g.finish();
+}
+
 fn pipeline_and_rcs() {
     let mut g = Harness::new("timing_models");
     let n = 200_000usize;
@@ -194,5 +223,6 @@ fn main() {
     braids();
     sac_and_sampling();
     concurrent_and_epochs();
+    parallel_query();
     pipeline_and_rcs();
 }

@@ -8,8 +8,9 @@
 use baselines::{Case, CaseConfig, DiscoScale, LossModel, Rcs, RcsConfig};
 use bench::{bench_config, bench_trace, build_sketch};
 use caesar::estimator::{csm, mlm, EstimateParams};
-use caesar::{AtomicCounterArray, Caesar, Estimator, WritebackBuffer};
-use hashkit::{aphash::aphash64, fnv::fnv1a64, sha1::Sha1, KCounterMap};
+use caesar::update::spread_eviction;
+use caesar::{AtomicCounterArray, Caesar, CounterArray, Estimator, WritebackBuffer};
+use hashkit::{aphash::aphash64, fnv::fnv1a64, sha1::Sha1, KCounterMap, K_MAX};
 use std::hint::black_box;
 use support::rand::{rngs::StdRng, Rng, SeedableRng};
 use support::timing::Harness;
@@ -34,6 +35,15 @@ fn hashing() {
         map.indices_into(black_box(i), &mut buf);
         black_box(buf.len());
     });
+    // The allocation-free hot-path form: fixed stack scratch, no Vec
+    // bookkeeping at all (PR 3 pair for kmap_indices_k3).
+    let mut fill = [0usize; K_MAX];
+    let mut j = 0u64;
+    g.bench_n("kmap_fill_indices_k3", 100_000, || {
+        j = j.wrapping_add(1);
+        map.fill_indices(black_box(j), &mut fill);
+        black_box(fill[0]);
+    });
     g.finish();
 }
 
@@ -43,6 +53,22 @@ fn record_paths() {
 
     g.bench("caesar_trace", || {
         black_box(build_sketch(bench_config(), &trace));
+    });
+    // Prefetched batch ingest over the same packets (PR 3 pair for
+    // caesar_trace; byte-identical sketch, see hotpath_equivalence).
+    let batch_flows: Vec<u64> = trace.packets.iter().map(|p| p.flow).collect();
+    g.bench("caesar_trace_batch", || {
+        let mut c = Caesar::new(bench_config());
+        c.record_batch(&batch_flows);
+        c.finish();
+        black_box(c.stats().evictions);
+    });
+    // The per-eviction spread kernel in isolation (zero-alloc scratch).
+    let mut sram = CounterArray::new(2048, 32);
+    let idx = [17usize, 701, 1400];
+    let mut srng = StdRng::seed_from_u64(9);
+    g.bench_n("spread_eviction_k3_54u", 100_000, || {
+        black_box(spread_eviction(&mut sram, &idx, 54, &mut srng));
     });
     g.bench("rcs_trace", || {
         let mut r = Rcs::new(RcsConfig {
@@ -93,6 +119,21 @@ fn estimators() {
         }
         black_box(acc);
     });
+    // PR 3 pairs: the zero-alloc batch engine, sequential and 4-way
+    // (the 4-way width resolves against available_parallelism, so on a
+    // 1-core host it measures the batch kernel itself).
+    g.bench("caesar_query_csm_all_flows_batch", || {
+        black_box(sketch.estimate_all(&flows, Estimator::Csm));
+    });
+    g.bench("caesar_query_mlm_all_flows_batch", || {
+        black_box(sketch.estimate_all(&flows, Estimator::Mlm));
+    });
+    g.bench("caesar_query_csm_all_flows_par4", || {
+        black_box(sketch.estimate_all_threads(&flows, Estimator::Csm, 4));
+    });
+    g.bench("caesar_query_mlm_all_flows_par4", || {
+        black_box(sketch.estimate_all_threads(&flows, Estimator::Mlm, 4));
+    });
 
     // RCS's search-based MLE: the paper calls it "extremely slow";
     // quantify it against closed-form CSM.
@@ -131,6 +172,15 @@ fn estimators() {
     });
     g.bench_n("mlm_kernel", 100_000, || {
         black_box(mlm::estimate(&w, &params));
+    });
+    // Prepared (constants-hoisted) kernels the batch engine runs.
+    let csm_prep = csm::Prepared::new(&params);
+    g.bench_n("csm_kernel_prepared", 100_000, || {
+        black_box(csm_prep.estimate(&w));
+    });
+    let mlm_prep = mlm::Prepared::new(&params);
+    g.bench_n("mlm_kernel_prepared", 100_000, || {
+        black_box(mlm_prep.estimate(&w));
     });
     g.finish();
 }

@@ -21,4 +21,6 @@
 
 pub mod table;
 
-pub use table::{CacheConfig, CachePolicy, CacheStats, CacheTable, Eviction, EvictionReason};
+pub use table::{
+    CacheConfig, CachePolicy, CacheStats, CacheTable, Eviction, EvictionReason, Recorded,
+};

@@ -38,6 +38,30 @@ pub struct Eviction {
     pub reason: EvictionReason,
 }
 
+/// Outcome of a slot-visible record ([`CacheTable::record_slotted`]).
+///
+/// Exposing the slot id lets callers keep **per-slot side tables** (the
+/// CAESAR layer memoizes each resident flow's `k` counter indices this
+/// way) without a second hash lookup:
+///
+/// * `inserted == true` means the flow was newly bound to `slot` by
+///   this call (fresh allocation *or* victim replacement) and any
+///   side-table row for `slot` must be refreshed — **after** consuming
+///   `eviction`, which still refers to the slot's previous occupant on
+///   the replacement path.
+/// * `inserted == false` means the flow was already resident; the
+///   side-table row for `slot` is the flow's own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Recorded {
+    /// The slot the flow occupies after this call.
+    pub slot: u32,
+    /// True when the flow was (re)bound to `slot` by this call.
+    pub inserted: bool,
+    /// The eviction the packet caused, if any. On the replacement path
+    /// this is the **previous** occupant of `slot`.
+    pub eviction: Option<Eviction>,
+}
+
 /// Cache configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct CacheConfig {
@@ -199,23 +223,20 @@ impl CacheTable {
 
     /// Process one packet of `flow`. Returns the eviction the packet
     /// caused, if any (at most one in packet-counting mode).
+    #[inline]
     pub fn record(&mut self, flow: u64) -> Option<Eviction> {
+        self.record_slotted(flow).eviction
+    }
+
+    /// Process one packet of `flow`, additionally reporting **which
+    /// slot** the flow now occupies and whether it was (re)bound by
+    /// this call. This is the single implementation behind
+    /// [`record`](Self::record); the eviction semantics and emission
+    /// order are identical. See [`Recorded`] for the side-table
+    /// contract.
+    pub fn record_slotted(&mut self, flow: u64) -> Recorded {
         if let Some(&slot) = self.index.get(&flow) {
-            self.stats.hits += 1;
-            self.touch(slot);
-            let s = &mut self.slots[slot as usize];
-            s.count += 1;
-            if s.count >= self.cfg.entry_capacity {
-                let value = s.count;
-                s.count = 0;
-                self.stats.overflow_evictions += 1;
-                return Some(Eviction {
-                    flow,
-                    value,
-                    reason: EvictionReason::Overflow,
-                });
-            }
-            return None;
+            return self.hit(flow, slot);
         }
 
         self.stats.misses += 1;
@@ -230,7 +251,7 @@ impl CacheTable {
             };
             self.index.insert(flow, slot);
             self.push_front(slot);
-            return None;
+            return Recorded { slot, inserted: true, eviction: None };
         }
 
         // Full: pick a victim, flush it, reuse its slot.
@@ -242,7 +263,7 @@ impl CacheTable {
         self.slots[victim as usize] = Slot { flow, count: 1, prev: NIL, next: NIL };
         self.index.insert(flow, victim);
         self.push_front(victim);
-        if victim_count > 0 {
+        let eviction = if victim_count > 0 {
             self.stats.replacement_evictions += 1;
             Some(Eviction {
                 flow: victim_flow,
@@ -252,7 +273,62 @@ impl CacheTable {
         } else {
             // The victim had just overflowed (count 0): nothing to flush.
             None
+        };
+        Recorded { slot: victim, inserted: true, eviction }
+    }
+
+    /// The shared hit branch of [`record_slotted`](Self::record_slotted)
+    /// and [`record_slotted_hinted`](Self::record_slotted_hinted):
+    /// `slot` is known to be bound to `flow`.
+    #[inline]
+    fn hit(&mut self, flow: u64, slot: u32) -> Recorded {
+        self.stats.hits += 1;
+        self.touch(slot);
+        let s = &mut self.slots[slot as usize];
+        s.count += 1;
+        let eviction = if s.count >= self.cfg.entry_capacity {
+            let value = s.count;
+            s.count = 0;
+            self.stats.overflow_evictions += 1;
+            Some(Eviction {
+                flow,
+                value,
+                reason: EvictionReason::Overflow,
+            })
+        } else {
+            None
+        };
+        Recorded { slot, inserted: false, eviction }
+    }
+
+    /// [`record_slotted`](Self::record_slotted) with a **slot hint**
+    /// from an earlier [`prefetch`](Self::prefetch) of the same `flow`,
+    /// letting the hot hit path skip the index lookup entirely (the
+    /// probe already paid for it).
+    ///
+    /// The hint is validated against the slot's flow tag: between the
+    /// probe and this call, intervening `record*` calls can only
+    /// *rebind* a slot (replacement), never free one, so a matching tag
+    /// proves `slot` is still `flow`'s binding. A stale or `None` hint
+    /// falls back to the full lookup. Either way the observable
+    /// behavior — stats, recency order, evictions, slot binding — is
+    /// identical to [`record_slotted`](Self::record_slotted).
+    ///
+    /// Do **not** carry hints across [`drain`](Self::drain),
+    /// [`drain_with`](Self::drain_with) or weighted records, which can
+    /// free slots and leave stale flow tags behind.
+    #[inline]
+    pub fn record_slotted_hinted(&mut self, flow: u64, hint: Option<u32>) -> Recorded {
+        if let Some(slot) = hint {
+            if self
+                .slots
+                .get(slot as usize)
+                .is_some_and(|s| s.flow == flow)
+            {
+                return self.hit(flow, slot);
+            }
         }
+        self.record_slotted(flow)
     }
 
     /// Process one packet of `flow` carrying `weight` units (bytes for
@@ -261,15 +337,35 @@ impl CacheTable {
     /// evictions (each of exactly `y`) plus at most one replacement
     /// eviction; they are appended to `out` in order.
     pub fn record_weighted(&mut self, flow: u64, weight: u64, out: &mut Vec<Eviction>) {
+        self.record_weighted_slotted(flow, weight, out);
+    }
+
+    /// Slot-visible form of [`record_weighted`](Self::record_weighted);
+    /// identical eviction semantics and emission order (replacement of
+    /// the previous occupant first, then the new flow's overflows).
+    /// Returns `None` when `weight == 0` (a no-op that binds nothing).
+    ///
+    /// Side-table contract: when `inserted` is true, refresh the row
+    /// for `slot` **after** consuming any `Replacement` eviction in
+    /// `out` (it refers to the slot's previous occupant) and **before**
+    /// consuming the `Overflow` evictions (they are the new flow's).
+    pub fn record_weighted_slotted(
+        &mut self,
+        flow: u64,
+        weight: u64,
+        out: &mut Vec<Eviction>,
+    ) -> Option<Recorded> {
         if weight == 0 {
-            return;
+            return None;
         }
+        let mut inserted = false;
         let slot = if let Some(&slot) = self.index.get(&flow) {
             self.stats.hits += 1;
             self.touch(slot);
             slot
         } else {
             self.stats.misses += 1;
+            inserted = true;
             if self.index.len() < self.cfg.entries {
                 let slot = if let Some(s) = self.free.pop() {
                     self.slots[s as usize] = Slot { flow, count: 0, prev: NIL, next: NIL };
@@ -312,29 +408,63 @@ impl CacheTable {
                 reason: EvictionReason::Overflow,
             });
         }
+        Some(Recorded { slot, inserted, eviction: None })
     }
 
     /// End-of-measurement dump (§3.1): flush every entry with a nonzero
     /// count and clear the table.
     pub fn drain(&mut self) -> Vec<Eviction> {
         let mut out = Vec::with_capacity(self.index.len());
+        self.drain_with(|_, e| out.push(e));
+        out
+    }
+
+    /// Streaming form of [`drain`](Self::drain): invoke `sink` with
+    /// `(slot, eviction)` for every resident entry with a nonzero
+    /// count, **in the same order** `drain` would emit them, then clear
+    /// the table. The slot id lets callers consume their per-slot side
+    /// tables (e.g. memoized counter indices) without re-hashing, and
+    /// the callback form avoids materializing the eviction `Vec`.
+    pub fn drain_with(&mut self, mut sink: impl FnMut(u32, Eviction)) {
+        let mut dumped = 0u64;
         for (&flow, &slot) in self.index.iter() {
             let count = self.slots[slot as usize].count;
             if count > 0 {
-                out.push(Eviction {
-                    flow,
-                    value: count,
-                    reason: EvictionReason::FinalDump,
-                });
+                dumped += 1;
+                sink(
+                    slot,
+                    Eviction {
+                        flow,
+                        value: count,
+                        reason: EvictionReason::FinalDump,
+                    },
+                );
             }
         }
-        self.stats.final_dump_entries += out.len() as u64;
+        self.stats.final_dump_entries += dumped;
         self.index.clear();
         self.slots.clear();
         self.free.clear();
         self.head = NIL;
         self.tail = NIL;
-        out
+    }
+
+    /// Software-prefetch the table state for an upcoming
+    /// [`record`](Self::record) of `flow` (issued one batch element
+    /// ahead by the CAESAR batch record loop).
+    ///
+    /// Probing the index warms the hash-map bucket line as a side
+    /// effect; on a resident flow the slot's line is additionally
+    /// prefetched and `Some((slot, will_overflow))` is returned so the
+    /// caller can also prefetch the flow's `k` SRAM counter words when
+    /// the *next* packet will overflow the entry. Read-only: no stats,
+    /// no recency update.
+    #[inline]
+    pub fn prefetch(&self, flow: u64) -> Option<(u32, bool)> {
+        let &slot = self.index.get(&flow)?;
+        let s = &self.slots[slot as usize];
+        support::mem::prefetch_read(s);
+        Some((slot, s.count + 1 >= self.cfg.entry_capacity))
     }
 
     /// Iterate resident `(flow, partial_count)` pairs without flushing.
@@ -681,6 +811,90 @@ mod tests {
             }
         }
         assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn record_slotted_agrees_with_record_and_tracks_binding() {
+        for policy in [CachePolicy::Lru, CachePolicy::Random, CachePolicy::Fifo] {
+            let mut a = CacheTable::new(CacheConfig { policy, ..CacheConfig::lru(8, 4) });
+            let mut b = CacheTable::new(CacheConfig { policy, ..CacheConfig::lru(8, 4) });
+            let mut bound: std::collections::HashMap<u32, u64> = Default::default();
+            let mut x = 5u64;
+            for _ in 0..10_000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let f = x % 29;
+                let e = a.record(f);
+                let r = b.record_slotted(f);
+                assert_eq!(e, r.eviction);
+                if !r.inserted {
+                    // Already resident: the slot must have been bound to
+                    // this flow by an earlier inserted=true call.
+                    assert_eq!(bound.get(&r.slot), Some(&f), "slot {} flow {f}", r.slot);
+                } else if let Some(ev) = r.eviction {
+                    // Replacement: the eviction names the previous
+                    // occupant of the reused slot.
+                    assert_eq!(bound.get(&r.slot), Some(&ev.flow));
+                }
+                bound.insert(r.slot, f);
+            }
+            assert_eq!(a.stats(), b.stats());
+        }
+    }
+
+    #[test]
+    fn drain_with_matches_drain_order_and_slots() {
+        let build = |seed: u64| {
+            let mut c = CacheTable::new(CacheConfig::random(16, 9));
+            let mut x = seed;
+            for _ in 0..4_000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                c.record(x % 41);
+            }
+            c
+        };
+        let mut a = build(11);
+        let mut b = build(11);
+        let expected = a.drain();
+        let mut got = Vec::new();
+        b.drain_with(|slot, e| {
+            // The slot really held this flow's count.
+            got.push(e);
+            let _ = slot;
+        });
+        assert_eq!(expected, got);
+        assert_eq!(a.stats(), b.stats());
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn weighted_slotted_agrees_with_weighted() {
+        let mut a = lru(4, 7);
+        let mut b = lru(4, 7);
+        let mut out_a = Vec::new();
+        let mut out_b = Vec::new();
+        let mut x = 9u64;
+        for _ in 0..3_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let f = x % 13;
+            let w = x % 20;
+            a.record_weighted(f, w, &mut out_a);
+            let r = b.record_weighted_slotted(f, w, &mut out_b);
+            assert_eq!(r.is_none(), w == 0);
+        }
+        assert_eq!(out_a, out_b);
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn prefetch_is_read_only_and_predicts_overflow() {
+        let mut c = lru(4, 3);
+        assert_eq!(c.prefetch(1), None);
+        c.record(1); // count 1
+        let st = c.stats();
+        assert_eq!(c.prefetch(1), Some((0, false)));
+        c.record(1); // count 2: next packet overflows (y = 3)
+        assert_eq!(c.prefetch(1).map(|(_, o)| o), Some(true));
+        assert_eq!(c.stats().hits, st.hits + 1, "prefetch must not count as access");
     }
 
     #[test]

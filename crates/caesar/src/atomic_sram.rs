@@ -120,6 +120,14 @@ impl AtomicCounterArray {
         self.counters[idx].load(Ordering::Relaxed)
     }
 
+    /// Software-prefetch the word holding counter `idx` (no-op when
+    /// out of bounds or on non-x86 targets). A pure hint — no memory
+    /// ordering effects.
+    #[inline]
+    pub fn prefetch(&self, idx: usize) {
+        support::mem::prefetch_index(&self.counters, idx);
+    }
+
     /// Sum over all counters.
     pub fn sum(&self) -> u64 {
         self.counters.iter().map(|c| c.load(Ordering::Relaxed)).sum()

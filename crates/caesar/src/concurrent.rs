@@ -34,7 +34,7 @@ use crate::config::{CaesarConfig, Estimator};
 use crate::estimator::{csm, mlm, Estimate, EstimateParams};
 use cachesim::{CacheConfig, CacheTable};
 use hashkit::mix::{bucket, mix64};
-use hashkit::KCounterMap;
+use hashkit::{KCounterMap, K_MAX};
 use support::par::partition_by;
 use support::rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -73,10 +73,7 @@ impl BuildMode {
     fn resolve(self) -> BuildMode {
         match self {
             BuildMode::Auto => {
-                let cores = std::thread::available_parallelism()
-                    .map(std::num::NonZeroUsize::get)
-                    .unwrap_or(1);
-                if cores > 1 {
+                if support::par::host_parallelism() > 1 {
                     BuildMode::Threaded
                 } else {
                     BuildMode::Inline
@@ -147,11 +144,18 @@ impl IngestStats {
 }
 
 /// One shard's private construction state: cache, remainder-scatter
-/// RNG, and the writeback buffer into the shared SRAM.
+/// RNG, the memoized per-slot counter indices, and the writeback
+/// buffer into the shared SRAM.
 struct ShardWorker<'a> {
     cache: CacheTable,
     rng: StdRng,
-    idx_buf: Vec<usize>,
+    /// Memoized counter indices, stride-`k` rows indexed by cache slot
+    /// (same scheme as the sequential [`crate::Caesar`]): computed once
+    /// per insert, reused by every eviction of that occupancy —
+    /// Overflow, Replacement (the victim's row is consumed before the
+    /// rebind refreshes it), and the FinalDump drain.
+    memo: Vec<usize>,
+    k: usize,
     wb: WritebackBuffer,
     sram: &'a AtomicCounterArray,
     kmap: &'a KCounterMap,
@@ -175,7 +179,8 @@ impl<'a> ShardWorker<'a> {
                 seed: cfg.seed ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
             }),
             rng: StdRng::seed_from_u64(cfg.seed ^ 0x0D15_EA5E ^ (shard as u64) << 32),
-            idx_buf: Vec::with_capacity(cfg.k),
+            memo: vec![0usize; entries * cfg.k],
+            k: cfg.k,
             wb: WritebackBuffer::new(writeback_capacity),
             sram,
             kmap,
@@ -185,41 +190,70 @@ impl<'a> ShardWorker<'a> {
 
     /// Ingest one packet of `flow`.
     fn record(&mut self, flow: u64) {
-        if let Some(ev) = self.cache.record(flow) {
+        let r = self.cache.record_slotted(flow);
+        let start = r.slot as usize * self.k;
+        if let Some(ev) = r.eviction {
+            debug_assert_eq!(self.memo[start..start + self.k], self.kmap.indices(ev.flow)[..]);
             self.evictions += 1;
-            self.push(ev.flow, ev.value);
+            self.spread_row(start, ev.value);
+        }
+        if r.inserted {
+            self.kmap.fill_indices(flow, &mut self.memo[start..start + self.k]);
         }
     }
 
-    /// Stage an eviction: split `value = p·k + q`, scatter the `q`
-    /// remainder units uniformly over the flow's `k` counters (§3.1).
-    fn push(&mut self, flow: u64, value: u64) {
-        self.kmap.indices_into(flow, &mut self.idx_buf);
-        let k = self.idx_buf.len() as u64;
-        let p = value / k;
-        let q = (value % k) as usize;
-        let mut extra = [0u64; 64];
-        for _ in 0..q {
-            extra[self.rng.gen_range(0..self.idx_buf.len())] += 1;
-        }
-        for (slot, &idx) in self.idx_buf.iter().enumerate() {
-            self.wb.push(idx, p + extra[slot], self.sram);
-        }
+    /// Stage an eviction of `value` for the memoized index row starting
+    /// at `start`: split `value = p·k + q`, scatter the `q` remainder
+    /// units uniformly over the flow's `k` counters (§3.1). RNG draw
+    /// order is identical to the pre-memoization implementation, so the
+    /// staged increments (and the final sketch) are bit-identical.
+    fn spread_row(&mut self, start: usize, value: u64) {
+        let Self { memo, rng, wb, sram, k, .. } = self;
+        stage_spread(&memo[start..start + *k], value, rng, wb, sram);
     }
 
     /// End of measurement: dump the cache, flush the buffer, report.
-    fn finish(mut self) -> IngestStats {
-        for ev in self.cache.drain() {
-            self.evictions += 1;
-            self.push(ev.flow, ev.value);
-        }
-        self.wb.flush(self.sram);
+    fn finish(self) -> IngestStats {
+        let Self { mut cache, mut rng, memo, k, mut wb, sram, kmap, mut evictions, .. } = self;
+        cache.drain_with(|slot, ev| {
+            let start = slot as usize * k;
+            let indices = &memo[start..start + k];
+            debug_assert_eq!(indices, &kmap.indices(ev.flow)[..]);
+            evictions += 1;
+            stage_spread(indices, ev.value, &mut rng, &mut wb, sram);
+        });
+        wb.flush(sram);
         IngestStats {
-            evictions: self.evictions,
-            staged_updates: self.wb.staged_updates(),
-            flushed_updates: self.wb.flushed_updates(),
-            flushes: self.wb.flushes(),
+            evictions,
+            staged_updates: wb.staged_updates(),
+            flushed_updates: wb.flushed_updates(),
+            flushes: wb.flushes(),
         }
+    }
+}
+
+/// Split `value = p·k + q` over `indices` and stage the per-counter
+/// increments: the aliquot `p` to each, the `q` remainder units
+/// scattered uniformly (each an independent `gen_range(0..k)` draw —
+/// the exact RNG consumption the ingest determinism pins rely on). The
+/// remainder accumulator is a stack array, bounded by [`K_MAX`].
+#[inline]
+fn stage_spread(
+    indices: &[usize],
+    value: u64,
+    rng: &mut StdRng,
+    wb: &mut WritebackBuffer,
+    sram: &AtomicCounterArray,
+) {
+    let kk = indices.len() as u64;
+    let p = value / kk;
+    let q = (value % kk) as usize;
+    let mut extra = [0u64; K_MAX];
+    for _ in 0..q {
+        extra[rng.gen_range(0..indices.len())] += 1;
+    }
+    for (slot, &idx) in indices.iter().enumerate() {
+        wb.push(idx, p + extra[slot], sram);
     }
 }
 
@@ -254,7 +288,7 @@ impl ConcurrentCaesar {
 
     fn scaffold(cfg: &CaesarConfig, shards: usize) -> (AtomicCounterArray, KCounterMap, Vec<usize>) {
         assert!(shards >= 1, "need at least one shard");
-        assert!(cfg.k <= 64, "concurrent build supports k up to 64");
+        assert!(cfg.k <= K_MAX, "concurrent build supports k up to {K_MAX}");
         cfg.validate();
         let sram = AtomicCounterArray::new(cfg.counters, cfg.counter_bits);
         let kmap = KCounterMap::new(cfg.k, cfg.counters, cfg.seed ^ 0x5EED_5EED);
@@ -537,6 +571,33 @@ impl ConcurrentCaesar {
     /// Clamped default-estimator query.
     pub fn query(&self, flow: u64) -> f64 {
         self.estimate(flow, self.cfg.estimator).clamped()
+    }
+
+    /// Batch query: evaluate `estimator` for every flow in `flows`
+    /// with the zero-alloc batch engine, sequentially. Bit-identical
+    /// to per-flow [`ConcurrentCaesar::estimate`].
+    pub fn estimate_all(&self, flows: &[u64], estimator: Estimator) -> Vec<Estimate> {
+        self.estimate_all_threads(flows, estimator, 1)
+    }
+
+    /// [`ConcurrentCaesar::estimate_all`] with up to `threads`
+    /// workers. Output order matches `flows`; bit-identical at every
+    /// thread count.
+    pub fn estimate_all_threads(
+        &self,
+        flows: &[u64],
+        estimator: Estimator,
+        threads: usize,
+    ) -> Vec<Estimate> {
+        crate::query::estimate_all(&self.kmap, &self.sram, &self.params(), estimator, flows, threads)
+    }
+
+    /// Clamped default-estimator sizes for a whole flow table.
+    pub fn query_all(&self, flows: &[u64]) -> Vec<f64> {
+        self.estimate_all(flows, self.cfg.estimator)
+            .into_iter()
+            .map(|e| e.clamped())
+            .collect()
     }
 }
 

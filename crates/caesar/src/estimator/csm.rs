@@ -49,6 +49,69 @@ pub fn variance(x: f64, params: &EstimateParams) -> f64 {
     x * k * (k - 1.0) * (k - 1.0) / y + n * k * (k - 1.0) * (k - 1.0) / (y * l)
 }
 
+/// CSM with the flow-independent subexpressions hoisted out — the batch
+/// query kernel. Construct once per sweep, then call
+/// [`estimate`](Prepared::estimate) per flow: validation, arity checks
+/// and the noise/variance constants are paid once instead of per flow.
+///
+/// **Bit-identity contract**: only *constant* subexpressions are
+/// precomputed, with the same operation order the per-call
+/// [`estimate`](estimate()) uses; every `x`-dependent floating-point
+/// chain is evaluated in the original order. The result is
+/// bit-identical to `estimate(counters, params)` for every input
+/// (pinned by unit tests and the parallel-query equivalence suite).
+#[derive(Debug, Clone, Copy)]
+pub struct Prepared {
+    k: usize,
+    k_f: f64,
+    km1: f64,
+    y_f: f64,
+    /// `noise_per_counter() · k` — the aggregate noise subtracted from
+    /// the counter sum.
+    noise_k: f64,
+    /// The constant variance term `n·k(k−1)²/(yL)`.
+    noise_var: f64,
+}
+
+impl Prepared {
+    /// Hoist the constants for `params`.
+    ///
+    /// # Panics
+    /// Panics on invalid `params` (same checks as the per-call path).
+    pub fn new(params: &EstimateParams) -> Self {
+        params.validate();
+        let k = params.k as f64;
+        let y = params.y as f64;
+        let n = params.total_packets as f64;
+        let l = params.counters as f64;
+        Self {
+            k: params.k,
+            k_f: k,
+            km1: k - 1.0,
+            y_f: y,
+            noise_k: params.noise_per_counter() * k,
+            noise_var: n * k * (k - 1.0) * (k - 1.0) / (y * l),
+        }
+    }
+
+    /// Per-flow kernel; bit-identical to [`estimate`](estimate()).
+    ///
+    /// # Panics
+    /// Panics if `counters.len() != k`.
+    #[inline]
+    pub fn estimate(&self, counters: &[u64]) -> Estimate {
+        assert_eq!(counters.len(), self.k, "expected {} counter values", self.k);
+        let sum: u64 = counters.iter().sum();
+        let value = sum as f64 - self.noise_k;
+        let x = value.max(0.0);
+        Estimate {
+            value,
+            // Same chain as `variance`: ((x·k)·(k−1))·(k−1)/y + const.
+            variance: x * self.k_f * self.km1 * self.km1 / self.y_f + self.noise_var,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,5 +157,35 @@ mod tests {
     #[should_panic(expected = "expected 3 counter values")]
     fn wrong_arity_panics() {
         estimate(&[1, 2], &params());
+    }
+
+    #[test]
+    fn prepared_is_bit_identical_to_per_call() {
+        for p in [
+            params(),
+            EstimateParams { k: 1, ..params() },
+            EstimateParams { k: 5, y: 1, counters: 17, total_packets: 3 },
+            EstimateParams { k: 2, y: 54, counters: 2048, total_packets: 0 },
+        ] {
+            let prep = Prepared::new(&p);
+            let mut w = vec![0u64; p.k];
+            let mut x = 0xDEADu64;
+            for _ in 0..500 {
+                for v in w.iter_mut() {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    *v = x >> 40; // realistic counter magnitudes
+                }
+                let a = estimate(&w, &p);
+                let b = prep.estimate(&w);
+                assert_eq!(a.value.to_bits(), b.value.to_bits(), "{p:?} w={w:?}");
+                assert_eq!(a.variance.to_bits(), b.variance.to_bits(), "{p:?} w={w:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 3 counter values")]
+    fn prepared_wrong_arity_panics() {
+        Prepared::new(&params()).estimate(&[1, 2]);
     }
 }

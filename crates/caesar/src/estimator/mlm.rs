@@ -68,6 +68,85 @@ pub fn variance(x: f64, params: &EstimateParams) -> f64 {
     }
 }
 
+/// MLM with the flow-independent subexpressions hoisted out — the batch
+/// query kernel (see `csm::Prepared` for the scheme).
+///
+/// **Bit-identity contract**: only *constant* subexpressions are
+/// precomputed, each with the operation order of the per-call path;
+/// `x`-dependent chains keep their original evaluation order, so the
+/// result is bit-identical to `estimate(counters, params)` (pinned by
+/// unit tests and the parallel-query equivalence suite).
+#[derive(Debug, Clone, Copy)]
+pub struct Prepared {
+    k: usize,
+    km1: f64,
+    /// `k²c²` of the closed form (constant under the square root).
+    kkcc: f64,
+    /// `4k` (multiplies the flow's `Σw²`).
+    four_k: f64,
+    /// `k·c`.
+    kc: f64,
+    /// `k · n/L` — the noise mass removed from `s`.
+    k_noise: f64,
+    /// `y·k` (denominator of the `x`-dependent delta term).
+    yk: f64,
+    /// The constant delta term `n(k−1)²/(ykL)`.
+    noise_delta: f64,
+    /// `(k−1)⁴/y²`.
+    quart: f64,
+    /// `2k²` (numerator prefix of Eq. 31, computed as `2·k·k`).
+    two_kk: f64,
+}
+
+impl Prepared {
+    /// Hoist the constants for `params`.
+    ///
+    /// # Panics
+    /// Panics on invalid `params` (same checks as the per-call path).
+    pub fn new(params: &EstimateParams) -> Self {
+        params.validate();
+        let k = params.k as f64;
+        let y = params.y as f64;
+        let n = params.total_packets as f64;
+        let l = params.counters as f64;
+        let c = (k - 1.0) * (k - 1.0) / y;
+        Self {
+            k: params.k,
+            km1: k - 1.0,
+            kkcc: k * k * c * c,
+            four_k: 4.0 * k,
+            kc: k * c,
+            k_noise: k * params.noise_per_counter(),
+            yk: y * k,
+            noise_delta: n * (k - 1.0) * (k - 1.0) / (y * k * l),
+            quart: (k - 1.0).powi(4) / (y * y),
+            two_kk: 2.0 * k * k,
+        }
+    }
+
+    /// Per-flow kernel; bit-identical to [`estimate`](estimate()).
+    ///
+    /// # Panics
+    /// Panics if `counters.len() != k`.
+    #[inline]
+    pub fn estimate(&self, counters: &[u64]) -> Estimate {
+        assert_eq!(counters.len(), self.k, "expected {} counter values", self.k);
+        let sum_sq: f64 = counters.iter().map(|&w| (w as f64) * (w as f64)).sum();
+        let s = 0.5 * ((self.kkcc + self.four_k * sum_sq).sqrt() - self.kc);
+        let value = s - self.k_noise;
+        let x = value.max(0.0);
+        // Same chains as `variance`: ((x·(k−1))·(k−1))/(y·k) + const.
+        let delta = x * self.km1 * self.km1 / self.yk + self.noise_delta;
+        let denom = 2.0 * delta + self.quart;
+        let variance = if denom == 0.0 {
+            0.0
+        } else {
+            self.two_kk * delta * delta / denom
+        };
+        Estimate { value, variance }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,5 +204,35 @@ mod tests {
     #[should_panic(expected = "expected 3 counter values")]
     fn wrong_arity_panics() {
         estimate(&[1, 2, 3, 4], &params());
+    }
+
+    #[test]
+    fn prepared_is_bit_identical_to_per_call() {
+        for p in [
+            params(),
+            EstimateParams { k: 1, ..params() },
+            EstimateParams { k: 5, y: 1, counters: 17, total_packets: 3 },
+            EstimateParams { k: 2, y: 54, counters: 2048, total_packets: 0 },
+        ] {
+            let prep = Prepared::new(&p);
+            let mut w = vec![0u64; p.k];
+            let mut x = 0xBEEFu64;
+            for _ in 0..500 {
+                for v in w.iter_mut() {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    *v = x >> 40;
+                }
+                let a = estimate(&w, &p);
+                let b = prep.estimate(&w);
+                assert_eq!(a.value.to_bits(), b.value.to_bits(), "{p:?} w={w:?}");
+                assert_eq!(a.variance.to_bits(), b.variance.to_bits(), "{p:?} w={w:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 3 counter values")]
+    fn prepared_wrong_arity_panics() {
+        Prepared::new(&params()).estimate(&[1, 2]);
     }
 }

@@ -55,6 +55,7 @@ pub mod gaussian;
 pub mod heavy_hitters;
 pub mod packed;
 pub mod pipeline;
+pub mod query;
 pub mod sram;
 pub mod theory;
 pub mod update;
@@ -67,4 +68,5 @@ pub use packed::PackedCounterArray;
 pub use config::{CaesarConfig, Estimator};
 pub use estimator::{Estimate, EstimateParams};
 pub use pipeline::{Caesar, CaesarStats};
+pub use query::{estimate_all, CounterView};
 pub use sram::CounterArray;

@@ -30,7 +30,15 @@ pub struct Caesar {
     sram: CounterArray,
     kmap: KCounterMap,
     rng: StdRng,
-    idx_buf: Vec<usize>,
+    /// Memoized per-slot counter indices (row `slot` is
+    /// `memo[slot·k .. slot·k + k]`): each resident flow's `k` mapped
+    /// SRAM indices are computed **once at insert time** and reused by
+    /// every Overflow / Replacement / FinalDump eviction of that
+    /// occupancy, eliminating the per-eviction re-hash. Rows are
+    /// refreshed whenever the cache rebinds a slot
+    /// ([`cachesim::Recorded::inserted`]), *after* the replacement
+    /// eviction of the previous occupant consumed its row.
+    memo: Vec<usize>,
     ev_buf: Vec<cachesim::Eviction>,
     finished: bool,
     evictions: u64,
@@ -56,7 +64,7 @@ impl Caesar {
             sram: CounterArray::new(cfg.counters, cfg.counter_bits),
             kmap: KCounterMap::new(cfg.k, cfg.counters, cfg.seed ^ 0x5EED_5EED),
             rng: StdRng::seed_from_u64(cfg.seed ^ 0x0D15_EA5E),
-            idx_buf: Vec::with_capacity(cfg.k),
+            memo: vec![0usize; cfg.cache_entries * cfg.k],
             ev_buf: Vec::new(),
             finished: false,
             evictions: 0,
@@ -77,15 +85,91 @@ impl Caesar {
     /// read-only.
     pub fn record(&mut self, flow: u64) {
         assert!(!self.finished, "record() after finish(): the sketch is read-only");
-        if let Some(ev) = self.cache.record(flow) {
-            self.push_eviction(ev.flow, ev.value);
+        self.record_inner(flow);
+    }
+
+    /// The memoized per-packet hot path. The resulting sketch is
+    /// byte-identical to recomputing `kmap.indices(ev.flow)` per
+    /// eviction: the memo row at the recorded slot is exactly the
+    /// evicted flow's index vector (its own on Overflow, the previous
+    /// occupant's on Replacement — the row is only refreshed *after*
+    /// the replacement eviction is spread), and the eviction/RNG order
+    /// is untouched.
+    #[inline]
+    fn record_inner(&mut self, flow: u64) {
+        let r = self.cache.record_slotted(flow);
+        self.apply_recorded(flow, r);
+    }
+
+    /// Memo/spread bookkeeping for one recorded packet, shared by the
+    /// per-call and batch paths.
+    #[inline]
+    fn apply_recorded(&mut self, flow: u64, r: cachesim::Recorded) {
+        let k = self.cfg.k;
+        let start = r.slot as usize * k;
+        if let Some(ev) = r.eviction {
+            debug_assert_eq!(self.memo[start..start + k], self.kmap.indices(ev.flow)[..]);
+            self.spread_row(start, ev.value);
         }
+        if r.inserted {
+            self.kmap.fill_indices(flow, &mut self.memo[start..start + k]);
+        }
+    }
+
+    /// Spread `value` over the memoized index row starting at `start`.
+    #[inline]
+    fn spread_row(&mut self, start: usize, value: u64) {
+        // The borrow checker will not let `spread_eviction` borrow both
+        // `self.sram` and `self.memo` through `self`, so split them.
+        let Self { sram, memo, rng, cfg, .. } = self;
+        self.sram_writes += spread_eviction(sram, &memo[start..start + cfg.k], value, rng);
+        self.evictions += 1;
     }
 
     /// Process a whole slice of packets.
     pub fn record_all(&mut self, flows: impl IntoIterator<Item = u64>) {
         for f in flows {
             self.record(f);
+        }
+    }
+
+    /// Batch construction: record `flows` in order while probing the
+    /// cache state — and, when the next packet will overflow its entry,
+    /// software-prefetching the flow's `k` SRAM counter words — **one
+    /// batch element ahead**, overlapping the lookup/RMW latency of
+    /// packet `i + 1` with the processing of packet `i`.
+    ///
+    /// The probe result is then carried forward as a **slot hint** into
+    /// packet `i + 1`'s record, so a cache hit costs one index lookup
+    /// per packet instead of two (the hint is re-validated against the
+    /// slot's flow tag, see
+    /// [`record_slotted_hinted`](cachesim::CacheTable::record_slotted_hinted)).
+    ///
+    /// Strictly equivalent to `for f in flows { self.record(f) }`
+    /// (the probe is read-only and the hint only short-circuits the
+    /// lookup); the recorded sketch is byte-identical.
+    ///
+    /// # Panics
+    /// Panics if called after [`Caesar::finish`].
+    pub fn record_batch(&mut self, flows: &[u64]) {
+        assert!(!self.finished, "record_batch() after finish(): the sketch is read-only");
+        let k = self.cfg.k;
+        let mut hint = flows.first().and_then(|&f| self.cache.prefetch(f));
+        for (i, &flow) in flows.iter().enumerate() {
+            let r = self
+                .cache
+                .record_slotted_hinted(flow, hint.map(|(slot, _)| slot));
+            self.apply_recorded(flow, r);
+            hint = flows.get(i + 1).and_then(|&next| {
+                let probe = self.cache.prefetch(next);
+                if let Some((slot, true)) = probe {
+                    let start = slot as usize * k;
+                    for &idx in &self.memo[start..start + k] {
+                        self.sram.prefetch(idx);
+                    }
+                }
+                probe
+            });
         }
     }
 
@@ -102,9 +186,24 @@ impl Caesar {
         // several entry-capacity chunks.
         let mut evs = std::mem::take(&mut self.ev_buf);
         evs.clear();
-        self.cache.record_weighted(flow, units, &mut evs);
-        for ev in &evs {
-            self.push_eviction(ev.flow, ev.value);
+        let k = self.cfg.k;
+        if let Some(r) = self.cache.record_weighted_slotted(flow, units, &mut evs) {
+            let start = r.slot as usize * k;
+            // A replacement eviction (previous occupant, emitted first)
+            // consumes the slot's old memo row; the new flow's row is
+            // written before its own overflow evictions are spread.
+            let mut refreshed = !r.inserted;
+            for &ev in &evs {
+                if !refreshed && ev.flow == flow {
+                    self.kmap.fill_indices(flow, &mut self.memo[start..start + k]);
+                    refreshed = true;
+                }
+                debug_assert_eq!(self.memo[start..start + k], self.kmap.indices(ev.flow)[..]);
+                self.spread_row(start, ev.value);
+            }
+            if !refreshed {
+                self.kmap.fill_indices(flow, &mut self.memo[start..start + k]);
+            }
         }
         self.ev_buf = evs;
     }
@@ -115,19 +214,19 @@ impl Caesar {
         if self.finished {
             return;
         }
-        for ev in self.cache.drain() {
-            self.push_eviction(ev.flow, ev.value);
-        }
+        // Streaming drain: each dumped entry's memoized row replaces
+        // the per-eviction re-hash; emission order (and hence the RNG
+        // draw order) is identical to `cache.drain()`.
+        let Self { cache, sram, memo, rng, kmap, cfg, evictions, sram_writes, .. } = self;
+        let k = cfg.k;
+        cache.drain_with(|slot, ev| {
+            let start = slot as usize * k;
+            let row = &memo[start..start + k];
+            debug_assert_eq!(row, &kmap.indices(ev.flow)[..]);
+            *sram_writes += spread_eviction(sram, row, ev.value, rng);
+            *evictions += 1;
+        });
         self.finished = true;
-    }
-
-    fn push_eviction(&mut self, flow: u64, value: u64) {
-        self.kmap.indices_into(flow, &mut self.idx_buf);
-        // The borrow checker will not let `spread_eviction` borrow both
-        // `self.sram` and `self.idx_buf` through `self`, so split them.
-        let Self { sram, idx_buf, rng, .. } = self;
-        self.sram_writes += spread_eviction(sram, idx_buf, value, rng);
-        self.evictions += 1;
     }
 
     /// True once [`Caesar::finish`] ran.
@@ -170,6 +269,35 @@ impl Caesar {
     /// clamped to physically possible (non-negative) sizes.
     pub fn query(&self, flow: u64) -> f64 {
         self.estimate(flow, self.cfg.estimator).clamped()
+    }
+
+    /// Batch query (§3.2 at scale): evaluate `estimator` for every
+    /// flow in `flows` with the zero-alloc batch engine
+    /// ([`crate::query::estimate_all`]), sequentially. Results are
+    /// bit-identical to calling [`Caesar::estimate`] per flow.
+    pub fn estimate_all(&self, flows: &[u64], estimator: Estimator) -> Vec<Estimate> {
+        self.estimate_all_threads(flows, estimator, 1)
+    }
+
+    /// [`Caesar::estimate_all`] with up to `threads` workers (resolved
+    /// against the host's available parallelism). Output order matches
+    /// `flows` and is bit-identical at every thread count.
+    pub fn estimate_all_threads(
+        &self,
+        flows: &[u64],
+        estimator: Estimator,
+        threads: usize,
+    ) -> Vec<Estimate> {
+        crate::query::estimate_all(&self.kmap, &self.sram, &self.params(), estimator, flows, threads)
+    }
+
+    /// Clamped default-estimator sizes for a whole flow table — the
+    /// batch counterpart of [`Caesar::query`].
+    pub fn query_all(&self, flows: &[u64]) -> Vec<f64> {
+        self.estimate_all(flows, self.cfg.estimator)
+            .into_iter()
+            .map(|e| e.clamped())
+            .collect()
     }
 
     /// Estimate plus the `alpha`-reliability confidence interval

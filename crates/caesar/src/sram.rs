@@ -90,6 +90,15 @@ impl CounterArray {
         self.counters[idx]
     }
 
+    /// Software-prefetch the word holding counter `idx` (no-op when
+    /// out of bounds or on non-x86 targets). Used by the batch record
+    /// loop to hint a flow's `k` counter lines one packet ahead of the
+    /// eviction that will read-modify-write them.
+    #[inline]
+    pub fn prefetch(&self, idx: usize) {
+        support::mem::prefetch_index(&self.counters, idx);
+    }
+
     /// Sum over all counters (equals `total_added` when nothing
     /// saturated).
     pub fn sum(&self) -> u64 {

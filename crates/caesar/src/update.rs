@@ -7,6 +7,7 @@
 //! follow `B(q, 1/k)` exactly as the analysis assumes (Eq. 4).
 
 use crate::sram::CounterArray;
+use hashkit::K_MAX;
 use support::rand::Rng;
 
 /// Spread eviction value `value` over the counters at `indices`.
@@ -15,20 +16,65 @@ use support::rand::Rng;
 /// counter is written once per eviction on real hardware: the aliquot
 /// and any remainder units for the same counter coalesce into one
 /// read-modify-write).
+///
+/// **Zero-allocation**: for `k <= K_MAX` (every paper configuration)
+/// the remainder accumulator lives in a stack array; larger `k` takes
+/// a cold heap fallback. The RNG draw sequence — `q` calls of
+/// `gen_range(0..k)` — is identical in both paths and identical to the
+/// pre-optimization implementation, so recorded sketches stay
+/// byte-for-byte the same.
+#[inline]
 pub fn spread_eviction<R: Rng + ?Sized>(
     sram: &mut CounterArray,
     indices: &[usize],
     value: u64,
     rng: &mut R,
 ) -> u64 {
+    if indices.len() <= K_MAX {
+        let mut extra = [0u64; K_MAX];
+        spread_eviction_scratch(sram, indices, value, rng, &mut extra)
+    } else {
+        spread_eviction_large(sram, indices, value, rng)
+    }
+}
+
+/// Cold path for `k > K_MAX`: keeps the old heap-allocating behavior
+/// for pathological geometries without burdening the hot path.
+#[cold]
+#[inline(never)]
+fn spread_eviction_large<R: Rng + ?Sized>(
+    sram: &mut CounterArray,
+    indices: &[usize],
+    value: u64,
+    rng: &mut R,
+) -> u64 {
+    let mut extra = vec![0u64; indices.len()];
+    spread_eviction_scratch(sram, indices, value, rng, &mut extra)
+}
+
+/// [`spread_eviction`] with a **caller-provided scratch buffer** of at
+/// least `indices.len()` words; only the first `indices.len()` entries
+/// are used and they are re-zeroed on entry, so the same buffer can be
+/// reused across calls without clearing.
+///
+/// # Panics
+/// Panics if `scratch.len() < indices.len()`.
+pub fn spread_eviction_scratch<R: Rng + ?Sized>(
+    sram: &mut CounterArray,
+    indices: &[usize],
+    value: u64,
+    rng: &mut R,
+    scratch: &mut [u64],
+) -> u64 {
     let k = indices.len() as u64;
     debug_assert!(k > 0, "need at least one mapped counter");
+    let extra = &mut scratch[..indices.len()];
+    extra.fill(0);
     let p = value / k;
     let q = (value % k) as usize;
 
     // Draw the remainder placement first so each counter gets exactly
     // one coalesced write.
-    let mut extra = vec![0u64; indices.len()];
     for _ in 0..q {
         extra[rng.gen_range(0..indices.len())] += 1;
     }
@@ -115,5 +161,50 @@ mod tests {
         let mut sram = CounterArray::new(4, 32);
         spread_eviction(&mut sram, &[2], 17, &mut rng);
         assert_eq!(sram.get(2), 17);
+    }
+
+    #[test]
+    fn scratch_variant_is_bit_identical_and_reusable_dirty() {
+        // Same seed, same calls: the caller-scratch path must consume
+        // the RNG identically and leave the same SRAM state, even when
+        // the scratch buffer arrives full of garbage.
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        let mut a = CounterArray::new(16, 32);
+        let mut b = CounterArray::new(16, 32);
+        let mut scratch = [u64::MAX; K_MAX];
+        for value in [0u64, 1, 2, 5, 9, 54, 1001] {
+            let wa = spread_eviction(&mut a, &[1, 4, 7, 9], value, &mut rng_a);
+            let wb =
+                spread_eviction_scratch(&mut b, &[1, 4, 7, 9], value, &mut rng_b, &mut scratch);
+            assert_eq!(wa, wb, "value {value}");
+        }
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>(), "RNG streams diverged");
+    }
+
+    #[test]
+    fn oversized_k_falls_back_without_misbehaving() {
+        // k > K_MAX exercises the cold heap path; conservation and the
+        // RNG stream must match a direct scratch call with a big buffer.
+        let indices: Vec<usize> = (0..K_MAX + 5).collect();
+        let mut rng_a = StdRng::seed_from_u64(8);
+        let mut rng_b = StdRng::seed_from_u64(8);
+        let mut a = CounterArray::new(K_MAX + 5, 32);
+        let mut b = CounterArray::new(K_MAX + 5, 32);
+        let mut big = vec![0u64; indices.len()];
+        spread_eviction(&mut a, &indices, 1234, &mut rng_a);
+        spread_eviction_scratch(&mut b, &indices, 1234, &mut rng_b, &mut big);
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_eq!(a.sum(), 1234);
+    }
+
+    #[test]
+    #[should_panic]
+    fn short_scratch_panics() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut sram = CounterArray::new(8, 32);
+        let mut scratch = [0u64; 2];
+        spread_eviction_scratch(&mut sram, &[0, 1, 2], 5, &mut rng, &mut scratch);
     }
 }

@@ -15,6 +15,13 @@
 
 use crate::mix::{bucket, mix64, splitmix64};
 
+/// Upper bound on `k` supported by the allocation-free index paths
+/// (`fill_indices`, `indices_iter`) and by the stack scratch buffers in
+/// the eviction spread. The paper's configurations use `k ∈ [1, 8]`;
+/// 64 leaves two orders of magnitude of headroom while keeping the
+/// scratch arrays comfortably inside one page.
+pub const K_MAX: usize = 64;
+
 /// Deterministic map from a 64-bit flow ID to `k` distinct counter
 /// indices in `[0, L)`.
 ///
@@ -33,6 +40,10 @@ pub struct KCounterMap {
     k: usize,
     l: usize,
     seed: u64,
+    /// `splitmix64(seed)`, folded into every flow hash. Cached at
+    /// construction so the per-flow hot paths skip one mix round; the
+    /// produced indices are bit-identical to recomputing it inline.
+    mixed_seed: u64,
 }
 
 impl KCounterMap {
@@ -44,7 +55,7 @@ impl KCounterMap {
     pub fn new(k: usize, l: usize, seed: u64) -> Self {
         assert!(k >= 1, "k must be at least 1");
         assert!(k <= l, "k ({k}) cannot exceed the number of counters l ({l})");
-        Self { k, l, seed }
+        Self { k, l, seed, mixed_seed: splitmix64(seed) }
     }
 
     /// Number of mapped counters per flow.
@@ -68,17 +79,38 @@ impl KCounterMap {
 
     /// Write the `k` distinct indices into `out` (cleared first).
     ///
-    /// This is the allocation-free fast path for the per-eviction data
-    /// path; callers keep a workhorse buffer.
+    /// Allocation-free once `out` has capacity `k`; callers keep a
+    /// workhorse buffer. Prefer [`fill_indices`](Self::fill_indices)
+    /// where a fixed stack buffer is available.
     pub fn indices_into(&self, flow_id: u64, out: &mut Vec<usize>) {
         out.clear();
-        let base = mix64(flow_id ^ splitmix64(self.seed));
+        out.resize(self.k, 0);
+        self.fill_indices(flow_id, out);
+    }
+
+    /// Write the `k` distinct indices into the first `k` slots of `out`
+    /// and return `k`. This is the zero-allocation workhorse behind
+    /// every other index accessor: the caller provides the storage
+    /// (typically `[0usize; K_MAX]` on the stack, or a memo-table row).
+    ///
+    /// The emitted index sequence is bit-identical to
+    /// [`indices`](Self::indices) — same hash stream, same
+    /// duplicate-skip order.
+    ///
+    /// # Panics
+    /// Panics if `out.len() < self.k()`.
+    #[inline]
+    pub fn fill_indices(&self, flow_id: u64, out: &mut [usize]) -> usize {
+        assert!(out.len() >= self.k, "fill_indices scratch shorter than k");
+        let base = mix64(flow_id ^ self.mixed_seed);
+        let mut filled = 0usize;
         let mut round: u64 = 0;
-        while out.len() < self.k {
+        while filled < self.k {
             let h = mix64(base.wrapping_add(round.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
             let idx = bucket(h, self.l);
-            if !out.contains(&idx) {
-                out.push(idx);
+            if !out[..filled].contains(&idx) {
+                out[filled] = idx;
+                filled += 1;
             }
             round += 1;
             // With k <= l this terminates with probability 1; the debug
@@ -86,6 +118,26 @@ impl KCounterMap {
             // adversarial seed would still finish, just slowly).
             debug_assert!(round < 64 + 64 * self.k as u64, "excessive duplicate rounds");
         }
+        filled
+    }
+
+    /// Iterator form of the index mapping: yields the `k` distinct
+    /// indices in the same order as [`indices`](Self::indices) without
+    /// touching the heap. Bounded by [`K_MAX`] because the dedup state
+    /// lives in a fixed stack array.
+    ///
+    /// # Panics
+    /// Panics if `self.k() > K_MAX`.
+    #[inline]
+    pub fn indices_iter(&self, flow_id: u64) -> KIndicesIter {
+        assert!(
+            self.k <= K_MAX,
+            "indices_iter supports k <= {K_MAX} (got {})",
+            self.k
+        );
+        let mut buf = [0usize; K_MAX];
+        let n = self.fill_indices(flow_id, &mut buf);
+        KIndicesIter { buf, n, pos: 0 }
     }
 
     /// The `r`-th (0-based) mapped counter of `flow_id`.
@@ -94,6 +146,40 @@ impl KCounterMap {
         self.indices(flow_id)[r]
     }
 }
+
+/// Iterator over a flow's `k` distinct counter indices; see
+/// [`KCounterMap::indices_iter`]. The whole mapping is materialized
+/// eagerly into a stack buffer (duplicate skipping needs lookback), so
+/// iteration itself is branch-cheap.
+#[derive(Debug, Clone)]
+pub struct KIndicesIter {
+    buf: [usize; K_MAX],
+    n: usize,
+    pos: usize,
+}
+
+impl Iterator for KIndicesIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.pos < self.n {
+            let v = self.buf[self.pos];
+            self.pos += 1;
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.n - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for KIndicesIter {}
 
 #[cfg(test)]
 mod tests {
@@ -161,6 +247,37 @@ mod tests {
         let mut buf = vec![1, 2, 3, 4, 5, 6, 7];
         map.indices_into(9, &mut buf);
         assert_eq!(buf, map.indices(9));
+    }
+
+    #[test]
+    fn fill_indices_matches_vec_api_bit_for_bit() {
+        for (k, l, seed) in [(1usize, 7usize, 0u64), (3, 101, 1), (8, 8, 7), (5, 2048, 0xC0FFEE)] {
+            let map = KCounterMap::new(k, l, seed);
+            let mut buf = [usize::MAX; K_MAX];
+            for f in 0..2_000u64 {
+                let n = map.fill_indices(f, &mut buf);
+                assert_eq!(n, k);
+                assert_eq!(&buf[..n], map.indices(f).as_slice(), "flow {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn indices_iter_matches_vec_api() {
+        let map = KCounterMap::new(4, 333, 9);
+        for f in 0..1_000u64 {
+            let it = map.indices_iter(f);
+            assert_eq!(it.len(), 4);
+            assert_eq!(it.collect::<Vec<_>>(), map.indices(f), "flow {f}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch shorter than k")]
+    fn fill_indices_rejects_short_scratch() {
+        let map = KCounterMap::new(4, 50, 3);
+        let mut buf = [0usize; 3];
+        map.fill_indices(1, &mut buf);
     }
 
     #[test]

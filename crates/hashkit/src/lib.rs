@@ -34,7 +34,7 @@ pub mod murmur;
 pub mod sha1;
 
 pub use idhash::{IdHashMap, IdHashSet};
-pub use kmap::KCounterMap;
+pub use kmap::{KCounterMap, KIndicesIter, K_MAX};
 
 /// A seeded 64-bit hash function over byte slices.
 ///

@@ -25,6 +25,7 @@
 pub mod bytesx;
 pub mod json;
 pub mod mathx;
+pub mod mem;
 pub mod par;
 pub mod rand;
 pub mod testkit;

@@ -1,0 +1,54 @@
+//! Memory-hierarchy hints for the batch hot paths.
+//!
+//! The only primitive here is a **safe** software-prefetch wrapper: on
+//! `x86_64` it lowers to `prefetcht0` (fetch into all cache levels), on
+//! every other architecture it compiles to nothing. Prefetching is a
+//! pure hint — it never faults, never changes observable state — so the
+//! wrapper is sound to expose safely even though the intrinsic itself
+//! is `unsafe` (this crate is the one place in the workspace allowed to
+//! contain `unsafe`; all downstream crates `forbid(unsafe_code)`).
+//!
+//! Callers issue the hint one batch element *ahead* of the element they
+//! are processing, overlapping the DRAM/SRAM access latency of element
+//! `i + 1` with the compute of element `i` (see `caesar`'s
+//! `record_batch` and `DESIGN.md` §4d).
+
+/// Hint the CPU to pull the cache line holding `r` into L1 (T0).
+///
+/// No-op on non-`x86_64` targets. Safe: prefetch cannot fault even on
+/// dangling addresses, and `&T` is always a valid address anyway.
+#[inline(always)]
+pub fn prefetch_read<T: ?Sized>(r: &T) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(
+            r as *const T as *const i8,
+        );
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = r;
+}
+
+/// Prefetch element `idx` of `slice` if it is in bounds; silently does
+/// nothing otherwise. The bounds tolerance lets batch loops hint
+/// `i + 1` without a trailing-edge special case.
+#[inline(always)]
+pub fn prefetch_index<T>(slice: &[T], idx: usize) {
+    if let Some(r) = slice.get(idx) {
+        prefetch_read(r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetch_is_a_pure_hint() {
+        let v = vec![1u64, 2, 3];
+        prefetch_read(&v[0]);
+        prefetch_index(&v, 2);
+        prefetch_index(&v, 999); // out of bounds: no-op, no panic
+        assert_eq!(v, [1, 2, 3]);
+    }
+}

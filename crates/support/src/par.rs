@@ -8,14 +8,27 @@
 
 use std::num::NonZeroUsize;
 
+/// The machine's available parallelism, probed **once per process**.
+///
+/// `std::thread::available_parallelism` is not cheap on Linux: under
+/// cgroup CPU quotas it re-reads sysfs/procfs on every call (~10 µs
+/// measured), which is real overhead for code that resolves a thread
+/// width per batch sweep. The effective core count cannot change in
+/// ways this workspace cares about mid-run, so memoize it.
+pub fn host_parallelism() -> usize {
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+            .max(1)
+    })
+}
+
 /// Number of worker threads to use by default: the machine's available
 /// parallelism, capped to the item count.
 fn default_threads(items: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(items)
-        .max(1)
+    host_parallelism().min(items).max(1)
 }
 
 /// Map `f` over `items` in parallel, preserving input order.

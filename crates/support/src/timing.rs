@@ -12,7 +12,11 @@
 //!
 //! Environment knobs:
 //! * `CAESAR_BENCH_SAMPLES` — samples per benchmark (default 5);
-//! * `CAESAR_BENCH_WARMUP`  — warmup invocations (default 1).
+//! * `CAESAR_BENCH_WARMUP`  — warmup invocations (default 1);
+//! * `CAESAR_BENCH_FILTER`  — comma-separated substrings matched
+//!   against `group/name`; non-matching benchmarks are skipped
+//!   entirely (no warmup, no samples, no output). Used by
+//!   `scripts/check.sh --quick-bench` to time just the smoke kernels.
 //!
 //! Bench names are part of the repo's public trajectory (future
 //! `BENCH_*.json` comparisons) — keep them stable.
@@ -26,6 +30,7 @@ pub struct Harness {
     group: String,
     samples: u32,
     warmup: u32,
+    filter: Option<String>,
     results: Vec<BenchResult>,
 }
 
@@ -75,7 +80,34 @@ impl Harness {
             group: group.to_string(),
             samples: env_u32("CAESAR_BENCH_SAMPLES", 5),
             warmup: env_u32("CAESAR_BENCH_WARMUP", 1),
+            filter: std::env::var("CAESAR_BENCH_FILTER")
+                .ok()
+                .filter(|s| !s.trim().is_empty()),
             results: Vec::new(),
+        }
+    }
+
+    /// Restrict the group to benchmarks whose `group/name` contains one
+    /// of the comma-separated substrings (`None` runs everything).
+    /// `new()` seeds this from `CAESAR_BENCH_FILTER`; this setter is
+    /// the env-free handle for tests.
+    pub fn filter(&mut self, pattern: Option<&str>) -> &mut Self {
+        self.filter = pattern
+            .map(str::to_string)
+            .filter(|s| !s.trim().is_empty());
+        self
+    }
+
+    fn selected(&self, name: &str) -> bool {
+        match &self.filter {
+            None => true,
+            Some(pats) => {
+                let full = format!("{}/{}", self.group, name);
+                pats.split(',')
+                    .map(str::trim)
+                    .filter(|p| !p.is_empty())
+                    .any(|p| full.contains(p))
+            }
         }
     }
 
@@ -88,6 +120,9 @@ impl Harness {
     /// Time `f`, print its JSON line immediately, and remember the
     /// result for [`Harness::finish`].
     pub fn bench<F: FnMut()>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if !self.selected(name) {
+            return self;
+        }
         for _ in 0..self.warmup {
             f();
         }
@@ -117,6 +152,9 @@ impl Harness {
     /// operations too fast for a single timer read (hashing, counter
     /// reads). Criterion's internal batching analogue.
     pub fn bench_n<F: FnMut()>(&mut self, name: &str, iters: u32, mut f: F) -> &mut Self {
+        if !self.selected(name) {
+            return self;
+        }
         let iters = iters.max(1);
         for _ in 0..self.warmup.saturating_mul(iters).min(1_000_000) {
             f();
@@ -177,6 +215,26 @@ mod tests {
         assert_eq!(r.name, "noop");
         assert_eq!(r.group, "unit");
         assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut h = Harness::new("grp");
+        h.sample_size(1);
+        h.filter(Some("grp/keep,other_group"));
+        let mut kept = 0u32;
+        let mut skipped = 0u32;
+        h.bench("keep_me", || kept += 1);
+        h.bench("drop_me", || skipped += 1);
+        h.bench_n("drop_me_too", 10, || skipped += 1);
+        assert!(kept >= 2, "kept = {kept}"); // warmup + 1 sample
+        assert_eq!(skipped, 0);
+        assert_eq!(h.results().len(), 1);
+        assert_eq!(h.results()[0].name, "keep_me");
+        // Clearing the filter re-admits everything.
+        h.filter(None);
+        h.bench("drop_me", || skipped += 1);
+        assert!(skipped >= 2);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 # to the code that produced them.
 #
 # Usage: scripts/bench_trajectory.sh [OUT] [BENCH...]
-#   OUT      output file (default BENCH_PR2.json)
+#   OUT      output file (default BENCH_PR3.json)
 #   BENCH... bench targets to run (default: micro extensions)
 #
 # Environment:
@@ -19,11 +19,19 @@
 # for PR 2's ingest pipeline lives inside one file: group
 # "concurrent_build", headline pair "linerate_4" (partitioned pipeline)
 # vs "linerate_replay_4" (the seed's O(T·n) scan-and-filter), plus the
-# cache-thrash-regime pair "4" vs "replay_4".
+# cache-thrash-regime pair "4" vs "replay_4". PR 3's pairs live in
+# groups "record" ("caesar_trace" vs "caesar_trace_batch"),
+# "estimators" ("caesar_query_*_all_flows" vs the "*_batch"/"*_par4"
+# batch-engine sweeps) and "hashing" ("kmap_indices_k3" vs
+# "kmap_fill_indices_k3").
+#
+# After writing OUT, the script prints a median diff table against the
+# most recent other BENCH_*.json (joined on group/name), so every run
+# shows its trajectory against the previous PR.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR2.json}"
+OUT="${1:-BENCH_PR3.json}"
 shift || true
 BENCHES=("$@")
 if [ "${#BENCHES[@]}" -eq 0 ]; then
@@ -49,3 +57,40 @@ done
 mv "$TMP" "$OUT"
 trap - EXIT
 echo "==> wrote $(grep -c '^{' "$OUT") JSON lines to $OUT"
+
+# --- median diff vs the previous trajectory file ---------------------
+# The harness emits keys in a pinned alphabetical order (see
+# support::timing tests), so sed extraction is reliable.
+json_key() { # json_key LINE -> "group/name" ("" for meta lines)
+    printf '%s\n' "$1" \
+        | sed -n 's/.*"group":"\([^"]*\)".*"name":"\([^"]*\)".*/\1\/\2/p'
+}
+json_median() {
+    printf '%s\n' "$1" \
+        | sed -n 's/.*"median_ns":\([0-9.eE+-]*\),.*/\1/p'
+}
+
+PREV="$(ls BENCH_*.json 2>/dev/null | grep -vx "$OUT" | sort -V | tail -1 || true)"
+if [ -z "$PREV" ]; then
+    echo "==> no previous BENCH_*.json to diff against"
+    exit 0
+fi
+
+echo "==> median diff: $PREV -> $OUT (ratio < 1 is faster)"
+printf '%-50s %14s %14s %8s\n' "group/name" "prev_ns" "new_ns" "ratio"
+while IFS= read -r line; do
+    key="$(json_key "$line")"
+    [ -n "$key" ] || continue
+    new="$(json_median "$line")"
+    group="${key%%/*}"
+    name="${key#*/}"
+    prev_line="$(grep -F "\"group\":\"$group\"" "$PREV" \
+        | grep -F "\"name\":\"$name\"" | head -1 || true)"
+    if [ -z "$prev_line" ]; then
+        printf '%-50s %14s %14s %8s\n' "$key" "-" "$new" "new"
+        continue
+    fi
+    prev="$(json_median "$prev_line")"
+    ratio="$(awk -v a="$prev" -v b="$new" 'BEGIN { if (a > 0) printf "%.2f", b / a; else print "-" }')"
+    printf '%-50s %14s %14s %8s\n' "$key" "$prev" "$new" "$ratio"
+done < <(grep '^{' "$OUT")

@@ -5,7 +5,18 @@
 # be the reason a step fails — if it is, a crates.io dependency snuck
 # back in and that is the bug.
 #
-# Usage: scripts/check.sh
+# Usage: scripts/check.sh [--quick-bench]
+#   --quick-bench       smoke-bench mode: instead of the full tier-1
+#                       sweep, time just the two canary kernels
+#                       (estimator_kernels/csm_kernel and
+#                       cache/cache_record_hit, via CAESAR_BENCH_FILTER)
+#                       and FAIL if either regresses more than 1.5x
+#                       against the newest committed BENCH_*.json.
+#                       Compares min_ns, not median_ns, and retries up
+#                       to 3 times: these kernels sit at single-digit
+#                       ns where one loaded window inflates any
+#                       statistic ~2x. A genuine regression fails every
+#                       attempt; transient host steal does not.
 # Environment:
 #   CHECK_WORKSPACE=0   restrict tests to the root package (the seed's
 #                       tier-1 definition); default runs --workspace.
@@ -16,6 +27,58 @@ run() {
     echo "==> $*"
     "$@"
 }
+
+json_median() { # json_median GROUP NAME FILE -> median_ns ("" if absent)
+    grep -F "\"group\":\"$1\"" "$3" 2>/dev/null \
+        | grep -F "\"name\":\"$2\"" | head -1 \
+        | sed -n 's/.*"median_ns":\([0-9.eE+-]*\),.*/\1/p'
+}
+
+json_min() { # json_min GROUP NAME FILE -> min_ns ("" if absent)
+    grep -F "\"group\":\"$1\"" "$3" 2>/dev/null \
+        | grep -F "\"name\":\"$2\"" | head -1 \
+        | sed -n 's/.*"min_ns":\([0-9.eE+-]*\),.*/\1/p'
+}
+
+if [ "${1:-}" = "--quick-bench" ]; then
+    BASE="$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1 || true)"
+    if [ -z "$BASE" ]; then
+        echo "check.sh --quick-bench: no BENCH_*.json baseline; skipping"
+        exit 0
+    fi
+    echo "==> quick-bench smoke vs $BASE (fail on >1.5x regression, 3 attempts)"
+    run cargo build --release --offline -p bench --benches >/dev/null
+    SMOKE="$(mktemp)"
+    trap 'rm -f "$SMOKE"' EXIT
+    for attempt in 1 2 3; do
+        CAESAR_BENCH_FILTER="estimator_kernels/csm_kernel,cache/cache_record_hit" \
+            CAESAR_BENCH_SAMPLES=9 \
+            cargo bench --offline -p bench --bench micro 2>/dev/null \
+            | grep '^{' > "$SMOKE"
+        fail=0
+        for key in "estimator_kernels csm_kernel" "cache cache_record_hit"; do
+            set -- $key
+            prev="$(json_min "$1" "$2" "$BASE")"
+            new="$(json_min "$1" "$2" "$SMOKE")"
+            if [ -z "$prev" ] || [ -z "$new" ]; then
+                echo "quick-bench: $1/$2 missing (prev='$prev' new='$new')"
+                fail=1
+                continue
+            fi
+            verdict="$(awk -v a="$prev" -v b="$new" \
+                'BEGIN { r = (a > 0) ? b / a : 0; printf "%.2f %s", r, (r > 1.5) ? "FAIL" : "ok" }')"
+            echo "quick-bench[$attempt]: $1/$2 ${prev}ns -> ${new}ns (ratio ${verdict})"
+            case "$verdict" in *FAIL*) fail=1 ;; esac
+        done
+        if [ "$fail" -eq 0 ]; then
+            echo "check.sh --quick-bench: all green"
+            exit 0
+        fi
+        [ "$attempt" -lt 3 ] && echo "quick-bench: attempt $attempt noisy; retrying" && sleep 2
+    done
+    echo "check.sh --quick-bench: canary kernel regressed on all attempts"
+    exit 1
+fi
 
 run cargo build --release --offline
 

@@ -11,8 +11,8 @@ use baselines::{
     SacCounter, SampledCounter, SamplingConfig, Vhc, VhcConfig,
 };
 use bench::{bench_config, bench_trace, linerate_bench_trace};
-use caesar::epochs::EpochedCaesar;
-use caesar::{ConcurrentCaesar, Estimator};
+use caesar::epochs::{EpochedCaesar, EpochedConcurrentCaesar};
+use caesar::{BuildMode, ConcurrentCaesar, Estimator};
 use memsim::{PacketWork, Pipeline};
 use std::hint::black_box;
 use support::rand::{rngs::StdRng, SeedableRng};
@@ -129,6 +129,16 @@ fn concurrent_and_epochs() {
             flows.iter().copied(),
         ));
     });
+    // The PR 4 ring transport: worker-per-shard loops draining SPSC
+    // rings in batches, striped writeback merged once at finish.
+    g.bench("pinned_4", || {
+        black_box(ConcurrentCaesar::build_with_mode(
+            bench_config(),
+            4,
+            &flows,
+            BuildMode::Pinned,
+        ));
+    });
     // The headline before/after pair: the line-rate regime (cache sized
     // to the working set) isolates the ingest pipeline itself, which is
     // what the O(n)-partition fix targets — the `replay` defect is pure
@@ -141,11 +151,28 @@ fn concurrent_and_epochs() {
     g.bench("linerate_replay_4", || {
         black_box(ConcurrentCaesar::build_replay(bench_config(), 4, &lflows));
     });
+    g.bench("linerate_stream_4", || {
+        black_box(ConcurrentCaesar::build_stream(
+            bench_config(),
+            4,
+            lflows.iter().copied(),
+        ));
+    });
     g.finish();
 
     let mut g = Harness::new("epochs");
     g.bench("rotate_8_epochs", || {
         let mut e = EpochedCaesar::new(bench_config(), 8);
+        for chunk in flows.chunks(flows.len() / 8) {
+            for &f in chunk {
+                e.record(f);
+            }
+            e.rotate();
+        }
+        black_box(e.epochs().count());
+    });
+    g.bench("rotate_8_epochs_concurrent_4", || {
+        let mut e = EpochedConcurrentCaesar::new(bench_config(), 4, 8);
         for chunk in flows.chunks(flows.len() / 8) {
             for &f in chunk {
                 e.record(f);

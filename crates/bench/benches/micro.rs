@@ -237,10 +237,35 @@ fn sram_writeback() {
     g.finish();
 }
 
+fn spsc_transport() {
+    // Raw hand-off cost of the PR 4 ring: per-item push/pop round trips
+    // and the batched producer/consumer forms the shard workers use.
+    // Single-threaded on purpose — this prices the atomics and index
+    // arithmetic, not scheduling.
+    let mut g = Harness::new("spsc");
+    let (mut tx, mut rx) = support::spsc::ring::<u64>(4096);
+    let mut i = 0u64;
+    g.bench_n("push_pop_1", 100_000, || {
+        i = i.wrapping_add(1);
+        assert!(tx.try_push(i).is_ok());
+        black_box(rx.try_pop());
+    });
+    let chunk: Vec<u64> = (0..1024u64).collect();
+    let mut buf: Vec<u64> = Vec::with_capacity(1024);
+    g.bench_n("push_slice_pop_batch_1024", 1_000, || {
+        assert_eq!(tx.push_slice(black_box(&chunk)), chunk.len());
+        buf.clear();
+        assert_eq!(rx.pop_batch(&mut buf, 1024), chunk.len());
+        black_box(buf.len());
+    });
+    g.finish();
+}
+
 fn main() {
     hashing();
     record_paths();
     estimators();
     disco_ops();
     sram_writeback();
+    spsc_transport();
 }

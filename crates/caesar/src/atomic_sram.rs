@@ -9,6 +9,21 @@
 //! weakest ordering the algorithm admits.)
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use support::spsc::CachePadded;
+
+/// One stripe of the shared tallies: the offered-units total and the
+/// saturation count a group of writers (one shard, typically) charges.
+///
+/// Cache-line padded: before striping, every shard's writeback ended in
+/// a `fetch_add` on *one* shared `total_added` word — a guaranteed
+/// cache-line ping-pong that serialized otherwise independent flushes.
+/// With one padded stripe per shard the RMWs land on private lines and
+/// the aggregate is summed at read time (reads are the cold path).
+#[derive(Debug, Default)]
+struct Tally {
+    total_added: AtomicU64,
+    saturations: AtomicU64,
+}
 
 /// Fixed-width saturating counter array with interior mutability.
 #[derive(Debug)]
@@ -16,25 +31,43 @@ pub struct AtomicCounterArray {
     counters: Vec<AtomicU64>,
     max_value: u64,
     bits: u32,
-    total_added: AtomicU64,
-    saturations: AtomicU64,
+    /// Per-stripe tallies; writers pick a stripe (their shard id), the
+    /// read accessors sum over all stripes.
+    tallies: Box<[CachePadded<Tally>]>,
 }
 
 impl AtomicCounterArray {
-    /// `len` counters of `bits` bits, all zero.
+    /// `len` counters of `bits` bits, all zero, with a single tally
+    /// stripe (the sequential / few-writer shape).
     ///
     /// # Panics
     /// Panics if `len == 0` or `bits` is outside `1..=63`.
     pub fn new(len: usize, bits: u32) -> Self {
+        Self::with_stripes(len, bits, 1)
+    }
+
+    /// `len` counters of `bits` bits with `stripes` cache-line-padded
+    /// tally stripes — one per expected concurrent writer (shard), so
+    /// the hot offered-units/saturation RMWs never contend.
+    ///
+    /// # Panics
+    /// Panics if `len == 0`, `bits` is outside `1..=63`, or
+    /// `stripes == 0`.
+    pub fn with_stripes(len: usize, bits: u32, stripes: usize) -> Self {
         assert!(len > 0, "counter array cannot be empty");
         assert!((1..=63).contains(&bits), "counter bits must be in 1..=63");
+        assert!(stripes >= 1, "need at least one tally stripe");
         Self {
             counters: (0..len).map(|_| AtomicU64::new(0)).collect(),
             max_value: (1u64 << bits) - 1,
             bits,
-            total_added: AtomicU64::new(0),
-            saturations: AtomicU64::new(0),
+            tallies: (0..stripes).map(|_| CachePadded::<Tally>::default()).collect(),
         }
+    }
+
+    /// Number of tally stripes.
+    pub fn stripes(&self) -> usize {
+        self.tallies.len()
     }
 
     /// Number of counters.
@@ -58,18 +91,19 @@ impl AtomicCounterArray {
     }
 
     /// Saturating add of `v` to counter `idx`, callable from any
-    /// thread concurrently.
+    /// thread concurrently. Tallies charge stripe 0.
     pub fn add(&self, idx: usize, v: u64) {
         if v == 0 {
             return;
         }
-        self.total_added.fetch_add(v, Ordering::Relaxed);
-        self.add_counter(idx, v);
+        self.tallies[0].total_added.fetch_add(v, Ordering::Relaxed);
+        self.add_counter(idx, v, 0);
     }
 
     /// The CAS half of [`AtomicCounterArray::add`]: saturate counter
-    /// `idx` towards `cur + v` without touching the offered-units total.
-    fn add_counter(&self, idx: usize, v: u64) {
+    /// `idx` towards `cur + v` without touching the offered-units
+    /// total; saturation events are charged to `stripe`.
+    fn add_counter(&self, idx: usize, v: u64, stripe: usize) {
         let c = &self.counters[idx];
         // CAS loop: fetch_add alone could overshoot the saturation cap.
         let mut cur = c.load(Ordering::Relaxed);
@@ -83,7 +117,7 @@ impl AtomicCounterArray {
                     let crossed =
                         cur.checked_add(v).is_none_or(|sum| sum > self.max_value);
                     if crossed {
-                        self.saturations.fetch_add(1, Ordering::Relaxed);
+                        self.tallies[stripe].saturations.fetch_add(1, Ordering::Relaxed);
                     }
                     return;
                 }
@@ -99,6 +133,16 @@ impl AtomicCounterArray {
     /// [`WritebackBuffer`]). Equivalent to `for (i, v) in updates
     /// { self.add(i, v) }` for every observable value.
     pub fn add_batch(&self, updates: &[(usize, u64)]) {
+        self.add_batch_striped(0, updates);
+    }
+
+    /// [`AtomicCounterArray::add_batch`] charging its tallies (the
+    /// offered-units total and any saturation events) to tally stripe
+    /// `stripe % stripes()` — the contention-free form for per-shard
+    /// writeback: each shard's flush touches only its own padded tally
+    /// line. Counter values are unaffected by the stripe choice.
+    pub fn add_batch_striped(&self, stripe: usize, updates: &[(usize, u64)]) {
+        let stripe = stripe % self.tallies.len();
         let mut batch_total = 0u64;
         for &(_, v) in updates {
             // The offered-units total is a u64 tally, not a saturating
@@ -106,11 +150,11 @@ impl AtomicCounterArray {
             batch_total = batch_total.wrapping_add(v);
         }
         if batch_total != 0 {
-            self.total_added.fetch_add(batch_total, Ordering::Relaxed);
+            self.tallies[stripe].total_added.fetch_add(batch_total, Ordering::Relaxed);
         }
         for &(idx, v) in updates {
             if v != 0 {
-                self.add_counter(idx, v);
+                self.add_counter(idx, v, stripe);
             }
         }
     }
@@ -133,14 +177,19 @@ impl AtomicCounterArray {
         self.counters.iter().map(|c| c.load(Ordering::Relaxed)).sum()
     }
 
-    /// Total units offered (the estimators' `n`).
+    /// Total units offered (the estimators' `n`), summed over tally
+    /// stripes. Reads are the cold path; writers never share a stripe
+    /// line, so this sum is the entire cost of striping.
     pub fn total_added(&self) -> u64 {
-        self.total_added.load(Ordering::Relaxed)
+        self.tallies
+            .iter()
+            .map(|t| t.total_added.load(Ordering::Relaxed))
+            .fold(0u64, u64::wrapping_add)
     }
 
-    /// Saturating adds that lost precision.
+    /// Saturating adds that lost precision, summed over tally stripes.
     pub fn saturations(&self) -> u64 {
-        self.saturations.load(Ordering::Relaxed)
+        self.tallies.iter().map(|t| t.saturations.load(Ordering::Relaxed)).sum()
     }
 
     /// Copy out the counter values.
@@ -185,6 +234,8 @@ pub struct WritebackBuffer {
     /// Reusable `(index, increment)` scratch handed to `add_batch`.
     batch: Vec<(usize, u64)>,
     capacity: usize,
+    /// Tally stripe flushes charge (the owning shard's id).
+    stripe: usize,
     flushes: u64,
     staged_updates: u64,
     flushed_updates: u64,
@@ -195,17 +246,35 @@ pub struct WritebackBuffer {
 /// enough that a shard's dirty working set stays in L1.
 pub const DEFAULT_WRITEBACK_CAPACITY: usize = 1024;
 
+/// Capacity sentinel for the **shard-local segment** shape: never
+/// auto-flush, accumulate the shard's whole delta locally and merge it
+/// into the shared array exactly once (at end of construction / epoch
+/// boundary). The accumulator is already dense O(L) — the same order
+/// as the SRAM itself — so "unbounded" costs no extra memory, and the
+/// shared array sees **one** CAS sequence per distinct counter per
+/// shard for the entire run.
+pub const WRITEBACK_ACCUMULATE_ALL: usize = usize::MAX;
+
 impl WritebackBuffer {
     /// A buffer that flushes automatically once `capacity` distinct
     /// counters are dirty (`capacity >= 1`; 0 is promoted to 1 =
-    /// write-through).
+    /// write-through), charging tallies to stripe 0.
     pub fn new(capacity: usize) -> Self {
+        Self::striped(capacity, 0)
+    }
+
+    /// [`WritebackBuffer::new`] charging its flushes to tally stripe
+    /// `stripe` of the target array (see
+    /// [`AtomicCounterArray::add_batch_striped`]).
+    pub fn striped(capacity: usize, stripe: usize) -> Self {
         let capacity = capacity.max(1);
+        let reserve = capacity.min(DEFAULT_WRITEBACK_CAPACITY);
         Self {
             acc: Vec::new(),
-            dirty: Vec::with_capacity(capacity),
-            batch: Vec::with_capacity(capacity),
+            dirty: Vec::with_capacity(reserve),
+            batch: Vec::with_capacity(reserve),
             capacity,
+            stripe,
             flushes: 0,
             staged_updates: 0,
             flushed_updates: 0,
@@ -250,7 +319,7 @@ impl WritebackBuffer {
         }
         self.flushed_updates += self.dirty.len() as u64;
         self.dirty.clear();
-        sram.add_batch(&self.batch);
+        sram.add_batch_striped(self.stripe, &self.batch);
         self.batch.clear();
         self.flushes += 1;
     }

@@ -14,56 +14,78 @@
 //!   divided with the remainder distributed — see
 //!   [`per_shard_entries`] — so the total on-chip budget is exact);
 //! * all shards push evictions through a per-shard
-//!   [`WritebackBuffer`] that coalesces increments to the same SRAM
-//!   index and flushes in batches into one shared
-//!   [`AtomicCounterArray`] — saturating adds commute, so relaxed
-//!   atomics suffice and the construction phase stays lock-free while
-//!   hot counters absorb far fewer CAS rounds;
+//!   [`WritebackBuffer`] acting as a **shard-local SRAM segment**
+//!   ([`WRITEBACK_ACCUMULATE_ALL`]): the whole delta accumulates in a
+//!   dense private array and merges into the shared
+//!   [`AtomicCounterArray`] exactly once per shard — saturating adds
+//!   commute, so the merge order cannot change any final counter, and
+//!   the shared array sees one CAS sequence per distinct counter per
+//!   shard for the entire run;
+//! * the shared offered-units/saturation tallies are **striped** per
+//!   shard ([`AtomicCounterArray::with_stripes`]) so not even the
+//!   bookkeeping RMWs share a cache line;
+//! * streaming ingest rides a lock-free [`support::spsc`] ring per
+//!   shard (cache-line-padded indices, batched acquire/release)
+//!   instead of a mutex-guarded `mpsc` channel;
 //! * the query phase is identical to the sequential sketch.
 //!
 //! Because flows are partitioned (not packets), every shard's eviction
 //! sequence is independent of thread scheduling, and because saturating
 //! adds commute, the buffered/batched writeback cannot change any final
 //! counter value — the sketch is **deterministic** for a fixed
-//! configuration across runs, across [`ConcurrentCaesar::build`] /
-//! [`ConcurrentCaesar::build_stream`] / [`ConcurrentCaesar::build_replay`],
-//! which the tests pin bit-exactly.
+//! configuration across runs and across every build mode
+//! ([`ConcurrentCaesar::build`] / [`ConcurrentCaesar::build_stream`] /
+//! [`ConcurrentCaesar::build_replay`] / [`BuildMode::Pinned`]), which
+//! the tests pin bit-exactly. With **one shard** the worker's seeds
+//! equal the sequential [`crate::Caesar`]'s, so the whole family is
+//! additionally pinned byte-identical to the sequential oracle.
 
-use crate::atomic_sram::{AtomicCounterArray, WritebackBuffer, DEFAULT_WRITEBACK_CAPACITY};
+use crate::atomic_sram::{AtomicCounterArray, WritebackBuffer, WRITEBACK_ACCUMULATE_ALL};
 use crate::config::{CaesarConfig, Estimator};
 use crate::estimator::{csm, mlm, Estimate, EstimateParams};
+use crate::pipeline::SRAM_PREFETCH_MIN_BYTES;
 use cachesim::{CacheConfig, CacheTable};
 use hashkit::mix::{bucket, mix64};
 use hashkit::{KCounterMap, K_MAX};
 use support::par::partition_by;
 use support::rand::{rngs::StdRng, Rng, SeedableRng};
+use support::spsc;
 
-/// Flows routed per streaming chunk (amortizes one channel send over
+/// Flows routed per streaming chunk (amortizes ring publishes over
 /// many packets while keeping partition→consume latency bounded).
 const STREAM_CHUNK: usize = 1024;
 
-/// Bounded depth of each shard's chunk channel: enough to keep a worker
-/// busy while the partitioner fills the next chunk, small enough that a
-/// slow shard back-pressures the partitioner instead of buffering the
-/// whole trace.
-const STREAM_CHANNEL_DEPTH: usize = 4;
+/// Default in-flight bound of each shard's SPSC ring: a few chunks of
+/// headroom so a transiently slow shard does not stall the front end,
+/// small enough that a persistently slow shard back-pressures it
+/// instead of buffering the whole trace.
+pub const DEFAULT_RING_CAPACITY: usize = 4 * STREAM_CHUNK;
 
 /// How [`ConcurrentCaesar::build`] executes the shard workers.
 ///
-/// Both modes consume exactly the same per-shard flow subsequences, so
+/// All modes consume exactly the same per-shard flow subsequences, so
 /// they produce **bit-identical** sketches (pinned by tests); they only
 /// trade off how the O(n/T per worker) consumption half is scheduled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BuildMode {
     /// Route the trace into per-shard batches with one O(n) partition
-    /// pass, then consume each batch on its own scoped thread — the
-    /// multicore shape.
+    /// pass, then consume each batch on its own scoped thread through
+    /// the batched (probe-one-ahead) record path — the multicore shape
+    /// for a trace that is already resident in memory.
     Threaded,
     /// Route each packet straight to its shard worker on the calling
     /// thread — no partition buffers, no thread spawn. The right shape
     /// when only one hardware thread is available: same total work,
     /// none of the coordination cost.
     Inline,
+    /// One worker thread **pinned per shard**, each consuming its own
+    /// lock-free [`support::spsc`] ring in batches while the calling
+    /// thread plays the RSS front end — the line-card shape, with
+    /// partitioning overlapped with consumption. This is what
+    /// [`ConcurrentCaesar::build_stream`] uses under the hood; as a
+    /// [`BuildMode`] it runs the same transport over an in-memory
+    /// slice.
+    Pinned,
     /// [`BuildMode::Threaded`] when `available_parallelism() > 1`,
     /// otherwise [`BuildMode::Inline`].
     Auto,
@@ -146,7 +168,13 @@ impl IngestStats {
 /// One shard's private construction state: cache, remainder-scatter
 /// RNG, the memoized per-slot counter indices, and the writeback
 /// buffer into the shared SRAM.
-struct ShardWorker<'a> {
+///
+/// The worker owns **no references**: the shared SRAM and index map
+/// are passed into each call, so a worker can live inside an owned
+/// streaming ingest ([`InlineIngest`], the epoch-rotation wrapper's
+/// engine) as easily as inside a scoped thread borrowing the arrays.
+#[derive(Debug)]
+struct ShardWorker {
     cache: CacheTable,
     rng: StdRng,
     /// Memoized counter indices, stride-`k` rows indexed by cache slot
@@ -157,64 +185,119 @@ struct ShardWorker<'a> {
     memo: Vec<usize>,
     k: usize,
     wb: WritebackBuffer,
-    sram: &'a AtomicCounterArray,
-    kmap: &'a KCounterMap,
+    /// Software-prefetch predicted SRAM rows in the batch path only
+    /// when the counter array is too big to be cache-resident (see
+    /// [`SRAM_PREFETCH_MIN_BYTES`]); on small arrays the hint is pure
+    /// overhead.
+    prefetch_sram: bool,
     evictions: u64,
 }
 
-impl<'a> ShardWorker<'a> {
-    fn new(
-        cfg: &CaesarConfig,
-        shard: usize,
-        entries: usize,
-        writeback_capacity: usize,
-        sram: &'a AtomicCounterArray,
-        kmap: &'a KCounterMap,
-    ) -> Self {
+impl ShardWorker {
+    fn new(cfg: &CaesarConfig, shard: usize, entries: usize, writeback_capacity: usize) -> Self {
         Self {
             cache: CacheTable::new(CacheConfig {
                 entries,
                 entry_capacity: cfg.entry_capacity,
                 policy: cfg.policy,
-                seed: cfg.seed ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                // Shard 0's seeds are exactly the sequential sketch's
+                // (`Caesar::new`): with one shard the concurrent build
+                // is byte-identical to the sequential oracle, which the
+                // equivalence suite pins. Higher shards decorrelate via
+                // the golden-ratio multiplier.
+                seed: cfg.seed ^ 0xA11C_E5ED ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
             }),
             rng: StdRng::seed_from_u64(cfg.seed ^ 0x0D15_EA5E ^ (shard as u64) << 32),
             memo: vec![0usize; entries * cfg.k],
             k: cfg.k,
-            wb: WritebackBuffer::new(writeback_capacity),
-            sram,
-            kmap,
+            wb: WritebackBuffer::striped(writeback_capacity, shard),
+            prefetch_sram: cfg.counters * 8 >= SRAM_PREFETCH_MIN_BYTES,
             evictions: 0,
         }
     }
 
     /// Ingest one packet of `flow`.
-    fn record(&mut self, flow: u64) {
+    fn record(&mut self, flow: u64, sram: &AtomicCounterArray, kmap: &KCounterMap) {
         let r = self.cache.record_slotted(flow);
+        self.apply(flow, r, sram, kmap);
+    }
+
+    /// Ingest a batch of packets through the probe-one-ahead hot path:
+    /// packet `i + 1`'s cache slot is probed while packet `i` is being
+    /// applied, the probe is carried forward as a slot hint (one index
+    /// lookup per packet instead of two on hits), and — when the next
+    /// packet will overflow its entry and the SRAM is big enough for
+    /// prefetching to pay — the flow's `k` counter words are
+    /// software-prefetched. Strictly equivalent to
+    /// `for &f in flows { self.record(f, ..) }`: probes are read-only
+    /// and the hint is tag-validated, so the sketch is byte-identical
+    /// (pinned by the equivalence suite).
+    fn record_batch(&mut self, flows: &[u64], sram: &AtomicCounterArray, kmap: &KCounterMap) {
+        let k = self.k;
+        if !self.prefetch_sram {
+            // Cache-resident counter array: no miss latency to hide, so
+            // the probe-one-ahead pipeline is pure overhead (see
+            // `SRAM_PREFETCH_MIN_BYTES`). Plain loop, same sketch.
+            for &flow in flows {
+                self.record(flow, sram, kmap);
+            }
+            return;
+        }
+        let mut hint = flows.first().and_then(|&f| self.cache.prefetch(f));
+        for (i, &flow) in flows.iter().enumerate() {
+            let r = self
+                .cache
+                .record_slotted_hinted(flow, hint.map(|(slot, _)| slot));
+            self.apply(flow, r, sram, kmap);
+            hint = flows.get(i + 1).and_then(|&next| {
+                let probe = self.cache.prefetch(next);
+                if self.prefetch_sram {
+                    if let Some((slot, true)) = probe {
+                        let start = slot as usize * k;
+                        for &idx in &self.memo[start..start + k] {
+                            sram.prefetch(idx);
+                        }
+                    }
+                }
+                probe
+            });
+        }
+    }
+
+    /// Memo/spread bookkeeping for one recorded packet, shared by the
+    /// per-call and batch paths.
+    #[inline]
+    fn apply(
+        &mut self,
+        flow: u64,
+        r: cachesim::Recorded,
+        sram: &AtomicCounterArray,
+        kmap: &KCounterMap,
+    ) {
         let start = r.slot as usize * self.k;
         if let Some(ev) = r.eviction {
-            debug_assert_eq!(self.memo[start..start + self.k], self.kmap.indices(ev.flow)[..]);
+            debug_assert_eq!(self.memo[start..start + self.k], kmap.indices(ev.flow)[..]);
             self.evictions += 1;
-            self.spread_row(start, ev.value);
+            self.spread_row(start, ev.value, sram);
         }
         if r.inserted {
-            self.kmap.fill_indices(flow, &mut self.memo[start..start + self.k]);
+            kmap.fill_indices(flow, &mut self.memo[start..start + self.k]);
         }
     }
 
     /// Stage an eviction of `value` for the memoized index row starting
     /// at `start`: split `value = p·k + q`, scatter the `q` remainder
     /// units uniformly over the flow's `k` counters (§3.1). RNG draw
-    /// order is identical to the pre-memoization implementation, so the
+    /// order is identical to the sequential implementation, so the
     /// staged increments (and the final sketch) are bit-identical.
-    fn spread_row(&mut self, start: usize, value: u64) {
-        let Self { memo, rng, wb, sram, k, .. } = self;
+    fn spread_row(&mut self, start: usize, value: u64, sram: &AtomicCounterArray) {
+        let Self { memo, rng, wb, k, .. } = self;
         stage_spread(&memo[start..start + *k], value, rng, wb, sram);
     }
 
     /// End of measurement: dump the cache, flush the buffer, report.
-    fn finish(self) -> IngestStats {
-        let Self { mut cache, mut rng, memo, k, mut wb, sram, kmap, mut evictions, .. } = self;
+    fn finish(self, sram: &AtomicCounterArray, kmap: &KCounterMap) -> IngestStats {
+        let Self { mut cache, mut rng, memo, k, mut wb, mut evictions, .. } = self;
         cache.drain_with(|slot, ev| {
             let start = slot as usize * k;
             let indices = &memo[start..start + k];
@@ -257,6 +340,77 @@ fn stage_spread(
     }
 }
 
+/// An **owned**, packet-at-a-time sharded ingest: the engine behind
+/// [`BuildMode::Inline`] and the epoch-rotation wrapper
+/// ([`crate::EpochedConcurrentCaesar`]). Owns the shared SRAM, the
+/// index map, and every shard worker, so it can live across calls
+/// (unlike the scoped-thread builds, which borrow for one closure).
+#[derive(Debug)]
+pub(crate) struct InlineIngest {
+    cfg: CaesarConfig,
+    shards: usize,
+    sram: AtomicCounterArray,
+    kmap: KCounterMap,
+    workers: Vec<ShardWorker>,
+}
+
+impl InlineIngest {
+    /// Fresh ingest over `shards` workers; evictions accumulate in
+    /// shard-local segments ([`WRITEBACK_ACCUMULATE_ALL`]).
+    ///
+    /// # Panics
+    /// Panics if `shards == 0` or the configuration is invalid.
+    pub(crate) fn new(cfg: CaesarConfig, shards: usize) -> Self {
+        let (sram, kmap, entries) = ConcurrentCaesar::scaffold(&cfg, shards);
+        let workers = (0..shards)
+            .map(|shard| ShardWorker::new(&cfg, shard, entries[shard], WRITEBACK_ACCUMULATE_ALL))
+            .collect();
+        Self { cfg, shards, sram, kmap, workers }
+    }
+
+    /// Route one packet to its shard worker (RSS hash partition; with
+    /// one shard the hash is skipped entirely).
+    pub(crate) fn record(&mut self, flow: u64) {
+        let shard = if self.shards == 1 {
+            0
+        } else {
+            ConcurrentCaesar::shard_of(flow, self.shards, self.cfg.seed)
+        };
+        self.workers[shard].record(flow, &self.sram, &self.kmap);
+    }
+
+    /// End of measurement: drain every shard's cache, merge the
+    /// shard-local segments (ascending shard order — deterministic, and
+    /// irrelevant to the final values since saturating adds commute),
+    /// and hand back the finished sketch.
+    pub(crate) fn finish(self) -> ConcurrentCaesar {
+        let Self { cfg, shards, sram, kmap, workers } = self;
+        let per_shard: Vec<IngestStats> =
+            workers.into_iter().map(|w| w.finish(&sram, &kmap)).collect();
+        ConcurrentCaesar::assemble(cfg, shards, sram, kmap, per_shard)
+    }
+}
+
+/// Push all of `chunk` into `tx`, spinning/yielding through full-ring
+/// backpressure.
+///
+/// # Panics
+/// Panics if the consumer endpoint disappears (a shard worker
+/// panicked) while items remain.
+fn feed(tx: &mut spsc::Producer<u64>, mut chunk: &[u64]) {
+    let mut backoff = spsc::Backoff::new();
+    while !chunk.is_empty() {
+        let n = tx.push_slice(chunk);
+        if n == 0 {
+            assert!(!tx.is_closed(), "shard worker hung up");
+            backoff.wait();
+        } else {
+            chunk = &chunk[n..];
+            backoff.reset();
+        }
+    }
+}
+
 /// Multi-core CAESAR: sharded caches, one shared atomic SRAM.
 ///
 /// ```
@@ -290,7 +444,9 @@ impl ConcurrentCaesar {
         assert!(shards >= 1, "need at least one shard");
         assert!(cfg.k <= K_MAX, "concurrent build supports k up to {K_MAX}");
         cfg.validate();
-        let sram = AtomicCounterArray::new(cfg.counters, cfg.counter_bits);
+        // One tally stripe per shard: the offered-units/saturation RMWs
+        // land on private padded lines instead of ping-ponging one.
+        let sram = AtomicCounterArray::with_stripes(cfg.counters, cfg.counter_bits, shards);
         let kmap = KCounterMap::new(cfg.k, cfg.counters, cfg.seed ^ 0x5EED_5EED);
         let entries = per_shard_entries(cfg.cache_entries, shards);
         (sram, kmap, entries)
@@ -314,11 +470,11 @@ impl ConcurrentCaesar {
     /// workers, then return the finished sketch.
     ///
     /// The trace is routed with one O(n) partition pass; each worker
-    /// consumes only its own flow subsequence and stages evictions
-    /// through a coalescing [`WritebackBuffer`]. Scheduling is chosen by
-    /// [`BuildMode::Auto`]: per-shard batches on scoped threads when the
-    /// host has more than one hardware thread, inline multiplexing on
-    /// the calling thread otherwise. Use
+    /// consumes only its own flow subsequence and stages evictions in a
+    /// shard-local [`WritebackBuffer`] segment merged once at the end.
+    /// Scheduling is chosen by [`BuildMode::Auto`]: per-shard batches
+    /// on scoped threads when the host has more than one hardware
+    /// thread, inline multiplexing on the calling thread otherwise. Use
     /// [`ConcurrentCaesar::build_with_mode`] to force a mode.
     ///
     /// # Panics
@@ -327,7 +483,7 @@ impl ConcurrentCaesar {
         Self::build_with_mode(cfg, shards, flows, BuildMode::Auto)
     }
 
-    /// [`ConcurrentCaesar::build`] with an explicit [`BuildMode`]. Both
+    /// [`ConcurrentCaesar::build`] with an explicit [`BuildMode`]. All
     /// modes yield bit-identical sketches; the tests pin it.
     ///
     /// # Panics
@@ -338,37 +494,34 @@ impl ConcurrentCaesar {
         flows: &[u64],
         mode: BuildMode,
     ) -> Self {
-        let (sram, kmap, entries) = Self::scaffold(&cfg, shards);
-        if shards == 1 || mode.resolve() == BuildMode::Inline {
+        match mode.resolve() {
+            BuildMode::Pinned => {
+                Self::build_stream_with_ring(cfg, shards, flows.iter().copied(), DEFAULT_RING_CAPACITY)
+            }
             // Inline multiplex: route each packet straight to its shard
             // worker — the degenerate partition (one pass, no batch
             // buffers, no spawn). With one shard this *is* the
-            // sequential ingest off the borrowed slice.
-            let mut workers: Vec<ShardWorker> = (0..shards)
-                .map(|shard| {
-                    ShardWorker::new(
-                        &cfg,
-                        shard,
-                        entries[shard],
-                        DEFAULT_WRITEBACK_CAPACITY,
-                        &sram,
-                        &kmap,
-                    )
-                })
-                .collect();
-            if shards == 1 {
-                for &flow in flows {
-                    workers[0].record(flow);
-                }
-            } else {
-                for &flow in flows {
-                    workers[Self::shard_of(flow, shards, cfg.seed)].record(flow);
-                }
+            // sequential ingest off the borrowed slice, so Threaded
+            // also lands here rather than spawning a lone thread.
+            BuildMode::Inline | BuildMode::Threaded if shards == 1 => {
+                Self::build_inline(cfg, shards, flows)
             }
-            let per_shard: Vec<IngestStats> =
-                workers.into_iter().map(ShardWorker::finish).collect();
-            return Self::assemble(cfg, shards, sram, kmap, per_shard);
+            BuildMode::Inline => Self::build_inline(cfg, shards, flows),
+            BuildMode::Threaded => Self::build_threaded(cfg, shards, flows),
+            BuildMode::Auto => unreachable!("resolve() eliminated Auto"),
         }
+    }
+
+    fn build_inline(cfg: CaesarConfig, shards: usize, flows: &[u64]) -> Self {
+        let mut ingest = InlineIngest::new(cfg, shards);
+        for &flow in flows {
+            ingest.record(flow);
+        }
+        ingest.finish()
+    }
+
+    fn build_threaded(cfg: CaesarConfig, shards: usize, flows: &[u64]) -> Self {
+        let (sram, kmap, entries) = Self::scaffold(&cfg, shards);
         // The single partition pass: flow-affine, order-preserving.
         let batches = partition_by(flows, shards, |&f| Self::shard_of(f, shards, cfg.seed));
 
@@ -379,18 +532,10 @@ impl ConcurrentCaesar {
                 let kmap = &kmap;
                 let entries = entries[shard];
                 handles.push(s.spawn(move || {
-                    let mut w = ShardWorker::new(
-                        &cfg,
-                        shard,
-                        entries,
-                        DEFAULT_WRITEBACK_CAPACITY,
-                        sram,
-                        kmap,
-                    );
-                    for flow in batch {
-                        w.record(flow);
-                    }
-                    w.finish()
+                    let mut w =
+                        ShardWorker::new(&cfg, shard, entries, WRITEBACK_ACCUMULATE_ALL);
+                    w.record_batch(&batch, sram, kmap);
+                    w.finish(sram, kmap)
                 }));
             }
             handles
@@ -402,17 +547,19 @@ impl ConcurrentCaesar {
     }
 
     /// Streaming construction: overlap partitioning with shard
-    /// consumption using bounded `std::sync::mpsc` channels — the
-    /// line-card replay shape, where packets arrive as a stream and are
-    /// routed to worker cores on the fly instead of being materialized
-    /// into per-shard batches first.
+    /// consumption over one lock-free [`support::spsc`] ring per shard
+    /// — the line-card replay shape, where packets arrive as a stream
+    /// and are routed to worker cores on the fly instead of being
+    /// materialized into per-shard batches first.
     ///
     /// The calling thread plays the RSS front end: it hashes each flow
-    /// to its shard and forwards fixed-size chunks over a bounded
-    /// channel (a slow shard back-pressures the front end rather than
-    /// buffering unboundedly). Every shard sees exactly the flow
-    /// subsequence [`ConcurrentCaesar::build`] would hand it, so the
-    /// resulting counter array is **bit-identical** to `build`'s.
+    /// to its shard and publishes fixed-size chunks into the shard's
+    /// bounded ring (a slow shard back-pressures the front end rather
+    /// than buffering unboundedly); each pinned worker drains its ring
+    /// in batches through the probe-one-ahead record path. Every shard
+    /// sees exactly the flow subsequence [`ConcurrentCaesar::build`]
+    /// would hand it, so the resulting counter array is
+    /// **bit-identical** to `build`'s.
     ///
     /// # Panics
     /// Panics if `shards == 0` or the configuration is invalid.
@@ -420,32 +567,49 @@ impl ConcurrentCaesar {
     where
         I: IntoIterator<Item = u64>,
     {
+        Self::build_stream_with_ring(cfg, shards, flows, DEFAULT_RING_CAPACITY)
+    }
+
+    /// [`ConcurrentCaesar::build_stream`] with an explicit per-shard
+    /// ring capacity (`>= 1`; capacity 1 degenerates to a ping-pong
+    /// hand-off and is exercised by the backpressure tests). The ring
+    /// capacity affects scheduling only — never the result.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`, `ring_capacity == 0`, or the
+    /// configuration is invalid.
+    pub fn build_stream_with_ring<I>(
+        cfg: CaesarConfig,
+        shards: usize,
+        flows: I,
+        ring_capacity: usize,
+    ) -> Self
+    where
+        I: IntoIterator<Item = u64>,
+    {
         let (sram, kmap, entries) = Self::scaffold(&cfg, shards);
 
         let per_shard: Vec<IngestStats> = std::thread::scope(|s| {
-            let mut senders = Vec::with_capacity(shards);
+            let mut producers = Vec::with_capacity(shards);
             let mut handles = Vec::with_capacity(shards);
             for shard in 0..shards {
-                let (tx, rx) = std::sync::mpsc::sync_channel::<Vec<u64>>(STREAM_CHANNEL_DEPTH);
-                senders.push(tx);
+                let (tx, mut rx) = spsc::ring::<u64>(ring_capacity);
+                producers.push(tx);
                 let sram = &sram;
                 let kmap = &kmap;
                 let entries = entries[shard];
                 handles.push(s.spawn(move || {
-                    let mut w = ShardWorker::new(
-                        &cfg,
-                        shard,
-                        entries,
-                        DEFAULT_WRITEBACK_CAPACITY,
-                        sram,
-                        kmap,
-                    );
-                    for chunk in rx {
-                        for flow in chunk {
-                            w.record(flow);
+                    let mut w =
+                        ShardWorker::new(&cfg, shard, entries, WRITEBACK_ACCUMULATE_ALL);
+                    let mut buf: Vec<u64> = Vec::with_capacity(STREAM_CHUNK);
+                    loop {
+                        buf.clear();
+                        if rx.pop_batch_blocking(&mut buf, STREAM_CHUNK) == 0 {
+                            break; // producer gone and ring drained
                         }
+                        w.record_batch(&buf, sram, kmap);
                     }
-                    w.finish()
+                    w.finish(sram, kmap)
                 }));
             }
 
@@ -456,19 +620,16 @@ impl ConcurrentCaesar {
                 let shard = Self::shard_of(flow, shards, cfg.seed);
                 pending[shard].push(flow);
                 if pending[shard].len() >= STREAM_CHUNK {
-                    let chunk = std::mem::replace(
-                        &mut pending[shard],
-                        Vec::with_capacity(STREAM_CHUNK),
-                    );
-                    senders[shard].send(chunk).expect("shard worker hung up");
+                    feed(&mut producers[shard], &pending[shard]);
+                    pending[shard].clear();
                 }
             }
-            for (shard, chunk) in pending.into_iter().enumerate() {
+            for (shard, chunk) in pending.iter().enumerate() {
                 if !chunk.is_empty() {
-                    senders[shard].send(chunk).expect("shard worker hung up");
+                    feed(&mut producers[shard], chunk);
                 }
             }
-            drop(senders); // close the channels: workers drain and finish
+            drop(producers); // close the rings: workers drain and finish
             handles
                 .into_iter()
                 .map(|h| h.join().expect("shard thread panicked"))
@@ -500,14 +661,14 @@ impl ConcurrentCaesar {
                 handles.push(s.spawn(move || {
                     // Capacity 1 = write-through: the seed's per-eviction
                     // direct adds, expressed through the same worker.
-                    let mut w = ShardWorker::new(&cfg, shard, entries, 1, sram, kmap);
+                    let mut w = ShardWorker::new(&cfg, shard, entries, 1);
                     for &flow in flows {
                         if Self::shard_of(flow, shards, cfg.seed) != shard {
                             continue;
                         }
-                        w.record(flow);
+                        w.record(flow, sram, kmap);
                     }
-                    w.finish()
+                    w.finish(sram, kmap)
                 }));
             }
             handles
@@ -644,6 +805,7 @@ mod tests {
                 flows.len(),
                 "shards = {shards}"
             );
+            assert_eq!(c.sram().stripes(), shards, "one tally stripe per shard");
         }
     }
 
@@ -658,11 +820,17 @@ mod tests {
     #[test]
     fn partitioned_matches_replay_bit_exactly() {
         // The tentpole's contract: the O(n) partitioned, batch-writeback
-        // pipeline is a pure optimization of the O(T·n) replay path.
+        // pipeline is a pure optimization of the O(T·n) replay path —
+        // in every scheduling shape, including the ring-fed Pinned one.
         let flows = workload();
         for shards in [1, 3, 4, 8] {
             let slow = ConcurrentCaesar::build_replay(cfg(), shards, &flows);
-            for mode in [BuildMode::Auto, BuildMode::Threaded, BuildMode::Inline] {
+            for mode in [
+                BuildMode::Auto,
+                BuildMode::Threaded,
+                BuildMode::Inline,
+                BuildMode::Pinned,
+            ] {
                 let fast = ConcurrentCaesar::build_with_mode(cfg(), shards, &flows, mode);
                 assert_eq!(
                     fast.sram().snapshot(),
@@ -692,15 +860,38 @@ mod tests {
     }
 
     #[test]
+    fn ring_capacity_does_not_change_the_sketch() {
+        // Capacity 1 forces a full-backpressure ping-pong hand-off; the
+        // sketch must not notice.
+        let flows = workload();
+        let reference = ConcurrentCaesar::build(cfg(), 3, &flows);
+        for cap in [1usize, 2, 7, 64, 4096] {
+            let c = ConcurrentCaesar::build_stream_with_ring(
+                cfg(),
+                3,
+                flows.iter().copied(),
+                cap,
+            );
+            assert_eq!(
+                c.sram().snapshot(),
+                reference.sram().snapshot(),
+                "ring capacity {cap}"
+            );
+            assert_eq!(c.ingest_stats(), reference.ingest_stats(), "ring capacity {cap}");
+        }
+    }
+
+    #[test]
     fn writeback_batching_coalesces_hot_counters() {
         let flows = workload();
         let c = ConcurrentCaesar::build(cfg(), 2, &flows);
         let stats = c.ingest_stats();
         assert!(stats.evictions > 0);
         assert!(stats.staged_updates >= stats.flushed_updates);
-        assert!(stats.flushes > 0);
-        // 64 flows × k=3 ⇒ at most 192 hot counters, so 1024-entry
-        // batches must coalesce substantially on this workload.
+        // Shard-local segments: exactly one merge per shard.
+        assert_eq!(stats.flushes, 2);
+        // 64 flows × k=3 ⇒ at most 192 hot counters per shard, so the
+        // whole-run accumulation must coalesce substantially.
         assert!(
             stats.coalescing_factor() > 1.5,
             "coalescing factor {}",
@@ -763,25 +954,29 @@ mod tests {
     }
 
     #[test]
-    fn single_shard_matches_sequential_exactly() {
-        // With one shard and the same seeds, the eviction stream is the
-        // sequential one: counters must agree exactly.
+    fn single_shard_matches_sequential_byte_for_byte() {
+        // One shard uses exactly the sequential seeds (cache and RNG),
+        // so every build mode must reproduce the sequential oracle's
+        // counter array bit for bit — the strongest equivalence the
+        // suite pins, and the anchor for the multi-shard determinism
+        // argument (each shard is "a sequential sketch over its flow
+        // subsequence").
         let flows = workload();
-        let conc = ConcurrentCaesar::build(cfg(), 1, &flows);
-        let mut seq = crate::Caesar::new(CaesarConfig {
-            cache_entries: conc.cfg.cache_entries,
-            ..cfg()
-        });
+        let mut seq = crate::Caesar::new(cfg());
         for &f in &flows {
             seq.record(f);
         }
         seq.finish();
-        // Same total mass; per-counter equality needs identical RNG
-        // streams which the two paths don't share, so compare totals
-        // and the large-flow estimate instead.
-        assert_eq!(conc.sram().total_added(), seq.sram().total_added());
-        let big = mix64(63);
-        assert!((conc.query(big) - seq.query(big)).abs() < 16.0);
+        for mode in [BuildMode::Inline, BuildMode::Threaded, BuildMode::Pinned] {
+            let conc = ConcurrentCaesar::build_with_mode(cfg(), 1, &flows, mode);
+            assert_eq!(
+                conc.sram().snapshot(),
+                seq.sram().as_slice(),
+                "mode = {mode:?}"
+            );
+            assert_eq!(conc.sram().total_added(), seq.sram().total_added());
+            assert_eq!(conc.evictions(), seq.stats().evictions);
+        }
     }
 
     #[test]
@@ -796,5 +991,13 @@ mod tests {
         let c = ConcurrentCaesar::build_stream(cfg(), 4, std::iter::empty());
         assert_eq!(c.sram().total_added(), 0);
         assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn empty_trace_pinned_terminates() {
+        // Regression guard: rings that never receive an item must still
+        // close and drain (no hang when shards exceed trace length).
+        let c = ConcurrentCaesar::build_with_mode(cfg(), 8, &[], BuildMode::Pinned);
+        assert_eq!(c.sram().total_added(), 0);
     }
 }

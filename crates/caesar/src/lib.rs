@@ -60,9 +60,11 @@ pub mod sram;
 pub mod theory;
 pub mod update;
 
-pub use atomic_sram::{AtomicCounterArray, WritebackBuffer};
-pub use concurrent::{per_shard_entries, BuildMode, ConcurrentCaesar, IngestStats};
-pub use epochs::EpochedCaesar;
+pub use atomic_sram::{AtomicCounterArray, WritebackBuffer, WRITEBACK_ACCUMULATE_ALL};
+pub use concurrent::{
+    per_shard_entries, BuildMode, ConcurrentCaesar, IngestStats, DEFAULT_RING_CAPACITY,
+};
+pub use epochs::{ConcurrentEpoch, EpochedCaesar, EpochedConcurrentCaesar};
 pub use heavy_hitters::{DetectionReport, Hitter};
 pub use packed::PackedCounterArray;
 pub use config::{CaesarConfig, Estimator};

@@ -111,8 +111,10 @@ impl PackedCounterArray {
     }
 
     /// Add `v` to counter `idx`, saturating at the counter capacity.
+    /// The offered-units total is a wrapping tally (the same semantics
+    /// as [`crate::AtomicCounterArray::add`]).
     pub fn add(&mut self, idx: usize, v: u64) {
-        self.total_added += v;
+        self.total_added = self.total_added.wrapping_add(v);
         let cur = self.get(idx);
         let room = self.max_value - cur;
         if v > room {
@@ -120,6 +122,36 @@ impl PackedCounterArray {
             self.saturations += 1;
         } else {
             self.set(idx, cur + v);
+        }
+    }
+
+    /// Apply a batch of `(index, increment)` updates — the packed
+    /// mirror of [`crate::AtomicCounterArray::add_batch`]: the
+    /// offered-units total is accumulated once for the whole batch
+    /// (wrapping, exactly like repeated [`PackedCounterArray::add`]
+    /// tallies would), zero increments are skipped, and duplicate
+    /// indices are legal. Equivalent to
+    /// `for &(i, v) in updates { self.add(i, v) }` for every
+    /// observable value (pinned against the plain word-per-counter
+    /// [`crate::CounterArray`] by property test).
+    pub fn add_batch(&mut self, updates: &[(usize, u64)]) {
+        let mut batch_total = 0u64;
+        for &(_, v) in updates {
+            batch_total = batch_total.wrapping_add(v);
+        }
+        self.total_added = self.total_added.wrapping_add(batch_total);
+        for &(idx, v) in updates {
+            if v == 0 {
+                continue;
+            }
+            let cur = self.get(idx);
+            let room = self.max_value - cur;
+            if v > room {
+                self.set(idx, self.max_value);
+                self.saturations += 1;
+            } else {
+                self.set(idx, cur + v);
+            }
         }
     }
 
@@ -225,5 +257,73 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_get_panics() {
         PackedCounterArray::new(4, 8).get(4);
+    }
+
+    #[test]
+    fn add_batch_matches_repeated_add() {
+        let mut batched = PackedCounterArray::new(8, 10);
+        let mut looped = PackedCounterArray::new(8, 10);
+        let updates: Vec<(usize, u64)> =
+            vec![(0, 3), (1, 0), (7, 2000), (0, 5), (7, 200), (3, 1), (0, 2)];
+        batched.add_batch(&updates);
+        for &(i, v) in &updates {
+            looped.add(i, v);
+        }
+        for i in 0..8 {
+            assert_eq!(batched.get(i), looped.get(i), "counter {i}");
+        }
+        assert_eq!(batched.total_added(), looped.total_added());
+        assert_eq!(batched.saturations(), looped.saturations());
+        assert_eq!(batched.sum(), looped.sum());
+    }
+
+    #[test]
+    fn add_batch_empty_and_zeroes_are_noops() {
+        let mut a = PackedCounterArray::new(4, 8);
+        a.add_batch(&[]);
+        a.add_batch(&[(0, 0), (3, 0)]);
+        assert_eq!(a.total_added(), 0);
+        assert_eq!(a.sum(), 0);
+        assert_eq!(a.saturations(), 0);
+    }
+
+    #[test]
+    fn batched_adds_match_plain_counter_array_under_saturation() {
+        // Property pin (randomized): packed batched adds ≡ plain
+        // word-per-counter adds for every observable value, across
+        // straddling widths and narrow saturating counters.
+        use support::rand::Rng;
+        use support::testkit::for_each_seed_n;
+        for_each_seed_n(32, |rng| {
+            let len = rng.gen_range(1..97usize);
+            // Narrow widths force frequent saturation; odd widths force
+            // word straddles.
+            let bits = rng.gen_range(1..17u32);
+            let mut packed = PackedCounterArray::new(len, bits);
+            let mut plain = CounterArray::new(len, bits);
+            for _batch in 0..rng.gen_range(1..8usize) {
+                let updates: Vec<(usize, u64)> = (0..rng.gen_range(0..64usize))
+                    .map(|_| {
+                        (
+                            rng.gen_range(0..len),
+                            rng.gen_range(0..(3u64 << bits.min(32))),
+                        )
+                    })
+                    .collect();
+                packed.add_batch(&updates);
+                for &(i, v) in &updates {
+                    plain.add(i, v);
+                }
+            }
+            for i in 0..len {
+                assert_eq!(
+                    packed.get(i),
+                    plain.get(i),
+                    "len {len} bits {bits} counter {i}"
+                );
+            }
+            assert_eq!(packed.sum(), plain.sum());
+            assert_eq!(packed.total_added(), plain.total_added());
+        });
     }
 }

@@ -9,6 +9,16 @@ use cachesim::{CacheConfig, CacheStats, CacheTable};
 use hashkit::KCounterMap;
 use support::rand::{rngs::StdRng, SeedableRng};
 
+/// Smallest SRAM footprint (bytes) for which the batch paths issue
+/// software prefetches of predicted counter rows. Below this the
+/// counter array is comfortably cache-resident and the prefetch
+/// instructions are pure front-end overhead — BENCH_PR3 measured the
+/// hinted batch path *slower* than scalar `record` on the 2048-counter
+/// (16 KiB) micro-trace geometry precisely because every prefetch was
+/// wasted. 256 KiB ≈ typical per-core L2 size: arrays at least this
+/// big miss often enough for the one-ahead hint to pay.
+pub(crate) const SRAM_PREFETCH_MIN_BYTES: usize = 256 * 1024;
+
 /// Aggregate statistics of a CAESAR run.
 #[derive(Debug, Clone, Copy)]
 pub struct CaesarStats {
@@ -134,10 +144,12 @@ impl Caesar {
     }
 
     /// Batch construction: record `flows` in order while probing the
-    /// cache state — and, when the next packet will overflow its entry,
-    /// software-prefetching the flow's `k` SRAM counter words — **one
-    /// batch element ahead**, overlapping the lookup/RMW latency of
-    /// packet `i + 1` with the processing of packet `i`.
+    /// cache state — and, when the next packet will overflow its entry
+    /// *and* the counter array is large enough that a miss is likely
+    /// ([`SRAM_PREFETCH_MIN_BYTES`]), software-prefetching the flow's
+    /// `k` SRAM counter words — **one batch element ahead**,
+    /// overlapping the lookup/RMW latency of packet `i + 1` with the
+    /// processing of packet `i`.
     ///
     /// The probe result is then carried forward as a **slot hint** into
     /// packet `i + 1`'s record, so a cache hit costs one index lookup
@@ -154,6 +166,18 @@ impl Caesar {
     pub fn record_batch(&mut self, flows: &[u64]) {
         assert!(!self.finished, "record_batch() after finish(): the sketch is read-only");
         let k = self.cfg.k;
+        let prefetch_sram = self.cfg.counters * 8 >= SRAM_PREFETCH_MIN_BYTES;
+        if !prefetch_sram {
+            // Cache-resident counter array: there is no miss latency to
+            // hide, so the probe-one-ahead pipeline below is pure
+            // bookkeeping overhead (the BENCH_PR3 `caesar_trace_batch`
+            // regression). The plain loop is the fast path here and is
+            // trivially the same sketch.
+            for &flow in flows {
+                self.record_inner(flow);
+            }
+            return;
+        }
         let mut hint = flows.first().and_then(|&f| self.cache.prefetch(f));
         for (i, &flow) in flows.iter().enumerate() {
             let r = self
@@ -162,10 +186,12 @@ impl Caesar {
             self.apply_recorded(flow, r);
             hint = flows.get(i + 1).and_then(|&next| {
                 let probe = self.cache.prefetch(next);
-                if let Some((slot, true)) = probe {
-                    let start = slot as usize * k;
-                    for &idx in &self.memo[start..start + k] {
-                        self.sram.prefetch(idx);
+                if prefetch_sram {
+                    if let Some((slot, true)) = probe {
+                        let start = slot as usize * k;
+                        for &idx in &self.memo[start..start + k] {
+                            self.sram.prefetch(idx);
+                        }
                     }
                 }
                 probe

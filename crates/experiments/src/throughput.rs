@@ -17,7 +17,7 @@ use crate::report::{f, Csv, TextTable};
 use crate::runner::bursty_trace_for;
 use crate::scale::{Scale, PAPER_MEAN_FLOW};
 use cachesim::{CacheConfig, CacheTable};
-use caesar::ConcurrentCaesar;
+use caesar::{BuildMode, ConcurrentCaesar};
 use memsim::{AccessCosts, PacketWork, Pipeline};
 use std::time::Instant;
 
@@ -185,8 +185,9 @@ impl ThroughputResult {
 #[derive(Debug, Clone)]
 pub struct ConstructionRow {
     /// Ingest path: `partitioned` (O(n) single pass + batch writeback),
-    /// `stream` (overlapped partition/consume), or `replay` (the seed's
-    /// O(T·n) scan-and-filter reference).
+    /// `stream` (overlapped partition/consume over SPSC rings),
+    /// `pinned` (explicit ring-fed worker-per-shard mode), or `replay`
+    /// (the seed's O(T·n) scan-and-filter reference).
     pub path: String,
     /// Worker shards used.
     pub shards: usize,
@@ -251,6 +252,9 @@ pub fn construction_scaling(
         });
         timed("stream", shards, &|| {
             ConcurrentCaesar::build_stream(cfg, shards, flows.iter().copied())
+        });
+        timed("pinned", shards, &|| {
+            ConcurrentCaesar::build_with_mode(cfg, shards, &flows, BuildMode::Pinned)
         });
         timed("replay", shards, &|| {
             ConcurrentCaesar::build_replay(cfg, shards, &flows)
@@ -350,13 +354,14 @@ mod tests {
         // Structural assertions only — wall-clock ordering is asserted
         // by the `concurrent_build` bench, not in CI-sized tests.
         let r = construction_scaling(Scale::Tiny, &[1, 2], 1);
-        assert_eq!(r.rows.len(), 6, "3 paths × 2 shard counts");
+        assert_eq!(r.rows.len(), 8, "4 paths × 2 shard counts");
         for row in &r.rows {
             assert!(row.ms > 0.0 && row.ms.is_finite(), "{row:?}");
             assert!(row.mpps > 0.0 && row.mpps.is_finite(), "{row:?}");
         }
         assert!(r.speedup(2).is_some());
         assert!(r.row("stream", 1).is_some());
+        assert!(r.row("pinned", 2).is_some());
         assert!(r.render().contains("construction"));
         assert_eq!(r.to_csv().len(), 1);
     }

@@ -13,7 +13,7 @@
 //! | `bytes`        | [`bytesx`] (`ByteReader`, `PutBytes`) |
 //! | `serde`        | [`json`] (hand-rolled value model, writer, parser) |
 //! | `rayon`        | [`par`] (`par_map` over `std::thread::scope`) |
-//! | `crossbeam`    | `std::thread::scope` (call sites migrated directly) |
+//! | `crossbeam`    | `std::thread::scope` (call sites migrated directly) + [`spsc`] (lock-free bounded SPSC ring) |
 //! | `parking_lot`  | `std::sync::Mutex` (call sites migrated directly) |
 //! | `proptest`     | [`testkit`] (deterministic seeded property harness) |
 //! | `criterion`    | [`timing`] (warmup + median-of-N bench harness) |
@@ -28,5 +28,6 @@ pub mod mathx;
 pub mod mem;
 pub mod par;
 pub mod rand;
+pub mod spsc;
 pub mod testkit;
 pub mod timing;

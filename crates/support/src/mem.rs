@@ -6,7 +6,8 @@
 //! pure hint — it never faults, never changes observable state — so the
 //! wrapper is sound to expose safely even though the intrinsic itself
 //! is `unsafe` (this crate is the one place in the workspace allowed to
-//! contain `unsafe`; all downstream crates `forbid(unsafe_code)`).
+//! contain `unsafe` — here and in [`crate::spsc`]; all downstream
+//! crates `forbid(unsafe_code)`).
 //!
 //! Callers issue the hint one batch element *ahead* of the element they
 //! are processing, overlapping the DRAM/SRAM access latency of element

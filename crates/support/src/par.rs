@@ -172,6 +172,42 @@ mod tests {
     }
 
     #[test]
+    fn partition_conserves_counts_with_more_parts_than_items() {
+        // Regression (empty-shard edge): when `parts` exceeds the
+        // number of distinct keys — or the input length outright —
+        // every item must still land in exactly one bucket and the
+        // surplus buckets must come back empty, not be dropped,
+        // merged, or panicked over.
+        let items: Vec<u64> = (0..10).collect();
+
+        // parts > distinct keys: 3 distinct keys into 32 parts.
+        let parts = partition_by(&items, 32, |&x| (x % 3) as usize);
+        assert_eq!(parts.len(), 32);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), items.len());
+        assert_eq!(parts.iter().filter(|b| !b.is_empty()).count(), 3);
+        for bucket in &parts[3..] {
+            assert!(bucket.is_empty(), "surplus buckets must stay empty");
+        }
+
+        // parts > input length: identity routing of 10 items into 64.
+        let parts = partition_by(&items, 64, |&x| x as usize);
+        assert_eq!(parts.len(), 64);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), items.len());
+        for (i, bucket) in parts.iter().enumerate() {
+            if i < items.len() {
+                assert_eq!(bucket.as_slice(), &[i as u64], "bucket {i}");
+            } else {
+                assert!(bucket.is_empty(), "bucket {i}");
+            }
+        }
+
+        // Degenerate skew: everything into one of many buckets.
+        let parts = partition_by(&items, 16, |_| 11);
+        assert_eq!(parts[11], items);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), items.len());
+    }
+
+    #[test]
     #[should_panic(expected = "at least one part")]
     fn partition_zero_parts_rejected() {
         partition_by(&[1u8], 0, |_| 0);

@@ -4,7 +4,7 @@
 # to the code that produced them.
 #
 # Usage: scripts/bench_trajectory.sh [OUT] [BENCH...]
-#   OUT      output file (default BENCH_PR3.json)
+#   OUT      output file (default BENCH_PR4.json)
 #   BENCH... bench targets to run (default: micro extensions)
 #
 # Environment:
@@ -23,7 +23,10 @@
 # groups "record" ("caesar_trace" vs "caesar_trace_batch"),
 # "estimators" ("caesar_query_*_all_flows" vs the "*_batch"/"*_par4"
 # batch-engine sweeps) and "hashing" ("kmap_indices_k3" vs
-# "kmap_fill_indices_k3").
+# "kmap_fill_indices_k3"). PR 4's pairs: group "concurrent_build"
+# "stream_4"/"pinned_4" (SPSC-ring transport + striped writeback) vs
+# "replay_4", "linerate_stream_4" vs "linerate_replay_4", and the raw
+# ring hand-off in group "spsc".
 #
 # After writing OUT, the script prints a median diff table against the
 # most recent other BENCH_*.json (joined on group/name), so every run
@@ -31,7 +34,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR3.json}"
+OUT="${1:-BENCH_PR4.json}"
 shift || true
 BENCHES=("$@")
 if [ "${#BENCHES[@]}" -eq 0 ]; then

@@ -17,6 +17,14 @@
 #                       ns where one loaded window inflates any
 #                       statistic ~2x. A genuine regression fails every
 #                       attempt; transient host steal does not.
+#                       Also runs the thread-scaling canary: the
+#                       4-shard concurrent build must be meaningfully
+#                       faster than the 1-shard build (median t4 <
+#                       0.8x t1) — FAIL otherwise. The scaling canary
+#                       needs real cores: on hosts with fewer than 2
+#                       (nproc) it is SKIPPED loudly, because the
+#                       worker-per-shard build cannot beat sequential
+#                       on a single hardware thread by construction.
 # Environment:
 #   CHECK_WORKSPACE=0   restrict tests to the root package (the seed's
 #                       tier-1 definition); default runs --workspace.
@@ -50,6 +58,7 @@ if [ "${1:-}" = "--quick-bench" ]; then
     run cargo build --release --offline -p bench --benches >/dev/null
     SMOKE="$(mktemp)"
     trap 'rm -f "$SMOKE"' EXIT
+    kernels_ok=0
     for attempt in 1 2 3; do
         CAESAR_BENCH_FILTER="estimator_kernels/csm_kernel,cache/cache_record_hit" \
             CAESAR_BENCH_SAMPLES=9 \
@@ -71,13 +80,57 @@ if [ "${1:-}" = "--quick-bench" ]; then
             case "$verdict" in *FAIL*) fail=1 ;; esac
         done
         if [ "$fail" -eq 0 ]; then
-            echo "check.sh --quick-bench: all green"
-            exit 0
+            kernels_ok=1
+            break
         fi
         [ "$attempt" -lt 3 ] && echo "quick-bench: attempt $attempt noisy; retrying" && sleep 2
     done
-    echo "check.sh --quick-bench: canary kernel regressed on all attempts"
-    exit 1
+    if [ "$kernels_ok" -ne 1 ]; then
+        echo "check.sh --quick-bench: canary kernel regressed on all attempts"
+        exit 1
+    fi
+
+    # --- thread-scaling canary ---------------------------------------
+    # The point of the sharded ingest is that more shards are faster.
+    # Pin that property: the 4-shard concurrent build median must be
+    # < 0.8x the 1-shard median. It is a *host* property as much as a
+    # code property, so it is only meaningful with real parallelism —
+    # on a single-core host the worker threads time-slice one hardware
+    # thread and 4 shards cannot beat 1 by construction. Skip loudly
+    # there instead of producing a vacuous failure.
+    CORES="$(nproc 2>/dev/null || echo 1)"
+    if [ "$CORES" -lt 2 ]; then
+        echo "quick-bench: thread-scaling canary SKIPPED — host has $CORES core(s);"
+        echo "quick-bench: t4 < 0.8x t1 is unobservable without >=2 hardware threads"
+        echo "check.sh --quick-bench: all green (scaling canary skipped)"
+        exit 0
+    fi
+    scaling_ok=0
+    for attempt in 1 2; do
+        CAESAR_BENCH_FILTER="concurrent_build/1,concurrent_build/4" \
+            cargo bench --offline -p bench --bench extensions 2>/dev/null \
+            | grep '^{' > "$SMOKE"
+        t1="$(json_median concurrent_build 1 "$SMOKE")"
+        t4="$(json_median concurrent_build 4 "$SMOKE")"
+        if [ -z "$t1" ] || [ -z "$t4" ]; then
+            echo "quick-bench: concurrent_build medians missing (t1='$t1' t4='$t4')"
+            break
+        fi
+        verdict="$(awk -v a="$t1" -v b="$t4" \
+            'BEGIN { r = (a > 0) ? b / a : 0; printf "%.2f %s", r, (r < 0.8) ? "ok" : "FAIL" }')"
+        echo "quick-bench[$attempt]: scaling t1=${t1}ns t4=${t4}ns (t4/t1 ${verdict}, need < 0.80)"
+        case "$verdict" in
+            *ok*) scaling_ok=1 ;;
+        esac
+        [ "$scaling_ok" -eq 1 ] && break
+        [ "$attempt" -lt 2 ] && echo "quick-bench: scaling attempt $attempt noisy; retrying" && sleep 2
+    done
+    if [ "$scaling_ok" -ne 1 ]; then
+        echo "check.sh --quick-bench: thread-scaling canary failed (t4 not < 0.8x t1 on $CORES cores)"
+        exit 1
+    fi
+    echo "check.sh --quick-bench: all green"
+    exit 0
 fi
 
 run cargo build --release --offline

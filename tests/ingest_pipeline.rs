@@ -72,9 +72,10 @@ fn build_stream_and_replay_are_bit_identical_to_build() {
         let batch = ConcurrentCaesar::build(cfg, shards, &flows);
         let stream = ConcurrentCaesar::build_stream(cfg, shards, flows.iter().copied());
         let replay = ConcurrentCaesar::build_replay(cfg, shards, &flows);
-        // Scheduling must be invisible: both explicit build modes agree
-        // with whatever Auto picked on this host.
-        for mode in [BuildMode::Threaded, BuildMode::Inline] {
+        // Scheduling must be invisible: every explicit build mode —
+        // including the ring-fed Pinned transport — agrees with
+        // whatever Auto picked on this host.
+        for mode in [BuildMode::Threaded, BuildMode::Inline, BuildMode::Pinned] {
             let m = ConcurrentCaesar::build_with_mode(cfg, shards, &flows, mode);
             assert_eq!(
                 batch.sram().snapshot(),
@@ -88,6 +89,7 @@ fn build_stream_and_replay_are_bit_identical_to_build() {
             stream.sram().snapshot(),
             "build vs build_stream: {cfg:?} shards={shards}"
         );
+        assert_eq!(batch.ingest_stats(), stream.ingest_stats(), "stream stats");
         assert_eq!(
             batch.sram().snapshot(),
             replay.sram().snapshot(),
@@ -101,7 +103,7 @@ fn build_stream_and_replay_are_bit_identical_to_build() {
 }
 
 #[test]
-fn one_shard_matches_sequential_total_mass() {
+fn one_shard_matches_sequential_byte_for_byte() {
     for_each_seed_n(CASES, |rng| {
         let cfg = random_cfg(rng);
         let flows = random_workload(rng);
@@ -111,19 +113,19 @@ fn one_shard_matches_sequential_total_mass() {
             seq.record(f);
         }
         seq.finish();
+        // Shard 0's seeds (cache — including the Random-replacement
+        // victim RNG — and remainder-scatter RNG) are exactly the
+        // sequential sketch's, so with one shard the concurrent build
+        // IS the sequential oracle: same eviction stream, same RNG
+        // draws, same counters, for every replacement policy.
         assert_eq!(
-            conc.sram().total_added(),
-            seq.sram().total_added(),
+            conc.sram().snapshot(),
+            seq.sram().as_slice(),
             "{cfg:?}"
         );
+        assert_eq!(conc.sram().total_added(), seq.sram().total_added(), "{cfg:?}");
         assert_eq!(conc.sram().total_added() as usize, flows.len());
-        // Same cache geometry (per_shard_entries(M, 1) == [M]) means the
-        // same eviction count for the deterministic policies. (Random
-        // replacement seeds its victim RNG differently in the two
-        // pipelines, so only total mass is comparable there.)
-        if cfg.policy != CachePolicy::Random {
-            assert_eq!(conc.evictions(), seq.stats().evictions, "{cfg:?}");
-        }
+        assert_eq!(conc.evictions(), seq.stats().evictions, "{cfg:?}");
     });
 }
 

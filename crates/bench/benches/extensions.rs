@@ -12,7 +12,7 @@ use baselines::{
 };
 use bench::{bench_config, bench_trace, linerate_bench_trace};
 use caesar::epochs::{EpochedCaesar, EpochedConcurrentCaesar};
-use caesar::{BuildMode, ConcurrentCaesar, Estimator};
+use caesar::{BuildMode, ConcurrentCaesar, Estimator, OnlineCaesar};
 use memsim::{PacketWork, Pipeline};
 use std::hint::black_box;
 use support::rand::{rngs::StdRng, SeedableRng};
@@ -157,6 +157,39 @@ fn concurrent_and_epochs() {
             4,
             lflows.iter().copied(),
         ));
+    });
+    g.finish();
+
+    // The PR 5 supervised online engine: same SPSC/striped-writeback
+    // machinery as `stream_4`/`pinned_4`, but single-owner, supervised
+    // and non-terminating. `steady_state_*` is the packet-at-a-time
+    // offer loop incl. epoch merges and the final drain — the
+    // before/after pair for the fault-tolerance tax is
+    // online/steady_state_4 vs concurrent_build/stream_4 in the same
+    // trajectory file. `snapshot_roundtrip_4` prices a mid-stream
+    // checkpoint (serialize + restore + one resumed epoch).
+    let mut g = Harness::new("online");
+    for shards in [1usize, 4] {
+        g.bench(&format!("steady_state_{shards}"), || {
+            let mut o = OnlineCaesar::new(bench_config(), shards);
+            for &f in &flows {
+                o.offer(f);
+            }
+            black_box(o.finish());
+        });
+    }
+    g.bench("snapshot_roundtrip_4", || {
+        let mut o = OnlineCaesar::new(bench_config(), 4);
+        let half = flows.len() / 2;
+        for &f in &flows[..half] {
+            o.offer(f);
+        }
+        let snap = o.snapshot();
+        let mut o = OnlineCaesar::restore(&snap).expect("bench restore");
+        for &f in &flows[half..] {
+            o.offer(f);
+        }
+        black_box((snap.len(), o.finish()));
     });
     g.finish();
 

@@ -22,5 +22,6 @@
 pub mod table;
 
 pub use table::{
-    CacheConfig, CachePolicy, CacheStats, CacheTable, Eviction, EvictionReason, Recorded,
+    CacheConfig, CachePolicy, CacheStats, CacheTable, CacheTableState, Eviction, EvictionReason,
+    Recorded,
 };

@@ -139,6 +139,26 @@ impl CacheStats {
     }
 }
 
+/// Complete serializable dynamic state of a [`CacheTable`], captured by
+/// [`CacheTable::snapshot_state`] and consumed by
+/// [`CacheTable::restore`]. All fields are plain data so callers can
+/// encode them with any codec (the CAESAR online runtime uses
+/// `support::bytesx`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheTableState {
+    /// Resident slots in slot-id order: `(flow, count, prev, next)`
+    /// where `prev`/`next` are recency-list links (`u32::MAX` = nil).
+    pub slots: Vec<(u64, u64, u32, u32)>,
+    /// Most-recently-used slot (list head; `u32::MAX` = empty).
+    pub head: u32,
+    /// Least-recently-used slot (list tail; `u32::MAX` = empty).
+    pub tail: u32,
+    /// Random-replacement generator state ([`StdRng::state`]).
+    pub rng: [u64; 4],
+    /// Running statistics at snapshot time.
+    pub stats: CacheStats,
+}
+
 const NIL: u32 = u32::MAX;
 
 #[derive(Debug, Clone, Copy)]
@@ -421,21 +441,31 @@ impl CacheTable {
 
     /// Streaming form of [`drain`](Self::drain): invoke `sink` with
     /// `(slot, eviction)` for every resident entry with a nonzero
-    /// count, **in the same order** `drain` would emit them, then clear
-    /// the table. The slot id lets callers consume their per-slot side
-    /// tables (e.g. memoized counter indices) without re-hashing, and
-    /// the callback form avoids materializing the eviction `Vec`.
+    /// count, **in ascending slot-id order** (the same order `drain`
+    /// emits), then clear the table. The slot id lets callers consume
+    /// their per-slot side tables (e.g. memoized counter indices)
+    /// without re-hashing, and the callback form avoids materializing
+    /// the eviction `Vec`.
+    ///
+    /// Slot-id order (rather than hash-map iteration order) makes the
+    /// dump a pure function of the *visible* table state: a table
+    /// rebuilt from a [`CacheTableState`] snapshot drains — and
+    /// therefore scatters its final-dump remainders through the
+    /// downstream RNG — byte-identically to the original, even though
+    /// the rebuilt hash index has a different internal layout history.
+    /// Every slot in `slots` is resident by construction (slots are
+    /// only ever allocated bound and rebound in place, never freed
+    /// mid-run), so this walk misses nothing.
     pub fn drain_with(&mut self, mut sink: impl FnMut(u32, Eviction)) {
         let mut dumped = 0u64;
-        for (&flow, &slot) in self.index.iter() {
-            let count = self.slots[slot as usize].count;
-            if count > 0 {
+        for (slot, s) in self.slots.iter().enumerate() {
+            if s.count > 0 {
                 dumped += 1;
                 sink(
-                    slot,
+                    slot as u32,
                     Eviction {
-                        flow,
-                        value: count,
+                        flow: s.flow,
+                        value: s.count,
                         reason: EvictionReason::FinalDump,
                     },
                 );
@@ -447,6 +477,67 @@ impl CacheTable {
         self.free.clear();
         self.head = NIL;
         self.tail = NIL;
+    }
+
+    /// Capture the table's complete dynamic state for a
+    /// crash-consistent snapshot. Restoring via
+    /// [`CacheTable::restore`] yields a table whose every future
+    /// observable — records, evictions, recency order, random-victim
+    /// draws, final dump — is byte-identical to continuing with `self`.
+    pub fn snapshot_state(&self) -> CacheTableState {
+        debug_assert!(self.free.is_empty(), "slots are never freed mid-run");
+        CacheTableState {
+            slots: self
+                .slots
+                .iter()
+                .map(|s| (s.flow, s.count, s.prev, s.next))
+                .collect(),
+            head: self.head,
+            tail: self.tail,
+            rng: self.rng.state(),
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuild a table from a [`CacheTableState`] snapshot taken with
+    /// the same `cfg`. The hash index is reconstructed from the slot
+    /// array; because no observable path depends on hash-map iteration
+    /// order (see [`drain_with`](Self::drain_with)), the restored table
+    /// continues the original's behavior exactly.
+    ///
+    /// # Panics
+    /// Panics if the snapshot is inconsistent with `cfg` (more slots
+    /// than entries, duplicate flows, or dangling list links).
+    pub fn restore(cfg: CacheConfig, state: &CacheTableState) -> Self {
+        assert!(cfg.entries > 0, "cache needs at least one entry");
+        assert!(cfg.entry_capacity >= 2, "entry capacity y must be >= 2");
+        assert!(
+            state.slots.len() <= cfg.entries,
+            "snapshot has {} slots but cfg allows {}",
+            state.slots.len(),
+            cfg.entries
+        );
+        let n = state.slots.len() as u32;
+        let ok = |link: u32| link == NIL || link < n;
+        assert!(ok(state.head) && ok(state.tail), "dangling list head/tail");
+        let mut slots = Vec::with_capacity(cfg.entries);
+        let mut index = IdHashMap::default();
+        for (i, &(flow, count, prev, next)) in state.slots.iter().enumerate() {
+            assert!(ok(prev) && ok(next), "dangling link at slot {i}");
+            let dup = index.insert(flow, i as u32);
+            assert!(dup.is_none(), "duplicate flow {flow:#x} in snapshot");
+            slots.push(Slot { flow, count, prev, next });
+        }
+        Self {
+            cfg,
+            slots,
+            index,
+            head: state.head,
+            tail: state.tail,
+            free: Vec::new(),
+            rng: StdRng::from_state(state.rng),
+            stats: state.stats,
+        }
     }
 
     /// Software-prefetch the table state for an upcoming
@@ -467,11 +558,11 @@ impl CacheTable {
         Some((slot, s.count + 1 >= self.cfg.entry_capacity))
     }
 
-    /// Iterate resident `(flow, partial_count)` pairs without flushing.
+    /// Iterate resident `(flow, partial_count)` pairs without flushing,
+    /// in ascending slot-id order (deterministic and
+    /// layout-independent, like [`drain_with`](Self::drain_with)).
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.index
-            .iter()
-            .map(|(&f, &s)| (f, self.slots[s as usize].count))
+        self.slots.iter().map(|s| (s.flow, s.count))
     }
 
     fn select_victim(&mut self) -> u32 {
@@ -895,6 +986,64 @@ mod tests {
         c.record(1); // count 2: next packet overflows (y = 3)
         assert_eq!(c.prefetch(1).map(|(_, o)| o), Some(true));
         assert_eq!(c.stats().hits, st.hits + 1, "prefetch must not count as access");
+    }
+
+    #[test]
+    fn snapshot_restore_continues_byte_identically() {
+        for policy in [CachePolicy::Lru, CachePolicy::Random, CachePolicy::Fifo] {
+            let cfg = CacheConfig { policy, ..CacheConfig::lru(8, 5) };
+            let mut a = CacheTable::new(cfg);
+            let mut x = 17u64;
+            for _ in 0..3_000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                a.record(x % 31);
+            }
+            let snap = a.snapshot_state();
+            let mut b = CacheTable::restore(cfg, &snap);
+            assert_eq!(a.stats(), b.stats());
+            assert_eq!(a.len(), b.len());
+            // Identical futures: same evictions, same random victims,
+            // same recency decisions, same final dump.
+            for _ in 0..3_000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let f = x % 31;
+                assert_eq!(a.record_slotted(f), b.record_slotted(f));
+            }
+            let mut da = Vec::new();
+            let mut db = Vec::new();
+            a.drain_with(|slot, e| da.push((slot, e)));
+            b.drain_with(|slot, e| db.push((slot, e)));
+            assert_eq!(da, db);
+            assert_eq!(a.stats(), b.stats());
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_state() {
+        let cfg = CacheConfig::random(4, 9);
+        let mut c = CacheTable::new(cfg);
+        for f in [3u64, 1, 4, 1, 5, 9, 2, 6] {
+            c.record(f);
+        }
+        let snap = c.snapshot_state();
+        let r = CacheTable::restore(cfg, &snap);
+        assert_eq!(r.snapshot_state(), snap, "restore → snapshot is the identity");
+        // iter() is slot-ordered, hence identical too.
+        assert_eq!(c.iter().collect::<Vec<_>>(), r.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate flow")]
+    fn restore_rejects_duplicate_flows() {
+        let cfg = CacheConfig::lru(4, 9);
+        let state = CacheTableState {
+            slots: vec![(7, 1, NIL, 1), (7, 2, 0, NIL)],
+            head: 0,
+            tail: 1,
+            rng: [1, 2, 3, 4],
+            stats: CacheStats::default(),
+        };
+        CacheTable::restore(cfg, &state);
     }
 
     #[test]

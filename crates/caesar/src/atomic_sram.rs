@@ -196,6 +196,82 @@ impl AtomicCounterArray {
     pub fn snapshot(&self) -> Vec<u64> {
         self.counters.iter().map(|c| c.load(Ordering::Relaxed)).collect()
     }
+
+    /// Copy out the per-stripe tallies as `(total_added, saturations)`
+    /// pairs — the other half of a crash-consistent snapshot (counter
+    /// words alone cannot reconstruct the offered-units total or the
+    /// saturation count, both of which query-health reporting needs).
+    pub fn tally_snapshot(&self) -> Vec<(u64, u64)> {
+        self.tallies
+            .iter()
+            .map(|t| {
+                (
+                    t.total_added.load(Ordering::Relaxed),
+                    t.saturations.load(Ordering::Relaxed),
+                )
+            })
+            .collect()
+    }
+
+    /// Rebuild an array from a snapshot: `counters` are the words from
+    /// [`AtomicCounterArray::snapshot`], `tallies` the stripe pairs
+    /// from [`AtomicCounterArray::tally_snapshot`]. The restored array
+    /// is observationally identical to the original — same values,
+    /// same totals, same stripe layout.
+    ///
+    /// # Panics
+    /// Panics if `counters` is empty, `bits` is outside `1..=63`,
+    /// `tallies` is empty, or any counter word exceeds the `bits` cap
+    /// (a corrupted snapshot must not smuggle in unreachable values).
+    pub fn restore(bits: u32, counters: &[u64], tallies: &[(u64, u64)]) -> Self {
+        let arr = Self::with_stripes(counters.len(), bits, tallies.len());
+        for (i, &v) in counters.iter().enumerate() {
+            assert!(
+                v <= arr.max_value,
+                "snapshot counter {i} = {v} exceeds {}-bit cap",
+                bits
+            );
+            arr.counters[i].store(v, Ordering::Relaxed);
+        }
+        for (i, &(added, sat)) in tallies.iter().enumerate() {
+            arr.tallies[i].total_added.store(added, Ordering::Relaxed);
+            arr.tallies[i].saturations.store(sat, Ordering::Relaxed);
+        }
+        arr
+    }
+
+    /// Charge `events` saturation events to `stripe` without touching
+    /// any counter word — the deterministic seam behind the
+    /// `ForceSaturation` fault-injection site: it drives the
+    /// saturation-degradation reporting path (query health flags, loss
+    /// accounting) with zero effect on stored mass, so accounting
+    /// invariants stay exact while the degraded path is exercised.
+    pub fn force_saturation(&self, stripe: usize, events: u64) {
+        self.tallies[stripe % self.tallies.len()]
+            .saturations
+            .fetch_add(events, Ordering::Relaxed);
+    }
+}
+
+/// Plain-data snapshot of a [`WritebackBuffer`]'s staged-but-unflushed
+/// state, captured by [`WritebackBuffer::state`] and consumed by
+/// [`WritebackBuffer::restore`]. `pending` preserves first-touch order
+/// so a restored buffer's next flush stages the identical batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WritebackState {
+    /// Staged `(counter index, pending increment)` pairs in
+    /// first-touch (dirty-list) order.
+    pub pending: Vec<(usize, u64)>,
+    /// Auto-flush capacity (may be [`WRITEBACK_ACCUMULATE_ALL`]).
+    pub capacity: usize,
+    /// Tally stripe charged by flushes.
+    pub stripe: usize,
+    /// Lifetime flush count.
+    pub flushes: u64,
+    /// Lifetime staged-update count.
+    pub staged_updates: u64,
+    /// Lifetime flushed-update count.
+    pub flushed_updates: u64,
 }
 
 /// Per-worker eviction writeback buffer: stages `(index, increment)`
@@ -343,6 +419,45 @@ impl WritebackBuffer {
     /// `flushed_updates / staged_updates` is the CAS-traffic factor.
     pub fn flushed_updates(&self) -> u64 {
         self.flushed_updates
+    }
+
+    /// Capture the buffer's staged state and statistics for a
+    /// crash-consistent snapshot (see [`WritebackState`]).
+    pub fn state(&self) -> WritebackState {
+        WritebackState {
+            pending: self.dirty.iter().map(|&idx| (idx, self.acc[idx])).collect(),
+            capacity: self.capacity,
+            stripe: self.stripe,
+            flushes: self.flushes,
+            staged_updates: self.staged_updates,
+            flushed_updates: self.flushed_updates,
+        }
+    }
+
+    /// Rebuild a buffer from a [`WritebackState`]. The dense
+    /// accumulator is sized to the highest staged index and lazily
+    /// re-extended by the next `push` (which sizes it to the target
+    /// SRAM), so restore never needs to know the SRAM length.
+    ///
+    /// # Panics
+    /// Panics if `pending` contains a duplicate index or a zero
+    /// increment (both impossible in an honest snapshot).
+    pub fn restore(state: &WritebackState) -> Self {
+        let mut wb = Self::striped(state.capacity, state.stripe);
+        let max_idx = state.pending.iter().map(|&(i, _)| i).max();
+        if let Some(max_idx) = max_idx {
+            wb.acc.resize(max_idx + 1, 0);
+        }
+        for &(idx, v) in &state.pending {
+            assert!(v > 0, "zero increment staged at {idx} in snapshot");
+            assert_eq!(wb.acc[idx], 0, "duplicate index {idx} in snapshot");
+            wb.acc[idx] = v;
+            wb.dirty.push(idx);
+        }
+        wb.flushes = state.flushes;
+        wb.staged_updates = state.staged_updates;
+        wb.flushed_updates = state.flushed_updates;
+        wb
     }
 }
 
@@ -524,6 +639,62 @@ mod tests {
         assert_eq!(a.get(0), 7);
         wb.push(1, 0, &a); // zero increments never stage
         assert_eq!(wb.staged_updates(), 1);
+    }
+
+    #[test]
+    fn array_snapshot_restore_round_trips() {
+        let a = AtomicCounterArray::with_stripes(16, 10, 3);
+        let mut wb = WritebackBuffer::striped(4, 2);
+        for i in 0..40u64 {
+            wb.push((i % 7) as usize, i + 1, &a);
+        }
+        wb.flush(&a);
+        a.add(15, 5000); // force a saturation (10-bit cap = 1023)
+        let r = AtomicCounterArray::restore(a.bits(), &a.snapshot(), &a.tally_snapshot());
+        assert_eq!(r.snapshot(), a.snapshot());
+        assert_eq!(r.tally_snapshot(), a.tally_snapshot());
+        assert_eq!(r.total_added(), a.total_added());
+        assert_eq!(r.saturations(), a.saturations());
+        assert_eq!(r.stripes(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn restore_rejects_overflowing_words() {
+        AtomicCounterArray::restore(4, &[16], &[(16, 0)]); // 4-bit cap is 15
+    }
+
+    #[test]
+    fn force_saturation_touches_tallies_only() {
+        let a = AtomicCounterArray::with_stripes(4, 8, 2);
+        a.add(0, 9);
+        let before = a.snapshot();
+        a.force_saturation(1, 3);
+        assert_eq!(a.snapshot(), before, "counter words untouched");
+        assert_eq!(a.total_added(), 9, "offered mass untouched");
+        assert_eq!(a.saturations(), 3);
+    }
+
+    #[test]
+    fn writeback_state_restore_flushes_identically() {
+        let a = AtomicCounterArray::new(32, 16);
+        let b = AtomicCounterArray::new(32, 16);
+        let mut wb = WritebackBuffer::striped(WRITEBACK_ACCUMULATE_ALL, 0);
+        for i in 0..100u64 {
+            wb.push((i % 11) as usize, i % 5 + 1, &a);
+        }
+        let state = wb.state();
+        assert_eq!(state.pending.len(), 11);
+        let mut restored = WritebackBuffer::restore(&state);
+        assert_eq!(restored.state(), state, "restore → state is the identity");
+        // Continue both identically, flush to separate arrays.
+        wb.push(30, 7, &a);
+        restored.push(30, 7, &b);
+        wb.flush(&a);
+        restored.flush(&b);
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(a.total_added(), b.total_added());
+        assert_eq!(wb.state(), restored.state());
     }
 
     #[test]

@@ -40,11 +40,13 @@
 //! equal the sequential [`crate::Caesar`]'s, so the whole family is
 //! additionally pinned byte-identical to the sequential oracle.
 
-use crate::atomic_sram::{AtomicCounterArray, WritebackBuffer, WRITEBACK_ACCUMULATE_ALL};
+use crate::atomic_sram::{
+    AtomicCounterArray, WritebackBuffer, WritebackState, WRITEBACK_ACCUMULATE_ALL,
+};
 use crate::config::{CaesarConfig, Estimator};
 use crate::estimator::{csm, mlm, Estimate, EstimateParams};
 use crate::pipeline::SRAM_PREFETCH_MIN_BYTES;
-use cachesim::{CacheConfig, CacheTable};
+use cachesim::{CacheConfig, CacheTable, CacheTableState};
 use hashkit::mix::{bucket, mix64};
 use hashkit::{KCounterMap, K_MAX};
 use support::par::partition_by;
@@ -53,7 +55,7 @@ use support::spsc;
 
 /// Flows routed per streaming chunk (amortizes ring publishes over
 /// many packets while keeping partition→consume latency bounded).
-const STREAM_CHUNK: usize = 1024;
+pub(crate) const STREAM_CHUNK: usize = 1024;
 
 /// Default in-flight bound of each shard's SPSC ring: a few chunks of
 /// headroom so a transiently slow shard does not stall the front end,
@@ -157,7 +159,7 @@ impl IngestStats {
         }
     }
 
-    fn merge(&mut self, other: &IngestStats) {
+    pub(crate) fn merge(&mut self, other: &IngestStats) {
         self.evictions += other.evictions;
         self.staged_updates += other.staged_updates;
         self.flushed_updates += other.flushed_updates;
@@ -174,7 +176,7 @@ impl IngestStats {
 /// streaming ingest ([`InlineIngest`], the epoch-rotation wrapper's
 /// engine) as easily as inside a scoped thread borrowing the arrays.
 #[derive(Debug)]
-struct ShardWorker {
+pub(crate) struct ShardWorker {
     cache: CacheTable,
     rng: StdRng,
     /// Memoized counter indices, stride-`k` rows indexed by cache slot
@@ -193,8 +195,39 @@ struct ShardWorker {
     evictions: u64,
 }
 
+/// Serializable dynamic state of a [`ShardWorker`], for the online
+/// runtime's crash-consistent snapshots. Everything a worker will ever
+/// consult again is here: the cache (slots, recency list, victim RNG),
+/// the remainder-scatter RNG, the memoized per-slot counter rows, the
+/// staged-but-unflushed writeback segment, and the eviction count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ShardWorkerState {
+    pub(crate) cache: CacheTableState,
+    pub(crate) rng: [u64; 4],
+    pub(crate) memo: Vec<usize>,
+    pub(crate) wb: WritebackState,
+    pub(crate) evictions: u64,
+}
+
+/// Shard-decorrelated cache seed; shard 0 equals the sequential
+/// sketch's (`Caesar::new`) so a 1-shard build is byte-identical to
+/// the sequential oracle.
+fn cache_seed(cfg: &CaesarConfig, shard: usize) -> u64 {
+    cfg.seed ^ 0xA11C_E5ED ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Shard-decorrelated remainder-scatter RNG seed (shard 0 sequential).
+fn rng_seed(cfg: &CaesarConfig, shard: usize) -> u64 {
+    cfg.seed ^ 0x0D15_EA5E ^ (shard as u64) << 32
+}
+
 impl ShardWorker {
-    fn new(cfg: &CaesarConfig, shard: usize, entries: usize, writeback_capacity: usize) -> Self {
+    pub(crate) fn new(
+        cfg: &CaesarConfig,
+        shard: usize,
+        entries: usize,
+        writeback_capacity: usize,
+    ) -> Self {
         Self {
             cache: CacheTable::new(CacheConfig {
                 entries,
@@ -205,9 +238,9 @@ impl ShardWorker {
                 // is byte-identical to the sequential oracle, which the
                 // equivalence suite pins. Higher shards decorrelate via
                 // the golden-ratio multiplier.
-                seed: cfg.seed ^ 0xA11C_E5ED ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                seed: cache_seed(cfg, shard),
             }),
-            rng: StdRng::seed_from_u64(cfg.seed ^ 0x0D15_EA5E ^ (shard as u64) << 32),
+            rng: StdRng::seed_from_u64(rng_seed(cfg, shard)),
             memo: vec![0usize; entries * cfg.k],
             k: cfg.k,
             wb: WritebackBuffer::striped(writeback_capacity, shard),
@@ -217,7 +250,7 @@ impl ShardWorker {
     }
 
     /// Ingest one packet of `flow`.
-    fn record(&mut self, flow: u64, sram: &AtomicCounterArray, kmap: &KCounterMap) {
+    pub(crate) fn record(&mut self, flow: u64, sram: &AtomicCounterArray, kmap: &KCounterMap) {
         let r = self.cache.record_slotted(flow);
         self.apply(flow, r, sram, kmap);
     }
@@ -232,7 +265,12 @@ impl ShardWorker {
     /// `for &f in flows { self.record(f, ..) }`: probes are read-only
     /// and the hint is tag-validated, so the sketch is byte-identical
     /// (pinned by the equivalence suite).
-    fn record_batch(&mut self, flows: &[u64], sram: &AtomicCounterArray, kmap: &KCounterMap) {
+    pub(crate) fn record_batch(
+        &mut self,
+        flows: &[u64],
+        sram: &AtomicCounterArray,
+        kmap: &KCounterMap,
+    ) {
         let k = self.k;
         if !self.prefetch_sram {
             // Cache-resident counter array: no miss latency to hide, so
@@ -295,23 +333,149 @@ impl ShardWorker {
         stage_spread(&memo[start..start + *k], value, rng, wb, sram);
     }
 
-    /// End of measurement: dump the cache, flush the buffer, report.
-    fn finish(self, sram: &AtomicCounterArray, kmap: &KCounterMap) -> IngestStats {
-        let Self { mut cache, mut rng, memo, k, mut wb, mut evictions, .. } = self;
+    /// Dump every resident cache entry through the memoized
+    /// remainder-scatter path into the writeback buffer (the FinalDump
+    /// half of [`finish`](Self::finish)), leaving the worker alive
+    /// with an **empty** cache — the salvage primitive of the online
+    /// supervisor: after a worker panic, the surviving cache mass is
+    /// drained here before the lane respawns, so no recorded packet is
+    /// lost. Returns the unit mass drained. Does **not** flush the
+    /// buffer.
+    pub(crate) fn drain_cache(&mut self, sram: &AtomicCounterArray, kmap: &KCounterMap) -> u64 {
+        let Self { cache, rng, memo, k, wb, evictions, .. } = self;
+        let mut drained = 0u64;
         cache.drain_with(|slot, ev| {
-            let start = slot as usize * k;
-            let indices = &memo[start..start + k];
+            let start = slot as usize * *k;
+            let indices = &memo[start..start + *k];
             debug_assert_eq!(indices, &kmap.indices(ev.flow)[..]);
-            evictions += 1;
-            stage_spread(indices, ev.value, &mut rng, &mut wb, sram);
+            *evictions += 1;
+            drained += ev.value;
+            stage_spread(indices, ev.value, rng, wb, sram);
         });
-        wb.flush(sram);
+        drained
+    }
+
+    /// Merge the shard-local writeback segment into the shared SRAM —
+    /// the epoch-boundary flush of the online runtime. The cache keeps
+    /// counting; only staged evictions become query-visible.
+    pub(crate) fn flush_writeback(&mut self, sram: &AtomicCounterArray) {
+        self.wb.flush(sram);
+    }
+
+    /// Unit mass currently resident in the cache (recorded packets not
+    /// yet evicted) — the supervisor's salvage-consistency oracle.
+    pub(crate) fn resident_units(&self) -> u64 {
+        self.cache.iter().map(|(_, count)| count).sum()
+    }
+
+    /// Unit mass staged in the writeback buffer (evicted but not yet
+    /// merged into the shared SRAM).
+    pub(crate) fn staged_units(&self) -> u64 {
+        self.wb.state().pending.iter().map(|&(_, v)| v).sum()
+    }
+
+    /// Ingest statistics so far (the mid-stream form of the report
+    /// [`finish`](Self::finish) returns).
+    pub(crate) fn ingest_stats(&self) -> IngestStats {
         IngestStats {
-            evictions,
-            staged_updates: wb.staged_updates(),
-            flushed_updates: wb.flushed_updates(),
-            flushes: wb.flushes(),
+            evictions: self.evictions,
+            staged_updates: self.wb.staged_updates(),
+            flushed_updates: self.wb.flushed_updates(),
+            flushes: self.wb.flushes(),
         }
+    }
+
+    /// Capture the worker's complete dynamic state (see
+    /// [`ShardWorkerState`]).
+    pub(crate) fn snapshot_state(&self) -> ShardWorkerState {
+        ShardWorkerState {
+            cache: self.cache.snapshot_state(),
+            rng: self.rng.state(),
+            memo: self.memo.clone(),
+            wb: self.wb.state(),
+            evictions: self.evictions,
+        }
+    }
+
+    /// Rebuild a worker from a [`ShardWorkerState`] snapshot taken
+    /// under the same `(cfg, shard, entries)`. Byte-identical
+    /// continuation: the cache (including its victim RNG), the scatter
+    /// RNG, the memo rows, and the staged writeback all resume exactly.
+    ///
+    /// # Panics
+    /// Panics if the memo geometry disagrees with `entries * cfg.k`.
+    pub(crate) fn restore_state(
+        cfg: &CaesarConfig,
+        shard: usize,
+        entries: usize,
+        state: ShardWorkerState,
+    ) -> Self {
+        assert_eq!(
+            state.memo.len(),
+            entries * cfg.k,
+            "snapshot memo geometry mismatch"
+        );
+        Self {
+            cache: CacheTable::restore(
+                CacheConfig {
+                    entries,
+                    entry_capacity: cfg.entry_capacity,
+                    policy: cfg.policy,
+                    seed: cache_seed(cfg, shard),
+                },
+                &state.cache,
+            ),
+            rng: StdRng::from_state(state.rng),
+            memo: state.memo,
+            k: cfg.k,
+            wb: WritebackBuffer::restore(&state.wb),
+            prefetch_sram: cfg.counters * 8 >= SRAM_PREFETCH_MIN_BYTES,
+            evictions: state.evictions,
+        }
+    }
+
+    /// End of measurement: dump the cache, flush the buffer, report.
+    pub(crate) fn finish(mut self, sram: &AtomicCounterArray, kmap: &KCounterMap) -> IngestStats {
+        self.drain_cache(sram, kmap);
+        self.wb.flush(sram);
+        self.ingest_stats()
+    }
+}
+
+/// A shard worker panicked during a finite build.
+///
+/// The error-propagating builds ([`ConcurrentCaesar::try_build_with_mode`],
+/// [`ConcurrentCaesar::try_build_stream_with_ring`],
+/// [`ConcurrentCaesar::try_build_replay`]) surface the first panicking
+/// shard here instead of aborting the process; the partially built
+/// accumulators (shared SRAM, index map, every worker's staged
+/// writeback) are dropped with the failed call, so a retry starts from
+/// a clean scaffold and can never double-count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildError {
+    /// Which shard's worker panicked (lowest shard id on multi-panic).
+    pub shard: usize,
+    /// The panic payload, rendered to a string (`&str`/`String`
+    /// payloads verbatim, anything else a placeholder).
+    pub payload: String,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard {} worker panicked: {}", self.shard, self.payload)
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Render a `catch_unwind`/`join` panic payload to a string.
+pub(crate) fn panic_payload(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -392,22 +556,51 @@ impl InlineIngest {
 }
 
 /// Push all of `chunk` into `tx`, spinning/yielding through full-ring
-/// backpressure.
-///
-/// # Panics
-/// Panics if the consumer endpoint disappears (a shard worker
-/// panicked) while items remain.
-fn feed(tx: &mut spsc::Producer<u64>, mut chunk: &[u64]) {
+/// backpressure. Returns `false` if the consumer endpoint disappeared
+/// (the shard worker panicked) while items remained — the caller stops
+/// feeding that shard and the panic surfaces at join time as a
+/// [`BuildError`].
+#[must_use]
+fn feed(tx: &mut spsc::Producer<u64>, mut chunk: &[u64]) -> bool {
     let mut backoff = spsc::Backoff::new();
     while !chunk.is_empty() {
         let n = tx.push_slice(chunk);
         if n == 0 {
-            assert!(!tx.is_closed(), "shard worker hung up");
+            if tx.is_closed() {
+                return false;
+            }
             backoff.wait();
         } else {
             chunk = &chunk[n..];
             backoff.reset();
         }
+    }
+    true
+}
+
+/// Join a vector of per-shard scoped-thread handles into per-shard
+/// results: every handle is joined (so no worker outlives the scope
+/// with the accumulators still borrowed), panics become
+/// [`BuildError`]s, and the **lowest** panicking shard wins when
+/// several fail.
+fn join_shards<'scope, T>(
+    handles: Vec<std::thread::ScopedJoinHandle<'scope, T>>,
+) -> Result<Vec<T>, BuildError> {
+    let mut out = Vec::with_capacity(handles.len());
+    let mut first_error: Option<BuildError> = None;
+    for (shard, h) in handles.into_iter().enumerate() {
+        match h.join() {
+            Ok(v) => out.push(v),
+            Err(p) => {
+                if first_error.is_none() {
+                    first_error = Some(BuildError { shard, payload: panic_payload(p) });
+                }
+            }
+        }
+    }
+    match first_error {
+        Some(e) => Err(e),
+        None => Ok(out),
     }
 }
 
@@ -440,7 +633,10 @@ impl ConcurrentCaesar {
         bucket(mix64(flow ^ seed), shards)
     }
 
-    fn scaffold(cfg: &CaesarConfig, shards: usize) -> (AtomicCounterArray, KCounterMap, Vec<usize>) {
+    pub(crate) fn scaffold(
+        cfg: &CaesarConfig,
+        shards: usize,
+    ) -> (AtomicCounterArray, KCounterMap, Vec<usize>) {
         assert!(shards >= 1, "need at least one shard");
         assert!(cfg.k <= K_MAX, "concurrent build supports k up to {K_MAX}");
         cfg.validate();
@@ -452,7 +648,7 @@ impl ConcurrentCaesar {
         (sram, kmap, entries)
     }
 
-    fn assemble(
+    pub(crate) fn assemble(
         cfg: CaesarConfig,
         shards: usize,
         sram: AtomicCounterArray,
@@ -487,27 +683,53 @@ impl ConcurrentCaesar {
     /// modes yield bit-identical sketches; the tests pin it.
     ///
     /// # Panics
-    /// Panics if `shards == 0` or the configuration is invalid.
+    /// Panics if `shards == 0`, the configuration is invalid, or a
+    /// shard worker panics (see
+    /// [`ConcurrentCaesar::try_build_with_mode`] for the
+    /// error-propagating form).
     pub fn build_with_mode(
         cfg: CaesarConfig,
         shards: usize,
         flows: &[u64],
         mode: BuildMode,
     ) -> Self {
+        Self::try_build_with_mode(cfg, shards, flows, mode)
+            .unwrap_or_else(|e| panic!("concurrent build failed: {e}"))
+    }
+
+    /// Error-propagating [`ConcurrentCaesar::build_with_mode`]: a
+    /// panicking shard worker yields `Err(BuildError)` instead of
+    /// aborting the process. Every worker is joined before returning,
+    /// and the scaffold (shared SRAM, index map, staged writeback) is
+    /// dropped with the error, so a retry re-ingests from scratch —
+    /// no partial mass survives to double-count.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0` or the configuration is invalid (caller
+    /// bugs, not worker faults).
+    pub fn try_build_with_mode(
+        cfg: CaesarConfig,
+        shards: usize,
+        flows: &[u64],
+        mode: BuildMode,
+    ) -> Result<Self, BuildError> {
         match mode.resolve() {
-            BuildMode::Pinned => {
-                Self::build_stream_with_ring(cfg, shards, flows.iter().copied(), DEFAULT_RING_CAPACITY)
-            }
+            BuildMode::Pinned => Self::try_build_stream_with_ring(
+                cfg,
+                shards,
+                flows.iter().copied(),
+                DEFAULT_RING_CAPACITY,
+            ),
             // Inline multiplex: route each packet straight to its shard
             // worker — the degenerate partition (one pass, no batch
             // buffers, no spawn). With one shard this *is* the
             // sequential ingest off the borrowed slice, so Threaded
             // also lands here rather than spawning a lone thread.
             BuildMode::Inline | BuildMode::Threaded if shards == 1 => {
-                Self::build_inline(cfg, shards, flows)
+                Ok(Self::build_inline(cfg, shards, flows))
             }
-            BuildMode::Inline => Self::build_inline(cfg, shards, flows),
-            BuildMode::Threaded => Self::build_threaded(cfg, shards, flows),
+            BuildMode::Inline => Ok(Self::build_inline(cfg, shards, flows)),
+            BuildMode::Threaded => Self::try_build_threaded(cfg, shards, flows),
             BuildMode::Auto => unreachable!("resolve() eliminated Auto"),
         }
     }
@@ -520,12 +742,16 @@ impl ConcurrentCaesar {
         ingest.finish()
     }
 
-    fn build_threaded(cfg: CaesarConfig, shards: usize, flows: &[u64]) -> Self {
+    fn try_build_threaded(
+        cfg: CaesarConfig,
+        shards: usize,
+        flows: &[u64],
+    ) -> Result<Self, BuildError> {
         let (sram, kmap, entries) = Self::scaffold(&cfg, shards);
         // The single partition pass: flow-affine, order-preserving.
         let batches = partition_by(flows, shards, |&f| Self::shard_of(f, shards, cfg.seed));
 
-        let per_shard: Vec<IngestStats> = std::thread::scope(|s| {
+        let per_shard = std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(shards);
             for (shard, batch) in batches.into_iter().enumerate() {
                 let sram = &sram;
@@ -538,12 +764,9 @@ impl ConcurrentCaesar {
                     w.finish(sram, kmap)
                 }));
             }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard thread panicked"))
-                .collect()
-        });
-        Self::assemble(cfg, shards, sram, kmap, per_shard)
+            join_shards(handles)
+        })?;
+        Ok(Self::assemble(cfg, shards, sram, kmap, per_shard))
     }
 
     /// Streaming construction: overlap partitioning with shard
@@ -576,8 +799,9 @@ impl ConcurrentCaesar {
     /// capacity affects scheduling only — never the result.
     ///
     /// # Panics
-    /// Panics if `shards == 0`, `ring_capacity == 0`, or the
-    /// configuration is invalid.
+    /// Panics if `shards == 0`, `ring_capacity == 0`, the
+    /// configuration is invalid, or a shard worker panics (see
+    /// [`ConcurrentCaesar::try_build_stream_with_ring`]).
     pub fn build_stream_with_ring<I>(
         cfg: CaesarConfig,
         shards: usize,
@@ -587,9 +811,58 @@ impl ConcurrentCaesar {
     where
         I: IntoIterator<Item = u64>,
     {
+        Self::try_build_stream_with_ring(cfg, shards, flows, ring_capacity)
+            .unwrap_or_else(|e| panic!("concurrent stream build failed: {e}"))
+    }
+
+    /// Error-propagating [`ConcurrentCaesar::build_stream_with_ring`]:
+    /// a panicking shard worker closes its ring, the front end stops
+    /// feeding that shard (remaining routed packets are discarded with
+    /// the failed build), every worker is joined, and the first
+    /// failure comes back as `Err(BuildError)`. The dropped scaffold
+    /// guarantees a retry cannot double-count.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`, `ring_capacity == 0`, or the
+    /// configuration is invalid.
+    pub fn try_build_stream_with_ring<I>(
+        cfg: CaesarConfig,
+        shards: usize,
+        flows: I,
+        ring_capacity: usize,
+    ) -> Result<Self, BuildError>
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        Self::try_build_stream_injected(cfg, shards, flows, ring_capacity, &[])
+    }
+
+    /// [`ConcurrentCaesar::try_build_stream_with_ring`] with a
+    /// deterministic fault schedule — the chaos-testing seam behind
+    /// the fault-tolerance suite and `scripts/check.sh --fault-smoke`.
+    /// `panic_at[shard]`, when `Some(n)`, makes that shard's worker
+    /// panic (payload [`support::testkit::INJECTED_PANIC`]) immediately
+    /// before processing the `n`-th packet (0-based) of its own flow
+    /// subsequence; shards beyond `panic_at.len()` never fault. An
+    /// empty schedule is exactly
+    /// [`ConcurrentCaesar::try_build_stream_with_ring`].
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`, `ring_capacity == 0`, or the
+    /// configuration is invalid.
+    pub fn try_build_stream_injected<I>(
+        cfg: CaesarConfig,
+        shards: usize,
+        flows: I,
+        ring_capacity: usize,
+        panic_at: &[Option<u64>],
+    ) -> Result<Self, BuildError>
+    where
+        I: IntoIterator<Item = u64>,
+    {
         let (sram, kmap, entries) = Self::scaffold(&cfg, shards);
 
-        let per_shard: Vec<IngestStats> = std::thread::scope(|s| {
+        let per_shard = std::thread::scope(|s| {
             let mut producers = Vec::with_capacity(shards);
             let mut handles = Vec::with_capacity(shards);
             for shard in 0..shards {
@@ -598,15 +871,27 @@ impl ConcurrentCaesar {
                 let sram = &sram;
                 let kmap = &kmap;
                 let entries = entries[shard];
+                let fault = panic_at.get(shard).copied().flatten();
                 handles.push(s.spawn(move || {
                     let mut w =
                         ShardWorker::new(&cfg, shard, entries, WRITEBACK_ACCUMULATE_ALL);
                     let mut buf: Vec<u64> = Vec::with_capacity(STREAM_CHUNK);
+                    let mut seen = 0u64;
                     loop {
                         buf.clear();
                         if rx.pop_batch_blocking(&mut buf, STREAM_CHUNK) == 0 {
                             break; // producer gone and ring drained
                         }
+                        if let Some(at) = fault {
+                            if seen + buf.len() as u64 > at {
+                                // Process the packets before the fault
+                                // point, then fail exactly there.
+                                let head = (at - seen) as usize;
+                                w.record_batch(&buf[..head], sram, kmap);
+                                panic!("{}", support::testkit::INJECTED_PANIC);
+                            }
+                        }
+                        seen += buf.len() as u64;
                         w.record_batch(&buf, sram, kmap);
                     }
                     w.finish(sram, kmap)
@@ -616,26 +901,29 @@ impl ConcurrentCaesar {
             // The partitioning front end, overlapped with consumption.
             let mut pending: Vec<Vec<u64>> =
                 (0..shards).map(|_| Vec::with_capacity(STREAM_CHUNK)).collect();
+            let mut dead = vec![false; shards];
             for flow in flows {
                 let shard = Self::shard_of(flow, shards, cfg.seed);
+                if dead[shard] {
+                    continue; // worker gone: error surfaces at join
+                }
                 pending[shard].push(flow);
                 if pending[shard].len() >= STREAM_CHUNK {
-                    feed(&mut producers[shard], &pending[shard]);
+                    if !feed(&mut producers[shard], &pending[shard]) {
+                        dead[shard] = true;
+                    }
                     pending[shard].clear();
                 }
             }
             for (shard, chunk) in pending.iter().enumerate() {
-                if !chunk.is_empty() {
-                    feed(&mut producers[shard], chunk);
+                if !chunk.is_empty() && !dead[shard] && !feed(&mut producers[shard], chunk) {
+                    dead[shard] = true;
                 }
             }
             drop(producers); // close the rings: workers drain and finish
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard thread panicked"))
-                .collect()
-        });
-        Self::assemble(cfg, shards, sram, kmap, per_shard)
+            join_shards(handles)
+        })?;
+        Ok(Self::assemble(cfg, shards, sram, kmap, per_shard))
     }
 
     /// The original sharded construction, kept as the reference
@@ -649,8 +937,31 @@ impl ConcurrentCaesar {
     /// `concurrent_build` bench measures the before/after speedup.
     ///
     /// # Panics
-    /// Panics if `shards == 0` or the configuration is invalid.
+    /// Panics if `shards == 0`, the configuration is invalid, or a
+    /// shard worker panics (see [`ConcurrentCaesar::try_build_replay`]
+    /// for the error-propagating form).
     pub fn build_replay(cfg: CaesarConfig, shards: usize, flows: &[u64]) -> Self {
+        match Self::try_build_replay(cfg, shards, flows) {
+            Ok(built) => built,
+            Err(e) => panic!("concurrent replay build failed: {e}"),
+        }
+    }
+
+    /// Error-propagating form of [`ConcurrentCaesar::build_replay`]:
+    /// a panicking shard worker surfaces as [`BuildError`] and the
+    /// partial accumulators are dropped cleanly, so a caller can retry
+    /// on a fresh instance with no double-counted state.
+    ///
+    /// # Errors
+    /// Returns the lowest-numbered panicking shard's [`BuildError`].
+    ///
+    /// # Panics
+    /// Panics if `shards == 0` or the configuration is invalid.
+    pub fn try_build_replay(
+        cfg: CaesarConfig,
+        shards: usize,
+        flows: &[u64],
+    ) -> Result<Self, BuildError> {
         let (sram, kmap, entries) = Self::scaffold(&cfg, shards);
         let per_shard: Vec<IngestStats> = std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(shards);
@@ -671,12 +982,9 @@ impl ConcurrentCaesar {
                     w.finish(sram, kmap)
                 }));
             }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard thread panicked"))
-                .collect()
-        });
-        Self::assemble(cfg, shards, sram, kmap, per_shard)
+            join_shards(handles)
+        })?;
+        Ok(Self::assemble(cfg, shards, sram, kmap, per_shard))
     }
 
     /// The configuration in use.
@@ -814,6 +1122,83 @@ mod tests {
         let flows = workload();
         let a = ConcurrentCaesar::build(cfg(), 4, &flows);
         let b = ConcurrentCaesar::build(cfg(), 4, &flows);
+        assert_eq!(a.sram().snapshot(), b.sram().snapshot());
+    }
+
+    #[test]
+    fn injected_panic_surfaces_as_build_error() {
+        let flows = workload();
+        for shards in [1, 2, 4] {
+            // Fault the last shard after it has seen 100 packets.
+            let mut plan = vec![None; shards];
+            plan[shards - 1] = Some(100);
+            let err = ConcurrentCaesar::try_build_stream_injected(
+                cfg(),
+                shards,
+                flows.iter().copied(),
+                DEFAULT_RING_CAPACITY,
+                &plan,
+            )
+            .expect_err("injected panic must surface");
+            assert_eq!(err.shard, shards - 1);
+            assert_eq!(err.payload, support::testkit::INJECTED_PANIC);
+            assert!(err.to_string().contains("worker panicked"));
+        }
+    }
+
+    #[test]
+    fn lowest_faulting_shard_wins_when_several_panic() {
+        let flows = workload();
+        let plan = [Some(50u64), Some(10), Some(70), None];
+        let err = ConcurrentCaesar::try_build_stream_injected(
+            cfg(),
+            4,
+            flows.iter().copied(),
+            DEFAULT_RING_CAPACITY,
+            &plan,
+        )
+        .expect_err("three injected panics must surface");
+        assert_eq!(err.shard, 0, "report is deterministic: lowest shard id");
+    }
+
+    #[test]
+    fn failed_build_retries_cleanly_with_no_double_count() {
+        // A failed attempt drops its scaffold; retrying on the same
+        // inputs must equal a never-faulted build bit-for-bit.
+        let flows = workload();
+        let plan = [None, Some(0)];
+        assert!(ConcurrentCaesar::try_build_stream_injected(
+            cfg(),
+            2,
+            flows.iter().copied(),
+            DEFAULT_RING_CAPACITY,
+            &plan,
+        )
+        .is_err());
+        let retry = ConcurrentCaesar::try_build_stream_with_ring(
+            cfg(),
+            2,
+            flows.iter().copied(),
+            DEFAULT_RING_CAPACITY,
+        )
+        .expect("clean retry succeeds");
+        let reference = ConcurrentCaesar::build(cfg(), 2, &flows);
+        assert_eq!(retry.sram().snapshot(), reference.sram().snapshot());
+        assert_eq!(retry.sram().total_added(), reference.sram().total_added());
+    }
+
+    #[test]
+    fn empty_fault_schedule_is_the_plain_stream_build() {
+        let flows = workload();
+        let a = ConcurrentCaesar::try_build_stream_injected(
+            cfg(),
+            3,
+            flows.iter().copied(),
+            DEFAULT_RING_CAPACITY,
+            &[],
+        )
+        .unwrap();
+        let b = ConcurrentCaesar::build_stream(cfg(), 3, flows.iter().copied());
         assert_eq!(a.sram().snapshot(), b.sram().snapshot());
     }
 

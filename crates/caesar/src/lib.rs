@@ -53,6 +53,7 @@ pub mod epochs;
 pub mod estimator;
 pub mod gaussian;
 pub mod heavy_hitters;
+pub mod online;
 pub mod packed;
 pub mod pipeline;
 pub mod query;
@@ -62,13 +63,18 @@ pub mod update;
 
 pub use atomic_sram::{AtomicCounterArray, WritebackBuffer, WRITEBACK_ACCUMULATE_ALL};
 pub use concurrent::{
-    per_shard_entries, BuildMode, ConcurrentCaesar, IngestStats, DEFAULT_RING_CAPACITY,
+    per_shard_entries, BuildError, BuildMode, ConcurrentCaesar, IngestStats,
+    DEFAULT_RING_CAPACITY,
 };
 pub use epochs::{ConcurrentEpoch, EpochedCaesar, EpochedConcurrentCaesar};
 pub use heavy_hitters::{DetectionReport, Hitter};
+pub use online::{
+    BackpressurePolicy, FaultKind, FaultLog, FaultRecord, LaneStats, OnlineCaesar, OnlineStats,
+    RestoreError, DEFAULT_EPOCH_LEN, DEFAULT_WATCHDOG_DEADLINE,
+};
 pub use packed::PackedCounterArray;
 pub use config::{CaesarConfig, Estimator};
 pub use estimator::{Estimate, EstimateParams};
 pub use pipeline::{Caesar, CaesarStats};
-pub use query::{estimate_all, CounterView};
+pub use query::{estimate_all, query_health, CounterView, QueryHealth, SaturationView};
 pub use sram::CounterArray;

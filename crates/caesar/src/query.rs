@@ -77,6 +77,127 @@ impl CounterView for crate::atomic_sram::AtomicCounterArray {
     }
 }
 
+impl CounterView for crate::packed::PackedCounterArray {
+    #[inline]
+    fn get(&self, idx: usize) -> u64 {
+        crate::packed::PackedCounterArray::get(self, idx)
+    }
+}
+
+/// A [`CounterView`] that can also report saturation state — what the
+/// health-annotated query path needs on top of raw reads. Implemented
+/// by all three counter-array flavors (plain, atomic-striped, packed).
+pub trait SaturationView: CounterView {
+    /// Saturating adds that lost precision over the array's lifetime.
+    fn saturation_events(&self) -> u64;
+    /// The clamp value a saturated counter sits at.
+    fn clamp_value(&self) -> u64;
+}
+
+impl SaturationView for crate::sram::CounterArray {
+    fn saturation_events(&self) -> u64 {
+        self.stats().saturations
+    }
+    fn clamp_value(&self) -> u64 {
+        self.max_value()
+    }
+}
+
+impl SaturationView for crate::atomic_sram::AtomicCounterArray {
+    fn saturation_events(&self) -> u64 {
+        self.saturations()
+    }
+    fn clamp_value(&self) -> u64 {
+        self.max_value()
+    }
+}
+
+impl SaturationView for crate::packed::PackedCounterArray {
+    fn saturation_events(&self) -> u64 {
+        self.saturations()
+    }
+    fn clamp_value(&self) -> u64 {
+        self.max_value()
+    }
+}
+
+/// A health-annotated estimate: the value plus everything a consumer
+/// needs to judge whether it can be trusted.
+///
+/// Two degradation sources are surfaced:
+///
+/// * **Saturation bias.** A counter stuck at its clamp value has lost
+///   mass, so CSM/MLM under-estimate every flow mapped onto it.
+///   `saturation_events` is the array-wide tally;
+///   `saturated_counters` counts how many of *this flow's* `k`
+///   counters currently sit at the clamp.
+/// * **Ingest loss.** Packets shed by backpressure or quarantined by a
+///   worker fault never reached the sketch. `loss_fraction` is the
+///   exact per-shard loss ratio the online runtime accounts
+///   (`(dropped + quarantined) / offered`), `0.0` for offline sketches.
+///
+/// `confidence = (1 − loss_fraction) · (1 − saturated_counters / k)`
+/// — a [0, 1] heuristic that is 1.0 exactly when neither source is
+/// present (not a calibrated probability; see DESIGN §4f).
+#[derive(Debug, Clone, Copy)]
+pub struct QueryHealth {
+    /// The estimate itself (value + variance).
+    pub estimate: Estimate,
+    /// Array-wide saturating-add events.
+    pub saturation_events: u64,
+    /// How many of the flow's `k` counters sit at the clamp value.
+    pub saturated_counters: usize,
+    /// Exact ingest-loss ratio for the flow's shard (0.0 offline).
+    pub loss_fraction: f64,
+    /// Combined [0, 1] trust score (see above).
+    pub confidence: f64,
+}
+
+impl QueryHealth {
+    /// True when either degradation source is present — the estimate
+    /// should be consumed with its `confidence`, not at face value.
+    pub fn is_degraded(&self) -> bool {
+        self.saturated_counters > 0 || self.saturation_events > 0 || self.loss_fraction > 0.0
+    }
+}
+
+/// Health-annotated single-flow query against any saturation-aware
+/// counter array. `loss_fraction` is the caller's exact ingest-loss
+/// ratio for this flow's shard (pass `0.0` for loss-free sketches).
+///
+/// # Panics
+/// Panics on invalid `params` or `loss_fraction` outside `[0, 1]`.
+pub fn query_health<V: SaturationView>(
+    kmap: &KCounterMap,
+    view: &V,
+    params: &EstimateParams,
+    estimator: Estimator,
+    flow: u64,
+    loss_fraction: f64,
+) -> QueryHealth {
+    assert!(
+        (0.0..=1.0).contains(&loss_fraction),
+        "loss_fraction must be in [0, 1]"
+    );
+    let clamp = view.clamp_value();
+    let w: Vec<u64> = kmap.indices(flow).into_iter().map(|i| view.get(i)).collect();
+    let saturated_counters = w.iter().filter(|&&v| v >= clamp).count();
+    let estimate = match estimator {
+        Estimator::Csm => csm::estimate(&w, params),
+        Estimator::Mlm => mlm::estimate(&w, params),
+    };
+    let k = w.len().max(1);
+    let confidence =
+        (1.0 - loss_fraction) * (1.0 - saturated_counters as f64 / k as f64);
+    QueryHealth {
+        estimate,
+        saturation_events: view.saturation_events(),
+        saturated_counters,
+        loss_fraction,
+        confidence,
+    }
+}
+
 /// A prepared per-flow estimator kernel. Sealed to the two prepared
 /// estimators; exists so the batch loops monomorphize per estimator
 /// (full inlining of the float chains) instead of branching on an enum
@@ -332,6 +453,55 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn query_health_flags_saturation_on_all_array_flavors() {
+        let params = EstimateParams { k: 3, y: 8, counters: 64, total_packets: 3_000 };
+        let kmap = KCounterMap::new(params.k, params.counters, 0xFEED);
+        let flow = 0xABCDu64;
+        let idx = kmap.indices(flow);
+
+        // Plain array: saturate one of the flow's counters (4-bit).
+        let mut plain = CounterArray::new(params.counters, 4);
+        plain.add(idx[0], 1_000);
+        let h = query_health(&kmap, &plain, &params, Estimator::Csm, flow, 0.0);
+        assert!(h.saturation_events > 0);
+        assert_eq!(h.saturated_counters, 1);
+        assert!(h.is_degraded());
+        assert!((h.confidence - (1.0 - 1.0 / 3.0)).abs() < 1e-12);
+
+        // Atomic-striped array.
+        let atomic = crate::atomic_sram::AtomicCounterArray::new(params.counters, 4);
+        atomic.add(idx[0], 1_000);
+        let h = query_health(&kmap, &atomic, &params, Estimator::Mlm, flow, 0.0);
+        assert!(h.saturation_events > 0);
+        assert_eq!(h.saturated_counters, 1);
+
+        // Packed array.
+        let mut packed = crate::packed::PackedCounterArray::new(params.counters, 4);
+        packed.add(idx[0], 1_000);
+        let h = query_health(&kmap, &packed, &params, Estimator::Csm, flow, 0.0);
+        assert!(h.saturation_events > 0);
+        assert_eq!(h.saturated_counters, 1);
+    }
+
+    #[test]
+    fn query_health_clean_sketch_has_full_confidence() {
+        let (kmap, sram, params) = setup();
+        let h = query_health(&kmap, &sram, &params, Estimator::Csm, 42, 0.0);
+        assert_eq!(h.saturated_counters, 0);
+        assert_eq!(h.saturation_events, 0);
+        assert!(!h.is_degraded());
+        assert_eq!(h.confidence, 1.0);
+        // The annotated estimate is bit-identical to the plain query.
+        let w: Vec<u64> = kmap.indices(42).into_iter().map(|i| sram.get(i)).collect();
+        let reference = csm::estimate(&w, &params);
+        assert_eq!(h.estimate.value.to_bits(), reference.value.to_bits());
+        // Loss folds in multiplicatively.
+        let lossy = query_health(&kmap, &sram, &params, Estimator::Csm, 42, 0.25);
+        assert!((lossy.confidence - 0.75).abs() < 1e-12);
+        assert!(lossy.is_degraded());
     }
 
     #[test]

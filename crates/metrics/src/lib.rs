@@ -250,6 +250,97 @@ pub fn are_by_size(points: &[ScatterPoint], min_flows: usize) -> Vec<(u64, f64)>
     out
 }
 
+/// Fleet-level health roll-up over a sweep of health-annotated queries
+/// (`caesar::QueryHealth` or anything shaped like it): how many
+/// estimates were degraded, and how much confidence survives.
+///
+/// The caller pushes one `(degraded, confidence)` pair per query; the
+/// tally is order-independent, so shards/threads can be merged with
+/// [`HealthTally::merge`]. Rendered to JSON for dashboards alongside
+/// [`AccuracyReport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HealthTally {
+    queries: usize,
+    degraded: usize,
+    confidence_sum: f64,
+    min_confidence: f64,
+}
+
+impl HealthTally {
+    /// An empty tally.
+    pub fn new() -> Self {
+        Self { queries: 0, degraded: 0, confidence_sum: 0.0, min_confidence: 1.0 }
+    }
+
+    /// Record one health-annotated query.
+    ///
+    /// # Panics
+    /// Panics if `confidence` is outside `[0, 1]`.
+    pub fn push(&mut self, degraded: bool, confidence: f64) {
+        assert!(
+            (0.0..=1.0).contains(&confidence),
+            "confidence must be in [0, 1]"
+        );
+        self.queries += 1;
+        self.degraded += usize::from(degraded);
+        self.confidence_sum += confidence;
+        if confidence < self.min_confidence {
+            self.min_confidence = confidence;
+        }
+    }
+
+    /// Fold another tally in (order-independent).
+    pub fn merge(&mut self, other: &HealthTally) {
+        self.queries += other.queries;
+        self.degraded += other.degraded;
+        self.confidence_sum += other.confidence_sum;
+        if other.queries > 0 && other.min_confidence < self.min_confidence {
+            self.min_confidence = other.min_confidence;
+        }
+    }
+
+    /// Queries recorded so far.
+    pub fn queries(&self) -> usize {
+        self.queries
+    }
+
+    /// Fraction of queries flagged as saturation- or loss-degraded
+    /// (0.0 on an empty tally).
+    pub fn degraded_fraction(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.degraded as f64 / self.queries as f64
+        }
+    }
+
+    /// Mean confidence over all queries (1.0 on an empty tally).
+    pub fn mean_confidence(&self) -> f64 {
+        if self.queries == 0 {
+            1.0
+        } else {
+            self.confidence_sum / self.queries as f64
+        }
+    }
+
+    /// Worst single-query confidence seen (1.0 on an empty tally).
+    pub fn min_confidence(&self) -> f64 {
+        self.min_confidence
+    }
+}
+
+impl ToJson for HealthTally {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("queries", self.queries.into()),
+            ("degraded", self.degraded.into()),
+            ("degraded_fraction", self.degraded_fraction().into()),
+            ("mean_confidence", self.mean_confidence().into()),
+            ("min_confidence", self.min_confidence().into()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,6 +440,40 @@ mod tests {
         assert_eq!(parsed.get("flows").and_then(|v| v.as_u64()), Some(2));
         assert!(parsed.get("avg_relative_error").and_then(|v| v.as_f64()).is_some());
         assert!(parsed.get("rmse").is_some());
+    }
+
+    #[test]
+    fn health_tally_rolls_up_and_merges() {
+        let mut a = HealthTally::new();
+        a.push(false, 1.0);
+        a.push(true, 0.5);
+        assert_eq!(a.queries(), 2);
+        assert!((a.degraded_fraction() - 0.5).abs() < 1e-12);
+        assert!((a.mean_confidence() - 0.75).abs() < 1e-12);
+        assert!((a.min_confidence() - 0.5).abs() < 1e-12);
+
+        let mut b = HealthTally::new();
+        b.push(true, 0.25);
+        a.merge(&b);
+        assert_eq!(a.queries(), 3);
+        assert!((a.min_confidence() - 0.25).abs() < 1e-12);
+
+        // Empty tallies are benign on both sides of a merge.
+        let empty = HealthTally::new();
+        assert_eq!(empty.degraded_fraction(), 0.0);
+        assert_eq!(empty.mean_confidence(), 1.0);
+        a.merge(&empty);
+        assert_eq!(a.queries(), 3);
+
+        let j = support::json::parse(&a.to_json_string()).expect("valid json");
+        assert_eq!(j.get("queries").and_then(|v| v.as_u64()), Some(3));
+        assert!(j.get("min_confidence").and_then(|v| v.as_f64()).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence must be in")]
+    fn health_tally_rejects_out_of_range_confidence() {
+        HealthTally::new().push(false, 1.5);
     }
 
     #[test]

@@ -76,6 +76,79 @@ impl<'a> ByteReader<'a> {
     }
 }
 
+/// Magic tag of a sealed buffer footer (`b"CSRB"` — CAESAR blob —
+/// followed by a format version byte pair).
+const SEAL_MAGIC: u32 = u32::from_le_bytes(*b"CSRB");
+/// Footer layout version. Bump when the footer itself (not the
+/// payload) changes shape.
+const SEAL_VERSION: u16 = 1;
+/// Footer length: magic (4) + version (2) + payload len (8) + fnv (8).
+const SEAL_FOOTER_LEN: usize = 4 + 2 + 8 + 8;
+
+use hashkit::fnv::fnv1a64;
+
+/// Append a crash-consistency footer — `magic, version, payload_len,
+/// fnv1a64(payload)` — to `payload` in place. A sealed buffer is
+/// self-validating: [`unseal`] refuses truncated, over-long, or
+/// bit-flipped blobs instead of letting a decoder misparse them.
+pub fn seal(payload: &mut Vec<u8>) {
+    let len = payload.len() as u64;
+    let sum = fnv1a64(payload);
+    payload.put_u32_le(SEAL_MAGIC);
+    payload.put_u16_le(SEAL_VERSION);
+    payload.put_u64_le(len);
+    payload.put_u64_le(sum);
+}
+
+/// Why [`unseal`] rejected a buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SealError {
+    /// Shorter than a footer, or payload length disagrees with the
+    /// buffer length.
+    Truncated,
+    /// Footer magic or version mismatch — not a sealed buffer (or a
+    /// future format).
+    BadMagic,
+    /// Payload bytes do not hash to the recorded checksum.
+    BadChecksum,
+}
+
+impl std::fmt::Display for SealError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SealError::Truncated => write!(f, "sealed buffer truncated"),
+            SealError::BadMagic => write!(f, "sealed buffer magic/version mismatch"),
+            SealError::BadChecksum => write!(f, "sealed buffer checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for SealError {}
+
+/// Validate a buffer produced by [`seal`] and return the payload slice
+/// (footer stripped).
+pub fn unseal(buf: &[u8]) -> Result<&[u8], SealError> {
+    if buf.len() < SEAL_FOOTER_LEN {
+        return Err(SealError::Truncated);
+    }
+    let (payload, footer) = buf.split_at(buf.len() - SEAL_FOOTER_LEN);
+    let mut r = ByteReader::new(footer);
+    let magic = r.get_u32_le().ok_or(SealError::Truncated)?;
+    let version = r.get_u16_le().ok_or(SealError::Truncated)?;
+    let len = r.get_u64_le().ok_or(SealError::Truncated)?;
+    let sum = r.get_u64_le().ok_or(SealError::Truncated)?;
+    if magic != SEAL_MAGIC || version != SEAL_VERSION {
+        return Err(SealError::BadMagic);
+    }
+    if len != payload.len() as u64 {
+        return Err(SealError::Truncated);
+    }
+    if sum != fnv1a64(payload) {
+        return Err(SealError::BadChecksum);
+    }
+    Ok(payload)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,5 +182,42 @@ mod tests {
         let mut buf = Vec::new();
         buf.put_u32_le(1);
         assert_eq!(buf, [1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn seal_unseal_round_trip() {
+        let mut buf = b"snapshot payload".to_vec();
+        let payload = buf.clone();
+        seal(&mut buf);
+        assert_eq!(buf.len(), payload.len() + SEAL_FOOTER_LEN);
+        assert_eq!(unseal(&buf), Ok(payload.as_slice()));
+        // Empty payload seals too.
+        let mut empty = Vec::new();
+        seal(&mut empty);
+        assert_eq!(unseal(&empty), Ok(&[][..]));
+    }
+
+    #[test]
+    fn unseal_rejects_corruption() {
+        let mut buf = vec![7u8; 100];
+        seal(&mut buf);
+        // Bit flip in the payload.
+        let mut flipped = buf.clone();
+        flipped[50] ^= 0x01;
+        assert_eq!(unseal(&flipped), Err(SealError::BadChecksum));
+        // Truncation (drops footer bytes): the footer window shifts,
+        // so this surfaces as *some* error (magic lands on garbage).
+        assert!(unseal(&buf[..buf.len() - 1]).is_err());
+        // Extra garbage after the footer shifts the parse window.
+        let mut padded = buf.clone();
+        padded.push(0);
+        assert_ne!(unseal(&padded), Ok(&buf[..100]));
+        // Magic smashed.
+        let n = buf.len();
+        let mut bad = buf.clone();
+        bad[n - SEAL_FOOTER_LEN] ^= 0xFF;
+        assert_eq!(unseal(&bad), Err(SealError::BadMagic));
+        // Too short to even hold a footer.
+        assert_eq!(unseal(&[1, 2, 3]), Err(SealError::Truncated));
     }
 }

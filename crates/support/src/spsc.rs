@@ -536,6 +536,81 @@ mod tests {
     }
 
     #[test]
+    fn producer_dropped_mid_slice_delivers_exact_prefix() {
+        // A producer that dies between two push_slice calls (or after a
+        // truncated one) must leave the consumer with *exactly* the
+        // published prefix — no phantom items, no lost ones.
+        let (mut tx, mut rx) = ring::<u64>(8);
+        let src: Vec<u64> = (0..20).collect();
+        let pushed = tx.push_slice(&src);
+        assert_eq!(pushed, 8, "truncated to capacity");
+        drop(tx); // "crash" mid-stream
+        assert!(rx.is_closed());
+        let mut out = Vec::new();
+        assert_eq!(rx.pop_batch_blocking(&mut out, 100), 8);
+        assert_eq!(out, src[..8], "exact published prefix, in order");
+        assert_eq!(rx.pop_batch_blocking(&mut out, 100), 0, "closed + drained");
+    }
+
+    #[test]
+    fn consumer_dropped_while_producer_blocked_at_capacity_one() {
+        // The nastiest shutdown edge: a capacity-1 ring, the producer
+        // parked inside blocking push(), and the consumer endpoint
+        // drops without ever draining. The push must return Err with
+        // the undelivered value instead of spinning forever.
+        let (mut tx, rx) = ring::<u64>(1);
+        tx.try_push(1).expect("fits");
+        let waiter = std::thread::spawn(move || {
+            // Blocks: ring is full. Unblocked only by the close flag.
+            tx.push(2)
+        });
+        // Give the producer a moment to actually park in the backoff
+        // loop, then kill the consumer.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        drop(rx);
+        let res = waiter.join().expect("producer thread exits cleanly");
+        assert_eq!(res, Err(2), "undelivered value comes back to the caller");
+    }
+
+    #[test]
+    fn loss_accounting_is_exact_under_full_backpressure() {
+        // 40k packets against a tiny ring with a consumer that only
+        // drains every 64th offer: every packet is either delivered or
+        // counted as shed, with zero slack.
+        let (mut tx, mut rx) = ring::<u64>(16);
+        let total = 40_000u64;
+        let mut shed = 0u64;
+        let mut delivered = 0u64;
+        let mut checksum = 0u64;
+        let mut buf = Vec::new();
+        for i in 0..total {
+            match tx.try_push(i) {
+                Ok(()) => {}
+                Err(_) => shed += 1,
+            }
+            if i % 64 == 0 {
+                buf.clear();
+                let n = rx.pop_batch(&mut buf, 8);
+                delivered += n as u64;
+                checksum += buf.iter().sum::<u64>();
+            }
+        }
+        drop(tx);
+        loop {
+            buf.clear();
+            let n = rx.pop_batch_blocking(&mut buf, 64);
+            if n == 0 {
+                break;
+            }
+            delivered += n as u64;
+            checksum += buf.iter().sum::<u64>();
+        }
+        assert_eq!(delivered + shed, total, "exact conservation");
+        assert!(shed > 0, "the tiny ring must have shed under this load");
+        assert!(checksum > 0);
+    }
+
+    #[test]
     fn cross_thread_stream_conserves_everything() {
         // 100k u64s through a small ring with blocking ops on both
         // sides; sum and order must survive exactly.

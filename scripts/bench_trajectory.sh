@@ -4,7 +4,7 @@
 # to the code that produced them.
 #
 # Usage: scripts/bench_trajectory.sh [OUT] [BENCH...]
-#   OUT      output file (default BENCH_PR4.json)
+#   OUT      output file (default BENCH_PR5.json)
 #   BENCH... bench targets to run (default: micro extensions)
 #
 # Environment:
@@ -26,7 +26,12 @@
 # "kmap_fill_indices_k3"). PR 4's pairs: group "concurrent_build"
 # "stream_4"/"pinned_4" (SPSC-ring transport + striped writeback) vs
 # "replay_4", "linerate_stream_4" vs "linerate_replay_4", and the raw
-# ring hand-off in group "spsc".
+# ring hand-off in group "spsc". PR 5's pair prices the supervised
+# online engine's fault-tolerance tax: group "online"
+# "steady_state_4" (single-owner supervised offer loop, epoch merges,
+# watchdog ticks) vs group "concurrent_build" "stream_4" (the same
+# transport without supervision), plus "online/snapshot_roundtrip_4"
+# for the cost of a mid-stream checkpoint + restore.
 #
 # After writing OUT, the script prints a median diff table against the
 # most recent other BENCH_*.json (joined on group/name), so every run
@@ -34,7 +39,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR4.json}"
+OUT="${1:-BENCH_PR5.json}"
 shift || true
 BENCHES=("$@")
 if [ "${#BENCHES[@]}" -eq 0 ]; then

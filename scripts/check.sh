@@ -5,7 +5,17 @@
 # be the reason a step fails — if it is, a crates.io dependency snuck
 # back in and that is the bug.
 #
-# Usage: scripts/check.sh [--quick-bench]
+# Usage: scripts/check.sh [--quick-bench | --fault-smoke]
+#   --fault-smoke       robustness smoke mode: run the fault-tolerance
+#                       acceptance suite (tests/fault_tolerance.rs) in
+#                       release — injected worker panics, sticky ring
+#                       stalls, drop-policy loss accounting, and the
+#                       snapshot → restore → resume byte-identity
+#                       round-trip — then run the resilient_monitor
+#                       example end-to-end. Release, not debug, on
+#                       purpose: catch_unwind + supervised respawn must
+#                       survive optimized codegen, and the smoke stays
+#                       fast enough for pre-push hooks.
 #   --quick-bench       smoke-bench mode: instead of the full tier-1
 #                       sweep, time just the two canary kernels
 #                       (estimator_kernels/csm_kernel and
@@ -47,6 +57,18 @@ json_min() { # json_min GROUP NAME FILE -> min_ns ("" if absent)
         | grep -F "\"name\":\"$2\"" | head -1 \
         | sed -n 's/.*"min_ns":\([0-9.eE+-]*\),.*/\1/p'
 }
+
+if [ "${1:-}" = "--fault-smoke" ]; then
+    echo "==> fault smoke: supervised recovery + crash-consistency, release build"
+    run cargo test --release --offline -q --test fault_tolerance
+    # The demo streams with a live fault plan (panic + stall + forced
+    # saturation) and asserts the mass invariant and the checkpoint
+    # round-trip internally; any violation aborts it.
+    echo "==> cargo run --release --example resilient_monitor (output suppressed)"
+    cargo run -q --release --offline --example resilient_monitor >/dev/null
+    echo "check.sh --fault-smoke: all green"
+    exit 0
+fi
 
 if [ "${1:-}" = "--quick-bench" ]; then
     BASE="$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1 || true)"

@@ -40,7 +40,14 @@ fn caesar_pipeline_pins() {
     assert_eq!(st.sram.total_added, 50_260);
     assert_eq!(st.cache.hits, 44_464);
     assert_eq!(st.evictions, 6_504);
-    assert_eq!(st.sram_writes, 9_914);
+    // PR 5 note: the final-dump drain order became ascending slot-id
+    // order (it was hash-map iteration order) so that the dump is a
+    // pure function of visible cache state and snapshot/restore can be
+    // byte-identical. That reordered the FinalDump remainder-scatter
+    // RNG draws, which moved this pin (9_914 → 9_911). Total mass
+    // (`total_added`) is order-independent and unchanged, and the
+    // query pin below happens to survive as well.
+    assert_eq!(st.sram_writes, 9_911);
     // A fixed flow's estimate, bit-exact.
     let first_flow = trace.packets[0].flow;
     assert_eq!(first_flow, 0x847D_2C60_FF22_0DCD);

@@ -12,7 +12,9 @@ use baselines::{
 };
 use bench::{bench_config, bench_trace, linerate_bench_trace};
 use caesar::epochs::{EpochedCaesar, EpochedConcurrentCaesar};
-use caesar::{BuildMode, ConcurrentCaesar, Estimator, OnlineCaesar};
+use caesar::{BuildMode, Caesar, ConcurrentCaesar, Estimator, OnlineCaesar};
+use experiments::zoo::{online_engine, stress_plan, zoo_config, ONLINE_SHARDS};
+use flowtrace::zoo::{standard_zoo, ZOO_SEED};
 use memsim::{PacketWork, Pipeline};
 use std::hint::black_box;
 use support::rand::{rngs::StdRng, SeedableRng};
@@ -279,10 +281,50 @@ fn pipeline_and_rcs() {
     g.finish();
 }
 
+fn zoo_ingest() {
+    // The PR 6 workload zoo: one sequential-ingest bench per family at
+    // a fixed ~2 K-flow scale, each sketch sized from its own trace by
+    // `experiments::zoo::zoo_config` so every family runs at the
+    // paper's intensive operating point. The per-family numbers price
+    // how each traffic *shape* loads the cache/SRAM pipeline (the CDN
+    // shape is nearly all cache hits, the mouse flood nearly all
+    // evictions). `mouse_flood_online_stressed` additionally prices
+    // the supervised online path under its shipped stress plan
+    // (stalled shard-0 lane, tail-drop ring) — the cost of shedding,
+    // not just recording.
+    let zoo = standard_zoo(2_000).expect("standard zoo parameters are valid");
+    let mut g = Harness::new("zoo_ingest");
+    for w in &zoo {
+        let (trace, _) = w.generate(ZOO_SEED);
+        let cfg = zoo_config(&trace);
+        g.bench(w.name(), || {
+            let mut c = Caesar::new(cfg);
+            for p in &trace.packets {
+                c.record(p.flow);
+            }
+            c.finish();
+            black_box(c.sram().total_added());
+        });
+    }
+    let mouse = &zoo[4];
+    let (trace, _) = mouse.generate(ZOO_SEED);
+    let flows: Vec<u64> = trace.packets.iter().map(|p| p.flow).collect();
+    let cfg = zoo_config(&trace);
+    let plan = stress_plan(mouse.name());
+    g.bench("mouse_flood_online_stressed", || {
+        let mut o = online_engine(cfg, &plan, ONLINE_SHARDS);
+        o.offer_batch(&flows);
+        o.merge_now();
+        black_box(o.stats().dropped);
+    });
+    g.finish();
+}
+
 fn main() {
     braids();
     sac_and_sampling();
     concurrent_and_epochs();
     parallel_query();
     pipeline_and_rcs();
+    zoo_ingest();
 }

@@ -192,6 +192,18 @@ impl AtomicCounterArray {
         self.tallies.iter().map(|t| t.saturations.load(Ordering::Relaxed)).sum()
     }
 
+    /// Fraction of counters pinned at the capacity `l` (see
+    /// [`crate::sram::CounterArray::saturated_fraction`]) — the
+    /// per-workload saturation metric of the zoo sweeps.
+    pub fn saturated_fraction(&self) -> f64 {
+        let sat = self
+            .counters
+            .iter()
+            .filter(|c| c.load(Ordering::Relaxed) >= self.max_value)
+            .count();
+        sat as f64 / self.counters.len() as f64
+    }
+
     /// Copy out the counter values.
     pub fn snapshot(&self) -> Vec<u64> {
         self.counters.iter().map(|c| c.load(Ordering::Relaxed)).collect()
@@ -522,6 +534,15 @@ mod tests {
         for (i, &v) in snap.iter().enumerate() {
             assert_eq!(v, a.get(i));
         }
+    }
+
+    #[test]
+    fn saturated_fraction_counts_pinned_words() {
+        let a = AtomicCounterArray::new(4, 4); // max 15
+        assert_eq!(a.saturated_fraction(), 0.0);
+        a.add(0, 100);
+        a.add(1, 15);
+        assert!((a.saturated_fraction() - 0.5).abs() < 1e-12);
     }
 
     #[test]

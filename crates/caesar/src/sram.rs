@@ -110,6 +110,19 @@ impl CounterArray {
         self.total_added
     }
 
+    /// Fraction of counters pinned at the capacity `l` — the
+    /// per-workload saturation metric of the zoo sweeps. A clamped
+    /// counter under-reports every flow sharing it, so this bounds the
+    /// fraction of the array that is silently lossy.
+    pub fn saturated_fraction(&self) -> f64 {
+        let sat = self
+            .counters
+            .iter()
+            .filter(|&&c| c >= self.max_value)
+            .count();
+        sat as f64 / self.counters.len() as f64
+    }
+
     /// Array statistics.
     pub fn stats(&self) -> CounterArrayStats {
         CounterArrayStats {
@@ -200,6 +213,16 @@ mod tests {
         let mut a = CounterArray::new(5, 8);
         a.add(2, 1);
         assert_eq!(a.stats().zeros, 4);
+    }
+
+    #[test]
+    fn saturated_fraction_counts_pinned_words() {
+        let mut a = CounterArray::new(4, 4); // max 15
+        assert_eq!(a.saturated_fraction(), 0.0);
+        a.add(0, 100);
+        a.add(1, 15); // exactly at cap counts as saturated
+        a.add(2, 14);
+        assert!((a.saturated_fraction() - 0.5).abs() < 1e-12);
     }
 
     #[test]

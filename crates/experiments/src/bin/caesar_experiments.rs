@@ -1,7 +1,7 @@
 //! `caesar-experiments` — regenerate every figure of the CAESAR paper.
 //!
 //! ```text
-//! caesar-experiments [all|fig3|fig4|fig5|fig6|fig7|fig8|headline|theory|sampling|braids|compression|bursts|tails|ablate|compare|throughput]...
+//! caesar-experiments [all|fig3|fig4|fig5|fig6|fig7|fig8|headline|theory|sampling|braids|compression|bursts|tails|ablate|compare|throughput|zoo]...
 //!                    [--scale tiny|small|default|full] [--out DIR]
 //! ```
 //!
@@ -11,6 +11,26 @@
 use experiments::{ablate, exts, fig3, fig4, fig5, fig6, fig7, fig8, headline, theory, Scale};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use support::testkit::INJECTED_PANIC;
+
+/// The zoo sweep injects worker panics by design (the flow-churn
+/// stress plan); they are caught by the online supervisor, so don't
+/// let the default hook splat a backtrace for each one. Genuine panics
+/// still print normally.
+fn silence_injected_panics() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(|s| s.contains(INJECTED_PANIC))
+            .or_else(|| info.payload().downcast_ref::<&str>().map(|s| s.contains(INJECTED_PANIC)))
+            .unwrap_or(false);
+        if !injected {
+            default_hook(info);
+        }
+    }));
+}
 
 const USAGE: &str = "usage: caesar-experiments [EXPERIMENT]... [--scale tiny|small|default|full] [--out DIR]
 
@@ -24,6 +44,7 @@ extensions:       compare       (every scheme, one trace, equal memory)
                   bursts        (arrival burstiness tolerance)
                   tails         (power-law vs log-normal sensitivity)
                   throughput    (max sustainable line rate)
+                  zoo           (per-workload accuracy/stress sweep)
 or `all` for everything. Tables print to stdout; CSV + SVG artifacts
 land in --out (default results/).";
 
@@ -61,6 +82,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn main() -> ExitCode {
+    silence_injected_panics();
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
@@ -175,6 +197,12 @@ fn main() -> ExitCode {
     }
     if wanted("bursts") {
         let r = exts::burst_tolerance(args.scale);
+        println!("{}", r.render());
+        csvs.extend(r.to_csv());
+        ran_any = true;
+    }
+    if wanted("zoo") {
+        let r = experiments::zoo::run(args.scale);
         println!("{}", r.render());
         csvs.extend(r.to_csv());
         ran_any = true;

@@ -15,6 +15,7 @@
 //! | [`fig7`] | Fig. 7 | RCS accuracy at loss 2/3 and 9/10 |
 //! | [`fig8`] | Fig. 8 | processing time vs number of packets |
 //! | [`headline`] | §1.5 | average relative error of every scheme |
+//! | [`zoo`] | — | per-workload accuracy/stress sweep over the workload zoo |
 //!
 //! The [`scale::Scale`] parameter shrinks or grows the synthetic trace
 //! while keeping the paper's operating point (`n/L` noise per counter,
@@ -39,6 +40,7 @@ pub mod theory;
 pub mod throughput;
 pub mod runner;
 pub mod scale;
+pub mod zoo;
 
 pub use report::{Csv, TextTable};
 pub use scale::Scale;

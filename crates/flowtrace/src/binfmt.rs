@@ -12,8 +12,25 @@
 //! num_packets u64 LE
 //! then per packet: flow u64 LE, byte_len u16 LE
 //! ```
+//!
+//! A second container, `CZOO`, wraps a CTRC blob together with its
+//! exact ground truth so a fitted [`crate::zoo`] workload is a
+//! replayable artifact — decode gives back both the trace and the
+//! oracle without re-running the generator:
+//!
+//! ```text
+//! magic  "CZOO" (4 bytes)
+//! version u32 LE
+//! trace_len u64 LE, then trace_len bytes of CTRC
+//! num_truth u64 LE
+//! then per flow (sorted by flow id): flow u64 LE, count u64 LE
+//! ```
+//!
+//! Truth entries are emitted in sorted flow-id order, so equal
+//! `(trace, truth)` pairs always encode to identical bytes.
 
-use crate::packet::{Packet, Trace};
+use crate::packet::{FlowId, Packet, Trace};
+use std::collections::HashMap;
 use support::bytesx::{ByteReader, PutBytes};
 
 /// Format magic.
@@ -86,6 +103,60 @@ pub fn decode(data: &[u8]) -> Result<Trace, DecodeError> {
     Ok(Trace { packets, num_flows })
 }
 
+/// Artifact container magic.
+pub const ARTIFACT_MAGIC: &[u8; 4] = b"CZOO";
+/// Current artifact container version.
+pub const ARTIFACT_VERSION: u32 = 1;
+
+/// Serialize a workload artifact: the trace plus its exact ground
+/// truth, deterministically (truth sorted by flow id).
+pub fn encode_artifact(trace: &Trace, truth: &HashMap<FlowId, u64>) -> Vec<u8> {
+    let blob = encode(trace);
+    let mut buf = Vec::with_capacity(24 + blob.len() + truth.len() * 16);
+    buf.put_slice(ARTIFACT_MAGIC);
+    buf.put_u32_le(ARTIFACT_VERSION);
+    buf.put_u64_le(blob.len() as u64);
+    buf.put_slice(&blob);
+    let mut entries: Vec<(FlowId, u64)> = truth.iter().map(|(&f, &c)| (f, c)).collect();
+    entries.sort_unstable();
+    buf.put_u64_le(entries.len() as u64);
+    for (flow, count) in entries {
+        buf.put_u64_le(flow);
+        buf.put_u64_le(count);
+    }
+    buf
+}
+
+/// Deserialize a workload artifact back into `(trace, truth)`.
+pub fn decode_artifact(data: &[u8]) -> Result<(Trace, HashMap<FlowId, u64>), DecodeError> {
+    let mut r = ByteReader::new(data);
+    let magic = r.get_array::<4>().ok_or(DecodeError::BadMagic)?;
+    if &magic != ARTIFACT_MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = r.get_u32_le().ok_or(DecodeError::Truncated)?;
+    if version != ARTIFACT_VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let trace_len = r.get_u64_le().ok_or(DecodeError::Truncated)? as usize;
+    if r.remaining() < trace_len {
+        return Err(DecodeError::Truncated);
+    }
+    let blob = r.get_slice(trace_len).ok_or(DecodeError::Truncated)?;
+    let trace = decode(blob)?;
+    let num_truth = r.get_u64_le().ok_or(DecodeError::Truncated)? as usize;
+    if r.remaining() < num_truth.saturating_mul(16) {
+        return Err(DecodeError::Truncated);
+    }
+    let mut truth = HashMap::with_capacity(num_truth);
+    for _ in 0..num_truth {
+        let flow = r.get_u64_le().ok_or(DecodeError::Truncated)?;
+        let count = r.get_u64_le().ok_or(DecodeError::Truncated)?;
+        truth.insert(flow, count);
+    }
+    Ok((trace, truth))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +208,50 @@ mod tests {
         assert!(matches!(
             decode(&enc[..enc.len() - 1]),
             Err(DecodeError::Truncated)
+        ));
+    }
+
+    fn sample_truth() -> HashMap<FlowId, u64> {
+        let mut truth = HashMap::new();
+        truth.insert(0xDEAD_BEEF, 2);
+        truth.insert(1, 1);
+        truth
+    }
+
+    #[test]
+    fn artifact_roundtrip() {
+        let t = sample_trace();
+        let truth = sample_truth();
+        let enc = encode_artifact(&t, &truth);
+        let (dt, dtruth) = decode_artifact(&enc).unwrap();
+        assert_eq!(dt.packets, t.packets);
+        assert_eq!(dtruth, truth);
+    }
+
+    #[test]
+    fn artifact_bytes_are_deterministic() {
+        // HashMap iteration order varies; the encoding must not.
+        let t = sample_trace();
+        let a = encode_artifact(&t, &sample_truth());
+        let b = encode_artifact(&t, &sample_truth());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn artifact_rejects_garbage_and_truncation() {
+        assert!(matches!(decode_artifact(b"nah"), Err(DecodeError::BadMagic)));
+        let enc = encode_artifact(&sample_trace(), &sample_truth());
+        assert!(decode_artifact(&enc[..enc.len() - 1]).is_err());
+        let mut wrong = enc.clone();
+        wrong[4] = 9;
+        assert!(matches!(
+            decode_artifact(&wrong),
+            Err(DecodeError::BadVersion(9))
+        ));
+        // A plain CTRC blob is not an artifact.
+        assert!(matches!(
+            decode_artifact(&encode(&sample_trace())),
+            Err(DecodeError::BadMagic)
         ));
     }
 }

@@ -10,6 +10,70 @@
 
 use support::rand::Rng;
 
+/// Why a distribution constructor rejected its parameters.
+///
+/// The public constructors come in pairs: `new`/`with_mean` panic (for
+/// call sites with static, known-good parameters) and
+/// `try_new`/`try_with_mean` return this error (for sweep and workload
+/// configuration paths, where one bad spec must produce a report row
+/// instead of aborting the whole run).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistError {
+    /// Power-law exponent `alpha` must be strictly positive.
+    BadAlpha(f64),
+    /// Log-normal spread `sigma_log` must be strictly positive.
+    BadSigma(f64),
+    /// `max_size` must be at least 1.
+    ZeroMaxSize,
+    /// Target mean not achievable inside `[1, max_size)`.
+    BadMean {
+        /// The requested mean.
+        target: f64,
+        /// The truncation bound the mean must fit under.
+        max_size: u64,
+    },
+    /// A probability/fraction parameter fell outside `[0, 1)`.
+    BadFraction {
+        /// Which parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A size range `[lo, hi]` was empty or started below 1.
+    BadRange {
+        /// Lower bound.
+        lo: u64,
+        /// Upper bound.
+        hi: u64,
+    },
+    /// Empirical distribution built from an empty sample.
+    EmptySample,
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::BadAlpha(a) => write!(f, "alpha must be positive (got {a})"),
+            DistError::BadSigma(s) => write!(f, "sigma must be positive (got {s})"),
+            DistError::ZeroMaxSize => write!(f, "max_size must be at least 1"),
+            DistError::BadMean { target, max_size } => write!(
+                f,
+                "target mean {target} unreachable with max_size {max_size} \
+                 (need 1 <= mean < max_size)"
+            ),
+            DistError::BadFraction { name, value } => {
+                write!(f, "{name} must be in [0, 1) (got {value})")
+            }
+            DistError::BadRange { lo, hi } => {
+                write!(f, "size range [{lo}, {hi}] must satisfy 1 <= lo <= hi")
+            }
+            DistError::EmptySample => write!(f, "empirical distribution needs samples"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
 /// A discrete distribution over flow sizes `1..=max_size`.
 pub trait FlowSizeDistribution {
     /// Draw one flow size.
@@ -37,9 +101,28 @@ pub struct PowerLaw {
 impl PowerLaw {
     /// Build with explicit tail exponent `alpha > 0` and truncation
     /// `max_size >= 1`.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters; use [`PowerLaw::try_new`] on
+    /// configuration paths that must report instead.
     pub fn new(alpha: f64, max_size: u64) -> Self {
-        assert!(alpha > 0.0, "alpha must be positive");
-        assert!(max_size >= 1, "max_size must be at least 1");
+        Self::try_new(alpha, max_size).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`PowerLaw::new`].
+    ///
+    /// ```
+    /// use flowtrace::dist::{DistError, PowerLaw};
+    /// assert!(PowerLaw::try_new(1.1, 100).is_ok());
+    /// assert!(matches!(PowerLaw::try_new(0.0, 100), Err(DistError::BadAlpha(_))));
+    /// ```
+    pub fn try_new(alpha: f64, max_size: u64) -> Result<Self, DistError> {
+        if alpha.is_nan() || alpha <= 0.0 {
+            return Err(DistError::BadAlpha(alpha));
+        }
+        if max_size == 0 {
+            return Err(DistError::ZeroMaxSize);
+        }
         let mut weights = Vec::with_capacity(max_size as usize);
         let mut total = 0.0f64;
         for s in 1..=max_size {
@@ -59,7 +142,7 @@ impl PowerLaw {
         if let Some(last) = cdf.last_mut() {
             *last = 1.0;
         }
-        Self { alpha, cdf, mean }
+        Ok(Self { alpha, cdf, mean })
     }
 
     /// Calibrate the exponent so the mean flow size is `target_mean`,
@@ -71,12 +154,31 @@ impl PowerLaw {
     /// let d = PowerLaw::with_mean(27.3, 100_000);
     /// assert!((d.mean() - 27.3).abs() < 0.05);
     /// ```
+    ///
+    /// # Panics
+    /// Panics when the target mean is unreachable; use
+    /// [`PowerLaw::try_with_mean`] on configuration paths.
     pub fn with_mean(target_mean: f64, max_size: u64) -> Self {
-        assert!(target_mean >= 1.0, "mean flow size cannot be below 1 packet");
-        assert!(
-            (target_mean as u64) < max_size,
-            "target mean {target_mean} unreachable with max_size {max_size}"
-        );
+        Self::try_with_mean(target_mean, max_size).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`PowerLaw::with_mean`].
+    ///
+    /// ```
+    /// use flowtrace::dist::{DistError, PowerLaw};
+    /// assert!(PowerLaw::try_with_mean(27.3, 100_000).is_ok());
+    /// assert!(matches!(
+    ///     PowerLaw::try_with_mean(100.0, 50),
+    ///     Err(DistError::BadMean { .. })
+    /// ));
+    /// ```
+    pub fn try_with_mean(target_mean: f64, max_size: u64) -> Result<Self, DistError> {
+        if max_size == 0 {
+            return Err(DistError::ZeroMaxSize);
+        }
+        if target_mean.is_nan() || target_mean < 1.0 || (target_mean as u64) >= max_size {
+            return Err(DistError::BadMean { target: target_mean, max_size });
+        }
         let mean_of = |alpha: f64| -> f64 {
             let mut num = 0.0;
             let mut den = 0.0;
@@ -97,12 +199,23 @@ impl PowerLaw {
                 hi = mid;
             }
         }
-        Self::new(0.5 * (lo + hi), max_size)
+        Self::try_new(0.5 * (lo + hi), max_size)
     }
 
     /// The tail exponent in use.
     pub fn alpha(&self) -> f64 {
         self.alpha
+    }
+
+    /// Cumulative probability `P(size <= s)`; 0 for `s == 0`, 1 past
+    /// the truncation bound.
+    pub fn cdf(&self, s: u64) -> f64 {
+        if s == 0 {
+            0.0
+        } else {
+            let i = (s as usize).min(self.cdf.len()) - 1;
+            self.cdf[i]
+        }
     }
 
     /// Probability of a flow having exactly size `s` (`P_s` in Table 1).
@@ -155,10 +268,20 @@ impl LogNormal {
     /// Build from log-space parameters.
     ///
     /// # Panics
-    /// Panics if `sigma_log <= 0` or `max_size == 0`.
+    /// Panics if `sigma_log <= 0` or `max_size == 0`; use
+    /// [`LogNormal::try_new`] on configuration paths.
     pub fn new(mu_log: f64, sigma_log: f64, max_size: u64) -> Self {
-        assert!(sigma_log > 0.0, "sigma must be positive");
-        assert!(max_size >= 1, "max_size must be at least 1");
+        Self::try_new(mu_log, sigma_log, max_size).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`LogNormal::new`].
+    pub fn try_new(mu_log: f64, sigma_log: f64, max_size: u64) -> Result<Self, DistError> {
+        if sigma_log.is_nan() || sigma_log <= 0.0 {
+            return Err(DistError::BadSigma(sigma_log));
+        }
+        if max_size == 0 {
+            return Err(DistError::ZeroMaxSize);
+        }
         // Empirical mean of the truncated, discretized variable: use a
         // numeric estimate over the quantile grid (cheap, done once).
         let mut mean = 0.0;
@@ -169,13 +292,34 @@ impl LogNormal {
             let v = (mu_log + sigma_log * z).exp().ceil().clamp(1.0, max_size as f64);
             mean += v;
         }
-        Self { mu_log, sigma_log, max_size, mean: mean / steps as f64 }
+        Ok(Self { mu_log, sigma_log, max_size, mean: mean / steps as f64 })
     }
 
     /// Calibrate `μ_log` so the (truncated, discretized) mean is
     /// `target_mean` at the given log-space spread.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters; use [`LogNormal::try_with_mean`]
+    /// on configuration paths.
     pub fn with_mean(target_mean: f64, sigma_log: f64, max_size: u64) -> Self {
-        assert!(target_mean >= 1.0);
+        Self::try_with_mean(target_mean, sigma_log, max_size).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`LogNormal::with_mean`].
+    pub fn try_with_mean(
+        target_mean: f64,
+        sigma_log: f64,
+        max_size: u64,
+    ) -> Result<Self, DistError> {
+        if sigma_log.is_nan() || sigma_log <= 0.0 {
+            return Err(DistError::BadSigma(sigma_log));
+        }
+        if max_size == 0 {
+            return Err(DistError::ZeroMaxSize);
+        }
+        if target_mean.is_nan() || target_mean < 1.0 || target_mean > max_size as f64 {
+            return Err(DistError::BadMean { target: target_mean, max_size });
+        }
         let (mut lo, mut hi) = (-5.0f64, 15.0f64);
         for _ in 0..60 {
             let mid = 0.5 * (lo + hi);
@@ -185,7 +329,7 @@ impl LogNormal {
                 hi = mid;
             }
         }
-        Self::new(0.5 * (lo + hi), sigma_log, max_size)
+        Self::try_new(0.5 * (lo + hi), sigma_log, max_size)
     }
 
     /// Log-space location parameter.
@@ -338,11 +482,25 @@ impl Empirical {
     /// Build from a list of observed flow sizes.
     ///
     /// # Panics
-    /// Panics if `sizes` is empty.
+    /// Panics if `sizes` is empty; use [`Empirical::try_new`] on
+    /// configuration paths.
     pub fn new(sizes: Vec<u64>) -> Self {
-        assert!(!sizes.is_empty(), "empirical distribution needs samples");
+        Self::try_new(sizes).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Empirical::new`].
+    pub fn try_new(sizes: Vec<u64>) -> Result<Self, DistError> {
+        if sizes.is_empty() {
+            return Err(DistError::EmptySample);
+        }
         let mean = sizes.iter().map(|&s| s as f64).sum::<f64>() / sizes.len() as f64;
-        Self { sizes, mean }
+        Ok(Self { sizes, mean })
+    }
+
+    /// The sample bank the distribution resamples from (e.g. for
+    /// goodness-of-fit statistics against a target CDF).
+    pub fn samples(&self) -> &[u64] {
+        &self.sizes
     }
 }
 
@@ -484,5 +642,61 @@ mod tests {
     #[should_panic(expected = "unreachable")]
     fn with_mean_rejects_impossible_target() {
         PowerLaw::with_mean(100.0, 50);
+    }
+
+    #[test]
+    fn try_constructors_report_instead_of_panicking() {
+        assert!(matches!(
+            PowerLaw::try_new(0.0, 100),
+            Err(DistError::BadAlpha(_))
+        ));
+        assert!(matches!(
+            PowerLaw::try_new(f64::NAN, 100),
+            Err(DistError::BadAlpha(_))
+        ));
+        assert!(matches!(PowerLaw::try_new(1.0, 0), Err(DistError::ZeroMaxSize)));
+        assert!(matches!(
+            PowerLaw::try_with_mean(100.0, 50),
+            Err(DistError::BadMean { max_size: 50, .. })
+        ));
+        assert!(matches!(
+            PowerLaw::try_with_mean(0.5, 50),
+            Err(DistError::BadMean { .. })
+        ));
+        assert!(matches!(
+            LogNormal::try_new(1.0, 0.0, 100),
+            Err(DistError::BadSigma(_))
+        ));
+        assert!(matches!(
+            LogNormal::try_with_mean(3.0, -1.0, 100),
+            Err(DistError::BadSigma(_))
+        ));
+        assert!(matches!(Empirical::try_new(vec![]), Err(DistError::EmptySample)));
+        // The happy path matches the panicking constructors exactly.
+        let a = PowerLaw::new(1.3, 500);
+        let b = PowerLaw::try_new(1.3, 500).unwrap();
+        assert_eq!(a.alpha(), b.alpha());
+        assert_eq!(a.mean(), b.mean());
+    }
+
+    #[test]
+    fn dist_error_messages_are_actionable() {
+        let e = PowerLaw::try_with_mean(100.0, 50).unwrap_err();
+        assert!(e.to_string().contains("unreachable"), "{e}");
+        let e = Empirical::try_new(vec![]).unwrap_err();
+        assert!(e.to_string().contains("needs samples"), "{e}");
+    }
+
+    #[test]
+    fn powerlaw_cdf_is_consistent_with_pmf() {
+        let d = PowerLaw::new(1.4, 200);
+        assert_eq!(d.cdf(0), 0.0);
+        assert!((d.cdf(200) - 1.0).abs() < 1e-12);
+        assert!((d.cdf(500) - 1.0).abs() < 1e-12);
+        let mut acc = 0.0;
+        for s in 1..=200 {
+            acc += d.pmf(s);
+            assert!((d.cdf(s) - acc).abs() < 1e-9, "s={s}");
+        }
     }
 }

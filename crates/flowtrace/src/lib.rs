@@ -16,7 +16,11 @@
 //! * [`pcap`] — a from-scratch libpcap file reader/writer (Ethernet →
 //!   IPv4 → TCP/UDP/ICMP → 5-tuple) so real captures can be replayed;
 //! * [`stats`] — flow-size histograms, CCDF, tail fractions (Fig. 3);
-//! * [`groundtruth`] — exact per-flow counts used as the oracle.
+//! * [`groundtruth`] — exact per-flow counts used as the oracle;
+//! * [`zoo`] — the workload zoo: realistic and adversarial trace
+//!   families (CDN, KV, flat, bursty, mouse flood, single elephant,
+//!   flow churn, CAIDA-shaped fit) behind one [`zoo::WorkloadGen`]
+//!   interface for per-workload accuracy/stress sweeps.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +35,7 @@ pub mod stats;
 pub mod synth;
 pub mod timing;
 pub mod transform;
+pub mod zoo;
 
 pub use groundtruth::ExactCounter;
 pub use packet::{FiveTuple, FlowId, Packet, Trace};

@@ -93,6 +93,86 @@ pub fn ddos(
     AttackTraffic { packets, flows }
 }
 
+/// A cache-thrashing mouse flood: `mice` distinct flows, each sending
+/// `1..=max_packets_per_mouse` packets back-to-back before the next
+/// mouse starts. Every arrival is a cold miss, so the on-chip cache
+/// pays an insert (and, once full, an eviction) per flow while the
+/// flows themselves are too small to ever amortize the entry — the
+/// worst case for any cache-assisted sketch front-end.
+///
+/// Flow IDs are guaranteed distinct (tuples are redrawn on the
+/// astronomically unlikely hash collision), so `flows.len() == mice`.
+pub fn mouse_flood(mice: usize, max_packets_per_mouse: u64, seed: u64) -> AttackTraffic {
+    assert!(max_packets_per_mouse >= 1, "mice must send at least 1 packet");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(mice);
+    let mut packets = Vec::new();
+    let mut flows = Vec::with_capacity(mice);
+    while flows.len() < mice {
+        let tuple = FiveTuple {
+            src_ip: rng.gen(),
+            dst_ip: rng.gen(),
+            src_port: rng.gen_range(1024..=u16::MAX),
+            dst_port: rng.gen_range(1..1024),
+            proto: FiveTuple::UDP,
+        };
+        let flow = tuple.flow_id();
+        if !seen.insert(flow) {
+            continue;
+        }
+        flows.push(flow);
+        let burst = rng.gen_range(1..=max_packets_per_mouse);
+        packets.extend((0..burst).map(|_| Packet { flow, byte_len: 64 }));
+    }
+    AttackTraffic { packets, flows }
+}
+
+/// Epoch-rotating flow churn: `epochs` rounds, each with a fresh
+/// (disjoint) set of `flows_per_epoch` flows sending exactly
+/// `packets_per_flow` packets, shuffled within the epoch. The working
+/// set the cache just learned is invalidated at every boundary, so hit
+/// rate is capped by the intra-epoch reuse alone.
+///
+/// Flow sets are disjoint across epochs by construction, and each
+/// epoch occupies exactly `flows_per_epoch * packets_per_flow`
+/// consecutive trace positions.
+pub fn flow_churn(
+    epochs: usize,
+    flows_per_epoch: usize,
+    packets_per_flow: u64,
+    seed: u64,
+) -> AttackTraffic {
+    assert!(packets_per_flow >= 1, "churn flows must send at least 1 packet");
+    use support::rand::seq::SliceRandom;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(epochs * flows_per_epoch);
+    let mut packets = Vec::with_capacity(epochs * flows_per_epoch * packets_per_flow as usize);
+    let mut flows = Vec::with_capacity(epochs * flows_per_epoch);
+    for _ in 0..epochs {
+        let mut epoch_packets = Vec::with_capacity(flows_per_epoch * packets_per_flow as usize);
+        let mut fresh = 0usize;
+        while fresh < flows_per_epoch {
+            let tuple = FiveTuple {
+                src_ip: rng.gen(),
+                dst_ip: rng.gen(),
+                src_port: rng.gen_range(1024..=u16::MAX),
+                dst_port: 443,
+                proto: FiveTuple::TCP,
+            };
+            let flow = tuple.flow_id();
+            if !seen.insert(flow) {
+                continue;
+            }
+            flows.push(flow);
+            fresh += 1;
+            epoch_packets.extend((0..packets_per_flow).map(|_| Packet { flow, byte_len: 256 }));
+        }
+        epoch_packets.shuffle(&mut rng);
+        packets.extend(epoch_packets);
+    }
+    AttackTraffic { packets, flows }
+}
+
 /// Blend attack traffic into a background trace, spreading the attack
 /// packets evenly across the window `[start, end)` (fractions of the
 /// background length).
@@ -184,6 +264,49 @@ mod tests {
         let hi = *positions.last().expect("attack present") as f64 / n;
         assert!(lo >= 0.2, "first attack packet at {lo}");
         assert!(hi <= 0.55, "last attack packet at {hi}");
+    }
+
+    #[test]
+    fn mouse_flood_is_all_distinct_small_flows() {
+        let a = mouse_flood(3_000, 2, 5);
+        assert_eq!(a.flows.len(), 3_000);
+        let distinct: std::collections::HashSet<_> = a.flows.iter().collect();
+        assert_eq!(distinct.len(), 3_000);
+        // Sizes bounded by the cap; per-mouse packets are contiguous.
+        let mut sizes: std::collections::HashMap<FlowId, u64> = Default::default();
+        for p in &a.packets {
+            *sizes.entry(p.flow).or_default() += 1;
+        }
+        assert!(sizes.values().all(|&s| (1..=2).contains(&s)));
+        let mut prev = None;
+        let mut seen = std::collections::HashSet::new();
+        for p in &a.packets {
+            if prev != Some(p.flow) {
+                assert!(seen.insert(p.flow), "mouse {} split into two runs", p.flow);
+                prev = Some(p.flow);
+            }
+        }
+    }
+
+    #[test]
+    fn flow_churn_rotates_disjoint_epochs() {
+        let epochs = 5;
+        let per = 200usize;
+        let ppf = 4u64;
+        let a = flow_churn(epochs, per, ppf, 9);
+        assert_eq!(a.flows.len(), epochs * per);
+        assert_eq!(a.packets.len(), epochs * per * ppf as usize);
+        let distinct: std::collections::HashSet<_> = a.flows.iter().collect();
+        assert_eq!(distinct.len(), epochs * per, "epoch flow sets must be disjoint");
+        // Every epoch segment only contains its own epoch's flows.
+        let seg = per * ppf as usize;
+        for e in 0..epochs {
+            let expected: std::collections::HashSet<_> =
+                a.flows[e * per..(e + 1) * per].iter().collect();
+            for p in &a.packets[e * seg..(e + 1) * seg] {
+                assert!(expected.contains(&p.flow), "epoch {e} leaked a flow");
+            }
+        }
     }
 
     #[test]

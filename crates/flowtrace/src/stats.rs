@@ -185,6 +185,65 @@ pub fn tail_exponent(sizes: &[u64]) -> f64 {
     -slope + 1.0
 }
 
+/// Two-sided Kolmogorov–Smirnov statistic between the empirical CDF of
+/// `sizes` and a target CDF over the integers:
+/// `sup_s max(|F̂(s) − F(s)|, |F̂(s−) − F(s−1)|)`, evaluated over the
+/// observed support. Both CDFs jump at integer atoms, so the target's
+/// left limit at `s` is `F(s−1)` — comparing `F̂(s−)` against `F(s)`
+/// (the continuous-case convention) would count every shared atom's
+/// jump as distance.
+///
+/// `cdf(s)` must return `P(size <= s)` of the target distribution.
+/// Returns 0 for an empty sample.
+pub fn ks_statistic(sizes: &[u64], cdf: impl Fn(u64) -> f64) -> f64 {
+    if sizes.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = sizes.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    let mut ks = 0.0f64;
+    let mut i = 0usize;
+    while i < sorted.len() {
+        let s = sorted[i];
+        let mut j = i;
+        while j < sorted.len() && sorted[j] == s {
+            j += 1;
+        }
+        let f_emp_at = j as f64 / n; // F̂(s), inclusive of the atom
+        let f_emp_before = i as f64 / n; // F̂(s−)
+        let f = cdf(s);
+        let f_before = cdf(s.saturating_sub(1));
+        ks = ks
+            .max((f_emp_at - f).abs())
+            .max((f_emp_before - f_before).abs());
+        i = j;
+    }
+    ks
+}
+
+/// Fraction of all packets carried by the largest `fraction` of flows
+/// (e.g. `top_share(sizes, 0.01)` = the tail-mass share of the top 1%).
+/// At least one flow is always included; returns 0 for an empty or
+/// all-zero sample.
+pub fn top_share(sizes: &[u64], fraction: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "top fraction must be in [0, 1]"
+    );
+    if sizes.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = sizes.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let total: u64 = sorted.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let k = ((sorted.len() as f64 * fraction).ceil() as usize).clamp(1, sorted.len());
+    sorted[..k].iter().sum::<u64>() as f64 / total as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,5 +334,36 @@ mod tests {
         let sizes: Vec<u64> = (0..300_000).map(|_| d.sample(&mut rng)).collect();
         let est = tail_exponent(&sizes);
         assert!((est - 1.8).abs() < 0.3, "estimated alpha = {est}");
+    }
+
+    #[test]
+    fn ks_statistic_detects_fit_and_misfit() {
+        use crate::dist::{FlowSizeDistribution, PowerLaw};
+        use support::rand::{rngs::StdRng, SeedableRng};
+        let d = PowerLaw::new(1.5, 1_000);
+        let mut rng = StdRng::seed_from_u64(17);
+        let sizes: Vec<u64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        // Against its own CDF: small (≈ 1.36/sqrt(n) at 95%).
+        let good = ks_statistic(&sizes, |s| d.cdf(s));
+        assert!(good < 0.02, "self-fit KS = {good}");
+        // Against a very different tail: large.
+        let other = PowerLaw::new(3.0, 1_000);
+        let bad = ks_statistic(&sizes, |s| other.cdf(s));
+        assert!(bad > 0.1, "misfit KS = {bad}");
+        assert_eq!(ks_statistic(&[], |_| 0.5), 0.0);
+    }
+
+    #[test]
+    fn top_share_on_known_data() {
+        // 10 flows; top-10% (1 flow) carries 91/100 of the packets.
+        let mut sizes = vec![1u64; 9];
+        sizes.push(91);
+        assert!((top_share(&sizes, 0.1) - 0.91).abs() < 1e-12);
+        // Whole population carries everything.
+        assert!((top_share(&sizes, 1.0) - 1.0).abs() < 1e-12);
+        // At least one flow is always counted.
+        assert!((top_share(&sizes, 0.0) - 0.91).abs() < 1e-12);
+        assert_eq!(top_share(&[], 0.5), 0.0);
+        assert_eq!(top_share(&[0, 0], 0.5), 0.0);
     }
 }

@@ -1,0 +1,839 @@
+//! The workload zoo: named traffic-shape families for accuracy and
+//! stress sweeps.
+//!
+//! Every accuracy figure of the reproduction runs on the one
+//! heavy-tailed synthetic trace from [`crate::synth`], which matches
+//! the paper's capture but says nothing about where cache-assisted
+//! shared counters *stop* working. This module generates a matrix of
+//! realistic and adversarial traffic shapes behind one interface:
+//!
+//! | family | kind | what it stresses |
+//! |---|---|---|
+//! | [`CdnPopularity`] | realistic | Zipf object skew + temporal locality (cache-friendly) |
+//! | [`KvAccess`] | realistic | read-heavy small flows, near-uniform sizes |
+//! | [`FlatUniform`] | realistic | no skew at all — the anti-heavy-tail control |
+//! | [`BurstyOnOff`] | realistic | heavy tail with on/off burst arrivals |
+//! | [`MouseFlood`] | adversarial | cache thrash: every packet a cold miss |
+//! | [`SingleElephant`] | adversarial | one flow saturating its `k` shared counters |
+//! | [`FlowChurn`] | adversarial | working set rotated every epoch |
+//! | [`CaidaShaped`] | realistic | CAIDA-published flow-size fit via [`Empirical`] |
+//!
+//! All generators are pure functions of their configuration and an
+//! explicit seed: the same `(config, seed)` pair produces a
+//! byte-identical trace (see `binfmt::encode`) and the returned ground
+//! truth always sums exactly to the packet count — both properties are
+//! pinned by property tests.
+
+use crate::dist::{DistError, Empirical, FlowSizeDistribution, PowerLaw};
+use crate::packet::{FlowId, Packet, Trace};
+use crate::scenarios;
+use hashkit::mix::mix64;
+use std::collections::HashMap;
+use support::rand::seq::SliceRandom;
+use support::rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Default generation seed for zoo sweeps and examples.
+pub const ZOO_SEED: u64 = 0x5EED_2005;
+
+/// Whether a family models production traffic or a worst case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// A traffic shape a deployed sketch should handle gracefully.
+    Realistic,
+    /// A deliberately hostile shape built to break one mechanism.
+    Adversarial,
+}
+
+impl WorkloadKind {
+    /// Stable lowercase name (CSV/JSON value).
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::Realistic => "realistic",
+            WorkloadKind::Adversarial => "adversarial",
+        }
+    }
+}
+
+/// One workload family: a deterministic trace generator with exact
+/// ground truth.
+pub trait WorkloadGen {
+    /// Stable family name — the CSV key and bench name.
+    fn name(&self) -> &'static str;
+    /// Realistic or adversarial.
+    fn kind(&self) -> WorkloadKind;
+    /// Generate the trace and its exact per-flow packet counts for
+    /// `seed`. Equal seeds give byte-identical traces; the truth map
+    /// always sums to `trace.num_packets()`.
+    fn generate(&self, seed: u64) -> (Trace, HashMap<FlowId, u64>);
+}
+
+/// Tally the exact census of a packet list — the one way every family
+/// builds its `(Trace, truth)` pair, so conservation holds by
+/// construction even if two synthetic IDs ever collided.
+fn census(packets: Vec<Packet>) -> (Trace, HashMap<FlowId, u64>) {
+    let mut truth: HashMap<FlowId, u64> = HashMap::new();
+    for p in &packets {
+        *truth.entry(p.flow).or_default() += 1;
+    }
+    let trace = Trace { num_flows: truth.len(), packets };
+    (trace, truth)
+}
+
+/// Deterministic per-family flow-ID stream: `mix64` is a bijection, so
+/// distinct `(tag, index)` inputs give distinct IDs within a family.
+fn id_stream(seed: u64, tag: u64) -> impl Fn(u64) -> FlowId {
+    let base = mix64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(tag));
+    move |i| mix64(base ^ i)
+}
+
+fn check_fraction(name: &'static str, value: f64) -> Result<(), DistError> {
+    if value.is_nan() || !(0.0..1.0).contains(&value) {
+        return Err(DistError::BadFraction { name, value });
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Realistic families
+// ---------------------------------------------------------------------
+
+/// CDN object-popularity workload: each packet requests an object drawn
+/// from a Zipf(`exponent`) popularity law over `objects` ranks, with an
+/// extra recency loop — with probability `locality` the packet re-hits
+/// one of the last [`CdnPopularity::RECENT`] distinct objects instead
+/// of a fresh popularity draw. High skew + high temporal locality is
+/// the friendliest shape for the on-chip cache.
+#[derive(Debug, Clone)]
+pub struct CdnPopularity {
+    objects: usize,
+    packets: u64,
+    popularity: PowerLaw,
+    locality: f64,
+}
+
+impl CdnPopularity {
+    /// Size of the recency loop the `locality` re-hits draw from.
+    pub const RECENT: usize = 64;
+
+    /// Validated constructor. `exponent` is the Zipf popularity
+    /// exponent (`P(rank r) ∝ r^−exponent`); `locality ∈ [0, 1)`.
+    pub fn new(
+        objects: usize,
+        packets: u64,
+        exponent: f64,
+        locality: f64,
+    ) -> Result<Self, DistError> {
+        check_fraction("locality", locality)?;
+        let popularity = PowerLaw::try_new(exponent, objects.max(1) as u64)?;
+        Ok(Self { objects: objects.max(1), packets, popularity, locality })
+    }
+
+    /// The popularity law over object ranks.
+    pub fn popularity(&self) -> &PowerLaw {
+        &self.popularity
+    }
+
+    /// Number of distinct objects in the catalogue (the upper bound on
+    /// flows per trace).
+    pub fn catalogue_size(&self) -> usize {
+        self.objects
+    }
+}
+
+impl WorkloadGen for CdnPopularity {
+    fn name(&self) -> &'static str {
+        "cdn"
+    }
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::Realistic
+    }
+    fn generate(&self, seed: u64) -> (Trace, HashMap<FlowId, u64>) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xCD17);
+        let id = id_stream(seed, 1);
+        let mut recent: Vec<FlowId> = Vec::with_capacity(Self::RECENT);
+        let mut cursor = 0usize;
+        let mut packets = Vec::with_capacity(self.packets as usize);
+        for _ in 0..self.packets {
+            let flow = if !recent.is_empty() && rng.gen::<f64>() < self.locality {
+                recent[rng.gen_range(0..recent.len())]
+            } else {
+                let rank = self.popularity.sample(&mut rng) - 1;
+                let f = id(rank);
+                if recent.len() < Self::RECENT {
+                    recent.push(f);
+                } else {
+                    recent[cursor] = f;
+                    cursor = (cursor + 1) % Self::RECENT;
+                }
+                f
+            };
+            // Content delivery is MTU-dominated with some header-ish
+            // control traffic.
+            let byte_len = if rng.gen_range(0..10u8) < 8 {
+                1500
+            } else {
+                rng.gen_range(200..=600)
+            };
+            packets.push(Packet { flow, byte_len });
+        }
+        census(packets)
+    }
+}
+
+/// KV-storage access workload: `flows` independent clients issuing
+/// short read-heavy operation runs — flow sizes are geometric with a
+/// small mean (capped at `max_ops`), arrivals globally shuffled. Lots
+/// of small flows, little skew: the counter-sharing noise floor
+/// dominates, the cache barely matters.
+#[derive(Debug, Clone, Copy)]
+pub struct KvAccess {
+    flows: usize,
+    mean_ops: f64,
+    max_ops: u64,
+}
+
+impl KvAccess {
+    /// Validated constructor: `1 <= mean_ops < max_ops`.
+    pub fn new(flows: usize, mean_ops: f64, max_ops: u64) -> Result<Self, DistError> {
+        if max_ops == 0 {
+            return Err(DistError::ZeroMaxSize);
+        }
+        if mean_ops.is_nan() || mean_ops < 1.0 || (mean_ops as u64) >= max_ops {
+            return Err(DistError::BadMean { target: mean_ops, max_size: max_ops });
+        }
+        Ok(Self { flows: flows.max(1), mean_ops, max_ops })
+    }
+}
+
+impl WorkloadGen for KvAccess {
+    fn name(&self) -> &'static str {
+        "kv"
+    }
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::Realistic
+    }
+    fn generate(&self, seed: u64) -> (Trace, HashMap<FlowId, u64>) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x4B56);
+        let id = id_stream(seed, 2);
+        let p = 1.0 / self.mean_ops;
+        let mut packets = Vec::new();
+        for i in 0..self.flows {
+            // Geometric on {1, 2, ...} with success probability p:
+            // mean exactly `mean_ops` before truncation.
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let size = ((1.0 - u).ln() / (1.0 - p).ln()).ceil().max(1.0) as u64;
+            let size = size.clamp(1, self.max_ops);
+            let flow = id(i as u64);
+            for _ in 0..size {
+                // Small GET/SET-sized payloads.
+                let byte_len = rng.gen_range(64..=256);
+                packets.push(Packet { flow, byte_len });
+            }
+        }
+        packets.shuffle(&mut rng);
+        census(packets)
+    }
+}
+
+/// Flat/uniform workload: `flows` flows of near-equal size drawn
+/// uniformly from `[lo, hi]`, globally shuffled. No elephants, no
+/// mice: the control case where cache admission gains nothing and the
+/// shared-counter noise is spread perfectly evenly.
+#[derive(Debug, Clone, Copy)]
+pub struct FlatUniform {
+    flows: usize,
+    lo: u64,
+    hi: u64,
+}
+
+impl FlatUniform {
+    /// Validated constructor: `1 <= lo <= hi`.
+    pub fn new(flows: usize, lo: u64, hi: u64) -> Result<Self, DistError> {
+        if lo == 0 || hi < lo {
+            return Err(DistError::BadRange { lo, hi });
+        }
+        Ok(Self { flows: flows.max(1), lo, hi })
+    }
+}
+
+impl WorkloadGen for FlatUniform {
+    fn name(&self) -> &'static str {
+        "flat"
+    }
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::Realistic
+    }
+    fn generate(&self, seed: u64) -> (Trace, HashMap<FlowId, u64>) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF1A7);
+        let id = id_stream(seed, 3);
+        let mut packets = Vec::new();
+        for i in 0..self.flows {
+            let size = rng.gen_range(self.lo..=self.hi);
+            let flow = id(i as u64);
+            for _ in 0..size {
+                let byte_len = rng.gen_range(64..=1500);
+                packets.push(Packet { flow, byte_len });
+            }
+        }
+        packets.shuffle(&mut rng);
+        census(packets)
+    }
+}
+
+/// Bursty on/off workload: heavy-tailed flow sizes (power law with the
+/// paper's mean), but arrivals come in per-flow bursts of up to
+/// `burst_len` packets — a random active flow transmits a burst, goes
+/// quiet, and another takes over. Temporal locality without the
+/// paper's uniform-interleave assumption.
+#[derive(Debug, Clone)]
+pub struct BurstyOnOff {
+    flows: usize,
+    sizes: PowerLaw,
+    burst_len: u64,
+}
+
+impl BurstyOnOff {
+    /// Validated constructor; `mean_flow_size`/`max_flow_size`
+    /// parametrize the power-law size distribution.
+    pub fn new(
+        flows: usize,
+        mean_flow_size: f64,
+        max_flow_size: u64,
+        burst_len: u64,
+    ) -> Result<Self, DistError> {
+        if burst_len == 0 {
+            return Err(DistError::BadRange { lo: burst_len, hi: burst_len });
+        }
+        let sizes = PowerLaw::try_with_mean(mean_flow_size, max_flow_size)?;
+        Ok(Self { flows: flows.max(1), sizes, burst_len })
+    }
+}
+
+impl WorkloadGen for BurstyOnOff {
+    fn name(&self) -> &'static str {
+        "bursty"
+    }
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::Realistic
+    }
+    fn generate(&self, seed: u64) -> (Trace, HashMap<FlowId, u64>) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xB057);
+        let id = id_stream(seed, 4);
+        let mut active: Vec<(FlowId, u64)> = (0..self.flows)
+            .map(|i| (id(i as u64), self.sizes.sample(&mut rng)))
+            .collect();
+        let total: u64 = active.iter().map(|&(_, s)| s).sum();
+        let mut packets = Vec::with_capacity(total as usize);
+        while !active.is_empty() {
+            let idx = rng.gen_range(0..active.len());
+            let (flow, remaining) = active[idx];
+            let burst = remaining.min(self.burst_len);
+            for _ in 0..burst {
+                let byte_len = rng.gen_range(64..=1500);
+                packets.push(Packet { flow, byte_len });
+            }
+            if remaining > burst {
+                active[idx].1 = remaining - burst;
+            } else {
+                active.swap_remove(idx);
+            }
+        }
+        census(packets)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Adversarial families
+// ---------------------------------------------------------------------
+
+/// Cache-thrashing mouse flood (see [`scenarios::mouse_flood`]):
+/// `mice` distinct 1–2 packet flows arriving back-to-back. Every
+/// packet is a cold miss; once the cache is full, every new mouse
+/// evicts a resident entry, so the front-end degenerates to pure
+/// insert/evict churn with hit rate ≈ 0.
+#[derive(Debug, Clone, Copy)]
+pub struct MouseFlood {
+    mice: usize,
+    max_packets_per_mouse: u64,
+}
+
+impl MouseFlood {
+    /// Validated constructor.
+    pub fn new(mice: usize, max_packets_per_mouse: u64) -> Result<Self, DistError> {
+        if max_packets_per_mouse == 0 {
+            return Err(DistError::BadRange { lo: 0, hi: 0 });
+        }
+        Ok(Self { mice: mice.max(1), max_packets_per_mouse })
+    }
+}
+
+impl WorkloadGen for MouseFlood {
+    fn name(&self) -> &'static str {
+        "mouse_flood"
+    }
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::Adversarial
+    }
+    fn generate(&self, seed: u64) -> (Trace, HashMap<FlowId, u64>) {
+        let a = scenarios::mouse_flood(self.mice, self.max_packets_per_mouse, seed ^ 0x30F5);
+        census(a.packets)
+    }
+}
+
+/// Single-elephant saturation: one flow carries `elephant_packets`
+/// packets — the bulk of the trace — over a light power-law background.
+/// The elephant's mass funnels into its `k` shared counters, which is
+/// exactly the shape that clamps narrow counters and drives the
+/// saturation term of `QueryHealth` down.
+#[derive(Debug, Clone)]
+pub struct SingleElephant {
+    elephant_packets: u64,
+    background_flows: usize,
+    background: Option<PowerLaw>,
+}
+
+impl SingleElephant {
+    /// Validated constructor; `background_flows` may be 0 for a pure
+    /// one-flow trace.
+    pub fn new(
+        elephant_packets: u64,
+        background_flows: usize,
+        background_mean: f64,
+        background_max: u64,
+    ) -> Result<Self, DistError> {
+        if elephant_packets == 0 {
+            return Err(DistError::BadRange { lo: 0, hi: 0 });
+        }
+        let background = if background_flows > 0 {
+            Some(PowerLaw::try_with_mean(background_mean, background_max)?)
+        } else {
+            None
+        };
+        Ok(Self { elephant_packets, background_flows, background })
+    }
+
+    /// The elephant's flow ID for a given generation seed.
+    pub fn elephant_id(&self, seed: u64) -> FlowId {
+        id_stream(seed, 5)(0)
+    }
+}
+
+impl WorkloadGen for SingleElephant {
+    fn name(&self) -> &'static str {
+        "single_elephant"
+    }
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::Adversarial
+    }
+    fn generate(&self, seed: u64) -> (Trace, HashMap<FlowId, u64>) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xE1E9);
+        let id = id_stream(seed, 5);
+        let elephant = id(0);
+        let mut packets: Vec<Packet> = (0..self.elephant_packets)
+            .map(|_| Packet { flow: elephant, byte_len: 1500 })
+            .collect();
+        if let Some(bg) = &self.background {
+            for i in 0..self.background_flows {
+                let flow = id(1 + i as u64);
+                let size = bg.sample(&mut rng);
+                for _ in 0..size {
+                    let byte_len = rng.gen_range(64..=576);
+                    packets.push(Packet { flow, byte_len });
+                }
+            }
+        }
+        // Uniform interleave: the elephant stays cache-resident and
+        // overflows its entry every y packets.
+        packets.shuffle(&mut rng);
+        census(packets)
+    }
+}
+
+/// Epoch-rotating flow churn (see [`scenarios::flow_churn`]): the
+/// active flow set is replaced wholesale every
+/// `flows_per_epoch * packets_per_flow` packets. Whatever the cache
+/// learned in epoch `e` is dead weight in epoch `e+1`.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowChurn {
+    epochs: usize,
+    flows_per_epoch: usize,
+    packets_per_flow: u64,
+}
+
+impl FlowChurn {
+    /// Validated constructor.
+    pub fn new(
+        epochs: usize,
+        flows_per_epoch: usize,
+        packets_per_flow: u64,
+    ) -> Result<Self, DistError> {
+        if packets_per_flow == 0 {
+            return Err(DistError::BadRange { lo: 0, hi: 0 });
+        }
+        Ok(Self {
+            epochs: epochs.max(1),
+            flows_per_epoch: flows_per_epoch.max(1),
+            packets_per_flow,
+        })
+    }
+
+    /// Packets per epoch segment (exact by construction).
+    pub fn packets_per_epoch(&self) -> usize {
+        self.flows_per_epoch * self.packets_per_flow as usize
+    }
+
+    /// Number of epochs.
+    pub fn epochs(&self) -> usize {
+        self.epochs
+    }
+}
+
+impl WorkloadGen for FlowChurn {
+    fn name(&self) -> &'static str {
+        "flow_churn"
+    }
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::Adversarial
+    }
+    fn generate(&self, seed: u64) -> (Trace, HashMap<FlowId, u64>) {
+        let a = scenarios::flow_churn(
+            self.epochs,
+            self.flows_per_epoch,
+            self.packets_per_flow,
+            seed ^ 0xC4E2,
+        );
+        census(a.packets)
+    }
+}
+
+// ---------------------------------------------------------------------
+// CAIDA-shaped loader
+// ---------------------------------------------------------------------
+
+/// Published CAIDA-backbone flow-size fit parameters.
+///
+/// The fitted distribution is a mixture: an extra point mass of
+/// `frac_single_packet` at size 1 (single-packet flows dominate real
+/// backbone captures) on top of a truncated power-law body whose
+/// conditional mean is calibrated so the mixture mean is exactly
+/// `mean_flow_size`. The body contributes its own mass at 1 as well,
+/// so the realized single-packet fraction exceeds
+/// `frac_single_packet` — [`CaidaShaped::target_cdf`] accounts for
+/// both terms.
+#[derive(Debug, Clone, Copy)]
+pub struct CaidaParams {
+    /// Mixture mean flow size (the paper's backbone trace: 27.32).
+    pub mean_flow_size: f64,
+    /// Extra point mass at size 1.
+    pub frac_single_packet: f64,
+    /// Truncation bound of the power-law body.
+    pub max_flow_size: u64,
+    /// How many sizes to draw into the [`Empirical`] sample bank.
+    pub fit_samples: usize,
+}
+
+impl CaidaParams {
+    /// The backbone operating point the paper's capture exhibits
+    /// (§6.1: mean 27.32; §4.2: > 92% of flows below the mean).
+    pub fn backbone() -> Self {
+        Self {
+            mean_flow_size: 27.32,
+            frac_single_packet: 0.45,
+            max_flow_size: 100_000,
+            fit_samples: 100_000,
+        }
+    }
+}
+
+/// The CAIDA-shaped loader: synthetic-fits [`CaidaParams`] into an
+/// [`Empirical`] sample bank once, then generates traces by resampling
+/// it. Fitted traces round-trip through `binfmt::encode_artifact`, so
+/// a fit is a replayable artifact rather than a transient RNG state.
+#[derive(Debug, Clone)]
+pub struct CaidaShaped {
+    params: CaidaParams,
+    flows: usize,
+    body: PowerLaw,
+    empirical: Empirical,
+}
+
+impl CaidaShaped {
+    /// Fit the published parameters with a deterministic `fit_seed`,
+    /// producing the empirical sample bank for `flows`-flow traces.
+    pub fn fit(params: CaidaParams, flows: usize, fit_seed: u64) -> Result<Self, DistError> {
+        check_fraction("frac_single_packet", params.frac_single_packet)?;
+        if params.fit_samples == 0 {
+            return Err(DistError::EmptySample);
+        }
+        let p1 = params.frac_single_packet;
+        // Conditional mean of the body so the mixture hits the target:
+        // mean = p1·1 + (1−p1)·body_mean.
+        let body_mean = (params.mean_flow_size - p1) / (1.0 - p1);
+        let body = PowerLaw::try_with_mean(body_mean, params.max_flow_size)?;
+        let mut rng = StdRng::seed_from_u64(fit_seed);
+        let sizes: Vec<u64> = (0..params.fit_samples)
+            .map(|_| {
+                if rng.gen::<f64>() < p1 {
+                    1
+                } else {
+                    body.sample(&mut rng)
+                }
+            })
+            .collect();
+        let empirical = Empirical::try_new(sizes)?;
+        Ok(Self { params, flows: flows.max(1), body, empirical })
+    }
+
+    /// The fit parameters.
+    pub fn params(&self) -> &CaidaParams {
+        &self.params
+    }
+
+    /// The fitted sample bank.
+    pub fn empirical(&self) -> &Empirical {
+        &self.empirical
+    }
+
+    /// The target mixture CDF `P(size <= s)` the fit is pinned against
+    /// (KS golden tests).
+    pub fn target_cdf(&self, s: u64) -> f64 {
+        let p1 = self.params.frac_single_packet;
+        let single = if s >= 1 { p1 } else { 0.0 };
+        single + (1.0 - p1) * self.body.cdf(s)
+    }
+}
+
+impl WorkloadGen for CaidaShaped {
+    fn name(&self) -> &'static str {
+        "caida_fit"
+    }
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::Realistic
+    }
+    fn generate(&self, seed: u64) -> (Trace, HashMap<FlowId, u64>) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xCA1D);
+        let id = id_stream(seed, 7);
+        let mut packets = Vec::new();
+        for i in 0..self.flows {
+            let flow = id(i as u64);
+            let size = self.empirical.sample(&mut rng);
+            for _ in 0..size {
+                // IMIX-flavoured lengths, like crate::synth.
+                let byte_len = match rng.gen_range(0..10u8) {
+                    0..=5 => rng.gen_range(64..=128),
+                    6..=8 => rng.gen_range(128..=576),
+                    _ => rng.gen_range(576..=1500),
+                };
+                packets.push(Packet { flow, byte_len });
+            }
+        }
+        packets.shuffle(&mut rng);
+        census(packets)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The standard zoo
+// ---------------------------------------------------------------------
+
+/// The standard eight-family zoo at flow-count scale `q` (the CAESAR
+/// `Q`): realistic families target roughly the paper's mean flow size,
+/// adversarial families are sized so their hostile mass dominates.
+/// `q` is floored at 64 so tiny test scales stay well-formed.
+pub fn standard_zoo(q: usize) -> Result<Vec<Box<dyn WorkloadGen>>, DistError> {
+    let q = q.max(64);
+    let caida = CaidaParams {
+        // Smaller fit bank + truncation at reduced scale: the bank is
+        // re-fit per call, and sweep scales don't need 100 K samples.
+        fit_samples: (q * 25).clamp(10_000, 100_000),
+        max_flow_size: 20_000,
+        ..CaidaParams::backbone()
+    };
+    Ok(vec![
+        Box::new(CdnPopularity::new(q, q as u64 * 27, 0.9, 0.3)?),
+        Box::new(KvAccess::new(q, 4.0, 64)?),
+        Box::new(FlatUniform::new(q, 20, 35)?),
+        Box::new(BurstyOnOff::new(q, 27.32, 20_000, 16)?),
+        // Single-packet mice: a 2-packet mouse's second packet hits the
+        // cache (bursts are contiguous), which blunts the thrash.
+        Box::new(MouseFlood::new(4 * q, 1)?),
+        Box::new(SingleElephant::new(14 * q as u64, q, 6.0, 1_000)?),
+        Box::new(FlowChurn::new(8, (q / 4).max(1), 8)?),
+        Box::new(CaidaShaped::fit(caida, q, 0xCA1DA)?),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    fn conserved(w: &dyn WorkloadGen, seed: u64) -> (Trace, HashMap<FlowId, u64>) {
+        let (trace, truth) = w.generate(seed);
+        assert_eq!(
+            truth.values().sum::<u64>() as usize,
+            trace.num_packets(),
+            "{}: truth must sum to packet count",
+            w.name()
+        );
+        assert_eq!(truth.len(), trace.num_flows, "{}", w.name());
+        (trace, truth)
+    }
+
+    #[test]
+    fn standard_zoo_has_all_families_and_conserves() {
+        let zoo = standard_zoo(128).expect("standard zoo params are valid");
+        let names: Vec<&str> = zoo.iter().map(|w| w.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "cdn",
+                "kv",
+                "flat",
+                "bursty",
+                "mouse_flood",
+                "single_elephant",
+                "flow_churn",
+                "caida_fit"
+            ]
+        );
+        for w in &zoo {
+            conserved(w.as_ref(), 3);
+        }
+        let adversarial: Vec<&str> = zoo
+            .iter()
+            .filter(|w| w.kind() == WorkloadKind::Adversarial)
+            .map(|w| w.name())
+            .collect();
+        assert_eq!(adversarial, ["mouse_flood", "single_elephant", "flow_churn"]);
+    }
+
+    #[test]
+    fn cdn_is_skewed_and_bounded_by_catalogue() {
+        let w = CdnPopularity::new(2_000, 54_000, 0.9, 0.3).unwrap();
+        let (trace, truth) = conserved(&w, 11);
+        assert!(
+            trace.num_flows <= w.catalogue_size(),
+            "at most one flow per object"
+        );
+        let sizes: Vec<u64> = truth.values().copied().collect();
+        // Zipf-over-objects: the top 1% of a 2 K catalogue at α = 0.9
+        // carries ≈ 34% of requests (vs 1% under uniform popularity).
+        let share = stats::top_share(&sizes, 0.01);
+        assert!(share > 0.25, "top-1% share = {share}");
+    }
+
+    #[test]
+    fn cdn_locality_increases_repeat_hits() {
+        // A window of recent packets must contain repeats under high
+        // locality; near-zero locality at exponent ~0 is near-uniform.
+        let hot = CdnPopularity::new(5_000, 20_000, 0.9, 0.6).unwrap();
+        let cold = CdnPopularity::new(5_000, 20_000, 0.05, 0.0).unwrap();
+        let repeats = |t: &Trace| {
+            let mut r = 0usize;
+            for w in t.packets.windows(2) {
+                if w[0].flow == w[1].flow {
+                    r += 1;
+                }
+            }
+            r
+        };
+        let (ht, _) = hot.generate(5);
+        let (ct, _) = cold.generate(5);
+        assert!(
+            repeats(&ht) > 4 * repeats(&ct).max(1),
+            "hot {} vs cold {}",
+            repeats(&ht),
+            repeats(&ct)
+        );
+    }
+
+    #[test]
+    fn kv_flows_are_small_and_capped() {
+        let w = KvAccess::new(3_000, 4.0, 64).unwrap();
+        let (trace, truth) = conserved(&w, 7);
+        assert_eq!(trace.num_flows, 3_000);
+        assert!(truth.values().all(|&s| (1..=64).contains(&s)));
+        let mean = trace.mean_flow_size();
+        assert!((mean - 4.0).abs() < 1.0, "mean ops = {mean}");
+    }
+
+    #[test]
+    fn flat_sizes_stay_in_band() {
+        let w = FlatUniform::new(1_000, 20, 35).unwrap();
+        let (_, truth) = conserved(&w, 13);
+        assert!(truth.values().all(|&s| (20..=35).contains(&s)));
+        assert_eq!(truth.len(), 1_000);
+    }
+
+    #[test]
+    fn bursty_emits_bounded_bursts() {
+        let w = BurstyOnOff::new(500, 27.32, 20_000, 16).unwrap();
+        let (trace, _) = conserved(&w, 17);
+        // No run of a single flow exceeds 2 adjacent bursts' worth
+        // (two bursts of the same flow can land back-to-back).
+        let mut run = 1usize;
+        let mut max_run = 1usize;
+        for w2 in trace.packets.windows(2) {
+            if w2[0].flow == w2[1].flow {
+                run += 1;
+                max_run = max_run.max(run);
+            } else {
+                run = 1;
+            }
+        }
+        assert!(max_run >= 8, "bursts should be visible, max run {max_run}");
+    }
+
+    #[test]
+    fn elephant_dominates_and_is_addressable() {
+        let w = SingleElephant::new(50_000, 300, 6.0, 1_000).unwrap();
+        let (trace, truth) = conserved(&w, 19);
+        let id = w.elephant_id(19);
+        assert_eq!(truth[&id], 50_000);
+        let share = 50_000.0 / trace.num_packets() as f64;
+        assert!(share > 0.9, "elephant share = {share}");
+    }
+
+    #[test]
+    fn churn_epochs_are_disjoint() {
+        let w = FlowChurn::new(6, 200, 8).unwrap();
+        let (trace, _) = conserved(&w, 23);
+        let seg = w.packets_per_epoch();
+        assert_eq!(trace.num_packets(), seg * 6);
+        let first: std::collections::HashSet<FlowId> =
+            trace.packets[..seg].iter().map(|p| p.flow).collect();
+        let last: std::collections::HashSet<FlowId> =
+            trace.packets[5 * seg..].iter().map(|p| p.flow).collect();
+        assert!(first.is_disjoint(&last), "epochs must rotate the flow set");
+    }
+
+    #[test]
+    fn caida_fit_hits_target_mean_and_shape() {
+        let c = CaidaShaped::fit(CaidaParams::backbone(), 500, 0xCA1DA).unwrap();
+        let e = c.empirical();
+        let rel = (e.mean() - 27.32).abs() / 27.32;
+        assert!(rel < 0.05, "fitted mean {} vs 27.32", e.mean());
+        // §4.2 shape: most flows below the mean.
+        let below = e.samples().iter().filter(|&&s| s < 27).count();
+        assert!(below as f64 / e.samples().len() as f64 > 0.9);
+        conserved(&c, 29);
+    }
+
+    #[test]
+    fn bad_configs_report_instead_of_panicking() {
+        assert!(CdnPopularity::new(100, 10, -1.0, 0.3).is_err());
+        assert!(CdnPopularity::new(100, 10, 0.9, 1.5).is_err());
+        assert!(KvAccess::new(10, 0.5, 64).is_err());
+        assert!(KvAccess::new(10, 100.0, 64).is_err());
+        assert!(FlatUniform::new(10, 0, 5).is_err());
+        assert!(FlatUniform::new(10, 9, 5).is_err());
+        assert!(BurstyOnOff::new(10, 27.3, 20_000, 0).is_err());
+        assert!(BurstyOnOff::new(10, 1e9, 20_000, 16).is_err());
+        assert!(MouseFlood::new(10, 0).is_err());
+        assert!(SingleElephant::new(0, 10, 6.0, 100).is_err());
+        assert!(FlowChurn::new(3, 10, 0).is_err());
+        let bad = CaidaParams { frac_single_packet: 1.2, ..CaidaParams::backbone() };
+        assert!(CaidaShaped::fit(bad, 10, 1).is_err());
+    }
+}

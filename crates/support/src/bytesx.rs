@@ -60,6 +60,16 @@ impl<'a> ByteReader<'a> {
         Some(out)
     }
 
+    /// Read exactly `n` bytes as a borrowed slice.
+    pub fn get_slice(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.buf.len() < n {
+            return None;
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Some(head)
+    }
+
     /// Read a little-endian `u16`.
     pub fn get_u16_le(&mut self) -> Option<u16> {
         self.get_array::<2>().map(u16::from_le_bytes)

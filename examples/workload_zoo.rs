@@ -1,0 +1,66 @@
+//! Tour of the workload zoo: every traffic family, one sketch each.
+//!
+//! ```text
+//! cargo run --release --example workload_zoo
+//! ```
+//!
+//! Generates each family of [`flowtrace::zoo::standard_zoo`] — four
+//! realistic shapes (CDN, KV, flat, bursty), three adversarial ones
+//! (mouse flood, single elephant, flow churn), and the CAIDA-shaped
+//! fit — runs CAESAR over each, and prints the per-workload accuracy
+//! and cache behaviour side by side. It also round-trips one fitted
+//! trace through the `CZOO` artifact format to show that a workload is
+//! a replayable file, not a transient RNG state.
+
+use caesar_repro::prelude::*;
+use flowtrace::binfmt;
+use flowtrace::zoo::{standard_zoo, ZOO_SEED};
+
+fn main() {
+    let zoo = standard_zoo(2_000).expect("standard zoo parameters are valid");
+    println!("{:<16} {:>12} {:>8} {:>9} {:>10} {:>9}", "workload", "kind", "flows", "packets", "hit rate", "ARE");
+
+    for w in &zoo {
+        let (trace, truth) = w.generate(ZOO_SEED);
+        let cfg = experiments::zoo::zoo_config(&trace);
+        let mut sketch = Caesar::new(cfg);
+        for p in &trace.packets {
+            sketch.record(p.flow);
+        }
+        sketch.finish();
+
+        let mut pairs: Vec<(FlowId, u64)> = truth.iter().map(|(&f, &x)| (f, x)).collect();
+        pairs.sort_unstable();
+        let mut series = metrics::ScatterSeries::new();
+        for (flow, x) in pairs {
+            series.push(x, sketch.estimate(flow, Estimator::Csm).clamped());
+        }
+
+        println!(
+            "{:<16} {:>12} {:>8} {:>9} {:>9.1}% {:>8.1}%",
+            w.name(),
+            w.kind().name(),
+            trace.num_flows,
+            trace.num_packets(),
+            sketch.stats().cache.hit_rate() * 100.0,
+            series.report().avg_relative_error * 100.0,
+        );
+    }
+
+    // A fitted workload is a replayable artifact: trace + exact ground
+    // truth round-trip through one deterministic blob.
+    let caida = &zoo[7];
+    let (trace, truth) = caida.generate(ZOO_SEED);
+    let blob = binfmt::encode_artifact(&trace, &truth);
+    let (replayed, replayed_truth) =
+        binfmt::decode_artifact(&blob).expect("artifact must round-trip");
+    assert_eq!(replayed.packets, trace.packets);
+    assert_eq!(replayed_truth, truth);
+    println!(
+        "\n{} artifact: {} bytes for {} packets + {} truth entries (round-trip exact)",
+        caida.name(),
+        blob.len(),
+        replayed.num_packets(),
+        replayed_truth.len()
+    );
+}

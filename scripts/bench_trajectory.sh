@@ -4,7 +4,7 @@
 # to the code that produced them.
 #
 # Usage: scripts/bench_trajectory.sh [OUT] [BENCH...]
-#   OUT      output file (default BENCH_PR5.json)
+#   OUT      output file (default BENCH_PR6.json)
 #   BENCH... bench targets to run (default: micro extensions)
 #
 # Environment:
@@ -31,7 +31,11 @@
 # "steady_state_4" (single-owner supervised offer loop, epoch merges,
 # watchdog ticks) vs group "concurrent_build" "stream_4" (the same
 # transport without supervision), plus "online/snapshot_roundtrip_4"
-# for the cost of a mid-stream checkpoint + restore.
+# for the cost of a mid-stream checkpoint + restore. PR 6 adds group
+# "zoo_ingest": one sequential-ingest bench per workload-zoo family
+# (cdn … caida_fit), pricing how each traffic shape loads the
+# cache/SRAM pipeline, plus "mouse_flood_online_stressed" for the
+# supervised online path under the stalled-lane tail-drop stress plan.
 #
 # After writing OUT, the script prints a median diff table against the
 # most recent other BENCH_*.json (joined on group/name), so every run
@@ -39,7 +43,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR5.json}"
+OUT="${1:-BENCH_PR6.json}"
 shift || true
 BENCHES=("$@")
 if [ "${#BENCHES[@]}" -eq 0 ]; then

@@ -5,7 +5,15 @@
 # be the reason a step fails — if it is, a crates.io dependency snuck
 # back in and that is the bug.
 #
-# Usage: scripts/check.sh [--quick-bench | --fault-smoke]
+# Usage: scripts/check.sh [--quick-bench | --fault-smoke | --zoo-smoke]
+#   --zoo-smoke         workload-zoo smoke mode: run the zoo acceptance
+#                       suite (tests/workload_zoo.rs — determinism,
+#                       CAIDA-fit goldens, CZOO artifact round-trips,
+#                       and the three adversarial OnlineCaesar
+#                       regressions) in release, then the tiny-scale
+#                       per-workload sweep (caesar-experiments zoo)
+#                       asserting its CSV/JSON artifacts land, then the
+#                       workload_zoo example end-to-end.
 #   --fault-smoke       robustness smoke mode: run the fault-tolerance
 #                       acceptance suite (tests/fault_tolerance.rs) in
 #                       release — injected worker panics, sticky ring
@@ -67,6 +75,32 @@ if [ "${1:-}" = "--fault-smoke" ]; then
     echo "==> cargo run --release --example resilient_monitor (output suppressed)"
     cargo run -q --release --offline --example resilient_monitor >/dev/null
     echo "check.sh --fault-smoke: all green"
+    exit 0
+fi
+
+if [ "${1:-}" = "--zoo-smoke" ]; then
+    echo "==> zoo smoke: workload families + adversarial regressions, release build"
+    run cargo test --release --offline -q --test workload_zoo
+    OUT="$(mktemp -d)"
+    trap 'rm -rf "$OUT"' EXIT
+    echo "==> caesar-experiments zoo --scale tiny --out $OUT (output suppressed)"
+    cargo run -q --release --offline -p experiments --bin caesar-experiments -- \
+        zoo --scale tiny --out "$OUT" >/dev/null
+    for artifact in zoo_sweep.csv zoo_sweep.json; do
+        if [ ! -s "$OUT/$artifact" ]; then
+            echo "check.sh --zoo-smoke: sweep did not write $artifact"
+            exit 1
+        fi
+    done
+    # Header + one row per family.
+    rows="$(wc -l < "$OUT/zoo_sweep.csv")"
+    if [ "$rows" -lt 9 ]; then
+        echo "check.sh --zoo-smoke: zoo_sweep.csv has $rows lines, want >= 9"
+        exit 1
+    fi
+    echo "==> cargo run --release --example workload_zoo (output suppressed)"
+    cargo run -q --release --offline --example workload_zoo >/dev/null
+    echo "check.sh --zoo-smoke: all green"
     exit 0
 fi
 

@@ -9,7 +9,7 @@ use hashkit::sha1::Sha1;
 use hashkit::KCounterMap;
 use memsim::IngressQueue;
 use support::rand::{rngs::StdRng, Rng, SeedableRng};
-use support::testkit::{for_each_seed, GenExt};
+use support::testkit::{for_each_seed, for_each_seed_n, GenExt};
 
 /// CAESAR never loses or invents a packet: for any packet stream
 /// and any (valid) geometry, the SRAM total equals the stream
@@ -138,6 +138,35 @@ fn sha1_streaming_equivalence() {
             h.update(piece);
         }
         assert_eq!(h.finalize(), Sha1::digest(&data));
+    });
+}
+
+/// Every zoo family is a pure function of its seed (byte-identical
+/// traces via the binary codec) and conserves packets exactly (the
+/// ground truth sums to the packet count) — for arbitrary seeds, not
+/// just the blessed `ZOO_SEED`.
+#[test]
+fn zoo_conserves_packets() {
+    let zoo = flowtrace::zoo::standard_zoo(96).expect("standard zoo params are valid");
+    for_each_seed_n(6, |rng| {
+        let seed: u64 = rng.gen();
+        for w in &zoo {
+            let (trace, truth) = w.generate(seed);
+            assert_eq!(
+                truth.values().sum::<u64>() as usize,
+                trace.num_packets(),
+                "{}: truth must sum to packet count",
+                w.name()
+            );
+            assert_eq!(truth.len(), trace.num_flows, "{}", w.name());
+            let again = w.generate(seed).0;
+            assert_eq!(
+                binfmt::encode(&trace),
+                binfmt::encode(&again),
+                "{}: same seed must give byte-identical traces",
+                w.name()
+            );
+        }
     });
 }
 

@@ -1,0 +1,338 @@
+//! Acceptance suite for the workload zoo (`flowtrace::zoo` +
+//! `experiments::zoo`):
+//!
+//! * every family is a pure function of its seed (byte-identical via
+//!   the binary codec) and conserves packets exactly;
+//! * the CAIDA-shaped fit pins the published backbone parameters
+//!   (mean 27.32, 45% single-packet flows) to golden KS / moment
+//!   tolerances, and the CDN family carries the heavy tail it claims;
+//! * a `CZOO` artifact round-trips any zoo family bit-exactly and
+//!   rejects corruption instead of replaying garbage;
+//! * each adversarial family, run under its `experiments::zoo`
+//!   [`StressPlan`](experiments::zoo::StressPlan), preserves the exact
+//!   online accounting invariant
+//!   (`offered == recorded + dropped + quarantined + in_flight`) and
+//!   drives [`caesar::QueryHealth`] confidence monotonically *down* as
+//!   loss or saturation mounts — degradation is visible, never silent.
+
+use caesar::ConcurrentCaesar;
+use caesar_repro::prelude::*;
+use experiments::zoo::{online_engine, stress_plan, zoo_config, ONLINE_SHARDS};
+use flowtrace::binfmt;
+use flowtrace::stats::{ks_statistic, top_share};
+use flowtrace::zoo::{
+    standard_zoo, CaidaParams, CaidaShaped, CdnPopularity, FlatUniform, FlowChurn, MouseFlood,
+    SingleElephant, WorkloadGen, WorkloadKind, ZOO_SEED,
+};
+use support::testkit::FaultSite;
+
+/// Every zoo family is deterministic in its seed — byte-identical
+/// trace *and* truth — and distinct seeds actually change the trace
+/// (the generators don't ignore their entropy).
+#[test]
+fn families_are_seed_deterministic_and_seed_sensitive() {
+    let zoo = standard_zoo(96).expect("standard zoo params are valid");
+    assert_eq!(zoo.len(), 8);
+    for w in &zoo {
+        let (trace, truth) = w.generate(ZOO_SEED);
+        let (again, truth_again) = w.generate(ZOO_SEED);
+        assert_eq!(
+            binfmt::encode(&trace),
+            binfmt::encode(&again),
+            "{}: same seed must give byte-identical traces",
+            w.name()
+        );
+        assert_eq!(truth, truth_again, "{}", w.name());
+        assert_eq!(
+            truth.values().sum::<u64>() as usize,
+            trace.num_packets(),
+            "{}: truth must sum to packet count",
+            w.name()
+        );
+        assert_eq!(truth.len(), trace.num_flows, "{}", w.name());
+
+        let (other, _) = w.generate(ZOO_SEED ^ 0xFFFF);
+        assert_ne!(
+            binfmt::encode(&trace),
+            binfmt::encode(&other),
+            "{}: a different seed must change the trace",
+            w.name()
+        );
+    }
+
+    // The taxonomy is stable: exactly three adversarial shapes, and
+    // they are the ones the stress plans key on.
+    let adversarial: Vec<&str> = zoo
+        .iter()
+        .filter(|w| w.kind() == WorkloadKind::Adversarial)
+        .map(|w| w.name())
+        .collect();
+    assert_eq!(adversarial, ["mouse_flood", "single_elephant", "flow_churn"]);
+}
+
+/// Golden pins for the CAIDA-shaped fit: the fitted sample bank must
+/// sit within tight KS distance of its own target law, reproduce the
+/// published backbone moments, and be visibly far from a misfit law.
+#[test]
+fn caida_fit_pins_published_backbone_shape() {
+    let params = CaidaParams::backbone();
+    let c = CaidaShaped::fit(params, 500, 0xCA1DA).expect("backbone params fit");
+    let samples = c.empirical().samples();
+    assert_eq!(samples.len(), 100_000);
+
+    // Self-fit: the empirical bank vs the analytic target CDF. At
+    // n = 100 000 the 95% KS bound is ≈ 0.0043; 0.01 leaves margin
+    // without admitting a broken fit.
+    let ks = ks_statistic(samples, |s| c.target_cdf(s));
+    assert!(ks < 0.01, "self-fit KS statistic too large: {ks}");
+
+    // Published backbone moments: mean flow size 27.32 packets, 45%
+    // single-packet flows, and a heavy tail (most flows far below the
+    // mean — the mean is carried by the elephants).
+    let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+    assert!(
+        (mean - 27.32).abs() / 27.32 < 0.05,
+        "fitted mean {mean} drifts from 27.32"
+    );
+    // The 45% point mass is a *floor* on single-packet flows (the
+    // power-law body adds its own size-1 draws); the realized fraction
+    // must match the target law's own P(1) exactly.
+    let single = samples.iter().filter(|&&s| s == 1).count() as f64 / samples.len() as f64;
+    assert!(
+        single >= c.params().frac_single_packet - 0.01,
+        "single-packet fraction {single} fell below the injected point mass"
+    );
+    assert!(
+        (single - c.target_cdf(1)).abs() < 0.01,
+        "single-packet fraction {single} drifts from the target law's P(1) = {}",
+        c.target_cdf(1)
+    );
+    let below_mean =
+        samples.iter().filter(|&&s| (s as f64) < mean).count() as f64 / samples.len() as f64;
+    assert!(below_mean > 0.9, "heavy tail: most flows sit below the mean, got {below_mean}");
+
+    // Misfit control: the same bank against a uniform CDF must be far
+    // away — the statistic can actually tell shapes apart.
+    let ks_uniform = ks_statistic(samples, |s| (s as f64 / 100.0).clamp(0.0, 1.0));
+    assert!(ks_uniform > 0.1, "uniform misfit KS too small: {ks_uniform}");
+}
+
+/// Tail-mass golden pin for the CDN family: the top 1% of flows carry
+/// a disproportionate share of packets (Zipf α = 0.9 over a 5 K
+/// catalogue puts ≈ 36% of requests there), while a flat workload's
+/// top 1% carries roughly 1%.
+#[test]
+fn cdn_tail_mass_is_heavy_and_flat_control_is_not() {
+    let cdn = CdnPopularity::new(5_000, 135_000, 0.9, 0.3).expect("valid CDN params");
+    let (_, truth) = cdn.generate(ZOO_SEED);
+    let sizes: Vec<u64> = truth.values().copied().collect();
+    let share = top_share(&sizes, 0.01);
+    assert!(
+        (0.25..0.7).contains(&share),
+        "CDN top-1% share {share} outside golden band"
+    );
+
+    let flat = FlatUniform::new(5_000, 20, 35).expect("valid flat params");
+    let (_, flat_truth) = flat.generate(ZOO_SEED);
+    let flat_sizes: Vec<u64> = flat_truth.values().copied().collect();
+    let flat_share = top_share(&flat_sizes, 0.01);
+    assert!(flat_share < 0.05, "flat top-1% share {flat_share} should be ~1%");
+    assert!(share > 10.0 * flat_share, "tail contrast collapsed");
+}
+
+/// A zoo workload is a replayable artifact: `CZOO` round-trips every
+/// family's trace *and* exact truth bit-identically, encodes
+/// deterministically, and refuses corrupted blobs.
+#[test]
+fn artifacts_round_trip_every_family_and_reject_corruption() {
+    let zoo = standard_zoo(96).expect("standard zoo params are valid");
+    let mut last_blob = Vec::new();
+    for w in &zoo {
+        let (trace, truth) = w.generate(ZOO_SEED);
+        let blob = binfmt::encode_artifact(&trace, &truth);
+        assert_eq!(
+            blob,
+            binfmt::encode_artifact(&trace, &truth),
+            "{}: artifact bytes must be deterministic",
+            w.name()
+        );
+        let (replayed, replayed_truth) =
+            binfmt::decode_artifact(&blob).unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+        assert_eq!(replayed.packets, trace.packets, "{}", w.name());
+        assert_eq!(replayed.num_flows, trace.num_flows, "{}", w.name());
+        assert_eq!(replayed_truth, truth, "{}", w.name());
+        last_blob = blob;
+    }
+
+    // Corruption is rejected, not replayed.
+    let mut truncated = last_blob.clone();
+    truncated.truncate(truncated.len() - 1);
+    assert!(binfmt::decode_artifact(&truncated).is_err(), "truncated blob must fail");
+    let mut bad_magic = last_blob.clone();
+    bad_magic[0] ^= 0xFF;
+    assert!(binfmt::decode_artifact(&bad_magic).is_err(), "bad magic must fail");
+}
+
+/// Mouse flood vs a stalled tail-drop lane: shard 0's consumer never
+/// drains, so its ring fills once and every further packet routed
+/// there is shed. The exact invariant must hold at every chunk, and a
+/// stalled-shard flow's confidence must fall monotonically as the
+/// lane's loss fraction mounts.
+#[test]
+fn mouse_flood_stalled_lane_confidence_decays_monotonically() {
+    let w = MouseFlood::new(2_000, 1).expect("valid mouse flood");
+    let (trace, truth) = w.generate(ZOO_SEED);
+    let cfg = zoo_config(&trace);
+    let plan = stress_plan("mouse_flood");
+    let mut engine = online_engine(cfg, &plan, ONLINE_SHARDS);
+
+    // Deterministically pick a flow that routes to the stalled shard.
+    let mut keys: Vec<FlowId> = truth.keys().copied().collect();
+    keys.sort_unstable();
+    let probe = keys
+        .into_iter()
+        .find(|&f| ConcurrentCaesar::shard_of(f, ONLINE_SHARDS, cfg.seed) == 0)
+        .expect("some mouse routes to the stalled shard");
+
+    let flows: Vec<u64> = trace.packets.iter().map(|p| p.flow).collect();
+    let mut confidences = Vec::new();
+    for chunk in flows.chunks(256) {
+        engine.offer_batch(chunk);
+        let s = engine.stats();
+        assert_eq!(
+            s.offered,
+            s.recorded + s.dropped + s.quarantined + s.in_flight,
+            "accounting invariant must hold at every chunk"
+        );
+        confidences.push(engine.query_health(probe).confidence);
+    }
+
+    let s = engine.stats();
+    assert!(s.dropped > 0, "stalled DropNewest lane must shed packets");
+    assert_eq!(s.quarantined, 0, "no panics were scheduled");
+    assert!(engine.injector().fired_at(FaultSite::RingStall) > 0, "the stall must fire");
+
+    // Loss on the stalled lane only mounts, so confidence only falls —
+    // and by the end the flood has destroyed most of the lane's trust.
+    for pair in confidences.windows(2) {
+        assert!(
+            pair[1] <= pair[0] + 1e-12,
+            "confidence recovered while loss mounted: {confidences:?}"
+        );
+    }
+    let (first, last) = (confidences[0], *confidences.last().unwrap());
+    assert!(last < first - 0.1, "confidence barely moved: {first} -> {last}");
+    let health = engine.query_health(probe);
+    assert!(health.is_degraded());
+    assert!(health.loss_fraction > 0.0);
+}
+
+/// Single elephant vs 10-bit counters: the elephant's mass pins its
+/// `k` shared counters at the clamp value. Saturation only grows
+/// (counters never decrease), so the elephant's saturated-counter
+/// count is monotone up and its confidence monotone down — while the
+/// run stays completely lossless.
+#[test]
+fn single_elephant_saturation_drives_confidence_down() {
+    // 12 000 elephant packets split ~3 ways across its k = 3 shared
+    // counters: ≈ 4 000 per counter, far past the 10-bit clamp (1023).
+    let w = SingleElephant::new(12_000, 200, 6.0, 1_000).expect("valid elephant");
+    let (trace, truth) = w.generate(ZOO_SEED);
+    let elephant = w.elephant_id(ZOO_SEED);
+    assert_eq!(truth[&elephant], 12_000, "elephant id must address the elephant");
+
+    let plan = stress_plan("single_elephant");
+    assert_eq!(plan.counter_bits, 10);
+    let mut engine = online_engine(zoo_config(&trace), &plan, ONLINE_SHARDS);
+
+    let flows: Vec<u64> = trace.packets.iter().map(|p| p.flow).collect();
+    let mut saturated = Vec::new();
+    let mut confidences = Vec::new();
+    for chunk in flows.chunks(flows.len().div_ceil(8)) {
+        engine.offer_batch(chunk);
+        engine.merge_now();
+        let s = engine.stats();
+        assert_eq!(s.offered, s.recorded + s.dropped + s.quarantined + s.in_flight);
+        assert_eq!(s.dropped + s.quarantined, 0, "elephant plan must stay lossless");
+        let h = engine.query_health(elephant);
+        saturated.push(h.saturated_counters);
+        confidences.push(h.confidence);
+    }
+
+    for pair in saturated.windows(2) {
+        assert!(pair[1] >= pair[0], "saturation cannot heal: {saturated:?}");
+    }
+    for pair in confidences.windows(2) {
+        assert!(
+            pair[1] <= pair[0] + 1e-12,
+            "confidence rose under saturation: {confidences:?}"
+        );
+    }
+    // ≥ 2 of 3 counters pinned (exactly 3 in the common case; one may
+    // be shared with enough background mass to matter either way).
+    assert!(
+        *saturated.last().unwrap() >= 2,
+        "elephant's counters must end pinned: {saturated:?}"
+    );
+    assert!(
+        *confidences.last().unwrap() < 0.5,
+        "pinned counters must gut confidence: {confidences:?}"
+    );
+    assert!(engine.sram().saturated_fraction() > 0.0);
+    let h = engine.query_health(elephant);
+    assert!(h.is_degraded());
+    assert_eq!(h.loss_fraction, 0.0, "degradation here is bias, not loss");
+}
+
+/// Flow churn under three scheduled worker panics: each panic
+/// quarantines its in-flight batch remainder, the supervisor respawns
+/// the worker, and the final accounting is exact to the packet — the
+/// quarantined mass never reaches SRAM and is never silently re-added.
+#[test]
+fn flow_churn_panic_quarantine_accounting_is_exact() {
+    // Big enough that shard 0 drains in several `STREAM_CHUNK`-sized
+    // steps — the three panics fire at worker ticks 1, 3 and 5, so the
+    // shard needs at least three separate drain chunks to reach them
+    // (each panic quarantines its chunk's unprocessed remainder).
+    let w = FlowChurn::new(16, 256, 8).expect("valid churn");
+    let (trace, _) = w.generate(ZOO_SEED);
+    assert_eq!(trace.num_packets(), 16 * 256 * 8);
+
+    let plan = stress_plan("flow_churn");
+    assert_eq!(plan.events.len(), 3);
+    let mut engine = online_engine(zoo_config(&trace), &plan, ONLINE_SHARDS);
+
+    let flows: Vec<u64> = trace.packets.iter().map(|p| p.flow).collect();
+    for chunk in flows.chunks(512) {
+        engine.offer_batch(chunk);
+        let s = engine.stats();
+        assert_eq!(
+            s.offered,
+            s.recorded + s.dropped + s.quarantined + s.in_flight,
+            "accounting invariant must hold at every chunk"
+        );
+    }
+    engine.merge_now();
+
+    let stats = engine.stats();
+    assert_eq!(stats.in_flight, 0, "merge_now drains every ring");
+    assert_eq!(stats.dropped, 0, "Block policy never sheds");
+    assert!(stats.quarantined > 0, "panics must quarantine in-flight mass");
+    assert_eq!(stats.recorded + stats.quarantined, stats.offered);
+
+    // The fault log agrees with the injector: all three panics fired,
+    // on shard 0, one respawn each, and the log claims exactness.
+    assert_eq!(engine.injector().fired_at(FaultSite::WorkerPanic), 3);
+    assert_eq!(engine.fault_log(0).panics(), 3);
+    assert!(engine.fault_log(0).is_exact());
+    assert_eq!(engine.lane_stats(0).respawns, 3);
+    for shard in 1..ONLINE_SHARDS {
+        assert_eq!(engine.fault_log(shard).panics(), 0, "panics were pinned to shard 0");
+    }
+
+    // Quarantined packets are really gone: the finished sketch holds
+    // exactly the recorded mass.
+    let recorded = stats.recorded;
+    let finished = engine.finish();
+    assert_eq!(finished.sram().total_added(), recorded);
+}

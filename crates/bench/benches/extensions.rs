@@ -16,6 +16,7 @@ use caesar::{BuildMode, Caesar, ConcurrentCaesar, Estimator, OnlineCaesar};
 use experiments::zoo::{online_engine, stress_plan, zoo_config, ONLINE_SHARDS};
 use flowtrace::zoo::{standard_zoo, ZOO_SEED};
 use memsim::{PacketWork, Pipeline};
+use service::{InProcess, MeasurementClient, MeasurementService, TcpServer, TcpTransport};
 use std::hint::black_box;
 use support::rand::{rngs::StdRng, SeedableRng};
 use support::timing::Harness;
@@ -320,6 +321,78 @@ fn zoo_ingest() {
     g.finish();
 }
 
+fn zoo_merge_and_service() {
+    // PR 7: the cluster-view path. `zoo_merge` prices folding three
+    // taps' frozen sketches into an empty cluster view, per family —
+    // merge cost is O(L) counter adds and the per-family `zoo_config`
+    // geometry makes L a function of traffic shape, so families
+    // differ. `service` prices the wire: payload codec, the in-process
+    // push + 64-flow query through the full frame path, and the same
+    // query over a live loopback TCP socket.
+    let zoo = standard_zoo(2_000).expect("standard zoo parameters are valid");
+    let mut g = Harness::new("zoo_merge");
+    let mut cdn_setup = None;
+    for w in &zoo {
+        let (trace, _) = w.generate(ZOO_SEED);
+        let cfg = zoo_config(&trace);
+        let packets: Vec<u64> = trace.packets.iter().map(|p| p.flow).collect();
+        let mut slices: Vec<Vec<u64>> = vec![Vec::new(); 3];
+        for (i, &f) in packets.iter().enumerate() {
+            slices[i % 3].push(f);
+        }
+        let payloads: Vec<caesar::SketchPayload> = slices
+            .iter()
+            .map(|s| ConcurrentCaesar::build(cfg, 2, s).export_sketch())
+            .collect();
+        g.bench(&format!("merge_3_taps_{}", w.name()), || {
+            let mut cluster = ConcurrentCaesar::empty(cfg);
+            for p in &payloads {
+                cluster.merge_sketch(p).expect("same fleet config");
+            }
+            black_box(cluster.sram().total_added());
+        });
+        if w.name() == "cdn" {
+            let flow_sample: Vec<u64> = packets.iter().step_by(97).take(64).copied().collect();
+            cdn_setup = Some((cfg, payloads, flow_sample));
+        }
+    }
+    g.finish();
+
+    let (cfg, payloads, flow_sample) = cdn_setup.expect("zoo has the cdn family");
+    let mut g = Harness::new("service");
+    g.bench("payload_encode_decode", || {
+        let bytes = payloads[0].encode();
+        black_box(caesar::SketchPayload::decode(&bytes).expect("round trip"));
+    });
+    g.bench("inprocess_push3_query64", || {
+        let svc = MeasurementService::new(cfg);
+        let mut client =
+            MeasurementClient::connect(InProcess::new(&svc), &svc.fingerprint()).expect("hello");
+        for p in &payloads {
+            client.push_sketch(p).expect("push");
+        }
+        let (_, values) = client.query(&flow_sample).expect("query");
+        black_box(values);
+    });
+    let svc = std::sync::Arc::new(MeasurementService::new(cfg));
+    for p in &payloads {
+        svc.push(p).expect("push");
+    }
+    let server = TcpServer::spawn(std::sync::Arc::clone(&svc), "127.0.0.1:0").expect("bind");
+    let mut client = MeasurementClient::connect(
+        TcpTransport::connect(server.addr()).expect("connect"),
+        &svc.fingerprint(),
+    )
+    .expect("hello");
+    g.bench("tcp_query64_round_trip", || {
+        let (_, values) = client.query(&flow_sample).expect("query");
+        black_box(values);
+    });
+    g.finish();
+    drop(client);
+    server.stop();
+}
+
 fn main() {
     braids();
     sac_and_sampling();
@@ -327,4 +400,5 @@ fn main() {
     parallel_query();
     pipeline_and_rcs();
     zoo_ingest();
+    zoo_merge_and_service();
 }

@@ -8,6 +8,7 @@
 //! query phase. (See the "Rust Atomics and Locks" guidance: use the
 //! weakest ordering the algorithm admits.)
 
+use crate::merge::MergeError;
 use std::sync::atomic::{AtomicU64, Ordering};
 use support::spsc::CachePadded;
 
@@ -250,6 +251,51 @@ impl AtomicCounterArray {
             arr.tallies[i].saturations.store(sat, Ordering::Relaxed);
         }
         arr
+    }
+
+    /// Saturation-aware merge: add `other`'s counters element-wise
+    /// (clamping at `max_value`, counting each crossing as a
+    /// saturation event on stripe 0) and fold its offered-units and
+    /// saturation tallies. Rejects mismatched geometry with a typed
+    /// [`MergeError`]. Stripe counts may differ — stripes are an
+    /// ingest-side layout detail, not part of the sketch identity.
+    pub fn merge_from(&self, other: &AtomicCounterArray) -> Result<(), MergeError> {
+        if self.bits != other.bits {
+            return Err(MergeError::Geometry {
+                field: "counter_bits",
+                ours: u64::from(self.bits),
+                theirs: u64::from(other.bits),
+            });
+        }
+        self.merge_counters(&other.snapshot(), other.total_added(), other.saturations())
+    }
+
+    /// The raw-slice half of [`AtomicCounterArray::merge_from`]: fold a
+    /// frozen counter snapshot plus its producer's tallies into this
+    /// array. This is what a wire-pushed [`crate::SketchPayload`]
+    /// merges through — the producing array no longer exists on this
+    /// node, only its values do.
+    pub fn merge_counters(
+        &self,
+        counters: &[u64],
+        total_added: u64,
+        saturation_events: u64,
+    ) -> Result<(), MergeError> {
+        if self.counters.len() != counters.len() {
+            return Err(MergeError::Geometry {
+                field: "counters",
+                ours: self.counters.len() as u64,
+                theirs: counters.len() as u64,
+            });
+        }
+        for (idx, &v) in counters.iter().enumerate() {
+            if v > 0 {
+                self.add_counter(idx, v, 0);
+            }
+        }
+        self.tallies[0].total_added.fetch_add(total_added, Ordering::Relaxed);
+        self.tallies[0].saturations.fetch_add(saturation_events, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Charge `events` saturation events to `stripe` without touching
@@ -522,6 +568,62 @@ mod tests {
         });
         assert_eq!(a.sum(), threads as u64 * per_thread);
         assert_eq!(a.total_added(), threads as u64 * per_thread);
+    }
+
+    #[test]
+    fn merge_from_sums_values_and_tallies() {
+        let a = AtomicCounterArray::new(4, 16);
+        let b = AtomicCounterArray::with_stripes(4, 16, 3); // stripe counts may differ
+        a.add(0, 5);
+        b.add(0, 3);
+        b.add(2, 9);
+        a.merge_from(&b).unwrap();
+        assert_eq!(a.snapshot(), vec![8, 0, 9, 0]);
+        assert_eq!(a.total_added(), 17);
+        assert_eq!(a.saturations(), 0);
+    }
+
+    #[test]
+    fn merge_from_clamps_and_flags() {
+        let a = AtomicCounterArray::new(2, 4); // max 15
+        let b = AtomicCounterArray::new(2, 4);
+        a.add(0, 10);
+        b.add(0, 10); // merged crossing
+        b.add(1, 100); // b's own saturation folds in
+        a.merge_from(&b).unwrap();
+        assert_eq!(a.get(0), 15);
+        assert_eq!(a.get(1), 15);
+        assert_eq!(a.saturations(), 2);
+        assert_eq!(a.total_added(), 120);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_geometry() {
+        let a = AtomicCounterArray::new(4, 16);
+        assert!(matches!(
+            a.merge_from(&AtomicCounterArray::new(4, 8)),
+            Err(MergeError::Geometry { field: "counter_bits", .. })
+        ));
+        assert!(matches!(
+            a.merge_counters(&[1, 2, 3], 6, 0),
+            Err(MergeError::Geometry { field: "counters", .. })
+        ));
+    }
+
+    #[test]
+    fn merge_counters_matches_merge_from() {
+        let a = AtomicCounterArray::new(4, 16);
+        let b = AtomicCounterArray::new(4, 16);
+        for i in 0..4 {
+            a.add(i, i as u64 + 1);
+            b.add(i, 10 * (i as u64 + 1));
+        }
+        let via_from = AtomicCounterArray::restore(16, &a.snapshot(), &a.tally_snapshot());
+        via_from.merge_from(&b).unwrap();
+        a.merge_counters(&b.snapshot(), b.total_added(), b.saturations()).unwrap();
+        assert_eq!(a.snapshot(), via_from.snapshot());
+        assert_eq!(a.total_added(), via_from.total_added());
+        assert_eq!(a.saturations(), via_from.saturations());
     }
 
     #[test]

@@ -45,7 +45,9 @@ use crate::atomic_sram::{
 };
 use crate::config::{CaesarConfig, Estimator};
 use crate::estimator::{csm, mlm, Estimate, EstimateParams};
+use crate::merge::{MergeError, SketchFingerprint, SketchPayload};
 use crate::pipeline::SRAM_PREFETCH_MIN_BYTES;
+use crate::query::QueryHealth;
 use cachesim::{CacheConfig, CacheTable, CacheTableState};
 use hashkit::mix::{bucket, mix64};
 use hashkit::{KCounterMap, K_MAX};
@@ -1068,6 +1070,83 @@ impl ConcurrentCaesar {
             .map(|e| e.clamped())
             .collect()
     }
+
+    /// Health-annotated default-estimator query. Offline sketches have
+    /// no ingest loss, so only saturation can degrade confidence — on
+    /// a merged cluster view that includes saturation folded in from
+    /// every contributing node.
+    pub fn query_health(&self, flow: u64) -> QueryHealth {
+        crate::query::query_health(
+            &self.kmap,
+            &self.sram,
+            &self.params(),
+            self.cfg.estimator,
+            flow,
+            0.0,
+        )
+    }
+
+    /// The identity two sketches must share to merge (see
+    /// [`SketchFingerprint`]).
+    pub fn fingerprint(&self) -> SketchFingerprint {
+        SketchFingerprint::of(&self.cfg)
+    }
+
+    /// A zero-traffic sketch — the merge identity. An aggregator
+    /// starts here and folds every node's [`SketchPayload`] in to form
+    /// the cluster view.
+    ///
+    /// # Panics
+    /// Panics on invalid configurations.
+    pub fn empty(cfg: CaesarConfig) -> Self {
+        let (sram, kmap, _) = Self::scaffold(&cfg, 1);
+        Self::assemble(cfg, 1, sram, kmap, Vec::new())
+    }
+
+    /// Merge another finished sketch into this one: counter-wise
+    /// saturating add with both sides' saturation tallies folded (see
+    /// [`AtomicCounterArray::merge_from`]), plus the ingest statistics.
+    /// Shard counts may differ — sharding is an ingest-side layout
+    /// choice, the shared SRAM is what merges.
+    ///
+    /// Below the clamp this is exact linearity: with identical
+    /// geometry and seeds, every flow maps to the same `k` counters on
+    /// both sides, so the merged view queries as if one box had seen
+    /// both streams. At the clamp the merge stays honest: sums pin at
+    /// `max_value` and are flagged, degrading
+    /// [`QueryHealth::confidence`] instead of silently under-counting.
+    pub fn merge(&mut self, other: &ConcurrentCaesar) -> Result<(), MergeError> {
+        self.fingerprint().expect_matches(&other.fingerprint())?;
+        self.sram.merge_from(&other.sram)?;
+        self.ingest.merge(&other.ingest);
+        Ok(())
+    }
+
+    /// Export the wire-transportable state: what a measurement node
+    /// pushes to an aggregator (`PushSketch` in the service protocol).
+    pub fn export_sketch(&self) -> SketchPayload {
+        SketchPayload {
+            fingerprint: self.fingerprint(),
+            counters: self.sram.snapshot(),
+            total_added: self.sram.total_added(),
+            saturation_events: self.sram.saturations(),
+            evictions: self.ingest.evictions,
+        }
+    }
+
+    /// Fold a pushed [`SketchPayload`] into this sketch — the
+    /// aggregator half of [`ConcurrentCaesar::export_sketch`]. Same
+    /// semantics as [`ConcurrentCaesar::merge`].
+    pub fn merge_sketch(&mut self, payload: &SketchPayload) -> Result<(), MergeError> {
+        self.fingerprint().expect_matches(&payload.fingerprint)?;
+        self.sram.merge_counters(
+            &payload.counters,
+            payload.total_added,
+            payload.saturation_events,
+        )?;
+        self.ingest.evictions += payload.evictions;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -1384,5 +1463,99 @@ mod tests {
         // close and drain (no hang when shards exceed trace length).
         let c = ConcurrentCaesar::build_with_mode(cfg(), 8, &[], BuildMode::Pinned);
         assert_eq!(c.sram().total_added(), 0);
+    }
+
+    #[test]
+    fn empty_is_the_merge_identity() {
+        let flows = workload();
+        let built = ConcurrentCaesar::build(cfg(), 2, &flows);
+        let mut agg = ConcurrentCaesar::empty(cfg());
+        assert_eq!(agg.sram().total_added(), 0);
+        agg.merge(&built).unwrap();
+        assert_eq!(agg.sram().snapshot(), built.sram().snapshot());
+        assert_eq!(agg.sram().total_added(), built.sram().total_added());
+        assert_eq!(agg.evictions(), built.evictions());
+        // Queries on the merged view match the original sketch exactly.
+        let big = mix64(63);
+        assert_eq!(agg.query(big).to_bits(), built.query(big).to_bits());
+    }
+
+    #[test]
+    fn merge_conserves_total_mass() {
+        let flows = workload();
+        let (a_flows, b_flows) = flows.split_at(flows.len() / 2);
+        let a = ConcurrentCaesar::build(cfg(), 2, a_flows);
+        let b = ConcurrentCaesar::build(cfg(), 4, b_flows);
+        let mut merged = ConcurrentCaesar::empty(cfg());
+        merged.merge(&a).unwrap();
+        merged.merge(&b).unwrap();
+        assert_eq!(
+            merged.sram().total_added(),
+            a.sram().total_added() + b.sram().total_added()
+        );
+        assert_eq!(merged.sram().sum(), a.sram().sum() + b.sram().sum());
+        assert_eq!(merged.evictions(), a.evictions() + b.evictions());
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_fingerprints() {
+        let mut a = ConcurrentCaesar::empty(cfg());
+        let b = ConcurrentCaesar::empty(CaesarConfig { k: 4, ..cfg() });
+        assert!(matches!(
+            a.merge(&b),
+            Err(MergeError::Geometry { field: "k", .. })
+        ));
+        let c = ConcurrentCaesar::empty(CaesarConfig { seed: 99, ..cfg() });
+        assert!(matches!(a.merge(&c), Err(MergeError::Seed { .. })));
+    }
+
+    #[test]
+    fn sketch_payload_roundtrip_merges_identically() {
+        let flows = workload();
+        let (a_flows, b_flows) = flows.split_at(flows.len() / 3);
+        let a = ConcurrentCaesar::build(cfg(), 1, a_flows);
+        let b = ConcurrentCaesar::build(cfg(), 2, b_flows);
+
+        // Path 1: in-process merge of live sketches.
+        let mut direct = ConcurrentCaesar::empty(cfg());
+        direct.merge(&a).unwrap();
+        direct.merge(&b).unwrap();
+
+        // Path 2: wire payloads (encode → decode → merge_sketch).
+        let mut wired = ConcurrentCaesar::empty(cfg());
+        for node in [&a, &b] {
+            let bytes = node.export_sketch().encode();
+            let payload = SketchPayload::decode(&bytes).unwrap();
+            wired.merge_sketch(&payload).unwrap();
+        }
+
+        assert_eq!(direct.sram().snapshot(), wired.sram().snapshot());
+        assert_eq!(direct.sram().total_added(), wired.sram().total_added());
+        assert_eq!(direct.sram().saturations(), wired.sram().saturations());
+        assert_eq!(direct.evictions(), wired.evictions());
+    }
+
+    #[test]
+    fn merged_view_health_reports_folded_saturation() {
+        let flows = workload();
+        let built = ConcurrentCaesar::build(cfg(), 2, &flows);
+        let mut agg = ConcurrentCaesar::empty(cfg());
+        agg.merge(&built).unwrap();
+        let healthy = agg.query_health(mix64(63));
+        assert!(!healthy.is_degraded());
+        assert_eq!(healthy.confidence, 1.0);
+        // Fold in a payload carrying saturation events: confidence on
+        // flows touching pinned counters must degrade.
+        let mut sat_payload = built.export_sketch();
+        let cap = (1u64 << cfg().counter_bits) - 1;
+        for c in sat_payload.counters.iter_mut() {
+            *c = cap;
+        }
+        sat_payload.saturation_events = 1;
+        agg.merge_sketch(&sat_payload).unwrap();
+        let degraded = agg.query_health(mix64(63));
+        assert!(degraded.is_degraded());
+        assert!(degraded.confidence < healthy.confidence);
+        assert_eq!(degraded.saturated_counters, cfg().k);
     }
 }

@@ -53,6 +53,7 @@ pub mod epochs;
 pub mod estimator;
 pub mod gaussian;
 pub mod heavy_hitters;
+pub mod merge;
 pub mod online;
 pub mod packed;
 pub mod pipeline;
@@ -68,6 +69,7 @@ pub use concurrent::{
 };
 pub use epochs::{ConcurrentEpoch, EpochedCaesar, EpochedConcurrentCaesar};
 pub use heavy_hitters::{DetectionReport, Hitter};
+pub use merge::{MergeError, PayloadError, SketchFingerprint, SketchPayload};
 pub use online::{
     BackpressurePolicy, FaultKind, FaultLog, FaultRecord, LaneStats, OnlineCaesar, OnlineStats,
     RestoreError, DEFAULT_EPOCH_LEN, DEFAULT_WATCHDOG_DEADLINE,

@@ -1,0 +1,378 @@
+//! Mergeable sketches: the cluster-view primitive.
+//!
+//! CAESAR's shared-counter SRAM is *linear*: two sketches built with
+//! the same geometry and seeds map every flow onto the same `k`
+//! counters, so their counter arrays sum counter-wise and the union
+//! queries exactly as if one box had seen both packet streams. That is
+//! what turns N independent linecard engines into one cluster-wide
+//! measurement view.
+//!
+//! The one place a naive counter-wise sum goes wrong is saturation: a
+//! counter clamped at `max_value` on one node, summed past the clamp
+//! during a merge, would silently read as an ordinary (unsaturated)
+//! value and every sharing flow would be under-estimated with no
+//! warning. Merging here is therefore *saturation-aware*: sums clamp
+//! at `max_value`, each crossing is counted as a saturation event, and
+//! both sides' prior event tallies fold into the result — so
+//! [`crate::QueryHealth`] confidence degrades on the merged view
+//! exactly as it would have on a single overloaded node.
+//!
+//! Mismatched configurations are rejected with a typed [`MergeError`]
+//! instead of producing silently-wrong sums; [`SketchFingerprint`]
+//! captures exactly the fields two sketches must share. The
+//! wire-transportable form of a sketch is [`SketchPayload`] — what a
+//! measurement node pushes to an aggregator (see the `service` crate).
+
+use crate::config::{CaesarConfig, Estimator};
+use support::bytesx::{ByteReader, PutBytes};
+
+/// Everything two sketches must share for their counter arrays to be
+/// summable *and* for the merged view to answer queries identically:
+/// the SRAM geometry (`L`, counter width), the per-flow mapping
+/// (`k`, master seed — the hash family), the estimator the view will
+/// serve, and the cache capacity `y` the estimators' noise model uses.
+///
+/// Deliberately **not** part of the fingerprint: `cache_entries` and
+/// the replacement policy. They shape *when* mass is evicted on each
+/// node, not *where* it lands — taps with different on-chip budgets
+/// still merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SketchFingerprint {
+    /// Number of shared SRAM counters `L`.
+    pub counters: usize,
+    /// Bits per counter (fixes the clamp value).
+    pub counter_bits: u32,
+    /// Mapped counters per flow `k`.
+    pub k: usize,
+    /// Cache entry capacity `y` (an estimator parameter).
+    pub entry_capacity: u64,
+    /// Master seed — the whole hash family.
+    pub seed: u64,
+    /// Default estimator the merged view serves.
+    pub estimator: Estimator,
+}
+
+/// Serialized size of a fingerprint (see
+/// [`SketchFingerprint::encode_into`]).
+pub const FINGERPRINT_BYTES: usize = 8 + 4 + 8 + 8 + 8 + 1;
+
+impl SketchFingerprint {
+    /// The fingerprint of a configuration.
+    pub fn of(cfg: &CaesarConfig) -> Self {
+        Self {
+            counters: cfg.counters,
+            counter_bits: cfg.counter_bits,
+            k: cfg.k,
+            entry_capacity: cfg.entry_capacity,
+            seed: cfg.seed,
+            estimator: cfg.estimator,
+        }
+    }
+
+    /// FNV-1a fold of every field — a compact identity for logs and
+    /// wire handshakes. Equal fingerprints have equal digests; a digest
+    /// alone cannot name *which* field diverged (compare the structs
+    /// for that).
+    pub fn digest(&self) -> u64 {
+        let mut buf = Vec::with_capacity(FINGERPRINT_BYTES);
+        self.encode_into(&mut buf);
+        hashkit::fnv::fnv1a64(&buf)
+    }
+
+    /// Typed compatibility check: `Ok(())` when `other` can merge into
+    /// a sketch with this fingerprint, the first mismatching field as
+    /// a [`MergeError`] otherwise.
+    pub fn expect_matches(&self, other: &Self) -> Result<(), MergeError> {
+        let geometry = [
+            ("counters", self.counters as u64, other.counters as u64),
+            ("counter_bits", u64::from(self.counter_bits), u64::from(other.counter_bits)),
+            ("k", self.k as u64, other.k as u64),
+            ("entry_capacity", self.entry_capacity, other.entry_capacity),
+        ];
+        for (field, ours, theirs) in geometry {
+            if ours != theirs {
+                return Err(MergeError::Geometry { field, ours, theirs });
+            }
+        }
+        if self.seed != other.seed {
+            return Err(MergeError::Seed { ours: self.seed, theirs: other.seed });
+        }
+        if self.estimator != other.estimator {
+            return Err(MergeError::Estimator {
+                ours: self.estimator,
+                theirs: other.estimator,
+            });
+        }
+        Ok(())
+    }
+
+    /// Append the fixed-width encoding ([`FINGERPRINT_BYTES`] bytes).
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.put_u64_le(self.counters as u64);
+        buf.put_u32_le(self.counter_bits);
+        buf.put_u64_le(self.k as u64);
+        buf.put_u64_le(self.entry_capacity);
+        buf.put_u64_le(self.seed);
+        buf.push(match self.estimator {
+            Estimator::Csm => 0,
+            Estimator::Mlm => 1,
+        });
+    }
+
+    /// Decode [`SketchFingerprint::encode_into`] output from a reader.
+    /// `None` on truncation or an unknown estimator tag.
+    pub fn decode_from(r: &mut ByteReader) -> Option<Self> {
+        let counters = r.get_u64_le()? as usize;
+        let counter_bits = r.get_u32_le()?;
+        let k = r.get_u64_le()? as usize;
+        let entry_capacity = r.get_u64_le()?;
+        let seed = r.get_u64_le()?;
+        let estimator = match r.get_u8()? {
+            0 => Estimator::Csm,
+            1 => Estimator::Mlm,
+            _ => return None,
+        };
+        Some(Self { counters, counter_bits, k, entry_capacity, seed, estimator })
+    }
+}
+
+/// Why two sketches refused to merge. Every variant names what this
+/// side expected (`ours`) and what the other side carried (`theirs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeError {
+    /// A geometry field differs (counter count, width, `k`, or `y`).
+    Geometry {
+        /// Which field diverged.
+        field: &'static str,
+        /// This side's value.
+        ours: u64,
+        /// The other side's value.
+        theirs: u64,
+    },
+    /// The master seeds differ — the hash families map flows to
+    /// different counters, so summing would mix unrelated flows.
+    Seed {
+        /// This side's seed.
+        ours: u64,
+        /// The other side's seed.
+        theirs: u64,
+    },
+    /// The default estimators differ — merged queries would silently
+    /// answer with a different de-noising model than the pushing node
+    /// calibrated for.
+    Estimator {
+        /// This side's estimator.
+        ours: Estimator,
+        /// The other side's estimator.
+        theirs: Estimator,
+    },
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::Geometry { field, ours, theirs } => {
+                write!(f, "sketch geometry mismatch: {field} is {ours} here, {theirs} there")
+            }
+            MergeError::Seed { ours, theirs } => {
+                write!(f, "sketch seed mismatch: {ours:#x} here, {theirs:#x} there")
+            }
+            MergeError::Estimator { ours, theirs } => write!(
+                f,
+                "sketch estimator mismatch: {} here, {} there",
+                ours.name(),
+                theirs.name()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Magic prefix of an encoded [`SketchPayload`].
+pub const PAYLOAD_MAGIC: &[u8; 4] = b"CSKP";
+/// Current payload encoding version.
+pub const PAYLOAD_VERSION: u16 = 1;
+
+/// Errors from decoding a [`SketchPayload`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PayloadError {
+    /// Stream did not start with [`PAYLOAD_MAGIC`].
+    BadMagic,
+    /// Unknown encoding version.
+    BadVersion(u16),
+    /// Fewer bytes than the header promised, or a malformed field.
+    Truncated,
+}
+
+impl std::fmt::Display for PayloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PayloadError::BadMagic => write!(f, "not a sketch payload"),
+            PayloadError::BadVersion(v) => write!(f, "unsupported sketch payload version {v}"),
+            PayloadError::Truncated => write!(f, "sketch payload truncated"),
+        }
+    }
+}
+
+impl std::error::Error for PayloadError {}
+
+/// The wire-transportable state of one node's sketch: fingerprint,
+/// frozen counters, and the tallies the merged view must fold to stay
+/// honest. This is what `PushSketch` carries in the service protocol
+/// and what [`crate::ConcurrentCaesar::merge_sketch`] consumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SketchPayload {
+    /// Identity of the producing configuration.
+    pub fingerprint: SketchFingerprint,
+    /// The `L` frozen counter values.
+    pub counters: Vec<u64>,
+    /// Units offered to the producing array (the estimators' `n`).
+    pub total_added: u64,
+    /// Saturating-add events the producer observed.
+    pub saturation_events: u64,
+    /// Eviction events behind those counters (diagnostics).
+    pub evictions: u64,
+}
+
+impl SketchPayload {
+    /// Fixed-width binary encoding (little-endian throughout):
+    ///
+    /// ```text
+    /// magic "CSKP", version u16
+    /// fingerprint (FINGERPRINT_BYTES)
+    /// total_added u64, saturation_events u64, evictions u64
+    /// num_counters u64, then each counter u64
+    /// ```
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(4 + 2 + FINGERPRINT_BYTES + 32 + self.counters.len() * 8);
+        buf.put_slice(PAYLOAD_MAGIC);
+        buf.put_u16_le(PAYLOAD_VERSION);
+        self.fingerprint.encode_into(&mut buf);
+        buf.put_u64_le(self.total_added);
+        buf.put_u64_le(self.saturation_events);
+        buf.put_u64_le(self.evictions);
+        buf.put_u64_le(self.counters.len() as u64);
+        for &c in &self.counters {
+            buf.put_u64_le(c);
+        }
+        buf
+    }
+
+    /// Decode [`SketchPayload::encode`] output.
+    pub fn decode(data: &[u8]) -> Result<Self, PayloadError> {
+        let mut r = ByteReader::new(data);
+        let magic = r.get_array::<4>().ok_or(PayloadError::BadMagic)?;
+        if &magic != PAYLOAD_MAGIC {
+            return Err(PayloadError::BadMagic);
+        }
+        let version = r.get_u16_le().ok_or(PayloadError::Truncated)?;
+        if version != PAYLOAD_VERSION {
+            return Err(PayloadError::BadVersion(version));
+        }
+        let fingerprint =
+            SketchFingerprint::decode_from(&mut r).ok_or(PayloadError::Truncated)?;
+        let total_added = r.get_u64_le().ok_or(PayloadError::Truncated)?;
+        let saturation_events = r.get_u64_le().ok_or(PayloadError::Truncated)?;
+        let evictions = r.get_u64_le().ok_or(PayloadError::Truncated)?;
+        let num = r.get_u64_le().ok_or(PayloadError::Truncated)? as usize;
+        if r.remaining() < num.saturating_mul(8) {
+            return Err(PayloadError::Truncated);
+        }
+        let mut counters = Vec::with_capacity(num);
+        for _ in 0..num {
+            counters.push(r.get_u64_le().ok_or(PayloadError::Truncated)?);
+        }
+        Ok(Self { fingerprint, counters, total_added, saturation_events, evictions })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp() -> SketchFingerprint {
+        SketchFingerprint::of(&CaesarConfig::default())
+    }
+
+    #[test]
+    fn fingerprint_roundtrips_and_digests_stably() {
+        let a = fp();
+        let mut buf = Vec::new();
+        a.encode_into(&mut buf);
+        assert_eq!(buf.len(), FINGERPRINT_BYTES);
+        let b = SketchFingerprint::decode_from(&mut ByteReader::new(&buf)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+        let other = SketchFingerprint { seed: a.seed ^ 1, ..a };
+        assert_ne!(a.digest(), other.digest());
+    }
+
+    #[test]
+    fn expect_matches_names_the_diverging_field() {
+        let a = fp();
+        assert_eq!(a.expect_matches(&a), Ok(()));
+        let geo = SketchFingerprint { counters: a.counters + 1, ..a };
+        assert!(matches!(
+            a.expect_matches(&geo),
+            Err(MergeError::Geometry { field: "counters", .. })
+        ));
+        let width = SketchFingerprint { counter_bits: a.counter_bits - 1, ..a };
+        assert!(matches!(
+            a.expect_matches(&width),
+            Err(MergeError::Geometry { field: "counter_bits", .. })
+        ));
+        let seed = SketchFingerprint { seed: a.seed ^ 0xFF, ..a };
+        assert!(matches!(a.expect_matches(&seed), Err(MergeError::Seed { .. })));
+        let est = SketchFingerprint { estimator: Estimator::Mlm, ..a };
+        assert!(matches!(a.expect_matches(&est), Err(MergeError::Estimator { .. })));
+    }
+
+    #[test]
+    fn merge_errors_render() {
+        let a = fp();
+        let seed = SketchFingerprint { seed: 7, ..a };
+        let msg = a.expect_matches(&seed).unwrap_err().to_string();
+        assert!(msg.contains("seed mismatch"), "{msg}");
+        let est = SketchFingerprint { estimator: Estimator::Mlm, ..a };
+        let msg = a.expect_matches(&est).unwrap_err().to_string();
+        assert!(msg.contains("csm") && msg.contains("mlm"), "{msg}");
+    }
+
+    #[test]
+    fn payload_roundtrips() {
+        let p = SketchPayload {
+            fingerprint: fp(),
+            counters: vec![0, 1, u64::MAX >> 1, 42],
+            total_added: 1_000,
+            saturation_events: 3,
+            evictions: 17,
+        };
+        let enc = p.encode();
+        let dec = SketchPayload::decode(&enc).unwrap();
+        assert_eq!(dec, p);
+    }
+
+    #[test]
+    fn payload_rejects_garbage() {
+        assert_eq!(SketchPayload::decode(b"nope"), Err(PayloadError::BadMagic));
+        let p = SketchPayload {
+            fingerprint: fp(),
+            counters: vec![1, 2, 3],
+            total_added: 6,
+            saturation_events: 0,
+            evictions: 1,
+        };
+        let enc = p.encode();
+        assert_eq!(
+            SketchPayload::decode(&enc[..enc.len() - 1]),
+            Err(PayloadError::Truncated)
+        );
+        let mut wrong = enc.clone();
+        wrong[4] = 0xEE;
+        assert!(matches!(
+            SketchPayload::decode(&wrong),
+            Err(PayloadError::BadVersion(_))
+        ));
+    }
+}

@@ -71,6 +71,7 @@ use crate::concurrent::{
 };
 use crate::config::{CaesarConfig, Estimator};
 use crate::estimator::{csm, mlm, Estimate, EstimateParams};
+use crate::merge::{MergeError, SketchFingerprint};
 use crate::query::{query_health, QueryHealth};
 use crate::WRITEBACK_ACCUMULATE_ALL;
 use cachesim::{CachePolicy, CacheStats, CacheTableState};
@@ -830,6 +831,10 @@ impl OnlineCaesar {
     pub fn snapshot(&mut self) -> Vec<u8> {
         let mut buf = Vec::new();
         buf.put_u16_le(SNAP_VERSION);
+        // The sketch identity leads the blob so a peer can check merge
+        // compatibility (see [`SketchFingerprint`]) without decoding —
+        // or trusting — the rest of the state.
+        SketchFingerprint::of(&self.cfg).encode_into(&mut buf);
         encode_config(&mut buf, &self.cfg);
         buf.put_u64_le(self.shards as u64);
         buf.put_slice(&[self.policy.to_u8()]);
@@ -900,7 +905,11 @@ impl OnlineCaesar {
         if version != SNAP_VERSION {
             return Err(RestoreError::UnsupportedVersion(version));
         }
+        let fingerprint = SketchFingerprint::decode_from(&mut r).ok_or(RestoreError::Truncated)?;
         let cfg = decode_config(&mut r)?;
+        if fingerprint != SketchFingerprint::of(&cfg) {
+            return Err(RestoreError::Corrupt("fingerprint disagrees with config"));
+        }
         let shards = get_usize(&mut r)?;
         if shards == 0 {
             return Err(RestoreError::Corrupt("zero shards"));
@@ -1028,11 +1037,43 @@ impl OnlineCaesar {
             injector: FaultInjector::none(),
         })
     }
+
+    /// Read just the [`SketchFingerprint`] embedded in a snapshot blob
+    /// — the cheap compatibility probe an aggregator runs before
+    /// committing to a full [`OnlineCaesar::restore`] of a peer node's
+    /// state. Validates the seal, so a truncated or bit-flipped blob
+    /// is rejected here too.
+    pub fn snapshot_fingerprint(bytes: &[u8]) -> Result<SketchFingerprint, RestoreError> {
+        let payload = unseal(bytes)?;
+        let mut r = ByteReader::new(payload);
+        let version = r.get_u16_le().ok_or(RestoreError::Truncated)?;
+        if version != SNAP_VERSION {
+            return Err(RestoreError::UnsupportedVersion(version));
+        }
+        SketchFingerprint::decode_from(&mut r).ok_or(RestoreError::Truncated)
+    }
+
+    /// [`OnlineCaesar::restore`] gated on merge compatibility: the
+    /// blob's embedded fingerprint must match `expected` (typically
+    /// the local sketch's [`ConcurrentCaesar::fingerprint`]), so a
+    /// node cannot accidentally restore-and-merge a peer snapshot
+    /// built with different geometry, seed or estimator — the mismatch
+    /// comes back as a typed [`MergeError`] naming the field.
+    pub fn restore_expecting(
+        bytes: &[u8],
+        expected: &SketchFingerprint,
+    ) -> Result<Self, RestoreError> {
+        let found = Self::snapshot_fingerprint(bytes)?;
+        expected
+            .expect_matches(&found)
+            .map_err(RestoreError::Incompatible)?;
+        Self::restore(bytes)
+    }
 }
 
 /// Snapshot payload layout version (bump on layout changes; the sealed
 /// footer's own version is managed by [`support::bytesx`]).
-const SNAP_VERSION: u16 = 1;
+const SNAP_VERSION: u16 = 2;
 
 /// Why [`OnlineCaesar::restore`] rejected a blob.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -1046,6 +1087,10 @@ pub enum RestoreError {
     UnsupportedVersion(u16),
     /// A field decoded but violates an internal invariant.
     Corrupt(&'static str),
+    /// The blob is valid but belongs to an incompatible sketch: its
+    /// fingerprint differs from the expected one (see
+    /// [`OnlineCaesar::restore_expecting`]).
+    Incompatible(MergeError),
 }
 
 impl From<SealError> for RestoreError {
@@ -1063,6 +1108,9 @@ impl std::fmt::Display for RestoreError {
                 write!(f, "snapshot layout version {v} not supported")
             }
             RestoreError::Corrupt(what) => write!(f, "snapshot corrupt: {what}"),
+            RestoreError::Incompatible(e) => {
+                write!(f, "snapshot belongs to an incompatible sketch: {e}")
+            }
         }
     }
 }
@@ -1565,5 +1613,64 @@ mod tests {
         ));
         // The pristine blob still restores.
         assert!(OnlineCaesar::restore(&blob).is_ok());
+    }
+
+    #[test]
+    fn snapshot_embeds_fingerprint() {
+        let mut online = OnlineCaesar::new(cfg(), 2);
+        online.offer_batch(&workload(2_000));
+        let blob = online.snapshot();
+        let fp = OnlineCaesar::snapshot_fingerprint(&blob).expect("peek");
+        assert_eq!(fp, SketchFingerprint::of(&cfg()));
+        // Peeking validates the seal too.
+        assert!(OnlineCaesar::snapshot_fingerprint(&blob[..8]).is_err());
+    }
+
+    #[test]
+    fn restore_expecting_rejects_mismatched_sketches() {
+        let mut online = OnlineCaesar::new(cfg(), 2);
+        online.offer_batch(&workload(2_000));
+        let blob = online.snapshot();
+
+        // Matching expectation restores and resumes.
+        let ours = SketchFingerprint::of(&cfg());
+        let restored = OnlineCaesar::restore_expecting(&blob, &ours).expect("compatible");
+        assert_eq!(restored.stats().offered, 2_000);
+
+        // A node running different geometry gets a typed field-level
+        // rejection instead of a silently wrong merge.
+        let other_k = SketchFingerprint::of(&CaesarConfig { k: 4, ..cfg() });
+        assert!(matches!(
+            OnlineCaesar::restore_expecting(&blob, &other_k),
+            Err(RestoreError::Incompatible(MergeError::Geometry { field: "k", .. }))
+        ));
+        let other_seed = SketchFingerprint::of(&CaesarConfig { seed: 7, ..cfg() });
+        assert!(matches!(
+            OnlineCaesar::restore_expecting(&blob, &other_seed),
+            Err(RestoreError::Incompatible(MergeError::Seed { .. }))
+        ));
+    }
+
+    #[test]
+    fn restored_engine_finishes_into_a_mergeable_sketch() {
+        // The cross-node flow the service layer builds on: node B's
+        // snapshot travels to node A, restores there (fingerprint
+        // checked), finishes, and merges into A's cluster view.
+        let flows = workload(10_000);
+        let (fa, fb) = flows.split_at(flows.len() / 2);
+        let mut node_a = OnlineCaesar::new(cfg(), 2);
+        node_a.offer_batch(fa);
+        let mut node_b = OnlineCaesar::new(cfg(), 4);
+        node_b.offer_batch(fb);
+        let blob = node_b.snapshot();
+
+        let a = node_a.finish();
+        let b = OnlineCaesar::restore_expecting(&blob, &a.fingerprint())
+            .expect("same fleet config")
+            .finish();
+        let mut view = ConcurrentCaesar::empty(cfg());
+        view.merge(&a).unwrap();
+        view.merge(&b).unwrap();
+        assert_eq!(view.sram().total_added() as usize, flows.len());
     }
 }

@@ -5,6 +5,7 @@
 //! silently without corrupting every sharing flow); saturation events
 //! are counted so experiments can detect an undersized configuration.
 
+use crate::merge::MergeError;
 
 /// Fixed-width saturating counter array.
 #[derive(Debug, Clone)]
@@ -151,10 +152,34 @@ impl CounterArray {
     /// Merge another array into this one (element-wise saturating add).
     ///
     /// # Panics
-    /// Panics if geometries differ.
+    /// Panics if geometries differ. Prefer
+    /// [`CounterArray::merge_from`] for the error-propagating form.
     pub fn merge(&mut self, other: &CounterArray) {
-        assert_eq!(self.counters.len(), other.counters.len(), "length mismatch");
-        assert_eq!(self.bits, other.bits, "width mismatch");
+        self.merge_from(other).expect("counter array merge");
+    }
+
+    /// Saturation-aware merge: add `other` counter-wise, clamping each
+    /// sum at `max_value` and counting every clamp as a saturation
+    /// event; `other`'s own saturation/offered/access tallies fold in,
+    /// so the merged array reports the union's health honestly (a
+    /// clamped counter summed past the cap must *not* read as an
+    /// ordinary value). Rejects mismatched geometry with a typed
+    /// [`MergeError`] instead of summing unrelated flows.
+    pub fn merge_from(&mut self, other: &CounterArray) -> Result<(), MergeError> {
+        if self.counters.len() != other.counters.len() {
+            return Err(MergeError::Geometry {
+                field: "counters",
+                ours: self.counters.len() as u64,
+                theirs: other.counters.len() as u64,
+            });
+        }
+        if self.bits != other.bits {
+            return Err(MergeError::Geometry {
+                field: "counter_bits",
+                ours: u64::from(self.bits),
+                theirs: u64::from(other.bits),
+            });
+        }
         for (c, &v) in self.counters.iter_mut().zip(&other.counters) {
             let room = self.max_value - *c;
             if v > room {
@@ -167,6 +192,7 @@ impl CounterArray {
         self.total_added += other.total_added;
         self.accesses += other.accesses;
         self.saturations += other.saturations;
+        Ok(())
     }
 }
 
@@ -242,5 +268,54 @@ mod tests {
     fn out_of_bounds_add_panics() {
         let mut a = CounterArray::new(2, 8);
         a.add(2, 1);
+    }
+
+    #[test]
+    fn merge_from_sums_counters_and_tallies() {
+        let mut a = CounterArray::new(4, 8);
+        let mut b = CounterArray::new(4, 8);
+        a.add(0, 5);
+        a.add(2, 7);
+        b.add(0, 3);
+        b.add(3, 9);
+        a.merge_from(&b).unwrap();
+        assert_eq!(a.as_slice(), &[8, 0, 7, 9]);
+        assert_eq!(a.total_added(), 24);
+        assert_eq!(a.stats().accesses, 4);
+        assert_eq!(a.stats().saturations, 0);
+    }
+
+    #[test]
+    fn merge_from_clamps_and_counts_saturation() {
+        let mut a = CounterArray::new(2, 4); // max 15
+        let mut b = CounterArray::new(2, 4);
+        a.add(0, 10);
+        b.add(0, 10); // merged sum 20 > 15 → clamp
+        b.add(1, 100); // b already saturated once itself
+        a.merge_from(&b).unwrap();
+        assert_eq!(a.get(0), 15);
+        assert_eq!(a.get(1), 15);
+        // one clamp during merge + one inherited from b's own add
+        assert_eq!(a.stats().saturations, 2);
+        // offered totals fold even though values clamped
+        assert_eq!(a.total_added(), 120);
+    }
+
+    #[test]
+    fn merge_from_rejects_mismatched_geometry() {
+        let mut a = CounterArray::new(4, 8);
+        let b = CounterArray::new(5, 8);
+        match a.merge_from(&b) {
+            Err(MergeError::Geometry { field, ours, theirs }) => {
+                assert_eq!(field, "counters");
+                assert_eq!((ours, theirs), (4, 5));
+            }
+            other => panic!("expected geometry error, got {other:?}"),
+        }
+        let c = CounterArray::new(4, 10);
+        assert!(matches!(
+            a.merge_from(&c),
+            Err(MergeError::Geometry { field: "counter_bits", .. })
+        ));
     }
 }

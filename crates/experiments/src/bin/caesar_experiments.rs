@@ -1,7 +1,7 @@
 //! `caesar-experiments` — regenerate every figure of the CAESAR paper.
 //!
 //! ```text
-//! caesar-experiments [all|fig3|fig4|fig5|fig6|fig7|fig8|headline|theory|sampling|braids|compression|bursts|tails|ablate|compare|throughput|zoo]...
+//! caesar-experiments [all|fig3|fig4|fig5|fig6|fig7|fig8|headline|theory|sampling|braids|compression|bursts|tails|ablate|compare|throughput|zoo|cluster]...
 //!                    [--scale tiny|small|default|full] [--out DIR]
 //! ```
 //!
@@ -45,6 +45,7 @@ extensions:       compare       (every scheme, one trace, equal memory)
                   tails         (power-law vs log-normal sensitivity)
                   throughput    (max sustainable line rate)
                   zoo           (per-workload accuracy/stress sweep)
+                  cluster       (per-node vs merged cluster-view accuracy)
 or `all` for everything. Tables print to stdout; CSV + SVG artifacts
 land in --out (default results/).";
 
@@ -203,6 +204,12 @@ fn main() -> ExitCode {
     }
     if wanted("zoo") {
         let r = experiments::zoo::run(args.scale);
+        println!("{}", r.render());
+        csvs.extend(r.to_csv());
+        ran_any = true;
+    }
+    if wanted("cluster") {
+        let r = experiments::cluster_view::run(args.scale);
         println!("{}", r.render());
         csvs.extend(r.to_csv());
         ran_any = true;

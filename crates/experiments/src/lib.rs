@@ -16,6 +16,7 @@
 //! | [`fig8`] | Fig. 8 | processing time vs number of packets |
 //! | [`headline`] | §1.5 | average relative error of every scheme |
 //! | [`zoo`] | — | per-workload accuracy/stress sweep over the workload zoo |
+//! | [`cluster_view`] | — | per-node vs merged-view accuracy through the service |
 //!
 //! The [`scale::Scale`] parameter shrinks or grows the synthetic trace
 //! while keeping the paper's operating point (`n/L` noise per counter,
@@ -25,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod ablate;
+pub mod cluster_view;
 pub mod exts;
 pub mod harness;
 pub mod fig3;

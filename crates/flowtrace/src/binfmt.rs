@@ -10,8 +10,12 @@
 //! version u32 LE
 //! num_flows u64 LE
 //! num_packets u64 LE
-//! then per packet: flow u64 LE, byte_len u16 LE
+//! then per packet: flow u64 LE, byte_len u32 LE
 //! ```
+//!
+//! Version 2 (current) stores `byte_len` as u32 — pcap `orig_len` is
+//! 32-bit and jumbo/aggregated records exceed 65535 bytes. Version-1
+//! streams (u16 `byte_len`) still decode.
 //!
 //! A second container, `CZOO`, wraps a CTRC blob together with its
 //! exact ground truth so a fitted [`crate::zoo`] workload is a
@@ -35,8 +39,10 @@ use support::bytesx::{ByteReader, PutBytes};
 
 /// Format magic.
 pub const MAGIC: &[u8; 4] = b"CTRC";
-/// Current format version.
-pub const VERSION: u32 = 1;
+/// Current format version (u32 `byte_len`).
+pub const VERSION: u32 = 2;
+/// Legacy format version (u16 `byte_len`); still decodable.
+pub const VERSION_U16_LEN: u32 = 1;
 
 /// Errors from decoding a binary trace.
 #[derive(Debug, PartialEq, Eq)]
@@ -63,14 +69,14 @@ impl std::error::Error for DecodeError {}
 
 /// Serialize a trace.
 pub fn encode(trace: &Trace) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(24 + trace.packets.len() * 10);
+    let mut buf = Vec::with_capacity(24 + trace.packets.len() * 12);
     buf.put_slice(MAGIC);
     buf.put_u32_le(VERSION);
     buf.put_u64_le(trace.num_flows as u64);
     buf.put_u64_le(trace.packets.len() as u64);
     for p in &trace.packets {
         buf.put_u64_le(p.flow);
-        buf.put_u16_le(p.byte_len);
+        buf.put_u32_le(p.byte_len);
     }
     buf
 }
@@ -86,18 +92,24 @@ pub fn decode(data: &[u8]) -> Result<Trace, DecodeError> {
         return Err(DecodeError::BadMagic);
     }
     let version = r.get_u32_le().ok_or(DecodeError::Truncated)?;
-    if version != VERSION {
-        return Err(DecodeError::BadVersion(version));
-    }
+    let record_len = match version {
+        VERSION => 12,
+        VERSION_U16_LEN => 10,
+        other => return Err(DecodeError::BadVersion(other)),
+    };
     let num_flows = r.get_u64_le().ok_or(DecodeError::Truncated)? as usize;
     let num_packets = r.get_u64_le().ok_or(DecodeError::Truncated)? as usize;
-    if r.remaining() < num_packets.saturating_mul(10) {
+    if r.remaining() < num_packets.saturating_mul(record_len) {
         return Err(DecodeError::Truncated);
     }
     let mut packets = Vec::with_capacity(num_packets);
     for _ in 0..num_packets {
         let flow = r.get_u64_le().ok_or(DecodeError::Truncated)?;
-        let byte_len = r.get_u16_le().ok_or(DecodeError::Truncated)?;
+        let byte_len = if version == VERSION_U16_LEN {
+            u32::from(r.get_u16_le().ok_or(DecodeError::Truncated)?)
+        } else {
+            r.get_u32_le().ok_or(DecodeError::Truncated)?
+        };
         packets.push(Packet { flow, byte_len });
     }
     Ok(Trace { packets, num_flows })
@@ -187,6 +199,42 @@ mod tests {
         let dec = decode(&encode(&t)).unwrap();
         assert_eq!(dec.packets.len(), 0);
         assert_eq!(dec.num_flows, 0);
+    }
+
+    #[test]
+    fn jumbo_byte_len_roundtrips() {
+        // Regression: byte_len was u16 until format v2; a 64 KB+
+        // super-packet must survive the round-trip unclamped.
+        let t = Trace {
+            packets: vec![Packet { flow: 42, byte_len: 262_144 }],
+            num_flows: 1,
+        };
+        let dec = decode(&encode(&t)).unwrap();
+        assert_eq!(dec.packets[0].byte_len, 262_144);
+    }
+
+    #[test]
+    fn decodes_legacy_v1_streams() {
+        // Hand-build a version-1 stream (u16 byte_len records).
+        let mut buf = Vec::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION_U16_LEN);
+        buf.put_u64_le(2); // num_flows
+        buf.put_u64_le(2); // num_packets
+        buf.put_u64_le(7);
+        buf.put_u16_le(64);
+        buf.put_u64_le(9);
+        buf.put_u16_le(1500);
+        let dec = decode(&buf).unwrap();
+        assert_eq!(
+            dec.packets,
+            vec![
+                Packet { flow: 7, byte_len: 64 },
+                Packet { flow: 9, byte_len: 1500 },
+            ]
+        );
+        // Truncation detection still works against the 10-byte record.
+        assert!(matches!(decode(&buf[..buf.len() - 1]), Err(DecodeError::Truncated)));
     }
 
     #[test]

@@ -44,8 +44,11 @@ impl FiveTuple {
 pub struct Packet {
     /// Flow the packet belongs to.
     pub flow: FlowId,
-    /// Wire length in bytes (for flow-volume measurement).
-    pub byte_len: u16,
+    /// Wire length in bytes (for flow-volume measurement). `u32`, not
+    /// `u16`: pcap `orig_len` is 32-bit, and jumbo or aggregated
+    /// records (super-packets from offload NICs) legitimately exceed
+    /// 65535 bytes.
+    pub byte_len: u32,
 }
 
 impl Packet {

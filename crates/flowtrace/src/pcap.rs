@@ -164,10 +164,7 @@ impl<R: Read> PcapReader<R> {
         while let Some((tuple, orig_len)) = self.next_packet()? {
             let flow = tuple.flow_id();
             flows.insert(flow);
-            packets.push(Packet {
-                flow,
-                byte_len: orig_len.min(u16::MAX as u32) as u16,
-            });
+            packets.push(Packet { flow, byte_len: orig_len });
         }
         Ok((
             Trace {
@@ -247,13 +244,16 @@ impl<W: Write> PcapWriter<W> {
 
     /// Append one minimal Ethernet+IPv4 packet for `tuple`, padding the
     /// on-wire length to `wire_len`.
-    pub fn write_packet(&mut self, tuple: &FiveTuple, ts_sec: u32, wire_len: u16) -> io::Result<()> {
+    pub fn write_packet(&mut self, tuple: &FiveTuple, ts_sec: u32, wire_len: u32) -> io::Result<()> {
         let frame = encode_ethernet_ipv4(tuple);
         self.inner.write_all(&ts_sec.to_le_bytes())?;
         self.inner.write_all(&0u32.to_le_bytes())?; // ts_usec
         self.inner.write_all(&(frame.len() as u32).to_le_bytes())?;
+        // The max must happen in u32: pcap's orig_len field is 32-bit,
+        // and narrowing wire_len first would truncate jumbo lengths
+        // before the comparison ever saw them.
         self.inner
-            .write_all(&(wire_len.max(frame.len() as u16) as u32).to_le_bytes())?;
+            .write_all(&wire_len.max(frame.len() as u32).to_le_bytes())?;
         self.inner.write_all(&frame)?;
         Ok(())
     }
@@ -335,6 +335,49 @@ mod tests {
         }
         assert!(r.next_packet().unwrap().is_none());
         assert_eq!(r.stats(), ParseStats { parsed: 3, skipped: 0 });
+    }
+
+    #[test]
+    fn jumbo_orig_len_survives_read_trace() {
+        // Regression: read_trace used to clamp orig_len to u16::MAX,
+        // silently corrupting byte counts for jumbo/aggregated records
+        // (offload NICs hand the capture stack 64 KB+ super-packets).
+        let mut buf = Vec::new();
+        {
+            let mut w = PcapWriter::new(&mut buf).unwrap();
+            w.write_packet(&tuple(FiveTuple::TCP), 0, 100_000).unwrap();
+            w.write_packet(&tuple(FiveTuple::TCP), 0, 64).unwrap();
+            w.finish().unwrap();
+        }
+        let mut r = PcapReader::new(Cursor::new(&buf)).unwrap();
+        let (_, len) = r.next_packet().unwrap().expect("packet");
+        assert_eq!(len, 100_000);
+        let (trace, _) = PcapReader::new(Cursor::new(&buf)).unwrap().read_trace().unwrap();
+        assert_eq!(trace.packets[0].byte_len, 100_000);
+        assert_eq!(trace.packets[1].byte_len, 64);
+    }
+
+    #[test]
+    fn writer_orig_len_compares_in_u32() {
+        // Regression: write_packet used to narrow wire_len to u16
+        // before taking max(frame.len()), so a jumbo wire_len wrote a
+        // truncated orig_len. The whole comparison now runs in u32.
+        let mut buf = Vec::new();
+        {
+            let mut w = PcapWriter::new(&mut buf).unwrap();
+            // Larger than u16::MAX: must round-trip exactly.
+            w.write_packet(&tuple(FiveTuple::UDP), 0, 70_000).unwrap();
+            // Smaller than the synthesized frame: orig_len is the
+            // frame length, never less than what was captured.
+            w.write_packet(&tuple(FiveTuple::UDP), 0, 1).unwrap();
+            w.finish().unwrap();
+        }
+        let frame_len = encode_ethernet_ipv4(&tuple(FiveTuple::UDP)).len() as u32;
+        let mut r = PcapReader::new(Cursor::new(&buf)).unwrap();
+        let (_, len) = r.next_packet().unwrap().expect("jumbo packet");
+        assert_eq!(len, 70_000);
+        let (_, len) = r.next_packet().unwrap().expect("tiny packet");
+        assert_eq!(len, frame_len);
     }
 
     #[test]

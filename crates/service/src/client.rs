@@ -1,0 +1,287 @@
+//! The measurement client: one API over two transports.
+//!
+//! [`MeasurementClient`] speaks [`crate::proto`] over anything that
+//! implements [`Transport`]:
+//!
+//! * [`InProcess`] — single-threaded, no sockets: requests are
+//!   encoded, handed to the service's frame entry point, and the
+//!   response decoded. The full codec is exercised, so a passing
+//!   in-process test pins the same bytes the TCP path ships.
+//! * [`TcpTransport`] — a real `std::net::TcpStream` speaking
+//!   length-prefixed sealed frames to a [`crate::TcpServer`].
+//!
+//! Connecting performs the Hello handshake: the server's fingerprint
+//! is checked against the client's expected one with the typed
+//! [`SketchFingerprint::expect_matches`], so an incompatible client
+//! fails fast with a [`caesar::MergeError`] naming the field instead
+//! of pushing sketches that can never merge.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use caesar::{MergeError, SketchFingerprint, SketchPayload};
+
+use crate::proto::{
+    read_frame, write_frame, ClusterStats, HealthReport, ProtoError, Request, Response,
+};
+use crate::server::MeasurementService;
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Transport or codec failure.
+    Proto(ProtoError),
+    /// The handshake found an incompatible aggregator.
+    Incompatible(MergeError),
+    /// The server refused the request (its rendered error message).
+    Remote(String),
+    /// The server answered with the wrong response variant.
+    UnexpectedResponse,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Proto(e) => write!(f, "{e}"),
+            ServiceError::Incompatible(e) => write!(f, "incompatible aggregator: {e}"),
+            ServiceError::Remote(msg) => write!(f, "server refused: {msg}"),
+            ServiceError::UnexpectedResponse => write!(f, "unexpected response variant"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<ProtoError> for ServiceError {
+    fn from(e: ProtoError) -> Self {
+        ServiceError::Proto(e)
+    }
+}
+
+/// One request/response round trip; how the bytes move is the
+/// implementor's business.
+pub trait Transport {
+    /// Send `request`, wait for and return the response.
+    fn round_trip(&mut self, request: &Request) -> Result<Response, ServiceError>;
+}
+
+/// In-process transport: drives a [`MeasurementService`] directly
+/// through its frame-payload entry point (encode → handle → decode),
+/// single-threaded, no sockets.
+pub struct InProcess<'a> {
+    service: &'a MeasurementService,
+}
+
+impl<'a> InProcess<'a> {
+    /// Wrap a service.
+    pub fn new(service: &'a MeasurementService) -> Self {
+        Self { service }
+    }
+}
+
+impl Transport for InProcess<'_> {
+    fn round_trip(&mut self, request: &Request) -> Result<Response, ServiceError> {
+        let payload = self.service.handle_payload(&request.encode());
+        Ok(Response::decode(&payload)?)
+    }
+}
+
+/// Real-socket transport: length-prefixed sealed frames over a
+/// `TcpStream`.
+pub struct TcpTransport {
+    stream: TcpStream,
+}
+
+impl TcpTransport {
+    /// Connect to a [`crate::TcpServer`].
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServiceError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| ServiceError::Proto(ProtoError::Io(e.to_string())))?;
+        // A frame is two small writes (length prefix + body); without
+        // this, Nagle + delayed ACK stall every round trip ~80 ms.
+        let _ = stream.set_nodelay(true);
+        Ok(Self { stream })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn round_trip(&mut self, request: &Request) -> Result<Response, ServiceError> {
+        write_frame(&mut self.stream, &request.encode())?;
+        let payload = read_frame(&mut self.stream)?
+            .ok_or(ServiceError::Proto(ProtoError::Io("server closed".into())))?;
+        Ok(Response::decode(&payload)?)
+    }
+}
+
+/// A handshaken measurement client over any [`Transport`].
+pub struct MeasurementClient<T: Transport> {
+    transport: T,
+    server_fingerprint: SketchFingerprint,
+}
+
+impl<T: Transport> MeasurementClient<T> {
+    /// Perform the Hello handshake: announce `expected`, receive the
+    /// aggregator's fingerprint, and verify compatibility. An
+    /// incompatible pairing fails here with the typed field-level
+    /// [`MergeError`] — before any sketch bytes move.
+    pub fn connect(mut transport: T, expected: &SketchFingerprint) -> Result<Self, ServiceError> {
+        let server_fingerprint = match transport.round_trip(&Request::Hello(*expected))? {
+            Response::HelloAck(fp) => fp,
+            Response::Error(msg) => return Err(ServiceError::Remote(msg)),
+            _ => return Err(ServiceError::UnexpectedResponse),
+        };
+        expected
+            .expect_matches(&server_fingerprint)
+            .map_err(ServiceError::Incompatible)?;
+        Ok(Self { transport, server_fingerprint })
+    }
+
+    /// The aggregator's fingerprint learned during the handshake.
+    pub fn server_fingerprint(&self) -> SketchFingerprint {
+        self.server_fingerprint
+    }
+
+    /// Push one node's frozen sketch; returns `(epoch, nodes)` after
+    /// the merge.
+    pub fn push_sketch(&mut self, sketch: &SketchPayload) -> Result<(u64, u64), ServiceError> {
+        match self.transport.round_trip(&Request::PushSketch(sketch.clone()))? {
+            Response::PushAck { epoch, nodes } => Ok((epoch, nodes)),
+            Response::Error(msg) => Err(ServiceError::Remote(msg)),
+            _ => Err(ServiceError::UnexpectedResponse),
+        }
+    }
+
+    /// Batch flow-size query; returns the serving epoch and one
+    /// clamped default-estimator size per flow, in request order.
+    pub fn query(&mut self, flows: &[u64]) -> Result<(u64, Vec<f64>), ServiceError> {
+        match self.transport.round_trip(&Request::Query(flows.to_vec()))? {
+            Response::Estimates { epoch, values } => Ok((epoch, values)),
+            Response::Error(msg) => Err(ServiceError::Remote(msg)),
+            _ => Err(ServiceError::UnexpectedResponse),
+        }
+    }
+
+    /// Health-annotated single-flow query.
+    pub fn query_health(&mut self, flow: u64) -> Result<(u64, HealthReport), ServiceError> {
+        match self.transport.round_trip(&Request::QueryHealth(flow))? {
+            Response::Health { epoch, health } => Ok((epoch, health)),
+            Response::Error(msg) => Err(ServiceError::Remote(msg)),
+            _ => Err(ServiceError::UnexpectedResponse),
+        }
+    }
+
+    /// Cluster view statistics.
+    pub fn stats(&mut self) -> Result<ClusterStats, ServiceError> {
+        match self.transport.round_trip(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            Response::Error(msg) => Err(ServiceError::Remote(msg)),
+            _ => Err(ServiceError::UnexpectedResponse),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::TcpServer;
+    use caesar::{CaesarConfig, ConcurrentCaesar};
+    use std::sync::Arc;
+
+    fn cfg() -> CaesarConfig {
+        CaesarConfig {
+            cache_entries: 64,
+            entry_capacity: 16,
+            counters: 1024,
+            k: 3,
+            ..CaesarConfig::default()
+        }
+    }
+
+    fn flows(n: u64, salt: u64) -> Vec<u64> {
+        (0..n)
+            .map(|i| (i % 50).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(salt))
+            .collect()
+    }
+
+    #[test]
+    fn in_process_push_then_query() {
+        let svc = MeasurementService::new(cfg());
+        let node = ConcurrentCaesar::build(cfg(), 2, &flows(5_000, 1));
+        let mut client =
+            MeasurementClient::connect(InProcess::new(&svc), &node.fingerprint()).unwrap();
+        let (epoch, nodes) = client.push_sketch(&node.export_sketch()).unwrap();
+        assert_eq!((epoch, nodes), (1, 1));
+        let targets: Vec<u64> = flows(50, 1);
+        let (qe, values) = client.query(&targets).unwrap();
+        assert_eq!(qe, 1);
+        // The service view now equals the node's own sketch, so the
+        // served estimates are bit-identical to local queries.
+        for (flow, served) in targets.iter().zip(&values) {
+            assert_eq!(served.to_bits(), node.query(*flow).to_bits());
+        }
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.total_added, 5_000);
+        assert_eq!(stats.nodes, 1);
+    }
+
+    #[test]
+    fn handshake_rejects_incompatible_client_with_typed_error() {
+        let svc = MeasurementService::new(cfg());
+        let wrong = SketchFingerprint::of(&CaesarConfig { k: 4, ..cfg() });
+        match MeasurementClient::connect(InProcess::new(&svc), &wrong) {
+            Err(ServiceError::Incompatible(MergeError::Geometry { field: "k", .. })) => {}
+            Err(other) => panic!("expected typed k mismatch, got {other:?}"),
+            Ok(_) => panic!("incompatible handshake must not succeed"),
+        }
+    }
+
+    #[test]
+    fn loopback_tcp_matches_in_process_bit_for_bit() {
+        let svc = Arc::new(MeasurementService::new(cfg()));
+        let server = TcpServer::spawn(Arc::clone(&svc), "127.0.0.1:0").unwrap();
+
+        let node_a = ConcurrentCaesar::build(cfg(), 1, &flows(3_000, 7));
+        let node_b = ConcurrentCaesar::build(cfg(), 4, &flows(2_000, 99));
+        let fp = node_a.fingerprint();
+
+        let tcp = TcpTransport::connect(server.addr()).unwrap();
+        let mut client = MeasurementClient::connect(tcp, &fp).unwrap();
+        client.push_sketch(&node_a.export_sketch()).unwrap();
+        let (epoch, nodes) = client.push_sketch(&node_b.export_sketch()).unwrap();
+        assert_eq!((epoch, nodes), (2, 2));
+
+        let targets: Vec<u64> = flows(50, 7).into_iter().chain(flows(50, 99)).collect();
+        let (_, over_tcp) = client.query(&targets).unwrap();
+        let mut local = MeasurementClient::connect(InProcess::new(&svc), &fp).unwrap();
+        let (_, in_process) = local.query(&targets).unwrap();
+        for (a, b) in over_tcp.iter().zip(&in_process) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        let (he, health) = client.query_health(targets[0]).unwrap();
+        assert_eq!(he, 2);
+        assert!(!health.is_degraded());
+
+        server.stop();
+    }
+
+    #[test]
+    fn remote_refusal_keeps_the_connection_usable() {
+        let svc = Arc::new(MeasurementService::new(cfg()));
+        let server = TcpServer::spawn(Arc::clone(&svc), "127.0.0.1:0").unwrap();
+        let fp = SketchFingerprint::of(&cfg());
+        let mut client =
+            MeasurementClient::connect(TcpTransport::connect(server.addr()).unwrap(), &fp)
+                .unwrap();
+        let foreign =
+            ConcurrentCaesar::build(CaesarConfig { seed: 1, ..cfg() }, 1, &[1, 2, 3])
+                .export_sketch();
+        match client.push_sketch(&foreign) {
+            Err(ServiceError::Remote(msg)) => assert!(msg.contains("seed"), "{msg}"),
+            other => panic!("expected remote refusal, got {other:?}"),
+        }
+        // Same connection still answers.
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.nodes, 0);
+        server.stop();
+    }
+}

@@ -1,0 +1,32 @@
+//! # service — the measurement query service
+//!
+//! Turns N independent CAESAR measurement nodes into one queryable
+//! cluster view (DESIGN.md §4h):
+//!
+//! * each node builds its sketch locally and exports a
+//!   [`caesar::SketchPayload`];
+//! * payloads are pushed — in-process or over TCP — to a
+//!   [`MeasurementService`] aggregator, which folds them with the
+//!   saturation-aware merge ([`caesar::ConcurrentCaesar::merge_sketch`]);
+//! * queries are answered against epoch-consistent snapshots of the
+//!   merged view, with estimates crossing the wire as `f64` bits so a
+//!   TCP answer is bit-identical to an in-process one.
+//!
+//! The wire format lives in [`proto`] (length-prefixed frames, each
+//! body sealed with `support::bytesx`); [`server`] has the aggregator
+//! and the `TcpListener` loop; [`client`] has the handshaken client
+//! over either transport.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{InProcess, MeasurementClient, ServiceError, TcpTransport, Transport};
+pub use proto::{
+    read_frame, write_frame, ClusterStats, HealthReport, ProtoError, Request, Response,
+    MAX_FRAME_BYTES,
+};
+pub use server::{MeasurementService, TcpServer};

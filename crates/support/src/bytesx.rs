@@ -70,6 +70,11 @@ impl<'a> ByteReader<'a> {
         Some(head)
     }
 
+    /// Read a single byte.
+    pub fn get_u8(&mut self) -> Option<u8> {
+        self.get_array::<1>().map(|[b]| b)
+    }
+
     /// Read a little-endian `u16`.
     pub fn get_u16_le(&mut self) -> Option<u16> {
         self.get_array::<2>().map(u16::from_le_bytes)

@@ -32,7 +32,7 @@ fn synthesize_capture(path: &std::path::Path) {
                     dst_port: 443,
                     proto: FiveTuple::TCP,
                 };
-                w.write_packet(&tuple, ts, 64 + (round % 1000) as u16)
+                w.write_packet(&tuple, ts, 64 + round % 1000)
                     .expect("write packet");
             }
         }

@@ -4,7 +4,7 @@
 # to the code that produced them.
 #
 # Usage: scripts/bench_trajectory.sh [OUT] [BENCH...]
-#   OUT      output file (default BENCH_PR6.json)
+#   OUT      output file (default BENCH_PR7.json)
 #   BENCH... bench targets to run (default: micro extensions)
 #
 # Environment:
@@ -36,6 +36,15 @@
 # (cdn … caida_fit), pricing how each traffic shape loads the
 # cache/SRAM pipeline, plus "mouse_flood_online_stressed" for the
 # supervised online path under the stalled-lane tail-drop stress plan.
+# PR 7 adds groups "zoo_merge" and "service": "zoo_merge" prices
+# folding three taps' frozen sketches into an empty cluster view, one
+# bench per zoo family ("merge_3_taps_<family>" — O(L) counter adds,
+# with L set per family by zoo_config); "service" prices the wire
+# ("payload_encode_decode" for the SketchPayload codec,
+# "inprocess_push3_query64" for the full frame path without sockets,
+# and "tcp_query64_round_trip" for the same query over a live loopback
+# socket — the bench that caught the Nagle/delayed-ACK stall
+# TCP_NODELAY now prevents).
 #
 # After writing OUT, the script prints a median diff table against the
 # most recent other BENCH_*.json (joined on group/name), so every run
@@ -43,7 +52,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR6.json}"
+OUT="${1:-BENCH_PR7.json}"
 shift || true
 BENCHES=("$@")
 if [ "${#BENCHES[@]}" -eq 0 ]; then

@@ -5,7 +5,17 @@
 # be the reason a step fails — if it is, a crates.io dependency snuck
 # back in and that is the bug.
 #
-# Usage: scripts/check.sh [--quick-bench | --fault-smoke | --zoo-smoke]
+# Usage: scripts/check.sh [--quick-bench | --fault-smoke | --zoo-smoke | --service-smoke]
+#   --service-smoke     cluster-service smoke mode: run the service
+#                       crate's unit tests plus the merge/service
+#                       acceptance suites (tests/mergeable.rs — the
+#                       byte-for-byte merge property — and
+#                       tests/cluster_service.rs — saturation
+#                       monotonicity + the per-zoo-family loopback TCP
+#                       bit-identity check) in release, then the
+#                       tiny-scale cluster-view sweep asserting its
+#                       CSV/JSON artifacts land, then the cluster_view
+#                       example end-to-end over a real socket.
 #   --zoo-smoke         workload-zoo smoke mode: run the zoo acceptance
 #                       suite (tests/workload_zoo.rs — determinism,
 #                       CAIDA-fit goldens, CZOO artifact round-trips,
@@ -75,6 +85,36 @@ if [ "${1:-}" = "--fault-smoke" ]; then
     echo "==> cargo run --release --example resilient_monitor (output suppressed)"
     cargo run -q --release --offline --example resilient_monitor >/dev/null
     echo "check.sh --fault-smoke: all green"
+    exit 0
+fi
+
+if [ "${1:-}" = "--service-smoke" ]; then
+    echo "==> service smoke: mergeable sketches + query service, release build"
+    run cargo test --release --offline -q -p service
+    run cargo test --release --offline -q --test mergeable
+    run cargo test --release --offline -q --test cluster_service
+    OUT="$(mktemp -d)"
+    trap 'rm -rf "$OUT"' EXIT
+    echo "==> caesar-experiments cluster --scale tiny --out $OUT (output suppressed)"
+    cargo run -q --release --offline -p experiments --bin caesar-experiments -- \
+        cluster --scale tiny --out "$OUT" >/dev/null
+    for artifact in cluster_view.csv cluster_view.json; do
+        if [ ! -s "$OUT/$artifact" ]; then
+            echo "check.sh --service-smoke: sweep did not write $artifact"
+            exit 1
+        fi
+    done
+    # Header + one row per family.
+    rows="$(wc -l < "$OUT/cluster_view.csv")"
+    if [ "$rows" -lt 9 ]; then
+        echo "check.sh --service-smoke: cluster_view.csv has $rows lines, want >= 9"
+        exit 1
+    fi
+    # The example pushes 3 taps over a live loopback socket and asserts
+    # mass conservation internally; any violation aborts it.
+    echo "==> cargo run --release --example cluster_view (output suppressed)"
+    cargo run -q --release --offline --example cluster_view >/dev/null
+    echo "check.sh --service-smoke: all green"
     exit 0
 fi
 

@@ -17,12 +17,13 @@ pub use flowtrace;
 pub use hashkit;
 pub use memsim;
 pub use metrics;
+pub use service;
 
 /// One-stop imports for the most common types.
 pub mod prelude {
     pub use baselines::{case::Case, case::CaseConfig, rcs::Rcs, rcs::RcsConfig};
     pub use cachesim::{CachePolicy, CacheTable};
-    pub use caesar::{Caesar, CaesarConfig, Estimator};
+    pub use caesar::{Caesar, CaesarConfig, ConcurrentCaesar, Estimator, SketchPayload};
     pub use flowtrace::{
         synth::{ArrivalOrder, SynthConfig, TraceGenerator},
         ExactCounter, FiveTuple, FlowId, Packet, Trace,

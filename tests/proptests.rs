@@ -112,7 +112,7 @@ fn queue_conservation() {
 fn binfmt_roundtrip() {
     for_each_seed(|rng| {
         let packets =
-            rng.vec_with(0..500, |r| (r.gen::<u64>(), r.gen::<u16>()));
+            rng.vec_with(0..500, |r| (r.gen::<u64>(), r.gen::<u32>()));
         let num_flows = rng.gen_range(0usize..1000);
         let trace = Trace {
             packets: packets

@@ -1,0 +1,54 @@
+//! Ingest-cost decomposition on the canonical bench trace.
+//!
+//! Reports min-of-N wall times for the full `record_batch` ingest and
+//! for the cache-table layer alone, so a perf session can see where
+//! the ingest budget goes before reaching for the harness. Min-of-N in
+//! one process is far more noise-tolerant than comparing separate
+//! harness runs on a busy host.
+//!
+//! Run with: `cargo run --release --offline -p bench --example profile_ingest`
+
+use bench::{bench_config, bench_trace};
+use caesar::Caesar;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn min_of<R>(n: usize, mut f: impl FnMut() -> R) -> std::time::Duration {
+    let mut best = std::time::Duration::MAX;
+    for _ in 0..n {
+        let t = Instant::now();
+        black_box(f());
+        best = best.min(t.elapsed());
+    }
+    best
+}
+
+fn main() {
+    let (trace, _) = bench_trace();
+    let flows: Vec<u64> = trace.packets.iter().map(|p| p.flow).collect();
+    println!("packets = {}", flows.len());
+
+    let full = min_of(15, || {
+        let mut c = Caesar::new(bench_config());
+        c.record_batch(&flows);
+        c.finish();
+        c.stats().evictions
+    });
+    println!("record_batch full (min of 15): {full:?}");
+
+    let cfg = bench_config();
+    let cache_only = min_of(15, || {
+        let mut cache = cachesim::CacheTable::new(cachesim::CacheConfig {
+            entries: cfg.cache_entries,
+            entry_capacity: cfg.entry_capacity,
+            policy: cfg.policy,
+            seed: cfg.seed,
+        });
+        let mut acc = 0u32;
+        for &f in &flows {
+            acc ^= cache.record_slotted(f).slot;
+        }
+        acc
+    });
+    println!("cache only (min of 15): {cache_only:?}");
+}

@@ -41,12 +41,14 @@
 //! additionally pinned byte-identical to the sequential oracle.
 
 use crate::atomic_sram::{
-    AtomicCounterArray, WritebackBuffer, WritebackState, WRITEBACK_ACCUMULATE_ALL,
+    AtomicCounterArray, SegmentSink, WritebackBuffer, WritebackSink, WritebackState,
+    WRITEBACK_ACCUMULATE_ALL,
 };
 use crate::config::{CaesarConfig, Estimator};
 use crate::estimator::{csm, mlm, Estimate, EstimateParams};
 use crate::merge::{MergeError, SketchFingerprint, SketchPayload};
-use crate::pipeline::SRAM_PREFETCH_MIN_BYTES;
+use crate::packed::PackedCounterArray;
+use crate::pipeline::{sram_prefetch_min_bytes, PackedCaesar};
 use crate::query::QueryHealth;
 use cachesim::{CacheConfig, CacheTable, CacheTableState};
 use hashkit::mix::{bucket, mix64};
@@ -191,9 +193,14 @@ pub(crate) struct ShardWorker {
     wb: WritebackBuffer,
     /// Software-prefetch predicted SRAM rows in the batch path only
     /// when the counter array is too big to be cache-resident (see
-    /// [`SRAM_PREFETCH_MIN_BYTES`]); on small arrays the hint is pure
-    /// overhead.
+    /// [`crate::pipeline::sram_prefetch_min_bytes`]); on small arrays
+    /// the hint is pure overhead.
     prefetch_sram: bool,
+    /// Reusable per-batch base-hash row — `record_batch` hashes its
+    /// whole drain batch up front in lane-width chunks
+    /// ([`KCounterMap::base_hashes`]). Transient scratch, not state:
+    /// deliberately absent from [`ShardWorkerState`].
+    base_buf: Vec<u64>,
     evictions: u64,
 }
 
@@ -246,15 +253,16 @@ impl ShardWorker {
             memo: vec![0usize; entries * cfg.k],
             k: cfg.k,
             wb: WritebackBuffer::striped(writeback_capacity, shard),
-            prefetch_sram: cfg.counters * 8 >= SRAM_PREFETCH_MIN_BYTES,
+            prefetch_sram: cfg.counters * 8 >= sram_prefetch_min_bytes(),
+            base_buf: Vec::new(),
             evictions: 0,
         }
     }
 
     /// Ingest one packet of `flow`.
-    pub(crate) fn record(&mut self, flow: u64, sram: &AtomicCounterArray, kmap: &KCounterMap) {
+    pub(crate) fn record<S: WritebackSink>(&mut self, flow: u64, sink: &S, kmap: &KCounterMap) {
         let r = self.cache.record_slotted(flow);
-        self.apply(flow, r, sram, kmap);
+        self.apply(flow, r, sink, kmap);
     }
 
     /// Ingest a batch of packets through the probe-one-ahead hot path:
@@ -267,20 +275,33 @@ impl ShardWorker {
     /// `for &f in flows { self.record(f, ..) }`: probes are read-only
     /// and the hint is tag-validated, so the sketch is byte-identical
     /// (pinned by the equivalence suite).
-    pub(crate) fn record_batch(
+    pub(crate) fn record_batch<S: WritebackSink>(
         &mut self,
         flows: &[u64],
-        sram: &AtomicCounterArray,
+        sink: &S,
         kmap: &KCounterMap,
     ) {
         let k = self.k;
+        // Hash the whole ring-drain batch up front: `base_hashes` mixes
+        // the keys in lane-width chunks, and inserted flows derive
+        // their `k` counter indices from the memoized base —
+        // bit-identical to per-flow `fill_indices` (pinned in hashkit).
+        let mut bases = std::mem::take(&mut self.base_buf);
+        bases.clear();
+        bases.resize(flows.len(), 0);
+        kmap.base_hashes(flows, &mut bases);
         if !self.prefetch_sram {
             // Cache-resident counter array: no miss latency to hide, so
             // the probe-one-ahead pipeline is pure overhead (see
-            // `SRAM_PREFETCH_MIN_BYTES`). Plain loop, same sketch.
-            for &flow in flows {
-                self.record(flow, sram, kmap);
+            // `sram_prefetch_min_bytes`). Plain loop, same sketch.
+            for (&flow, &base) in flows.iter().zip(&bases) {
+                if self.cache.record_absorbed(flow) {
+                    continue;
+                }
+                let r = self.cache.record_slotted(flow);
+                self.apply_base(flow, base, r, sink, kmap);
             }
+            self.base_buf = bases;
             return;
         }
         let mut hint = flows.first().and_then(|&f| self.cache.prefetch(f));
@@ -288,40 +309,63 @@ impl ShardWorker {
             let r = self
                 .cache
                 .record_slotted_hinted(flow, hint.map(|(slot, _)| slot));
-            self.apply(flow, r, sram, kmap);
+            self.apply_base(flow, bases[i], r, sink, kmap);
             hint = flows.get(i + 1).and_then(|&next| {
                 let probe = self.cache.prefetch(next);
-                if self.prefetch_sram {
-                    if let Some((slot, true)) = probe {
-                        let start = slot as usize * k;
-                        for &idx in &self.memo[start..start + k] {
-                            sram.prefetch(idx);
-                        }
+                if let Some((slot, true)) = probe {
+                    let start = slot as usize * k;
+                    for &idx in &self.memo[start..start + k] {
+                        sink.sink_prefetch(idx);
                     }
                 }
                 probe
             });
         }
+        self.base_buf = bases;
     }
 
     /// Memo/spread bookkeeping for one recorded packet, shared by the
     /// per-call and batch paths.
     #[inline]
-    fn apply(
+    fn apply<S: WritebackSink>(
         &mut self,
         flow: u64,
         r: cachesim::Recorded,
-        sram: &AtomicCounterArray,
+        sink: &S,
         kmap: &KCounterMap,
     ) {
         let start = r.slot as usize * self.k;
         if let Some(ev) = r.eviction {
             debug_assert_eq!(self.memo[start..start + self.k], kmap.indices(ev.flow)[..]);
             self.evictions += 1;
-            self.spread_row(start, ev.value, sram);
+            self.spread_row(start, ev.value, sink);
         }
         if r.inserted {
             kmap.fill_indices(flow, &mut self.memo[start..start + self.k]);
+        }
+    }
+
+    /// [`apply`](Self::apply) with the flow's precomputed base hash
+    /// (the batch path): identical bookkeeping, but an insert fills the
+    /// memo row from the base instead of re-mixing the key.
+    #[inline]
+    fn apply_base<S: WritebackSink>(
+        &mut self,
+        flow: u64,
+        base: u64,
+        r: cachesim::Recorded,
+        sink: &S,
+        kmap: &KCounterMap,
+    ) {
+        debug_assert_eq!(base, kmap.base_hash(flow));
+        let start = r.slot as usize * self.k;
+        if let Some(ev) = r.eviction {
+            debug_assert_eq!(self.memo[start..start + self.k], kmap.indices(ev.flow)[..]);
+            self.evictions += 1;
+            self.spread_row(start, ev.value, sink);
+        }
+        if r.inserted {
+            kmap.fill_indices_from_base(base, &mut self.memo[start..start + self.k]);
         }
     }
 
@@ -330,9 +374,9 @@ impl ShardWorker {
     /// units uniformly over the flow's `k` counters (§3.1). RNG draw
     /// order is identical to the sequential implementation, so the
     /// staged increments (and the final sketch) are bit-identical.
-    fn spread_row(&mut self, start: usize, value: u64, sram: &AtomicCounterArray) {
+    fn spread_row<S: WritebackSink>(&mut self, start: usize, value: u64, sink: &S) {
         let Self { memo, rng, wb, k, .. } = self;
-        stage_spread(&memo[start..start + *k], value, rng, wb, sram);
+        stage_spread(&memo[start..start + *k], value, rng, wb, sink);
     }
 
     /// Dump every resident cache entry through the memoized
@@ -343,7 +387,7 @@ impl ShardWorker {
     /// drained here before the lane respawns, so no recorded packet is
     /// lost. Returns the unit mass drained. Does **not** flush the
     /// buffer.
-    pub(crate) fn drain_cache(&mut self, sram: &AtomicCounterArray, kmap: &KCounterMap) -> u64 {
+    pub(crate) fn drain_cache<S: WritebackSink>(&mut self, sink: &S, kmap: &KCounterMap) -> u64 {
         let Self { cache, rng, memo, k, wb, evictions, .. } = self;
         let mut drained = 0u64;
         cache.drain_with(|slot, ev| {
@@ -352,7 +396,7 @@ impl ShardWorker {
             debug_assert_eq!(indices, &kmap.indices(ev.flow)[..]);
             *evictions += 1;
             drained += ev.value;
-            stage_spread(indices, ev.value, rng, wb, sram);
+            stage_spread(indices, ev.value, rng, wb, sink);
         });
         drained
     }
@@ -431,7 +475,8 @@ impl ShardWorker {
             memo: state.memo,
             k: cfg.k,
             wb: WritebackBuffer::restore(&state.wb),
-            prefetch_sram: cfg.counters * 8 >= SRAM_PREFETCH_MIN_BYTES,
+            prefetch_sram: cfg.counters * 8 >= sram_prefetch_min_bytes(),
+            base_buf: Vec::new(),
             evictions: state.evictions,
         }
     }
@@ -441,6 +486,20 @@ impl ShardWorker {
         self.drain_cache(sram, kmap);
         self.wb.flush(sram);
         self.ingest_stats()
+    }
+
+    /// End of measurement for a segment-only build (the packed-SRAM
+    /// path): dump the cache into the accumulate-all segment and hand
+    /// the staged buffer plus the eviction count to the caller, which
+    /// merges shard segments into the non-atomic backing one at a time
+    /// via [`WritebackBuffer::flush_into`].
+    pub(crate) fn finish_segment(
+        mut self,
+        sink: &SegmentSink,
+        kmap: &KCounterMap,
+    ) -> (WritebackBuffer, u64) {
+        self.drain_cache(sink, kmap);
+        (self.wb, self.evictions)
     }
 }
 
@@ -487,12 +546,12 @@ pub(crate) fn panic_payload(p: Box<dyn std::any::Any + Send>) -> String {
 /// the exact RNG consumption the ingest determinism pins rely on). The
 /// remainder accumulator is a stack array, bounded by [`K_MAX`].
 #[inline]
-fn stage_spread(
+fn stage_spread<S: WritebackSink>(
     indices: &[usize],
     value: u64,
     rng: &mut StdRng,
     wb: &mut WritebackBuffer,
-    sram: &AtomicCounterArray,
+    sink: &S,
 ) {
     let kk = indices.len() as u64;
     let p = value / kk;
@@ -501,8 +560,16 @@ fn stage_spread(
     for _ in 0..q {
         extra[rng.gen_range(0..indices.len())] += 1;
     }
+    // Fold the aliquot into the scatter accumulator in one
+    // lane-parallel pass (`extra` becomes the per-counter increment
+    // row), then stage one coalesced push per counter — `push` drops
+    // zero increments, exactly like the old `p + extra[slot]` form.
+    let incs = &mut extra[..indices.len()];
+    for inc in incs.iter_mut() {
+        *inc += p;
+    }
     for (slot, &idx) in indices.iter().enumerate() {
-        wb.push(idx, p + extra[slot], sram);
+        wb.push(idx, incs[slot], sink);
     }
 }
 
@@ -769,6 +836,66 @@ impl ConcurrentCaesar {
             join_shards(handles)
         })?;
         Ok(Self::assemble(cfg, shards, sram, kmap, per_shard))
+    }
+
+    /// Packed-SRAM ingest ablation: the threaded construction phase
+    /// run against a bit-[`PackedCounterArray`] backing instead of the
+    /// word-per-counter atomic array.
+    ///
+    /// Packed counters straddle word boundaries, so shard workers
+    /// cannot write them concurrently. Instead each worker stages its
+    /// entire eviction stream in an accumulate-all
+    /// [`WritebackBuffer`] segment against a length-only
+    /// [`SegmentSink`] (parallel phase), and the segments are merged
+    /// into the packed array one shard at a time via
+    /// [`WritebackBuffer::flush_into`] (serial phase). The resulting
+    /// counter values are bit-identical to the word-backed threaded
+    /// build with the same configuration and shard count.
+    ///
+    /// The returned sketch is a sequential [`PackedCaesar`] whose
+    /// cache-occupancy statistics read zero — the shard caches are
+    /// consumed by the merge, and only eviction/write totals survive.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0` or the configuration is invalid.
+    pub fn try_build_packed(
+        cfg: CaesarConfig,
+        shards: usize,
+        flows: &[u64],
+    ) -> Result<PackedCaesar, BuildError> {
+        assert!(shards >= 1, "need at least one shard");
+        assert!(cfg.k <= K_MAX, "concurrent build supports k up to {K_MAX}");
+        cfg.validate();
+        let kmap = KCounterMap::new(cfg.k, cfg.counters, cfg.seed ^ 0x5EED_5EED);
+        let entries = per_shard_entries(cfg.cache_entries, shards);
+        let sink = SegmentSink::new(cfg.counters);
+        let batches = partition_by(flows, shards, |&f| Self::shard_of(f, shards, cfg.seed));
+
+        let segments = std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(shards);
+            for (shard, batch) in batches.into_iter().enumerate() {
+                let sink = &sink;
+                let kmap = &kmap;
+                let entries = entries[shard];
+                handles.push(s.spawn(move || {
+                    let mut w =
+                        ShardWorker::new(&cfg, shard, entries, WRITEBACK_ACCUMULATE_ALL);
+                    w.record_batch(&batch, sink, kmap);
+                    w.finish_segment(sink, kmap)
+                }));
+            }
+            join_shards(handles)
+        })?;
+
+        let mut packed = PackedCounterArray::new(cfg.counters, cfg.counter_bits);
+        let mut evictions = 0u64;
+        let mut sram_writes = 0u64;
+        for (mut wb, shard_evictions) in segments {
+            wb.flush_into(&mut packed);
+            evictions += shard_evictions;
+            sram_writes += wb.flushed_updates();
+        }
+        Ok(PackedCaesar::from_finished_parts(cfg, packed, evictions, sram_writes))
     }
 
     /// Streaming construction: overlap partitioning with shard

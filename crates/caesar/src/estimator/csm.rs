@@ -17,7 +17,7 @@
 //! D(x̂) ≈ x·k(k−1)²/y + Qμ·k(k−1)²/(yL)        (Eq. 22)
 //! ```
 
-use super::{Estimate, EstimateParams};
+use super::{Estimate, EstimateParams, LANES};
 
 /// Estimate the flow size from its `k` counter values.
 ///
@@ -109,6 +109,42 @@ impl Prepared {
             // Same chain as `variance`: ((x·k)·(k−1))·(k−1)/y + const.
             variance: x * self.k_f * self.km1 * self.km1 / self.y_f + self.noise_var,
         }
+    }
+
+    /// Lane kernel: [`estimate`](Prepared::estimate) for [`LANES`] flows
+    /// at once from their precomputed counter sums, pre-converted to
+    /// `f64` by the caller. The sums must still be accumulated in `u64`
+    /// (the scalar kernel's order) and converted once at the end —
+    /// `u64 as f64` yields the same value wherever it runs, so hoisting
+    /// the convert keeps bit-identity while handing this kernel a pure
+    /// float chain. That matters: with integer converts heading each
+    /// lane's chain, LLVM's SLP pass refuses to pack any of the float
+    /// arithmetic; fed `f64`, the subtract/max/mul/div chains vectorize
+    /// cleanly. Every loop is elementwise across lanes with the scalar
+    /// kernel's operation order inside each lane, so lane `i` of the
+    /// output is bit-identical to `estimate` on flow `i`'s counters.
+    ///
+    /// The output is planar (`(values, variances)`), not an array of
+    /// [`Estimate`]: the interleaved struct stores are the SLP
+    /// vectorizer's seed points, and adjacent `{value, variance}`
+    /// pairs are computed by different trees, so an AoS return defeats
+    /// packing — two homogeneous arrays give it isomorphic adjacent
+    /// stores instead. The asm-shape guard (`scripts/check.sh
+    /// --simd-smoke`) inspects this kernel through
+    /// [`crate::query::asm_probe_csm_lanes`], which pins a standalone
+    /// non-inlined instantiation.
+    #[inline]
+    pub fn estimate_lanes(&self, sums_f: &[f64; LANES]) -> ([f64; LANES], [f64; LANES]) {
+        let mut value = [0f64; LANES];
+        for lane in 0..LANES {
+            value[lane] = sums_f[lane] - self.noise_k;
+        }
+        let mut variance = [0f64; LANES];
+        for lane in 0..LANES {
+            let x = value[lane].max(0.0);
+            variance[lane] = x * self.k_f * self.km1 * self.km1 / self.y_f + self.noise_var;
+        }
+        (value, variance)
     }
 }
 

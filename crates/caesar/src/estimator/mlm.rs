@@ -23,7 +23,7 @@
 //! D(x̂) = 2k²Δ_X² / (2Δ_X + (k−1)⁴/y²)
 //! ```
 
-use super::{Estimate, EstimateParams};
+use super::{Estimate, EstimateParams, LANES};
 
 /// Estimate the flow size from its `k` counter values.
 ///
@@ -144,6 +144,35 @@ impl Prepared {
             self.two_kk * delta * delta / denom
         };
         Estimate { value, variance }
+    }
+
+    /// Lane kernel: [`estimate`](Prepared::estimate) for [`LANES`] flows
+    /// at once from their precomputed `Σw²` values. Elementwise across
+    /// lanes with the scalar operation order inside each lane (the
+    /// `denom == 0` guard becomes a per-lane select), so lane `i` is
+    /// bit-identical to the scalar kernel on flow `i` — and the packed
+    /// `sqrtpd` this loop compiles to is what the asm-shape guard in
+    /// `scripts/check.sh --simd-smoke` pins, via the standalone
+    /// non-inlined instantiation [`crate::query::asm_probe_mlm_lanes`].
+    #[inline]
+    pub fn estimate_lanes(&self, sum_sq: &[f64; LANES]) -> [Estimate; LANES] {
+        let mut value = [0f64; LANES];
+        for lane in 0..LANES {
+            let s = 0.5 * ((self.kkcc + self.four_k * sum_sq[lane]).sqrt() - self.kc);
+            value[lane] = s - self.k_noise;
+        }
+        let mut variance = [0f64; LANES];
+        for lane in 0..LANES {
+            let x = value[lane].max(0.0);
+            let delta = x * self.km1 * self.km1 / self.yk + self.noise_delta;
+            let denom = 2.0 * delta + self.quart;
+            variance[lane] = if denom == 0.0 { 0.0 } else { self.two_kk * delta * delta / denom };
+        }
+        let mut out = [Estimate { value: 0.0, variance: 0.0 }; LANES];
+        for lane in 0..LANES {
+            out[lane] = Estimate { value: value[lane], variance: variance[lane] };
+        }
+        out
     }
 }
 

@@ -14,6 +14,14 @@ pub mod mlm;
 
 use crate::gaussian::z_alpha;
 
+/// Lane width of the batch sweep kernels ([`csm::Prepared::estimate_lanes`],
+/// [`mlm::Prepared::estimate_lanes`]): four flows evaluated per call as
+/// `[u64; 4]`/`[f64; 4]` element arrays, matching [`hashkit::HASH_LANES`]
+/// so one index-fill chunk feeds one kernel call. Each lane's float chain
+/// keeps the exact scalar operation order — lanes are independent, so
+/// vectorizing across them cannot reassociate within a flow.
+pub const LANES: usize = hashkit::HASH_LANES;
+
 /// Global parameters both estimators need — the paper's `k`, `y`, `L`
 /// and the noise mass `Q·μ = n` (total packets recorded off-chip).
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -62,7 +62,9 @@ pub mod sram;
 pub mod theory;
 pub mod update;
 
-pub use atomic_sram::{AtomicCounterArray, WritebackBuffer, WRITEBACK_ACCUMULATE_ALL};
+pub use atomic_sram::{
+    AtomicCounterArray, SegmentSink, WritebackBuffer, WritebackSink, WRITEBACK_ACCUMULATE_ALL,
+};
 pub use concurrent::{
     per_shard_entries, BuildError, BuildMode, ConcurrentCaesar, IngestStats,
     DEFAULT_RING_CAPACITY,
@@ -77,6 +79,6 @@ pub use online::{
 pub use packed::PackedCounterArray;
 pub use config::{CaesarConfig, Estimator};
 pub use estimator::{Estimate, EstimateParams};
-pub use pipeline::{Caesar, CaesarStats};
+pub use pipeline::{sram_prefetch_min_bytes, Caesar, CaesarCore, CaesarStats, PackedCaesar};
 pub use query::{estimate_all, query_health, CounterView, QueryHealth, SaturationView};
-pub use sram::CounterArray;
+pub use sram::{CounterArray, SramBacking};

@@ -26,6 +26,11 @@ pub struct PackedCounterArray {
     max_value: u64,
     saturations: u64,
     total_added: u64,
+    /// Write accesses performed — same tally as
+    /// [`crate::CounterArray`]'s, so a packed-backed build reports
+    /// identical [`CounterArrayStats`](crate::sram::CounterArrayStats)
+    /// to a word-backed one (the parity suite pins it).
+    accesses: u64,
 }
 
 impl PackedCounterArray {
@@ -45,6 +50,7 @@ impl PackedCounterArray {
             max_value: (1u64 << bits) - 1,
             saturations: 0,
             total_added: 0,
+            accesses: 0,
         }
     }
 
@@ -114,6 +120,7 @@ impl PackedCounterArray {
     /// The offered-units total is a wrapping tally (the same semantics
     /// as [`crate::AtomicCounterArray::add`]).
     pub fn add(&mut self, idx: usize, v: u64) {
+        self.accesses += 1;
         self.total_added = self.total_added.wrapping_add(v);
         let cur = self.get(idx);
         let room = self.max_value - cur;
@@ -140,6 +147,7 @@ impl PackedCounterArray {
             batch_total = batch_total.wrapping_add(v);
         }
         self.total_added = self.total_added.wrapping_add(batch_total);
+        self.accesses += updates.len() as u64;
         for &(idx, v) in updates {
             if v == 0 {
                 continue;
@@ -152,6 +160,37 @@ impl PackedCounterArray {
             } else {
                 self.set(idx, cur + v);
             }
+        }
+    }
+
+    /// Apply one eviction's coalesced per-counter increments — the
+    /// packed mirror of [`crate::CounterArray::add_spread`]: every
+    /// **nonzero** `incs[slot]` is added (one access tallied) to
+    /// counter `indices[slot]` in slot order; returns the number of
+    /// counters written.
+    ///
+    /// # Panics
+    /// Panics if `incs` is shorter than `indices` or an index is out
+    /// of bounds.
+    #[inline]
+    pub fn add_spread(&mut self, indices: &[usize], incs: &[u64]) -> u64 {
+        let mut writes = 0u64;
+        for (&idx, &inc) in indices.iter().zip(&incs[..indices.len()]) {
+            if inc > 0 {
+                self.add(idx, inc);
+                writes += 1;
+            }
+        }
+        writes
+    }
+
+    /// Software-prefetch the word holding counter `idx`'s low bits
+    /// (no-op when out of bounds or on non-x86 targets).
+    #[inline]
+    pub fn prefetch(&self, idx: usize) {
+        if idx < self.len {
+            let word = (idx as u64 * self.bits as u64 / 64) as usize;
+            support::mem::prefetch_index(&self.words, word);
         }
     }
 
@@ -168,6 +207,88 @@ impl PackedCounterArray {
     /// Saturating adds that lost precision.
     pub fn saturations(&self) -> u64 {
         self.saturations
+    }
+
+    /// Write accesses performed (one per [`PackedCounterArray::add`],
+    /// one per batch entry).
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Fraction of counters pinned at the capacity `l` (see
+    /// [`crate::CounterArray::saturated_fraction`]).
+    pub fn saturated_fraction(&self) -> f64 {
+        let sat = (0..self.len)
+            .filter(|&i| self.get(i) >= self.max_value)
+            .count();
+        sat as f64 / self.len as f64
+    }
+
+    /// Array statistics in the common
+    /// [`CounterArrayStats`](crate::sram::CounterArrayStats) shape.
+    pub fn stats(&self) -> crate::sram::CounterArrayStats {
+        crate::sram::CounterArrayStats {
+            len: self.len,
+            bits: self.bits,
+            saturations: self.saturations,
+            total_added: self.total_added,
+            accesses: self.accesses,
+            zeros: (0..self.len).filter(|&i| self.get(i) == 0).count(),
+        }
+    }
+}
+
+impl crate::sram::SramBacking for PackedCounterArray {
+    fn new_backing(len: usize, bits: u32) -> Self {
+        PackedCounterArray::new(len, bits)
+    }
+
+    #[inline]
+    fn add(&mut self, idx: usize, v: u64) {
+        PackedCounterArray::add(self, idx, v);
+    }
+
+    #[inline]
+    fn add_spread(&mut self, indices: &[usize], incs: &[u64]) -> u64 {
+        PackedCounterArray::add_spread(self, indices, incs)
+    }
+
+    fn add_batch(&mut self, updates: &[(usize, u64)]) {
+        PackedCounterArray::add_batch(self, updates);
+    }
+
+    #[inline]
+    fn get(&self, idx: usize) -> u64 {
+        PackedCounterArray::get(self, idx)
+    }
+
+    #[inline]
+    fn prefetch(&self, idx: usize) {
+        PackedCounterArray::prefetch(self, idx);
+    }
+
+    fn len(&self) -> usize {
+        PackedCounterArray::len(self)
+    }
+
+    fn max_value(&self) -> u64 {
+        PackedCounterArray::max_value(self)
+    }
+
+    fn sum(&self) -> u64 {
+        PackedCounterArray::sum(self)
+    }
+
+    fn total_added(&self) -> u64 {
+        PackedCounterArray::total_added(self)
+    }
+
+    fn stats(&self) -> crate::sram::CounterArrayStats {
+        PackedCounterArray::stats(self)
+    }
+
+    fn saturated_fraction(&self) -> f64 {
+        PackedCounterArray::saturated_fraction(self)
     }
 }
 

@@ -3,7 +3,9 @@
 
 use crate::config::{CaesarConfig, Estimator};
 use crate::estimator::{csm, mlm, Estimate, EstimateParams};
-use crate::sram::{CounterArray, CounterArrayStats};
+use crate::packed::PackedCounterArray;
+use crate::query::CounterView;
+use crate::sram::{CounterArray, CounterArrayStats, SramBacking};
 use crate::update::spread_eviction;
 use cachesim::{CacheConfig, CacheStats, CacheTable};
 use hashkit::KCounterMap;
@@ -19,6 +21,34 @@ use support::rand::{rngs::StdRng, SeedableRng};
 /// big miss often enough for the one-ahead hint to pay.
 pub(crate) const SRAM_PREFETCH_MIN_BYTES: usize = 256 * 1024;
 
+/// The prefetch gate actually in effect: [`SRAM_PREFETCH_MIN_BYTES`]
+/// unless overridden through the `CAESAR_SRAM_PREFETCH_MIN_BYTES`
+/// environment variable (a byte count, read **once** per process).
+/// The override exists so benches and cross-host tuning can force
+/// either batch path on any geometry — `0` turns prefetching on
+/// everywhere, a huge value turns it off — without recompiling.
+/// Unparsable values warn on stderr and keep the built-in default.
+pub fn sram_prefetch_min_bytes() -> usize {
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| {
+        parse_prefetch_min(std::env::var("CAESAR_SRAM_PREFETCH_MIN_BYTES").ok().as_deref())
+    })
+}
+
+/// Parse the env override; `None`/empty means "use the default".
+fn parse_prefetch_min(raw: Option<&str>) -> usize {
+    match raw.map(str::trim) {
+        None | Some("") => SRAM_PREFETCH_MIN_BYTES,
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!(
+                "caesar: ignoring unparsable CAESAR_SRAM_PREFETCH_MIN_BYTES={s:?} \
+                 (want a byte count); using default {SRAM_PREFETCH_MIN_BYTES}"
+            );
+            SRAM_PREFETCH_MIN_BYTES
+        }),
+    }
+}
+
 /// Aggregate statistics of a CAESAR run.
 #[derive(Debug, Clone, Copy)]
 pub struct CaesarStats {
@@ -32,12 +62,20 @@ pub struct CaesarStats {
     pub sram_writes: u64,
 }
 
-/// Cache Assisted randomizEd ShAring counteRs (see crate docs).
+/// Cache Assisted randomizEd ShAring counteRs (see crate docs),
+/// generic over the off-chip counter storage.
+///
+/// `B` is the [`SramBacking`] seam: [`Caesar`] (the default, a
+/// word-per-counter [`CounterArray`]) is the simulation hot path;
+/// [`PackedCaesar`] runs the identical ingest against the
+/// hardware-faithful bit-packed layout, and the two produce
+/// byte-identical sketches (pinned by the packed-parity suite). The
+/// `ablations/ingest_backing` bench group prices the difference.
 #[derive(Debug)]
-pub struct Caesar {
+pub struct CaesarCore<B: SramBacking = CounterArray> {
     cfg: CaesarConfig,
     cache: CacheTable,
-    sram: CounterArray,
+    sram: B,
     kmap: KCounterMap,
     rng: StdRng,
     /// Memoized per-slot counter indices (row `slot` is
@@ -50,12 +88,25 @@ pub struct Caesar {
     /// eviction of the previous occupant consumed its row.
     memo: Vec<usize>,
     ev_buf: Vec<cachesim::Eviction>,
+    /// Reusable per-batch base-hash row ([`KCounterMap::base_hashes`]):
+    /// `record_batch` hashes the whole drain batch up front in
+    /// lane-width chunks, and inserted flows derive their `k` counter
+    /// indices from the memoized base.
+    base_buf: Vec<u64>,
     finished: bool,
     evictions: u64,
     sram_writes: u64,
 }
 
-impl Caesar {
+/// The word-per-counter CAESAR sketch — the default, fastest layout.
+pub type Caesar = CaesarCore<CounterArray>;
+
+/// CAESAR ingesting directly into the bit-packed
+/// [`PackedCounterArray`] — the paper's exact `L·log2(l)`-bit SRAM
+/// budget on the real construction path.
+pub type PackedCaesar = CaesarCore<PackedCounterArray>;
+
+impl<B: SramBacking> CaesarCore<B> {
     /// Build the two-level structure for `cfg`.
     ///
     /// # Panics
@@ -71,16 +122,37 @@ impl Caesar {
         });
         Self {
             cache,
-            sram: CounterArray::new(cfg.counters, cfg.counter_bits),
+            sram: B::new_backing(cfg.counters, cfg.counter_bits),
             kmap: KCounterMap::new(cfg.k, cfg.counters, cfg.seed ^ 0x5EED_5EED),
             rng: StdRng::seed_from_u64(cfg.seed ^ 0x0D15_EA5E),
             memo: vec![0usize; cfg.cache_entries * cfg.k],
             ev_buf: Vec::new(),
+            base_buf: Vec::new(),
             finished: false,
             evictions: 0,
             sram_writes: 0,
             cfg,
         }
+    }
+
+    /// Assemble a **finished**, query-only sketch around an externally
+    /// constructed backing — the hand-off at the end of the sharded
+    /// packed build ([`crate::ConcurrentCaesar::try_build_packed`]).
+    /// The cache is empty (the shard caches were already drained into
+    /// `sram`), so cache-side stats read zero; eviction and write
+    /// tallies come from the build that produced the backing.
+    pub(crate) fn from_finished_parts(
+        cfg: CaesarConfig,
+        sram: B,
+        evictions: u64,
+        sram_writes: u64,
+    ) -> Self {
+        let mut core = Self::new(cfg);
+        core.sram = sram;
+        core.evictions = evictions;
+        core.sram_writes = sram_writes;
+        core.finished = true;
+        core
     }
 
     /// The configuration in use.
@@ -126,6 +198,23 @@ impl Caesar {
         }
     }
 
+    /// [`CaesarCore::apply_recorded`] with the flow's precomputed base
+    /// hash (the batch path): identical bookkeeping, but an insert
+    /// fills the memo row from the base instead of re-mixing the key.
+    #[inline]
+    fn apply_recorded_base(&mut self, flow: u64, base: u64, r: cachesim::Recorded) {
+        debug_assert_eq!(base, self.kmap.base_hash(flow));
+        let k = self.cfg.k;
+        let start = r.slot as usize * k;
+        if let Some(ev) = r.eviction {
+            debug_assert_eq!(self.memo[start..start + k], self.kmap.indices(ev.flow)[..]);
+            self.spread_row(start, ev.value);
+        }
+        if r.inserted {
+            self.kmap.fill_indices_from_base(base, &mut self.memo[start..start + k]);
+        }
+    }
+
     /// Spread `value` over the memoized index row starting at `start`.
     #[inline]
     fn spread_row(&mut self, start: usize, value: u64) {
@@ -166,16 +255,35 @@ impl Caesar {
     pub fn record_batch(&mut self, flows: &[u64]) {
         assert!(!self.finished, "record_batch() after finish(): the sketch is read-only");
         let k = self.cfg.k;
-        let prefetch_sram = self.cfg.counters * 8 >= SRAM_PREFETCH_MIN_BYTES;
+        // Hash the whole batch up front: `base_hashes` mixes the flow
+        // keys in lane-width chunks (the vectorized pass), and every
+        // inserted flow then derives its `k` counter indices from the
+        // memoized base via `fill_indices_from_base` — bit-identical to
+        // the per-flow `fill_indices` (pinned in hashkit).
+        let mut bases = std::mem::take(&mut self.base_buf);
+        bases.clear();
+        bases.resize(flows.len(), 0);
+        self.kmap.base_hashes(flows, &mut bases);
+        let prefetch_sram = self.cfg.counters * 8 >= sram_prefetch_min_bytes();
         if !prefetch_sram {
             // Cache-resident counter array: there is no miss latency to
             // hide, so the probe-one-ahead pipeline below is pure
             // bookkeeping overhead (the BENCH_PR3 `caesar_trace_batch`
             // regression). The plain loop is the fast path here and is
             // trivially the same sketch.
-            for &flow in flows {
-                self.record_inner(flow);
+            for (&flow, &base) in flows.iter().zip(&bases) {
+                // Pure-hit fast path: >90% of packets in the cache-
+                // friendly regime are absorbed on-chip with no memo or
+                // spread bookkeeping; fall through to the full record
+                // only on miss/overflow (record_absorbed recorded
+                // nothing in that case).
+                if self.cache.record_absorbed(flow) {
+                    continue;
+                }
+                let r = self.cache.record_slotted(flow);
+                self.apply_recorded_base(flow, base, r);
             }
+            self.base_buf = bases;
             return;
         }
         let mut hint = flows.first().and_then(|&f| self.cache.prefetch(f));
@@ -183,20 +291,19 @@ impl Caesar {
             let r = self
                 .cache
                 .record_slotted_hinted(flow, hint.map(|(slot, _)| slot));
-            self.apply_recorded(flow, r);
+            self.apply_recorded_base(flow, bases[i], r);
             hint = flows.get(i + 1).and_then(|&next| {
                 let probe = self.cache.prefetch(next);
-                if prefetch_sram {
-                    if let Some((slot, true)) = probe {
-                        let start = slot as usize * k;
-                        for &idx in &self.memo[start..start + k] {
-                            self.sram.prefetch(idx);
-                        }
+                if let Some((slot, true)) = probe {
+                    let start = slot as usize * k;
+                    for &idx in &self.memo[start..start + k] {
+                        self.sram.prefetch(idx);
                     }
                 }
                 probe
             });
         }
+        self.base_buf = bases;
     }
 
     /// Construction phase for **flow volume**: one packet of `flow`
@@ -297,35 +404,6 @@ impl Caesar {
         self.estimate(flow, self.cfg.estimator).clamped()
     }
 
-    /// Batch query (§3.2 at scale): evaluate `estimator` for every
-    /// flow in `flows` with the zero-alloc batch engine
-    /// ([`crate::query::estimate_all`]), sequentially. Results are
-    /// bit-identical to calling [`Caesar::estimate`] per flow.
-    pub fn estimate_all(&self, flows: &[u64], estimator: Estimator) -> Vec<Estimate> {
-        self.estimate_all_threads(flows, estimator, 1)
-    }
-
-    /// [`Caesar::estimate_all`] with up to `threads` workers (resolved
-    /// against the host's available parallelism). Output order matches
-    /// `flows` and is bit-identical at every thread count.
-    pub fn estimate_all_threads(
-        &self,
-        flows: &[u64],
-        estimator: Estimator,
-        threads: usize,
-    ) -> Vec<Estimate> {
-        crate::query::estimate_all(&self.kmap, &self.sram, &self.params(), estimator, flows, threads)
-    }
-
-    /// Clamped default-estimator sizes for a whole flow table — the
-    /// batch counterpart of [`Caesar::query`].
-    pub fn query_all(&self, flows: &[u64]) -> Vec<f64> {
-        self.estimate_all(flows, self.cfg.estimator)
-            .into_iter()
-            .map(|e| e.clamped())
-            .collect()
-    }
-
     /// Estimate plus the `alpha`-reliability confidence interval
     /// (Eqs. 26/32).
     ///
@@ -345,13 +423,12 @@ impl Caesar {
     /// draw from the marginal noise-plus-share distribution, selection
     /// term included.
     pub fn empirical_counter_variance(&self) -> f64 {
-        let counters = self.sram.as_slice();
-        let n = counters.len() as f64;
-        let mean = counters.iter().map(|&c| c as f64).sum::<f64>() / n;
-        counters
-            .iter()
-            .map(|&c| {
-                let d = c as f64 - mean;
+        let len = self.sram.len();
+        let n = len as f64;
+        let mean = (0..len).map(|i| self.sram.get(i) as f64).sum::<f64>() / n;
+        (0..len)
+            .map(|i| {
+                let d = self.sram.get(i) as f64 - mean;
                 d * d
             })
             .sum::<f64>()
@@ -381,11 +458,45 @@ impl Caesar {
         }
     }
 
-    /// Borrow the SRAM array (read-only diagnostics / sweeps).
-    pub fn sram(&self) -> &CounterArray {
+    /// Borrow the SRAM backing (read-only diagnostics / sweeps).
+    pub fn sram(&self) -> &B {
         &self.sram
     }
+}
 
+impl<B: SramBacking + CounterView> CaesarCore<B> {
+    /// Batch query (§3.2 at scale): evaluate `estimator` for every
+    /// flow in `flows` with the zero-alloc batch engine
+    /// ([`crate::query::estimate_all`]), sequentially. Results are
+    /// bit-identical to calling [`CaesarCore::estimate`] per flow.
+    pub fn estimate_all(&self, flows: &[u64], estimator: Estimator) -> Vec<Estimate> {
+        self.estimate_all_threads(flows, estimator, 1)
+    }
+
+    /// [`CaesarCore::estimate_all`] with up to `threads` workers
+    /// (resolved against the host's available parallelism). Output
+    /// order matches `flows` and is bit-identical at every thread
+    /// count.
+    pub fn estimate_all_threads(
+        &self,
+        flows: &[u64],
+        estimator: Estimator,
+        threads: usize,
+    ) -> Vec<Estimate> {
+        crate::query::estimate_all(&self.kmap, &self.sram, &self.params(), estimator, flows, threads)
+    }
+
+    /// Clamped default-estimator sizes for a whole flow table — the
+    /// batch counterpart of [`CaesarCore::query`].
+    pub fn query_all(&self, flows: &[u64]) -> Vec<f64> {
+        self.estimate_all(flows, self.cfg.estimator)
+            .into_iter()
+            .map(|e| e.clamped())
+            .collect()
+    }
+}
+
+impl Caesar {
     /// Merge another **finished** sketch with the **same configuration
     /// and seed** into this one — the distributed-collector operation:
     /// several taps measure disjoint packet streams with identical

@@ -40,7 +40,7 @@
 //! latency for no concurrency.
 
 use crate::config::Estimator;
-use crate::estimator::{csm, mlm, Estimate, EstimateParams};
+use crate::estimator::{csm, mlm, Estimate, EstimateParams, LANES};
 use hashkit::{KCounterMap, K_MAX};
 use support::par::par_map_threads;
 
@@ -204,6 +204,14 @@ pub fn query_health<V: SaturationView>(
 /// for every flow.
 trait BatchKernel: Copy + Sync {
     fn eval(&self, w: &[u64]) -> Estimate;
+
+    /// Lane form: evaluate [`LANES`] flows at once from their gathered
+    /// counter rows, `w[r][lane]` = counter `r` of the chunk's flow
+    /// `lane`. The per-flow reduction (sum / Σw²) runs round-major so
+    /// each lane accumulates in the exact scalar order; the float tail
+    /// is the estimator's `estimate_lanes` kernel. Lane `i` of the
+    /// output is bit-identical to `eval` on flow `i`'s row.
+    fn eval_lanes<const KC: usize>(&self, w: &[[u64; LANES]; KC]) -> [Estimate; LANES];
 }
 
 impl BatchKernel for csm::Prepared {
@@ -211,12 +219,46 @@ impl BatchKernel for csm::Prepared {
     fn eval(&self, w: &[u64]) -> Estimate {
         self.estimate(w)
     }
+
+    #[inline(always)]
+    fn eval_lanes<const KC: usize>(&self, w: &[[u64; LANES]; KC]) -> [Estimate; LANES] {
+        let mut sums = [0u64; LANES];
+        for row in w {
+            for lane in 0..LANES {
+                sums[lane] += row[lane];
+            }
+        }
+        // Exact convert of the scalar kernel's u64 sum; done here so
+        // the kernel proper is a pure float chain (see estimate_lanes).
+        let mut sums_f = [0f64; LANES];
+        for lane in 0..LANES {
+            sums_f[lane] = sums[lane] as f64;
+        }
+        let (value, variance) = self.estimate_lanes(&sums_f);
+        let mut out = [Estimate { value: 0.0, variance: 0.0 }; LANES];
+        for lane in 0..LANES {
+            out[lane] = Estimate { value: value[lane], variance: variance[lane] };
+        }
+        out
+    }
 }
 
 impl BatchKernel for mlm::Prepared {
     #[inline(always)]
     fn eval(&self, w: &[u64]) -> Estimate {
         self.estimate(w)
+    }
+
+    #[inline(always)]
+    fn eval_lanes<const KC: usize>(&self, w: &[[u64; LANES]; KC]) -> [Estimate; LANES] {
+        let mut sum_sq = [0f64; LANES];
+        for row in w {
+            for lane in 0..LANES {
+                let wf = row[lane] as f64;
+                sum_sq[lane] += wf * wf;
+            }
+        }
+        self.estimate_lanes(&sum_sq)
     }
 }
 
@@ -346,8 +388,14 @@ fn batch_dispatch_pf<V: CounterView, K: BatchKernel, const PF: bool>(
     }
 }
 
-/// [`batch_kernel`] with `k` lifted to a const generic: buffers are
-/// exactly `KC` wide, so the fill/gather/sum loops unroll.
+/// [`batch_kernel`] with `k` lifted to a const generic, restructured
+/// into [`LANES`]-wide chunks: one batch index fill per chunk
+/// ([`KCounterMap::fill_indices_batch`] — four independent hash
+/// chains), a round-major gather into the `[[u64; LANES]; KC]` SoA
+/// rows, and the estimator's lane kernel over the chunk. The `< LANES`
+/// tail takes the scalar fill → gather → eval loop. Both paths are
+/// bit-identical per flow (the lane kernels pin this), so chunking is
+/// unobservable in the output.
 fn batch_fixed<V: CounterView, K: BatchKernel, const KC: usize, const PF: bool>(
     kmap: &KCounterMap,
     view: &V,
@@ -356,13 +404,51 @@ fn batch_fixed<V: CounterView, K: BatchKernel, const KC: usize, const PF: bool>(
 ) -> Vec<Estimate> {
     debug_assert_eq!(kmap.k(), KC);
     let mut out = Vec::with_capacity(flows.len());
+    let mut chunks = flows.chunks_exact(LANES);
+    for chunk in chunks.by_ref() {
+        let mut bases = [0u64; LANES];
+        for lane in 0..LANES {
+            bases[lane] = kmap.base_hash(chunk[lane]);
+        }
+        // Fused candidate + gather rounds: round r's four counter loads
+        // issue while round r+1's hash multiplies run, so the (L2)
+        // load latency overlaps the arithmetic instead of serializing
+        // behind the full index fill.
+        let mut rows = [[0usize; KC]; LANES];
+        let mut w = [[0u64; LANES]; KC];
+        for r in 0..KC {
+            let mut idx = [0usize; LANES];
+            for lane in 0..LANES {
+                idx[lane] = kmap.candidate(bases[lane], r as u64);
+            }
+            if PF {
+                for &i in &idx {
+                    view.prefetch(i);
+                }
+            }
+            for lane in 0..LANES {
+                rows[lane][r] = idx[lane];
+                w[r][lane] = view.get(idx[lane]);
+            }
+        }
+        // Rare repair: a lane whose first KC candidates collided gets
+        // the canonical duplicate-skip row (bit-identical to the
+        // scalar path) and a re-gather of its column.
+        for lane in 0..LANES {
+            if has_lane_duplicate(&rows[lane]) {
+                kmap.fill_indices_from_base(bases[lane], &mut rows[lane]);
+                for r in 0..KC {
+                    w[r][lane] = view.get(rows[lane][r]);
+                }
+            }
+        }
+        out.extend_from_slice(&kernel.eval_lanes(&w));
+    }
     let mut idx = [0usize; KC];
     let mut w = [0u64; KC];
-    for &flow in flows {
+    for &flow in chunks.remainder() {
         kmap.fill_indices(flow, &mut idx);
         if PF {
-            // Hint all KC lines before the first dependent load so the
-            // (independent) fetches overlap instead of serializing.
             for &i in &idx {
                 view.prefetch(i);
             }
@@ -405,6 +491,53 @@ fn batch_kernel<V: CounterView, K: BatchKernel, const PF: bool>(
         out.push(kernel.eval(&w[..k]));
     }
     out
+}
+
+/// Pairwise duplicate scan over one candidate row (`KC <= 8`, fully
+/// unrolled, branch-free).
+#[inline(always)]
+fn has_lane_duplicate<const KC: usize>(row: &[usize; KC]) -> bool {
+    let mut dup = false;
+    for i in 1..KC {
+        for j in 0..i {
+            dup |= row[i] == row[j];
+        }
+    }
+    dup
+}
+
+/// Asm-shape anchor for the CSM lane kernel: a standalone, non-inlined
+/// instantiation of [`csm::Prepared::estimate_lanes`] that
+/// `scripts/check.sh --simd-smoke` disassembles (`--emit=asm`) and
+/// greps for packed-double instructions, so a toolchain bump that
+/// silently de-vectorizes the lane kernels fails the check instead of
+/// shipping. Not used by the hot path (which inlines the kernel); kept
+/// `pub` so the symbol always reaches the object file.
+#[inline(never)]
+pub fn asm_probe_csm_lanes(
+    prep: &csm::Prepared,
+    sums_f: &[f64; LANES],
+) -> ([f64; LANES], [f64; LANES]) {
+    prep.estimate_lanes(sums_f)
+}
+
+/// Asm-shape anchor for the MLM lane kernel (packed `sqrtpd` et al.);
+/// see [`asm_probe_csm_lanes`].
+#[inline(never)]
+pub fn asm_probe_mlm_lanes(prep: &mlm::Prepared, sum_sq: &[f64; LANES]) -> [Estimate; LANES] {
+    prep.estimate_lanes(sum_sq)
+}
+
+/// Asm-shape anchor for the batch-hash candidate pass
+/// ([`KCounterMap::fill_indices_lanes`] at the paper's default `k = 3`):
+/// the guard greps for packed 64-bit lane arithmetic in the mix chains.
+#[inline(never)]
+pub fn asm_probe_fill_lanes_k3(
+    kmap: &KCounterMap,
+    flows: &[u64; LANES],
+    out: &mut [[usize; 3]; LANES],
+) {
+    kmap.fill_indices_lanes(flows, out)
 }
 
 #[cfg(test)]

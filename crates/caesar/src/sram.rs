@@ -85,6 +85,51 @@ impl CounterArray {
         }
     }
 
+    /// Apply one eviction's coalesced per-counter increments: add
+    /// `incs[slot]` to counter `indices[slot]` for every **nonzero**
+    /// increment, in slot order, with exactly the per-write tallies of
+    /// [`CounterArray::add`]. Returns the number of counters written.
+    /// One inherent call instead of `k` dependent `add` calls keeps the
+    /// capacity/room math in registers across the whole row — the
+    /// lane-structured eviction hot path
+    /// ([`crate::update::spread_eviction`]).
+    ///
+    /// # Panics
+    /// Panics if `incs` is shorter than `indices` or an index is out of
+    /// bounds.
+    #[inline]
+    pub fn add_spread(&mut self, indices: &[usize], incs: &[u64]) -> u64 {
+        let max = self.max_value;
+        let mut writes = 0u64;
+        for (&idx, &inc) in indices.iter().zip(&incs[..indices.len()]) {
+            if inc == 0 {
+                continue;
+            }
+            self.accesses += 1;
+            self.total_added += inc;
+            let c = &mut self.counters[idx];
+            let room = max - *c;
+            if inc > room {
+                *c = max;
+                self.saturations += 1;
+            } else {
+                *c += inc;
+            }
+            writes += 1;
+        }
+        writes
+    }
+
+    /// Apply a batch of `(index, increment)` updates, one
+    /// [`CounterArray::add`] each (duplicates legal, zero increments
+    /// tallied as accesses exactly like a zero `add`). The word-array
+    /// mirror of [`crate::PackedCounterArray::add_batch`].
+    pub fn add_batch(&mut self, updates: &[(usize, u64)]) {
+        for &(idx, v) in updates {
+            self.add(idx, v);
+        }
+    }
+
     /// Read counter `idx`.
     #[inline]
     pub fn get(&self, idx: usize) -> u64 {
@@ -196,6 +241,130 @@ impl CounterArray {
     }
 }
 
+/// The storage seam of the ingest path: everything the CAESAR pipeline
+/// ([`crate::CaesarCore`]) needs from its off-chip counter array.
+///
+/// Implemented by the word-per-counter [`CounterArray`] (the simulation
+/// hot path) and the hardware-faithful bit-packed
+/// [`crate::PackedCounterArray`], so the same construction code runs —
+/// and is priced, by the `ablations/ingest_backing` bench group —
+/// against either layout.
+///
+/// Every implementor must honor the [`CounterArray`] semantics (the
+/// packed-parity suite pins them): adds saturate at
+/// [`max_value`](SramBacking::max_value) and count saturation events,
+/// each write tallies one access, and the offered-units total records
+/// pre-clipping values.
+pub trait SramBacking {
+    /// Fresh all-zero array of `len` counters of `bits` bits each.
+    ///
+    /// # Panics
+    /// Panics if `len == 0` or `bits` is outside `1..=63`.
+    fn new_backing(len: usize, bits: u32) -> Self
+    where
+        Self: Sized;
+
+    /// Add `v` to counter `idx`, saturating at the capacity.
+    fn add(&mut self, idx: usize, v: u64);
+
+    /// Apply one eviction's coalesced per-counter increments
+    /// (`incs[slot]` onto `indices[slot]`, zero increments skipped with
+    /// **no** access tallied) and return the number of counters
+    /// written. Must be observably identical to the skip-zero `add`
+    /// loop — see [`CounterArray::add_spread`].
+    fn add_spread(&mut self, indices: &[usize], incs: &[u64]) -> u64;
+
+    /// Apply a `(index, increment)` batch, equivalent to one
+    /// [`add`](SramBacking::add) per entry — the merge target for
+    /// shard-local writeback segments
+    /// ([`crate::WritebackBuffer::flush_into`]).
+    fn add_batch(&mut self, updates: &[(usize, u64)]);
+
+    /// Read counter `idx`.
+    fn get(&self, idx: usize) -> u64;
+
+    /// Best-effort software prefetch of counter `idx`'s storage word
+    /// (may be a no-op).
+    fn prefetch(&self, idx: usize);
+
+    /// Number of counters `L`.
+    fn len(&self) -> usize;
+
+    /// True when the array has no counters.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum storable value `l`.
+    fn max_value(&self) -> u64;
+
+    /// Sum over all counters.
+    fn sum(&self) -> u64;
+
+    /// Total units offered (`n` for the estimators).
+    fn total_added(&self) -> u64;
+
+    /// Array statistics in the common [`CounterArrayStats`] shape.
+    fn stats(&self) -> CounterArrayStats;
+
+    /// Fraction of counters pinned at the capacity `l`.
+    fn saturated_fraction(&self) -> f64;
+}
+
+impl SramBacking for CounterArray {
+    fn new_backing(len: usize, bits: u32) -> Self {
+        CounterArray::new(len, bits)
+    }
+
+    #[inline]
+    fn add(&mut self, idx: usize, v: u64) {
+        CounterArray::add(self, idx, v);
+    }
+
+    #[inline]
+    fn add_spread(&mut self, indices: &[usize], incs: &[u64]) -> u64 {
+        CounterArray::add_spread(self, indices, incs)
+    }
+
+    fn add_batch(&mut self, updates: &[(usize, u64)]) {
+        CounterArray::add_batch(self, updates);
+    }
+
+    #[inline]
+    fn get(&self, idx: usize) -> u64 {
+        CounterArray::get(self, idx)
+    }
+
+    #[inline]
+    fn prefetch(&self, idx: usize) {
+        CounterArray::prefetch(self, idx);
+    }
+
+    fn len(&self) -> usize {
+        CounterArray::len(self)
+    }
+
+    fn max_value(&self) -> u64 {
+        CounterArray::max_value(self)
+    }
+
+    fn sum(&self) -> u64 {
+        CounterArray::sum(self)
+    }
+
+    fn total_added(&self) -> u64 {
+        CounterArray::total_added(self)
+    }
+
+    fn stats(&self) -> CounterArrayStats {
+        CounterArray::stats(self)
+    }
+
+    fn saturated_fraction(&self) -> f64 {
+        CounterArray::saturated_fraction(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,6 +437,36 @@ mod tests {
     fn out_of_bounds_add_panics() {
         let mut a = CounterArray::new(2, 8);
         a.add(2, 1);
+    }
+
+    #[test]
+    fn add_spread_matches_skip_zero_add_loop() {
+        let indices = [0usize, 3, 1, 3];
+        for incs in [[5u64, 0, 7, 2], [0, 0, 0, 0], [300, 1, 1, 300]] {
+            let mut spread = CounterArray::new(4, 8);
+            let mut looped = CounterArray::new(4, 8);
+            let writes = spread.add_spread(&indices, &incs);
+            let mut expect = 0u64;
+            for (&idx, &inc) in indices.iter().zip(&incs) {
+                if inc > 0 {
+                    looped.add(idx, inc);
+                    expect += 1;
+                }
+            }
+            assert_eq!(writes, expect, "incs {incs:?}");
+            assert_eq!(spread.as_slice(), looped.as_slice());
+            let (a, b) = (spread.stats(), looped.stats());
+            assert_eq!(a.accesses, b.accesses);
+            assert_eq!(a.total_added, b.total_added);
+            assert_eq!(a.saturations, b.saturations);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn add_spread_short_incs_panics() {
+        let mut a = CounterArray::new(4, 8);
+        a.add_spread(&[0, 1, 2], &[1, 2]);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! and uniformly at random — which makes the per-counter remainder
 //! follow `B(q, 1/k)` exactly as the analysis assumes (Eq. 4).
 
-use crate::sram::CounterArray;
+use crate::sram::SramBacking;
 use hashkit::K_MAX;
 use support::rand::Rng;
 
@@ -24,8 +24,8 @@ use support::rand::Rng;
 /// pre-optimization implementation, so recorded sketches stay
 /// byte-for-byte the same.
 #[inline]
-pub fn spread_eviction<R: Rng + ?Sized>(
-    sram: &mut CounterArray,
+pub fn spread_eviction<B: SramBacking, R: Rng + ?Sized>(
+    sram: &mut B,
     indices: &[usize],
     value: u64,
     rng: &mut R,
@@ -42,8 +42,8 @@ pub fn spread_eviction<R: Rng + ?Sized>(
 /// for pathological geometries without burdening the hot path.
 #[cold]
 #[inline(never)]
-fn spread_eviction_large<R: Rng + ?Sized>(
-    sram: &mut CounterArray,
+fn spread_eviction_large<B: SramBacking, R: Rng + ?Sized>(
+    sram: &mut B,
     indices: &[usize],
     value: u64,
     rng: &mut R,
@@ -59,8 +59,8 @@ fn spread_eviction_large<R: Rng + ?Sized>(
 ///
 /// # Panics
 /// Panics if `scratch.len() < indices.len()`.
-pub fn spread_eviction_scratch<R: Rng + ?Sized>(
-    sram: &mut CounterArray,
+pub fn spread_eviction_scratch<B: SramBacking, R: Rng + ?Sized>(
+    sram: &mut B,
     indices: &[usize],
     value: u64,
     rng: &mut R,
@@ -78,20 +78,21 @@ pub fn spread_eviction_scratch<R: Rng + ?Sized>(
     for _ in 0..q {
         extra[rng.gen_range(0..indices.len())] += 1;
     }
-    let mut writes = 0;
-    for (slot, &idx) in indices.iter().enumerate() {
-        let inc = p + extra[slot];
-        if inc > 0 {
-            sram.add(idx, inc);
-            writes += 1;
-        }
+    // Fold the aliquot into the scatter accumulator in one
+    // lane-parallel pass: `extra` becomes the finished per-counter
+    // increment row, applied by a single coalesced `add_spread` call
+    // (same writes, tallies, and slot order as the old per-slot `add`
+    // loop — `add_spread` pins that equivalence).
+    for inc in extra.iter_mut() {
+        *inc += p;
     }
-    writes
+    sram.add_spread(indices, extra)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sram::CounterArray;
     use support::rand::{rngs::StdRng, SeedableRng};
 
     #[test]

@@ -22,6 +22,19 @@ use crate::mix::{bucket, mix64, splitmix64};
 /// scratch arrays comfortably inside one page.
 pub const K_MAX: usize = 64;
 
+/// Lane width of the batch index-fill pass ([`KCounterMap::fill_indices_batch`],
+/// [`KCounterMap::base_hashes`]): four independent 64-bit hash chains per
+/// chunk, matching the `[u64; 4]` lane shape of the query sweep kernels.
+pub const HASH_LANES: usize = 4;
+
+/// Largest `k` served by the unrolled fixed-round fast path; beyond it
+/// the general duplicate-skip loop runs (the paper's configurations top
+/// out at `k = 8`).
+const FIXED_K_MAX: usize = 8;
+
+/// Weyl increment separating candidate rounds (golden-ratio constant).
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
 /// Deterministic map from a 64-bit flow ID to `k` distinct counter
 /// indices in `[0, L)`.
 ///
@@ -102,11 +115,228 @@ impl KCounterMap {
     #[inline]
     pub fn fill_indices(&self, flow_id: u64, out: &mut [usize]) -> usize {
         assert!(out.len() >= self.k, "fill_indices scratch shorter than k");
-        let base = mix64(flow_id ^ self.mixed_seed);
+        self.fill_from_base(self.base_hash(flow_id), out)
+    }
+
+    /// The per-flow base hash the candidate stream is derived from:
+    /// `mix64(flow_id ^ splitmix64(seed))`. Exposed so batch callers can
+    /// hoist this one mix out of the miss path (see
+    /// [`base_hashes`](Self::base_hashes)) and resume index generation
+    /// later via [`fill_indices_from_base`](Self::fill_indices_from_base).
+    #[inline]
+    pub fn base_hash(&self, flow_id: u64) -> u64 {
+        mix64(flow_id ^ self.mixed_seed)
+    }
+
+    /// [`base_hash`](Self::base_hash) for a whole batch of flow keys in
+    /// one restructured pass: the mix chains of [`HASH_LANES`] keys are
+    /// interleaved per chunk so they have no serial dependency (the shape
+    /// the autovectorizer / out-of-order core overlaps). Bit-identical to
+    /// calling `base_hash` per key.
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than `flows`.
+    #[inline]
+    pub fn base_hashes(&self, flows: &[u64], out: &mut [u64]) {
+        assert!(out.len() >= flows.len(), "base_hashes scratch shorter than flows");
+        let ms = self.mixed_seed;
+        let mut chunks = flows.chunks_exact(HASH_LANES);
+        let mut o = 0usize;
+        for chunk in chunks.by_ref() {
+            let mut h = [0u64; HASH_LANES];
+            for lane in 0..HASH_LANES {
+                h[lane] = mix64(chunk[lane] ^ ms);
+            }
+            out[o..o + HASH_LANES].copy_from_slice(&h);
+            o += HASH_LANES;
+        }
+        for &f in chunks.remainder() {
+            out[o] = mix64(f ^ ms);
+            o += 1;
+        }
+    }
+
+    /// The round-`r` candidate index of the stream behind
+    /// [`fill_indices`](Self::fill_indices):
+    /// `bucket(mix64(base + r·GOLDEN), l)`. This is the primitive the
+    /// lane sweeps fuse with their counter gather — when the first `k`
+    /// rounds are pairwise distinct (the overwhelmingly common case)
+    /// they *are* the flow's index row; a row with duplicates must be
+    /// regenerated via
+    /// [`fill_indices_from_base`](Self::fill_indices_from_base).
+    #[inline(always)]
+    pub fn candidate(&self, base: u64, round: u64) -> usize {
+        bucket(mix64(base.wrapping_add(round.wrapping_mul(GOLDEN))), self.l)
+    }
+
+    /// [`fill_indices`](Self::fill_indices) resuming from a precomputed
+    /// [`base_hash`](Self::base_hash). Same output, same panics.
+    #[inline]
+    pub fn fill_indices_from_base(&self, base: u64, out: &mut [usize]) -> usize {
+        assert!(out.len() >= self.k, "fill_indices scratch shorter than k");
+        self.fill_from_base(base, out)
+    }
+
+    /// Batch index fill: the `k` distinct indices of every flow in
+    /// `flows`, written row-major into `out` (`out[i*k..(i+1)*k]` is flow
+    /// `i`'s row). For `k <= 8` the candidate generation runs as a
+    /// lane-structured pass over [`HASH_LANES`] flows at a time — all
+    /// lane hash chains are independent — and only rows where a
+    /// duplicate candidate landed (probability ≈ k²/2L per flow) fall
+    /// back to the scalar duplicate-skip loop. Bit-identical to calling
+    /// [`fill_indices`](Self::fill_indices) per flow.
+    ///
+    /// # Panics
+    /// Panics if `out.len() < flows.len() * k`.
+    pub fn fill_indices_batch(&self, flows: &[u64], out: &mut [usize]) {
+        let k = self.k;
+        assert!(
+            out.len() >= flows.len().saturating_mul(k),
+            "fill_indices_batch scratch shorter than flows.len()*k"
+        );
+        match k {
+            1 => self.fill_batch_fixed::<1>(flows, out),
+            2 => self.fill_batch_fixed::<2>(flows, out),
+            3 => self.fill_batch_fixed::<3>(flows, out),
+            4 => self.fill_batch_fixed::<4>(flows, out),
+            5 => self.fill_batch_fixed::<5>(flows, out),
+            6 => self.fill_batch_fixed::<6>(flows, out),
+            7 => self.fill_batch_fixed::<7>(flows, out),
+            8 => self.fill_batch_fixed::<8>(flows, out),
+            _ => {
+                for (i, &f) in flows.iter().enumerate() {
+                    self.fill_indices(f, &mut out[i * k..(i + 1) * k]);
+                }
+            }
+        }
+    }
+
+    /// One [`HASH_LANES`]-wide chunk of the batch fill with `k` lifted
+    /// to a const generic: every loop fully unrolls, the candidate pass
+    /// is round-major (each inner loop is four independent mix chains —
+    /// the lane shape), and only rows where a duplicate candidate
+    /// landed fall back to the canonical duplicate-skip loop, which
+    /// restarts from round 0 and therefore reproduces exactly the
+    /// sequence the scalar path would have emitted. This is the
+    /// chunk-granular entry the query sweep inlines; the slice-granular
+    /// [`fill_indices_batch`](Self::fill_indices_batch) is built on it.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `KC != self.k()`.
+    ///
+    /// `inline(always)`: this is the per-chunk body of every batch
+    /// sweep; at ~10 ns/flow a non-inlined call (plus marshalling the
+    /// row array through memory) is measurable, and LLVM's heuristic
+    /// declines it because of the cold fallback branch.
+    #[inline(always)]
+    pub fn fill_indices_lanes<const KC: usize>(
+        &self,
+        flows: &[u64; HASH_LANES],
+        out: &mut [[usize; KC]; HASH_LANES],
+    ) {
+        debug_assert_eq!(self.k, KC, "fill_indices_lanes arity mismatch");
+        let mut bases = [0u64; HASH_LANES];
+        for lane in 0..HASH_LANES {
+            bases[lane] = mix64(flows[lane] ^ self.mixed_seed);
+        }
+        #[allow(clippy::needless_range_loop)] // `r` feeds the mix step AND indexes every lane's row
+        for r in 0..KC {
+            let step = (r as u64).wrapping_mul(GOLDEN);
+            let mut h = [0u64; HASH_LANES];
+            for lane in 0..HASH_LANES {
+                h[lane] = mix64(bases[lane].wrapping_add(step));
+            }
+            for lane in 0..HASH_LANES {
+                out[lane][r] = bucket(h[lane], self.l);
+            }
+        }
+        for lane in 0..HASH_LANES {
+            if has_duplicate(&out[lane]) {
+                self.fill_general(bases[lane], &mut out[lane]);
+            }
+        }
+    }
+
+    /// [`fill_indices_batch`](Self::fill_indices_batch) monomorphized
+    /// per `k`: lane chunks through
+    /// [`fill_indices_lanes`](Self::fill_indices_lanes), scalar tail.
+    fn fill_batch_fixed<const KC: usize>(&self, flows: &[u64], out: &mut [usize]) {
+        let mut chunks = flows.chunks_exact(HASH_LANES);
+        let mut row = 0usize;
+        let mut rows = [[0usize; KC]; HASH_LANES];
+        for chunk in chunks.by_ref() {
+            let lanes: &[u64; HASH_LANES] = chunk.try_into().expect("exact chunk");
+            self.fill_indices_lanes(lanes, &mut rows);
+            for (lane, r) in rows.iter().enumerate() {
+                out[(row + lane) * KC..(row + lane + 1) * KC].copy_from_slice(r);
+            }
+            row += HASH_LANES;
+        }
+        for &f in chunks.remainder() {
+            self.fill_indices(f, &mut out[row * KC..(row + 1) * KC]);
+            row += 1;
+        }
+    }
+
+    /// Dispatch on `k`: paper-range `k` gets a fully unrolled candidate
+    /// pass (independent hash chains, pairwise distinctness check, cold
+    /// fallback); anything larger runs the general loop directly.
+    #[inline]
+    fn fill_from_base(&self, base: u64, out: &mut [usize]) -> usize {
+        match self.k {
+            1 => {
+                out[0] = bucket(mix64(base), self.l);
+                1
+            }
+            2 => self.fill_fixed::<2>(base, out),
+            3 => self.fill_fixed::<3>(base, out),
+            4 => self.fill_fixed::<4>(base, out),
+            5 => self.fill_fixed::<5>(base, out),
+            6 => self.fill_fixed::<6>(base, out),
+            7 => self.fill_fixed::<7>(base, out),
+            8 => self.fill_fixed::<8>(base, out),
+            _ => self.fill_general(base, out),
+        }
+    }
+
+    /// Unrolled fast path: the first `KC` candidate rounds are `KC`
+    /// *independent* hash chains (no serial dependency between rounds,
+    /// unlike the duplicate-skip loop whose trip count depends on the
+    /// data), so the multiplies overlap. If the candidates are pairwise
+    /// distinct — overwhelmingly likely for `k ≪ L` — they *are* the
+    /// canonical output; otherwise the general loop regenerates the row
+    /// from round 0, reproducing the exact duplicate-skip sequence.
+    #[inline]
+    fn fill_fixed<const KC: usize>(&self, base: u64, out: &mut [usize]) -> usize {
+        debug_assert!((2..=FIXED_K_MAX).contains(&KC), "fill_fixed arity {KC}");
+        let mut idx = [0usize; KC];
+        for (r, slot) in idx.iter_mut().enumerate() {
+            let h = mix64(base.wrapping_add((r as u64).wrapping_mul(GOLDEN)));
+            *slot = bucket(h, self.l);
+        }
+        let mut distinct = true;
+        for i in 1..KC {
+            for j in 0..i {
+                distinct &= idx[i] != idx[j];
+            }
+        }
+        if distinct {
+            out[..KC].copy_from_slice(&idx);
+            KC
+        } else {
+            self.fill_general(base, out)
+        }
+    }
+
+    /// The canonical duplicate-skip loop (the original `fill_indices`
+    /// body): draw candidates round by round, keep the first `k` distinct
+    /// ones. Every fast path above defers to this sequence's output.
+    #[inline(never)]
+    fn fill_general(&self, base: u64, out: &mut [usize]) -> usize {
         let mut filled = 0usize;
         let mut round: u64 = 0;
         while filled < self.k {
-            let h = mix64(base.wrapping_add(round.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+            let h = mix64(base.wrapping_add(round.wrapping_mul(GOLDEN)));
             let idx = bucket(h, self.l);
             if !out[..filled].contains(&idx) {
                 out[filled] = idx;
@@ -145,6 +375,19 @@ impl KCounterMap {
         assert!(r < self.k);
         self.indices(flow_id)[r]
     }
+}
+
+/// Pairwise duplicate scan over one candidate row (`k <= 8`, so the
+/// quadratic scan is at most 28 compares and branch-free).
+#[inline]
+fn has_duplicate(row: &[usize]) -> bool {
+    let mut dup = false;
+    for i in 1..row.len() {
+        for j in 0..i {
+            dup |= row[i] == row[j];
+        }
+    }
+    dup
 }
 
 /// Iterator over a flow's `k` distinct counter indices; see
@@ -278,6 +521,85 @@ mod tests {
         let map = KCounterMap::new(4, 50, 3);
         let mut buf = [0usize; 3];
         map.fill_indices(1, &mut buf);
+    }
+
+    #[test]
+    fn fast_path_matches_general_loop_bit_for_bit() {
+        // The unrolled fixed-k dispatch must reproduce the canonical
+        // duplicate-skip sequence exactly, including on rows where the
+        // first k candidates collide (small l makes collisions common).
+        for k in 1..=8usize {
+            for l in [k, k + 1, 2 * k + 1, 64, 2048] {
+                let map = KCounterMap::new(k, l, 0xFEED ^ (k as u64) << 8 ^ l as u64);
+                let mut fast = [usize::MAX; K_MAX];
+                let mut slow = [usize::MAX; K_MAX];
+                for f in 0..2_000u64 {
+                    let n = map.fill_indices(f, &mut fast);
+                    let m = map.fill_general(map.base_hash(f), &mut slow);
+                    assert_eq!(n, m);
+                    assert_eq!(&fast[..n], &slow[..m], "k={k} l={l} flow {f}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn base_hashes_match_per_key_hash() {
+        let map = KCounterMap::new(3, 997, 0xABCD);
+        for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 13, 64, 100] {
+            let flows: Vec<u64> = (0..len as u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+            let mut out = vec![0u64; len];
+            map.base_hashes(&flows, &mut out);
+            for (i, &f) in flows.iter().enumerate() {
+                assert_eq!(out[i], map.base_hash(f), "len {len} key {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fill_indices_from_base_matches_fill_indices() {
+        let map = KCounterMap::new(5, 333, 77);
+        let mut a = [0usize; K_MAX];
+        let mut b = [0usize; K_MAX];
+        for f in 0..1_000u64 {
+            let n = map.fill_indices(f, &mut a);
+            let m = map.fill_indices_from_base(map.base_hash(f), &mut b);
+            assert_eq!((n, &a[..n]), (m, &b[..m]), "flow {f}");
+        }
+    }
+
+    #[test]
+    fn fill_indices_batch_matches_per_flow_fill() {
+        // Arbitrary slice lengths (including non-multiples of the lane
+        // width and the empty slice) across paper-range and large k.
+        for k in [1usize, 2, 3, 4, 8, 9, 12] {
+            for l in [k + 1, 2 * k + 1, 101, 2048] {
+                let map = KCounterMap::new(k, l, (k * 31 + l) as u64);
+                for len in [0usize, 1, 3, 4, 5, 8, 11, 64, 257] {
+                    let flows: Vec<u64> =
+                        (0..len as u64).map(|i| mix64(i ^ 0x5A5A)).collect();
+                    let mut batch = vec![usize::MAX; len * k];
+                    map.fill_indices_batch(&flows, &mut batch);
+                    let mut row = [0usize; K_MAX];
+                    for (i, &f) in flows.iter().enumerate() {
+                        let n = map.fill_indices(f, &mut row);
+                        assert_eq!(
+                            &batch[i * k..(i + 1) * k],
+                            &row[..n],
+                            "k={k} l={l} len={len} flow {i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fill_indices_batch scratch")]
+    fn fill_indices_batch_rejects_short_scratch() {
+        let map = KCounterMap::new(3, 100, 1);
+        let mut out = [0usize; 5];
+        map.fill_indices_batch(&[1, 2], &mut out);
     }
 
     #[test]

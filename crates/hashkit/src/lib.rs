@@ -26,6 +26,7 @@
 pub mod aphash;
 pub mod crc32;
 pub mod flowid;
+pub mod flowmap;
 pub mod fnv;
 pub mod idhash;
 pub mod kmap;
@@ -33,8 +34,9 @@ pub mod mix;
 pub mod murmur;
 pub mod sha1;
 
+pub use flowmap::FlowSlotMap;
 pub use idhash::{IdHashMap, IdHashSet};
-pub use kmap::{KCounterMap, KIndicesIter, K_MAX};
+pub use kmap::{KCounterMap, KIndicesIter, HASH_LANES, K_MAX};
 
 /// A seeded 64-bit hash function over byte slices.
 ///

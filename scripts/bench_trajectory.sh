@@ -4,8 +4,9 @@
 # to the code that produced them.
 #
 # Usage: scripts/bench_trajectory.sh [OUT] [BENCH...]
-#   OUT      output file (default BENCH_PR7.json)
-#   BENCH... bench targets to run (default: micro extensions)
+#   OUT      output file (default BENCH_PR8.json)
+#   BENCH... bench targets to run (default: micro extensions, plus the
+#            ingest_backing group from the ablations bench)
 #
 # Environment:
 #   CAESAR_BENCH_SAMPLES  samples per benchmark (harness default 5)
@@ -44,7 +45,15 @@
 # "inprocess_push3_query64" for the full frame path without sockets,
 # and "tcp_query64_round_trip" for the same query over a live loopback
 # socket — the bench that caught the Nagle/delayed-ACK stall
-# TCP_NODELAY now prevents).
+# TCP_NODELAY now prevents). PR 8's pairs: the lane-kernel query
+# sweeps in group "estimators" ("caesar_query_*_all_flows_batch" now
+# runs the chunked [f64;4]/[u64;4] lane kernels — compare against the
+# same names in BENCH_PR7.json), the batched-ingest headline
+# "record/caesar_trace_batch" (FlowSlotMap cache index + base-hash
+# batching), and group "ingest_backing" — the packed-vs-word SRAM
+# ablation ("word_small_l"/"packed_small_l" at L=2048,
+# "word_large_l"/"packed_large_l" at L=32768) whose keep/drop verdict
+# lives in EXPERIMENTS.md.
 #
 # After writing OUT, the script prints a median diff table against the
 # most recent other BENCH_*.json (joined on group/name), so every run
@@ -52,11 +61,15 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR7.json}"
+OUT="${1:-BENCH_PR8.json}"
 shift || true
 BENCHES=("$@")
+ABLATION_RIDEALONG=0
 if [ "${#BENCHES[@]}" -eq 0 ]; then
     BENCHES=(micro extensions)
+    # The packed-vs-word ingest ablation rides along under a filter so
+    # the (slow) full ablation suite does not run on every refresh.
+    ABLATION_RIDEALONG=1
 fi
 
 echo "==> building release benches (offline)"
@@ -74,6 +87,13 @@ for b in "${BENCHES[@]}"; do
     cargo bench --offline -p bench --bench "$b" 2>/dev/null \
         | grep '^{' >> "$TMP"
 done
+
+if [ "$ABLATION_RIDEALONG" -eq 1 ]; then
+    echo "==> cargo bench --bench ablations (ingest_backing only)"
+    CAESAR_BENCH_FILTER=ingest_backing \
+        cargo bench --offline -p bench --bench ablations 2>/dev/null \
+        | grep '^{' >> "$TMP"
+fi
 
 mv "$TMP" "$OUT"
 trap - EXIT

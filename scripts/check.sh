@@ -5,7 +5,22 @@
 # be the reason a step fails — if it is, a crates.io dependency snuck
 # back in and that is the bug.
 #
-# Usage: scripts/check.sh [--quick-bench | --fault-smoke | --zoo-smoke | --service-smoke]
+# Usage: scripts/check.sh [--quick-bench | --fault-smoke | --zoo-smoke | --service-smoke | --simd-smoke]
+#   --simd-smoke        lane-kernel smoke mode: run the lane bit-identity
+#                       suites (tests/lane_kernels.rs — chunked CSM/MLM
+#                       sweeps ≡ scalar prepared kernels bit for bit —
+#                       and tests/packed_parity.rs — packed-SRAM builds
+#                       byte-identical to word builds) in release, then
+#                       the asm-shape guard: re-emit the caesar crate
+#                       with --emit=asm and require packed vector
+#                       instructions inside the named probe kernels
+#                       (asm_probe_csm_lanes, asm_probe_mlm_lanes,
+#                       asm_probe_fill_lanes_k3), so a toolchain bump
+#                       that silently de-vectorizes the lane kernels
+#                       fails here instead of shipping as a perf
+#                       regression. On hosts without AVX the asm guard
+#                       is SKIPPED loudly (the lane loops still run —
+#                       scalar codegen is correct, just slower).
 #   --service-smoke     cluster-service smoke mode: run the service
 #                       crate's unit tests plus the merge/service
 #                       acceptance suites (tests/mergeable.rs — the
@@ -141,6 +156,66 @@ if [ "${1:-}" = "--zoo-smoke" ]; then
     echo "==> cargo run --release --example workload_zoo (output suppressed)"
     cargo run -q --release --offline --example workload_zoo >/dev/null
     echo "check.sh --zoo-smoke: all green"
+    exit 0
+fi
+
+if [ "${1:-}" = "--simd-smoke" ]; then
+    echo "==> simd smoke: lane-kernel bit-identity + asm vector-shape guard"
+    run cargo test --release --offline -q -p caesar --test lane_kernels
+    run cargo test --release --offline -q -p caesar --test packed_parity
+    if ! grep -qw avx2 /proc/cpuinfo 2>/dev/null; then
+        echo "simd-smoke: asm guard SKIPPED — host CPU advertises no AVX2;"
+        echo "simd-smoke: lane kernels verified bit-identical under scalar codegen only"
+        echo "check.sh --simd-smoke: all green (asm guard skipped)"
+        exit 0
+    fi
+    # Emit asm for the caesar crate alone. codegen-units=1 keeps every
+    # probe in one .s file; the flag change means a one-off rebuild of
+    # the crate, which is the price of a readable disassembly.
+    echo "==> cargo rustc -p caesar --release -- --emit=asm -C codegen-units=1"
+    cargo rustc -p caesar --release --offline -- --emit=asm -C codegen-units=1 >/dev/null 2>&1
+    ASM="$(ls -t target/release/deps/caesar-*.s 2>/dev/null | head -1 || true)"
+    if [ -z "$ASM" ]; then
+        echo "check.sh --simd-smoke: --emit=asm produced no caesar-*.s"
+        exit 1
+    fi
+    echo "==> asm guard over $ASM"
+    probe_body() { # probe_body SYMBOL -> the instructions of that function
+        awk -v p="$1" '
+            index($0, p) && /:$/ { on = 1 }
+            on { print }
+            on && /cfi_endproc/ { exit }
+        ' "$ASM"
+    }
+    guard_fail=0
+    # Float lane kernels must use packed-double arithmetic; the k-map
+    # candidate pass is integer lane math, so its signature is packed
+    # 64-bit adds/shifts/multiplies instead.
+    for spec in \
+        "asm_probe_csm_lanes v(add|mul|sub|div|max)pd|vfm(add|sub)" \
+        "asm_probe_mlm_lanes v(sqrt|add|mul|sub|div|max)pd|vfm(add|sub)" \
+        "asm_probe_fill_lanes_k3 vp(add|sll|srl|mul|xor)q|vpmuludq"; do
+        probe="${spec%% *}"
+        pattern="${spec#* }"
+        body="$(probe_body "$probe")"
+        if [ -z "$body" ]; then
+            echo "simd-smoke: probe $probe not found in $ASM"
+            guard_fail=1
+            continue
+        fi
+        hits="$(printf '%s\n' "$body" | grep -cE "$pattern" || true)"
+        if [ "$hits" -gt 0 ]; then
+            echo "simd-smoke: $probe vectorized ($hits packed-vector instructions)"
+        else
+            echo "simd-smoke: $probe has NO packed-vector instructions — lane kernel de-vectorized"
+            guard_fail=1
+        fi
+    done
+    if [ "$guard_fail" -ne 0 ]; then
+        echo "check.sh --simd-smoke: asm vector-shape guard failed"
+        exit 1
+    fi
+    echo "check.sh --simd-smoke: all green"
     exit 0
 fi
 

@@ -12,7 +12,7 @@ use baselines::{
 };
 use bench::{bench_config, bench_trace, linerate_bench_trace};
 use caesar::epochs::{EpochedCaesar, EpochedConcurrentCaesar};
-use caesar::{BuildMode, Caesar, ConcurrentCaesar, Estimator, OnlineCaesar};
+use caesar::{BuildMode, Caesar, CaesarConfig, ConcurrentCaesar, Estimator, OnlineCaesar, SketchDelta};
 use experiments::zoo::{online_engine, stress_plan, zoo_config, ONLINE_SHARDS};
 use flowtrace::zoo::{standard_zoo, ZOO_SEED};
 use memsim::{PacketWork, Pipeline};
@@ -393,6 +393,141 @@ fn zoo_merge_and_service() {
     server.stop();
 }
 
+/// Emit a frame size as a pseudo-result in the trajectory JSON schema:
+/// the `*_bytes_*` names carry **bytes, not nanoseconds** in the `ns`
+/// fields, so size wins land in `BENCH_PR*.json` next to the time wins
+/// and ride the same diff tooling.
+fn emit_bytes(group: &str, name: &str, bytes: usize) {
+    let r = support::timing::BenchResult {
+        group: group.to_string(),
+        name: name.to_string(),
+        median_ns: bytes as u128,
+        min_ns: bytes as u128,
+        max_ns: bytes as u128,
+        samples: 1,
+    };
+    println!("{}", r.to_json());
+}
+
+fn checkpoint_and_delta() {
+    // PR 9: epoch-delta checkpoints. A full `snapshot_into` re-seals
+    // all L counters every epoch; `checkpoint_delta_into` seals only
+    // the blocks dirtied since the last checkpoint. Both sides of each
+    // pair ingest the same low-churn epoch (256 packets of one hot
+    // flow, then a drain) before serializing into a reused buffer, so
+    // the measured gap is serialization cost alone. The headline pair
+    // is `snapshot_full_large_l` vs `delta_low_churn_large_l` at
+    // L=32768, with the matching frame sizes in the `*_bytes_*`
+    // pseudo-results.
+    let mut g = Harness::new("checkpoint");
+    for (tag, l) in [("small_l", 2_048usize), ("large_l", 32_768)] {
+        let cfg = CaesarConfig {
+            cache_entries: 64,
+            entry_capacity: 16,
+            counters: l,
+            k: 3,
+            seed: 0x9E37 ^ l as u64,
+            ..CaesarConfig::default()
+        };
+        let hot = hashkit::mix::mix64(7);
+        let warm_engine = || {
+            // Broad churn warms counters across the whole array before
+            // the chain is anchored.
+            let mut o = OnlineCaesar::new(cfg, 2);
+            for i in 0..(l as u64 * 2) {
+                o.offer(hashkit::mix::mix64(i));
+            }
+            o.merge_now();
+            o
+        };
+
+        let mut full = warm_engine();
+        let mut buf = Vec::new();
+        full.snapshot_into(&mut buf);
+        let full_bytes = buf.len();
+        g.bench(&format!("snapshot_full_{tag}"), || {
+            for _ in 0..256 {
+                full.offer(hot);
+            }
+            full.merge_now();
+            full.snapshot_into(&mut buf);
+            black_box(buf.len());
+        });
+
+        let mut chained = warm_engine();
+        let mut dbuf = Vec::new();
+        chained.snapshot_into(&mut dbuf); // anchor the chain
+        let mut delta_bytes = 0usize;
+        g.bench(&format!("delta_low_churn_{tag}"), || {
+            for _ in 0..256 {
+                chained.offer(hot);
+            }
+            chained.merge_now();
+            chained.checkpoint_delta_into(&mut dbuf).expect("anchored chain");
+            delta_bytes = dbuf.len();
+            black_box(delta_bytes);
+        });
+        // Size pseudo-results only for benches that actually ran, so a
+        // CAESAR_BENCH_FILTER run never emits stale byte counts.
+        if g.results().iter().any(|r| r.name == format!("snapshot_full_{tag}")) {
+            emit_bytes("checkpoint", &format!("snapshot_bytes_{tag}"), full_bytes);
+        }
+        if g.results().iter().any(|r| r.name == format!("delta_low_churn_{tag}")) {
+            emit_bytes("checkpoint", &format!("delta_bytes_{tag}"), delta_bytes);
+        }
+    }
+    g.finish();
+}
+
+fn service_delta() {
+    // PR 9: wire cost of keeping the cluster view fresh. After its
+    // first full push, a tap re-ships one low-churn interval (a burst
+    // over 8 hot flows — the steady-state case where only a few flows
+    // moved between epochs) either as a whole `SketchPayload` (the
+    // unacked-increment sketch — the PR 8 protocol, and still the NACK
+    // recovery path) or as a `SketchDelta` carrying only the dirtied
+    // counter blocks. Both refresh benches pay the same service setup
+    // and initial push; the `*_bytes` pseudo-results record the frame
+    // sizes behind the time gap.
+    let (trace, _) = bench_trace();
+    let flows: Vec<u64> = trace.packets.iter().map(|p| p.flow).collect();
+    let cfg = bench_config();
+    let mut tap = ConcurrentCaesar::build(cfg, 2, &flows);
+    let prev = tap.export_sketch();
+    let interval: Vec<u64> = (0..2_000u64).map(|i| hashkit::mix::mix64(i % 8)).collect();
+    let increment_sketch = ConcurrentCaesar::build(cfg, 2, &interval);
+    let increment = increment_sketch.export_sketch();
+    tap.merge(&increment_sketch).expect("same fleet config");
+    let cur = tap.export_sketch();
+    let delta = SketchDelta::between(&prev, &cur, 1).expect("cumulative extends acked");
+
+    let mut g = Harness::new("service_delta");
+    g.bench("delta_between_encode_decode", || {
+        let d = SketchDelta::between(&prev, &cur, 1).expect("cumulative extends acked");
+        let bytes = d.encode();
+        black_box(SketchDelta::decode(&bytes).expect("round trip"));
+    });
+    g.bench("inprocess_refresh_full_push", || {
+        let svc = MeasurementService::new(cfg);
+        let mut client =
+            MeasurementClient::connect(InProcess::new(&svc), &svc.fingerprint()).expect("hello");
+        client.push_sketch(&prev).expect("push");
+        black_box(client.push_sketch(&increment).expect("push"));
+    });
+    g.bench("inprocess_refresh_delta_push", || {
+        let svc = MeasurementService::new(cfg);
+        let mut client =
+            MeasurementClient::connect(InProcess::new(&svc), &svc.fingerprint()).expect("hello");
+        client.push_sketch(&prev).expect("push");
+        black_box(client.push_delta(&delta).expect("delta push"));
+    });
+    if !g.results().is_empty() {
+        emit_bytes("service_delta", "full_payload_bytes", increment.encoded_len());
+        emit_bytes("service_delta", "delta_payload_bytes", delta.encoded_len());
+    }
+    g.finish();
+}
+
 fn main() {
     braids();
     sac_and_sampling();
@@ -401,4 +536,6 @@ fn main() {
     pipeline_and_rcs();
     zoo_ingest();
     zoo_merge_and_service();
+    checkpoint_and_delta();
+    service_delta();
 }

@@ -9,6 +9,7 @@
 //! weakest ordering the algorithm admits.)
 
 use crate::merge::MergeError;
+use crate::sram::{dirty_words_for, DIRTY_BLOCK_SHIFT};
 use std::sync::atomic::{AtomicU64, Ordering};
 use support::spsc::CachePadded;
 
@@ -35,6 +36,12 @@ pub struct AtomicCounterArray {
     /// Per-stripe tallies; writers pick a stripe (their shard id), the
     /// read accessors sum over all stripes.
     tallies: Box<[CachePadded<Tally>]>,
+    /// Dirty-block bitmap (one bit per
+    /// [`DIRTY_BLOCK_COUNTERS`](crate::sram::DIRTY_BLOCK_COUNTERS)
+    /// counters). Writers test-then-or with relaxed atomics — within an
+    /// epoch almost every write hits an already-set bit, so the hot
+    /// path pays a load, not a locked RMW.
+    dirty: Vec<AtomicU64>,
 }
 
 impl AtomicCounterArray {
@@ -63,6 +70,73 @@ impl AtomicCounterArray {
             max_value: (1u64 << bits) - 1,
             bits,
             tallies: (0..stripes).map(|_| CachePadded::<Tally>::default()).collect(),
+            dirty: (0..dirty_words_for(len)).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Mark the block holding counter `idx` dirty. Test-then-or: the
+    /// locked RMW only fires the first time a block dirties between
+    /// drains, so steady-state writes pay one relaxed load.
+    #[inline(always)]
+    fn mark_dirty(&self, idx: usize) {
+        let block = idx >> DIRTY_BLOCK_SHIFT;
+        let word = &self.dirty[block >> 6];
+        let bit = 1u64 << (block & 63);
+        if word.load(Ordering::Relaxed) & bit == 0 {
+            word.fetch_or(bit, Ordering::Relaxed);
+        }
+    }
+
+    /// Drain the dirty-block bitmap: ascending indices of every block
+    /// written since the last drain, then mark everything clean. Same
+    /// contract as [`crate::CounterArray::take_dirty_blocks`]
+    /// (over-approximates change, never misses a changed counter) —
+    /// **provided the caller drains at a quiescent point**: a writer
+    /// racing the drain may have its mark consumed while its counter
+    /// store lands after the caller reads the block, so the delta
+    /// checkpoint machinery only drains at epoch boundaries, after the
+    /// lane rings and writeback buffers have been flushed.
+    pub fn take_dirty_blocks(&self) -> Vec<usize> {
+        let mut blocks = Vec::new();
+        for (w, word) in self.dirty.iter().enumerate() {
+            let mut bits = word.swap(0, Ordering::Relaxed);
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                blocks.push(w * 64 + b);
+                bits &= bits - 1;
+            }
+        }
+        blocks
+    }
+
+    /// Overwrite counters `start .. start + values.len()` with absolute
+    /// values (relaxed stores, no tallies, no dirty marks) — the block
+    /// replay primitive of delta-checkpoint restore, where the values
+    /// come from a frame that already carries the matching tallies and
+    /// the rewritten state re-baselines the dirty bitmap.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds or any value exceeds the
+    /// `bits` cap (callers validate first to report typed errors).
+    pub fn store_counters(&self, start: usize, values: &[u64]) {
+        assert!(start + values.len() <= self.counters.len(), "block out of range");
+        for (c, &v) in self.counters[start..].iter().zip(values) {
+            assert!(v <= self.max_value, "stored counter exceeds {}-bit cap", self.bits);
+            c.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Overwrite the per-stripe tallies with pairs from
+    /// [`AtomicCounterArray::tally_snapshot`] — the tally half of a
+    /// delta-checkpoint replay.
+    ///
+    /// # Panics
+    /// Panics if `tallies` does not match the stripe count.
+    pub fn restore_tallies(&self, tallies: &[(u64, u64)]) {
+        assert_eq!(tallies.len(), self.tallies.len(), "stripe count mismatch");
+        for (t, &(added, sat)) in self.tallies.iter().zip(tallies) {
+            t.total_added.store(added, Ordering::Relaxed);
+            t.saturations.store(sat, Ordering::Relaxed);
         }
     }
 
@@ -105,6 +179,7 @@ impl AtomicCounterArray {
     /// `idx` towards `cur + v` without touching the offered-units
     /// total; saturation events are charged to `stripe`.
     fn add_counter(&self, idx: usize, v: u64, stripe: usize) {
+        self.mark_dirty(idx);
         let c = &self.counters[idx];
         // CAS loop: fetch_add alone could overshoot the saturation cap.
         let mut cur = c.load(Ordering::Relaxed);
@@ -289,6 +364,35 @@ impl AtomicCounterArray {
             });
         }
         for (idx, &v) in counters.iter().enumerate() {
+            if v > 0 {
+                self.add_counter(idx, v, 0);
+            }
+        }
+        self.tallies[0].total_added.fetch_add(total_added, Ordering::Relaxed);
+        self.tallies[0].saturations.fetch_add(saturation_events, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// The sparse form of [`AtomicCounterArray::merge_counters`]: fold
+    /// `(index, increment)` pairs plus the producer's tally increments
+    /// — what a wire-pushed [`crate::SketchDelta`] merges through.
+    /// Saturation-aware exactly like the dense path (each clamp
+    /// crossing is counted), so a delta-fed view degrades
+    /// [`crate::QueryHealth`] identically to a full-push-fed one.
+    pub fn merge_counters_sparse(
+        &self,
+        updates: &[(usize, u64)],
+        total_added: u64,
+        saturation_events: u64,
+    ) -> Result<(), MergeError> {
+        if let Some(&(idx, _)) = updates.iter().find(|&&(idx, _)| idx >= self.counters.len()) {
+            return Err(MergeError::Geometry {
+                field: "counters",
+                ours: self.counters.len() as u64,
+                theirs: idx as u64,
+            });
+        }
+        for &(idx, v) in updates {
             if v > 0 {
                 self.add_counter(idx, v, 0);
             }
@@ -911,6 +1015,46 @@ mod tests {
         assert_eq!(a.snapshot(), b.snapshot());
         assert_eq!(a.total_added(), b.total_added());
         assert_eq!(wb.state(), restored.state());
+    }
+
+    #[test]
+    fn dirty_blocks_track_adds_and_merges() {
+        use crate::sram::DIRTY_BLOCK_COUNTERS;
+        let a = AtomicCounterArray::with_stripes(DIRTY_BLOCK_COUNTERS * 3 + 5, 16, 2);
+        assert!(a.take_dirty_blocks().is_empty(), "fresh array is clean");
+        a.add(0, 1);
+        a.add_batch_striped(1, &[(DIRTY_BLOCK_COUNTERS * 3 + 4, 9)]);
+        assert_eq!(a.take_dirty_blocks(), vec![0, 3]);
+        assert!(a.take_dirty_blocks().is_empty(), "drain clears");
+        a.merge_counters(&{
+            let mut v = vec![0u64; DIRTY_BLOCK_COUNTERS * 3 + 5];
+            v[DIRTY_BLOCK_COUNTERS + 1] = 7;
+            v
+        }, 7, 0)
+        .unwrap();
+        assert_eq!(a.take_dirty_blocks(), vec![1]);
+        // Restore and store_counters re-baseline: no marks.
+        let r = AtomicCounterArray::restore(a.bits(), &a.snapshot(), &a.tally_snapshot());
+        assert!(r.take_dirty_blocks().is_empty());
+        r.store_counters(DIRTY_BLOCK_COUNTERS, &[3, 4, 5]);
+        assert!(r.take_dirty_blocks().is_empty());
+        assert_eq!(r.get(DIRTY_BLOCK_COUNTERS + 1), 4);
+    }
+
+    #[test]
+    fn restore_tallies_overwrites_stripes() {
+        let a = AtomicCounterArray::with_stripes(8, 16, 2);
+        a.add(0, 5);
+        a.restore_tallies(&[(100, 2), (50, 1)]);
+        assert_eq!(a.tally_snapshot(), vec![(100, 2), (50, 1)]);
+        assert_eq!(a.total_added(), 150);
+        assert_eq!(a.saturations(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn store_counters_rejects_out_of_range() {
+        AtomicCounterArray::new(4, 8).store_counters(2, &[1, 2, 3]);
     }
 
     #[test]

@@ -46,7 +46,7 @@ use crate::atomic_sram::{
 };
 use crate::config::{CaesarConfig, Estimator};
 use crate::estimator::{csm, mlm, Estimate, EstimateParams};
-use crate::merge::{MergeError, SketchFingerprint, SketchPayload};
+use crate::merge::{MergeError, SketchDelta, SketchFingerprint, SketchPayload};
 use crate::packed::PackedCounterArray;
 use crate::pipeline::{sram_prefetch_min_bytes, PackedCaesar};
 use crate::query::QueryHealth;
@@ -1274,6 +1274,33 @@ impl ConcurrentCaesar {
         self.ingest.evictions += payload.evictions;
         Ok(())
     }
+
+    /// Fold a pushed [`SketchDelta`] into this sketch — the incremental
+    /// counterpart of [`ConcurrentCaesar::merge_sketch`]. Counter
+    /// increments apply as saturating adds (clamp crossings counted)
+    /// and the tally increments fold, so a view fed
+    /// `full push + deltas` is identical to one fed the equivalent
+    /// full pushes. The caller (the service layer) is responsible for
+    /// base-epoch discipline — this method applies unconditionally.
+    pub fn merge_delta(&mut self, delta: &SketchDelta) -> Result<(), MergeError> {
+        self.fingerprint().expect_matches(&delta.fingerprint)?;
+        let span = crate::sram::DIRTY_BLOCK_COUNTERS;
+        let updates: Vec<(usize, u64)> = delta
+            .blocks
+            .iter()
+            .flat_map(|(block, increments)| {
+                let start = block * span;
+                increments.iter().enumerate().map(move |(i, &v)| (start + i, v))
+            })
+            .collect();
+        self.sram.merge_counters_sparse(
+            &updates,
+            delta.total_added_delta,
+            delta.saturation_events_delta,
+        )?;
+        self.ingest.evictions += delta.evictions_delta;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -1660,6 +1687,45 @@ mod tests {
         assert_eq!(direct.sram().total_added(), wired.sram().total_added());
         assert_eq!(direct.sram().saturations(), wired.sram().saturations());
         assert_eq!(direct.evictions(), wired.evictions());
+    }
+
+    #[test]
+    fn delta_pushes_converge_to_the_full_push_view() {
+        // A tap that pushes full, then deltas, must leave the
+        // aggregator in exactly the state a final full push describes.
+        let flows = workload();
+        let third = flows.len() / 3;
+        let mut tap = ConcurrentCaesar::empty(cfg());
+        let mut view = ConcurrentCaesar::empty(cfg());
+
+        // Epoch 0: full push.
+        tap.merge(&ConcurrentCaesar::build(cfg(), 1, &flows[..third])).unwrap();
+        let mut prev = tap.export_sketch();
+        view.merge_sketch(&prev).unwrap();
+
+        // Epochs 1..: delta pushes (encode → decode → merge_delta).
+        for (epoch, chunk) in flows[third..].chunks(third).enumerate() {
+            tap.merge(&ConcurrentCaesar::build(cfg(), 2, chunk)).unwrap();
+            let cur = tap.export_sketch();
+            let delta = SketchDelta::between(&prev, &cur, epoch as u64).unwrap();
+            let wired = SketchDelta::decode(&delta.encode()).unwrap();
+            view.merge_delta(&wired).unwrap();
+            prev = cur;
+        }
+
+        // The delta-fed view equals a view fed one cumulative payload.
+        let mut reference = ConcurrentCaesar::empty(cfg());
+        reference.merge_sketch(&tap.export_sketch()).unwrap();
+        assert_eq!(view.sram().snapshot(), reference.sram().snapshot());
+        assert_eq!(view.sram().total_added(), reference.sram().total_added());
+        assert_eq!(view.sram().saturations(), reference.sram().saturations());
+        assert_eq!(view.evictions(), reference.evictions());
+
+        // Foreign deltas are rejected typed.
+        let foreign_cfg = CaesarConfig { seed: 0xBAD, ..cfg() };
+        let f = ConcurrentCaesar::empty(foreign_cfg).export_sketch();
+        let foreign = SketchDelta::between(&f, &f, 0).unwrap();
+        assert!(matches!(view.merge_delta(&foreign), Err(MergeError::Seed { .. })));
     }
 
     #[test]

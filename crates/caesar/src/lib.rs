@@ -71,14 +71,14 @@ pub use concurrent::{
 };
 pub use epochs::{ConcurrentEpoch, EpochedCaesar, EpochedConcurrentCaesar};
 pub use heavy_hitters::{DetectionReport, Hitter};
-pub use merge::{MergeError, PayloadError, SketchFingerprint, SketchPayload};
+pub use merge::{MergeError, PayloadError, SketchDelta, SketchFingerprint, SketchPayload};
 pub use online::{
-    BackpressurePolicy, FaultKind, FaultLog, FaultRecord, LaneStats, OnlineCaesar, OnlineStats,
-    RestoreError, DEFAULT_EPOCH_LEN, DEFAULT_WATCHDOG_DEADLINE,
+    BackpressurePolicy, ChainError, DeltaError, FaultKind, FaultLog, FaultRecord, LaneStats,
+    OnlineCaesar, OnlineStats, RestoreError, DEFAULT_EPOCH_LEN, DEFAULT_WATCHDOG_DEADLINE,
 };
 pub use packed::PackedCounterArray;
 pub use config::{CaesarConfig, Estimator};
 pub use estimator::{Estimate, EstimateParams};
 pub use pipeline::{sram_prefetch_min_bytes, Caesar, CaesarCore, CaesarStats, PackedCaesar};
-pub use query::{estimate_all, query_health, CounterView, QueryHealth, SaturationView};
-pub use sram::{CounterArray, SramBacking};
+pub use query::{estimate_all, query_batch_chunk_width, query_health, CounterView, QueryHealth, SaturationView};
+pub use sram::{CounterArray, SramBacking, DIRTY_BLOCK_COUNTERS};

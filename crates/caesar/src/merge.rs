@@ -194,15 +194,17 @@ pub const PAYLOAD_MAGIC: &[u8; 4] = b"CSKP";
 /// Current payload encoding version.
 pub const PAYLOAD_VERSION: u16 = 1;
 
-/// Errors from decoding a [`SketchPayload`].
+/// Errors from decoding a [`SketchPayload`] or [`SketchDelta`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PayloadError {
-    /// Stream did not start with [`PAYLOAD_MAGIC`].
+    /// Stream did not start with the expected magic.
     BadMagic,
     /// Unknown encoding version.
     BadVersion(u16),
     /// Fewer bytes than the header promised, or a malformed field.
     Truncated,
+    /// A field decoded but violates an internal invariant.
+    Malformed(&'static str),
 }
 
 impl std::fmt::Display for PayloadError {
@@ -211,6 +213,7 @@ impl std::fmt::Display for PayloadError {
             PayloadError::BadMagic => write!(f, "not a sketch payload"),
             PayloadError::BadVersion(v) => write!(f, "unsupported sketch payload version {v}"),
             PayloadError::Truncated => write!(f, "sketch payload truncated"),
+            PayloadError::Malformed(what) => write!(f, "sketch payload malformed: {what}"),
         }
     }
 }
@@ -245,7 +248,7 @@ impl SketchPayload {
     /// num_counters u64, then each counter u64
     /// ```
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(4 + 2 + FINGERPRINT_BYTES + 32 + self.counters.len() * 8);
+        let mut buf = Vec::with_capacity(self.encoded_len());
         buf.put_slice(PAYLOAD_MAGIC);
         buf.put_u16_le(PAYLOAD_VERSION);
         self.fingerprint.encode_into(&mut buf);
@@ -257,6 +260,12 @@ impl SketchPayload {
             buf.put_u64_le(c);
         }
         buf
+    }
+
+    /// Exact size of [`SketchPayload::encode`]'s output in bytes —
+    /// the wire cost of a full push, without encoding.
+    pub fn encoded_len(&self) -> usize {
+        4 + 2 + FINGERPRINT_BYTES + 32 + self.counters.len() * 8
     }
 
     /// Decode [`SketchPayload::encode`] output.
@@ -284,6 +293,196 @@ impl SketchPayload {
             counters.push(r.get_u64_le().ok_or(PayloadError::Truncated)?);
         }
         Ok(Self { fingerprint, counters, total_added, saturation_events, evictions })
+    }
+}
+
+/// Magic prefix of an encoded [`SketchDelta`].
+pub const DELTA_PAYLOAD_MAGIC: &[u8; 4] = b"CSKD";
+/// Current delta payload encoding version.
+pub const DELTA_PAYLOAD_VERSION: u16 = 1;
+
+/// The **incremental** wire form of a sketch push: only the counter
+/// blocks that grew since the tap's previous push, plus the tally
+/// *increments* the view must fold. Counters are monotone
+/// non-decreasing (saturating adds never shrink one), so the diff of
+/// two consecutive [`SketchPayload`]s is itself a mergeable sketch —
+/// applying it to the view is counter-wise addition, exactly like
+/// [`SketchPayload`] but O(changed blocks) on the wire instead of
+/// O(L).
+///
+/// Blocks are [`crate::DIRTY_BLOCK_COUNTERS`]-counter spans — the same
+/// granularity the SRAM layer's dirty bitmap tracks — identified by
+/// block index, carrying one increment per counter in the span.
+///
+/// `base_epoch` is the aggregator view epoch this delta diffs against:
+/// the server only applies a delta whose base matches its current
+/// epoch (see the service protocol's `PushDelta`/`DeltaNack`), so a
+/// tap that missed an epoch is told to fall back to a full push
+/// instead of silently double- or under-counting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SketchDelta {
+    /// Identity of the producing configuration.
+    pub fingerprint: SketchFingerprint,
+    /// The aggregator view epoch this delta was diffed against.
+    pub base_epoch: u64,
+    /// Changed blocks: `(block index, per-counter increments)`,
+    /// strictly ascending by block index. The last block of a
+    /// non-multiple `L` is short, exactly like the dirty bitmap's.
+    pub blocks: Vec<(usize, Vec<u64>)>,
+    /// Increment of the producer's offered-units total (`n`).
+    pub total_added_delta: u64,
+    /// Saturating-add events since the previous push.
+    pub saturation_events_delta: u64,
+    /// Eviction events since the previous push (diagnostics).
+    pub evictions_delta: u64,
+}
+
+impl SketchDelta {
+    /// Diff two consecutive exports of the **same tap**: `cur` must be
+    /// a later [`crate::ConcurrentCaesar::export_sketch`] (or
+    /// equivalent) of the sketch that produced `prev`. Counters only
+    /// grow, so `cur − prev` is exact below the clamp; a counter
+    /// pinned at `max_value` on both sides diffs to zero (its mass is
+    /// already accounted — the saturation tally increment keeps the
+    /// view's health honest).
+    ///
+    /// # Errors
+    /// Typed [`MergeError`] when the two payloads do not share a
+    /// fingerprint (they cannot be exports of one tap).
+    pub fn between(
+        prev: &SketchPayload,
+        cur: &SketchPayload,
+        base_epoch: u64,
+    ) -> Result<Self, MergeError> {
+        cur.fingerprint.expect_matches(&prev.fingerprint)?;
+        let span = crate::sram::DIRTY_BLOCK_COUNTERS;
+        let len = cur.counters.len().min(prev.counters.len());
+        let mut blocks = Vec::new();
+        for (block, (c, p)) in cur.counters[..len]
+            .chunks(span)
+            .zip(prev.counters[..len].chunks(span))
+            .enumerate()
+        {
+            if c != p {
+                blocks.push((
+                    block,
+                    c.iter().zip(p).map(|(&cv, &pv)| cv.saturating_sub(pv)).collect(),
+                ));
+            }
+        }
+        Ok(Self {
+            fingerprint: cur.fingerprint,
+            base_epoch,
+            blocks,
+            total_added_delta: cur.total_added - prev.total_added,
+            saturation_events_delta: cur.saturation_events - prev.saturation_events,
+            evictions_delta: cur.evictions - prev.evictions,
+        })
+    }
+
+    /// `true` when nothing changed between the two exports — the tap
+    /// can skip the push entirely (the frame would still carry the
+    /// header).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+            && self.total_added_delta == 0
+            && self.saturation_events_delta == 0
+            && self.evictions_delta == 0
+    }
+
+    /// Binary encoding, little-endian throughout:
+    ///
+    /// ```text
+    /// magic "CSKD", version u16
+    /// fingerprint (FINGERPRINT_BYTES)
+    /// base_epoch u64
+    /// total_added_delta u64, saturation_events_delta u64, evictions_delta u64
+    /// num_blocks u64, then per block: block_index u64 + one u64 per
+    ///   counter in the span (the span is derived from the
+    ///   fingerprint's L, so it is not stored)
+    /// ```
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.encoded_len());
+        buf.put_slice(DELTA_PAYLOAD_MAGIC);
+        buf.put_u16_le(DELTA_PAYLOAD_VERSION);
+        self.fingerprint.encode_into(&mut buf);
+        buf.put_u64_le(self.base_epoch);
+        buf.put_u64_le(self.total_added_delta);
+        buf.put_u64_le(self.saturation_events_delta);
+        buf.put_u64_le(self.evictions_delta);
+        buf.put_u64_le(self.blocks.len() as u64);
+        for (block, increments) in &self.blocks {
+            buf.put_u64_le(*block as u64);
+            for &v in increments {
+                buf.put_u64_le(v);
+            }
+        }
+        buf
+    }
+
+    /// Exact size of [`SketchDelta::encode`]'s output in bytes — the
+    /// wire cost of a delta push, without encoding. O(changed blocks)
+    /// where the full payload's is O(L).
+    pub fn encoded_len(&self) -> usize {
+        let values: usize = self.blocks.iter().map(|(_, v)| v.len()).sum();
+        4 + 2 + FINGERPRINT_BYTES + 40 + self.blocks.len() * 8 + values * 8
+    }
+
+    /// Decode [`SketchDelta::encode`] output, validating block
+    /// structure (in-range, strictly ascending, correct span length)
+    /// so a decoded delta is always safe to apply.
+    pub fn decode(data: &[u8]) -> Result<Self, PayloadError> {
+        let span = crate::sram::DIRTY_BLOCK_COUNTERS;
+        let mut r = ByteReader::new(data);
+        let magic = r.get_array::<4>().ok_or(PayloadError::BadMagic)?;
+        if &magic != DELTA_PAYLOAD_MAGIC {
+            return Err(PayloadError::BadMagic);
+        }
+        let version = r.get_u16_le().ok_or(PayloadError::Truncated)?;
+        if version != DELTA_PAYLOAD_VERSION {
+            return Err(PayloadError::BadVersion(version));
+        }
+        let fingerprint =
+            SketchFingerprint::decode_from(&mut r).ok_or(PayloadError::Truncated)?;
+        let base_epoch = r.get_u64_le().ok_or(PayloadError::Truncated)?;
+        let total_added_delta = r.get_u64_le().ok_or(PayloadError::Truncated)?;
+        let saturation_events_delta = r.get_u64_le().ok_or(PayloadError::Truncated)?;
+        let evictions_delta = r.get_u64_le().ok_or(PayloadError::Truncated)?;
+        let n_blocks_total = fingerprint.counters.div_ceil(span);
+        let num = r.get_u64_le().ok_or(PayloadError::Truncated)? as usize;
+        if num > n_blocks_total {
+            return Err(PayloadError::Malformed("more changed blocks than blocks"));
+        }
+        let mut blocks = Vec::with_capacity(num);
+        let mut prev_block = None;
+        for _ in 0..num {
+            let block = r.get_u64_le().ok_or(PayloadError::Truncated)? as usize;
+            if block >= n_blocks_total {
+                return Err(PayloadError::Malformed("block index out of range"));
+            }
+            if prev_block.is_some_and(|p| block <= p) {
+                return Err(PayloadError::Malformed("blocks not strictly ascending"));
+            }
+            prev_block = Some(block);
+            let start = block * span;
+            let count = span.min(fingerprint.counters - start);
+            let mut increments = Vec::with_capacity(count);
+            for _ in 0..count {
+                increments.push(r.get_u64_le().ok_or(PayloadError::Truncated)?);
+            }
+            blocks.push((block, increments));
+        }
+        if r.remaining() != 0 {
+            return Err(PayloadError::Malformed("trailing bytes"));
+        }
+        Ok(Self {
+            fingerprint,
+            base_epoch,
+            blocks,
+            total_added_delta,
+            saturation_events_delta,
+            evictions_delta,
+        })
     }
 }
 
@@ -351,6 +550,96 @@ mod tests {
         let enc = p.encode();
         let dec = SketchPayload::decode(&enc).unwrap();
         assert_eq!(dec, p);
+    }
+
+    #[test]
+    fn delta_between_diffs_only_changed_blocks() {
+        let span = crate::sram::DIRTY_BLOCK_COUNTERS;
+        let f = SketchFingerprint { counters: span * 3 + 5, ..fp() };
+        let prev = SketchPayload {
+            fingerprint: f,
+            counters: vec![10; f.counters],
+            total_added: 1_000,
+            saturation_events: 1,
+            evictions: 4,
+        };
+        let mut cur = prev.clone();
+        cur.counters[3] += 7; // block 0
+        cur.counters[span * 3 + 4] += 2; // the short tail block
+        cur.total_added = 1_009;
+        cur.saturation_events = 2;
+        cur.evictions = 6;
+        let d = SketchDelta::between(&prev, &cur, 42).unwrap();
+        assert_eq!(d.base_epoch, 42);
+        assert_eq!(d.total_added_delta, 9);
+        assert_eq!(d.saturation_events_delta, 1);
+        assert_eq!(d.evictions_delta, 2);
+        assert_eq!(d.blocks.len(), 2);
+        assert_eq!(d.blocks[0].0, 0);
+        assert_eq!(d.blocks[0].1[3], 7);
+        assert_eq!(d.blocks[1].0, 3);
+        assert_eq!(d.blocks[1].1.len(), 5, "tail block is short");
+        assert_eq!(d.blocks[1].1[4], 2);
+        assert!(!d.is_empty());
+        // Identical exports diff to the empty delta.
+        assert!(SketchDelta::between(&prev, &prev, 42).unwrap().is_empty());
+        // Foreign exports cannot diff.
+        let foreign = SketchPayload {
+            fingerprint: SketchFingerprint { seed: f.seed ^ 1, ..f },
+            ..prev.clone()
+        };
+        assert!(matches!(
+            SketchDelta::between(&prev, &foreign, 0),
+            Err(MergeError::Seed { .. })
+        ));
+    }
+
+    #[test]
+    fn delta_roundtrips_and_rejects_malformed_frames() {
+        let span = crate::sram::DIRTY_BLOCK_COUNTERS;
+        let f = SketchFingerprint { counters: span * 2, ..fp() };
+        let d = SketchDelta {
+            fingerprint: f,
+            base_epoch: 7,
+            blocks: vec![(0, vec![1; span]), (1, vec![2; span])],
+            total_added_delta: 3 * span as u64,
+            saturation_events_delta: 0,
+            evictions_delta: 5,
+        };
+        let enc = d.encode();
+        assert_eq!(SketchDelta::decode(&enc).unwrap(), d);
+        // Magic / version / truncation.
+        assert_eq!(SketchDelta::decode(b"nope"), Err(PayloadError::BadMagic));
+        assert_eq!(
+            SketchDelta::decode(&enc[..enc.len() - 1]),
+            Err(PayloadError::Truncated)
+        );
+        let mut wrong = enc.clone();
+        wrong[4] = 0xEE;
+        assert!(matches!(SketchDelta::decode(&wrong), Err(PayloadError::BadVersion(_))));
+        // A full payload is not a delta.
+        let full = SketchPayload {
+            fingerprint: f,
+            counters: vec![0; f.counters],
+            total_added: 0,
+            saturation_events: 0,
+            evictions: 0,
+        };
+        assert_eq!(SketchDelta::decode(&full.encode()), Err(PayloadError::BadMagic));
+        // Out-of-order and out-of-range blocks are structural errors.
+        let unordered = SketchDelta {
+            blocks: vec![(1, vec![2; span]), (0, vec![1; span])],
+            ..d.clone()
+        };
+        assert!(matches!(
+            SketchDelta::decode(&unordered.encode()),
+            Err(PayloadError::Malformed("blocks not strictly ascending"))
+        ));
+        let out_of_range = SketchDelta { blocks: vec![(9, vec![1; span])], ..d.clone() };
+        assert!(matches!(
+            SketchDelta::decode(&out_of_range.encode()),
+            Err(PayloadError::Malformed("block index out of range"))
+        ));
     }
 
     #[test]

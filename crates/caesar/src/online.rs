@@ -320,6 +320,13 @@ pub struct OnlineCaesar {
     merges: u64,
     offered_total: u64,
     injector: FaultInjector,
+    /// Delta-checkpoint chain position: `(chain id, deltas emitted)`.
+    /// The chain id is the FNV-1a digest of the anchoring full
+    /// snapshot's sealed bytes, so an uninterrupted engine and one
+    /// restored from that same blob agree on it without coordination.
+    /// `None` until the first [`OnlineCaesar::snapshot`] anchors a
+    /// chain.
+    chain: Option<(u64, u64)>,
 }
 
 impl OnlineCaesar {
@@ -351,6 +358,7 @@ impl OnlineCaesar {
             merges: 0,
             offered_total: 0,
             injector: FaultInjector::none(),
+            chain: None,
         }
     }
 
@@ -828,14 +836,28 @@ impl OnlineCaesar {
     /// observable state is unchanged. The attached [`FaultInjector`]
     /// is test scaffolding and is **not** serialized — a restored
     /// engine gets an inert injector.
+    ///
+    /// A full snapshot **anchors a delta-checkpoint chain**: subsequent
+    /// [`OnlineCaesar::checkpoint_delta`] frames name this blob (by
+    /// digest) as their base and serialize only the SRAM blocks that
+    /// changed since, so checkpoint cost drops from O(L) to O(changed).
     pub fn snapshot(&mut self) -> Vec<u8> {
         let mut buf = Vec::new();
+        self.snapshot_into(&mut buf);
+        buf
+    }
+
+    /// [`OnlineCaesar::snapshot`] into a caller-owned buffer (cleared
+    /// first), so a periodic checkpoint loop reuses one allocation
+    /// instead of growing a fresh `Vec` every epoch.
+    pub fn snapshot_into(&mut self, buf: &mut Vec<u8>) {
+        buf.clear();
         buf.put_u16_le(SNAP_VERSION);
         // The sketch identity leads the blob so a peer can check merge
         // compatibility (see [`SketchFingerprint`]) without decoding —
         // or trusting — the rest of the state.
-        SketchFingerprint::of(&self.cfg).encode_into(&mut buf);
-        encode_config(&mut buf, &self.cfg);
+        SketchFingerprint::of(&self.cfg).encode_into(buf);
+        encode_config(buf, &self.cfg);
         buf.put_u64_le(self.shards as u64);
         buf.put_slice(&[self.policy.to_u8()]);
         buf.put_u64_le(self.ring_capacity as u64);
@@ -857,6 +879,20 @@ impl OnlineCaesar {
             buf.put_u64_le(added);
             buf.put_u64_le(sat);
         }
+        self.encode_lanes(buf);
+        seal(buf);
+        // This blob is now the chain anchor: future deltas diff against
+        // it, so the dirty baseline resets here.
+        self.chain = Some((hashkit::fnv::fnv1a64(buf), 0));
+        let _ = self.sram.take_dirty_blocks();
+    }
+
+    /// Per-lane dynamic state, shared verbatim by full snapshots and
+    /// delta frames (the lane tail is O(cache + staged) — small and
+    /// epoch-churned, so deltas carry it whole). Drains and re-queues
+    /// each ring to serialize its contents; observably side-effect
+    /// free.
+    fn encode_lanes(&mut self, buf: &mut Vec<u8>) {
         for shard in 0..self.shards {
             // Drain the ring to serialize its contents, then re-queue
             // them in order (the ring is empty in between, so pushes
@@ -878,16 +914,228 @@ impl OnlineCaesar {
             for &f in &pending {
                 buf.put_u64_le(f);
             }
-            encode_ingest_stats(&mut buf, &lane.retired);
-            encode_worker_state(&mut buf, &lane.worker.snapshot_state());
-            encode_fault_log(&mut buf, &lane.log);
+            encode_ingest_stats(buf, &lane.retired);
+            encode_worker_state(buf, &lane.worker.snapshot_state());
+            encode_fault_log(buf, &lane.log);
             for f in pending {
                 let pushed = lane.tx.try_push(f).is_ok();
                 debug_assert!(pushed, "re-queue into an emptied ring cannot fail");
             }
         }
-        seal(&mut buf);
-        buf
+    }
+
+    /// Emit a sealed `CDLT` delta-checkpoint frame: everything that
+    /// changed since the chain's previous checkpoint. The SRAM section
+    /// is **sparse** — only the [`crate::DIRTY_BLOCK_COUNTERS`]-counter
+    /// blocks the dirty bitmap reports — so at large `L` with low
+    /// per-epoch churn the frame is a small fraction of a full
+    /// [`OnlineCaesar::snapshot`]. The lane tail (caches, RNG streams,
+    /// staged writeback, rings, loss counters, fault logs) is carried
+    /// whole: it is O(cache), independent of `L`, and churns fully
+    /// every epoch anyway.
+    ///
+    /// Chain discipline: a full snapshot anchors the chain (its digest
+    /// is the chain id); each delta carries the chain id and a 1-based
+    /// sequence number. [`OnlineCaesar::restore_chain`] replays
+    /// `base + deltas` to a state **byte-identical** to the
+    /// uninterrupted engine at the moment this frame was emitted.
+    ///
+    /// # Errors
+    /// [`DeltaError::NoBase`] when no [`OnlineCaesar::snapshot`] has
+    /// anchored a chain yet.
+    pub fn checkpoint_delta(&mut self) -> Result<Vec<u8>, DeltaError> {
+        let mut buf = Vec::new();
+        self.checkpoint_delta_into(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// [`OnlineCaesar::checkpoint_delta`] into a caller-owned buffer
+    /// (cleared first) — the zero-realloc form for a periodic
+    /// checkpoint loop.
+    pub fn checkpoint_delta_into(&mut self, buf: &mut Vec<u8>) -> Result<(), DeltaError> {
+        let (chain_id, seq) = self.chain.ok_or(DeltaError::NoBase)?;
+        buf.clear();
+        buf.put_slice(DELTA_MAGIC);
+        buf.put_u16_le(DELTA_VERSION);
+        SketchFingerprint::of(&self.cfg).encode_into(buf);
+        buf.put_u64_le(chain_id);
+        buf.put_u64_le(seq + 1);
+        buf.put_u64_le(self.epoch);
+        buf.put_u64_le(self.merges);
+        buf.put_u64_le(self.offered_total);
+        buf.put_u64_le(self.shards as u64);
+        // Sparse SRAM section: absolute counter values of every dirty
+        // block (replay is a plain store — no read-modify-write, no
+        // saturation bookkeeping to re-derive) plus the full tally
+        // stripes (O(shards), tiny).
+        buf.put_u32_le(self.sram.bits());
+        buf.put_u64_le(self.sram.len() as u64);
+        let blocks = self.sram.take_dirty_blocks();
+        buf.put_u64_le(blocks.len() as u64);
+        for &b in &blocks {
+            buf.put_u64_le(b as u64);
+            let start = b * crate::sram::DIRTY_BLOCK_COUNTERS;
+            let end = (start + crate::sram::DIRTY_BLOCK_COUNTERS).min(self.sram.len());
+            for idx in start..end {
+                buf.put_u64_le(self.sram.get(idx));
+            }
+        }
+        let tallies = self.sram.tally_snapshot();
+        buf.put_u64_le(tallies.len() as u64);
+        for &(added, sat) in &tallies {
+            buf.put_u64_le(added);
+            buf.put_u64_le(sat);
+        }
+        self.encode_lanes(buf);
+        seal(buf);
+        self.chain = Some((chain_id, seq + 1));
+        Ok(())
+    }
+
+    /// Apply one `CDLT` delta frame emitted by
+    /// [`OnlineCaesar::checkpoint_delta`] on the uninterrupted engine.
+    /// The frame is fully decoded and validated **before** any state is
+    /// touched, so a rejected delta leaves the engine unchanged.
+    ///
+    /// # Errors
+    /// Typed rejection for every failure mode: sealed-envelope damage
+    /// ([`DeltaError::Seal`]), frames that are not deltas
+    /// ([`DeltaError::BadMagic`]), foreign sketches
+    /// ([`DeltaError::Incompatible`]), deltas from another chain
+    /// ([`DeltaError::ForeignChain`]), gaps / replays / out-of-order
+    /// application ([`DeltaError::Sequence`]), and internal
+    /// inconsistencies ([`DeltaError::Corrupt`]).
+    pub fn apply_delta(&mut self, bytes: &[u8]) -> Result<(), DeltaError> {
+        let (chain_id, seq) = self.chain.ok_or(DeltaError::NoBase)?;
+        let payload = unseal(bytes)?;
+        let mut r = ByteReader::new(payload);
+        let magic = r.get_array::<4>().ok_or(DeltaError::Truncated)?;
+        if &magic != DELTA_MAGIC {
+            return Err(DeltaError::BadMagic);
+        }
+        let version = r.get_u16_le().ok_or(DeltaError::Truncated)?;
+        if version != DELTA_VERSION {
+            return Err(DeltaError::UnsupportedVersion(version));
+        }
+        let fingerprint = SketchFingerprint::decode_from(&mut r).ok_or(DeltaError::Truncated)?;
+        SketchFingerprint::of(&self.cfg)
+            .expect_matches(&fingerprint)
+            .map_err(DeltaError::Incompatible)?;
+        let found_chain = r.get_u64_le().ok_or(DeltaError::Truncated)?;
+        if found_chain != chain_id {
+            return Err(DeltaError::ForeignChain { expected: chain_id, found: found_chain });
+        }
+        let found_seq = r.get_u64_le().ok_or(DeltaError::Truncated)?;
+        if found_seq != seq + 1 {
+            return Err(DeltaError::Sequence { expected: seq + 1, found: found_seq });
+        }
+        let epoch = r.get_u64_le().ok_or(DeltaError::Truncated)?;
+        let merges = r.get_u64_le().ok_or(DeltaError::Truncated)?;
+        let offered_total = r.get_u64_le().ok_or(DeltaError::Truncated)?;
+        let shards = r.get_u64_le().ok_or(DeltaError::Truncated)? as usize;
+        if shards != self.shards {
+            return Err(DeltaError::Corrupt("shard count disagrees with engine"));
+        }
+        let bits = r.get_u32_le().ok_or(DeltaError::Truncated)?;
+        if bits != self.cfg.counter_bits {
+            return Err(DeltaError::Corrupt("SRAM width disagrees with config"));
+        }
+        let counters = r.get_u64_le().ok_or(DeltaError::Truncated)? as usize;
+        if counters != self.cfg.counters {
+            return Err(DeltaError::Corrupt("SRAM length disagrees with config"));
+        }
+        let n_blocks_total = counters.div_ceil(crate::sram::DIRTY_BLOCK_COUNTERS);
+        let max = self.sram.max_value();
+        let n_blocks = r.get_u64_le().ok_or(DeltaError::Truncated)? as usize;
+        if n_blocks > n_blocks_total {
+            return Err(DeltaError::Corrupt("more dirty blocks than blocks"));
+        }
+        let mut blocks: Vec<(usize, Vec<u64>)> = Vec::with_capacity(n_blocks);
+        let mut prev_block = None;
+        for _ in 0..n_blocks {
+            let b = r.get_u64_le().ok_or(DeltaError::Truncated)? as usize;
+            if b >= n_blocks_total {
+                return Err(DeltaError::Corrupt("dirty block index out of range"));
+            }
+            if prev_block.is_some_and(|p| b <= p) {
+                return Err(DeltaError::Corrupt("dirty blocks not strictly ascending"));
+            }
+            prev_block = Some(b);
+            let start = b * crate::sram::DIRTY_BLOCK_COUNTERS;
+            let end = (start + crate::sram::DIRTY_BLOCK_COUNTERS).min(counters);
+            let mut values = Vec::with_capacity(end - start);
+            for _ in start..end {
+                let v = r.get_u64_le().ok_or(DeltaError::Truncated)?;
+                if v > max {
+                    return Err(DeltaError::Corrupt("counter exceeds width"));
+                }
+                values.push(v);
+            }
+            blocks.push((start, values));
+        }
+        let n_tallies = r.get_u64_le().ok_or(DeltaError::Truncated)? as usize;
+        if n_tallies != self.shards {
+            return Err(DeltaError::Corrupt("tally stripe count disagrees with shards"));
+        }
+        let mut tallies = Vec::with_capacity(n_tallies);
+        for _ in 0..n_tallies {
+            let added = r.get_u64_le().ok_or(DeltaError::Truncated)?;
+            let sat = r.get_u64_le().ok_or(DeltaError::Truncated)?;
+            tallies.push((added, sat));
+        }
+        let mut lanes = Vec::with_capacity(self.shards);
+        #[allow(clippy::needless_range_loop)] // shard indexes `entries` AND names the lane
+        for shard in 0..self.shards {
+            lanes.push(
+                decode_lane(&mut r, &self.cfg, shard, self.entries[shard], self.ring_capacity)
+                    .map_err(DeltaError::from)?,
+            );
+        }
+        if r.remaining() != 0 {
+            return Err(DeltaError::Corrupt("trailing bytes"));
+        }
+        // Everything validated — apply.
+        self.epoch = epoch;
+        self.merges = merges;
+        self.offered_total = offered_total;
+        for (start, values) in &blocks {
+            self.sram.store_counters(*start, values);
+        }
+        self.sram.restore_tallies(&tallies);
+        self.lanes = lanes;
+        self.chain = Some((chain_id, found_seq));
+        // Replayed state is the new baseline, exactly as it was on the
+        // emitting engine the instant after its drain.
+        let _ = self.sram.take_dirty_blocks();
+        Ok(())
+    }
+
+    /// Rebuild an engine from a full-snapshot anchor plus its ordered
+    /// delta frames. The result is **byte-identical** (its next
+    /// [`OnlineCaesar::snapshot`] emits the same bytes) to the
+    /// uninterrupted engine at the moment the last delta was emitted —
+    /// and it can keep extending the same chain, since
+    /// [`OnlineCaesar::restore`] re-derives the chain id from the base
+    /// blob.
+    ///
+    /// # Errors
+    /// [`ChainError::Base`] if the anchor fails to restore;
+    /// [`ChainError::Delta`] (naming the offending index) if a delta is
+    /// damaged, foreign, or out of sequence.
+    pub fn restore_chain<B: AsRef<[u8]>>(base: &[u8], deltas: &[B]) -> Result<Self, ChainError> {
+        let mut engine = Self::restore(base).map_err(ChainError::Base)?;
+        for (index, delta) in deltas.iter().enumerate() {
+            engine
+                .apply_delta(delta.as_ref())
+                .map_err(|source| ChainError::Delta { index, source })?;
+        }
+        Ok(engine)
+    }
+
+    /// The engine's delta-chain position: `(chain id, deltas emitted
+    /// since the anchoring snapshot)`, or `None` before any snapshot.
+    pub fn chain_position(&self) -> Option<(u64, u64)> {
+        self.chain
     }
 
     /// Rebuild an engine from a [`OnlineCaesar::snapshot`] blob. The
@@ -965,57 +1213,7 @@ impl OnlineCaesar {
         let mut lanes = Vec::with_capacity(shards);
         #[allow(clippy::needless_range_loop)] // shard indexes `entries` AND names the lane
         for shard in 0..shards {
-            let offered = r.get_u64_le().ok_or(RestoreError::Truncated)?;
-            let recorded = r.get_u64_le().ok_or(RestoreError::Truncated)?;
-            let dropped = r.get_u64_le().ok_or(RestoreError::Truncated)?;
-            let quarantined = r.get_u64_le().ok_or(RestoreError::Truncated)?;
-            let respawns = r.get_u64_le().ok_or(RestoreError::Truncated)?;
-            let inline_fallback = match get_u8(&mut r)? {
-                0 => false,
-                1 => true,
-                _ => return Err(RestoreError::Corrupt("inline flag")),
-            };
-            let stalled_attempts = r.get_u64_le().ok_or(RestoreError::Truncated)?;
-            let n_pending = get_usize(&mut r)?;
-            if n_pending > ring_capacity {
-                return Err(RestoreError::Corrupt("ring contents exceed capacity"));
-            }
-            let mut pending = Vec::with_capacity(n_pending);
-            for _ in 0..n_pending {
-                pending.push(r.get_u64_le().ok_or(RestoreError::Truncated)?);
-            }
-            let retired = decode_ingest_stats(&mut r)?;
-            let state = decode_worker_state(&mut r)?;
-            if state.memo.len() != entries[shard] * cfg.k {
-                return Err(RestoreError::Corrupt("memo geometry"));
-            }
-            if state.cache.slots.len() > entries[shard] {
-                return Err(RestoreError::Corrupt("cache slot count"));
-            }
-            let log = decode_fault_log(&mut r)?;
-            let worker = ShardWorker::restore_state(&cfg, shard, entries[shard], state);
-            let (mut tx, rx) = spsc::ring::<u64>(ring_capacity);
-            let in_ring = pending.len() as u64;
-            for f in pending {
-                let pushed = tx.try_push(f).is_ok();
-                debug_assert!(pushed, "capacity checked above");
-            }
-            lanes.push(Lane {
-                tx,
-                rx,
-                worker,
-                buf: Vec::with_capacity(STREAM_CHUNK),
-                offered,
-                recorded,
-                dropped,
-                quarantined,
-                in_ring,
-                respawns,
-                inline_fallback,
-                stalled_attempts,
-                retired,
-                log,
-            });
+            lanes.push(decode_lane(&mut r, &cfg, shard, entries[shard], ring_capacity)?);
         }
         if r.remaining() != 0 {
             return Err(RestoreError::Corrupt("trailing bytes"));
@@ -1035,6 +1233,10 @@ impl OnlineCaesar {
             merges,
             offered_total,
             injector: FaultInjector::none(),
+            // Re-deriving the chain id from the blob's own bytes means a
+            // restored engine continues the chain the blob anchored:
+            // both sides hashed the same bytes.
+            chain: Some((hashkit::fnv::fnv1a64(bytes), 0)),
         })
     }
 
@@ -1117,9 +1319,196 @@ impl std::fmt::Display for RestoreError {
 
 impl std::error::Error for RestoreError {}
 
+/// Delta-frame payload magic: distinguishes a `CDLT` delta from a full
+/// snapshot at the first four bytes, so feeding one to the other's
+/// decoder fails typed, not garbled.
+const DELTA_MAGIC: &[u8; 4] = b"CDLT";
+
+/// Delta-frame payload layout version (bump on layout changes).
+const DELTA_VERSION: u16 = 1;
+
+/// Why [`OnlineCaesar::apply_delta`] (or
+/// [`OnlineCaesar::checkpoint_delta`]) rejected a frame or refused to
+/// emit one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The sealed envelope failed validation (truncation, bad magic,
+    /// checksum mismatch).
+    Seal(SealError),
+    /// The payload ran out mid-field.
+    Truncated,
+    /// The payload is not a delta frame (e.g. a full snapshot blob was
+    /// offered to [`OnlineCaesar::apply_delta`]).
+    BadMagic,
+    /// The delta's layout version is not supported.
+    UnsupportedVersion(u16),
+    /// A field decoded but violates an internal invariant.
+    Corrupt(&'static str),
+    /// The delta belongs to an incompatible sketch (geometry, seed or
+    /// estimator differ); the inner error names the diverging field.
+    Incompatible(MergeError),
+    /// The delta extends a different chain (anchored by a different
+    /// full snapshot) than the engine is on.
+    ForeignChain {
+        /// The engine's chain id.
+        expected: u64,
+        /// The frame's chain id.
+        found: u64,
+    },
+    /// The delta is not the next link: a gap, a replay, or out-of-order
+    /// application.
+    Sequence {
+        /// The sequence number the engine requires next.
+        expected: u64,
+        /// The frame's sequence number.
+        found: u64,
+    },
+    /// No full snapshot has anchored a chain on this engine yet.
+    NoBase,
+}
+
+impl From<SealError> for DeltaError {
+    fn from(e: SealError) -> Self {
+        DeltaError::Seal(e)
+    }
+}
+
+impl From<RestoreError> for DeltaError {
+    fn from(e: RestoreError) -> Self {
+        match e {
+            RestoreError::Seal(s) => DeltaError::Seal(s),
+            RestoreError::Truncated => DeltaError::Truncated,
+            RestoreError::UnsupportedVersion(v) => DeltaError::UnsupportedVersion(v),
+            RestoreError::Corrupt(what) => DeltaError::Corrupt(what),
+            RestoreError::Incompatible(m) => DeltaError::Incompatible(m),
+        }
+    }
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::Seal(e) => write!(f, "delta envelope invalid: {e}"),
+            DeltaError::Truncated => write!(f, "delta payload truncated"),
+            DeltaError::BadMagic => write!(f, "payload is not a CDLT delta frame"),
+            DeltaError::UnsupportedVersion(v) => {
+                write!(f, "delta layout version {v} not supported")
+            }
+            DeltaError::Corrupt(what) => write!(f, "delta corrupt: {what}"),
+            DeltaError::Incompatible(e) => {
+                write!(f, "delta belongs to an incompatible sketch: {e}")
+            }
+            DeltaError::ForeignChain { expected, found } => write!(
+                f,
+                "delta extends chain {found:#018x}, engine is on {expected:#018x}"
+            ),
+            DeltaError::Sequence { expected, found } => {
+                write!(f, "delta out of sequence: expected #{expected}, found #{found}")
+            }
+            DeltaError::NoBase => {
+                write!(f, "no full snapshot has anchored a delta chain yet")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// Why [`OnlineCaesar::restore_chain`] failed, locating the offending
+/// link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainError {
+    /// The anchoring full snapshot failed to restore.
+    Base(RestoreError),
+    /// A delta frame was rejected; `index` is its position in the
+    /// `deltas` slice.
+    Delta {
+        /// Zero-based position of the rejected frame.
+        index: usize,
+        /// Why it was rejected.
+        source: DeltaError,
+    },
+}
+
+impl std::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChainError::Base(e) => write!(f, "chain base snapshot rejected: {e}"),
+            ChainError::Delta { index, source } => {
+                write!(f, "chain delta #{index} rejected: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
 // ---------------------------------------------------------------------
 // Codec helpers
 // ---------------------------------------------------------------------
+
+/// Decode one lane's dynamic state — the exact inverse of the per-lane
+/// section [`OnlineCaesar`]'s `encode_lanes` writes, shared by
+/// [`OnlineCaesar::restore`] and [`OnlineCaesar::apply_delta`].
+fn decode_lane(
+    r: &mut ByteReader<'_>,
+    cfg: &CaesarConfig,
+    shard: usize,
+    entries: usize,
+    ring_capacity: usize,
+) -> Result<Lane, RestoreError> {
+    let offered = r.get_u64_le().ok_or(RestoreError::Truncated)?;
+    let recorded = r.get_u64_le().ok_or(RestoreError::Truncated)?;
+    let dropped = r.get_u64_le().ok_or(RestoreError::Truncated)?;
+    let quarantined = r.get_u64_le().ok_or(RestoreError::Truncated)?;
+    let respawns = r.get_u64_le().ok_or(RestoreError::Truncated)?;
+    let inline_fallback = match get_u8(r)? {
+        0 => false,
+        1 => true,
+        _ => return Err(RestoreError::Corrupt("inline flag")),
+    };
+    let stalled_attempts = r.get_u64_le().ok_or(RestoreError::Truncated)?;
+    let n_pending = get_usize(r)?;
+    if n_pending > ring_capacity {
+        return Err(RestoreError::Corrupt("ring contents exceed capacity"));
+    }
+    let mut pending = Vec::with_capacity(n_pending);
+    for _ in 0..n_pending {
+        pending.push(r.get_u64_le().ok_or(RestoreError::Truncated)?);
+    }
+    let retired = decode_ingest_stats(r)?;
+    let state = decode_worker_state(r)?;
+    if state.memo.len() != entries * cfg.k {
+        return Err(RestoreError::Corrupt("memo geometry"));
+    }
+    if state.cache.slots.len() > entries {
+        return Err(RestoreError::Corrupt("cache slot count"));
+    }
+    let log = decode_fault_log(r)?;
+    let worker = ShardWorker::restore_state(cfg, shard, entries, state);
+    let (mut tx, rx) = spsc::ring::<u64>(ring_capacity);
+    let in_ring = pending.len() as u64;
+    for f in pending {
+        let pushed = tx.try_push(f).is_ok();
+        debug_assert!(pushed, "capacity checked above");
+    }
+    Ok(Lane {
+        tx,
+        rx,
+        worker,
+        buf: Vec::with_capacity(STREAM_CHUNK),
+        offered,
+        recorded,
+        dropped,
+        quarantined,
+        in_ring,
+        respawns,
+        inline_fallback,
+        stalled_attempts,
+        retired,
+        log,
+    })
+}
 
 fn get_u8(r: &mut ByteReader<'_>) -> Result<u8, RestoreError> {
     r.get_array::<1>().map(|[b]| b).ok_or(RestoreError::Truncated)
@@ -1590,6 +1979,121 @@ mod tests {
             }
         }
         assert_eq!(a.finish().sram().snapshot(), b.finish().sram().snapshot());
+    }
+
+    #[test]
+    fn delta_chain_replays_byte_identical() {
+        let flows = workload(30_000);
+        let (base_part, tail) = flows.split_at(10_000);
+        let (mid, last) = tail.split_at(10_000);
+        let mut live = OnlineCaesar::new(cfg(), 2).with_epoch_len(4_096);
+        live.offer_batch(base_part);
+        let base = live.snapshot();
+        assert_eq!(live.chain_position(), Some((hashkit::fnv::fnv1a64(&base), 0)));
+        live.offer_batch(mid);
+        let d1 = live.checkpoint_delta().expect("anchored chain emits");
+        live.offer_batch(last);
+        let d2 = live.checkpoint_delta().expect("second link");
+        assert_eq!(live.chain_position().map(|(_, s)| s), Some(2));
+        // Replica replays the chain and lands byte-identical: its next
+        // full snapshot emits the same bytes as the live engine's.
+        let mut replica =
+            OnlineCaesar::restore_chain(&base, &[&d1, &d2]).expect("chain replays");
+        assert_conserved(&replica);
+        assert_eq!(live.snapshot(), replica.snapshot(), "state byte-identical");
+        // And both keep measuring identically.
+        let more = workload(6_000);
+        live.offer_batch(&more);
+        replica.offer_batch(&more);
+        assert_eq!(live.finish().sram().snapshot(), replica.finish().sram().snapshot());
+    }
+
+    #[test]
+    fn checkpoint_delta_requires_an_anchor() {
+        let mut online = OnlineCaesar::new(cfg(), 2);
+        online.offer_batch(&workload(1_000));
+        assert_eq!(online.checkpoint_delta(), Err(DeltaError::NoBase));
+        let _ = online.snapshot();
+        assert!(online.checkpoint_delta().is_ok());
+    }
+
+    #[test]
+    fn apply_delta_rejects_gaps_replays_foreign_and_corrupt_frames() {
+        let flows = workload(20_000);
+        let mut live = OnlineCaesar::new(cfg(), 2);
+        live.offer_batch(&flows[..8_000]);
+        let base = live.snapshot();
+        live.offer_batch(&flows[8_000..14_000]);
+        let d1 = live.checkpoint_delta().expect("link 1");
+        live.offer_batch(&flows[14_000..]);
+        let d2 = live.checkpoint_delta().expect("link 2");
+
+        // Gap: skipping d1 is a typed sequence error, and the rejected
+        // frame leaves the replica untouched — d1 then d2 still apply.
+        let mut replica = OnlineCaesar::restore(&base).expect("base restores");
+        assert_eq!(
+            replica.apply_delta(&d2),
+            Err(DeltaError::Sequence { expected: 1, found: 2 })
+        );
+        replica.apply_delta(&d1).expect("in-order link applies");
+        // Replay: the same link twice is also out of sequence.
+        assert_eq!(
+            replica.apply_delta(&d1),
+            Err(DeltaError::Sequence { expected: 2, found: 1 })
+        );
+        replica.apply_delta(&d2).expect("chain completes after rejections");
+        assert_eq!(replica.snapshot(), live.snapshot());
+
+        // Foreign chain: a delta anchored to a *different* snapshot.
+        let mut other = OnlineCaesar::new(cfg(), 2);
+        other.offer_batch(&flows[..500]);
+        let other_base = other.snapshot();
+        let other_delta = {
+            other.offer_batch(&flows[500..900]);
+            other.checkpoint_delta().expect("foreign link")
+        };
+        let mut fresh = OnlineCaesar::restore(&base).expect("base restores");
+        assert!(matches!(
+            fresh.apply_delta(&other_delta),
+            Err(DeltaError::ForeignChain { .. })
+        ));
+        // A full snapshot blob is not a delta frame.
+        assert_eq!(fresh.apply_delta(&other_base), Err(DeltaError::BadMagic));
+        // ... and a delta frame is not a snapshot blob.
+        assert!(OnlineCaesar::restore(&d1).is_err());
+        // Bit-flip → seal rejection before any decoding.
+        let mut flipped = d1.clone();
+        flipped[d1.len() / 2] ^= 0x10;
+        assert!(matches!(
+            fresh.apply_delta(&flipped),
+            Err(DeltaError::Seal(SealError::BadChecksum))
+        ));
+        // Unanchored engines cannot apply deltas at all.
+        let mut unanchored = OnlineCaesar::new(cfg(), 2);
+        assert_eq!(unanchored.apply_delta(&d1), Err(DeltaError::NoBase));
+    }
+
+    #[test]
+    fn restore_chain_names_the_offending_link() {
+        let mut live = OnlineCaesar::new(cfg(), 1);
+        live.offer_batch(&workload(4_000));
+        let base = live.snapshot();
+        live.offer_batch(&workload(2_000));
+        let d1 = live.checkpoint_delta().expect("link 1");
+        live.offer_batch(&workload(2_000));
+        let d2 = live.checkpoint_delta().expect("link 2");
+        // Out of order: the failure points at slice index 0.
+        assert!(matches!(
+            OnlineCaesar::restore_chain(&base, &[&d2, &d1]),
+            Err(ChainError::Delta { index: 0, source: DeltaError::Sequence { .. } })
+        ));
+        // Damaged base.
+        assert!(matches!(
+            OnlineCaesar::restore_chain(&base[..base.len() - 2], &[&d1]),
+            Err(ChainError::Base(_))
+        ));
+        // The intact chain replays.
+        assert!(OnlineCaesar::restore_chain(&base, &[&d1, &d2]).is_ok());
     }
 
     #[test]

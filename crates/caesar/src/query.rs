@@ -274,6 +274,40 @@ fn resolve_threads(requested: usize) -> usize {
     requested.clamp(1, support::par::host_parallelism())
 }
 
+/// Default batch-query chunk width: `0` means *auto* — one contiguous
+/// chunk per worker (`flows.len() / threads`, rounded up), the
+/// best-throughput split on every geometry measured so far.
+const QUERY_CHUNK_WIDTH_AUTO: usize = 0;
+
+/// The batch-query chunk width in flows, unless overridden through the
+/// `CAESAR_QUERY_CHUNK_WIDTH` environment variable (a flow count, read
+/// **once** per process). `0` — the default — means *auto*: one chunk
+/// per worker. A positive value forces that fixed width, so benches
+/// and cross-host tuning can sweep gather widths (finer chunks trade
+/// scheduling overhead for tail balance) without recompiling —
+/// chunking is order-preserving, so outputs are bit-identical at any
+/// width. Unparsable values warn on stderr and keep the default.
+pub fn query_batch_chunk_width() -> usize {
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| {
+        parse_chunk_width(std::env::var("CAESAR_QUERY_CHUNK_WIDTH").ok().as_deref())
+    })
+}
+
+/// Parse the env override; `None`/empty means "use the default".
+fn parse_chunk_width(raw: Option<&str>) -> usize {
+    match raw.map(str::trim) {
+        None | Some("") => QUERY_CHUNK_WIDTH_AUTO,
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!(
+                "caesar: ignoring unparsable CAESAR_QUERY_CHUNK_WIDTH={s:?} \
+                 (want a flow count, 0 = auto); using auto"
+            );
+            QUERY_CHUNK_WIDTH_AUTO
+        }),
+    }
+}
+
 /// Evaluate `estimator` for every flow in `flows` against the frozen
 /// counters in `view`, using up to `threads` workers (resolved against
 /// the host's parallelism). Output order matches `flows`; results are
@@ -326,8 +360,12 @@ fn run_all<V: CounterView, K: BatchKernel>(
     if threads <= 1 || flows.len() < 2 {
         return batch_dispatch(kmap, view, kernel, k, flows);
     }
-    // Contiguous chunks, one per worker; order-preserving reassembly.
-    let chunk = flows.len().div_ceil(threads);
+    // Contiguous chunks, one per worker by default; order-preserving
+    // reassembly keeps the output bit-identical at any width.
+    let chunk = match query_batch_chunk_width() {
+        0 => flows.len().div_ceil(threads),
+        w => w,
+    };
     let chunks: Vec<&[u64]> = flows.chunks(chunk).collect();
     let per_chunk = par_map_threads(&chunks, threads, |c| {
         batch_dispatch(kmap, view, kernel, k, c)
@@ -586,6 +624,15 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn chunk_width_override_parses_defensively() {
+        assert_eq!(parse_chunk_width(None), QUERY_CHUNK_WIDTH_AUTO);
+        assert_eq!(parse_chunk_width(Some("")), QUERY_CHUNK_WIDTH_AUTO);
+        assert_eq!(parse_chunk_width(Some("  256 ")), 256);
+        assert_eq!(parse_chunk_width(Some("0")), QUERY_CHUNK_WIDTH_AUTO);
+        assert_eq!(parse_chunk_width(Some("not-a-number")), QUERY_CHUNK_WIDTH_AUTO);
     }
 
     #[test]

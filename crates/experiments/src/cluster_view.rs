@@ -17,6 +17,21 @@
 //!   of the bias over the sampled flows; a tap that saw only `1/N` of
 //!   the stream cannot average its way out of a `≈ −(1 − 1/N)` bias.
 //!
+//! The sweep runs **two measurement intervals** per family. Interval 1
+//! ingests the head of every stripe and full-pushes each tap's
+//! payload. Interval 2 ingests the tail (the final `1/DELTA_TAIL` of
+//! each stripe), diffs each tap's cumulative sketch against its
+//! already-acked payload with [`caesar::SketchDelta`], and ships only
+//! the changed counter blocks via `PushDelta`. Both wire costs are
+//! *measured* — they come back in the service's `PushAck` (`bytes` =
+//! decoded payload size) — and reported per family as **full B /
+//! delta B**. Expect delta ≈ full here: the zoo geometry sizes `L`
+//! to the flow count, so even a tail interval dirties every block —
+//! this sweep charts the delta's *worst case* (bounded at full plus
+//! block-index overhead). The regime where deltas win outright —
+//! large provisioned `L`, few flows active between pushes — is
+//! priced by the `service_delta` and `checkpoint` bench groups.
+//!
 //! All statistics are scored over the [`TOP_FLOWS`] largest flows (the
 //! flows measurement exists for). The headline: the merged view tracks
 //! the single-box sketch (linearity of the shared-counter SRAM) and
@@ -29,11 +44,11 @@
 use crate::report::{f, pct, Csv, TextTable};
 use crate::scale::{Scale, PAPER_FLOWS};
 use crate::zoo::zoo_config;
-use caesar::{ConcurrentCaesar, Estimator};
+use caesar::{ConcurrentCaesar, Estimator, SketchDelta};
 use flowtrace::zoo::{standard_zoo, WorkloadGen, ZOO_SEED};
 use flowtrace::FlowId;
 use metrics::ScatterSeries;
-use service::{InProcess, MeasurementClient, MeasurementService};
+use service::{DeltaPush, InProcess, MeasurementClient, MeasurementService};
 use std::collections::HashMap;
 use support::json::{Json, ToJson};
 
@@ -45,6 +60,10 @@ const NODE_SHARDS: usize = 2;
 const QUERY_BATCH: usize = 24;
 /// Largest-flows sample the AREs are scored over.
 pub const TOP_FLOWS: usize = 64;
+/// The final `1/DELTA_TAIL` of every stripe is the second measurement
+/// interval, shipped as a block-sparse delta push instead of a full
+/// payload.
+const DELTA_TAIL: usize = 10;
 
 /// One workload's cluster-view results.
 #[derive(Debug, Clone)]
@@ -69,10 +88,17 @@ pub struct ClusterRow {
     /// Mass-weighted signed relative error of the merged view — no
     /// traffic is missing, so only residual sharing noise remains.
     pub bias_merged: f64,
-    /// Epoch the merged answers were served at (= sketches pushed).
+    /// Epoch the merged answers were served at (= one full push plus
+    /// one delta push per tap).
     pub epoch: u64,
     /// Mean service-side query-health confidence over sampled flows.
     pub mean_confidence: f64,
+    /// Measured wire bytes of the interval-1 full pushes, summed over
+    /// taps (from the service's `PushAck`).
+    pub bytes_full: u64,
+    /// Measured wire bytes of the interval-2 delta pushes, summed over
+    /// taps (from the service's `PushAck`).
+    pub bytes_delta: u64,
 }
 
 /// Results of the cluster-view sweep.
@@ -139,23 +165,50 @@ fn run_one(w: &dyn WorkloadGen, seed: u64) -> ClusterRow {
     for (i, &flow) in flows.iter().enumerate() {
         slices[i % CLUSTER_NODES].push(flow);
     }
-    let nodes: Vec<ConcurrentCaesar> = slices
-        .iter()
-        .map(|slice| ConcurrentCaesar::build(cfg, NODE_SHARDS, slice))
-        .collect();
-    let bias_node_mean =
-        nodes.iter().map(|n| score_sketch(n, &truth).bias).sum::<f64>() / nodes.len() as f64;
-
-    // Push every tap's sketch through the service codec and query the
-    // merged view back through the client.
+    // Interval 1: each tap sketches the head of its stripe and
+    // full-pushes the payload through the service codec. Interval 2:
+    // each tap ingests its stripe's low-churn tail, diffs its
+    // cumulative sketch against the already-acked payload, and ships
+    // only the changed counter blocks. Both wire costs come back
+    // measured in the ack.
     let svc = MeasurementService::new(cfg);
     let mut client = MeasurementClient::connect(InProcess::new(&svc), &single.fingerprint())
         .expect("same fleet config");
+    let mut taps: Vec<ConcurrentCaesar> = Vec::with_capacity(CLUSTER_NODES);
+    let mut acked: Vec<caesar::SketchPayload> = Vec::with_capacity(CLUSTER_NODES);
     let mut epoch = 0;
-    for node in &nodes {
-        let (e, _) = client.push_sketch(&node.export_sketch()).expect("compatible sketch");
-        epoch = e;
+    let (mut bytes_full, mut bytes_delta) = (0u64, 0u64);
+    for slice in &slices {
+        let head = slice.len() - slice.len() / DELTA_TAIL;
+        let tap = ConcurrentCaesar::build(cfg, NODE_SHARDS, &slice[..head]);
+        let payload = tap.export_sketch();
+        let receipt = client.push_sketch(&payload).expect("compatible sketch");
+        epoch = receipt.epoch;
+        bytes_full += receipt.bytes;
+        taps.push(tap);
+        acked.push(payload);
     }
+    for (i, slice) in slices.iter().enumerate() {
+        let head = slice.len() - slice.len() / DELTA_TAIL;
+        taps[i]
+            .merge(&ConcurrentCaesar::build(cfg, NODE_SHARDS, &slice[head..]))
+            .expect("same fleet config");
+        let delta = SketchDelta::between(&acked[i], &taps[i].export_sketch(), epoch)
+            .expect("cumulative sketch extends the acked payload");
+        match client.push_delta(&delta).expect("delta push") {
+            DeltaPush::Accepted(receipt) => {
+                epoch = receipt.epoch;
+                bytes_delta += receipt.bytes;
+            }
+            DeltaPush::Stale { .. } => unreachable!("one client, no concurrent pushers"),
+        }
+    }
+    // Nothing lost in transit: the merged view accounts for exactly
+    // the packets the taps ingested across both intervals.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.total_added as usize, flows.len(), "delta pushes must conserve mass");
+    let bias_node_mean =
+        taps.iter().map(|n| score_sketch(n, &truth).bias).sum::<f64>() / taps.len() as f64;
     // ARE from the batch Query endpoint (clamped physical sizes);
     // bias + confidence from the QueryHealth endpoint, whose reports
     // carry the raw unclamped estimate.
@@ -190,6 +243,8 @@ fn run_one(w: &dyn WorkloadGen, seed: u64) -> ClusterRow {
         bias_merged,
         epoch,
         mean_confidence: confidence_sum / sampled.max(1) as f64,
+        bytes_full,
+        bytes_delta,
     }
 }
 
@@ -208,7 +263,7 @@ impl ClusterSweep {
     pub fn render(&self) -> String {
         let mut t = TextTable::new(vec![
             "workload", "kind", "flows", "packets", "ARE single", "ARE merged",
-            "bias per-node", "bias merged", "epoch", "confidence",
+            "bias per-node", "bias merged", "epoch", "confidence", "full B", "delta B", "delta/full",
         ]);
         for r in &self.rows {
             t.row(vec![
@@ -222,12 +277,17 @@ impl ClusterSweep {
                 pct(r.bias_merged),
                 r.epoch.to_string(),
                 f(r.mean_confidence),
+                r.bytes_full.to_string(),
+                r.bytes_delta.to_string(),
+                pct(r.bytes_delta as f64 / r.bytes_full.max(1) as f64),
             ]);
         }
         format!(
-            "Cluster view ({:?} scale): {} taps, round-robin striping, merged via the service codec\n{}",
+            "Cluster view ({:?} scale): {} taps, round-robin striping, merged via the service codec\n\
+             (interval 1 full-pushed, interval 2 = final 1/{} of each stripe pushed as counter-block deltas)\n{}",
             self.scale,
             CLUSTER_NODES,
+            DELTA_TAIL,
             t.render()
         )
     }
@@ -237,6 +297,7 @@ impl ClusterSweep {
         let mut csv = Csv::new(&[
             "workload", "kind", "flows", "packets", "are_single", "are_merged",
             "bias_node_mean", "bias_merged", "epoch", "mean_confidence",
+            "bytes_full", "bytes_delta",
         ]);
         for r in &self.rows {
             csv.row(&[
@@ -250,6 +311,8 @@ impl ClusterSweep {
                 f(r.bias_merged),
                 r.epoch.to_string(),
                 f(r.mean_confidence),
+                r.bytes_full.to_string(),
+                r.bytes_delta.to_string(),
             ]);
         }
         vec![
@@ -272,6 +335,8 @@ impl ToJson for ClusterRow {
             ("bias_merged", Json::from(self.bias_merged)),
             ("epoch", Json::from(self.epoch)),
             ("mean_confidence", Json::from(self.mean_confidence)),
+            ("bytes_full", Json::from(self.bytes_full)),
+            ("bytes_delta", Json::from(self.bytes_delta)),
         ])
     }
 }
@@ -298,7 +363,30 @@ mod tests {
         let sweep = run(Scale::Tiny);
         assert_eq!(sweep.rows.len(), 8, "every zoo family");
         for r in &sweep.rows {
-            assert_eq!(r.epoch, CLUSTER_NODES as u64, "{}: one push per tap", r.workload);
+            assert_eq!(
+                r.epoch,
+                2 * CLUSTER_NODES as u64,
+                "{}: one full push plus one delta push per tap",
+                r.workload
+            );
+            // Both wire costs were actually measured off PushAcks, and
+            // the tail never costs more than re-shipping the whole
+            // counter array would (worst case every block is dirty:
+            // the full payload plus one block index per block — 1/64
+            // of the counter bytes — plus fixed frame headers, which
+            // at the zoo's small L approach 3% on their own). The zoo
+            // geometry keeps every counter hot by design, so this
+            // sweep measures the delta's worst case; the regime where
+            // deltas win outright is priced by the "service_delta"
+            // and "checkpoint" bench groups.
+            assert!(r.bytes_full > 0 && r.bytes_delta > 0, "{}: acks carry bytes", r.workload);
+            assert!(
+                r.bytes_delta <= r.bytes_full + r.bytes_full / 16,
+                "{}: delta pushes ({} B) must not exceed full pushes ({} B) plus block-index overhead",
+                r.workload,
+                r.bytes_delta,
+                r.bytes_full
+            );
             // A lone tap saw ~1/3 of the mass, so its estimates carry
             // an irreducible ≈ −2/3 bias (noise cannot hide it: bias
             // is mass-weighted and sharing noise is near-zero-mean).

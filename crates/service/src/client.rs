@@ -18,7 +18,7 @@
 
 use std::net::{TcpStream, ToSocketAddrs};
 
-use caesar::{MergeError, SketchFingerprint, SketchPayload};
+use caesar::{MergeError, SketchDelta, SketchFingerprint, SketchPayload};
 
 use crate::proto::{
     read_frame, write_frame, ClusterStats, HealthReport, ProtoError, Request, Response,
@@ -112,6 +112,33 @@ impl Transport for TcpTransport {
     }
 }
 
+/// A successful push acknowledgement: what the server reported back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushReceipt {
+    /// Cluster-view epoch the push created.
+    pub epoch: u64,
+    /// Sketches folded into the view so far (deltas update an
+    /// existing tap's contribution, so they do not bump this).
+    pub nodes: u64,
+    /// Server-measured decoded payload size, in bytes — the wire cost
+    /// experiments chart, reported by the side that actually decoded
+    /// it.
+    pub bytes: u64,
+}
+
+/// Outcome of a [`MeasurementClient::push_delta`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaPush {
+    /// The delta's base epoch matched and it was merged.
+    Accepted(PushReceipt),
+    /// The view moved on since the delta was diffed; nothing was
+    /// applied. Full-push to recover.
+    Stale {
+        /// The server's current view epoch.
+        epoch: u64,
+    },
+}
+
 /// A handshaken measurement client over any [`Transport`].
 pub struct MeasurementClient<T: Transport> {
     transport: T,
@@ -140,11 +167,34 @@ impl<T: Transport> MeasurementClient<T> {
         self.server_fingerprint
     }
 
-    /// Push one node's frozen sketch; returns `(epoch, nodes)` after
-    /// the merge.
-    pub fn push_sketch(&mut self, sketch: &SketchPayload) -> Result<(u64, u64), ServiceError> {
+    /// Push one node's frozen sketch; returns the server's receipt
+    /// (the epoch the merge created, total sketches merged, and the
+    /// server-measured payload size).
+    pub fn push_sketch(&mut self, sketch: &SketchPayload) -> Result<PushReceipt, ServiceError> {
         match self.transport.round_trip(&Request::PushSketch(sketch.clone()))? {
-            Response::PushAck { epoch, nodes } => Ok((epoch, nodes)),
+            Response::PushAck { epoch, nodes, bytes } => {
+                Ok(PushReceipt { epoch, nodes, bytes })
+            }
+            Response::Error(msg) => Err(ServiceError::Remote(msg)),
+            _ => Err(ServiceError::UnexpectedResponse),
+        }
+    }
+
+    /// Push the increments since this tap's previous push. The server
+    /// applies the delta only when its view epoch still equals the
+    /// delta's `base_epoch`; otherwise nothing is applied and
+    /// [`DeltaPush::Stale`] carries the current epoch — the tap
+    /// recovers by falling back to [`MeasurementClient::push_sketch`].
+    ///
+    /// The recovery push must carry the tap's **unacked increment**,
+    /// not its cumulative sketch: payload merges are additive, so
+    /// re-pushing mass the view already acked would double-count it.
+    pub fn push_delta(&mut self, delta: &SketchDelta) -> Result<DeltaPush, ServiceError> {
+        match self.transport.round_trip(&Request::PushDelta(delta.clone()))? {
+            Response::PushAck { epoch, nodes, bytes } => {
+                Ok(DeltaPush::Accepted(PushReceipt { epoch, nodes, bytes }))
+            }
+            Response::DeltaNack { epoch } => Ok(DeltaPush::Stale { epoch }),
             Response::Error(msg) => Err(ServiceError::Remote(msg)),
             _ => Err(ServiceError::UnexpectedResponse),
         }
@@ -208,8 +258,10 @@ mod tests {
         let node = ConcurrentCaesar::build(cfg(), 2, &flows(5_000, 1));
         let mut client =
             MeasurementClient::connect(InProcess::new(&svc), &node.fingerprint()).unwrap();
-        let (epoch, nodes) = client.push_sketch(&node.export_sketch()).unwrap();
-        assert_eq!((epoch, nodes), (1, 1));
+        let payload = node.export_sketch();
+        let receipt = client.push_sketch(&payload).unwrap();
+        assert_eq!((receipt.epoch, receipt.nodes), (1, 1));
+        assert_eq!(receipt.bytes, payload.encoded_len() as u64);
         let targets: Vec<u64> = flows(50, 1);
         let (qe, values) = client.query(&targets).unwrap();
         assert_eq!(qe, 1);
@@ -246,8 +298,8 @@ mod tests {
         let tcp = TcpTransport::connect(server.addr()).unwrap();
         let mut client = MeasurementClient::connect(tcp, &fp).unwrap();
         client.push_sketch(&node_a.export_sketch()).unwrap();
-        let (epoch, nodes) = client.push_sketch(&node_b.export_sketch()).unwrap();
-        assert_eq!((epoch, nodes), (2, 2));
+        let receipt = client.push_sketch(&node_b.export_sketch()).unwrap();
+        assert_eq!((receipt.epoch, receipt.nodes), (2, 2));
 
         let targets: Vec<u64> = flows(50, 7).into_iter().chain(flows(50, 99)).collect();
         let (_, over_tcp) = client.query(&targets).unwrap();
@@ -261,6 +313,71 @@ mod tests {
         assert_eq!(he, 2);
         assert!(!health.is_degraded());
 
+        server.stop();
+    }
+
+    #[test]
+    fn delta_pushes_apply_or_nack_on_stale_base() {
+        let svc = Arc::new(MeasurementService::new(cfg()));
+        let server = TcpServer::spawn(Arc::clone(&svc), "127.0.0.1:0").unwrap();
+        let fp = SketchFingerprint::of(&cfg());
+        let mut tap =
+            MeasurementClient::connect(TcpTransport::connect(server.addr()).unwrap(), &fp)
+                .unwrap();
+
+        // Epoch 0 → 1: the tap's first (full) push.
+        let mut node = ConcurrentCaesar::empty(cfg());
+        node.merge(&ConcurrentCaesar::build(cfg(), 1, &flows(2_000, 3))).unwrap();
+        let mut prev = node.export_sketch();
+        let receipt = tap.push_sketch(&prev).unwrap();
+        assert_eq!(receipt.epoch, 1);
+
+        // Epoch 1 → 2: a low-churn epoch (one hot flow touches only
+        // k counters), diffed against the epoch the tap just observed.
+        node.merge(&ConcurrentCaesar::build(cfg(), 1, &[0xF00Du64; 1_000])).unwrap();
+        let cur = node.export_sketch();
+        let delta = SketchDelta::between(&prev, &cur, receipt.epoch).unwrap();
+        let accepted = match tap.push_delta(&delta).unwrap() {
+            DeltaPush::Accepted(r) => r,
+            other => panic!("fresh base must apply, got {other:?}"),
+        };
+        assert_eq!(accepted.epoch, 2);
+        assert_eq!(accepted.nodes, 1, "a delta is not a new node");
+        assert_eq!(accepted.bytes, delta.encoded_len() as u64);
+        assert!(
+            accepted.bytes < prev.encoded_len() as u64,
+            "delta must undercut the full payload it replaces"
+        );
+        prev = cur;
+
+        // Another tap's full push moves the view to epoch 3 ...
+        let mut other =
+            MeasurementClient::connect(InProcess::new(&svc), &fp).unwrap();
+        other
+            .push_sketch(&ConcurrentCaesar::build(cfg(), 2, &flows(500, 9)).export_sketch())
+            .unwrap();
+
+        // ... so the tap's next delta (diffed against epoch 2) is
+        // stale: typed NACK, nothing applied, a full push recovers.
+        let increment = ConcurrentCaesar::build(cfg(), 1, &flows(700, 11));
+        node.merge(&increment).unwrap();
+        let cur = node.export_sketch();
+        let stale = SketchDelta::between(&prev, &cur, accepted.epoch).unwrap();
+        let before = svc.with_view(|sketch, _| sketch.sram().total_added());
+        match tap.push_delta(&stale).unwrap() {
+            DeltaPush::Stale { epoch } => assert_eq!(epoch, 3),
+            other => panic!("stale base must NACK, got {other:?}"),
+        }
+        assert_eq!(
+            svc.with_view(|sketch, _| sketch.sram().total_added()),
+            before,
+            "a NACKed delta leaves the view untouched"
+        );
+        // The recovery full-push carries the tap's unacked increment
+        // (payload merges are additive — re-pushing acked mass would
+        // double-count it).
+        let receipt = tap.push_sketch(&increment.export_sketch()).unwrap();
+        assert_eq!(receipt.epoch, 4);
         server.stop();
     }
 

@@ -24,7 +24,9 @@ pub mod client;
 pub mod proto;
 pub mod server;
 
-pub use client::{InProcess, MeasurementClient, ServiceError, TcpTransport, Transport};
+pub use client::{
+    DeltaPush, InProcess, MeasurementClient, PushReceipt, ServiceError, TcpTransport, Transport,
+};
 pub use proto::{
     read_frame, write_frame, ClusterStats, HealthReport, ProtoError, Request, Response,
     MAX_FRAME_BYTES,

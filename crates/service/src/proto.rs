@@ -17,12 +17,16 @@
 //! ```
 //!
 //! Requests: `Hello` (fingerprint handshake), `PushSketch` (a node's
-//! [`SketchPayload`]), `Query` (batch of flow IDs), `QueryHealth`
-//! (one flow, health-annotated), `Stats`. Responses mirror them, plus
-//! a generic `Error`. Estimates cross the wire as `f64::to_bits` so a
-//! TCP round-trip is **bit-identical** to an in-process query.
+//! [`SketchPayload`]), `PushDelta` (an incremental [`SketchDelta`]
+//! against a named view epoch), `Query` (batch of flow IDs),
+//! `QueryHealth` (one flow, health-annotated), `Stats`. Responses
+//! mirror them, plus a generic `Error` and `DeltaNack` — the typed
+//! "your base epoch is stale, full-push instead" answer that keeps
+//! delta pushes exactly-once. Estimates cross the wire as
+//! `f64::to_bits` so a TCP round-trip is **bit-identical** to an
+//! in-process query.
 
-use caesar::{QueryHealth, SketchFingerprint, SketchPayload};
+use caesar::{QueryHealth, SketchDelta, SketchFingerprint, SketchPayload};
 use support::bytesx::{seal, unseal, ByteReader, PutBytes, SealError};
 
 /// Upper bound on a frame body. A `PushSketch` for one million 64-bit
@@ -77,6 +81,10 @@ pub enum Request {
     Hello(SketchFingerprint),
     /// Push one node's frozen sketch into the cluster view.
     PushSketch(SketchPayload),
+    /// Push the increments since the tap's previous push. Applied only
+    /// when the delta's `base_epoch` matches the server's current view
+    /// epoch; a stale base gets a [`Response::DeltaNack`] instead.
+    PushDelta(SketchDelta),
     /// Batch flow-size query against the current epoch snapshot.
     Query(Vec<u64>),
     /// Health-annotated single-flow query.
@@ -90,12 +98,24 @@ pub enum Request {
 pub enum Response {
     /// Answer to [`Request::Hello`]: the aggregator's own fingerprint.
     HelloAck(SketchFingerprint),
-    /// Sketch accepted: the epoch it created and total sketches merged.
+    /// Sketch (full or delta) accepted: the epoch it created, total
+    /// sketches merged, and how large the accepted payload was — the
+    /// server-measured wire cost, so experiments report what actually
+    /// crossed instead of inferring it client-side.
     PushAck {
         /// Cluster-view epoch after this merge (bumps on every push).
         epoch: u64,
         /// Sketches folded into the view so far.
         nodes: u64,
+        /// Decoded payload size of the accepted push, in bytes.
+        bytes: u64,
+    },
+    /// A [`Request::PushDelta`] named a base epoch that is not the
+    /// server's current one (another tap pushed in between). Nothing
+    /// was applied; the tap must fall back to a full push.
+    DeltaNack {
+        /// The server's current view epoch.
+        epoch: u64,
     },
     /// Answer to [`Request::Query`]: clamped default-estimator sizes,
     /// in request order, plus the epoch they were served at.
@@ -179,11 +199,13 @@ const TAG_PUSH: u8 = 0x02;
 const TAG_QUERY: u8 = 0x03;
 const TAG_HEALTH: u8 = 0x04;
 const TAG_STATS: u8 = 0x05;
+const TAG_PUSH_DELTA: u8 = 0x06;
 const TAG_HELLO_ACK: u8 = 0x81;
 const TAG_PUSH_ACK: u8 = 0x82;
 const TAG_ESTIMATES: u8 = 0x83;
 const TAG_HEALTH_RSP: u8 = 0x84;
 const TAG_STATS_RSP: u8 = 0x85;
+const TAG_DELTA_NACK: u8 = 0x86;
 const TAG_ERROR: u8 = 0xFF;
 
 impl Request {
@@ -198,6 +220,10 @@ impl Request {
             Request::PushSketch(p) => {
                 buf.push(TAG_PUSH);
                 buf.put_slice(&p.encode());
+            }
+            Request::PushDelta(d) => {
+                buf.push(TAG_PUSH_DELTA);
+                buf.put_slice(&d.encode());
             }
             Request::Query(flows) => {
                 buf.push(TAG_QUERY);
@@ -231,6 +257,12 @@ impl Request {
                 let p = SketchPayload::decode(rest)
                     .map_err(|_| ProtoError::Malformed("sketch payload"))?;
                 Ok(Request::PushSketch(p))
+            }
+            TAG_PUSH_DELTA => {
+                let rest = r.get_slice(r.remaining()).unwrap_or(&[]);
+                let d = SketchDelta::decode(rest)
+                    .map_err(|_| ProtoError::Malformed("sketch delta"))?;
+                Ok(Request::PushDelta(d))
             }
             TAG_QUERY => {
                 let n = r.get_u64_le().ok_or(ProtoError::Malformed("query count"))? as usize;
@@ -266,10 +298,15 @@ impl Response {
                 buf.push(TAG_HELLO_ACK);
                 fp.encode_into(&mut buf);
             }
-            Response::PushAck { epoch, nodes } => {
+            Response::PushAck { epoch, nodes, bytes } => {
                 buf.push(TAG_PUSH_ACK);
                 buf.put_u64_le(*epoch);
                 buf.put_u64_le(*nodes);
+                buf.put_u64_le(*bytes);
+            }
+            Response::DeltaNack { epoch } => {
+                buf.push(TAG_DELTA_NACK);
+                buf.put_u64_le(*epoch);
             }
             Response::Estimates { epoch, values } => {
                 buf.push(TAG_ESTIMATES);
@@ -322,8 +359,14 @@ impl Response {
             TAG_PUSH_ACK => {
                 let epoch = r.get_u64_le().ok_or(ProtoError::Malformed("ack epoch"))?;
                 let nodes = r.get_u64_le().ok_or(ProtoError::Malformed("ack nodes"))?;
+                let bytes = r.get_u64_le().ok_or(ProtoError::Malformed("ack bytes"))?;
                 expect_drained(&r)?;
-                Ok(Response::PushAck { epoch, nodes })
+                Ok(Response::PushAck { epoch, nodes, bytes })
+            }
+            TAG_DELTA_NACK => {
+                let epoch = r.get_u64_le().ok_or(ProtoError::Malformed("nack epoch"))?;
+                expect_drained(&r)?;
+                Ok(Response::DeltaNack { epoch })
             }
             TAG_ESTIMATES => {
                 let epoch = r.get_u64_le().ok_or(ProtoError::Malformed("estimates epoch"))?;
@@ -438,9 +481,18 @@ mod tests {
             saturation_events: 0,
             evictions: 2,
         };
+        let delta = SketchDelta {
+            fingerprint: fp(),
+            base_epoch: 5,
+            blocks: vec![(0, vec![3; caesar::DIRTY_BLOCK_COUNTERS])],
+            total_added_delta: 3 * caesar::DIRTY_BLOCK_COUNTERS as u64,
+            saturation_events_delta: 0,
+            evictions_delta: 1,
+        };
         for req in [
             Request::Hello(fp()),
             Request::PushSketch(payload),
+            Request::PushDelta(delta),
             Request::Query(vec![]),
             Request::Query(vec![7, 8, u64::MAX]),
             Request::QueryHealth(42),
@@ -455,7 +507,8 @@ mod tests {
     fn responses_roundtrip() {
         for rsp in [
             Response::HelloAck(fp()),
-            Response::PushAck { epoch: 3, nodes: 2 },
+            Response::PushAck { epoch: 3, nodes: 2, bytes: 16_408 },
+            Response::DeltaNack { epoch: 11 },
             Response::Estimates { epoch: 1, values: vec![-0.5, 1024.25, f64::INFINITY] },
             Response::Health {
                 epoch: 9,

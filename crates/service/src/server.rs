@@ -70,7 +70,35 @@ impl MeasurementService {
                     Ok(()) => {
                         view.epoch += 1;
                         view.nodes += 1;
-                        Response::PushAck { epoch: view.epoch, nodes: view.nodes }
+                        Response::PushAck {
+                            epoch: view.epoch,
+                            nodes: view.nodes,
+                            bytes: payload.encoded_len() as u64,
+                        }
+                    }
+                    Err(e) => Response::Error(e.to_string()),
+                }
+            }
+            Request::PushDelta(delta) => {
+                let mut view = self.view.write().expect("view lock");
+                // Optimistic concurrency: the delta was diffed against
+                // a specific view epoch; if any other push landed in
+                // between, applying it would interleave with state the
+                // tap never saw. Refuse typed — the tap full-pushes.
+                if delta.base_epoch != view.epoch {
+                    return Response::DeltaNack { epoch: view.epoch };
+                }
+                match view.sketch.merge_delta(delta) {
+                    Ok(()) => {
+                        // A delta updates an existing tap's
+                        // contribution; `nodes` counts sketches, so
+                        // only the epoch bumps.
+                        view.epoch += 1;
+                        Response::PushAck {
+                            epoch: view.epoch,
+                            nodes: view.nodes,
+                            bytes: delta.encoded_len() as u64,
+                        }
                     }
                     Err(e) => Response::Error(e.to_string()),
                 }
@@ -239,8 +267,10 @@ mod tests {
             counters: 1024,
         }));
         let flows: Vec<u64> = (0..100).map(hash_flow).collect();
-        let rsp = svc.handle(&Request::PushSketch(node_sketch(&flows)));
-        assert_eq!(rsp, Response::PushAck { epoch: 1, nodes: 1 });
+        let payload = node_sketch(&flows);
+        let bytes = payload.encoded_len() as u64;
+        let rsp = svc.handle(&Request::PushSketch(payload));
+        assert_eq!(rsp, Response::PushAck { epoch: 1, nodes: 1, bytes });
         match svc.handle(&Request::Query(vec![flows[0]])) {
             Response::Estimates { epoch, values } => {
                 assert_eq!(epoch, 1);

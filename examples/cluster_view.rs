@@ -65,11 +65,14 @@ fn main() {
         MeasurementClient::connect(transport, &taps[0].fingerprint()).expect("compatible fleet");
     for (i, tap) in taps.iter().enumerate() {
         let payload = tap.export_sketch();
-        let (epoch, nodes) = client.push_sketch(&payload).expect("push");
+        let receipt = client.push_sketch(&payload).expect("push");
         println!(
-            "tap {i}: pushed {} packets ({} counter words) -> epoch {epoch}, {nodes} node(s)",
+            "tap {i}: pushed {} packets ({} counter words, {} wire bytes) -> epoch {}, {} node(s)",
             payload.total_added,
-            payload.counters.len()
+            payload.counters.len(),
+            receipt.bytes,
+            receipt.epoch,
+            receipt.nodes
         );
     }
 

@@ -4,7 +4,7 @@
 # to the code that produced them.
 #
 # Usage: scripts/bench_trajectory.sh [OUT] [BENCH...]
-#   OUT      output file (default BENCH_PR8.json)
+#   OUT      output file (default BENCH_PR9.json)
 #   BENCH... bench targets to run (default: micro extensions, plus the
 #            ingest_backing group from the ablations bench)
 #
@@ -53,7 +53,17 @@
 # batching), and group "ingest_backing" — the packed-vs-word SRAM
 # ablation ("word_small_l"/"packed_small_l" at L=2048,
 # "word_large_l"/"packed_large_l" at L=32768) whose keep/drop verdict
-# lives in EXPERIMENTS.md.
+# lives in EXPERIMENTS.md. PR 9 adds groups "checkpoint" and
+# "service_delta": "checkpoint" prices a low-churn epoch's checkpoint
+# both ways ("snapshot_full_{small,large}_l" re-seals every counter,
+# "delta_low_churn_{small,large}_l" seals only the dirtied blocks; the
+# headline pair is the two large_l names at L=32768), and
+# "service_delta" prices refreshing the cluster view after a full push
+# ("inprocess_refresh_full_push" vs "inprocess_refresh_delta_push",
+# plus the SketchDelta codec in "delta_between_encode_decode"). Both
+# groups also emit "*_bytes*" pseudo-results whose ns fields carry
+# **frame sizes in bytes**, so the size win rides the same diff table
+# as the time win.
 #
 # After writing OUT, the script prints a median diff table against the
 # most recent other BENCH_*.json (joined on group/name), so every run
@@ -61,7 +71,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR8.json}"
+OUT="${1:-BENCH_PR9.json}"
 shift || true
 BENCHES=("$@")
 ABLATION_RIDEALONG=0

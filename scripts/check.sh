@@ -5,7 +5,17 @@
 # be the reason a step fails — if it is, a crates.io dependency snuck
 # back in and that is the bug.
 #
-# Usage: scripts/check.sh [--quick-bench | --fault-smoke | --zoo-smoke | --service-smoke | --simd-smoke]
+# Usage: scripts/check.sh [--quick-bench | --fault-smoke | --zoo-smoke | --service-smoke | --simd-smoke | --delta-smoke]
+#   --delta-smoke       delta-checkpoint smoke mode: run the epoch-delta
+#                       acceptance suite (tests/delta_checkpoint.rs —
+#                       base+deltas replays byte-identical across random
+#                       geometries × shard counts × fault plans, per-link
+#                       mass conservation, typed rejection of broken
+#                       chains, dirty-bitmap soundness on every SRAM
+#                       flavor) in release, plus the delta-push unit
+#                       tests in the caesar and service crates, then the
+#                       tiny-scale cluster-view sweep whose rows now
+#                       carry measured full-vs-delta wire bytes.
 #   --simd-smoke        lane-kernel smoke mode: run the lane bit-identity
 #                       suites (tests/lane_kernels.rs — chunked CSM/MLM
 #                       sweeps ≡ scalar prepared kernels bit for bit —
@@ -100,6 +110,31 @@ if [ "${1:-}" = "--fault-smoke" ]; then
     echo "==> cargo run --release --example resilient_monitor (output suppressed)"
     cargo run -q --release --offline --example resilient_monitor >/dev/null
     echo "check.sh --fault-smoke: all green"
+    exit 0
+fi
+
+if [ "${1:-}" = "--delta-smoke" ]; then
+    echo "==> delta smoke: epoch-delta checkpoints + delta pushes, release build"
+    run cargo test --release --offline -q --test delta_checkpoint
+    run cargo test --release --offline -q -p caesar --lib -- delta
+    run cargo test --release --offline -q -p service
+    OUT="$(mktemp -d)"
+    trap 'rm -rf "$OUT"' EXIT
+    echo "==> caesar-experiments cluster --scale tiny --out $OUT (output suppressed)"
+    cargo run -q --release --offline -p experiments --bin caesar-experiments -- \
+        cluster --scale tiny --out "$OUT" >/dev/null
+    if ! head -1 "$OUT/cluster_view.csv" | grep -q "bytes_delta"; then
+        echo "check.sh --delta-smoke: cluster_view.csv lacks the bytes_delta column"
+        exit 1
+    fi
+    # Every family row must report nonzero measured wire bytes for both
+    # the full and the delta pushes (last two CSV columns).
+    bad="$(awk -F, 'NR > 1 && ($(NF-1) + 0 <= 0 || $NF + 0 <= 0)' "$OUT/cluster_view.csv" | wc -l)"
+    if [ "$bad" -ne 0 ]; then
+        echo "check.sh --delta-smoke: $bad cluster_view.csv rows lack measured push bytes"
+        exit 1
+    fi
+    echo "check.sh --delta-smoke: all green"
     exit 0
 fi
 

@@ -12,7 +12,10 @@ use baselines::{
 };
 use bench::{bench_config, bench_trace, linerate_bench_trace};
 use caesar::epochs::{EpochedCaesar, EpochedConcurrentCaesar};
-use caesar::{BuildMode, Caesar, CaesarConfig, ConcurrentCaesar, Estimator, OnlineCaesar, SketchDelta};
+use caesar::{
+    BuildMode, Caesar, CaesarConfig, ConcurrentCaesar, Estimator, OnlineCaesar, SketchDelta,
+    ThreadedCaesar,
+};
 use experiments::zoo::{online_engine, stress_plan, zoo_config, ONLINE_SHARDS};
 use flowtrace::zoo::{standard_zoo, ZOO_SEED};
 use memsim::{PacketWork, Pipeline};
@@ -179,6 +182,18 @@ fn concurrent_and_epochs() {
                 o.offer(f);
             }
             black_box(o.finish());
+        });
+    }
+    // The detached-thread runtime: same offer loop as
+    // `steady_state_*`, but the shard workers are real OS threads
+    // under heartbeat supervision, so this prices the thread-runtime
+    // tax (ring hand-off, heartbeat stores, supervised drains) against
+    // online/steady_state_N in the same trajectory file.
+    for shards in [1usize, 4] {
+        g.bench(&format!("threaded_steady_state_{shards}"), || {
+            let mut t = ThreadedCaesar::new(bench_config(), shards);
+            t.offer_batch(&flows);
+            black_box(t.finish());
         });
     }
     g.bench("snapshot_roundtrip_4", || {

@@ -1002,6 +1002,12 @@ impl ConcurrentCaesar {
                 let entries = entries[shard];
                 let fault = panic_at.get(shard).copied().flatten();
                 handles.push(s.spawn(move || {
+                    // Shard→core placement, the "Pinned" in
+                    // `BuildMode::Pinned`: keep each worker's eviction
+                    // accumulator and ring consumer lines resident on
+                    // one core's cache. Quiet no-op on hosts that
+                    // cannot pin (see `support::affinity`).
+                    let _ = support::affinity::pin_shard(shard, shards);
                     let mut w =
                         ShardWorker::new(&cfg, shard, entries, WRITEBACK_ACCUMULATE_ALL);
                     let mut buf: Vec<u64> = Vec::with_capacity(STREAM_CHUNK);

@@ -60,6 +60,7 @@ pub mod pipeline;
 pub mod query;
 pub mod sram;
 pub mod theory;
+pub mod threaded;
 pub mod update;
 
 pub use atomic_sram::{
@@ -82,3 +83,4 @@ pub use estimator::{Estimate, EstimateParams};
 pub use pipeline::{sram_prefetch_min_bytes, Caesar, CaesarCore, CaesarStats, PackedCaesar};
 pub use query::{estimate_all, query_batch_chunk_width, query_health, CounterView, QueryHealth, SaturationView};
 pub use sram::{CounterArray, SramBacking, DIRTY_BLOCK_COUNTERS};
+pub use threaded::{heartbeat_interval_ms, ThreadedCaesar, DEFAULT_HEARTBEAT_MS};

@@ -390,6 +390,36 @@ impl SketchDelta {
             && self.evictions_delta == 0
     }
 
+    /// Re-express this delta as a full-width [`SketchPayload`] that
+    /// carries **only the increment**: the changed blocks' per-counter
+    /// increments at their dense offsets, zeros everywhere else, and
+    /// the tally *deltas* in the tally slots. Merging the result via
+    /// [`crate::ConcurrentCaesar::merge_sketch`] is state-for-state
+    /// identical to merging the delta via
+    /// [`crate::ConcurrentCaesar::merge_delta`].
+    ///
+    /// This is the recovery path after a delta NACK: the aggregator
+    /// refused the delta because its view epoch moved on, not because
+    /// the increment was applied — so the tap re-pushes the same
+    /// increment as an epoch-free full frame. Pushing the tap's
+    /// *cumulative* sketch there instead would double-count every
+    /// previously-acked epoch.
+    pub fn to_increment_payload(&self) -> SketchPayload {
+        let span = crate::sram::DIRTY_BLOCK_COUNTERS;
+        let mut counters = vec![0u64; self.fingerprint.counters];
+        for (block, increments) in &self.blocks {
+            let start = block * span;
+            counters[start..start + increments.len()].copy_from_slice(increments);
+        }
+        SketchPayload {
+            fingerprint: self.fingerprint,
+            counters,
+            total_added: self.total_added_delta,
+            saturation_events: self.saturation_events_delta,
+            evictions: self.evictions_delta,
+        }
+    }
+
     /// Binary encoding, little-endian throughout:
     ///
     /// ```text
@@ -640,6 +670,55 @@ mod tests {
             SketchDelta::decode(&out_of_range.encode()),
             Err(PayloadError::Malformed("block index out of range"))
         ));
+    }
+
+    #[test]
+    fn increment_payload_merges_like_the_delta() {
+        use crate::concurrent::ConcurrentCaesar;
+        let cfg = CaesarConfig {
+            cache_entries: 64,
+            entry_capacity: 8,
+            counters: 1024,
+            k: 3,
+            ..CaesarConfig::default()
+        };
+        let flows: Vec<u64> = (0..4_000u64)
+            .map(|i| hashkit::mix::mix64(i % 97))
+            .collect();
+        let half = flows.len() / 2;
+        let mut tap = ConcurrentCaesar::empty(cfg);
+        tap.merge(&ConcurrentCaesar::build(cfg, 1, &flows[..half])).unwrap();
+        let prev = tap.export_sketch();
+        tap.merge(&ConcurrentCaesar::build(cfg, 1, &flows[half..])).unwrap();
+        let cur = tap.export_sketch();
+        let delta = SketchDelta::between(&prev, &cur, 3).unwrap();
+        assert!(!delta.is_empty());
+
+        let payload = delta.to_increment_payload();
+        assert_eq!(payload.fingerprint, delta.fingerprint);
+        assert_eq!(payload.counters.len(), cfg.counters);
+        assert_eq!(payload.total_added, delta.total_added_delta);
+        assert_eq!(payload.saturation_events, delta.saturation_events_delta);
+        assert_eq!(payload.evictions, delta.evictions_delta);
+
+        // Same aggregator state whichever wire form applies the
+        // increment.
+        let mut via_delta = ConcurrentCaesar::empty(cfg);
+        via_delta.merge_sketch(&prev).unwrap();
+        via_delta.merge_delta(&delta).unwrap();
+        let mut via_payload = ConcurrentCaesar::empty(cfg);
+        via_payload.merge_sketch(&prev).unwrap();
+        via_payload.merge_sketch(&payload).unwrap();
+        assert_eq!(via_delta.sram().snapshot(), via_payload.sram().snapshot());
+        assert_eq!(via_delta.sram().total_added(), via_payload.sram().total_added());
+        assert_eq!(via_delta.sram().saturations(), via_payload.sram().saturations());
+        assert_eq!(via_delta.evictions(), via_payload.evictions());
+
+        // An empty delta converts to the all-zero payload.
+        let idle = SketchDelta::between(&cur, &cur, 4).unwrap();
+        let zero = idle.to_increment_payload();
+        assert!(zero.counters.iter().all(|&c| c == 0));
+        assert_eq!(zero.total_added, 0);
     }
 
     #[test]

@@ -241,28 +241,31 @@ pub struct OnlineStats {
 }
 
 /// One shard lane: the ring, the worker state machine, and the exact
-/// accounting counters.
+/// accounting counters. `pub(crate)` so the detached-thread runtime
+/// ([`crate::threaded`]) can decompose a pump engine into thread lanes
+/// and reassemble one (`from_online` / `into_online`) without a codec
+/// round trip.
 #[derive(Debug)]
-struct Lane {
-    tx: spsc::Producer<u64>,
-    rx: spsc::Consumer<u64>,
-    worker: ShardWorker,
+pub(crate) struct Lane {
+    pub(crate) tx: spsc::Producer<u64>,
+    pub(crate) rx: spsc::Consumer<u64>,
+    pub(crate) worker: ShardWorker,
     /// Pump scratch buffer (reused; capacity [`STREAM_CHUNK`]).
-    buf: Vec<u64>,
-    offered: u64,
-    recorded: u64,
-    dropped: u64,
-    quarantined: u64,
+    pub(crate) buf: Vec<u64>,
+    pub(crate) offered: u64,
+    pub(crate) recorded: u64,
+    pub(crate) dropped: u64,
+    pub(crate) quarantined: u64,
     /// Packets currently queued in the ring.
-    in_ring: u64,
-    respawns: u64,
-    inline_fallback: bool,
+    pub(crate) in_ring: u64,
+    pub(crate) respawns: u64,
+    pub(crate) inline_fallback: bool,
     /// Consecutive no-progress pump attempts (watchdog state).
-    stalled_attempts: u64,
+    pub(crate) stalled_attempts: u64,
     /// Ingest stats retired from workers that have since been
     /// respawned (so the aggregate survives respawns).
-    retired: IngestStats,
-    log: FaultLog,
+    pub(crate) retired: IngestStats,
+    pub(crate) log: FaultLog,
 }
 
 impl Lane {
@@ -306,27 +309,30 @@ impl Lane {
 /// ```
 #[derive(Debug)]
 pub struct OnlineCaesar {
-    cfg: CaesarConfig,
-    shards: usize,
-    policy: BackpressurePolicy,
-    ring_capacity: usize,
-    epoch_len: u64,
-    watchdog_deadline: u64,
-    sram: AtomicCounterArray,
-    kmap: KCounterMap,
-    entries: Vec<usize>,
-    lanes: Vec<Lane>,
-    epoch: u64,
-    merges: u64,
-    offered_total: u64,
-    injector: FaultInjector,
+    // Fields are `pub(crate)` so [`crate::threaded`] — the detached-
+    // thread form of this same engine — can decompose and reassemble
+    // one without going through the snapshot codec.
+    pub(crate) cfg: CaesarConfig,
+    pub(crate) shards: usize,
+    pub(crate) policy: BackpressurePolicy,
+    pub(crate) ring_capacity: usize,
+    pub(crate) epoch_len: u64,
+    pub(crate) watchdog_deadline: u64,
+    pub(crate) sram: AtomicCounterArray,
+    pub(crate) kmap: KCounterMap,
+    pub(crate) entries: Vec<usize>,
+    pub(crate) lanes: Vec<Lane>,
+    pub(crate) epoch: u64,
+    pub(crate) merges: u64,
+    pub(crate) offered_total: u64,
+    pub(crate) injector: FaultInjector,
     /// Delta-checkpoint chain position: `(chain id, deltas emitted)`.
     /// The chain id is the FNV-1a digest of the anchoring full
     /// snapshot's sealed bytes, so an uninterrupted engine and one
     /// restored from that same blob agree on it without coordination.
     /// `None` until the first [`OnlineCaesar::snapshot`] anchors a
     /// chain.
-    chain: Option<(u64, u64)>,
+    pub(crate) chain: Option<(u64, u64)>,
 }
 
 impl OnlineCaesar {
@@ -396,6 +402,16 @@ impl OnlineCaesar {
 
     /// Set the watchdog deadline in consecutive no-progress pump
     /// attempts (`>= 1`).
+    ///
+    /// The pump's hang verdict counts **ticks, not time**: a lane is
+    /// declared hung after `deadline` pump attempts that moved
+    /// nothing, a count independent of scheduler jitter or host load.
+    /// That determinism is what keeps this runtime the bit-identity
+    /// oracle for the detached-thread runtime
+    /// ([`crate::ThreadedCaesar`]), whose supervision must instead use
+    /// wall-clock heartbeats ([`crate::ThreadedCaesar::with_heartbeat_interval`])
+    /// because a hung OS thread makes no observable "attempts" to
+    /// count.
     ///
     /// # Panics
     /// Panics if `deadline == 0`.
@@ -852,39 +868,29 @@ impl OnlineCaesar {
     /// instead of growing a fresh `Vec` every epoch.
     pub fn snapshot_into(&mut self, buf: &mut Vec<u8>) {
         buf.clear();
-        buf.put_u16_le(SNAP_VERSION);
-        // The sketch identity leads the blob so a peer can check merge
-        // compatibility (see [`SketchFingerprint`]) without decoding —
-        // or trusting — the rest of the state.
-        SketchFingerprint::of(&self.cfg).encode_into(buf);
-        encode_config(buf, &self.cfg);
-        buf.put_u64_le(self.shards as u64);
-        buf.put_slice(&[self.policy.to_u8()]);
-        buf.put_u64_le(self.ring_capacity as u64);
-        buf.put_u64_le(self.epoch_len);
-        buf.put_u64_le(self.watchdog_deadline);
-        buf.put_u64_le(self.epoch);
-        buf.put_u64_le(self.merges);
-        buf.put_u64_le(self.offered_total);
-        // SRAM: counter words + per-stripe tallies.
-        buf.put_u32_le(self.sram.bits());
-        let words = self.sram.snapshot();
-        buf.put_u64_le(words.len() as u64);
-        for w in &words {
-            buf.put_u64_le(*w);
-        }
-        let tallies = self.sram.tally_snapshot();
-        buf.put_u64_le(tallies.len() as u64);
-        for &(added, sat) in &tallies {
-            buf.put_u64_le(added);
-            buf.put_u64_le(sat);
-        }
+        encode_snapshot_prelude(buf, &self.header(), &self.sram);
         self.encode_lanes(buf);
         seal(buf);
         // This blob is now the chain anchor: future deltas diff against
         // it, so the dirty baseline resets here.
         self.chain = Some((hashkit::fnv::fnv1a64(buf), 0));
         let _ = self.sram.take_dirty_blocks();
+    }
+
+    /// The scalar engine header shared by full snapshots and delta
+    /// frames (see [`EngineHeader`]).
+    pub(crate) fn header(&self) -> EngineHeader<'_> {
+        EngineHeader {
+            cfg: &self.cfg,
+            shards: self.shards,
+            policy: self.policy,
+            ring_capacity: self.ring_capacity,
+            epoch_len: self.epoch_len,
+            watchdog_deadline: self.watchdog_deadline,
+            epoch: self.epoch,
+            merges: self.merges,
+            offered_total: self.offered_total,
+        }
     }
 
     /// Per-lane dynamic state, shared verbatim by full snapshots and
@@ -903,20 +909,22 @@ impl OnlineCaesar {
             }
             debug_assert_eq!(pending.len() as u64, self.lanes[shard].in_ring);
             let lane = &mut self.lanes[shard];
-            buf.put_u64_le(lane.offered);
-            buf.put_u64_le(lane.recorded);
-            buf.put_u64_le(lane.dropped);
-            buf.put_u64_le(lane.quarantined);
-            buf.put_u64_le(lane.respawns);
-            buf.put_slice(&[u8::from(lane.inline_fallback)]);
-            buf.put_u64_le(lane.stalled_attempts);
-            buf.put_u64_le(pending.len() as u64);
-            for &f in &pending {
-                buf.put_u64_le(f);
-            }
-            encode_ingest_stats(buf, &lane.retired);
-            encode_worker_state(buf, &lane.worker.snapshot_state());
-            encode_fault_log(buf, &lane.log);
+            encode_lane_section(
+                buf,
+                &LaneEncodeParts {
+                    offered: lane.offered,
+                    recorded: lane.recorded,
+                    dropped: lane.dropped,
+                    quarantined: lane.quarantined,
+                    respawns: lane.respawns,
+                    inline_fallback: lane.inline_fallback,
+                    stalled_attempts: lane.stalled_attempts,
+                    pending: &pending,
+                    retired: &lane.retired,
+                    state: &lane.worker.snapshot_state(),
+                    log: &lane.log,
+                },
+            );
             for f in pending {
                 let pushed = lane.tx.try_push(f).is_ok();
                 debug_assert!(pushed, "re-queue into an emptied ring cannot fail");
@@ -955,37 +963,7 @@ impl OnlineCaesar {
     pub fn checkpoint_delta_into(&mut self, buf: &mut Vec<u8>) -> Result<(), DeltaError> {
         let (chain_id, seq) = self.chain.ok_or(DeltaError::NoBase)?;
         buf.clear();
-        buf.put_slice(DELTA_MAGIC);
-        buf.put_u16_le(DELTA_VERSION);
-        SketchFingerprint::of(&self.cfg).encode_into(buf);
-        buf.put_u64_le(chain_id);
-        buf.put_u64_le(seq + 1);
-        buf.put_u64_le(self.epoch);
-        buf.put_u64_le(self.merges);
-        buf.put_u64_le(self.offered_total);
-        buf.put_u64_le(self.shards as u64);
-        // Sparse SRAM section: absolute counter values of every dirty
-        // block (replay is a plain store — no read-modify-write, no
-        // saturation bookkeeping to re-derive) plus the full tally
-        // stripes (O(shards), tiny).
-        buf.put_u32_le(self.sram.bits());
-        buf.put_u64_le(self.sram.len() as u64);
-        let blocks = self.sram.take_dirty_blocks();
-        buf.put_u64_le(blocks.len() as u64);
-        for &b in &blocks {
-            buf.put_u64_le(b as u64);
-            let start = b * crate::sram::DIRTY_BLOCK_COUNTERS;
-            let end = (start + crate::sram::DIRTY_BLOCK_COUNTERS).min(self.sram.len());
-            for idx in start..end {
-                buf.put_u64_le(self.sram.get(idx));
-            }
-        }
-        let tallies = self.sram.tally_snapshot();
-        buf.put_u64_le(tallies.len() as u64);
-        for &(added, sat) in &tallies {
-            buf.put_u64_le(added);
-            buf.put_u64_le(sat);
-        }
+        encode_delta_prelude(buf, &self.header(), &self.sram, chain_id, seq + 1);
         self.encode_lanes(buf);
         seal(buf);
         self.chain = Some((chain_id, seq + 1));
@@ -1446,6 +1424,138 @@ impl std::error::Error for ChainError {}
 // ---------------------------------------------------------------------
 // Codec helpers
 // ---------------------------------------------------------------------
+
+/// The scalar engine state every checkpoint frame carries — shared
+/// between [`OnlineCaesar`] and the detached-thread runtime
+/// ([`crate::threaded`]) so both emit **byte-identical** layouts from
+/// one encoder instead of two hand-kept copies.
+pub(crate) struct EngineHeader<'a> {
+    pub(crate) cfg: &'a CaesarConfig,
+    pub(crate) shards: usize,
+    pub(crate) policy: BackpressurePolicy,
+    pub(crate) ring_capacity: usize,
+    pub(crate) epoch_len: u64,
+    pub(crate) watchdog_deadline: u64,
+    pub(crate) epoch: u64,
+    pub(crate) merges: u64,
+    pub(crate) offered_total: u64,
+}
+
+/// Full-snapshot prelude: layout version, fingerprint, config, engine
+/// scalars, then the complete SRAM (words + tally stripes). The lane
+/// sections and the seal footer follow.
+pub(crate) fn encode_snapshot_prelude(
+    buf: &mut Vec<u8>,
+    h: &EngineHeader<'_>,
+    sram: &AtomicCounterArray,
+) {
+    buf.put_u16_le(SNAP_VERSION);
+    // The sketch identity leads the blob so a peer can check merge
+    // compatibility (see [`SketchFingerprint`]) without decoding —
+    // or trusting — the rest of the state.
+    SketchFingerprint::of(h.cfg).encode_into(buf);
+    encode_config(buf, h.cfg);
+    buf.put_u64_le(h.shards as u64);
+    buf.put_slice(&[h.policy.to_u8()]);
+    buf.put_u64_le(h.ring_capacity as u64);
+    buf.put_u64_le(h.epoch_len);
+    buf.put_u64_le(h.watchdog_deadline);
+    buf.put_u64_le(h.epoch);
+    buf.put_u64_le(h.merges);
+    buf.put_u64_le(h.offered_total);
+    // SRAM: counter words + per-stripe tallies.
+    buf.put_u32_le(sram.bits());
+    let words = sram.snapshot();
+    buf.put_u64_le(words.len() as u64);
+    for w in &words {
+        buf.put_u64_le(*w);
+    }
+    let tallies = sram.tally_snapshot();
+    buf.put_u64_le(tallies.len() as u64);
+    for &(added, sat) in &tallies {
+        buf.put_u64_le(added);
+        buf.put_u64_le(sat);
+    }
+}
+
+/// Delta-frame prelude: magic, chain discipline fields, engine
+/// scalars, then the **sparse** SRAM section — absolute counter values
+/// of every dirty block (replay is a plain store — no
+/// read-modify-write, no saturation bookkeeping to re-derive) plus the
+/// full tally stripes (O(shards), tiny). Consumes the dirty baseline
+/// via [`AtomicCounterArray::take_dirty_blocks`].
+pub(crate) fn encode_delta_prelude(
+    buf: &mut Vec<u8>,
+    h: &EngineHeader<'_>,
+    sram: &AtomicCounterArray,
+    chain_id: u64,
+    next_seq: u64,
+) {
+    buf.put_slice(DELTA_MAGIC);
+    buf.put_u16_le(DELTA_VERSION);
+    SketchFingerprint::of(h.cfg).encode_into(buf);
+    buf.put_u64_le(chain_id);
+    buf.put_u64_le(next_seq);
+    buf.put_u64_le(h.epoch);
+    buf.put_u64_le(h.merges);
+    buf.put_u64_le(h.offered_total);
+    buf.put_u64_le(h.shards as u64);
+    buf.put_u32_le(sram.bits());
+    buf.put_u64_le(sram.len() as u64);
+    let blocks = sram.take_dirty_blocks();
+    buf.put_u64_le(blocks.len() as u64);
+    for &b in &blocks {
+        buf.put_u64_le(b as u64);
+        let start = b * crate::sram::DIRTY_BLOCK_COUNTERS;
+        let end = (start + crate::sram::DIRTY_BLOCK_COUNTERS).min(sram.len());
+        for idx in start..end {
+            buf.put_u64_le(sram.get(idx));
+        }
+    }
+    let tallies = sram.tally_snapshot();
+    buf.put_u64_le(tallies.len() as u64);
+    for &(added, sat) in &tallies {
+        buf.put_u64_le(added);
+        buf.put_u64_le(sat);
+    }
+}
+
+/// Everything one per-lane section serializes, borrowed from whichever
+/// runtime owns the lane (the pump's [`Lane`] or a thread lane's
+/// locked worker cell).
+pub(crate) struct LaneEncodeParts<'a> {
+    pub(crate) offered: u64,
+    pub(crate) recorded: u64,
+    pub(crate) dropped: u64,
+    pub(crate) quarantined: u64,
+    pub(crate) respawns: u64,
+    pub(crate) inline_fallback: bool,
+    pub(crate) stalled_attempts: u64,
+    pub(crate) pending: &'a [u64],
+    pub(crate) retired: &'a IngestStats,
+    pub(crate) state: &'a ShardWorkerState,
+    pub(crate) log: &'a FaultLog,
+}
+
+/// One lane's dynamic state, shared verbatim by full snapshots and
+/// delta frames (the lane tail is O(cache + staged) — small and
+/// epoch-churned, so deltas carry it whole).
+pub(crate) fn encode_lane_section(buf: &mut Vec<u8>, parts: &LaneEncodeParts<'_>) {
+    buf.put_u64_le(parts.offered);
+    buf.put_u64_le(parts.recorded);
+    buf.put_u64_le(parts.dropped);
+    buf.put_u64_le(parts.quarantined);
+    buf.put_u64_le(parts.respawns);
+    buf.put_slice(&[u8::from(parts.inline_fallback)]);
+    buf.put_u64_le(parts.stalled_attempts);
+    buf.put_u64_le(parts.pending.len() as u64);
+    for &f in parts.pending {
+        buf.put_u64_le(f);
+    }
+    encode_ingest_stats(buf, parts.retired);
+    encode_worker_state(buf, parts.state);
+    encode_fault_log(buf, parts.log);
+}
 
 /// Decode one lane's dynamic state — the exact inverse of the per-lane
 /// section [`OnlineCaesar`]'s `encode_lanes` writes, shared by

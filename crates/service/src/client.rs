@@ -200,6 +200,27 @@ impl<T: Transport> MeasurementClient<T> {
         }
     }
 
+    /// Recover from a [`DeltaPush::Stale`] NACK: re-push the refused
+    /// delta's increment as a full [`SketchPayload`] frame, which the
+    /// server applies unconditionally (full pushes carry no base
+    /// epoch).
+    ///
+    /// The frame is built with
+    /// [`SketchDelta::to_increment_payload`], so it carries **only
+    /// the unacked increment** — never the tap's cumulative sketch.
+    /// A NACK means the view's epoch moved on, not that the increment
+    /// landed; re-pushing the cumulative sketch after a NACK would
+    /// add every previously-acked epoch a second time. This method
+    /// makes the NACK → resync cycle double-count-proof by
+    /// construction: whatever mass the refused delta described enters
+    /// the view exactly once.
+    pub fn resync_after_nack(
+        &mut self,
+        delta: &SketchDelta,
+    ) -> Result<PushReceipt, ServiceError> {
+        self.push_sketch(&delta.to_increment_payload())
+    }
+
     /// Batch flow-size query; returns the serving epoch and one
     /// clamped default-estimator size per flow, in request order.
     pub fn query(&mut self, flows: &[u64]) -> Result<(u64, Vec<f64>), ServiceError> {
@@ -378,6 +399,62 @@ mod tests {
         // double-count it).
         let receipt = tap.push_sketch(&increment.export_sketch()).unwrap();
         assert_eq!(receipt.epoch, 4);
+        server.stop();
+    }
+
+    #[test]
+    fn nack_resync_counts_the_increment_exactly_once() {
+        let svc = Arc::new(MeasurementService::new(cfg()));
+        let server = TcpServer::spawn(Arc::clone(&svc), "127.0.0.1:0").unwrap();
+        let fp = SketchFingerprint::of(&cfg());
+        let mut tap =
+            MeasurementClient::connect(TcpTransport::connect(server.addr()).unwrap(), &fp)
+                .unwrap();
+
+        // Full push, then an accepted delta — epochs 1 and 2.
+        let mut node = ConcurrentCaesar::empty(cfg());
+        node.merge(&ConcurrentCaesar::build(cfg(), 1, &flows(2_000, 3))).unwrap();
+        let mut prev = node.export_sketch();
+        let receipt = tap.push_sketch(&prev).unwrap();
+        node.merge(&ConcurrentCaesar::build(cfg(), 1, &flows(800, 5))).unwrap();
+        let cur = node.export_sketch();
+        let delta = SketchDelta::between(&prev, &cur, receipt.epoch).unwrap();
+        let acked = match tap.push_delta(&delta).unwrap() {
+            DeltaPush::Accepted(r) => r,
+            other => panic!("fresh base must apply, got {other:?}"),
+        };
+        prev = cur;
+
+        // A rival tap moves the view epoch under us ...
+        let rival = ConcurrentCaesar::build(cfg(), 2, &flows(500, 9));
+        MeasurementClient::connect(InProcess::new(&svc), &fp)
+            .unwrap()
+            .push_sketch(&rival.export_sketch())
+            .unwrap();
+
+        // ... so the next delta NACKs, and resync_after_nack recovers.
+        node.merge(&ConcurrentCaesar::build(cfg(), 1, &flows(700, 11))).unwrap();
+        let cur = node.export_sketch();
+        let stale = SketchDelta::between(&prev, &cur, acked.epoch).unwrap();
+        match tap.push_delta(&stale).unwrap() {
+            DeltaPush::Stale { .. } => {}
+            other => panic!("stale base must NACK, got {other:?}"),
+        }
+        let receipt = tap.resync_after_nack(&stale).unwrap();
+        assert_eq!(receipt.bytes, stale.to_increment_payload().encoded_len() as u64);
+
+        // The regression this guards: the recovered view must equal a
+        // reference fed each increment exactly once. Re-pushing the
+        // tap's cumulative sketch here would leave the view heavier by
+        // every acked epoch's mass.
+        let mut reference = ConcurrentCaesar::empty(cfg());
+        reference.merge(&node).unwrap();
+        reference.merge(&rival).unwrap();
+        svc.with_view(|sketch, _| {
+            assert_eq!(sketch.sram().snapshot(), reference.sram().snapshot());
+            assert_eq!(sketch.sram().total_added(), reference.sram().total_added());
+            assert_eq!(sketch.sram().saturations(), reference.sram().saturations());
+        });
         server.stop();
     }
 

@@ -23,6 +23,7 @@
 pub mod client;
 pub mod proto;
 pub mod server;
+pub mod supervised;
 
 pub use client::{
     DeltaPush, InProcess, MeasurementClient, PushReceipt, ServiceError, TcpTransport, Transport,
@@ -32,3 +33,4 @@ pub use proto::{
     MAX_FRAME_BYTES,
 };
 pub use server::{MeasurementService, TcpServer};
+pub use supervised::{SupervisedTap, SyncOutcome, TapHealth};

@@ -282,6 +282,30 @@ impl<T: Send> Producer<T> {
         }
     }
 
+    /// Seal the ring from the producer side **without** consuming the
+    /// endpoint: sets the close flag so a blocking consumer loop
+    /// ([`Consumer::pop`], [`Consumer::pop_batch_blocking`]) terminates
+    /// once it drains the already-published prefix. The supervised
+    /// threaded runtime's failover path needs exactly this shape — stop
+    /// a (possibly wedged) worker's intake while keeping the producer
+    /// handle alive to account for what was in flight. Pushing after a
+    /// seal is permitted but pointless: a well-behaved consumer treats
+    /// closed-and-drained as final and will never see the new items.
+    pub fn seal(&mut self) {
+        self.ring.closed.store(true, Ordering::Release);
+    }
+
+    /// Items currently published but unconsumed, from the producer's
+    /// exact view of its own tail and a fresh `Acquire` load of the
+    /// consumer's head. Unlike [`Producer::try_push`]'s cached check
+    /// this always refreshes, so it is an exact snapshot at the moment
+    /// of the load (the consumer may of course drain more immediately
+    /// after).
+    pub fn in_flight(&mut self) -> usize {
+        self.head_cache = self.ring.head.0.load(Ordering::Acquire);
+        self.tail - self.head_cache
+    }
+
     /// Push as many items from `src` as currently fit, with **at most
     /// one** head acquire and **one** tail release for the whole batch.
     /// Returns how many were pushed (a prefix of `src`). The head is
@@ -636,6 +660,53 @@ mod tests {
             }
             assert_eq!(expected, n, "every item delivered exactly once");
         });
+    }
+
+    #[test]
+    fn sealed_ring_terminates_consumer_after_exact_prefix() {
+        // seal() must behave like a producer drop for the consumer —
+        // published items drain, then the stream ends — while the
+        // producer handle stays alive for post-mortem accounting.
+        let (mut tx, mut rx) = ring::<u64>(8);
+        for i in 0..5 {
+            tx.try_push(i).expect("fits");
+        }
+        tx.seal();
+        assert!(rx.is_closed(), "seal raises the close flag");
+        assert_eq!(tx.in_flight(), 5, "producer still sees its backlog");
+        let mut out = Vec::new();
+        assert_eq!(rx.pop_batch_blocking(&mut out, 100), 5);
+        assert_eq!(out, vec![0, 1, 2, 3, 4], "exact sealed prefix");
+        assert_eq!(rx.pop(), None, "sealed + drained is final");
+        assert_eq!(tx.in_flight(), 0, "drain visible from the producer");
+    }
+
+    #[test]
+    fn seal_unblocks_a_parked_consumer() {
+        // A consumer parked in pop_batch_blocking on an empty ring must
+        // wake and terminate when the producer seals from its own
+        // thread (the failover path: supervisor seals a lane whose
+        // worker is waiting for input that will never come).
+        let (mut tx, mut rx) = ring::<u64>(4);
+        let waiter = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            rx.pop_batch_blocking(&mut out, 16)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        tx.seal();
+        assert_eq!(waiter.join().expect("consumer exits"), 0);
+        assert!(tx.is_closed());
+    }
+
+    #[test]
+    fn producer_in_flight_tracks_push_and_pop() {
+        let (mut tx, mut rx) = ring::<u64>(4);
+        assert_eq!(tx.in_flight(), 0);
+        tx.try_push(1).unwrap();
+        tx.try_push(2).unwrap();
+        assert_eq!(tx.in_flight(), 2);
+        assert_eq!(rx.try_pop(), Some(1));
+        assert_eq!(tx.in_flight(), 1, "fresh head load sees the pop");
     }
 
     #[test]

@@ -142,6 +142,18 @@ pub enum FaultSite {
     /// words — deterministically exercising the saturation-degradation
     /// path with no mass-accounting side effects.
     ForceSaturation,
+    /// Hang the shard's worker *thread* at a batch boundary: it stops
+    /// heartbeating and drains nothing until the supervisor fences it
+    /// out (generation bump), at which point the hung thread exits.
+    /// Thread-aware counterpart of [`FaultSite::RingStall`] — the stall
+    /// is a property of a real OS thread, detected by wall-clock
+    /// heartbeat deadlines rather than logical watchdog ticks.
+    WorkerHang,
+    /// Delay the shard's worker thread once, at a batch boundary, for
+    /// roughly one heartbeat interval: late heartbeats that must *not*
+    /// trip failover. Exercises the deadline margin (a slow worker is
+    /// degraded, not dead).
+    SlowDrain,
 }
 
 /// One scheduled fault: fire at the `at_tick`-th tick (0-based) of
@@ -210,6 +222,43 @@ impl FaultInjector {
                     site: FaultSite::RingStall,
                     shard,
                     at_tick: rng.gen_range(0..horizon.min(64)),
+                });
+            }
+        }
+        Self::with_events(events)
+    }
+
+    /// Derive a random *thread* chaos schedule: per shard, ~1/2 chance
+    /// of a `WorkerPanic` somewhere in the first `horizon` packet
+    /// ticks, ~1/4 chance of a `WorkerHang` and ~1/4 of a `SlowDrain`
+    /// within the first few batch boundaries. The schedule itself is
+    /// deterministic per RNG state; on a threaded runtime the *batch
+    /// boundaries* at which hang/slow ticks are consumed depend on
+    /// scheduling, so chaos tests assert invariants (exact loss
+    /// accounting, failover counts), not byte-identity.
+    pub fn random_thread_plan(rng: &mut StdRng, shards: usize, horizon: u64) -> Self {
+        let horizon = horizon.max(1);
+        let mut events = Vec::new();
+        for shard in 0..shards {
+            if rng.gen_bool(0.5) {
+                events.push(FaultEvent {
+                    site: FaultSite::WorkerPanic,
+                    shard,
+                    at_tick: rng.gen_range(0..horizon),
+                });
+            }
+            if rng.gen_bool(0.25) {
+                events.push(FaultEvent {
+                    site: FaultSite::WorkerHang,
+                    shard,
+                    at_tick: rng.gen_range(0..8),
+                });
+            }
+            if rng.gen_bool(0.25) {
+                events.push(FaultEvent {
+                    site: FaultSite::SlowDrain,
+                    shard,
+                    at_tick: rng.gen_range(0..8),
                 });
             }
         }
@@ -332,6 +381,36 @@ mod tests {
             assert!(!none.tick(FaultSite::WorkerPanic, 0));
         }
         assert!(none.fired().is_empty());
+    }
+
+    #[test]
+    fn thread_sites_tick_independently() {
+        // WorkerHang/SlowDrain have their own per-shard tick counters:
+        // a hang scheduled at batch tick 1 must not be consumed by
+        // packet ticks or by the other thread site.
+        let mut inj = FaultInjector::with_events(vec![
+            FaultEvent { site: FaultSite::WorkerHang, shard: 0, at_tick: 1 },
+            FaultEvent { site: FaultSite::SlowDrain, shard: 0, at_tick: 0 },
+        ]);
+        assert!(!inj.tick(FaultSite::WorkerPanic, 0));
+        assert!(inj.tick(FaultSite::SlowDrain, 0));
+        assert!(!inj.tick(FaultSite::WorkerHang, 0));
+        assert!(inj.tick(FaultSite::WorkerHang, 0));
+        assert_eq!(inj.fired_at(FaultSite::WorkerHang), 1);
+        assert_eq!(inj.fired_at(FaultSite::SlowDrain), 1);
+        assert!(!inj.is_stalled(0), "thread sites do not set the sticky ring stall");
+    }
+
+    #[test]
+    fn random_thread_plan_is_deterministic_per_seed() {
+        let plan = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            FaultInjector::random_thread_plan(&mut rng, 4, 1000).pending().to_vec()
+        };
+        assert_eq!(plan(11), plan(11));
+        let sizes: Vec<usize> = (0..32).map(|s| plan(s).len()).collect();
+        assert!(sizes.iter().any(|&n| n > 0));
+        assert!(sizes.iter().all(|&n| n <= 12));
     }
 
     #[test]

@@ -5,7 +5,20 @@
 # be the reason a step fails — if it is, a crates.io dependency snuck
 # back in and that is the bug.
 #
-# Usage: scripts/check.sh [--quick-bench | --fault-smoke | --zoo-smoke | --service-smoke | --simd-smoke | --delta-smoke]
+# Usage: scripts/check.sh [--quick-bench | --fault-smoke | --zoo-smoke | --service-smoke | --simd-smoke | --delta-smoke | --thread-smoke]
+#   --thread-smoke      threaded-runtime smoke mode: run the
+#                       detached-thread acceptance suite
+#                       (tests/threaded_runtime.rs — fault-free
+#                       byte-identity to the pump oracle at 1/2/4
+#                       shards, heartbeat failover on an injected hang
+#                       with exact loss accounting, in-place panic
+#                       respawn, live quiesce-snapshot/restore, delta
+#                       chains, pump↔threads handoff) plus the thread
+#                       chaos property in tests/fault_tolerance.rs, in
+#                       release, under a hard wall-clock timeout — a
+#                       supervision bug whose symptom is "a drain wait
+#                       never returns" must fail the smoke, not wedge
+#                       it.
 #   --delta-smoke       delta-checkpoint smoke mode: run the epoch-delta
 #                       acceptance suite (tests/delta_checkpoint.rs —
 #                       base+deltas replays byte-identical across random
@@ -100,6 +113,17 @@ json_min() { # json_min GROUP NAME FILE -> min_ns ("" if absent)
         | grep -F "\"name\":\"$2\"" | head -1 \
         | sed -n 's/.*"min_ns":\([0-9.eE+-]*\),.*/\1/p'
 }
+
+if [ "${1:-}" = "--thread-smoke" ]; then
+    echo "==> thread smoke: detached-thread runtime + heartbeat supervision, release build"
+    # `timeout` turns a wedged drain/failover wait into a failure
+    # instead of a hung CI job; 300s is ~100x the healthy runtime.
+    run timeout 300 cargo test --release --offline -q --test threaded_runtime
+    run timeout 300 cargo test --release --offline -q --test fault_tolerance random_thread_chaos
+    run timeout 120 cargo test --release --offline -q -p caesar --lib threaded
+    echo "check.sh --thread-smoke: all green"
+    exit 0
+fi
 
 if [ "${1:-}" = "--fault-smoke" ]; then
     echo "==> fault smoke: supervised recovery + crash-consistency, release build"
@@ -340,6 +364,13 @@ if [ "${1:-}" = "--quick-bench" ]; then
 fi
 
 run cargo build --release --offline
+
+# The threaded-runtime suite runs under a hard wall-clock timeout even
+# in the default flow: its characteristic failure mode is a drain or
+# failover wait that never returns, which must fail tier-1 loudly
+# instead of wedging it. The workspace sweep below re-runs the suite
+# in debug — by then this release pass has already bounded it.
+run timeout 300 cargo test --release --offline -q --test threaded_runtime
 
 if [ "${CHECK_WORKSPACE:-1}" = "1" ]; then
     run cargo test -q --offline --workspace

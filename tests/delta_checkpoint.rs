@@ -15,7 +15,7 @@ use std::collections::HashSet;
 
 use caesar::{
     AtomicCounterArray, BackpressurePolicy, CaesarConfig, ChainError, CounterArray, DeltaError,
-    OnlineCaesar, PackedCounterArray, DIRTY_BLOCK_COUNTERS,
+    OnlineCaesar, PackedCounterArray, ThreadedCaesar, DIRTY_BLOCK_COUNTERS,
 };
 use cachesim::CachePolicy;
 use support::rand::{rngs::StdRng, Rng};
@@ -140,6 +140,69 @@ fn delta_chain_replays_byte_identical_across_geometries_and_faults() {
                 final_live,
                 chained.snapshot(),
                 "restore_chain diverges: {cfg:?} shards={shards}"
+            );
+        });
+    }
+}
+
+/// Delta chains are emitter-agnostic: links cut alternately by the
+/// deterministic pump and by the detached-thread runtime splice into
+/// one chain that replays byte-identical into a pump replica. The
+/// live runtime handoffs mid-chain ([`ThreadedCaesar::from_online`]
+/// and [`ThreadedCaesar::into_online`]) are invisible on the wire.
+#[test]
+fn chain_links_from_pump_and_threaded_emitters_splice() {
+    for shards in [1usize, 2] {
+        for_each_seed_n(CASES / 2, |rng| {
+            let cfg = random_cfg(rng);
+            let flows = random_workload(rng);
+            let q = (flows.len() / 4).max(1);
+
+            let mut pump = OnlineCaesar::new(cfg, shards);
+            for &f in &flows[..q] {
+                pump.offer(f);
+            }
+            pump.merge_now();
+            let base = pump.snapshot();
+            let mut replica = OnlineCaesar::restore(&base).expect("restore anchor");
+            let mut deltas: Vec<Vec<u8>> = Vec::new();
+
+            // Link 1: cut by the pump.
+            for &f in &flows[q..2 * q] {
+                pump.offer(f);
+            }
+            deltas.push(pump.checkpoint_delta().expect("anchored chain"));
+
+            // Link 2: cut by the threaded runtime after a live handoff.
+            let mut threaded = ThreadedCaesar::from_online(pump);
+            threaded.offer_batch(&flows[2 * q..3 * q]);
+            deltas.push(threaded.checkpoint_delta().expect("chain survives handoff"));
+
+            // Link 3: cut by the pump again, handed back.
+            let mut pump = threaded.into_online();
+            for &f in &flows[3 * q..] {
+                pump.offer(f);
+            }
+            pump.merge_now();
+            deltas.push(pump.checkpoint_delta().expect("still anchored"));
+
+            for (i, d) in deltas.iter().enumerate() {
+                replica.apply_delta(d).unwrap_or_else(|e| {
+                    panic!("mixed-emitter link {i} must apply: {e:?}")
+                });
+            }
+            assert_eq!(
+                pump.snapshot(),
+                replica.snapshot(),
+                "mixed-emitter replay diverges: {cfg:?} shards={shards}"
+            );
+            assert_eq!(pump.stats(), replica.stats());
+            let mut chained =
+                OnlineCaesar::restore_chain(&base, &deltas).expect("wholesale chain restore");
+            assert_eq!(
+                pump.snapshot(),
+                chained.snapshot(),
+                "restore_chain over mixed emitters diverges: {cfg:?} shards={shards}"
             );
         });
     }

@@ -16,6 +16,7 @@
 
 use caesar::{
     BackpressurePolicy, CaesarConfig, ConcurrentCaesar, FaultKind, OnlineCaesar,
+    ThreadedCaesar,
 };
 use cachesim::CachePolicy;
 use support::rand::{rngs::StdRng, Rng};
@@ -26,6 +27,11 @@ use support::testkit::{
 /// Supervised-stream cases are costlier than unit properties; each
 /// case jointly covers cfg × shards × workload × fault schedule.
 const CASES: u32 = 18;
+
+/// Thread-chaos cases pay real wall-clock per injected hang (two
+/// missed heartbeat deadlines before the failover verdict), so the
+/// property runs fewer of them.
+const THREAD_CASES: u32 = 6;
 
 fn random_cfg(rng: &mut StdRng) -> CaesarConfig {
     let counters = rng.gen_range(64usize..1024);
@@ -124,6 +130,98 @@ fn random_fault_plans_keep_accounting_exact_across_shard_counts() {
                 // Fault-free plans must not lose anything at all.
                 assert_eq!(st.quarantined, 0);
             }
+        });
+    }
+}
+
+/// The same acceptance property on the detached-thread runtime:
+/// random *thread* chaos schedules (panics, heartbeat-supervised
+/// hangs, slow drains) across shard counts must leave the engine
+/// serving with exact loss accounting and a fault log coherent with
+/// what actually fired. Batch boundaries — and therefore *when* a
+/// hang/slow tick is consumed — depend on OS scheduling, so this
+/// asserts invariants, not byte-identity (the fault-free byte-identity
+/// property lives in `tests/threaded_runtime.rs`).
+#[test]
+fn random_thread_chaos_keeps_accounting_exact_across_shard_counts() {
+    // A tight heartbeat keeps each injected hang's two-deadline
+    // verdict (and thus the whole suite) fast.
+    let heartbeat = std::time::Duration::from_millis(25);
+    for shards in [1usize, 2, 4] {
+        for_each_seed_n(THREAD_CASES, |rng| {
+            let cfg = random_cfg(rng);
+            let flows = random_workload(rng);
+            let horizon = (flows.len() as u64 / shards as u64).max(1);
+            let plan = FaultInjector::random_thread_plan(rng, shards, horizon);
+
+            let mut engine = ThreadedCaesar::new(cfg, shards)
+                .with_heartbeat_interval(heartbeat)
+                .with_injector(plan);
+            engine.offer_batch(&flows);
+            engine.merge_now(); // drains every ring dry
+
+            // A hang verdict is wall-clock asynchronous: a worker that
+            // consumed its hang tick *after* draining its ring hangs
+            // with nothing in flight, and its failover only lands once
+            // the monitor sees two missed deadlines AND the supervisor
+            // next services the lane. Give every fired hang a bounded
+            // window to settle before auditing the ledger.
+            let settle = std::time::Instant::now();
+            loop {
+                let hangs = engine.with_injector_state(|inj| inj.fired_at(FaultSite::WorkerHang));
+                let failovers: usize =
+                    (0..shards).map(|s| engine.fault_log(s).failovers()).sum();
+                if failovers >= hangs || settle.elapsed() > std::time::Duration::from_secs(10) {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                engine.merge_now(); // services lanes → executes pending verdicts
+            }
+
+            let st = engine.stats();
+            assert_eq!(st.in_flight, 0);
+            assert_eq!(st.offered, flows.len() as u64);
+            assert_eq!(
+                st.recorded + st.dropped + st.quarantined,
+                st.offered,
+                "post-drain mass leak: {cfg:?} shards={shards}"
+            );
+            assert_eq!(st.dropped, 0, "Block policy dropped packets");
+
+            // Still serving, and the sketch holds exactly the
+            // surviving mass.
+            assert!(engine.query(flows[0]).is_finite());
+            assert_eq!(
+                engine.sram().total_added() + engine.unmerged_units(),
+                st.recorded,
+                "surviving mass must equal recorded packets: {cfg:?}"
+            );
+
+            // Ledger ↔ injector coherence: every fired panic respawned
+            // a worker in place; every fired hang cost one heartbeat
+            // failover; slow drains are absorbed without a record.
+            let (panics, hangs) = engine.with_injector_state(|inj| {
+                (inj.fired_at(FaultSite::WorkerPanic), inj.fired_at(FaultSite::WorkerHang))
+            });
+            let logged_panics: usize =
+                (0..shards).map(|s| engine.fault_log(s).panics()).sum();
+            let logged_failovers: usize =
+                (0..shards).map(|s| engine.fault_log(s).failovers()).sum();
+            assert_eq!(logged_panics, panics, "fired vs logged panics");
+            assert_eq!(logged_failovers, hangs, "fired hangs vs heartbeat failovers");
+            for s in 0..shards {
+                let log = engine.fault_log(s);
+                assert!(log.is_exact(), "injected thread faults account exactly");
+                for r in &log.records {
+                    if r.kind == FaultKind::WorkerPanic {
+                        assert!(r.payload.contains(INJECTED_PANIC));
+                    }
+                }
+            }
+            if panics == 0 && hangs == 0 {
+                assert_eq!(st.quarantined, 0, "no fault, no loss");
+            }
+            engine.finish();
         });
     }
 }
